@@ -1,0 +1,143 @@
+// Command ncexplorer is an interactive shell over the NCExplorer
+// engine: build a synthetic world once, then explore it with roll-up
+// and drill-down queries the way the paper's analysts do.
+//
+// Usage:
+//
+//	go run ./cmd/ncexplorer [-scale tiny|default] [-seed 42]
+//
+// Commands inside the shell:
+//
+//	concepts <entity>         roll-up options for an entity (Fig. 1 step 1)
+//	broader <concept>         the next roll-up level
+//	keywords <concept>        amplified keyword list for a topic
+//	rollup <c1> ; <c2> ; …    top articles matching every concept
+//	drill <c1> ; <c2> ; …     suggested subtopics for the query
+//	topics                    the paper's six evaluation queries
+//	help / quit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"ncexplorer"
+)
+
+func main() {
+	scale := flag.String("scale", "tiny", "world scale: tiny or default")
+	seed := flag.Uint64("seed", 42, "generation seed")
+	flag.Parse()
+
+	fmt.Printf("building %s world (seed %d)...\n", *scale, *seed)
+	start := time.Now()
+	x, err := ncexplorer.New(ncexplorer.Config{Scale: *scale, Seed: *seed})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("ready in %.1fs — %d articles indexed. Type 'help'.\n",
+		time.Since(start).Seconds(), x.NumArticles())
+
+	sc := bufio.NewScanner(os.Stdin)
+	fmt.Print("> ")
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line != "" {
+			if quit := execute(x, line); quit {
+				return
+			}
+		}
+		fmt.Print("> ")
+	}
+}
+
+func execute(x *ncexplorer.Explorer, line string) (quit bool) {
+	cmd, rest, _ := strings.Cut(line, " ")
+	rest = strings.TrimSpace(rest)
+	switch strings.ToLower(cmd) {
+	case "quit", "exit", "q":
+		return true
+	case "help", "?":
+		fmt.Println(`commands:
+  concepts <entity>       roll-up options for an entity, e.g. "concepts FTX"
+  broader <concept>       parent concepts, e.g. "broader Bitcoin exchange"
+  keywords <concept>      amplified keyword list for retrieval
+  rollup <c1> ; <c2>      top articles for a concept pattern
+  drill <c1> ; <c2>       subtopic suggestions for a concept pattern
+  topics                  the paper's six evaluation queries
+  quit`)
+	case "concepts":
+		list, err := x.ConceptsForEntity(rest)
+		printList(list, err)
+	case "broader":
+		list, err := x.BroaderConcepts(rest)
+		printList(list, err)
+	case "keywords":
+		list, err := x.TopicKeywords(rest, 10)
+		printList(list, err)
+	case "topics":
+		for _, pair := range x.EvaluationTopics() {
+			fmt.Printf("  rollup %s ; %s\n", pair[0], pair[1])
+		}
+	case "rollup":
+		articles, err := x.RollUp(splitConcepts(rest), 5)
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		for i, a := range articles {
+			fmt.Printf("%d. [%.3f] (%s) %s\n", i+1, a.Score, a.Source, a.Title)
+			for _, e := range a.Explanations {
+				fmt.Printf("     %-28s cdr=%.3f via %s\n", e.Concept, e.CDR, e.Pivot)
+			}
+		}
+		if len(articles) == 0 {
+			fmt.Println("no matching articles")
+		}
+	case "drill":
+		subs, err := x.DrillDown(splitConcepts(rest), 8)
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		for i, s := range subs {
+			fmt.Printf("%d. %-30s score=%.3f (coverage %.2f · specificity %.2f · diversity %.2f, %d docs)\n",
+				i+1, s.Concept, s.Score, s.Coverage, s.Specificity, s.Diversity, s.MatchedDocs)
+		}
+		if len(subs) == 0 {
+			fmt.Println("no subtopics")
+		}
+	default:
+		fmt.Printf("unknown command %q (try 'help')\n", cmd)
+	}
+	return false
+}
+
+func splitConcepts(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ";") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+func printList(list []string, err error) {
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	if len(list) == 0 {
+		fmt.Println("(none)")
+		return
+	}
+	for _, item := range list {
+		fmt.Println("  " + item)
+	}
+}

@@ -1,0 +1,78 @@
+package ncexplorer_test
+
+import (
+	"fmt"
+	"log"
+
+	"ncexplorer"
+)
+
+// The canonical due-diligence loop: generalise a known entity, query
+// the generalisation alongside a risk topic, then drill into the
+// suggested subtopics.
+func Example() {
+	x, err := ncexplorer.New(ncexplorer.Config{Scale: "tiny"})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Roll up "FTX" to its concepts ("Bitcoin exchange", …).
+	concepts, err := x.ConceptsForEntity("FTX")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Screen the whole industry against financial crime.
+	articles, err := x.RollUp([]string{concepts[0], "Financial crime"}, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, a := range articles {
+		fmt.Println(a.Title)
+		for _, e := range a.Explanations {
+			fmt.Printf("  %s matched via %s\n", e.Concept, e.Pivot)
+		}
+	}
+
+	// Discover what to investigate next.
+	subs, err := x.DrillDown([]string{concepts[0], "Financial crime"}, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, s := range subs {
+		fmt.Printf("subtopic: %s (%d documents)\n", s.Concept, s.MatchedDocs)
+	}
+}
+
+// Concept-pattern queries combine any number of concepts; every result
+// matches all of them.
+func ExampleExplorer_RollUp() {
+	x, err := ncexplorer.New(ncexplorer.Config{Scale: "tiny"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	articles, err := x.RollUp([]string{"Elections", "African country"}, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, a := range articles {
+		fmt.Printf("[%.3f] %s\n", a.Score, a.Title)
+	}
+}
+
+// Drill-down suggestions carry their score decomposition, so a UI can
+// explain why a subtopic is offered.
+func ExampleExplorer_DrillDown() {
+	x, err := ncexplorer.New(ncexplorer.Config{Scale: "tiny"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	subs, err := x.DrillDown([]string{"International trade"}, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, s := range subs {
+		fmt.Printf("%s: coverage %.2f × specificity %.2f × diversity %.2f\n",
+			s.Concept, s.Coverage, s.Specificity, s.Diversity)
+	}
+}

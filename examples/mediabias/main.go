@@ -1,0 +1,78 @@
+// Media bias: the paper's §I motivating scenario. Starting from
+// "Elon Musk", the system rolls up to the Billionaire concept and
+// surfaces parallel media-ownership stories — Bezos / Washington Post,
+// Soon-Shiong / LA Times, Murdoch / WSJ — letting a reader compare
+// coverage of wealthy individuals acquiring news outlets.
+//
+//	go run ./examples/mediabias
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ncexplorer"
+)
+
+func main() {
+	x, err := ncexplorer.New(ncexplorer.Config{Scale: "tiny"})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Scenario: who else buys newspapers? (start: Elon Musk)")
+	fmt.Println("──────────────────────────────────────────────────────")
+
+	// Roll up the starting entity.
+	concepts, err := x.ConceptsForEntity("Elon Musk")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Elon Musk rolls up to: %v\n", concepts)
+
+	// Query the generalisation against media ownership.
+	query := []string{"Billionaire", "Newspaper"}
+	fmt.Printf("\nRoll-up %v:\n", query)
+	articles, err := x.RollUp(query, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	type pair struct{ owner, outlet string }
+	var pairs []pair
+	seen := map[pair]bool{}
+	for i, a := range articles {
+		fmt.Printf("%d. [%.3f] (%s) %s\n", i+1, a.Score, a.Source, a.Title)
+		var p pair
+		for _, e := range a.Explanations {
+			switch e.Concept {
+			case "Billionaire":
+				p.owner = e.Pivot
+			case "Newspaper":
+				p.outlet = e.Pivot
+			}
+		}
+		if p.owner != "" && p.outlet != "" && !seen[p] {
+			seen[p] = true
+			pairs = append(pairs, p)
+		}
+	}
+
+	fmt.Println("\nOwnership parallels discovered:")
+	for _, p := range pairs {
+		fmt.Printf("  %-22s ↔ %s\n", p.owner, p.outlet)
+	}
+	if len(pairs) == 0 {
+		fmt.Println("  (none in this corpus)")
+	}
+
+	// What themes surround these stories?
+	subs, err := x.DrillDown(query, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nSurrounding themes (drill-down):")
+	for i, s := range subs {
+		fmt.Printf("  %d. %s\n", i+1, s.Concept)
+	}
+}

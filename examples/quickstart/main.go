@@ -1,0 +1,61 @@
+// Quickstart: build a synthetic news world, run one roll-up and one
+// drill-down, and print explained results.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ncexplorer"
+)
+
+func main() {
+	// A tiny world builds in well under a second; use Scale "default"
+	// for the experiment-sized corpus.
+	x, err := ncexplorer.New(ncexplorer.Config{Scale: "tiny"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("indexed %d articles\n\n", x.NumArticles())
+
+	// Roll-up: a concept-pattern query. Every returned article contains
+	// entities matching BOTH concepts, ranked by rel(Q, d) = Σ cdr.
+	query := []string{"International trade", "Country"}
+	fmt.Printf("Roll-up: %v\n", query)
+	articles, err := x.RollUp(query, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, a := range articles {
+		fmt.Printf("%d. [%.3f] %s\n", i+1, a.Score, a.Title)
+		for _, e := range a.Explanations {
+			fmt.Printf("     matched %q via entity %q (cdr %.3f)\n", e.Concept, e.Pivot, e.CDR)
+		}
+	}
+
+	// Drill-down: ranked subtopics that refine the query.
+	fmt.Printf("\nDrill-down suggestions for %v:\n", query)
+	subs, err := x.DrillDown(query, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, s := range subs {
+		fmt.Printf("%d. %-28s (coverage %.2f, specificity %.2f, diversity %.2f)\n",
+			i+1, s.Concept, s.Coverage, s.Specificity, s.Diversity)
+	}
+
+	// Selecting a suggestion narrows the investigation.
+	if len(subs) > 0 {
+		refined := append(query, subs[0].Concept)
+		narrowed, err := x.RollUp(refined, 2)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nAfter drilling into %q: %d top articles\n", subs[0].Concept, len(narrowed))
+		for _, a := range narrowed {
+			fmt.Printf("  - %s\n", a.Title)
+		}
+	}
+}

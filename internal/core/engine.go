@@ -1,0 +1,411 @@
+// Package core implements the NCExplorer engine: the indexing pipeline
+// of Fig. 3 (NLP annotation → entity linking → concept-document
+// relevance scoring) and the two OLAP-style operations of §III —
+// roll-up (Definition 1: top-K documents for a concept-pattern query)
+// and drill-down (Definition 2: top-K subtopic suggestions ranked by
+// coverage × specificity × diversity).
+//
+// Index layout:
+//
+//   - an entity→documents inverted index gives exact Definition-1
+//     matching semantics (a document matches concept c iff it contains
+//     an entity in c's extent closure);
+//   - per document, the candidate concepts (the direct Ψ⁻¹ concepts of
+//     its entities plus a configurable number of `broader` ancestor
+//     levels) are scored with cdr at indexing time — these postings
+//     drive drill-down coverage and act as a cdr cache;
+//   - query-time cdr for concepts outside a document's candidate set is
+//     computed on demand and memoised, with a per-(concept, doc) seeded
+//     sampler so results are reproducible regardless of query order.
+package core
+
+import (
+	"runtime"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"ncexplorer/internal/corpus"
+	"ncexplorer/internal/kg"
+	"ncexplorer/internal/nlp"
+	"ncexplorer/internal/reach"
+	"ncexplorer/internal/relevance"
+	"ncexplorer/internal/textindex"
+	"ncexplorer/internal/xrand"
+)
+
+// Options configures an Engine. Zero values select the paper defaults
+// (τ = 2, β = 0.5, 50 samples).
+type Options struct {
+	// Tau, Beta, Samples parameterise the connectivity score (§III-C).
+	Tau     int
+	Beta    float64
+	Samples int
+	// Seed drives all sampling; equal seeds ⇒ identical indexes.
+	Seed uint64
+	// MaxConceptsPerDoc caps the candidate concepts scored per document
+	// (kept by highest ontology relevance). 0 ⇒ 64.
+	MaxConceptsPerDoc int
+	// AncestorLevels adds this many `broader` levels above each
+	// entity's direct concepts to the candidate set. 0 ⇒ 1.
+	AncestorLevels int
+	// Workers bounds indexing parallelism. 0 ⇒ GOMAXPROCS.
+	Workers int
+	// Exact computes connectivity exactly instead of sampling (tests
+	// and ablations).
+	Exact bool
+	// ReachCache bounds the reachability index's resident tables.
+	ReachCache int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Tau <= 0 {
+		o.Tau = 2
+	}
+	if o.Beta <= 0 {
+		o.Beta = 0.5
+	}
+	if o.Samples <= 0 {
+		o.Samples = 50
+	}
+	if o.MaxConceptsPerDoc <= 0 {
+		o.MaxConceptsPerDoc = 64
+	}
+	if o.AncestorLevels <= 0 {
+		o.AncestorLevels = 1
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	return o
+}
+
+// Query is a concept pattern: a set of KG concepts a document must all
+// match (§III-A).
+type Query []kg.NodeID
+
+// ConceptContribution explains one concept's share of a document's
+// relevance: the cdr value and the pivot entity that matched.
+type ConceptContribution struct {
+	Concept kg.NodeID
+	CDR     float64
+	Pivot   kg.NodeID
+}
+
+// DocResult is one roll-up result with its explanation.
+type DocResult struct {
+	Doc          corpus.DocID
+	Score        float64
+	Contributors []ConceptContribution
+}
+
+// Subtopic is one drill-down suggestion with its score components.
+type Subtopic struct {
+	Concept     kg.NodeID
+	Score       float64
+	Coverage    float64
+	Specificity float64
+	Diversity   float64
+	MatchedDocs int
+}
+
+// IndexStats reports indexing outcomes and the cost breakdown measured
+// for the paper's Fig. 4 analysis.
+type IndexStats struct {
+	Docs      int
+	PerSource map[corpus.Source]corpus.SourceStats
+	// Wall-clock nanoseconds spent in the two pipeline stages, summed
+	// across documents (single-threaded equivalents).
+	LinkNanos  int64
+	ScoreNanos int64
+}
+
+// ConceptScore is one indexed candidate concept of a document with its
+// concept-document relevance and pivot entity.
+type ConceptScore struct {
+	Concept kg.NodeID
+	CDR     float64
+	Pivot   kg.NodeID
+}
+
+type docInfo struct {
+	source   corpus.Source
+	entities []kg.NodeID // distinct linked entities, first-mention order
+	concepts []ConceptScore
+}
+
+type cdrEntry struct {
+	cdr   float64
+	pivot kg.NodeID
+}
+
+// Engine is an indexed NCExplorer instance. Safe for concurrent
+// queries after IndexCorpus returns.
+type Engine struct {
+	g       *kg.Graph
+	opts    Options
+	linker  *nlp.Linker
+	reachIx *reach.Index
+
+	entIx   *textindex.Index
+	docs    []docInfo
+	entDocs map[kg.NodeID][]int32
+
+	mu          sync.Mutex
+	scorer      *relevance.Scorer
+	cdrCache    map[uint64]cdrEntry
+	conceptDocs map[kg.NodeID][]int32
+
+	stats IndexStats
+}
+
+// NewEngine creates an engine over the knowledge graph.
+func NewEngine(g *kg.Graph, opts Options) *Engine {
+	opts = opts.withDefaults()
+	e := &Engine{
+		g:           g,
+		opts:        opts,
+		linker:      nlp.NewLinker(g),
+		entIx:       textindex.New(),
+		entDocs:     make(map[kg.NodeID][]int32),
+		cdrCache:    make(map[uint64]cdrEntry),
+		conceptDocs: make(map[kg.NodeID][]int32),
+	}
+	if !opts.Exact {
+		e.reachIx = reach.New(g, opts.Tau, opts.ReachCache)
+	}
+	return e
+}
+
+// Options returns the engine's effective options.
+func (e *Engine) Options() Options { return e.opts }
+
+// Graph returns the underlying knowledge graph.
+func (e *Engine) Graph() *kg.Graph { return e.g }
+
+// entity IDs double as terms in the entity index.
+func entKey(v kg.NodeID) string { return strconv.Itoa(int(v)) }
+
+// Entities implements relevance.DocView.
+func (e *Engine) Entities(doc int32) []kg.NodeID { return e.docs[doc].entities }
+
+// EntityWeight implements relevance.DocView (tw(v, d), Eq. 3).
+func (e *Engine) EntityWeight(v kg.NodeID, doc int32) float64 {
+	return e.entIx.TFIDF(entKey(v), doc)
+}
+
+// scorerOpts builds the relevance options for this engine.
+func (e *Engine) scorerOpts() relevance.Options {
+	return relevance.Options{
+		Tau:     e.opts.Tau,
+		Beta:    e.opts.Beta,
+		Samples: e.opts.Samples,
+		Exact:   e.opts.Exact,
+	}
+}
+
+// IndexCorpus runs the full pipeline over the corpus. Documents must
+// have dense IDs 0..n−1 (the corpus generator guarantees this). It may
+// be called once per engine.
+func (e *Engine) IndexCorpus(c *corpus.Corpus) IndexStats {
+	if len(e.docs) > 0 {
+		panic("core: IndexCorpus called twice")
+	}
+	n := c.Len()
+	e.docs = make([]docInfo, n)
+	anns := make([]*nlp.Annotation, n)
+	linkNanos := make([]int64, n)
+
+	// Phase A — NLP annotation + entity linking (parallel; the paper's
+	// dominant indexing cost).
+	e.parallel(n, func(i int) {
+		d := c.Doc(corpus.DocID(i))
+		start := time.Now()
+		anns[i] = e.linker.Annotate(d.Text())
+		linkNanos[i] = time.Since(start).Nanoseconds()
+	})
+
+	// Phase B — sequential: entity term index, entity→doc postings,
+	// per-source mention statistics.
+	e.stats.PerSource = make(map[corpus.Source]corpus.SourceStats)
+	for i := 0; i < n; i++ {
+		d := c.Doc(corpus.DocID(i))
+		ann := anns[i]
+		tf := make(map[string]int, len(ann.EntityFreq))
+		for v, f := range ann.EntityFreq {
+			tf[entKey(v)] = f
+		}
+		e.entIx.Add(int32(i), tf)
+		ents := ann.Entities()
+		e.docs[i] = docInfo{source: d.Source, entities: ents}
+		for _, v := range ents {
+			e.entDocs[v] = append(e.entDocs[v], int32(i))
+		}
+		ss := e.stats.PerSource[d.Source]
+		ss.Source = d.Source
+		ss.Articles++
+		ss.TotalMentions += ann.TotalMentions()
+		ss.LinkedMentions += len(ann.Mentions)
+		e.stats.PerSource[d.Source] = ss
+		e.stats.LinkNanos += linkNanos[i]
+	}
+	e.stats.Docs = n
+
+	// Phase C — candidate concept scoring (parallel, deterministic:
+	// each document's sampler is seeded by its ID).
+	scoreNanos := make([]int64, n)
+	workerScorers := make([]*relevance.Scorer, e.opts.Workers)
+	for w := range workerScorers {
+		workerScorers[w] = relevance.NewScorer(e.g, e, e.reachIx, e.scorerOpts())
+	}
+	e.parallelWorker(n, func(worker, i int) {
+		start := time.Now()
+		e.docs[i].concepts = e.scoreCandidates(workerScorers[worker], int32(i))
+		scoreNanos[i] = time.Since(start).Nanoseconds()
+	})
+	for i := 0; i < n; i++ {
+		e.stats.ScoreNanos += scoreNanos[i]
+		for _, cs := range e.docs[i].concepts {
+			e.cdrCache[cdrKey(cs.Concept, int32(i))] = cdrEntry{cdr: cs.CDR, pivot: cs.Pivot}
+		}
+	}
+
+	// Serving-time scorer for query-path cache misses.
+	e.scorer = relevance.NewScorer(e.g, e, e.reachIx, e.scorerOpts())
+	return e.stats
+}
+
+// scoreCandidates selects and scores the candidate concepts of one
+// document: direct Ψ⁻¹ concepts of its entities plus AncestorLevels of
+// `broader` parents, capped by ontology relevance.
+func (e *Engine) scoreCandidates(s *relevance.Scorer, doc int32) []ConceptScore {
+	seen := make(map[kg.NodeID]struct{})
+	var candidates []kg.NodeID
+	add := func(c kg.NodeID) {
+		if _, ok := seen[c]; !ok {
+			seen[c] = struct{}{}
+			candidates = append(candidates, c)
+		}
+	}
+	for _, v := range e.docs[doc].entities {
+		for _, c := range e.g.ConceptsOf(v) {
+			add(c)
+			for _, anc := range e.g.AncestorsWithin(c, e.opts.AncestorLevels) {
+				add(anc)
+			}
+		}
+	}
+	// Rank by cdro (cheap), keep the cap, then pay for connectivity.
+	type cand struct {
+		c     kg.NodeID
+		cdro  float64
+		pivot kg.NodeID
+	}
+	scored := make([]cand, 0, len(candidates))
+	for _, c := range candidates {
+		cdro, pivot := s.OntologyRel(c, doc)
+		if cdro > 0 {
+			scored = append(scored, cand{c, cdro, pivot})
+		}
+	}
+	sort.Slice(scored, func(i, j int) bool {
+		if scored[i].cdro != scored[j].cdro {
+			return scored[i].cdro > scored[j].cdro
+		}
+		return scored[i].c < scored[j].c
+	})
+	if len(scored) > e.opts.MaxConceptsPerDoc {
+		scored = scored[:e.opts.MaxConceptsPerDoc]
+	}
+	rnd := xrand.Stream(e.opts.Seed, uint64(doc))
+	out := make([]ConceptScore, 0, len(scored))
+	for _, cd := range scored {
+		cdrc := s.ContextRel(cd.c, doc, rnd)
+		out = append(out, ConceptScore{Concept: cd.c, CDR: cd.cdro * cdrc, Pivot: cd.pivot})
+	}
+	// Deterministic order for downstream iteration.
+	sort.Slice(out, func(i, j int) bool { return out[i].Concept < out[j].Concept })
+	return out
+}
+
+func cdrKey(c kg.NodeID, doc int32) uint64 {
+	return uint64(uint32(c))<<32 | uint64(uint32(doc))
+}
+
+// parallel runs fn(i) for i in [0, n) on opts.Workers goroutines.
+func (e *Engine) parallel(n int, fn func(i int)) {
+	e.parallelWorker(n, func(_, i int) { fn(i) })
+}
+
+func (e *Engine) parallelWorker(n int, fn func(worker, i int)) {
+	workers := e.opts.Workers
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(0, i)
+		}
+		return
+	}
+	var next int64
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	take := func() int {
+		mu.Lock()
+		defer mu.Unlock()
+		i := int(next)
+		next++
+		return i
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for {
+				i := take()
+				if i >= n {
+					return
+				}
+				fn(worker, i)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// Stats returns indexing statistics (valid after IndexCorpus).
+func (e *Engine) Stats() IndexStats { return e.stats }
+
+// DocConcepts returns a document's indexed candidate concepts with
+// their cdr scores (the per-document postings). The slice must not be
+// modified.
+func (e *Engine) DocConcepts(doc corpus.DocID) []ConceptScore {
+	return e.docs[doc].concepts
+}
+
+// ResetQueryCaches discards the query-time memoisation (concept match
+// lists and on-demand cdr values), restoring the cache to its
+// post-indexing state. Benchmarks use it to measure cold query cost;
+// results are unaffected because on-demand values are seeded per
+// (concept, document).
+func (e *Engine) ResetQueryCaches() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.conceptDocs = make(map[kg.NodeID][]int32)
+	e.cdrCache = make(map[uint64]cdrEntry, len(e.cdrCache))
+	for i := range e.docs {
+		for _, cs := range e.docs[i].concepts {
+			e.cdrCache[cdrKey(cs.Concept, int32(i))] = cdrEntry{cdr: cs.CDR, pivot: cs.Pivot}
+		}
+	}
+}
+
+// NumDocs returns the number of indexed documents.
+func (e *Engine) NumDocs() int { return len(e.docs) }
+
+// DocSource returns the source of an indexed document.
+func (e *Engine) DocSource(doc corpus.DocID) corpus.Source {
+	return e.docs[doc].source
+}

@@ -1,0 +1,293 @@
+package core
+
+import (
+	"sort"
+
+	"ncexplorer/internal/corpus"
+	"ncexplorer/internal/kg"
+	"ncexplorer/internal/topk"
+	"ncexplorer/internal/xrand"
+)
+
+// conceptMatches returns the sorted document IDs matching concept c —
+// documents containing at least one entity of c's extent closure
+// (Definition 1 matching semantics). Memoised.
+func (e *Engine) conceptMatches(c kg.NodeID) []int32 {
+	if docs, ok := e.conceptDocs[c]; ok {
+		return docs
+	}
+	ext, _ := e.scorer.Extent(c)
+	var docs []int32
+	seen := make(map[int32]struct{})
+	for _, v := range ext {
+		for _, d := range e.entDocs[v] {
+			if _, ok := seen[d]; !ok {
+				seen[d] = struct{}{}
+				docs = append(docs, d)
+			}
+		}
+	}
+	sort.Slice(docs, func(i, j int) bool { return docs[i] < docs[j] })
+	e.conceptDocs[c] = docs
+	return docs
+}
+
+// matchedDocs intersects the per-concept match lists: a document
+// matches Q iff it matches every concept in Q.
+func (e *Engine) matchedDocs(q Query) []int32 {
+	if len(q) == 0 {
+		return nil
+	}
+	lists := make([][]int32, len(q))
+	for i, c := range q {
+		lists[i] = e.conceptMatches(c)
+		if len(lists[i]) == 0 {
+			return nil
+		}
+	}
+	// Intersect starting from the shortest list.
+	sort.Slice(lists, func(i, j int) bool { return len(lists[i]) < len(lists[j]) })
+	out := lists[0]
+	for _, l := range lists[1:] {
+		out = intersectSorted(out, l)
+		if len(out) == 0 {
+			return nil
+		}
+	}
+	return out
+}
+
+func containsConcept(s []kg.NodeID, c kg.NodeID) bool {
+	for _, x := range s {
+		if x == c {
+			return true
+		}
+	}
+	return false
+}
+
+func intersectSorted(a, b []int32) []int32 {
+	var out []int32
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// cdr returns the cached or freshly computed cdr(c, d) with its pivot.
+// The sampler is seeded by (concept, doc) so values are independent of
+// query order. Caller must hold e.mu.
+func (e *Engine) cdr(c kg.NodeID, doc int32) cdrEntry {
+	key := cdrKey(c, doc)
+	if ent, ok := e.cdrCache[key]; ok {
+		return ent
+	}
+	rnd := xrand.Stream(e.opts.Seed^0x9e3779b97f4a7c15, key)
+	cdr, pivot := e.scorer.CDR(c, doc, rnd)
+	ent := cdrEntry{cdr: cdr, pivot: pivot}
+	e.cdrCache[key] = ent
+	return ent
+}
+
+// MatchedDocs returns all documents matching the concept pattern Q, in
+// ascending document order.
+func (e *Engine) MatchedDocs(q Query) []corpus.DocID {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	docs := e.matchedDocs(q)
+	out := make([]corpus.DocID, len(docs))
+	for i, d := range docs {
+		out[i] = corpus.DocID(d)
+	}
+	return out
+}
+
+// RollUp implements Definition 1: the top-K documents d matching Q with
+// the highest rel(Q, d) = Σ_{c∈Q} cdr(c, d), each with its per-concept
+// explanation.
+func (e *Engine) RollUp(q Query, k int) []DocResult {
+	if k <= 0 || len(q) == 0 {
+		return nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	docs := e.matchedDocs(q)
+	if len(docs) == 0 {
+		return nil
+	}
+	coll := topk.New[int32](k)
+	for _, d := range docs {
+		rel := 0.0
+		for _, c := range q {
+			rel += e.cdr(c, d).cdr
+		}
+		coll.Push(d, rel)
+	}
+	items := coll.Sorted()
+	out := make([]DocResult, len(items))
+	for i, it := range items {
+		res := DocResult{Doc: corpus.DocID(it.Value), Score: it.Score}
+		for _, c := range q {
+			ent := e.cdr(c, it.Value)
+			res.Contributors = append(res.Contributors, ConceptContribution{
+				Concept: c, CDR: ent.cdr, Pivot: ent.pivot,
+			})
+		}
+		out[i] = res
+	}
+	return out
+}
+
+// DrillDown implements Definition 2: the top-K subtopics c for Q by
+// sbr(c, Q) = coverage(c, Q) · specificity(c) · diversity(c, Q).
+func (e *Engine) DrillDown(q Query, k int) []Subtopic {
+	return e.DrillDownComponents(q, k, true, true)
+}
+
+// DrillDownComponents is DrillDown with the specificity and diversity
+// factors individually switchable — the Fig. 8 ablation (C, C+S,
+// C+S+D).
+func (e *Engine) DrillDownComponents(q Query, k int, useSpecificity, useDiversity bool) []Subtopic {
+	if k <= 0 || len(q) == 0 {
+		return nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	docs := e.matchedDocs(q)
+	if len(docs) == 0 {
+		return nil
+	}
+	inQuery := make(map[kg.NodeID]struct{}, len(q))
+	for _, c := range q {
+		inQuery[c] = struct{}{}
+	}
+
+	// Coverage from the indexing-time candidate postings: candidates
+	// are the direct Ψ⁻¹ concepts of document entities (plus ancestor
+	// levels), exactly the paper's candidate subtopic set.
+	coverage := make(map[kg.NodeID]float64)
+	matched := make(map[kg.NodeID][]int32)
+	for _, d := range docs {
+		for _, cs := range e.docs[d].concepts {
+			if _, skip := inQuery[cs.Concept]; skip {
+				continue
+			}
+			coverage[cs.Concept] += cs.CDR
+			matched[cs.Concept] = append(matched[cs.Concept], d)
+		}
+	}
+	if len(coverage) == 0 {
+		return nil
+	}
+
+	// Shortlist by the cheap components before paying for diversity.
+	const shortlistSize = 128
+	shortlist := topk.New[kg.NodeID](shortlistSize)
+	// Deterministic iteration order over candidates.
+	cands := make([]kg.NodeID, 0, len(coverage))
+	for c := range coverage {
+		cands = append(cands, c)
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i] < cands[j] })
+	for _, c := range cands {
+		s := coverage[c]
+		if useSpecificity {
+			s *= e.g.Specificity(c)
+		}
+		shortlist.Push(c, s)
+	}
+
+	coll := topk.New[Subtopic](k)
+	for _, c := range shortlist.Values() {
+		sub := Subtopic{
+			Concept:     c,
+			Coverage:    coverage[c],
+			Specificity: e.g.Specificity(c),
+			MatchedDocs: len(matched[c]),
+		}
+		// diversity(c, Q) = |∪_{d∈D(Q)} ME(c, d)| / |D(Q ∪ {c})| with
+		// ME over the *direct* extent Ψ(c), exactly as Definition 2
+		// states. The direct extent matters: an umbrella concept whose
+		// members are only inherited from descendants contributes no
+		// direct matches and scores zero diversity, while a concept
+		// matching through one popular entity is pushed down — the
+		// fairness bias the paper designed this factor to prevent.
+		union := make(map[kg.NodeID]struct{})
+		for _, d := range matched[c] {
+			for _, v := range e.docs[d].entities {
+				if containsConcept(e.g.ConceptsOf(v), c) {
+					union[v] = struct{}{}
+				}
+			}
+		}
+		if n := len(matched[c]); n > 0 {
+			sub.Diversity = float64(len(union)) / float64(n)
+		}
+		score := sub.Coverage
+		if useSpecificity {
+			score *= sub.Specificity
+		}
+		if useDiversity {
+			score *= sub.Diversity
+		}
+		sub.Score = score
+		coll.Push(sub, score)
+	}
+	items := coll.Sorted()
+	out := make([]Subtopic, len(items))
+	for i, it := range items {
+		out[i] = it.Value
+	}
+	return out
+}
+
+// BroaderOptions lists the roll-up targets of a concept: its `broader`
+// parents (what the UI offers when the user generalises a term).
+func (e *Engine) BroaderOptions(c kg.NodeID) []kg.NodeID {
+	return e.g.Broader(c)
+}
+
+// ConceptsForEntity lists the concepts an entity can be replaced with
+// when forming a concept-pattern query, most specific first.
+func (e *Engine) ConceptsForEntity(v kg.NodeID) []kg.NodeID {
+	concepts := append([]kg.NodeID(nil), e.g.ConceptsOf(v)...)
+	sort.Slice(concepts, func(i, j int) bool {
+		si, sj := e.g.Specificity(concepts[i]), e.g.Specificity(concepts[j])
+		if si != sj {
+			return si > sj
+		}
+		return concepts[i] < concepts[j]
+	})
+	return concepts
+}
+
+// TopicKeywords amplifies a topic into a retrieval keyword list: the
+// names of the topic's most connected extent entities (what the paper
+// calls "curating a list of relevant keywords for retrieval").
+func (e *Engine) TopicKeywords(c kg.NodeID, n int) []string {
+	e.mu.Lock()
+	ext, _ := e.scorer.Extent(c)
+	e.mu.Unlock()
+	if n <= 0 || len(ext) == 0 {
+		return nil
+	}
+	coll := topk.New[kg.NodeID](n)
+	for _, v := range ext {
+		coll.Push(v, float64(e.g.InstanceDegree(v)))
+	}
+	var out []string
+	for _, v := range coll.Values() {
+		out = append(out, e.g.Name(v))
+	}
+	return out
+}

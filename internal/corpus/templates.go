@@ -1,0 +1,370 @@
+package corpus
+
+// Story templates. Slots are substituted by the generator:
+//
+//	{F0} {F1}  focus entities (the entities the story is about)
+//	{X0} {X1}  context entities (KG neighbours of the focus entities)
+//	{O}        an out-of-KG surface form (injected per-source)
+//	{NUM}      a number, {PCT} a percentage, {QTR} a quarter label
+//
+// Every category also carries jargon terms that flavour the prose and
+// give the term-weighting schemes realistic vocabulary to work with.
+type templateSet struct {
+	titles    []string
+	sentences []string
+	jargon    []string
+}
+
+// categoryRoots maps curated concept names to a template category; the
+// generator walks the `broader` hierarchy upward from a topic concept
+// until it hits one of these.
+var categoryRoots = map[string]string{
+	"International trade":      "trade",
+	"Lawsuits":                 "lawsuit",
+	"Court":                    "lawsuit",
+	"Elections":                "election",
+	"Mergers and acquisitions": "manda",
+	"International relations":  "diplomacy",
+	"Labor":                    "labor",
+	"Financial crime":          "crime",
+	"Compliance":               "crime",
+	"Regulator":                "regulatorr",
+	"Regulation":               "regulatorr",
+	"Cryptocurrency":           "crypto",
+	"Media":                    "media",
+	"Banking":                  "banking",
+	"Finance":                  "banking",
+	"Environment":              "esg",
+	"Politics":                 "politicsgen",
+	"Companies":                "generic",
+	"Commerce":                 "generic",
+}
+
+var templates = map[string]templateSet{
+	"trade": {
+		titles: []string{
+			"{F0} and {F1} clash over new tariffs",
+			"{F0} tightens export controls in dispute with {F1}",
+			"Trade talks between {F0} and {F1} stall over subsidies",
+			"{F0} files complaint against {F1} import duties",
+		},
+		sentences: []string{
+			"{F0} imposed tariffs of {PCT} on imports from {F1}, escalating a simmering trade dispute.",
+			"Negotiators from {F0} and {F1} failed to agree on a framework for reducing customs duties.",
+			"Exporters in {X0} warned that the new quotas would disrupt supply chains across the region.",
+			"The trade ministry said the export controls target sensitive goods bound for {F1}.",
+			"Analysts estimate the dispute could shave {PCT} off bilateral trade worth {NUM} billion dollars.",
+			"{X0} urged both sides to return to the negotiating table before retaliatory duties take effect.",
+			"A preliminary trade agreement covering agricultural goods remains stalled in {F0}.",
+			"Customs data showed shipments from {F1} fell {PCT} in {QTR} as the tariff wall rose.",
+			"Industry groups in {X1} asked for exemptions from the anti-dumping measures.",
+		},
+		jargon: []string{"tariff", "quota", "customs", "anti-dumping", "subsidy", "export", "import", "duties"},
+	},
+	"lawsuit": {
+		titles: []string{
+			"{F0} sued over alleged misconduct in {X0} case",
+			"{F0} faces class action lawsuit from investors",
+			"Court orders {F0} to face antitrust trial",
+			"{F0} settles patent litigation with {F1}",
+		},
+		sentences: []string{
+			"A federal court allowed the class action against {F0} to proceed to trial.",
+			"Plaintiffs allege that {F0} misled customers about the safety of its flagship product.",
+			"{F1} filed the complaint in district court, seeking {NUM} million dollars in damages.",
+			"Lawyers for {F0} called the antitrust claims meritless and vowed to appeal.",
+			"The lawsuit follows an investigation by {X0} into the company's licensing practices.",
+			"A judge ruled that internal emails from {F0} executives are admissible as evidence.",
+			"{F0} agreed to settle the patent litigation for an undisclosed sum, ending a three-year battle.",
+			"Shares of {F0} slipped {PCT} after the court unsealed the plaintiffs' filings.",
+			"Legal experts said the verdict could expose {F0} to follow-on claims in {X1}.",
+		},
+		jargon: []string{"plaintiff", "defendant", "damages", "injunction", "settlement", "verdict", "appeal", "litigation"},
+	},
+	"election": {
+		titles: []string{
+			"{F0} heads to the polls in tightly contested election",
+			"{F1} claims victory in {F0} presidential election",
+			"Opposition disputes election results in {F0}",
+			"Voters in {F0} deliver split verdict in parliamentary vote",
+		},
+		sentences: []string{
+			"Polling stations across {F0} opened at dawn as voters queued to cast ballots.",
+			"{F1} addressed supporters after early returns showed a narrow lead.",
+			"The electoral commission said turnout reached {PCT}, the highest in a decade.",
+			"Observers from {X0} reported isolated irregularities but called the vote broadly credible.",
+			"The opposition alleged ballot stuffing in several districts and demanded a recount.",
+			"A runoff is likely if no candidate clears the {PCT} threshold required by the constitution.",
+			"Security forces were deployed in the capital amid fears of post-election unrest.",
+			"Markets in {F0} rallied as investors bet on policy continuity after the vote.",
+			"{F1} campaigned on anti-corruption pledges and closer ties with {X1}.",
+		},
+		jargon: []string{"ballot", "turnout", "runoff", "incumbent", "constituency", "electorate", "recount", "coalition"},
+	},
+	"manda": {
+		titles: []string{
+			"{F0} agrees to acquire {F1} in {NUM} billion dollar deal",
+			"{F0} launches takeover bid for {F1}",
+			"{F1} board rejects unsolicited offer from {F0}",
+			"Merger of {F0} and {F1} clears regulatory review",
+		},
+		sentences: []string{
+			"{F0} will acquire {F1} in a cash-and-stock transaction valuing the target at {NUM} billion dollars.",
+			"The takeover gives {F0} control of {F1}'s pipeline of experimental therapies.",
+			"Shareholders of {F1} will receive a {PCT} premium over Friday's closing price.",
+			"{X0} is reviewing the merger for potential competition concerns.",
+			"The boards of both companies approved the definitive agreement unanimously.",
+			"Bankers said the buyout was the largest in the sector since {QTR}.",
+			"{F0} expects the acquisition to close by year-end, pending antitrust clearance.",
+			"Analysts at {X1} said the tie-up could trigger further consolidation among rivals.",
+			"The hostile bid turned friendly after {F0} raised its offer twice.",
+		},
+		jargon: []string{"acquisition", "takeover", "merger", "buyout", "premium", "synergies", "divestiture", "consolidation"},
+	},
+	"diplomacy": {
+		titles: []string{
+			"{F0} and {F1} seek to ease tensions at summit",
+			"{F0} recalls ambassador from {F1} amid dispute",
+			"Leaders of {F0} and {F1} sign cooperation treaty",
+			"Sanctions strain relations between {F0} and {F1}",
+		},
+		sentences: []string{
+			"Diplomats from {F0} and {F1} met for two days of closed-door talks.",
+			"The summit produced a joint communique pledging cooperation on border security.",
+			"{F0} imposed targeted sanctions on officials from {F1} over the disputed territory.",
+			"Foreign ministers agreed to reopen consulates closed during the standoff.",
+			"{X0} offered to mediate the dispute, warning of regional spillover.",
+			"The treaty must still be ratified by parliaments in both {F0} and {F1}.",
+			"Relations deteriorated after {F1} expelled diplomats accused of espionage.",
+			"Officials said the agreement covers trade corridors and military de-escalation.",
+			"Observers called the handshake between the two leaders a cautious thaw.",
+		},
+		jargon: []string{"summit", "treaty", "sanctions", "ambassador", "communique", "bilateral", "ceasefire", "mediation"},
+	},
+	"labor": {
+		titles: []string{
+			"Workers at {F0} walk out over pay dispute",
+			"{F0} and {X0} reach deal to end strike",
+			"Union threatens industrial action at {F0}",
+			"{F0} lockout leaves thousands idle as talks collapse",
+		},
+		sentences: []string{
+			"Thousands of workers at {F0} walked off the job after wage talks collapsed.",
+			"{X0} said its members voted overwhelmingly to authorize the strike.",
+			"The walkout halted production at {F0} plants for the third consecutive day.",
+			"Management offered a {PCT} raise over three years, which the union rejected.",
+			"Mediators were called in as the labor dispute entered its second week.",
+			"The collective bargaining agreement covering {NUM} thousand employees expired in {QTR}.",
+			"{F0} warned that prolonged industrial action could force layoffs at suppliers in {X1}.",
+			"Picket lines formed outside distribution centers as contract negotiations resumed.",
+			"Workers cited unsafe conditions and mandatory overtime among their grievances.",
+		},
+		jargon: []string{"strike", "union", "picket", "wages", "walkout", "bargaining", "overtime", "grievance"},
+	},
+	"crime": {
+		titles: []string{
+			"{F0} probed over suspected money laundering",
+			"Regulators fine {F0} for compliance failures",
+			"{F0} executive charged with fraud",
+			"Investigators trace illicit funds through {F0}",
+		},
+		sentences: []string{
+			"Prosecutors allege that {F0} processed suspicious transactions worth {NUM} million dollars.",
+			"{X0} opened an investigation into whether {F0} violated anti-money laundering rules.",
+			"The indictment accuses executives of wire fraud and falsifying records.",
+			"Compliance staff at {F0} flagged the transfers but were overruled, according to the filings.",
+			"Investigators say shell companies were used to move funds through accounts in {X1}.",
+			"{F0} agreed to pay a {NUM} million dollar penalty and strengthen its controls.",
+			"The case highlights gaps in know-your-customer checks across the sector.",
+			"Authorities froze assets linked to the scheme and issued arrest warrants.",
+			"A whistleblower provided documents showing the laundering network spanned three jurisdictions.",
+		},
+		jargon: []string{"laundering", "fraud", "indictment", "shell", "illicit", "penalty", "whistleblower", "sanctions"},
+	},
+	"regulatorr": {
+		titles: []string{
+			"{F0} unveils stricter rules for the sector",
+			"{F0} opens inquiry into market practices of {X0}",
+			"New disclosure regime from {F0} draws industry pushback",
+			"{F0} warns firms over compliance shortfalls",
+		},
+		sentences: []string{
+			"{F0} proposed rules that would tighten oversight of the industry.",
+			"The regulator said firms must file disclosures within {NUM} days under the new regime.",
+			"Industry groups complained the compliance burden would fall hardest on smaller firms in {X1}.",
+			"{F0} signalled that enforcement actions will follow repeated violations.",
+			"A consultation on the draft regulation runs until the end of {QTR}.",
+			"Officials at {F0} cited risks uncovered during recent examinations of {X0}.",
+			"The guidance clarifies reporting obligations for cross-border transactions.",
+			"Supervisors will gain powers to levy fines of up to {PCT} of annual turnover.",
+		},
+		jargon: []string{"oversight", "enforcement", "disclosure", "supervision", "consultation", "guidance", "examination", "regime"},
+	},
+	"crypto": {
+		titles: []string{
+			"{F0} halts withdrawals as crypto turmoil spreads",
+			"Regulators circle {F0} after token collapse",
+			"{F0} expands exchange business despite scrutiny",
+			"Customers of {F0} left in limbo after insolvency filing",
+		},
+		sentences: []string{
+			"{F0} suspended customer withdrawals citing extreme market volatility.",
+			"The token's collapse wiped out {NUM} billion dollars in market value within days.",
+			"{X0} demanded records from {F0} as part of a widening probe into the exchange.",
+			"Depositors rushed to move coins off the platform after rumors of insolvency.",
+			"{F0} said client assets are segregated and backed one-to-one by reserves.",
+			"Blockchain analysts traced large transfers from {F0} wallets to offshore venues.",
+			"The bankruptcy filing lists more than {NUM} thousand creditors across {X1}.",
+			"Rival exchange {F1} offered to buy parts of the stricken platform.",
+			"Industry lawyers said the case will shape how digital assets are regulated.",
+		},
+		jargon: []string{"exchange", "token", "wallet", "blockchain", "withdrawals", "insolvency", "reserves", "custody"},
+	},
+	"media": {
+		titles: []string{
+			"{F0} completes purchase of {F1}",
+			"Newsroom of {F1} braces for changes under {F0}",
+			"Ownership shakeup at {F1} stirs bias debate",
+			"{F0} defends editorial independence after buying {F1}",
+		},
+		sentences: []string{
+			"{F0} completed the acquisition of {F1}, ending months of speculation.",
+			"Staff at {F1} expressed concern that the new owner could steer coverage.",
+			"Media watchdogs warned about concentration of ownership among billionaires.",
+			"{F0} pledged not to interfere with the paper's editorial decisions.",
+			"Critics pointed to shifts in tone after similar takeovers involving {X0}.",
+			"The deal values {F1} at {NUM} million dollars, a fraction of its peak worth.",
+			"Editors said subscription revenue will decide the outlet's independence.",
+			"Analysts compared the purchase to earlier deals for {X1}.",
+		},
+		jargon: []string{"newsroom", "editorial", "ownership", "coverage", "masthead", "subscription", "watchdog", "bias"},
+	},
+	"banking": {
+		titles: []string{
+			"{F0} reports surprise loss as provisions jump",
+			"{F0} to cut costs amid margin squeeze",
+			"Depositors test resilience of {F0}",
+			"{F0} bolsters capital after stress test",
+		},
+		sentences: []string{
+			"{F0} set aside {NUM} million dollars for bad loans, more than analysts expected.",
+			"The bank's net interest margin narrowed to {PCT} in {QTR}.",
+			"{X0} reaffirmed the lender's capital ratios exceed regulatory minimums.",
+			"{F0} announced a restructuring that will trim {NUM} hundred positions.",
+			"Wealthy clients moved deposits to rivals including {F1}, filings show.",
+			"The lender passed the annual stress test with a buffer of {PCT}.",
+			"Executives blamed one-off charges tied to legacy litigation in {X1}.",
+			"Private banking inflows offset weakness in the trading division.",
+		},
+		jargon: []string{"deposits", "capital", "provisions", "lending", "liquidity", "margin", "buffer", "solvency"},
+	},
+	"esg": {
+		titles: []string{
+			"{F0} accused of sourcing from illegal logging operations",
+			"Investors press {F0} on environmental record",
+			"{F0} pledges to cut emissions after investor revolt",
+			"Supply chain audit ties {F0} to forced labor",
+		},
+		sentences: []string{
+			"An audit linked suppliers of {F0} to illegal logging in protected forests.",
+			"Campaigners said wildlife trading persists along routes used by {F0} contractors.",
+			"{X0} threatened to divest unless {F0} improves its environmental disclosures.",
+			"The company pledged to cut emissions by {PCT} before the end of the decade.",
+			"Inspectors found evidence of forced labor at a facility supplying {F0}.",
+			"Lenders face pressure to screen financing for deforestation risk in {X1}.",
+			"{F0} suspended two suppliers pending an independent investigation.",
+			"The report urged banks to tighten environmental and social governance checks.",
+		},
+		jargon: []string{"emissions", "deforestation", "audit", "sustainability", "divestment", "supply", "governance", "biodiversity"},
+	},
+	"politicsgen": {
+		titles: []string{
+			"{F0} government unveils sweeping reform bill",
+			"Coalition talks in {F0} enter decisive phase",
+			"Protests mount as {F0} debates new legislation",
+			"{F1} reshuffles cabinet amid falling approval",
+		},
+		sentences: []string{
+			"Lawmakers in {F0} began debating a reform package backed by {F1}.",
+			"The bill would overhaul public procurement and campaign finance rules.",
+			"Opposition parties vowed to block the legislation in the upper chamber.",
+			"Demonstrators gathered outside parliament for a third night.",
+			"{X0} said the reforms are a condition for further cooperation.",
+			"A confidence vote is expected before the recess in {QTR}.",
+			"Analysts said the reshuffle strengthens the finance ministry's hand.",
+			"Regional governors from {X1} demanded a larger share of revenues.",
+		},
+		jargon: []string{"parliament", "legislation", "coalition", "reform", "cabinet", "procurement", "referendum", "decree"},
+	},
+	"generic": {
+		titles: []string{
+			"{F0} expands operations amid shifting demand",
+			"{F0} partners with {X0} on new initiative",
+			"Outlook for {F0} divides analysts",
+			"{F0} navigates turbulent quarter",
+		},
+		sentences: []string{
+			"{F0} said demand trends diverged sharply across its regions in {QTR}.",
+			"The company announced a partnership with {X0} to develop new offerings.",
+			"Management guided for revenue growth of {PCT} next year.",
+			"Competition from {F1} weighed on pricing in core markets.",
+			"{F0} opened a new facility employing {NUM} hundred staff.",
+			"Executives flagged currency headwinds and input cost inflation.",
+			"Customers in {X1} accounted for a growing share of orders.",
+			"The board authorized a share repurchase of {NUM} million dollars.",
+		},
+		jargon: []string{"revenue", "guidance", "operations", "margin", "outlook", "demand", "headwinds", "expansion"},
+	},
+}
+
+// marketWrap is the distractor template: daily price/volume reporting
+// that mentions entities and finance vocabulary but carries no
+// investigable event — the noise pure-embedding retrieval surfaces.
+var marketWrap = templateSet{
+	titles: []string{
+		"Market wrap: {F0} leads gainers as volumes swell",
+		"Stocks drift; {F0} and {F1} in focus",
+		"Daily movers: {F0} slides, {F1} rallies",
+	},
+	sentences: []string{
+		"Shares of {F0} rose {PCT} on volume of {NUM} million shares.",
+		"{F1} slipped {PCT} in early trading before paring losses.",
+		"Futures pointed to a muted open as traders awaited economic data.",
+		"Turnover across the exchange reached {NUM} billion dollars.",
+		"{F0} was the most actively traded name for a second session.",
+		"Index heavyweights {F1} and {X0} moved in opposite directions.",
+		"Options activity in {F0} spiked ahead of the expiry in {QTR}.",
+		"The benchmark closed {PCT} higher, extending its winning streak.",
+	},
+	jargon: []string{"volume", "futures", "turnover", "benchmark", "session", "expiry", "gainers", "movers"},
+}
+
+// categoryTopicWords lists, per template category, the surface words a
+// keyword search for the corresponding topic would use. Articles
+// written in the *specialist register* avoid exactly these words — the
+// vocabulary mismatch the paper's motivation rests on ("evaluators show
+// greater confidence in commonly known surface words … while expressing
+// uncertainty about specialized terms such as takeover"). Half of all
+// generated articles use the specialist register, so keyword retrieval
+// structurally misses part of every topic's coverage while KG-based
+// matching (which reads entities, not words) does not.
+var categoryTopicWords = map[string][]string{
+	"trade":     {"trade"},
+	"lawsuit":   {"lawsuit", "sue"},
+	"election":  {"election"},
+	"manda":     {"merger", "acquisition", "acquire"},
+	"diplomacy": {"relation"},
+	"labor":     {"labor", "dispute"},
+}
+
+// fillerSentences pad articles with neutral newsroom prose.
+var fillerSentences = []string{
+	"Officials declined to comment beyond the public filings.",
+	"The development was first reported by local media.",
+	"A spokesperson said a detailed statement would follow.",
+	"Reporters were briefed on condition of anonymity.",
+	"Further hearings are expected in the coming weeks.",
+	"The figures have not been independently verified.",
+	"Representatives did not respond to requests for comment.",
+	"Documents reviewed for this article span several years.",
+}

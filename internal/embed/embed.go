@@ -1,0 +1,134 @@
+// Package embed provides deterministic text embeddings standing in for
+// the paper's SBERT (all-mpnet-base-v2) model, which cannot run in an
+// offline, stdlib-only Go build.
+//
+// Each vocabulary term is assigned a pseudo-random Gaussian vector
+// seeded by the term's hash (feature hashing / random indexing). A text
+// embeds as the log-TF-weighted sum of its term vectors, L2-normalised.
+// Two texts that share topical vocabulary therefore land close in
+// cosine space — which is the property the BERT baseline contributes in
+// the paper's evaluation (semantic neighbourhood retrieval without
+// explicit keyword match). What the substitute cannot model is zero-
+// overlap paraphrase similarity; the corpus generator compensates by
+// giving each topic a distinctive jargon vocabulary, exactly the signal
+// a real encoder would latch onto.
+package embed
+
+import (
+	"math"
+	"sort"
+	"sync"
+
+	"ncexplorer/internal/nlp"
+	"ncexplorer/internal/xrand"
+)
+
+// DefaultDim is the embedding dimensionality (the paper's SBERT uses
+// 768; 256 keeps cosine geometry while staying cheap).
+const DefaultDim = 256
+
+// Embedder converts text to fixed-size vectors. Safe for concurrent use.
+type Embedder struct {
+	dim  int
+	mu   sync.RWMutex
+	term map[string][]float32
+}
+
+// New returns an embedder with the given dimensionality (DefaultDim if
+// dim <= 0).
+func New(dim int) *Embedder {
+	if dim <= 0 {
+		dim = DefaultDim
+	}
+	return &Embedder{dim: dim, term: make(map[string][]float32)}
+}
+
+// Dim returns the embedding dimensionality.
+func (e *Embedder) Dim() int { return e.dim }
+
+// termVector returns the cached pseudo-random unit vector of a term.
+func (e *Embedder) termVector(term string) []float32 {
+	e.mu.RLock()
+	v, ok := e.term[term]
+	e.mu.RUnlock()
+	if ok {
+		return v
+	}
+	r := xrand.New(xrand.HashString(term))
+	v = make([]float32, e.dim)
+	var norm float64
+	for i := range v {
+		x := r.NormFloat64()
+		v[i] = float32(x)
+		norm += x * x
+	}
+	scale := float32(1 / math.Sqrt(norm))
+	for i := range v {
+		v[i] *= scale
+	}
+	e.mu.Lock()
+	e.term[term] = v
+	e.mu.Unlock()
+	return v
+}
+
+// EmbedTerms embeds a term-frequency bag with 1+log(tf) weighting,
+// L2-normalised. Terms are accumulated in sorted order so the
+// floating-point sum — and therefore every downstream ranking — is
+// byte-stable across runs. Returns a zero vector for an empty bag.
+func (e *Embedder) EmbedTerms(tf map[string]int) []float32 {
+	terms := make([]string, 0, len(tf))
+	for term, f := range tf {
+		if f > 0 {
+			terms = append(terms, term)
+		}
+	}
+	sort.Strings(terms)
+	out := make([]float32, e.dim)
+	for _, term := range terms {
+		w := float32(1 + math.Log(float64(tf[term])))
+		tv := e.termVector(term)
+		for i := range out {
+			out[i] += w * tv[i]
+		}
+	}
+	normalize(out)
+	return out
+}
+
+// EmbedText tokenises, stems and stop-filters text, then embeds it.
+func (e *Embedder) EmbedText(text string) []float32 {
+	return e.EmbedTerms(nlp.Terms(text))
+}
+
+func normalize(v []float32) {
+	var norm float64
+	for _, x := range v {
+		norm += float64(x) * float64(x)
+	}
+	if norm == 0 {
+		return
+	}
+	scale := float32(1 / math.Sqrt(norm))
+	for i := range v {
+		v[i] *= scale
+	}
+}
+
+// Cosine returns the cosine similarity of two vectors (0 for zero
+// vectors). Inputs must share length.
+func Cosine(a, b []float32) float64 {
+	if len(a) != len(b) {
+		panic("embed: dimension mismatch")
+	}
+	var dot, na, nb float64
+	for i := range a {
+		dot += float64(a[i]) * float64(b[i])
+		na += float64(a[i]) * float64(a[i])
+		nb += float64(b[i]) * float64(b[i])
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / math.Sqrt(na*nb)
+}

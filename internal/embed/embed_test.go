@@ -1,0 +1,136 @@
+package embed
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterministicEmbedding(t *testing.T) {
+	e1, e2 := New(0), New(0)
+	a := e1.EmbedText("tariff dispute between trading partners")
+	b := e2.EmbedText("tariff dispute between trading partners")
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("embeddings differ across embedder instances")
+		}
+	}
+	if len(a) != DefaultDim {
+		t.Fatalf("dim = %d", len(a))
+	}
+}
+
+func TestUnitNorm(t *testing.T) {
+	e := New(128)
+	v := e.EmbedText("merger acquisition takeover premium")
+	var norm float64
+	for _, x := range v {
+		norm += float64(x) * float64(x)
+	}
+	if math.Abs(norm-1) > 1e-5 {
+		t.Fatalf("norm² = %v, want 1", norm)
+	}
+}
+
+func TestTopicalSimilarity(t *testing.T) {
+	// Two trade stories must be closer than a trade story and an
+	// election story — the property the BERT baseline relies on.
+	e := New(0)
+	trade1 := e.EmbedText("tariffs imposed on imports escalating the trade dispute over quotas")
+	trade2 := e.EmbedText("customs duties and import tariffs deepen the trade dispute")
+	elect := e.EmbedText("voters cast ballots as election turnout surged in the capital")
+	simTT := Cosine(trade1, trade2)
+	simTE := Cosine(trade1, elect)
+	if simTT <= simTE {
+		t.Fatalf("topical similarity failed: trade/trade %.3f vs trade/election %.3f", simTT, simTE)
+	}
+	if simTT < 0.2 {
+		t.Fatalf("overlapping texts too dissimilar: %v", simTT)
+	}
+}
+
+func TestStemmingUnifiesVariants(t *testing.T) {
+	e := New(0)
+	a := e.EmbedText("the tariffs")
+	b := e.EmbedText("a tariff")
+	if sim := Cosine(a, b); sim < 0.99 {
+		t.Fatalf("morphological variants should embed identically, sim=%v", sim)
+	}
+}
+
+func TestEmptyText(t *testing.T) {
+	e := New(0)
+	v := e.EmbedText("")
+	for _, x := range v {
+		if x != 0 {
+			t.Fatal("empty text should embed to zero vector")
+		}
+	}
+	if Cosine(v, v) != 0 {
+		t.Fatal("cosine of zero vectors should be 0")
+	}
+}
+
+func TestCosineRange(t *testing.T) {
+	e := New(64)
+	texts := []string{
+		"bank capital provisions", "strike union wages",
+		"court verdict appeal", "bank capital provisions lending",
+	}
+	vecs := make([][]float32, len(texts))
+	for i, s := range texts {
+		vecs[i] = e.EmbedText(s)
+	}
+	for i := range vecs {
+		for j := range vecs {
+			sim := Cosine(vecs[i], vecs[j])
+			if sim < -1.0001 || sim > 1.0001 {
+				t.Fatalf("cosine out of range: %v", sim)
+			}
+			if i == j && math.Abs(sim-1) > 1e-5 {
+				t.Fatalf("self-similarity = %v", sim)
+			}
+		}
+	}
+}
+
+func TestCosineSymmetry(t *testing.T) {
+	e := New(32)
+	err := quick.Check(func(s1, s2 string) bool {
+		a, b := e.EmbedText(s1), e.EmbedText(s2)
+		return math.Abs(Cosine(a, b)-Cosine(b, a)) < 1e-9
+	}, &quick.Config{MaxCount: 50})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCosineDimMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Cosine(make([]float32, 3), make([]float32, 4))
+}
+
+func TestTermVectorsNearOrthogonal(t *testing.T) {
+	// Random high-dimensional term vectors should be near-orthogonal;
+	// that is what makes feature hashing behave like a proper embedding
+	// basis.
+	e := New(256)
+	v1 := e.termVector("tariff")
+	v2 := e.termVector("election")
+	if sim := Cosine(v1, v2); math.Abs(sim) > 0.3 {
+		t.Fatalf("unrelated terms too aligned: %v", sim)
+	}
+}
+
+func BenchmarkEmbedText(b *testing.B) {
+	e := New(0)
+	text := "regulators opened an investigation into suspicious transactions processed by the exchange"
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.EmbedText(text)
+	}
+}

@@ -1,0 +1,39 @@
+// Package eval provides the evaluation apparatus of §IV: NDCG@K, the
+// simulated Amazon-Mechanical-Turk evaluator pool that replaces the
+// paper's 78 master-qualified raters, and the simulated financial
+// analysts of the Table-III productivity study.
+package eval
+
+import (
+	"math"
+	"sort"
+)
+
+// DCG returns the discounted cumulative gain of a ranked gain list at
+// cutoff k (log₂ discount, the formulation used with graded relevance).
+func DCG(gains []float64, k int) float64 {
+	if k > len(gains) {
+		k = len(gains)
+	}
+	sum := 0.0
+	for i := 0; i < k; i++ {
+		sum += gains[i] / math.Log2(float64(i)+2)
+	}
+	return sum
+}
+
+// NDCG returns DCG(ranked, k) normalised by the ideal DCG computed from
+// the judged pool (sorted descending). A pool with no positive gain
+// yields 0. ranked is the gain sequence in retrieved order; pool is the
+// full set of judged gains for the query (across all methods), from
+// which the ideal ranking is derived — the standard pooled-judgment
+// convention.
+func NDCG(ranked []float64, pool []float64, k int) float64 {
+	ideal := append([]float64(nil), pool...)
+	sort.Sort(sort.Reverse(sort.Float64Slice(ideal)))
+	idcg := DCG(ideal, k)
+	if idcg == 0 {
+		return 0
+	}
+	return DCG(ranked, k) / idcg
+}

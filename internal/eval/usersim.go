@@ -1,0 +1,256 @@
+package eval
+
+import (
+	"ncexplorer/internal/baselines"
+	"ncexplorer/internal/core"
+	"ncexplorer/internal/corpus"
+	"ncexplorer/internal/kg"
+	"ncexplorer/internal/xrand"
+)
+
+// Task is one investigative inquiry of the Table-III productivity
+// study, e.g. "Find the names of Switzerland banks with reports related
+// to money laundering": a topic concept, a group concept whose members
+// are the sought answers, and the gold answer set derived from the
+// corpus (group members that actually appear in on-topic articles).
+type Task struct {
+	ID      int
+	Name    string
+	Topic   kg.NodeID
+	Group   kg.NodeID
+	Answers map[kg.NodeID]struct{}
+}
+
+// taskSpecs are the investigation templates; BuildTasks keeps those
+// with at least one answer in the generated corpus.
+var taskSpecs = []struct{ topic, group string }{
+	{"Money laundering", "Swiss bank"},
+	{"Fraud", "Bitcoin exchange"},
+	{"Lawsuits", "American technology company"},
+	{"Labor dispute", "Labor union"},
+	{"Elections", "African country"},
+	{"Mergers and acquisitions", "American biotechnology company"},
+	{"Economic sanctions", "Country"},
+	{"Insider trading", "Banking"},
+	{"Illegal logging", "Companies"},
+	{"International trade", "Asian country"},
+}
+
+// BuildTasks derives the study's task list from the corpus gold labels.
+// At most 8 tasks are returned (the paper's count).
+func BuildTasks(g *kg.Graph, c *corpus.Corpus) []Task {
+	var tasks []Task
+	for _, spec := range taskSpecs {
+		topic, ok1 := g.Lookup(spec.topic)
+		group, ok2 := g.Lookup(spec.group)
+		if !ok1 || !ok2 {
+			continue
+		}
+		groupSet := make(map[kg.NodeID]struct{})
+		for _, v := range g.ExtentClosure(group, 0) {
+			groupSet[v] = struct{}{}
+		}
+		answers := make(map[kg.NodeID]struct{})
+		for i := range c.Docs {
+			d := &c.Docs[i]
+			if d.Gold(topic) < 3.5 {
+				continue
+			}
+			for _, e := range d.GoldEntities {
+				if _, ok := groupSet[e]; ok {
+					answers[e] = struct{}{}
+				}
+			}
+		}
+		// A 2-minute study task needs more than a single needle; require
+		// at least two reachable answers.
+		if len(answers) < 2 {
+			continue
+		}
+		tasks = append(tasks, Task{
+			ID:    len(tasks) + 1,
+			Name:  spec.topic + " × " + spec.group,
+			Topic: topic, Group: group,
+			Answers: answers,
+		})
+		if len(tasks) == 8 {
+			break
+		}
+	}
+	return tasks
+}
+
+// AnalystParams model one tool's interaction costs (seconds) and the
+// probability that an analyst reading a relevant article actually
+// extracts an answer entity from it.
+type AnalystParams struct {
+	Budget          float64 // total session seconds (the study used 120)
+	QueryCost       float64 // formulating a query / operation
+	QueryCostStd    float64
+	ScanCost        float64 // reading one result
+	ScanCostStd     float64
+	SkimCost        float64 // re-encountering an already-read result
+	RecognitionProb float64 // extracting an answer from a relevant doc
+	ResultsPerQuery int
+}
+
+// KeywordParams models the incumbent keyword workflow: repeated query
+// reformulation against a keyword list, flat result lists with no
+// entity highlighting (lower extraction probability, slower reads).
+func KeywordParams() AnalystParams {
+	return AnalystParams{
+		Budget: 120, QueryCost: 14, QueryCostStd: 4,
+		ScanCost: 8, ScanCostStd: 2, SkimCost: 1.5,
+		RecognitionProb: 0.6, ResultsPerQuery: 8,
+	}
+}
+
+// NCExplorerParams models the roll-up workflow: one concept-pattern
+// query retrieves a consolidated list whose results are linked to the
+// query concepts ("each linked to entities relevant to the chosen
+// topics, highlighted in color"), so reading is faster and extraction
+// more reliable; drill-down suggestions replace manual reformulation.
+func NCExplorerParams() AnalystParams {
+	return AnalystParams{
+		Budget: 120, QueryCost: 12, QueryCostStd: 3,
+		ScanCost: 5, ScanCostStd: 1.5, SkimCost: 1,
+		RecognitionProb: 0.9, ResultsPerQuery: 20,
+	}
+}
+
+// keywordVariants is the terminology rotation a compliance analyst
+// works through ("compliance teams laboriously maintain extensive lists
+// of financial crime terminology").
+var keywordVariants = []string{
+	"", "investigation", "report", "probe", "case", "scandal",
+	"inquiry", "charges", "allegations",
+}
+
+// SimulateKeywordSession runs one analyst session against the keyword
+// (Lucene) tool and returns the number of distinct correct answers
+// found within the budget.
+func SimulateKeywordSession(r *xrand.Rand, task Task, lucene *baselines.Lucene,
+	c *corpus.Corpus, g *kg.Graph, p AnalystParams) int {
+
+	found := make(map[kg.NodeID]struct{})
+	read := make(map[corpus.DocID]struct{})
+	t := 0.0
+	variant := 0
+	for t < p.Budget {
+		t += clampMin(r.Norm(p.QueryCost, p.QueryCostStd), 4)
+		if t >= p.Budget {
+			break
+		}
+		text := g.Name(task.Topic) + " " + g.Name(task.Group) + " " + keywordVariants[variant%len(keywordVariants)]
+		variant++
+		hits := lucene.Search(baselines.Query{Text: text}, p.ResultsPerQuery)
+		for _, h := range hits {
+			if _, seen := read[h.Doc]; seen {
+				t += p.SkimCost
+				continue
+			}
+			t += clampMin(r.Norm(p.ScanCost, p.ScanCostStd), 2)
+			if t >= p.Budget {
+				break
+			}
+			read[h.Doc] = struct{}{}
+			harvest(r, c.Doc(h.Doc), task, p.RecognitionProb, found)
+		}
+	}
+	return len(found)
+}
+
+// SimulateNCExplorerSession runs one analyst session against the
+// roll-up/drill-down tool.
+func SimulateNCExplorerSession(r *xrand.Rand, task Task, e *core.Engine,
+	c *corpus.Corpus, p AnalystParams) int {
+
+	found := make(map[kg.NodeID]struct{})
+	read := make(map[corpus.DocID]struct{})
+	t := clampMin(r.Norm(p.QueryCost, p.QueryCostStd), 4) // roll-up formulation
+
+	q := core.Query{task.Topic, task.Group}
+	results := e.RollUp(q, p.ResultsPerQuery)
+	scan := func(docs []core.DocResult) {
+		for _, res := range docs {
+			if t >= p.Budget {
+				return
+			}
+			if _, seen := read[res.Doc]; seen {
+				t += p.SkimCost
+				continue
+			}
+			t += clampMin(r.Norm(p.ScanCost, p.ScanCostStd), 1.5)
+			if t >= p.Budget {
+				return
+			}
+			read[res.Doc] = struct{}{}
+			harvest(r, c.Doc(res.Doc), task, p.RecognitionProb, found)
+		}
+	}
+	scan(results)
+
+	// After exhausting the list, the analyst drills into suggested
+	// subtopics instead of re-keywording.
+	if t < p.Budget {
+		subs := e.DrillDown(q, 3)
+		for _, sub := range subs {
+			if t >= p.Budget {
+				break
+			}
+			t += clampMin(r.Norm(8, 2), 3) // choosing a subtopic
+			scan(e.RollUp(append(core.Query{sub.Concept}, q...), p.ResultsPerQuery))
+		}
+	}
+	return len(found)
+}
+
+// harvest extracts answers from a document: each answer entity present
+// in a sufficiently on-topic article is recognised with probability p.
+func harvest(r *xrand.Rand, d *corpus.Document, task Task, prob float64, found map[kg.NodeID]struct{}) {
+	if d.Gold(task.Topic) < 3.0 {
+		return
+	}
+	for _, e := range d.GoldEntities {
+		if _, isAnswer := task.Answers[e]; !isAnswer {
+			continue
+		}
+		if _, have := found[e]; have {
+			continue
+		}
+		if r.Bool(prob) {
+			found[e] = struct{}{}
+		}
+	}
+}
+
+func clampMin(x, lo float64) float64 {
+	if x < lo {
+		return lo
+	}
+	return x
+}
+
+// StudyResult is one task's outcome across the participant group.
+type StudyResult struct {
+	Task     Task
+	Keyword  []float64 // answers per participant
+	Explorer []float64
+}
+
+// RunStudy simulates n participants performing the task with both
+// tools (the paper recruited 10 financial professionals).
+func RunStudy(task Task, n int, seed uint64, lucene *baselines.Lucene,
+	engine *core.Engine, c *corpus.Corpus, g *kg.Graph) StudyResult {
+
+	res := StudyResult{Task: task}
+	for u := 0; u < n; u++ {
+		rk := xrand.Stream(seed^uint64(task.ID)<<32, uint64(u)*2)
+		rn := xrand.Stream(seed^uint64(task.ID)<<32, uint64(u)*2+1)
+		res.Keyword = append(res.Keyword,
+			float64(SimulateKeywordSession(rk, task, lucene, c, g, KeywordParams())))
+		res.Explorer = append(res.Explorer,
+			float64(SimulateNCExplorerSession(rn, task, engine, c, NCExplorerParams())))
+	}
+	return res
+}

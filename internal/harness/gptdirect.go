@@ -1,0 +1,121 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ncexplorer/internal/corpus"
+	"ncexplorer/internal/eval"
+	"ncexplorer/internal/rerank"
+)
+
+// ── Extension: GPT as a direct ranker (§IV-A1, future work) ────────
+//
+// The paper closes its Table-II discussion with: "Whether it is
+// feasible to use GPT directly as a relevance ranker instead of a
+// re-ranker of retrieved results is a topic for our upcoming
+// research." This experiment runs that study in simulation: the judge
+// scores *every* document in the corpus for each topic query and ranks
+// by score alone — no retrieval stage — and is compared against each
+// retrieval method's re-ranked top-10 under the same human ratings.
+//
+// The trade the simulation exposes is inherent, not parameter-tuned: a
+// direct ranker must judge the whole corpus per query (|D| judge calls
+// versus 10 for a re-ranker), and with no retrieval prior, judge noise
+// over thousands of candidates lets borderline documents leak into the
+// top ranks, where pooled human ratings punish them.
+
+// GPTDirectRow compares the direct ranker against a retrieve-then-
+// re-rank pipeline for one topic.
+type GPTDirectRow struct {
+	Topic      string
+	DirectN10  float64 // NDCG@10 of GPT ranking the whole corpus
+	RerankN10  float64 // NDCG@10 of NCExplorer + GPT re-rank
+	JudgeCalls int     // judge invocations for the direct ranker
+}
+
+// GPTDirect runs the future-work study over the six evaluation topics.
+func (w *World) GPTDirect() []GPTDirectRow {
+	var out []GPTDirectRow
+	for ti, topic := range w.Meta.Topics {
+		q := w.TopicQuery(topic)
+		queryKey := uint64(ti+1) * 0x9e3779b97f4a7c15
+		judge := rerank.NewGPTJudge(func(d corpus.DocID) float64 {
+			return w.SemanticGold(topic, d)
+		}, w.Seed^queryKey, w.GPTNoise)
+
+		// Direct ranking: judge every document, keep the top 10.
+		type scored struct {
+			doc   corpus.DocID
+			score float64
+		}
+		all := make([]scored, w.Corpus.Len())
+		for i := range w.Corpus.Docs {
+			d := corpus.DocID(i)
+			all[i] = scored{doc: d, score: judge(d)}
+		}
+		sort.SliceStable(all, func(i, j int) bool { return all[i].score > all[j].score })
+		direct := make([]corpus.DocID, 10)
+		for i := range direct {
+			direct[i] = all[i].doc
+		}
+
+		// Retrieval + re-rank baseline: NCExplorer top-10 through the
+		// same judge.
+		var retrieved []corpus.DocID
+		for _, res := range w.Searchers[len(w.Searchers)-1].Search(q, 10) {
+			retrieved = append(retrieved, res.Doc)
+		}
+		reranked := rerank.Rerank(retrieved, judge)
+
+		// Human ratings over the pooled judged docs.
+		pool := map[corpus.DocID]float64{}
+		var order []corpus.DocID
+		for _, d := range append(append([]corpus.DocID{}, direct...), reranked...) {
+			if _, ok := pool[d]; !ok {
+				pool[d] = -1
+				order = append(order, d)
+			}
+		}
+		maxBM := 0.0
+		surf := map[corpus.DocID]float64{}
+		for _, d := range order {
+			surf[d] = w.Lucene.Score(q.Text, d)
+			if surf[d] > maxBM {
+				maxBM = surf[d]
+			}
+		}
+		for _, d := range order {
+			s := surf[d]
+			if maxBM > 0 {
+				s /= maxBM
+			}
+			pool[d] = w.Pool.Rate(queryKey^0xD17EC7, d, w.SemanticGold(topic, d), s)
+		}
+		poolGains := make([]float64, 0, len(order))
+		for _, d := range order {
+			poolGains = append(poolGains, pool[d])
+		}
+		out = append(out, GPTDirectRow{
+			Topic:      topic.Name,
+			DirectN10:  eval.NDCG(gains(direct, pool), poolGains, 10),
+			RerankN10:  eval.NDCG(gains(reranked, pool), poolGains, 10),
+			JudgeCalls: w.Corpus.Len(),
+		})
+	}
+	return out
+}
+
+// FormatGPTDirect renders the future-work comparison.
+func FormatGPTDirect(rows []GPTDirectRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-26s %14s %16s %12s\n",
+		"Topic", "direct NDCG@10", "rerank NDCG@10", "judge calls")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-26s %14.3f %16.3f %12d\n",
+			r.Topic, r.DirectN10, r.RerankN10, r.JudgeCalls)
+	}
+	fmt.Fprintf(&b, "(re-ranking needs 10 judge calls per query)\n")
+	return b.String()
+}

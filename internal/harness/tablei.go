@@ -1,0 +1,246 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"ncexplorer/internal/corpus"
+	"ncexplorer/internal/eval"
+	"ncexplorer/internal/rerank"
+	"ncexplorer/internal/xrand"
+)
+
+// ── E0: dataset statistics (§IV Datasets table) ─────────────────────
+
+// DatasetRow mirrors one row of the paper's dataset table.
+type DatasetRow struct {
+	Source         string
+	Articles       int
+	TotalMentions  int
+	LinkedMentions int
+	LinkedRatio    float64
+}
+
+// DatasetStats reports per-source corpus statistics as measured by the
+// engine's NLP pipeline.
+func (w *World) DatasetStats() []DatasetRow {
+	st := w.Engine.Stats()
+	var rows []DatasetRow
+	for _, src := range corpus.Sources {
+		ss := st.PerSource[src]
+		rows = append(rows, DatasetRow{
+			Source:         src.String(),
+			Articles:       ss.Articles,
+			TotalMentions:  ss.TotalMentions,
+			LinkedMentions: ss.LinkedMentions,
+			LinkedRatio:    ss.LinkedRatio(),
+		})
+	}
+	return rows
+}
+
+// FormatDatasetStats renders the dataset table.
+func FormatDatasetStats(rows []DatasetRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s %10s %16s %16s %9s\n",
+		"News Source", "Articles", "Total Entities", "Linked Entities", "Linked%")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-14s %10d %16d %16d %8.1f%%\n",
+			r.Source, r.Articles, r.TotalMentions, r.LinkedMentions, r.LinkedRatio*100)
+	}
+	return b.String()
+}
+
+// ── E1: Table I — NDCG@K with and without GPT re-ranking ───────────
+
+// NDCGCell holds one method×K cell: NDCG without / with the GPT
+// re-rank.
+type NDCGCell struct {
+	Without float64
+	With    float64
+}
+
+// TableIRow is one method's cells for a topic.
+type TableIRow struct {
+	Method string
+	ByK    map[int]NDCGCell
+}
+
+// TableITopic is one of the six evaluation topics.
+type TableITopic struct {
+	Topic  string
+	Domain string
+	Rows   []TableIRow
+}
+
+// KCuts are the NDCG cutoffs of Table I.
+var KCuts = []int{1, 5, 10}
+
+// TableI reproduces Table I: for each topic, every method retrieves
+// its top-10; the pooled results are rated by the simulated evaluator
+// pool; NDCG@{1,5,10} is computed for each method's ranking before and
+// after re-ranking by the simulated GPT judge.
+func (w *World) TableI() []TableITopic {
+	var out []TableITopic
+	for ti, topic := range w.Meta.Topics {
+		q := w.TopicQuery(topic)
+		queryKey := uint64(ti+1) * 0x9e3779b97f4a7c15
+
+		// Retrieve, then rate the pooled union.
+		retrieved := make(map[string][]corpus.DocID)
+		judged := make(map[corpus.DocID]float64) // human rating
+		var order []corpus.DocID                 // deterministic pooling order
+		for _, s := range w.Searchers {
+			var docs []corpus.DocID
+			for _, res := range s.Search(q, 10) {
+				docs = append(docs, res.Doc)
+				if _, ok := judged[res.Doc]; !ok {
+					judged[res.Doc] = -1
+					order = append(order, res.Doc)
+				}
+			}
+			retrieved[s.Name()] = docs
+		}
+		// Surface signal: BM25 of the query text, normalised over the
+		// judged pool.
+		surf := make(map[corpus.DocID]float64, len(order))
+		maxBM := 0.0
+		for _, d := range order {
+			s := w.Lucene.Score(q.Text, d)
+			surf[d] = s
+			if s > maxBM {
+				maxBM = s
+			}
+		}
+		for _, d := range order {
+			s := surf[d]
+			if maxBM > 0 {
+				s /= maxBM
+			}
+			judged[d] = w.Pool.Rate(queryKey, d, w.SemanticGold(topic, d), s)
+		}
+
+		poolGains := make([]float64, 0, len(order))
+		for _, d := range order {
+			poolGains = append(poolGains, judged[d])
+		}
+
+		judge := rerank.NewGPTJudge(func(d corpus.DocID) float64 {
+			return w.SemanticGold(topic, d)
+		}, w.Seed^queryKey, w.GPTNoise)
+
+		tt := TableITopic{Topic: topic.Name, Domain: topic.Domain}
+		for _, name := range MethodOrder {
+			docs := retrieved[name]
+			row := TableIRow{Method: name, ByK: map[int]NDCGCell{}}
+			reranked := rerank.Rerank(docs, judge)
+			for _, k := range KCuts {
+				row.ByK[k] = NDCGCell{
+					Without: eval.NDCG(gains(docs, judged), poolGains, k),
+					With:    eval.NDCG(gains(reranked, judged), poolGains, k),
+				}
+			}
+			tt.Rows = append(tt.Rows, row)
+		}
+		out = append(out, tt)
+	}
+	return out
+}
+
+func gains(docs []corpus.DocID, judged map[corpus.DocID]float64) []float64 {
+	out := make([]float64, len(docs))
+	for i, d := range docs {
+		out[i] = judged[d]
+	}
+	return out
+}
+
+// FormatTableI renders Table I.
+func FormatTableI(topics []TableITopic) string {
+	var b strings.Builder
+	for _, tt := range topics {
+		fmt.Fprintf(&b, "Topic: %s  (%s)\n", tt.Topic, tt.Domain)
+		fmt.Fprintf(&b, "  %-14s", "Method")
+		for _, k := range KCuts {
+			fmt.Fprintf(&b, "  NDCG@%-2d wo/w GPT ", k)
+		}
+		b.WriteByte('\n')
+		for _, row := range tt.Rows {
+			fmt.Fprintf(&b, "  %-14s", row.Method)
+			for _, k := range KCuts {
+				c := row.ByK[k]
+				fmt.Fprintf(&b, "  %7.3f / %-7.3f", c.Without, c.With)
+			}
+			b.WriteByte('\n')
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// ── E2: Table II — impact of the GPT re-rank ────────────────────────
+
+// TableIIRow is one method's mean relative NDCG change (percent) from
+// GPT re-ranking, per cutoff, averaged over topics.
+type TableIIRow struct {
+	Method string
+	ByK    map[int]float64
+}
+
+// TableII derives the re-rank impact table from TableI results.
+func TableII(topics []TableITopic) []TableIIRow {
+	sums := map[string]map[int]float64{}
+	counts := map[string]map[int]int{}
+	for _, tt := range topics {
+		for _, row := range tt.Rows {
+			if sums[row.Method] == nil {
+				sums[row.Method] = map[int]float64{}
+				counts[row.Method] = map[int]int{}
+			}
+			for _, k := range KCuts {
+				c := row.ByK[k]
+				if c.Without > 0 {
+					sums[row.Method][k] += (c.With - c.Without) / c.Without * 100
+					counts[row.Method][k]++
+				}
+			}
+		}
+	}
+	var out []TableIIRow
+	for _, name := range MethodOrder {
+		row := TableIIRow{Method: name, ByK: map[int]float64{}}
+		for _, k := range KCuts {
+			if n := counts[name][k]; n > 0 {
+				row.ByK[k] = sums[name][k] / float64(n)
+			}
+		}
+		out = append(out, row)
+	}
+	return out
+}
+
+// FormatTableII renders Table II.
+func FormatTableII(rows []TableIIRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s", "Method")
+	for _, k := range KCuts {
+		fmt.Fprintf(&b, " %9s", fmt.Sprintf("NDCG@%d", k))
+	}
+	b.WriteByte('\n')
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-14s", r.Method)
+		for _, k := range KCuts {
+			fmt.Fprintf(&b, " %+8.2f%%", r.ByK[k])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// QueryRand derives a deterministic RNG for a labelled experiment.
+func (w *World) QueryRand(label uint64) *xrand.Rand {
+	return xrand.Stream(w.Seed, label)
+}
+
+// queryRand is the internal alias of QueryRand.
+func (w *World) queryRand(label uint64) *xrand.Rand { return w.QueryRand(label) }

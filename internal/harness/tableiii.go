@@ -1,0 +1,68 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"ncexplorer/internal/eval"
+	"ncexplorer/internal/stats"
+)
+
+// ── E3: Table III — roll-up & drill-down productivity study ────────
+
+// TableIIIRow is one task's outcome: answers produced within the 2 min
+// budget by keyword search vs NCExplorer (avg/std over n participants)
+// and the one-sided Welch p-value for H1 "NCExplorer > keyword".
+type TableIIIRow struct {
+	TaskID       int
+	Name         string
+	KeywordMean  float64
+	KeywordStd   float64
+	ExplorerMean float64
+	ExplorerStd  float64
+	P            float64
+	N            int
+}
+
+// TableIII runs the simulated analyst study: up to 8 tasks × n
+// participants × both tools (the paper used 10 financial
+// professionals).
+func (w *World) TableIII(participants int) []TableIIIRow {
+	if participants <= 0 {
+		participants = 10
+	}
+	tasks := eval.BuildTasks(w.G, w.Corpus)
+	var out []TableIIIRow
+	for _, task := range tasks {
+		res := eval.RunStudy(task, participants, w.Seed^0x7AB1E3, w.Lucene, w.Engine, w.Corpus, w.G)
+		welch, err := stats.WelchOneSided(res.Explorer, res.Keyword)
+		p := 1.0
+		if err == nil {
+			p = welch.P
+		}
+		out = append(out, TableIIIRow{
+			TaskID:       task.ID,
+			Name:         task.Name,
+			KeywordMean:  stats.Mean(res.Keyword),
+			KeywordStd:   stats.StdDev(res.Keyword),
+			ExplorerMean: stats.Mean(res.Explorer),
+			ExplorerStd:  stats.StdDev(res.Explorer),
+			P:            p,
+			N:            participants,
+		})
+	}
+	return out
+}
+
+// FormatTableIII renders Table III.
+func FormatTableIII(rows []TableIIIRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-4s %-42s %-16s %-16s %10s\n",
+		"Task", "Inquiry", "Keyword (avg/std)", "NCExplorer (avg/std)", "p (H1)")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-4d %-42s %7.1f/%-8.2f %8.1f/%-8.2f %10.4f\n",
+			r.TaskID, r.Name, r.KeywordMean, r.KeywordStd,
+			r.ExplorerMean, r.ExplorerStd, r.P)
+	}
+	return b.String()
+}

@@ -1,0 +1,118 @@
+package kg
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// jsonGraph is the on-disk representation used by Dump/Load. It is a
+// straightforward edge-list format: easy to diff, easy to consume from
+// other tooling, and loadable back through the Builder so all Build-time
+// validation applies.
+type jsonGraph struct {
+	Instances []jsonNode  `json:"instances"`
+	Concepts  []jsonNode  `json:"concepts"`
+	InstEdges [][2]string `json:"instance_edges"`
+	Broader   [][2]string `json:"broader_edges"`
+	Types     [][2]string `json:"type_assertions"`
+}
+
+type jsonNode struct {
+	Name    string   `json:"name"`
+	Aliases []string `json:"aliases,omitempty"`
+}
+
+// Dump writes the graph as JSON to w.
+func (g *Graph) Dump(w io.Writer) error {
+	jg := jsonGraph{}
+	for i, name := range g.names {
+		node := jsonNode{Name: name, Aliases: g.aliases[NodeID(i)]}
+		if g.kinds[i] == KindInstance {
+			jg.Instances = append(jg.Instances, node)
+		} else {
+			jg.Concepts = append(jg.Concepts, node)
+		}
+	}
+	for i := range g.names {
+		u := NodeID(i)
+		if g.kinds[i] == KindInstance {
+			for _, v := range g.InstanceNeighbors(u) {
+				if u < v { // store each undirected edge once
+					jg.InstEdges = append(jg.InstEdges, [2]string{g.names[u], g.names[v]})
+				}
+			}
+			for _, c := range g.ConceptsOf(u) {
+				jg.Types = append(jg.Types, [2]string{g.names[u], g.names[c]})
+			}
+		} else {
+			for _, p := range g.Broader(u) {
+				jg.Broader = append(jg.Broader, [2]string{g.names[u], g.names[p]})
+			}
+		}
+	}
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(&jg); err != nil {
+		return fmt.Errorf("kg: dump: %w", err)
+	}
+	return bw.Flush()
+}
+
+// Load reads a graph previously written by Dump.
+func Load(r io.Reader) (*Graph, error) {
+	var jg jsonGraph
+	dec := json.NewDecoder(bufio.NewReader(r))
+	if err := dec.Decode(&jg); err != nil {
+		return nil, fmt.Errorf("kg: load: %w", err)
+	}
+	b := NewBuilder()
+	for _, n := range jg.Instances {
+		b.AddInstance(n.Name, n.Aliases...)
+	}
+	for _, n := range jg.Concepts {
+		b.AddConcept(n.Name, n.Aliases...)
+	}
+	resolve := func(name, what string) (NodeID, error) {
+		id, ok := b.Lookup(name)
+		if !ok {
+			return InvalidNode, fmt.Errorf("kg: load: %s references unknown node %q", what, name)
+		}
+		return id, nil
+	}
+	for _, e := range jg.InstEdges {
+		u, err := resolve(e[0], "instance edge")
+		if err != nil {
+			return nil, err
+		}
+		v, err := resolve(e[1], "instance edge")
+		if err != nil {
+			return nil, err
+		}
+		b.AddInstanceEdge(u, v)
+	}
+	for _, e := range jg.Broader {
+		c, err := resolve(e[0], "broader edge")
+		if err != nil {
+			return nil, err
+		}
+		p, err := resolve(e[1], "broader edge")
+		if err != nil {
+			return nil, err
+		}
+		b.AddBroader(c, p)
+	}
+	for _, e := range jg.Types {
+		v, err := resolve(e[0], "type assertion")
+		if err != nil {
+			return nil, err
+		}
+		c, err := resolve(e[1], "type assertion")
+		if err != nil {
+			return nil, err
+		}
+		b.AddType(v, c)
+	}
+	return b.Build()
+}

@@ -1,0 +1,384 @@
+package kggen
+
+// The curated backbone embeds the concepts and entities that the paper's
+// narrative and evaluation depend on: the six Table-I topics with their
+// entity groups, the CryptoX/FTX KYC walkthrough of Fig. 1, and the
+// media-ownership scenario of §I. The synthetic generator then grows a
+// DBpedia-scale graph around this backbone, so examples replay the
+// paper's scenarios verbatim while the algorithms run at realistic
+// fan-outs.
+
+// conceptSpec declares one curated concept: its canonical name, its
+// parent in the `broader` hierarchy ("" for the root), and the news
+// domain used by the Fig. 8 ablation split.
+type conceptSpec struct {
+	name   string
+	parent string
+	domain string // "business" | "politics"
+}
+
+// instanceSpec declares one curated instance entity with its alias
+// surface forms, its Ψ⁻¹ concepts, and the named entity groups it
+// belongs to (groups form the Table-I query entity lists).
+type instanceSpec struct {
+	name     string
+	aliases  []string
+	concepts []string
+	groups   []string
+}
+
+// RootConcept is the single ancestor of every curated concept.
+const RootConcept = "Topic"
+
+var curatedConcepts = []conceptSpec{
+	{RootConcept, "", "business"},
+
+	// ── Business domains ────────────────────────────────────────────
+	{"Finance", RootConcept, "business"},
+	{"Financial crime", "Finance", "business"},
+	{"Money laundering", "Financial crime", "business"},
+	{"Fraud", "Financial crime", "business"},
+	{"Securities fraud", "Fraud", "business"},
+	{"Wire fraud", "Fraud", "business"},
+	{"Ponzi scheme", "Fraud", "business"},
+	{"Insider trading", "Financial crime", "business"},
+	{"Terrorist financing", "Financial crime", "business"},
+	{"Sanctions violation", "Financial crime", "business"},
+	{"Banking", "Finance", "business"},
+	{"Private bank", "Banking", "business"},
+	{"Investment bank", "Banking", "business"},
+	{"Swiss bank", "Banking", "business"},
+	{"Central bank", "Banking", "business"},
+	{"Cryptocurrency", "Finance", "business"},
+	{"Bitcoin exchange", "Cryptocurrency", "business"},
+	{"Stablecoin issuer", "Cryptocurrency", "business"},
+	{"Crypto wallet provider", "Cryptocurrency", "business"},
+	{"Financial markets", "Finance", "business"},
+	{"Stock exchange", "Financial markets", "business"},
+	{"Hedge fund", "Financial markets", "business"},
+	{"Payment processor", "Finance", "business"},
+
+	{"Commerce", RootConcept, "business"},
+	{"Mergers and acquisitions", "Commerce", "business"},
+	{"Takeover", "Mergers and acquisitions", "business"},
+	{"Hostile takeover", "Takeover", "business"},
+	{"Merger", "Mergers and acquisitions", "business"},
+	{"Acquisition", "Mergers and acquisitions", "business"},
+	{"International trade", "Commerce", "business"},
+	{"Tariff", "International trade", "business"},
+	{"Trade agreement", "International trade", "business"},
+	{"Export control", "International trade", "business"},
+	{"Trade dispute", "International trade", "business"},
+	{"Supply chain", "Commerce", "business"},
+
+	{"Companies", RootConcept, "business"},
+	{"Technology company", "Companies", "business"},
+	{"American technology company", "Technology company", "business"},
+	{"Social media company", "Technology company", "business"},
+	{"Semiconductor company", "Technology company", "business"},
+	{"Biotechnology company", "Companies", "business"},
+	{"American biotechnology company", "Biotechnology company", "business"},
+	{"Pharmaceutical company", "Companies", "business"},
+	{"Automotive company", "Companies", "business"},
+	{"Airline", "Companies", "business"},
+	{"Retailer", "Companies", "business"},
+	{"Energy company", "Companies", "business"},
+	{"Mining company", "Companies", "business"},
+	{"Logistics company", "Companies", "business"},
+
+	{"Law", RootConcept, "business"},
+	{"Lawsuits", "Law", "business"},
+	{"Class action", "Lawsuits", "business"},
+	{"Antitrust case", "Lawsuits", "business"},
+	{"Patent litigation", "Lawsuits", "business"},
+	{"Consumer protection case", "Lawsuits", "business"},
+	{"Regulator", "Law", "business"},
+	{"Financial regulator", "Regulator", "business"},
+	{"Securities regulator", "Financial regulator", "business"},
+	{"Antitrust authority", "Regulator", "business"},
+	{"Data protection authority", "Regulator", "business"},
+	{"Court", "Law", "business"},
+	{"Regulation", "Law", "business"},
+	{"Compliance", "Regulation", "business"},
+	{"Know your customer", "Compliance", "business"},
+	{"Suspicious activity report", "Compliance", "business"},
+
+	{"Labor", RootConcept, "business"},
+	{"Labor dispute", "Labor", "business"},
+	{"Strike action", "Labor dispute", "business"},
+	{"Lockout", "Labor dispute", "business"},
+	{"Labor union", "Labor", "business"},
+	{"Collective bargaining", "Labor", "business"},
+	{"Working conditions", "Labor", "business"},
+	{"Child labor", "Labor", "business"},
+	{"Forced labor", "Labor", "business"},
+
+	{"Environment", RootConcept, "business"},
+	{"Environmental, social and governance", "Environment", "business"},
+	{"Illegal logging", "Environment", "business"},
+	{"Wildlife trading", "Environment", "business"},
+	{"Carbon emissions", "Environment", "business"},
+
+	{"Media", RootConcept, "business"},
+	{"Newspaper", "Media", "business"},
+	{"Media ownership", "Media", "business"},
+	{"Media bias", "Media", "business"},
+
+	// ── Politics domains ────────────────────────────────────────────
+	{"Politics", RootConcept, "politics"},
+	{"Elections", "Politics", "politics"},
+	{"Presidential election", "Elections", "politics"},
+	{"Parliamentary election", "Elections", "politics"},
+	{"Local election", "Elections", "politics"},
+	{"Electoral fraud", "Elections", "politics"},
+	{"International relations", "Politics", "politics"},
+	{"Diplomacy", "International relations", "politics"},
+	{"Economic sanctions", "International relations", "politics"},
+	{"Treaty", "International relations", "politics"},
+	{"Summit meeting", "International relations", "politics"},
+	{"Border dispute", "International relations", "politics"},
+	{"Government", "Politics", "politics"},
+	{"Legislation", "Government", "politics"},
+	{"Political party", "Politics", "politics"},
+
+	{"Geography", RootConcept, "politics"},
+	{"Country", "Geography", "politics"},
+	{"African country", "Country", "politics"},
+	{"European country", "Country", "politics"},
+	{"Asian country", "Country", "politics"},
+	{"North American country", "Country", "politics"},
+	{"South American country", "Country", "politics"},
+	{"City", "Geography", "politics"},
+
+	{"People", RootConcept, "politics"},
+	{"Business executive", "People", "business"},
+	{"Billionaire", "People", "business"},
+	{"Politician", "People", "politics"},
+	{"Head of state", "Politician", "politics"},
+}
+
+var curatedInstances = []instanceSpec{
+	// Crypto exchanges — the Fig. 1 KYC walkthrough.
+	{"FTX", []string{"FTX Trading"}, []string{"Bitcoin exchange"}, []string{"crypto_exchanges"}},
+	{"CryptoX", nil, []string{"Bitcoin exchange"}, []string{"crypto_exchanges"}},
+	{"Binance", nil, []string{"Bitcoin exchange"}, []string{"crypto_exchanges"}},
+	{"Coinbase", nil, []string{"Bitcoin exchange", "American technology company"}, []string{"crypto_exchanges"}},
+	{"Kraken Exchange", []string{"Kraken"}, []string{"Bitcoin exchange"}, []string{"crypto_exchanges"}},
+	{"Bitfinex", nil, []string{"Bitcoin exchange"}, []string{"crypto_exchanges"}},
+	{"TetherHold", []string{"TetherHold Inc"}, []string{"Stablecoin issuer"}, []string{"crypto_exchanges"}},
+
+	// US technology companies — "Lawsuits involving U.S. technology companies".
+	{"Apex Devices", []string{"Apex"}, []string{"American technology company"}, []string{"us_tech_companies"}},
+	{"Gigalith Systems", []string{"Gigalith"}, []string{"American technology company", "Semiconductor company"}, []string{"us_tech_companies"}},
+	{"Nimbus Cloud", []string{"Nimbus"}, []string{"American technology company"}, []string{"us_tech_companies"}},
+	{"Vertex Social", []string{"Vertex"}, []string{"American technology company", "Social media company"}, []string{"us_tech_companies"}},
+	{"Quantara Labs", []string{"Quantara"}, []string{"American technology company"}, []string{"us_tech_companies"}},
+	{"Orbion Software", []string{"Orbion"}, []string{"American technology company"}, []string{"us_tech_companies"}},
+	{"Heliotek", nil, []string{"American technology company", "Semiconductor company"}, []string{"us_tech_companies"}},
+	{"Twitter", nil, []string{"Social media company", "American technology company"}, []string{"us_tech_companies", "media_outlets"}},
+
+	// US biotechnology companies — the M&A topic.
+	{"Genovira Therapeutics", []string{"Genovira"}, []string{"American biotechnology company"}, []string{"us_biotech_companies"}},
+	{"Celestra Bio", []string{"Celestra"}, []string{"American biotechnology company"}, []string{"us_biotech_companies"}},
+	{"Mirapharm", nil, []string{"American biotechnology company", "Pharmaceutical company"}, []string{"us_biotech_companies"}},
+	{"Axiom Genomics", []string{"Axiom"}, []string{"American biotechnology company"}, []string{"us_biotech_companies"}},
+	{"Beacon Biosciences", []string{"Beacon Bio"}, []string{"American biotechnology company"}, []string{"us_biotech_companies"}},
+	{"Novarra Health", []string{"Novarra"}, []string{"American biotechnology company"}, []string{"us_biotech_companies"}},
+	{"Syntheon", nil, []string{"American biotechnology company"}, []string{"us_biotech_companies"}},
+
+	// Automakers & industrials — labor-dispute stories.
+	{"Meridian Motors", []string{"Meridian"}, []string{"Automotive company"}, []string{"industrial_companies"}},
+	{"Stratos Auto", []string{"Stratos"}, []string{"Automotive company"}, []string{"industrial_companies"}},
+	{"Calder Steel", []string{"Calder"}, []string{"Mining company"}, []string{"industrial_companies"}},
+	{"Pacific Freight", nil, []string{"Logistics company"}, []string{"industrial_companies"}},
+	{"Aerowing", []string{"Aerowing Airlines"}, []string{"Airline"}, []string{"industrial_companies"}},
+	{"Hartmann Retail Group", []string{"Hartmann"}, []string{"Retailer"}, []string{"industrial_companies"}},
+	{"Borealis Energy", []string{"Borealis"}, []string{"Energy company"}, []string{"industrial_companies"}},
+
+	// Unions.
+	{"United Metalworkers Union", []string{"Metalworkers Union"}, []string{"Labor union"}, []string{"unions"}},
+	{"Transport Workers Federation", nil, []string{"Labor union"}, []string{"unions"}},
+	{"Airline Crew Association", nil, []string{"Labor union"}, []string{"unions"}},
+	{"Retail Employees Alliance", nil, []string{"Labor union"}, []string{"unions"}},
+
+	// Banks.
+	{"Helvetia Credit", []string{"Helvetia"}, []string{"Swiss bank", "Private bank"}, []string{"swiss_banks", "banks"}},
+	{"Alpenbank", nil, []string{"Swiss bank"}, []string{"swiss_banks", "banks"}},
+	{"Zurich Mercantile", []string{"Zurich Mercantile Bank"}, []string{"Swiss bank", "Investment bank"}, []string{"swiss_banks", "banks"}},
+	{"Glarus Private Bank", []string{"Glarus"}, []string{"Swiss bank", "Private bank"}, []string{"swiss_banks", "banks"}},
+	{"DBS Bank", []string{"DBS"}, []string{"Investment bank"}, []string{"banks"}},
+	{"Meridian Trust", nil, []string{"Investment bank"}, []string{"banks"}},
+	{"PayPal", nil, []string{"Payment processor", "American technology company"}, []string{"banks"}},
+
+	// Regulators and courts.
+	{"Securities Commission", []string{"SEC"}, []string{"Securities regulator"}, []string{"regulators"}},
+	{"Federal Trade Authority", []string{"FTA"}, []string{"Antitrust authority"}, []string{"regulators"}},
+	{"Financial Conduct Board", []string{"FCB"}, []string{"Financial regulator"}, []string{"regulators"}},
+	{"Monetary Authority", []string{"MAS"}, []string{"Financial regulator", "Central bank"}, []string{"regulators"}},
+	{"Swiss Market Supervisor", []string{"FINSA"}, []string{"Financial regulator"}, []string{"regulators"}},
+	{"Justice Department", []string{"DOJ"}, []string{"Antitrust authority"}, []string{"regulators"}},
+	{"Federal District Court", nil, []string{"Court"}, []string{"regulators"}},
+
+	// Media owners and outlets — the §I media-bias scenario.
+	{"Elon Musk", []string{"Musk"}, []string{"Billionaire", "Business executive"}, []string{"media_owners"}},
+	{"Jeff Bezos", []string{"Bezos"}, []string{"Billionaire", "Business executive"}, []string{"media_owners"}},
+	{"Patrick Soon-Shiong", []string{"Soon-Shiong"}, []string{"Billionaire", "Business executive"}, []string{"media_owners"}},
+	{"Rupert Murdoch", []string{"Murdoch"}, []string{"Billionaire", "Business executive"}, []string{"media_owners"}},
+	{"Washington Post", nil, []string{"Newspaper"}, []string{"media_outlets"}},
+	{"Los Angeles Times", []string{"LA Times"}, []string{"Newspaper"}, []string{"media_outlets"}},
+	{"Wall Street Journal", []string{"WSJ"}, []string{"Newspaper"}, []string{"media_outlets"}},
+
+	// Executives tied to the crypto story.
+	{"Sam Altvater", nil, []string{"Business executive"}, []string{"executives"}},
+	{"Lena Okafor", nil, []string{"Business executive"}, []string{"executives"}},
+	{"Viktor Hale", nil, []string{"Business executive"}, []string{"executives"}},
+
+	// Countries — trade / international-relations topics.
+	{"United States", []string{"US", "USA"}, []string{"North American country"}, []string{"countries"}},
+	{"China", nil, []string{"Asian country"}, []string{"countries"}},
+	{"Germany", nil, []string{"European country"}, []string{"countries"}},
+	{"France", nil, []string{"European country"}, []string{"countries"}},
+	{"Switzerland", nil, []string{"European country"}, []string{"countries"}},
+	{"Japan", nil, []string{"Asian country"}, []string{"countries"}},
+	{"India", nil, []string{"Asian country"}, []string{"countries"}},
+	{"Brazil", nil, []string{"South American country"}, []string{"countries"}},
+	{"Canada", nil, []string{"North American country"}, []string{"countries"}},
+	{"Singapore", nil, []string{"Asian country"}, []string{"countries"}},
+	{"United Kingdom", []string{"UK", "Britain"}, []string{"European country"}, []string{"countries"}},
+	{"Mexico", nil, []string{"North American country"}, []string{"countries"}},
+	{"Australia", nil, []string{"Asian country"}, []string{"countries"}},
+	{"South Korea", nil, []string{"Asian country"}, []string{"countries"}},
+
+	// African countries — "Elections in African countries".
+	{"Nigeria", nil, []string{"African country"}, []string{"countries", "african_countries"}},
+	{"Kenya", nil, []string{"African country"}, []string{"countries", "african_countries"}},
+	{"South Africa", nil, []string{"African country"}, []string{"countries", "african_countries"}},
+	{"Ghana", nil, []string{"African country"}, []string{"countries", "african_countries"}},
+	{"Egypt", nil, []string{"African country"}, []string{"countries", "african_countries"}},
+	{"Ethiopia", nil, []string{"African country"}, []string{"countries", "african_countries"}},
+	{"Senegal", nil, []string{"African country"}, []string{"countries", "african_countries"}},
+	{"Morocco", nil, []string{"African country"}, []string{"countries", "african_countries"}},
+
+	// Politicians for election stories.
+	{"Amara Diallo", nil, []string{"Politician", "Head of state"}, []string{"politicians"}},
+	{"Kwame Mensah", nil, []string{"Politician"}, []string{"politicians"}},
+	{"Ingrid Halvorsen", nil, []string{"Politician", "Head of state"}, []string{"politicians"}},
+	{"Rajan Mehta", nil, []string{"Politician"}, []string{"politicians"}},
+	{"Elena Vasquez", nil, []string{"Politician", "Head of state"}, []string{"politicians"}},
+	{"Tunde Adebayo", nil, []string{"Politician"}, []string{"politicians"}},
+}
+
+// curatedEdges wires the backbone's fact network: competitor links,
+// ownership, oversight, and geography, so the connectivity score has
+// meaningful short paths between query concepts and context entities.
+var curatedEdges = [][2]string{
+	// Crypto exchange competitive cluster + oversight.
+	{"FTX", "Binance"}, {"FTX", "Coinbase"}, {"Binance", "Coinbase"},
+	{"CryptoX", "FTX"}, {"CryptoX", "Binance"}, {"Kraken Exchange", "Coinbase"},
+	{"Bitfinex", "TetherHold"}, {"Bitfinex", "Binance"},
+	{"FTX", "Sam Altvater"}, {"CryptoX", "Lena Okafor"}, {"TetherHold", "Viktor Hale"},
+	{"Securities Commission", "FTX"}, {"Securities Commission", "Coinbase"},
+	{"Securities Commission", "Binance"}, {"Financial Conduct Board", "Bitfinex"},
+	{"Monetary Authority", "CryptoX"}, {"Monetary Authority", "DBS Bank"},
+	{"Justice Department", "FTX"},
+
+	// Banks, geography, and oversight.
+	{"Helvetia Credit", "Switzerland"}, {"Alpenbank", "Switzerland"},
+	{"Zurich Mercantile", "Switzerland"}, {"Glarus Private Bank", "Switzerland"},
+	{"Swiss Market Supervisor", "Helvetia Credit"}, {"Swiss Market Supervisor", "Alpenbank"},
+	{"Swiss Market Supervisor", "Zurich Mercantile"},
+	{"DBS Bank", "Singapore"}, {"Monetary Authority", "Singapore"},
+	{"PayPal", "United States"}, {"Helvetia Credit", "Zurich Mercantile"},
+
+	// Tech sector: rivals, courts, regulators.
+	{"Apex Devices", "Gigalith Systems"}, {"Apex Devices", "Nimbus Cloud"},
+	{"Vertex Social", "Twitter"}, {"Nimbus Cloud", "Orbion Software"},
+	{"Quantara Labs", "Heliotek"}, {"Gigalith Systems", "Heliotek"},
+	{"Federal Trade Authority", "Apex Devices"}, {"Federal Trade Authority", "Nimbus Cloud"},
+	{"Justice Department", "Gigalith Systems"}, {"Federal District Court", "Apex Devices"},
+	{"Federal District Court", "Vertex Social"},
+	{"Apex Devices", "United States"}, {"Gigalith Systems", "United States"},
+	{"Nimbus Cloud", "United States"}, {"Vertex Social", "United States"},
+	{"Quantara Labs", "United States"}, {"Orbion Software", "United States"},
+	{"Heliotek", "United States"}, {"Twitter", "United States"},
+
+	// Biotech M&A web.
+	{"Genovira Therapeutics", "Celestra Bio"}, {"Mirapharm", "Axiom Genomics"},
+	{"Beacon Biosciences", "Novarra Health"}, {"Syntheon", "Genovira Therapeutics"},
+	{"Mirapharm", "United States"}, {"Genovira Therapeutics", "United States"},
+	{"Celestra Bio", "United States"}, {"Axiom Genomics", "United States"},
+	{"Beacon Biosciences", "United States"}, {"Novarra Health", "United States"},
+	{"Syntheon", "United States"}, {"Securities Commission", "Mirapharm"},
+
+	// Labor relations.
+	{"Meridian Motors", "United Metalworkers Union"},
+	{"Stratos Auto", "United Metalworkers Union"},
+	{"Calder Steel", "United Metalworkers Union"},
+	{"Pacific Freight", "Transport Workers Federation"},
+	{"Aerowing", "Airline Crew Association"},
+	{"Hartmann Retail Group", "Retail Employees Alliance"},
+	{"Meridian Motors", "Germany"}, {"Stratos Auto", "United States"},
+	{"Calder Steel", "United States"}, {"Pacific Freight", "Singapore"},
+	{"Aerowing", "France"}, {"Hartmann Retail Group", "Germany"},
+	{"Borealis Energy", "Canada"},
+
+	// Media ownership network (§I scenario).
+	{"Elon Musk", "Twitter"}, {"Jeff Bezos", "Washington Post"},
+	{"Patrick Soon-Shiong", "Los Angeles Times"}, {"Rupert Murdoch", "Wall Street Journal"},
+	{"Elon Musk", "United States"}, {"Jeff Bezos", "United States"},
+
+	// Politicians and their countries.
+	{"Amara Diallo", "Senegal"}, {"Kwame Mensah", "Ghana"},
+	{"Tunde Adebayo", "Nigeria"}, {"Ingrid Halvorsen", "Germany"},
+	{"Rajan Mehta", "India"}, {"Elena Vasquez", "Mexico"},
+
+	// Trade geography: major partners.
+	{"United States", "China"}, {"United States", "Canada"}, {"United States", "Mexico"},
+	{"China", "Japan"}, {"China", "Germany"}, {"Germany", "France"},
+	{"United Kingdom", "France"}, {"Japan", "South Korea"}, {"India", "United States"},
+	{"Brazil", "China"}, {"Australia", "China"}, {"Nigeria", "China"},
+	{"Kenya", "United Kingdom"}, {"South Africa", "Germany"}, {"Egypt", "France"},
+	{"Ethiopia", "China"}, {"Ghana", "United States"}, {"Morocco", "France"},
+	{"Senegal", "France"}, {"Singapore", "United States"}, {"Switzerland", "Germany"},
+}
+
+// TopicSpec describes one Table-I evaluation topic: the concept queried,
+// the entity group combined with it (e.g. "Elections in African
+// countries"), and its Fig. 8 domain.
+type TopicSpec struct {
+	Name      string
+	Concept   string // curated concept name
+	GroupName string // curated group key
+	Domain    string // "business" | "politics"
+}
+
+// groupConcepts maps each entity-group key to the curated concept that
+// generalises its members. Table-I queries are concept-pattern queries
+// Q = {topic concept, group concept}: "Elections in African countries"
+// becomes {Elections, African country}.
+var groupConcepts = map[string]string{
+	"countries":            "Country",
+	"african_countries":    "African country",
+	"us_tech_companies":    "American technology company",
+	"us_biotech_companies": "American biotechnology company",
+	"industrial_companies": "Companies",
+	"swiss_banks":          "Swiss bank",
+	"banks":                "Banking",
+	"crypto_exchanges":     "Bitcoin exchange",
+	"media_owners":         "Billionaire",
+	"media_outlets":        "Newspaper",
+	"unions":               "Labor union",
+	"regulators":           "Regulator",
+	"politicians":          "Politician",
+	"executives":           "Business executive",
+}
+
+// EvaluationTopics mirrors Table I's six topics.
+var EvaluationTopics = []TopicSpec{
+	{"International Trade", "International trade", "countries", "business"},
+	{"Lawsuits", "Lawsuits", "us_tech_companies", "business"},
+	{"Elections", "Elections", "african_countries", "politics"},
+	{"Mergers & Acquisitions", "Mergers and acquisitions", "us_biotech_companies", "business"},
+	{"International Relations", "International relations", "countries", "politics"},
+	{"Labor Dispute", "Labor dispute", "industrial_companies", "business"},
+}

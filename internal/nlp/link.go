@@ -1,0 +1,313 @@
+package nlp
+
+import (
+	"math"
+	"sort"
+
+	"ncexplorer/internal/kg"
+)
+
+// Mention is one linked entity occurrence in a document.
+type Mention struct {
+	Entity     kg.NodeID
+	Surface    string  // matched surface text
+	TokenStart int     // token index, inclusive
+	TokenEnd   int     // token index, exclusive
+	Confidence float64 // linker score in (0, 1]
+}
+
+// Annotation is the NLP pipeline output for one document: the token
+// stream, linked entity mentions, the count of recognised-but-unlinked
+// mention spans (surface forms with no KG entry — the paper's dataset
+// table reports exactly this linked/total split), and index terms.
+type Annotation struct {
+	Tokens     []Token
+	Mentions   []Mention
+	Unlinked   int
+	TermFreq   map[string]int
+	EntityFreq map[kg.NodeID]int
+}
+
+// TotalMentions returns linked + unlinked recognised entity mentions.
+func (a *Annotation) TotalMentions() int { return len(a.Mentions) + a.Unlinked }
+
+// Entities returns the distinct linked entities in first-mention order.
+func (a *Annotation) Entities() []kg.NodeID {
+	seen := make(map[kg.NodeID]struct{}, len(a.Mentions))
+	var out []kg.NodeID
+	for _, m := range a.Mentions {
+		if _, ok := seen[m.Entity]; !ok {
+			seen[m.Entity] = struct{}{}
+			out = append(out, m.Entity)
+		}
+	}
+	return out
+}
+
+// trieNode is one node of the surface-form token trie.
+type trieNode struct {
+	children   map[string]*trieNode
+	candidates []kg.NodeID // entities whose surface form ends here
+}
+
+// Gazetteer recognises KG entity surface forms in token streams by
+// longest match over a token trie (canonical names plus aliases).
+type Gazetteer struct {
+	root *trieNode
+	g    *kg.Graph
+}
+
+// NewGazetteer indexes every instance entity's canonical name and
+// aliases. Concepts are not indexed: documents mention instances; the
+// ontology layer is reached through Ψ at scoring time.
+func NewGazetteer(g *kg.Graph) *Gazetteer {
+	gz := &Gazetteer{root: &trieNode{children: map[string]*trieNode{}}, g: g}
+	g.Instances(func(v kg.NodeID) bool {
+		gz.insert(g.Name(v), v)
+		for _, alias := range g.Aliases(v) {
+			gz.insert(alias, v)
+		}
+		return true
+	})
+	return gz
+}
+
+func (gz *Gazetteer) insert(surface string, v kg.NodeID) {
+	toks := Tokenize(surface)
+	if len(toks) == 0 {
+		return
+	}
+	cur := gz.root
+	for _, t := range toks {
+		key := Normalize(t.Text)
+		next, ok := cur.children[key]
+		if !ok {
+			next = &trieNode{children: map[string]*trieNode{}}
+			cur.children[key] = next
+		}
+		cur = next
+	}
+	for _, c := range cur.candidates {
+		if c == v {
+			return
+		}
+	}
+	cur.candidates = append(cur.candidates, v)
+}
+
+// span is a candidate mention: token range plus possible entities.
+type span struct {
+	start, end int
+	candidates []kg.NodeID
+}
+
+// findSpans scans tokens left to right, emitting the longest gazetteer
+// match starting at each position (greedy longest-match, the standard
+// dictionary-NER strategy). Matched regions do not overlap.
+func (gz *Gazetteer) findSpans(tokens []Token) []span {
+	var out []span
+	i := 0
+	for i < len(tokens) {
+		cur := gz.root
+		bestEnd := -1
+		var bestCands []kg.NodeID
+		for j := i; j < len(tokens); j++ {
+			next, ok := cur.children[Normalize(tokens[j].Text)]
+			if !ok {
+				break
+			}
+			cur = next
+			if len(cur.candidates) > 0 {
+				bestEnd = j + 1
+				bestCands = cur.candidates
+			}
+		}
+		if bestEnd > 0 {
+			out = append(out, span{start: i, end: bestEnd, candidates: bestCands})
+			i = bestEnd
+			continue
+		}
+		i++
+	}
+	return out
+}
+
+// Linker turns raw text into an Annotation. Disambiguation runs in two
+// passes: unambiguous mentions establish a context entity set, then
+// ambiguous mentions are resolved by KG-edge coherence with that
+// context plus a log-degree popularity prior.
+type Linker struct {
+	g  *kg.Graph
+	gz *Gazetteer
+}
+
+// NewLinker builds a linker (and its gazetteer) for the graph.
+func NewLinker(g *kg.Graph) *Linker {
+	return &Linker{g: g, gz: NewGazetteer(g)}
+}
+
+// Gazetteer exposes the underlying recogniser (used by baselines that
+// need raw candidate spans).
+func (l *Linker) Gazetteer() *Gazetteer { return l.gz }
+
+// Annotate runs the full pipeline on text.
+func (l *Linker) Annotate(text string) *Annotation {
+	tokens := Tokenize(text)
+	spans := l.gz.findSpans(tokens)
+
+	// Pass 1: fix unambiguous mentions as context.
+	context := make(map[kg.NodeID]struct{})
+	for _, sp := range spans {
+		if len(sp.candidates) == 1 {
+			context[sp.candidates[0]] = struct{}{}
+		}
+	}
+
+	ann := &Annotation{
+		Tokens:     tokens,
+		TermFreq:   make(map[string]int),
+		EntityFreq: make(map[kg.NodeID]int),
+	}
+
+	// Pass 2: resolve every span.
+	covered := make([]bool, len(tokens))
+	for _, sp := range spans {
+		entity, conf := l.disambiguate(sp, context)
+		surface := joinTokens(tokens[sp.start:sp.end])
+		ann.Mentions = append(ann.Mentions, Mention{
+			Entity: entity, Surface: surface,
+			TokenStart: sp.start, TokenEnd: sp.end,
+			Confidence: conf,
+		})
+		ann.EntityFreq[entity]++
+		context[entity] = struct{}{}
+		for i := sp.start; i < sp.end; i++ {
+			covered[i] = true
+		}
+	}
+
+	// Unlinked mention spans: maximal runs of capitalised alpha tokens
+	// outside linked regions — surface forms a statistical NER would
+	// flag but that have no KG entry.
+	i := 0
+	for i < len(tokens) {
+		if covered[i] || !tokens[i].Upper || IsStopword(Normalize(tokens[i].Text)) {
+			i++
+			continue
+		}
+		j := i
+		for j < len(tokens) && tokens[j].Upper && !covered[j] {
+			j++
+		}
+		// A single sentence-leading capitalised word is usually just a
+		// sentence start; require either length ≥ 2 or a non-initial
+		// position to count it as an entity mention.
+		if j-i >= 2 || (i > 0 && !isSentenceStart(tokens, i, ann)) {
+			ann.Unlinked++
+		}
+		i = j
+	}
+
+	// Index terms.
+	for _, tok := range tokens {
+		norm := Normalize(tok.Text)
+		if IsStopword(norm) || len(norm) < 2 {
+			continue
+		}
+		ann.TermFreq[Stem(norm)]++
+	}
+	return ann
+}
+
+// isSentenceStart approximates "token i begins a sentence" by checking
+// whether the preceding token ends with a sentence delimiter in the gap.
+func isSentenceStart(tokens []Token, i int, _ *Annotation) bool {
+	if i == 0 {
+		return true
+	}
+	// If there is no previous token the tokenizer stripped punctuation;
+	// conservatively treat a large gap as a boundary.
+	return tokens[i].Start-tokens[i-1].End >= 2
+}
+
+func (l *Linker) disambiguate(sp span, context map[kg.NodeID]struct{}) (kg.NodeID, float64) {
+	if len(sp.candidates) == 1 {
+		return sp.candidates[0], 1
+	}
+	type scored struct {
+		id    kg.NodeID
+		score float64
+	}
+	best := scored{id: sp.candidates[0], score: math.Inf(-1)}
+	total := 0.0
+	for _, cand := range sp.candidates {
+		coherence := 0.0
+		for _, nb := range l.g.InstanceNeighbors(cand) {
+			if _, ok := context[nb]; ok {
+				coherence++
+			}
+		}
+		prior := math.Log1p(float64(l.g.InstanceDegree(cand)))
+		s := coherence*2 + prior
+		total += s
+		if s > best.score {
+			best = scored{cand, s}
+		}
+	}
+	conf := 0.5
+	if total > 0 {
+		conf = best.score / total
+		if conf > 1 {
+			conf = 1
+		}
+	}
+	return best.id, conf
+}
+
+func joinTokens(tokens []Token) string {
+	switch len(tokens) {
+	case 0:
+		return ""
+	case 1:
+		return tokens[0].Text
+	}
+	n := 0
+	for _, t := range tokens {
+		n += len(t.Text) + 1
+	}
+	buf := make([]byte, 0, n)
+	for i, t := range tokens {
+		if i > 0 {
+			buf = append(buf, ' ')
+		}
+		buf = append(buf, t.Text...)
+	}
+	return string(buf)
+}
+
+// TopEntities returns the k most frequent linked entities of an
+// annotation, ties broken by node ID for determinism.
+func (a *Annotation) TopEntities(k int) []kg.NodeID {
+	type ef struct {
+		id kg.NodeID
+		n  int
+	}
+	all := make([]ef, 0, len(a.EntityFreq))
+	for id, n := range a.EntityFreq {
+		all = append(all, ef{id, n})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].n != all[j].n {
+			return all[i].n > all[j].n
+		}
+		return all[i].id < all[j].id
+	})
+	if k > len(all) {
+		k = len(all)
+	}
+	out := make([]kg.NodeID, k)
+	for i := 0; i < k; i++ {
+		out[i] = all[i].id
+	}
+	return out
+}

@@ -1,0 +1,266 @@
+package nlp
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"ncexplorer/internal/kg"
+)
+
+func TestTokenizeBasic(t *testing.T) {
+	toks := Tokenize("FTX filed for bankruptcy in 2022.")
+	want := []string{"FTX", "filed", "for", "bankruptcy", "in", "2022"}
+	if len(toks) != len(want) {
+		t.Fatalf("got %d tokens, want %d: %+v", len(toks), len(want), toks)
+	}
+	for i, w := range want {
+		if toks[i].Text != w {
+			t.Errorf("token %d = %q, want %q", i, toks[i].Text, w)
+		}
+	}
+	if !toks[0].Upper || toks[1].Upper {
+		t.Error("Upper flags wrong")
+	}
+}
+
+func TestTokenizeJoiners(t *testing.T) {
+	toks := Tokenize("Patrick Soon-Shiong didn't sell")
+	if toks[1].Text != "Soon-Shiong" {
+		t.Errorf("hyphen join failed: %q", toks[1].Text)
+	}
+	if toks[2].Text != "didn't" {
+		t.Errorf("apostrophe join failed: %q", toks[2].Text)
+	}
+	// Trailing punctuation must not join.
+	toks = Tokenize("well- known")
+	if len(toks) != 2 || toks[0].Text != "well" {
+		t.Errorf("dangling hyphen mis-tokenized: %+v", toks)
+	}
+}
+
+func TestTokenizeSpans(t *testing.T) {
+	text := "Ålesund is nice"
+	toks := Tokenize(text)
+	if len(toks) != 3 {
+		t.Fatalf("tokens = %+v", toks)
+	}
+	for _, tok := range toks {
+		if text[tok.Start:tok.End] != tok.Text {
+			t.Errorf("span mismatch: %q vs %q", text[tok.Start:tok.End], tok.Text)
+		}
+	}
+}
+
+func TestTokenizeSpanInvariant(t *testing.T) {
+	err := quick.Check(func(s string) bool {
+		for _, tok := range Tokenize(s) {
+			if tok.Start < 0 || tok.End > len(s) || tok.Start >= tok.End {
+				return false
+			}
+			if s[tok.Start:tok.End] != tok.Text {
+				return false
+			}
+		}
+		return true
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSentences(t *testing.T) {
+	text := "Regulators opened a probe. The exchange denied wrongdoing! Shares fell 4.5 percent on Friday."
+	sents := Sentences(text)
+	if len(sents) != 3 {
+		t.Fatalf("sentences = %d: %q", len(sents), sents)
+	}
+	if !strings.HasPrefix(sents[2], "Shares fell 4.5") {
+		t.Errorf("decimal point split a sentence: %q", sents[2])
+	}
+	if got := Sentences(""); len(got) != 0 {
+		t.Errorf("empty input gave %q", got)
+	}
+}
+
+func TestStopwords(t *testing.T) {
+	for _, w := range []string{"the", "and", "of"} {
+		if !IsStopword(w) {
+			t.Errorf("%q should be a stopword", w)
+		}
+	}
+	if IsStopword("fraud") {
+		t.Error("fraud is not a stopword")
+	}
+}
+
+func TestStem(t *testing.T) {
+	cases := map[string]string{
+		"acquisitions": "acquisition",
+		"companies":    "company",
+		"striking":     "strik", // light stemmer: shared stem with "strikes"→"strike" not required
+		"merged":       "merg",
+		"fraud":        "fraud",
+		"classes":      "class",
+		"quickly":      "quick",
+		"us":           "us", // protected suffix
+		"stopped":      "stop",
+	}
+	for in, want := range cases {
+		if got := Stem(in); got != want {
+			t.Errorf("Stem(%q) = %q, want %q", in, got, want)
+		}
+	}
+	// Plural and singular of a regular noun must collide.
+	if Stem("tariffs") != Stem("tariff") {
+		t.Error("tariffs/tariff should share a stem")
+	}
+	if Stem("lawsuits") != Stem("lawsuit") {
+		t.Error("lawsuits/lawsuit should share a stem")
+	}
+}
+
+func TestTerms(t *testing.T) {
+	tf := Terms("The regulator fined the exchange; regulators fined exchanges.")
+	if tf[Stem("regulator")] != 2 {
+		t.Errorf("regulator tf = %d, want 2 (merged by stemming)", tf[Stem("regulator")])
+	}
+	if _, ok := tf["the"]; ok {
+		t.Error("stopword leaked into terms")
+	}
+}
+
+// testGraph builds a small KG for linking tests: two entities share the
+// alias "Apex"; context should pick the right one.
+func testGraph(t testing.TB) *kg.Graph {
+	t.Helper()
+	b := kg.NewBuilder()
+	tech := b.AddConcept("Technology company")
+	bank := b.AddConcept("Bank")
+	apexTech := b.AddInstance("Apex Devices", "Apex")
+	apexBank := b.AddInstance("Apex Financial", "Apex")
+	nimbus := b.AddInstance("Nimbus Cloud", "Nimbus")
+	hsng := b.AddInstance("Helvetia Credit")
+	b.AddType(apexTech, tech)
+	b.AddType(nimbus, tech)
+	b.AddType(apexBank, bank)
+	b.AddType(hsng, bank)
+	b.AddInstanceEdge(apexTech, nimbus)
+	b.AddInstanceEdge(apexBank, hsng)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestGazetteerLongestMatch(t *testing.T) {
+	g := testGraph(t)
+	gz := NewGazetteer(g)
+	toks := Tokenize("Apex Devices sued Nimbus Cloud")
+	spans := gz.findSpans(toks)
+	if len(spans) != 2 {
+		t.Fatalf("spans = %+v", spans)
+	}
+	// "Apex Devices" must win over the shorter alias "Apex".
+	if spans[0].start != 0 || spans[0].end != 2 {
+		t.Errorf("first span = [%d,%d), want [0,2)", spans[0].start, spans[0].end)
+	}
+	if len(spans[0].candidates) != 1 || g.Name(spans[0].candidates[0]) != "Apex Devices" {
+		t.Errorf("first span candidates wrong")
+	}
+}
+
+func TestLinkerDisambiguation(t *testing.T) {
+	g := testGraph(t)
+	l := NewLinker(g)
+
+	// Tech context → tech Apex.
+	ann := l.Annotate("Apex and Nimbus Cloud announced a partnership.")
+	found := map[string]bool{}
+	for _, m := range ann.Mentions {
+		found[g.Name(m.Entity)] = true
+	}
+	if !found["Apex Devices"] {
+		t.Errorf("tech context resolved to %v, want Apex Devices", found)
+	}
+
+	// Banking context → bank Apex.
+	ann = l.Annotate("Apex and Helvetia Credit reported deposits.")
+	found = map[string]bool{}
+	for _, m := range ann.Mentions {
+		found[g.Name(m.Entity)] = true
+	}
+	if !found["Apex Financial"] {
+		t.Errorf("bank context resolved to %v, want Apex Financial", found)
+	}
+}
+
+func TestLinkerCaseInsensitive(t *testing.T) {
+	g := testGraph(t)
+	l := NewLinker(g)
+	ann := l.Annotate("NIMBUS CLOUD shares slid.")
+	if len(ann.Mentions) != 1 || g.Name(ann.Mentions[0].Entity) != "Nimbus Cloud" {
+		t.Fatalf("mentions = %+v", ann.Mentions)
+	}
+	if ann.Mentions[0].Surface != "NIMBUS CLOUD" {
+		t.Errorf("surface = %q", ann.Mentions[0].Surface)
+	}
+}
+
+func TestUnlinkedMentions(t *testing.T) {
+	g := testGraph(t)
+	l := NewLinker(g)
+	// "Brimworth Analytics" is capitalised but not in the KG.
+	ann := l.Annotate("Nimbus Cloud acquired Brimworth Analytics yesterday.")
+	if len(ann.Mentions) != 1 {
+		t.Fatalf("mentions = %+v", ann.Mentions)
+	}
+	if ann.Unlinked != 1 {
+		t.Errorf("unlinked = %d, want 1", ann.Unlinked)
+	}
+	if ann.TotalMentions() != 2 {
+		t.Errorf("total = %d, want 2", ann.TotalMentions())
+	}
+}
+
+func TestEntityFreqAndTopEntities(t *testing.T) {
+	g := testGraph(t)
+	l := NewLinker(g)
+	ann := l.Annotate("Nimbus Cloud grew. Nimbus Cloud hired. Helvetia Credit shrank.")
+	nimbus := g.MustLookup("Nimbus Cloud")
+	if ann.EntityFreq[nimbus] != 2 {
+		t.Errorf("freq = %d, want 2", ann.EntityFreq[nimbus])
+	}
+	top := ann.TopEntities(1)
+	if len(top) != 1 || top[0] != nimbus {
+		t.Errorf("top = %v", top)
+	}
+	ents := ann.Entities()
+	if len(ents) != 2 || ents[0] != nimbus {
+		t.Errorf("entities = %v", ents)
+	}
+}
+
+func TestAnnotateEmptyAndPlain(t *testing.T) {
+	g := testGraph(t)
+	l := NewLinker(g)
+	ann := l.Annotate("")
+	if len(ann.Mentions) != 0 || ann.Unlinked != 0 {
+		t.Errorf("empty annotate: %+v", ann)
+	}
+	ann = l.Annotate("markets were calm on tuesday afternoon")
+	if len(ann.Mentions) != 0 {
+		t.Errorf("plain text produced mentions: %+v", ann.Mentions)
+	}
+}
+
+func BenchmarkAnnotate(b *testing.B) {
+	g := testGraph(b)
+	l := NewLinker(g)
+	text := strings.Repeat("Apex Devices sued Nimbus Cloud over patents while Helvetia Credit watched. ", 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Annotate(text)
+	}
+}

@@ -1,0 +1,198 @@
+// Package nlp is the natural-language substrate of the indexing
+// pipeline (Fig. 3 of the paper): tokenisation, sentence splitting,
+// named-entity recognition and entity linking against the knowledge
+// graph. The paper uses spaCy; this package replaces it with a
+// dictionary (gazetteer) recogniser over a token trie built from KG
+// entity surface forms, plus a two-pass linker that disambiguates with
+// a degree prior and document-level context coherence. That keeps the
+// pipeline position identical — entity linking dominates indexing cost,
+// which Fig. 4 measures — without a neural dependency.
+package nlp
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Token is a single lexical token with its byte span in the source text.
+type Token struct {
+	Text  string
+	Start int // byte offset, inclusive
+	End   int // byte offset, exclusive
+	Alpha bool
+	Upper bool // starts with an upper-case letter
+}
+
+// Tokenize splits text into word tokens. A token is a maximal run of
+// letters and digits; an internal hyphen or apostrophe joins two
+// alphanumeric runs ("Soon-Shiong", "don't").
+func Tokenize(text string) []Token {
+	var tokens []Token
+	runes := []rune(text)
+	// byteAt[i] = byte offset of rune i.
+	byteAt := make([]int, len(runes)+1)
+	off := 0
+	for i, r := range runes {
+		byteAt[i] = off
+		off += runeLen(r)
+	}
+	byteAt[len(runes)] = off
+
+	isWord := func(r rune) bool { return unicode.IsLetter(r) || unicode.IsDigit(r) }
+	i := 0
+	for i < len(runes) {
+		if !isWord(runes[i]) {
+			i++
+			continue
+		}
+		start := i
+		for i < len(runes) {
+			if isWord(runes[i]) {
+				i++
+				continue
+			}
+			// Joiner if surrounded by word runes.
+			if (runes[i] == '-' || runes[i] == '\'') &&
+				i+1 < len(runes) && isWord(runes[i+1]) {
+				i += 2
+				continue
+			}
+			break
+		}
+		txt := string(runes[start:i])
+		tokens = append(tokens, Token{
+			Text:  txt,
+			Start: byteAt[start],
+			End:   byteAt[i],
+			Alpha: true,
+			Upper: unicode.IsUpper(runes[start]),
+		})
+	}
+	return tokens
+}
+
+func runeLen(r rune) int {
+	switch {
+	case r < 0x80:
+		return 1
+	case r < 0x800:
+		return 2
+	case r < 0x10000:
+		return 3
+	default:
+		return 4
+	}
+}
+
+// Sentences splits text into sentences on ./!/? boundaries followed by
+// whitespace and an upper-case letter. It is deliberately simple: the
+// corpus generator produces conventional prose.
+func Sentences(text string) []string {
+	var out []string
+	start := 0
+	runes := []rune(text)
+	for i := 0; i < len(runes); i++ {
+		r := runes[i]
+		if r != '.' && r != '!' && r != '?' {
+			continue
+		}
+		// Look ahead: whitespace then an upper-case rune ⇒ boundary.
+		j := i + 1
+		for j < len(runes) && unicode.IsSpace(runes[j]) {
+			j++
+		}
+		if j > i+1 && j < len(runes) && unicode.IsUpper(runes[j]) {
+			s := strings.TrimSpace(string(runes[start : i+1]))
+			if s != "" {
+				out = append(out, s)
+			}
+			start = j
+			i = j - 1
+		}
+	}
+	if s := strings.TrimSpace(string(runes[start:])); s != "" {
+		out = append(out, s)
+	}
+	return out
+}
+
+// Normalize lower-cases a token for dictionary and index lookups.
+func Normalize(tok string) string { return strings.ToLower(tok) }
+
+var stopwords = map[string]struct{}{}
+
+func init() {
+	for _, w := range strings.Fields(`a an and are as at be been but by for
+		from had has have he her his i if in into is it its of on or
+		s she that the their them they this to was were will with would
+		not no we you your our us him about after also over under more
+		most other some such than then there these those while during
+		before between both each few out up down own same so too very
+		can did do does doing until again once here when where why how
+		all any because said say says new`) {
+		stopwords[w] = struct{}{}
+	}
+}
+
+// IsStopword reports whether the normalized token is a stopword.
+func IsStopword(norm string) bool {
+	_, ok := stopwords[norm]
+	return ok
+}
+
+// Stem applies a light suffix-stripping stemmer (a Porter-style subset)
+// to a normalized token. It exists so that "acquisitions" and
+// "acquisition", or "striking" and "strike", share index terms; full
+// Porter stemming is unnecessary for the generated corpus.
+func Stem(norm string) string {
+	n := len(norm)
+	switch {
+	case n > 4 && strings.HasSuffix(norm, "sses"):
+		return norm[:n-2]
+	case n > 4 && strings.HasSuffix(norm, "ies"):
+		return norm[:n-3] + "y"
+	case n > 5 && strings.HasSuffix(norm, "ing"):
+		stem := norm[:n-3]
+		if hasVowel(stem) {
+			return undouble(stem)
+		}
+	case n > 4 && strings.HasSuffix(norm, "ed"):
+		stem := norm[:n-2]
+		if hasVowel(stem) {
+			return undouble(stem)
+		}
+	case n > 3 && strings.HasSuffix(norm, "s") && !strings.HasSuffix(norm, "ss") && !strings.HasSuffix(norm, "us"):
+		return norm[:n-1]
+	case n > 5 && strings.HasSuffix(norm, "ly"):
+		return norm[:n-2]
+	}
+	return norm
+}
+
+func hasVowel(s string) bool {
+	return strings.ContainsAny(s, "aeiouy")
+}
+
+// undouble collapses a doubled final consonant left by suffix removal
+// ("stopp" → "stop") except for l/s/z which commonly stay doubled.
+func undouble(s string) string {
+	n := len(s)
+	if n >= 2 && s[n-1] == s[n-2] && !strings.ContainsRune("lszaeiou", rune(s[n-1])) {
+		return s[:n-1]
+	}
+	return s
+}
+
+// Terms tokenizes, normalizes, stems and stop-filters text into index
+// terms, returning term frequencies.
+func Terms(text string) map[string]int {
+	tf := make(map[string]int)
+	for _, tok := range Tokenize(text) {
+		norm := Normalize(tok.Text)
+		if IsStopword(norm) || len(norm) < 2 {
+			continue
+		}
+		tf[Stem(norm)]++
+	}
+	return tf
+}

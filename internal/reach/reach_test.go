@@ -1,0 +1,192 @@
+package reach
+
+import (
+	"testing"
+
+	"ncexplorer/internal/kg"
+	"ncexplorer/internal/xrand"
+)
+
+// chain builds a path graph a0—a1—…—a5.
+func chain(t testing.TB, n int) (*kg.Graph, []kg.NodeID) {
+	t.Helper()
+	b := kg.NewBuilder()
+	ids := make([]kg.NodeID, n)
+	for i := range ids {
+		ids[i] = b.AddInstance("a" + string(rune('0'+i)))
+	}
+	for i := 1; i < n; i++ {
+		b.AddInstanceEdge(ids[i-1], ids[i])
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, ids
+}
+
+func TestDistTo(t *testing.T) {
+	g, ids := chain(t, 6)
+	ix := New(g, 3, 0)
+	d := ix.DistTo(ids[0])
+	want := []int16{0, 1, 2, 3, Unreachable, Unreachable}
+	for i, w := range want {
+		if d[ids[i]] != w {
+			t.Errorf("dist(a%d→a0) = %d, want %d", i, d[ids[i]], w)
+		}
+	}
+}
+
+func TestWithin(t *testing.T) {
+	g, ids := chain(t, 6)
+	ix := New(g, 3, 0)
+	cases := []struct {
+		x, v kg.NodeID
+		r    int
+		want bool
+	}{
+		{ids[2], ids[0], 2, true},
+		{ids[2], ids[0], 1, false},
+		{ids[3], ids[0], 3, true},
+		{ids[4], ids[0], 3, false}, // distance 4 > k
+		{ids[4], ids[0], 9, false}, // r clamps to k
+		{ids[0], ids[0], 0, true},
+		{ids[1], ids[0], -1, false},
+	}
+	for _, c := range cases {
+		if got := ix.Within(c.x, c.v, c.r); got != c.want {
+			t.Errorf("Within(%d,%d,%d) = %v, want %v", c.x, c.v, c.r, got, c.want)
+		}
+	}
+}
+
+func TestCacheAndEviction(t *testing.T) {
+	g, ids := chain(t, 6)
+	ix := New(g, 2, 2)
+	ix.DistTo(ids[0])
+	ix.DistTo(ids[1])
+	if ix.CachedTargets() != 2 {
+		t.Fatalf("cached = %d", ix.CachedTargets())
+	}
+	ix.DistTo(ids[2]) // evicts ids[0]
+	if ix.CachedTargets() != 2 {
+		t.Fatalf("cache exceeded cap: %d", ix.CachedTargets())
+	}
+	// Re-querying evicted target still answers correctly.
+	d := ix.DistTo(ids[0])
+	if d[ids[1]] != 1 {
+		t.Fatal("post-eviction rebuild wrong")
+	}
+}
+
+func TestTableStability(t *testing.T) {
+	g, ids := chain(t, 4)
+	ix := New(g, 2, 0)
+	t1 := ix.DistTo(ids[0])
+	t2 := ix.DistTo(ids[0])
+	if &t1[0] != &t2[0] {
+		t.Error("cached table should be shared")
+	}
+}
+
+func TestPrecompute(t *testing.T) {
+	g, ids := chain(t, 5)
+	ix := New(g, 2, 0)
+	bytes := ix.Precompute(ids[:3])
+	if ix.CachedTargets() != 3 {
+		t.Fatalf("cached = %d", ix.CachedTargets())
+	}
+	if bytes != int64(3*g.NumNodes()*2) {
+		t.Fatalf("bytes = %d", bytes)
+	}
+}
+
+func TestDistMatchesBFSOnRandomGraphs(t *testing.T) {
+	for seed := uint64(0); seed < 10; seed++ {
+		r := xrand.New(seed)
+		b := kg.NewBuilder()
+		const n = 30
+		ids := make([]kg.NodeID, n)
+		for i := range ids {
+			ids[i] = b.AddInstance("x" + string(rune('A'+i%26)) + string(rune('0'+i/26)))
+		}
+		for e := 0; e < 50; e++ {
+			b.AddInstanceEdge(ids[r.Intn(n)], ids[r.Intn(n)])
+		}
+		g, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		const k = 3
+		ix := New(g, k, 0)
+		v := ids[r.Intn(n)]
+		d := ix.DistTo(v)
+		ref := bfs(g, v, k)
+		for i, id := range ids {
+			if d[id] != ref[id] {
+				t.Fatalf("seed %d node %d: dist %d, want %d", seed, i, d[id], ref[id])
+			}
+		}
+	}
+}
+
+func bfs(g *kg.Graph, v kg.NodeID, k int) []int16 {
+	d := make([]int16, g.NumNodes())
+	for i := range d {
+		d[i] = Unreachable
+	}
+	d[v] = 0
+	frontier := []kg.NodeID{v}
+	for depth := 1; depth <= k; depth++ {
+		var next []kg.NodeID
+		for _, x := range frontier {
+			for _, y := range g.InstanceNeighbors(x) {
+				if d[y] == Unreachable {
+					d[y] = int16(depth)
+					next = append(next, y)
+				}
+			}
+		}
+		frontier = next
+	}
+	return d
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	g, ids := chain(t, 6)
+	ix := New(g, 3, 2)
+	done := make(chan struct{})
+	for w := 0; w < 8; w++ {
+		go func(w int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 200; i++ {
+				_ = ix.DistTo(ids[(w+i)%len(ids)])
+			}
+		}(w)
+	}
+	for w := 0; w < 8; w++ {
+		<-done
+	}
+}
+
+func BenchmarkDistToCold(b *testing.B) {
+	r := xrand.New(1)
+	bl := kg.NewBuilder()
+	const n = 5000
+	ids := make([]kg.NodeID, n)
+	for i := range ids {
+		ids[i] = bl.AddInstance("n" + string(rune('a'+i%26)) + string(rune('a'+(i/26)%26)) + string(rune('a'+(i/676)%26)))
+	}
+	for e := 0; e < n*4; e++ {
+		bl.AddInstanceEdge(ids[r.Intn(n)], ids[r.Intn(n)])
+	}
+	g, err := bl.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix := New(g, 2, 1)
+		ix.DistTo(ids[i%n])
+	}
+}

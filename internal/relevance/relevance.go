@@ -1,0 +1,257 @@
+// Package relevance implements the paper's concept–document relevance
+// model (§III-A):
+//
+//	cdr(c, d)  = cdro(c, d) · cdrc(c, d)                      (Eq. 2)
+//	cdro(c, d) = log(|V_I| / |Ψ(c)|) · max_{v∈ME(c,d)} tw(v,d) (Eq. 3)
+//	conn(c, d) = Σ_{v∈CE(c,d)} S(c, v) / |CE(c, d)|            (Eq. 4)
+//	cdrc(c, d) = 1 − 1 / (1 + conn(c, d))                      (Eq. 5)
+//
+// where ME(c, d) are the document entities matching c under the
+// ontology relation, CE(c, d) are the remaining (context) entities, and
+// S(c, v) = Σ_{u∈Ψ(c)} Σ_{l≤τ} β^l |paths^⟨l⟩(u, v)| is the weighted
+// path count estimated by internal/rw (or computed exactly by
+// internal/paths for ground truth).
+//
+// Matching follows the paper's broad-concept rule: a concept matches a
+// document through its extent *closure* (its own instances or those of
+// any `narrower` descendant), and the specificity factor falls back to
+// the closure size when the direct extent is empty — the "edge concept
+// among its children" substitution.
+package relevance
+
+import (
+	"ncexplorer/internal/kg"
+	"ncexplorer/internal/paths"
+	"ncexplorer/internal/reach"
+	"ncexplorer/internal/rw"
+	"ncexplorer/internal/topk"
+	"ncexplorer/internal/xrand"
+)
+
+// DocView supplies per-document entity statistics to the scorer. It is
+// implemented by the engine's document store.
+type DocView interface {
+	// Entities returns the distinct linked entities of a document.
+	Entities(doc int32) []kg.NodeID
+	// EntityWeight returns tw(v, d) ∈ [0, 1], the textual importance of
+	// entity v in document d (TF-IDF in the default pipeline).
+	EntityWeight(v kg.NodeID, doc int32) float64
+}
+
+// Options configures a Scorer. Zero values select the paper's defaults.
+type Options struct {
+	// Tau is the hop constraint τ (paper default 2).
+	Tau int
+	// Beta is the path-length damping factor β (paper default 0.5).
+	Beta float64
+	// Samples is the number of random walks per (concept, context
+	// entity) pair (paper default 50).
+	Samples int
+	// MaxContext caps how many context entities are averaged in Eq. 4;
+	// the highest-weighted entities are kept. 0 ⇒ 8.
+	MaxContext int
+	// MaxExtent caps the concept extent used for matching and walking
+	// (closure truncation for enormous concepts). 0 ⇒ 4000.
+	MaxExtent int
+	// Exact forces exact path counting instead of sampling.
+	Exact bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Tau <= 0 {
+		o.Tau = 2
+	}
+	if o.Beta <= 0 {
+		o.Beta = 0.5
+	}
+	if o.Samples <= 0 {
+		o.Samples = 50
+	}
+	if o.MaxContext <= 0 {
+		o.MaxContext = 8
+	}
+	if o.MaxExtent <= 0 {
+		o.MaxExtent = 4000
+	}
+	return o
+}
+
+// Scorer computes cdr and its components. Not safe for concurrent use:
+// it owns walk scratch buffers and memo tables; create one per worker.
+type Scorer struct {
+	g    *kg.Graph
+	view DocView
+	opts Options
+
+	est     *rw.Estimator
+	counter *paths.Counter
+
+	extents map[kg.NodeID]extentEntry
+}
+
+type extentEntry struct {
+	list []kg.NodeID
+	set  map[kg.NodeID]struct{}
+}
+
+// NewScorer builds a scorer. index may be nil (unguided walks); it is
+// ignored when opts.Exact is set.
+func NewScorer(g *kg.Graph, view DocView, index *reach.Index, opts Options) *Scorer {
+	opts = opts.withDefaults()
+	s := &Scorer{
+		g: g, view: view, opts: opts,
+		extents: make(map[kg.NodeID]extentEntry),
+	}
+	if opts.Exact {
+		s.counter = paths.NewCounter(g)
+	} else {
+		s.est = rw.New(g, index, opts.Tau, opts.Beta)
+	}
+	return s
+}
+
+// Options returns the effective (defaulted) options.
+func (s *Scorer) Options() Options { return s.opts }
+
+// Extent returns the matching extent of c — the capped extent closure —
+// as both list and set.
+func (s *Scorer) Extent(c kg.NodeID) ([]kg.NodeID, map[kg.NodeID]struct{}) {
+	if e, ok := s.extents[c]; ok {
+		return e.list, e.set
+	}
+	list := s.g.ExtentClosure(c, 0)
+	if len(list) > s.opts.MaxExtent {
+		list = list[:s.opts.MaxExtent]
+	}
+	set := make(map[kg.NodeID]struct{}, len(list))
+	for _, v := range list {
+		set[v] = struct{}{}
+	}
+	s.extents[c] = extentEntry{list: list, set: set}
+	return list, set
+}
+
+// Matches reports whether document doc contains an entity matching c.
+func (s *Scorer) Matches(c kg.NodeID, doc int32) bool {
+	_, set := s.Extent(c)
+	for _, v := range s.view.Entities(doc) {
+		if _, ok := set[v]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+// Split partitions a document's entities into ME(c, d) and CE(c, d).
+func (s *Scorer) Split(c kg.NodeID, doc int32) (matched, context []kg.NodeID) {
+	_, set := s.Extent(c)
+	for _, v := range s.view.Entities(doc) {
+		if _, ok := set[v]; ok {
+			matched = append(matched, v)
+		} else {
+			context = append(context, v)
+		}
+	}
+	return matched, context
+}
+
+// OntologyRel computes cdro(c, d) (Eq. 3) and returns the pivot entity
+// (the matched entity with the highest term weight). Returns (0,
+// InvalidNode) when the concept does not match the document.
+func (s *Scorer) OntologyRel(c kg.NodeID, doc int32) (float64, kg.NodeID) {
+	matched, _ := s.Split(c, doc)
+	if len(matched) == 0 {
+		return 0, kg.InvalidNode
+	}
+	pivot := kg.InvalidNode
+	best := -1.0
+	for _, v := range matched {
+		if w := s.view.EntityWeight(v, doc); w > best {
+			best = w
+			pivot = v
+		}
+	}
+	return s.g.Specificity(c) * best, pivot
+}
+
+// Conn computes conn(c, d) (Eq. 4). rnd drives the sampling estimator;
+// it is ignored in exact mode. Context entities beyond MaxContext are
+// truncated to the highest-weighted ones (deterministic).
+func (s *Scorer) Conn(c kg.NodeID, doc int32, rnd *xrand.Rand) float64 {
+	_, context := s.Split(c, doc)
+	if len(context) == 0 {
+		return 0
+	}
+	if len(context) > s.opts.MaxContext {
+		coll := topk.New[kg.NodeID](s.opts.MaxContext)
+		for _, v := range context {
+			coll.Push(v, s.view.EntityWeight(v, doc))
+		}
+		context = coll.Values()
+	}
+	ext, _ := s.Extent(c)
+	if len(ext) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range context {
+		sum += s.pairScore(ext, v, rnd)
+	}
+	return sum / float64(len(context))
+}
+
+// PairScore computes S(c, v) — the weighted path count between a
+// concept extent and a single context entity — exactly or by sampling
+// according to the scorer's options (rnd may be nil in exact mode).
+func (s *Scorer) PairScore(ext []kg.NodeID, v kg.NodeID, rnd *xrand.Rand) float64 {
+	return s.pairScore(ext, v, rnd)
+}
+
+// pairScore computes S(c, v) for one context entity.
+func (s *Scorer) pairScore(ext []kg.NodeID, v kg.NodeID, rnd *xrand.Rand) float64 {
+	if s.opts.Exact {
+		total := 0.0
+		for _, u := range ext {
+			total += s.counter.WeightedCount(u, v, s.opts.Tau, s.opts.Beta)
+		}
+		return total
+	}
+	return s.est.EstimateConcept(rnd, ext, v, s.opts.Samples)
+}
+
+// ContextRel computes cdrc(c, d) (Eq. 5), normalising conn to [0, 1).
+func (s *Scorer) ContextRel(c kg.NodeID, doc int32, rnd *xrand.Rand) float64 {
+	return ConnToScore(s.Conn(c, doc, rnd))
+}
+
+// ConnToScore maps a connectivity value to the normalised context
+// relevance: 1 − 1/(1+conn).
+func ConnToScore(conn float64) float64 {
+	if conn < 0 {
+		conn = 0
+	}
+	return 1 - 1/(1+conn)
+}
+
+// CDR computes cdr(c, d) = cdro · cdrc (Eq. 2) and the pivot entity.
+// A concept that does not match the document scores 0.
+func (s *Scorer) CDR(c kg.NodeID, doc int32, rnd *xrand.Rand) (float64, kg.NodeID) {
+	cdro, pivot := s.OntologyRel(c, doc)
+	if cdro <= 0 {
+		return 0, pivot
+	}
+	return cdro * s.ContextRel(c, doc, rnd), pivot
+}
+
+// Rel computes rel(Q, d) = Σ_{c∈Q} cdr(c, d) (Eq. 1) for a document
+// known to match every concept in Q; concepts that do not match
+// contribute 0, so callers enforcing full-match semantics should check
+// Matches first.
+func (s *Scorer) Rel(q []kg.NodeID, doc int32, rnd *xrand.Rand) float64 {
+	total := 0.0
+	for _, c := range q {
+		cdr, _ := s.CDR(c, doc, rnd)
+		total += cdr
+	}
+	return total
+}

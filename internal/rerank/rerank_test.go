@@ -1,0 +1,86 @@
+package rerank
+
+import (
+	"math"
+	"testing"
+
+	"ncexplorer/internal/corpus"
+)
+
+func TestJudgeIsOracleWithoutNoise(t *testing.T) {
+	gold := func(d corpus.DocID) float64 { return float64(d) }
+	j := NewGPTJudge(gold, 1, 0)
+	for d := corpus.DocID(0); d <= 5; d++ {
+		if got := j(d); got != float64(d) {
+			t.Errorf("judge(%d) = %v", d, got)
+		}
+	}
+	// Clamping.
+	j2 := NewGPTJudge(func(corpus.DocID) float64 { return 9 }, 1, 0)
+	if j2(0) != 5 {
+		t.Error("judge should clamp to 5")
+	}
+}
+
+func TestJudgeQuantisesToThreeDecimals(t *testing.T) {
+	j := NewGPTJudge(func(corpus.DocID) float64 { return 2.5 }, 3, 0.4)
+	for d := corpus.DocID(0); d < 50; d++ {
+		s := j(d)
+		if math.Abs(s*1000-math.Round(s*1000)) > 1e-9 {
+			t.Fatalf("score %v not quantised to 3 decimals", s)
+		}
+		if s < 0 || s > 5 {
+			t.Fatalf("score out of range: %v", s)
+		}
+	}
+}
+
+func TestJudgeDeterministicPerSeed(t *testing.T) {
+	gold := func(d corpus.DocID) float64 { return 2 }
+	a := NewGPTJudge(gold, 7, 0.3)
+	b := NewGPTJudge(gold, 7, 0.3)
+	c := NewGPTJudge(gold, 8, 0.3)
+	diff := false
+	for d := corpus.DocID(0); d < 20; d++ {
+		if a(d) != b(d) {
+			t.Fatal("same seed, different scores")
+		}
+		if a(d) != c(d) {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Error("different seeds should usually differ")
+	}
+}
+
+func TestRerankOrdersByJudge(t *testing.T) {
+	docs := []corpus.DocID{10, 11, 12, 13}
+	scores := map[corpus.DocID]float64{10: 1, 11: 4, 12: 2, 13: 4}
+	out := Rerank(docs, func(d corpus.DocID) float64 { return scores[d] })
+	// 11 and 13 tie at 4; stable keeps 11 first.
+	want := []corpus.DocID{11, 13, 12, 10}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("got %v, want %v", out, want)
+		}
+	}
+	// Original slice untouched.
+	if docs[0] != 10 {
+		t.Error("input mutated")
+	}
+}
+
+func TestRerankFixesNoisyRanking(t *testing.T) {
+	// A scrambled list re-ranked by a low-noise judge should put the
+	// best document first.
+	gold := map[corpus.DocID]float64{1: 0.5, 2: 4.8, 3: 2.2, 4: 3.9}
+	j := NewGPTJudge(func(d corpus.DocID) float64 { return gold[d] }, 5, 0.1)
+	out := Rerank([]corpus.DocID{1, 3, 4, 2}, j)
+	if out[0] != 2 {
+		t.Errorf("best doc not first: %v", out)
+	}
+	if out[len(out)-1] != 1 {
+		t.Errorf("worst doc not last: %v", out)
+	}
+}

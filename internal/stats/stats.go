@@ -1,0 +1,178 @@
+// Package stats provides the descriptive statistics and hypothesis
+// testing used by the evaluation: mean/standard deviation for the
+// Table-III columns and Welch's one-sided t-test for its p-values
+// (the paper reports p-values for H1 "NCExplorer finds more answers
+// than keyword search" with n = 10 per group).
+//
+// The t distribution's CDF is computed through the regularised
+// incomplete beta function (continued-fraction expansion), so the
+// package stays stdlib-only.
+package stats
+
+import (
+	"errors"
+	"math"
+)
+
+// Mean returns the arithmetic mean (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// StdDev returns the sample standard deviation (n−1 denominator;
+// 0 for fewer than two values).
+func StdDev(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	sum := 0.0
+	for _, x := range xs {
+		d := x - m
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(n-1))
+}
+
+// Variance returns the sample variance (n−1 denominator).
+func Variance(xs []float64) float64 {
+	s := StdDev(xs)
+	return s * s
+}
+
+// WelchResult reports a Welch's t-test.
+type WelchResult struct {
+	T  float64 // t statistic (positive ⇒ mean(a) > mean(b))
+	DF float64 // Welch–Satterthwaite degrees of freedom
+	P  float64 // one-sided p-value for H1: mean(a) > mean(b)
+}
+
+// WelchOneSided tests H1: mean(a) > mean(b) without assuming equal
+// variances. Requires at least two observations per group.
+func WelchOneSided(a, b []float64) (WelchResult, error) {
+	if len(a) < 2 || len(b) < 2 {
+		return WelchResult{}, errors.New("stats: need ≥2 observations per group")
+	}
+	ma, mb := Mean(a), Mean(b)
+	va, vb := Variance(a), Variance(b)
+	na, nb := float64(len(a)), float64(len(b))
+	se2 := va/na + vb/nb
+	if se2 == 0 {
+		// Degenerate: identical constants. p is 0 or 1 by direction.
+		r := WelchResult{T: math.Inf(1), DF: na + nb - 2}
+		if ma > mb {
+			r.P = 0
+		} else {
+			r.T = math.Inf(-1)
+			r.P = 1
+		}
+		return r, nil
+	}
+	t := (ma - mb) / math.Sqrt(se2)
+	df := se2 * se2 / ((va*va)/(na*na*(na-1)) + (vb*vb)/(nb*nb*(nb-1)))
+	p := 1 - StudentCDF(t, df)
+	return WelchResult{T: t, DF: df, P: p}, nil
+}
+
+// StudentCDF returns P(T ≤ t) for Student's t distribution with df
+// degrees of freedom.
+func StudentCDF(t, df float64) float64 {
+	if df <= 0 {
+		panic("stats: non-positive degrees of freedom")
+	}
+	if math.IsInf(t, 1) {
+		return 1
+	}
+	if math.IsInf(t, -1) {
+		return 0
+	}
+	x := df / (df + t*t)
+	// P(|T| > |t|) = I_x(df/2, 1/2); split by sign.
+	tail := 0.5 * RegIncBeta(df/2, 0.5, x)
+	if t > 0 {
+		return 1 - tail
+	}
+	return tail
+}
+
+// RegIncBeta computes the regularised incomplete beta function
+// I_x(a, b) for a, b > 0 and x ∈ [0, 1] via the continued-fraction
+// expansion (Numerical Recipes' betacf).
+func RegIncBeta(a, b, x float64) float64 {
+	switch {
+	case x <= 0:
+		return 0
+	case x >= 1:
+		return 1
+	}
+	lnBeta := lgamma(a+b) - lgamma(a) - lgamma(b)
+	front := math.Exp(lnBeta + a*math.Log(x) + b*math.Log(1-x))
+	if x < (a+1)/(a+b+2) {
+		return front * betacf(a, b, x) / a
+	}
+	return 1 - front*betacf(b, a, 1-x)/b
+}
+
+func lgamma(x float64) float64 {
+	v, _ := math.Lgamma(x)
+	return v
+}
+
+// betacf evaluates the continued fraction for the incomplete beta
+// function (modified Lentz's method).
+func betacf(a, b, x float64) float64 {
+	const (
+		maxIter = 300
+		eps     = 3e-14
+		fpmin   = 1e-300
+	)
+	qab := a + b
+	qap := a + 1
+	qam := a - 1
+	c := 1.0
+	d := 1 - qab*x/qap
+	if math.Abs(d) < fpmin {
+		d = fpmin
+	}
+	d = 1 / d
+	h := d
+	for m := 1; m <= maxIter; m++ {
+		fm := float64(m)
+		m2 := 2 * fm
+		aa := fm * (b - fm) * x / ((qam + m2) * (a + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		h *= d * c
+		aa = -(a + fm) * (qab + fm) * x / ((a + m2) * (qap + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	return h
+}

@@ -1,0 +1,166 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"ncexplorer/internal/xrand"
+)
+
+func approx(t *testing.T, got, want, tol float64, what string) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s = %v, want %v (±%v)", what, got, want, tol)
+	}
+}
+
+func TestMeanStd(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	approx(t, Mean(xs), 5, 1e-12, "mean")
+	approx(t, StdDev(xs), 2.13809, 1e-4, "stddev")
+	if Mean(nil) != 0 || StdDev([]float64{1}) != 0 {
+		t.Error("degenerate cases wrong")
+	}
+	approx(t, Variance([]float64{1, 3}), 2, 1e-12, "variance")
+}
+
+func TestStudentCDFKnownValues(t *testing.T) {
+	// Reference values from standard t tables.
+	cases := []struct {
+		tval, df, want float64
+	}{
+		{0, 5, 0.5},
+		{1.0, 10, 0.8296},
+		{2.0, 10, 0.9633},
+		{-2.0, 10, 0.0367},
+		{1.812, 10, 0.95},
+		{2.228, 10, 0.975},
+		{2.764, 10, 0.99},
+		{1.645, 1000, 0.9499}, // ≈ normal for large df
+	}
+	for _, c := range cases {
+		approx(t, StudentCDF(c.tval, c.df), c.want, 2e-3, "StudentCDF")
+	}
+}
+
+func TestStudentCDFSymmetry(t *testing.T) {
+	for _, df := range []float64{3, 9, 25} {
+		for _, tv := range []float64{0.3, 1.1, 2.7} {
+			left := StudentCDF(-tv, df)
+			right := StudentCDF(tv, df)
+			approx(t, left+right, 1, 1e-9, "CDF symmetry")
+		}
+	}
+	if StudentCDF(math.Inf(1), 5) != 1 || StudentCDF(math.Inf(-1), 5) != 0 {
+		t.Error("infinite t handling wrong")
+	}
+}
+
+func TestRegIncBetaEdges(t *testing.T) {
+	if RegIncBeta(2, 3, 0) != 0 || RegIncBeta(2, 3, 1) != 1 {
+		t.Error("edge values wrong")
+	}
+	// I_x(1,1) = x (uniform).
+	for _, x := range []float64{0.1, 0.5, 0.9} {
+		approx(t, RegIncBeta(1, 1, x), x, 1e-10, "I_x(1,1)")
+	}
+	// Symmetry: I_x(a,b) = 1 − I_{1−x}(b,a).
+	approx(t, RegIncBeta(2.5, 4, 0.3), 1-RegIncBeta(4, 2.5, 0.7), 1e-10, "beta symmetry")
+}
+
+func TestWelchClearDifference(t *testing.T) {
+	// NCExplorer-like vs keyword-like samples (Table III, task 2 ballpark).
+	a := []float64{4, 5, 3, 4, 6, 4, 3, 5, 4, 2} // mean 4
+	b := []float64{0, 1, 0, 2, 0, 1, 0, 1, 0, 0} // mean 0.5
+	res, err := WelchOneSided(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.T <= 0 {
+		t.Fatalf("t = %v, want positive", res.T)
+	}
+	if res.P > 0.001 {
+		t.Fatalf("p = %v, want < 0.001 for this separation", res.P)
+	}
+	// Reversed direction ⇒ p near 1.
+	rev, _ := WelchOneSided(b, a)
+	if rev.P < 0.999 {
+		t.Fatalf("reversed p = %v, want ≈1", rev.P)
+	}
+}
+
+func TestWelchNoDifference(t *testing.T) {
+	r := xrand.New(1)
+	a := make([]float64, 30)
+	b := make([]float64, 30)
+	for i := range a {
+		a[i] = r.Norm(5, 1)
+		b[i] = r.Norm(5, 1)
+	}
+	res, err := WelchOneSided(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P < 0.01 {
+		t.Fatalf("p = %v for identical distributions (false positive)", res.P)
+	}
+}
+
+func TestWelchMatchesReference(t *testing.T) {
+	// Reference values computed independently by numerically integrating
+	// the t density (Simpson's rule, 2·10⁵ panels): t = 2.949237,
+	// df = 27.3116, one-sided p = 0.003230.
+	a := []float64{27.5, 21.0, 19.0, 23.6, 17.0, 17.9, 16.9, 20.1, 21.9, 22.6, 23.1, 19.6, 19.0, 21.7, 21.4}
+	b := []float64{27.1, 22.0, 20.8, 23.4, 23.4, 23.5, 25.8, 22.0, 24.8, 20.2, 21.9, 22.1, 22.9, 30.5, 31.3}
+	res, err := WelchOneSided(b, a) // b has the larger mean
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, res.T, 2.949237, 1e-5, "t statistic")
+	approx(t, res.DF, 27.3116, 1e-3, "degrees of freedom")
+	approx(t, res.P, 0.003230, 1e-5, "one-sided p")
+}
+
+func TestWelchDegenerate(t *testing.T) {
+	if _, err := WelchOneSided([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("expected error for tiny samples")
+	}
+	res, err := WelchOneSided([]float64{2, 2, 2}, []float64{1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P != 0 {
+		t.Errorf("constant separation p = %v, want 0", res.P)
+	}
+	res, _ = WelchOneSided([]float64{1, 1, 1}, []float64{2, 2, 2})
+	if res.P != 1 {
+		t.Errorf("wrong-direction constant p = %v, want 1", res.P)
+	}
+}
+
+func TestWelchPValueCalibration(t *testing.T) {
+	// Under H0 the one-sided p-value should be roughly uniform: check
+	// the rejection rate at α = 0.1 over many simulated experiments.
+	r := xrand.New(7)
+	reject := 0
+	const trials = 400
+	for trial := 0; trial < trials; trial++ {
+		a := make([]float64, 10)
+		b := make([]float64, 10)
+		for i := range a {
+			a[i] = r.Norm(0, 1)
+			b[i] = r.Norm(0, 1)
+		}
+		res, err := WelchOneSided(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.P < 0.1 {
+			reject++
+		}
+	}
+	rate := float64(reject) / trials
+	if rate < 0.05 || rate > 0.16 {
+		t.Errorf("rejection rate at α=0.1 is %v, want ≈0.10", rate)
+	}
+}

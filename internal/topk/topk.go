@@ -1,0 +1,124 @@
+// Package topk provides a bounded top-k collector used by every ranking
+// component (BM25 search, vector search, roll-up and drill-down). It is
+// a size-k min-heap on score with deterministic tie-breaking: among
+// equal scores, the earliest-pushed item wins. Determinism matters
+// because experiment tables must be byte-stable across runs.
+package topk
+
+import "sort"
+
+// Item is a collected value with its score.
+type Item[T any] struct {
+	Value T
+	Score float64
+	seq   int64
+}
+
+// Collector keeps the k highest-scoring items pushed into it.
+type Collector[T any] struct {
+	k     int
+	next  int64
+	items []Item[T] // min-heap on (score asc, seq desc)
+}
+
+// New returns a collector for the k best items. k must be positive.
+func New[T any](k int) *Collector[T] {
+	if k <= 0 {
+		panic("topk: non-positive k")
+	}
+	return &Collector[T]{k: k, items: make([]Item[T], 0, k)}
+}
+
+// less orders the heap: the item that should be evicted first is the
+// one with the lowest score; among equal scores, the latest-pushed.
+func (c *Collector[T]) less(i, j int) bool {
+	a, b := c.items[i], c.items[j]
+	if a.Score != b.Score {
+		return a.Score < b.Score
+	}
+	return a.seq > b.seq
+}
+
+// Push offers an item; it is retained only if it beats the current kth
+// best (ties favour earlier pushes).
+func (c *Collector[T]) Push(v T, score float64) {
+	it := Item[T]{Value: v, Score: score, seq: c.next}
+	c.next++
+	if len(c.items) < c.k {
+		c.items = append(c.items, it)
+		c.up(len(c.items) - 1)
+		return
+	}
+	root := c.items[0]
+	if score < root.Score || (score == root.Score && it.seq > root.seq) {
+		return
+	}
+	c.items[0] = it
+	c.down(0)
+}
+
+// Len returns the number of retained items (≤ k).
+func (c *Collector[T]) Len() int { return len(c.items) }
+
+// Threshold returns the lowest retained score, or -Inf semantics via
+// ok=false when fewer than k items are retained. Useful for pruning.
+func (c *Collector[T]) Threshold() (float64, bool) {
+	if len(c.items) < c.k {
+		return 0, false
+	}
+	return c.items[0].Score, true
+}
+
+// Sorted returns the retained items in descending score order (ties:
+// earliest push first). The collector remains usable afterwards.
+func (c *Collector[T]) Sorted() []Item[T] {
+	out := make([]Item[T], len(c.items))
+	copy(out, c.items)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].seq < out[j].seq
+	})
+	return out
+}
+
+// Values returns just the values of Sorted().
+func (c *Collector[T]) Values() []T {
+	items := c.Sorted()
+	out := make([]T, len(items))
+	for i, it := range items {
+		out[i] = it.Value
+	}
+	return out
+}
+
+func (c *Collector[T]) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !c.less(i, parent) {
+			break
+		}
+		c.items[i], c.items[parent] = c.items[parent], c.items[i]
+		i = parent
+	}
+}
+
+func (c *Collector[T]) down(i int) {
+	n := len(c.items)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && c.less(l, smallest) {
+			smallest = l
+		}
+		if r < n && c.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		c.items[i], c.items[smallest] = c.items[smallest], c.items[i]
+		i = smallest
+	}
+}

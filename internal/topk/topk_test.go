@@ -1,0 +1,129 @@
+package topk
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"ncexplorer/internal/xrand"
+)
+
+func TestBasicTopK(t *testing.T) {
+	c := New[string](3)
+	c.Push("a", 1)
+	c.Push("b", 5)
+	c.Push("c", 3)
+	c.Push("d", 4)
+	c.Push("e", 0.5)
+	got := c.Values()
+	want := []string{"b", "d", "c"}
+	if len(got) != 3 {
+		t.Fatalf("len = %d", len(got))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestFewerThanK(t *testing.T) {
+	c := New[int](10)
+	c.Push(1, 1)
+	c.Push(2, 2)
+	if c.Len() != 2 {
+		t.Fatalf("len = %d", c.Len())
+	}
+	if _, ok := c.Threshold(); ok {
+		t.Fatal("threshold should be unavailable under k items")
+	}
+	got := c.Values()
+	if got[0] != 2 || got[1] != 1 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestThreshold(t *testing.T) {
+	c := New[int](2)
+	c.Push(1, 10)
+	c.Push(2, 20)
+	th, ok := c.Threshold()
+	if !ok || th != 10 {
+		t.Fatalf("threshold = %v, %v", th, ok)
+	}
+	c.Push(3, 15)
+	th, _ = c.Threshold()
+	if th != 15 {
+		t.Fatalf("threshold after push = %v", th)
+	}
+}
+
+func TestTieBreakEarliestWins(t *testing.T) {
+	c := New[int](2)
+	c.Push(1, 5)
+	c.Push(2, 5)
+	c.Push(3, 5) // same score, must NOT displace earlier items
+	got := c.Values()
+	if got[0] != 1 || got[1] != 2 {
+		t.Fatalf("ties broken wrongly: %v", got)
+	}
+}
+
+func TestPanicsOnBadK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New[int](0)
+}
+
+// Property: Values() equals the k largest of the pushed scores, sorted
+// descending.
+func TestMatchesSortReference(t *testing.T) {
+	err := quick.Check(func(seed uint64, kRaw uint8, nRaw uint8) bool {
+		k := int(kRaw%20) + 1
+		n := int(nRaw) + 1
+		r := xrand.New(seed)
+		c := New[int](k)
+		scores := make([]float64, n)
+		for i := 0; i < n; i++ {
+			scores[i] = float64(r.Intn(50)) // collisions likely
+			c.Push(i, scores[i])
+		}
+		ref := append([]float64(nil), scores...)
+		sort.Sort(sort.Reverse(sort.Float64Slice(ref)))
+		got := c.Sorted()
+		m := k
+		if n < k {
+			m = n
+		}
+		if len(got) != m {
+			return false
+		}
+		for i := 0; i < m; i++ {
+			if got[i].Score != ref[i] {
+				return false
+			}
+		}
+		// Descending order invariant.
+		for i := 1; i < len(got); i++ {
+			if got[i].Score > got[i-1].Score {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkPush(b *testing.B) {
+	r := xrand.New(1)
+	c := New[int](10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Push(i, r.Float64())
+	}
+}

@@ -1,0 +1,179 @@
+// Package vecstore is the in-memory vector search engine standing in
+// for Qdrant in the paper's setup (the BERT and NewsLink-BERT baselines
+// retrieve documents by embedding similarity).
+//
+// Two retrieval paths are provided:
+//
+//   - Store.Search: exact cosine top-k by linear scan — the ground
+//     truth, and fast enough at corpus scale;
+//   - IVF: an inverted-file index (k-means coarse quantiser, nprobe
+//     cells searched) mirroring how production vector engines trade a
+//     little recall for speed. The paper's Fig. 5 discussion ("recent
+//     development on vector databases … Lucene compatible speed") is
+//     reproduced by benchmarking both paths.
+package vecstore
+
+import (
+	"fmt"
+
+	"ncexplorer/internal/embed"
+	"ncexplorer/internal/topk"
+	"ncexplorer/internal/xrand"
+)
+
+// Hit is one vector search result.
+type Hit struct {
+	ID    int32
+	Score float64 // cosine similarity
+}
+
+// Store holds vectors by ID. Vectors should be L2-normalised (the
+// embedder guarantees this); search still computes true cosine.
+type Store struct {
+	dim  int
+	ids  []int32
+	vecs [][]float32
+}
+
+// New returns an empty store for vectors of the given dimensionality.
+func New(dim int) *Store {
+	if dim <= 0 {
+		panic("vecstore: non-positive dimension")
+	}
+	return &Store{dim: dim}
+}
+
+// Len returns the number of stored vectors.
+func (s *Store) Len() int { return len(s.ids) }
+
+// Dim returns the vector dimensionality.
+func (s *Store) Dim() int { return s.dim }
+
+// Add stores a vector under an ID. The vector is not copied.
+func (s *Store) Add(id int32, v []float32) error {
+	if len(v) != s.dim {
+		return fmt.Errorf("vecstore: vector dim %d, want %d", len(v), s.dim)
+	}
+	s.ids = append(s.ids, id)
+	s.vecs = append(s.vecs, v)
+	return nil
+}
+
+// Search returns the k nearest stored vectors by cosine similarity,
+// exactly, in descending score order (ties: insertion order).
+func (s *Store) Search(q []float32, k int) []Hit {
+	if len(q) != s.dim {
+		panic("vecstore: query dimension mismatch")
+	}
+	coll := topk.New[int32](k)
+	for i, v := range s.vecs {
+		coll.Push(s.ids[i], embed.Cosine(q, v))
+	}
+	return toHits(coll)
+}
+
+func toHits(coll *topk.Collector[int32]) []Hit {
+	items := coll.Sorted()
+	out := make([]Hit, len(items))
+	for i, it := range items {
+		out[i] = Hit{ID: it.Value, Score: it.Score}
+	}
+	return out
+}
+
+// IVF is an inverted-file approximate index over a Store snapshot.
+type IVF struct {
+	store     *Store
+	centroids [][]float32
+	lists     [][]int // indexes into store arrays
+}
+
+// BuildIVF clusters the store's vectors into nlist cells with k-means
+// (iters rounds, deterministic given seed) and assigns each vector to
+// its nearest centroid. The store must not grow afterwards.
+func BuildIVF(s *Store, nlist, iters int, seed uint64) *IVF {
+	if nlist <= 0 {
+		panic("vecstore: non-positive nlist")
+	}
+	if nlist > s.Len() {
+		nlist = s.Len()
+	}
+	r := xrand.New(seed)
+	// k-means++ style seeding is unnecessary here; random distinct
+	// starting points are fine for retrieval-quality clustering.
+	perm := r.Perm(s.Len())
+	centroids := make([][]float32, nlist)
+	for i := 0; i < nlist; i++ {
+		centroids[i] = append([]float32(nil), s.vecs[perm[i]]...)
+	}
+	assign := make([]int, s.Len())
+	for it := 0; it < iters; it++ {
+		for i, v := range s.vecs {
+			assign[i] = nearestCentroid(centroids, v)
+		}
+		sums := make([][]float64, nlist)
+		counts := make([]int, nlist)
+		for i := range sums {
+			sums[i] = make([]float64, s.dim)
+		}
+		for i, v := range s.vecs {
+			c := assign[i]
+			counts[c]++
+			for d, x := range v {
+				sums[c][d] += float64(x)
+			}
+		}
+		for c := range centroids {
+			if counts[c] == 0 {
+				// Re-seed an empty cell with a random vector to keep
+				// all cells useful.
+				centroids[c] = append([]float32(nil), s.vecs[r.Intn(s.Len())]...)
+				continue
+			}
+			for d := range centroids[c] {
+				centroids[c][d] = float32(sums[c][d] / float64(counts[c]))
+			}
+		}
+	}
+	ivf := &IVF{store: s, centroids: centroids, lists: make([][]int, nlist)}
+	for i, v := range s.vecs {
+		c := nearestCentroid(centroids, v)
+		ivf.lists[c] = append(ivf.lists[c], i)
+	}
+	return ivf
+}
+
+func nearestCentroid(centroids [][]float32, v []float32) int {
+	best, bestSim := 0, -2.0
+	for c, cent := range centroids {
+		if sim := embed.Cosine(cent, v); sim > bestSim {
+			best, bestSim = c, sim
+		}
+	}
+	return best
+}
+
+// NumCells returns the number of IVF cells.
+func (ivf *IVF) NumCells() int { return len(ivf.centroids) }
+
+// Search scans the nprobe cells whose centroids are closest to the
+// query and returns the top-k among their members.
+func (ivf *IVF) Search(q []float32, k, nprobe int) []Hit {
+	if nprobe <= 0 {
+		nprobe = 1
+	}
+	if nprobe > len(ivf.centroids) {
+		nprobe = len(ivf.centroids)
+	}
+	cells := topk.New[int](nprobe)
+	for c, cent := range ivf.centroids {
+		cells.Push(c, embed.Cosine(cent, q))
+	}
+	coll := topk.New[int32](k)
+	for _, cell := range cells.Values() {
+		for _, i := range ivf.lists[cell] {
+			coll.Push(ivf.store.ids[i], embed.Cosine(q, ivf.store.vecs[i]))
+		}
+	}
+	return toHits(coll)
+}

@@ -1,0 +1,220 @@
+package vecstore
+
+import (
+	"fmt"
+	"testing"
+
+	"ncexplorer/internal/embed"
+	"ncexplorer/internal/xrand"
+)
+
+// clusteredData builds vectors around nClusters topic centroids, like
+// documents around topics.
+func clusteredData(dim, nClusters, perCluster int, seed uint64) (*Store, [][]float32) {
+	r := xrand.New(seed)
+	s := New(dim)
+	centers := make([][]float32, nClusters)
+	id := int32(0)
+	for c := 0; c < nClusters; c++ {
+		center := make([]float32, dim)
+		for d := range center {
+			center[d] = float32(r.NormFloat64())
+		}
+		centers[c] = center
+		for p := 0; p < perCluster; p++ {
+			v := make([]float32, dim)
+			for d := range v {
+				v[d] = center[d] + 0.3*float32(r.NormFloat64())
+			}
+			if err := s.Add(id, v); err != nil {
+				panic(err)
+			}
+			id++
+		}
+	}
+	return s, centers
+}
+
+func TestExactSearchFindsNearest(t *testing.T) {
+	s, centers := clusteredData(32, 4, 25, 1)
+	for c, center := range centers {
+		hits := s.Search(center, 10)
+		if len(hits) != 10 {
+			t.Fatalf("hits = %d", len(hits))
+		}
+		// All top hits should come from cluster c (ids c*25..c*25+24).
+		for _, h := range hits {
+			if int(h.ID)/25 != c {
+				t.Errorf("cluster %d query returned id %d (cluster %d)", c, h.ID, int(h.ID)/25)
+			}
+		}
+		for i := 1; i < len(hits); i++ {
+			if hits[i].Score > hits[i-1].Score {
+				t.Fatal("hits not sorted")
+			}
+		}
+	}
+}
+
+func TestSearchExactMatchTop1(t *testing.T) {
+	s, _ := clusteredData(16, 3, 10, 2)
+	q := append([]float32(nil), s.vecs[7]...)
+	hits := s.Search(q, 1)
+	if hits[0].ID != 7 {
+		t.Fatalf("self-query returned %d", hits[0].ID)
+	}
+	if hits[0].Score < 0.999 {
+		t.Fatalf("self-similarity = %v", hits[0].Score)
+	}
+}
+
+func TestAddDimensionValidation(t *testing.T) {
+	s := New(8)
+	if err := s.Add(1, make([]float32, 7)); err == nil {
+		t.Fatal("expected dimension error")
+	}
+	if err := s.Add(1, make([]float32, 8)); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 1 || s.Dim() != 8 {
+		t.Fatal("accessor mismatch")
+	}
+}
+
+func TestIVFRecall(t *testing.T) {
+	s, _ := clusteredData(32, 8, 50, 3)
+	ivf := BuildIVF(s, 8, 5, 42)
+	if ivf.NumCells() != 8 {
+		t.Fatalf("cells = %d", ivf.NumCells())
+	}
+	r := xrand.New(9)
+	const k = 10
+	overlap, total := 0, 0
+	for trial := 0; trial < 20; trial++ {
+		q := append([]float32(nil), s.vecs[r.Intn(s.Len())]...)
+		exact := s.Search(q, k)
+		approx := ivf.Search(q, k, 3)
+		set := map[int32]struct{}{}
+		for _, h := range exact {
+			set[h.ID] = struct{}{}
+		}
+		for _, h := range approx {
+			if _, ok := set[h.ID]; ok {
+				overlap++
+			}
+		}
+		total += k
+	}
+	recall := float64(overlap) / float64(total)
+	if recall < 0.85 {
+		t.Fatalf("IVF recall@%d = %.2f, want ≥0.85 on clustered data", k, recall)
+	}
+}
+
+func TestIVFNprobeMonotone(t *testing.T) {
+	// More probes ⇒ recall can only improve (same or better).
+	s, _ := clusteredData(16, 6, 40, 4)
+	ivf := BuildIVF(s, 6, 4, 7)
+	q := append([]float32(nil), s.vecs[11]...)
+	exact := s.Search(q, 5)
+	set := map[int32]struct{}{}
+	for _, h := range exact {
+		set[h.ID] = struct{}{}
+	}
+	prev := -1
+	for nprobe := 1; nprobe <= 6; nprobe++ {
+		got := 0
+		for _, h := range ivf.Search(q, 5, nprobe) {
+			if _, ok := set[h.ID]; ok {
+				got++
+			}
+		}
+		if got < prev {
+			t.Fatalf("recall decreased from %d to %d at nprobe=%d", prev, got, nprobe)
+		}
+		prev = got
+	}
+	if prev != 5 {
+		t.Fatalf("full probe should reach exact results, got %d/5", prev)
+	}
+}
+
+func TestIVFDeterminism(t *testing.T) {
+	s, _ := clusteredData(16, 4, 30, 5)
+	a := BuildIVF(s, 4, 3, 11)
+	b := BuildIVF(s, 4, 3, 11)
+	q := append([]float32(nil), s.vecs[3]...)
+	ha, hb := a.Search(q, 5, 2), b.Search(q, 5, 2)
+	for i := range ha {
+		if ha[i] != hb[i] {
+			t.Fatal("IVF not deterministic")
+		}
+	}
+}
+
+func TestIVFSmallStore(t *testing.T) {
+	s := New(4)
+	for i := int32(0); i < 3; i++ {
+		_ = s.Add(i, []float32{float32(i), 1, 0, 0})
+	}
+	ivf := BuildIVF(s, 10, 2, 1) // nlist > len collapses to len
+	if ivf.NumCells() != 3 {
+		t.Fatalf("cells = %d", ivf.NumCells())
+	}
+	hits := ivf.Search([]float32{2, 1, 0, 0}, 2, 10)
+	if len(hits) != 2 {
+		t.Fatalf("hits = %+v", hits)
+	}
+}
+
+func TestEndToEndWithEmbedder(t *testing.T) {
+	e := embed.New(64)
+	s := New(64)
+	docs := []string{
+		"tariffs and trade disputes dominate the summit",
+		"the union called a strike over wages",
+		"a merger premium lifted biotech shares",
+		"import tariffs rattled exporters and customs officials",
+	}
+	for i, d := range docs {
+		if err := s.Add(int32(i), e.EmbedText(d)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hits := s.Search(e.EmbedText("trade tariffs and customs"), 2)
+	if hits[0].ID != 3 && hits[0].ID != 0 {
+		t.Fatalf("expected a trade doc first, got %d", hits[0].ID)
+	}
+	if hits[1].ID != 0 && hits[1].ID != 3 {
+		t.Fatalf("expected both trade docs on top, got %+v", hits)
+	}
+}
+
+func BenchmarkExactSearch(b *testing.B) {
+	s, _ := clusteredData(256, 10, 200, 1)
+	q := append([]float32(nil), s.vecs[42]...)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Search(q, 10)
+	}
+}
+
+func BenchmarkIVFSearch(b *testing.B) {
+	s, _ := clusteredData(256, 10, 200, 1)
+	ivf := BuildIVF(s, 16, 5, 2)
+	q := append([]float32(nil), s.vecs[42]...)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ivf.Search(q, 10, 4)
+	}
+}
+
+func ExampleStore_Search() {
+	e := embed.New(32)
+	s := New(32)
+	_ = s.Add(1, e.EmbedText("court verdict on appeal"))
+	_ = s.Add(2, e.EmbedText("election ballot recount"))
+	hits := s.Search(e.EmbedText("appeal court ruling"), 1)
+	fmt.Println(hits[0].ID)
+	// Output: 1
+}

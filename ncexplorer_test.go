@@ -1,0 +1,157 @@
+package ncexplorer
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+var (
+	facadeOnce sync.Once
+	facade     *Explorer
+)
+
+func getExplorer(t testing.TB) *Explorer {
+	t.Helper()
+	facadeOnce.Do(func() {
+		x, err := New(Config{Scale: "tiny"})
+		if err != nil {
+			panic(err)
+		}
+		facade = x
+	})
+	return facade
+}
+
+func TestNewValidatesScale(t *testing.T) {
+	if _, err := New(Config{Scale: "galactic"}); err == nil {
+		t.Fatal("expected error for unknown scale")
+	}
+}
+
+func TestRollUpFacade(t *testing.T) {
+	x := getExplorer(t)
+	articles, err := x.RollUp([]string{"Bitcoin exchange", "Financial crime"}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(articles) == 0 {
+		t.Fatal("no articles")
+	}
+	for _, a := range articles {
+		if a.Title == "" || a.Source == "" {
+			t.Errorf("article underfilled: %+v", a)
+		}
+		if len(a.Explanations) != 2 {
+			t.Errorf("explanations = %d, want 2", len(a.Explanations))
+		}
+		for _, e := range a.Explanations {
+			if e.Concept != "Bitcoin exchange" && e.Concept != "Financial crime" {
+				t.Errorf("unexpected explanation concept %q", e.Concept)
+			}
+			if e.CDR > 0 && e.Pivot == "" {
+				t.Error("positive cdr without pivot name")
+			}
+		}
+	}
+}
+
+func TestRollUpErrors(t *testing.T) {
+	x := getExplorer(t)
+	if _, err := x.RollUp(nil, 5); err == nil {
+		t.Error("empty query should error")
+	}
+	if _, err := x.RollUp([]string{"No Such Concept"}, 5); err == nil {
+		t.Error("unknown concept should error")
+	}
+	if _, err := x.RollUp([]string{"FTX"}, 5); err == nil || !strings.Contains(err.Error(), "entity") {
+		t.Errorf("entity-as-concept should error helpfully, got %v", err)
+	}
+}
+
+func TestDrillDownFacade(t *testing.T) {
+	x := getExplorer(t)
+	subs, err := x.DrillDown([]string{"Elections"}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(subs) == 0 {
+		t.Fatal("no subtopics")
+	}
+	for i, s := range subs {
+		if s.Concept == "" || s.MatchedDocs <= 0 {
+			t.Errorf("subtopic underfilled: %+v", s)
+		}
+		if i > 0 && subs[i-1].Score < s.Score {
+			t.Error("subtopics not sorted")
+		}
+	}
+}
+
+func TestFig1Workflow(t *testing.T) {
+	// The paper's Fig. 1 walkthrough: roll up FTX to a concept, query,
+	// then drill into a suggested subtopic.
+	x := getExplorer(t)
+	concepts, err := x.ConceptsForEntity("FTX")
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, c := range concepts {
+		if c == "Bitcoin exchange" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("FTX concepts = %v, want Bitcoin exchange", concepts)
+	}
+	broader, err := x.BroaderConcepts("Bitcoin exchange")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(broader) == 0 || broader[0] != "Cryptocurrency" {
+		t.Fatalf("broader = %v", broader)
+	}
+	kws, err := x.TopicKeywords("Bitcoin exchange", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kws) == 0 {
+		t.Fatal("no keywords")
+	}
+	articles, err := x.RollUp([]string{"Bitcoin exchange"}, 5)
+	if err != nil || len(articles) == 0 {
+		t.Fatalf("roll-up failed: %v", err)
+	}
+	subs, err := x.DrillDown([]string{"Bitcoin exchange"}, 5)
+	if err != nil || len(subs) == 0 {
+		t.Fatalf("drill-down failed: %v", err)
+	}
+	refined, err := x.RollUp([]string{"Bitcoin exchange", subs[0].Concept}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(refined) > len(articles)+5 {
+		t.Error("refined query should not explode the result set")
+	}
+}
+
+func TestEvaluationTopics(t *testing.T) {
+	x := getExplorer(t)
+	topics := x.EvaluationTopics()
+	if len(topics) != 6 {
+		t.Fatalf("topics = %d", len(topics))
+	}
+	for _, pair := range topics {
+		if _, err := x.RollUp([]string{pair[0], pair[1]}, 3); err != nil {
+			t.Errorf("topic query %v failed: %v", pair, err)
+		}
+	}
+}
+
+func TestNumArticles(t *testing.T) {
+	x := getExplorer(t)
+	if x.NumArticles() < 100 {
+		t.Errorf("articles = %d", x.NumArticles())
+	}
+}
