@@ -7,15 +7,25 @@
 //
 // and see cmd/experiments for the same artifacts rendered as the
 // paper's tables, plus EXPERIMENTS.md for a measured-vs-paper index.
-package ncexplorer
+//
+// (External test package: the serving benchmarks import
+// internal/server, which itself imports ncexplorer.)
+package ncexplorer_test
 
 import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
 	"testing"
 
+	"ncexplorer"
 	"ncexplorer/internal/baselines"
 	"ncexplorer/internal/core"
 	"ncexplorer/internal/harness"
 	"ncexplorer/internal/relevance"
+	"ncexplorer/internal/server"
 	"ncexplorer/internal/vecstore"
 )
 
@@ -217,6 +227,64 @@ func BenchmarkAblationExactVsSampledConn(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			sampled.Conn(topic.Concept, doc, rnd)
 		}
+	})
+}
+
+// ── Serving-layer benchmarks (internal/server + internal/qcache) ────
+
+var (
+	servingOnce     sync.Once
+	servingExplorer *ncexplorer.Explorer
+)
+
+// servingWorld builds the tiny-scale Explorer the serving benchmarks
+// share; the serving stack's cached-vs-uncached gap, not world scale,
+// is what these measure.
+func servingWorld(b *testing.B) *ncexplorer.Explorer {
+	b.Helper()
+	servingOnce.Do(func() {
+		x, err := ncexplorer.New(ncexplorer.Config{Scale: "tiny"})
+		if err != nil {
+			panic(err)
+		}
+		servingExplorer = x
+	})
+	return servingExplorer
+}
+
+// BenchmarkServerRollUp measures one roll-up request through the full
+// HTTP serving stack (mux → handler → cache → engine → JSON), cached
+// versus uncached — the serving-latency baseline for future PRs.
+func BenchmarkServerRollUp(b *testing.B) {
+	x := servingWorld(b)
+	topics := x.EvaluationTopics()
+	body, err := json.Marshal(map[string]any{
+		"concepts": []string{topics[0][0], topics[0][1]},
+		"k":        10,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(b *testing.B, s *server.Server) {
+		h := s.Handler()
+		for i := 0; i < b.N; i++ {
+			req := httptest.NewRequest(http.MethodPost, "/v1/rollup", bytes.NewReader(body))
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, req)
+			if rec.Code != http.StatusOK {
+				b.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+			}
+		}
+	}
+	b.Run("uncached", func(b *testing.B) {
+		run(b, server.New(x, server.Options{CacheCapacity: -1}))
+	})
+	b.Run("cached", func(b *testing.B) {
+		s := server.New(x, server.Options{})
+		req := httptest.NewRequest(http.MethodPost, "/v1/rollup", bytes.NewReader(body))
+		s.Handler().ServeHTTP(httptest.NewRecorder(), req) // warm the cache
+		b.ResetTimer()
+		run(b, s)
 	})
 }
 

@@ -1,0 +1,99 @@
+// Command ncserver serves the NCExplorer engine over HTTP/JSON: the
+// paper's interactive roll-up/drill-down workflow as a programmable
+// API for dashboards and downstream risk pipelines.
+//
+// Usage:
+//
+//	go run ./cmd/ncserver [-addr :8080] [-scale tiny|default] [-seed 42]
+//	                      [-cache-shards 8] [-cache-capacity 256] [-maxk 100]
+//
+// Endpoints (see internal/server for payload shapes):
+//
+//	POST /v1/rollup             GET /v1/broader/{concept}
+//	POST /v1/drilldown          GET /v1/keywords/{concept}
+//	GET  /v1/concepts/{entity}  GET /v1/topics
+//	GET  /healthz               GET /statsz
+//
+// Example session:
+//
+//	curl -s localhost:8080/v1/topics
+//	curl -s -X POST localhost:8080/v1/rollup \
+//	    -d '{"concepts":["International trade","Country"],"k":5}'
+//	curl -s localhost:8080/statsz
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ncexplorer"
+	"ncexplorer/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	scale := flag.String("scale", "default", "world scale: tiny or default")
+	seed := flag.Uint64("seed", 42, "generation seed (0 selects the built-in default, 42)")
+	shards := flag.Int("cache-shards", 8, "result cache shard count")
+	capacity := flag.Int("cache-capacity", 256, "result cache entries per shard (negative disables)")
+	maxK := flag.Int("maxk", 100, "maximum k accepted by query endpoints")
+	flag.Parse()
+
+	if *seed == 0 {
+		log.Print("seed 0 selects the built-in default (42)")
+	}
+	log.Printf("building %s world (seed %d)...", *scale, *seed)
+	start := time.Now()
+	x, err := ncexplorer.New(ncexplorer.Config{Scale: *scale, Seed: *seed})
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("world ready in %.1fs — %d articles indexed", time.Since(start).Seconds(), x.NumArticles())
+
+	s := server.New(x, server.Options{
+		CacheShards:   *shards,
+		CacheCapacity: *capacity,
+		MaxK:          *maxK,
+	})
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      60 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	drained := make(chan struct{})
+	var shutdownErr error
+	go func() {
+		defer close(drained)
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		shutdownErr = httpSrv.Shutdown(shutdownCtx)
+	}()
+
+	log.Printf("serving on %s (POST /v1/rollup, POST /v1/drilldown, GET /v1/concepts/{entity}, "+
+		"GET /v1/broader/{concept}, GET /v1/keywords/{concept}, GET /v1/topics, GET /healthz, GET /statsz)", *addr)
+	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	// ErrServerClosed arrives as soon as the listener stops; wait for
+	// Shutdown to finish draining in-flight requests before exiting.
+	<-drained
+	if shutdownErr != nil {
+		log.Printf("shutdown: drain incomplete: %v", shutdownErr)
+		os.Exit(1)
+	}
+	log.Print("shut down cleanly")
+}

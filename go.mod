@@ -1,0 +1,3 @@
+module ncexplorer
+
+go 1.22

@@ -1,0 +1,407 @@
+// Package server exposes an Explorer over HTTP/JSON — the serving
+// subsystem that turns the in-process NCExplorer facade into the
+// interactive, programmable API the paper's analysts (and downstream
+// risk pipelines) hit in real time.
+//
+// Endpoints:
+//
+//	POST /v1/rollup               {"concepts": [...], "k": 10} → ranked articles
+//	POST /v1/drilldown            {"concepts": [...], "k": 10} → ranked subtopics
+//	GET  /v1/concepts/{entity}    roll-up options for an entity
+//	GET  /v1/broader/{concept}    the next roll-up level
+//	GET  /v1/keywords/{concept}   amplified keyword list (?n=10)
+//	GET  /v1/topics               the paper's six evaluation queries
+//	GET  /healthz                 liveness + world summary
+//	GET  /statsz                  index, cache, and request counters
+//
+// Roll-up and drill-down responses are served through a sharded LRU
+// cache (internal/qcache) keyed by the canonicalized concept set and
+// k: the marshaled JSON body itself is cached, so a hit is
+// byte-identical to the miss that populated it, and concurrent
+// identical queries are coalesced into one engine call. The X-Cache
+// response header reports HIT or MISS per request.
+//
+// Errors are JSON too: {"error": "..."} with status 400 for malformed
+// bodies, empty queries, and unknown concept or entity names; 404 and
+// 405 responses carry the same shape.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"ncexplorer"
+	"ncexplorer/internal/qcache"
+)
+
+// Options configures a Server. The zero value enables a 8-shard,
+// 256-entries-per-shard cache and k clamped to 100.
+type Options struct {
+	// CacheShards is the shard count of the result cache (default 8).
+	CacheShards int
+	// CacheCapacity is the per-shard entry capacity (default 256).
+	// Negative disables result caching; singleflight coalescing of
+	// concurrent identical queries still applies.
+	CacheCapacity int
+	// MaxK caps the k accepted by query endpoints (default 100).
+	MaxK int
+}
+
+func (o Options) withDefaults() Options {
+	if o.CacheShards == 0 {
+		o.CacheShards = 8
+	}
+	if o.CacheCapacity == 0 {
+		o.CacheCapacity = 256
+	}
+	if o.MaxK <= 0 {
+		o.MaxK = 100
+	}
+	return o
+}
+
+// routes enumerated for per-endpoint request counters, in /statsz
+// display order; "other" counts unknown paths and wrong-method
+// requests.
+var routes = []string{
+	"rollup", "drilldown", "concepts", "broader", "keywords",
+	"topics", "healthz", "statsz", "other",
+}
+
+// Server is the HTTP serving layer over an Explorer. Safe for
+// concurrent use; construct with New.
+type Server struct {
+	x       *ncexplorer.Explorer
+	cache   *qcache.Cache
+	mux     *http.ServeMux
+	opts    Options
+	started time.Time
+
+	total   atomic.Int64
+	errors  atomic.Int64
+	byRoute map[string]*atomic.Int64
+}
+
+// New wires the handlers and cache around an indexed Explorer.
+func New(x *ncexplorer.Explorer, opts Options) *Server {
+	opts = opts.withDefaults()
+	s := &Server{
+		x:       x,
+		cache:   qcache.New(opts.CacheShards, opts.CacheCapacity),
+		mux:     http.NewServeMux(),
+		opts:    opts,
+		started: time.Now(),
+		byRoute: make(map[string]*atomic.Int64, len(routes)),
+	}
+	for _, r := range routes {
+		s.byRoute[r] = new(atomic.Int64)
+	}
+	s.mux.HandleFunc("POST /v1/rollup", s.counted("rollup", s.handleRollUp))
+	s.mux.HandleFunc("POST /v1/drilldown", s.counted("drilldown", s.handleDrillDown))
+	s.mux.HandleFunc("GET /v1/concepts/{entity}", s.counted("concepts", s.handleConcepts))
+	s.mux.HandleFunc("GET /v1/broader/{concept}", s.counted("broader", s.handleBroader))
+	s.mux.HandleFunc("GET /v1/keywords/{concept}", s.counted("keywords", s.handleKeywords))
+	s.mux.HandleFunc("GET /v1/topics", s.counted("topics", s.handleTopics))
+	s.mux.HandleFunc("GET /healthz", s.counted("healthz", s.handleHealthz))
+	s.mux.HandleFunc("GET /statsz", s.counted("statsz", s.handleStatsz))
+	// Method-less fallbacks (the method-specific patterns above win
+	// when they match) and a catch-all, so wrong-method and
+	// unknown-path responses are JSON and counted like everything
+	// else rather than ServeMux's plain-text defaults.
+	for pattern, allow := range map[string]string{
+		"/v1/rollup":             "POST",
+		"/v1/drilldown":          "POST",
+		"/v1/concepts/{entity}":  "GET",
+		"/v1/broader/{concept}":  "GET",
+		"/v1/keywords/{concept}": "GET",
+		"/v1/topics":             "GET",
+		"/healthz":               "GET",
+		"/statsz":                "GET",
+	} {
+		s.mux.HandleFunc(pattern, s.methodNotAllowed(allow))
+	}
+	s.mux.HandleFunc("/", s.counted("other", func(w http.ResponseWriter, r *http.Request) {
+		s.writeError(w, http.StatusNotFound, fmt.Errorf("unknown path %q", r.URL.Path))
+	}))
+	return s
+}
+
+// methodNotAllowed answers a known path hit with the wrong method.
+func (s *Server) methodNotAllowed(allow string) http.HandlerFunc {
+	return s.counted("other", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Allow", allow)
+		s.writeError(w, http.StatusMethodNotAllowed,
+			fmt.Errorf("method %s not allowed (want %s)", r.Method, allow))
+	})
+}
+
+// Handler returns the root http.Handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// CacheStats exposes the result cache counters (for tests and ops).
+func (s *Server) CacheStats() qcache.Stats { return s.cache.Stats() }
+
+func (s *Server) counted(route string, h http.HandlerFunc) http.HandlerFunc {
+	n := s.byRoute[route]
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.total.Add(1)
+		n.Add(1)
+		h(w, r)
+	}
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	body, err := json.Marshal(v)
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, fmt.Errorf("encoding response: %w", err))
+		return
+	}
+	s.writeBody(w, status, body)
+}
+
+func (s *Server) writeBody(w http.ResponseWriter, status int, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(body)
+	w.Write([]byte("\n"))
+}
+
+func (s *Server) writeError(w http.ResponseWriter, status int, err error) {
+	s.errors.Add(1)
+	body, _ := json.Marshal(map[string]string{"error": err.Error()})
+	s.writeBody(w, status, body)
+}
+
+// queryRequest is the body of the two POST query endpoints.
+type queryRequest struct {
+	Concepts []string `json:"concepts"`
+	K        int      `json:"k"`
+}
+
+// maxBodyBytes bounds query request bodies; concept queries are a few
+// names, so 1 MiB is generous.
+const maxBodyBytes = 1 << 20
+
+// decodeQuery parses and validates a query body, returning the
+// canonicalized concept set and clamped k.
+func (s *Server) decodeQuery(w http.ResponseWriter, r *http.Request) ([]string, int, bool) {
+	var req queryRequest
+	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			s.writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("request body exceeds %d bytes", tooLarge.Limit))
+			return nil, 0, false
+		}
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("malformed request body: %w", err))
+		return nil, 0, false
+	}
+	concepts := ncexplorer.CanonicalConcepts(req.Concepts)
+	if len(concepts) == 0 {
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("empty concept query"))
+		return nil, 0, false
+	}
+	k := req.K
+	if k < 0 {
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("invalid k %d: want a positive integer", k))
+		return nil, 0, false
+	}
+	if k == 0 { // absent from the body
+		k = 10
+	}
+	if k > s.opts.MaxK {
+		k = s.opts.MaxK
+	}
+	return concepts, k, true
+}
+
+// clientError marks a fill failure caused by the request (unknown
+// concept, invalid query) rather than by the server; serveCached maps
+// it to 400 and everything else to 500.
+type clientError struct{ err error }
+
+func (e clientError) Error() string { return e.err.Error() }
+func (e clientError) Unwrap() error { return e.err }
+
+// serveCached answers a query endpoint through the result cache: on a
+// miss, fill runs the engine and the marshaled body is retained so
+// every later hit is byte-identical.
+func (s *Server) serveCached(w http.ResponseWriter, key string, fill func() (any, error)) {
+	v, hit, err := s.cache.Do(key, fill)
+	if err != nil {
+		var ce clientError
+		if errors.As(err, &ce) {
+			s.writeError(w, http.StatusBadRequest, ce.err)
+		} else {
+			s.writeError(w, http.StatusInternalServerError, err)
+		}
+		return
+	}
+	if hit {
+		w.Header().Set("X-Cache", "HIT")
+	} else {
+		w.Header().Set("X-Cache", "MISS")
+	}
+	s.writeBody(w, http.StatusOK, v.([]byte))
+}
+
+type rollUpResponse struct {
+	Query    []string             `json:"query"`
+	K        int                  `json:"k"`
+	Count    int                  `json:"count"`
+	Articles []ncexplorer.Article `json:"articles"`
+}
+
+func (s *Server) handleRollUp(w http.ResponseWriter, r *http.Request) {
+	concepts, k, ok := s.decodeQuery(w, r)
+	if !ok {
+		return
+	}
+	s.serveCached(w, ncexplorer.QueryKey("rollup", concepts, k), func() (any, error) {
+		articles, err := s.x.RollUp(concepts, k)
+		if err != nil {
+			return nil, clientError{err}
+		}
+		if articles == nil {
+			articles = []ncexplorer.Article{}
+		}
+		return json.Marshal(rollUpResponse{Query: concepts, K: k, Count: len(articles), Articles: articles})
+	})
+}
+
+type drillDownResponse struct {
+	Query       []string                        `json:"query"`
+	K           int                             `json:"k"`
+	Count       int                             `json:"count"`
+	Suggestions []ncexplorer.SubtopicSuggestion `json:"suggestions"`
+}
+
+func (s *Server) handleDrillDown(w http.ResponseWriter, r *http.Request) {
+	concepts, k, ok := s.decodeQuery(w, r)
+	if !ok {
+		return
+	}
+	s.serveCached(w, ncexplorer.QueryKey("drilldown", concepts, k), func() (any, error) {
+		subs, err := s.x.DrillDown(concepts, k)
+		if err != nil {
+			return nil, clientError{err}
+		}
+		if subs == nil {
+			subs = []ncexplorer.SubtopicSuggestion{}
+		}
+		return json.Marshal(drillDownResponse{Query: concepts, K: k, Count: len(subs), Suggestions: subs})
+	})
+}
+
+func (s *Server) handleConcepts(w http.ResponseWriter, r *http.Request) {
+	entity := r.PathValue("entity")
+	concepts, err := s.x.ConceptsForEntity(entity)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if concepts == nil {
+		concepts = []string{}
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{"entity": entity, "concepts": concepts})
+}
+
+func (s *Server) handleBroader(w http.ResponseWriter, r *http.Request) {
+	concept := r.PathValue("concept")
+	broader, err := s.x.BroaderConcepts(concept)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if broader == nil {
+		broader = []string{}
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{"concept": concept, "broader": broader})
+}
+
+func (s *Server) handleKeywords(w http.ResponseWriter, r *http.Request) {
+	concept := r.PathValue("concept")
+	n := 10
+	if raw := r.URL.Query().Get("n"); raw != "" {
+		v, err := strconv.Atoi(raw)
+		if err != nil || v <= 0 {
+			s.writeError(w, http.StatusBadRequest, fmt.Errorf("invalid n %q: want a positive integer", raw))
+			return
+		}
+		n = v
+	}
+	// Clamp like k on the query endpoints (the default too, in case
+	// MaxK < 10): the top-k collector pre-allocates n slots, so an
+	// unbounded n is an OOM lever.
+	if n > s.opts.MaxK {
+		n = s.opts.MaxK
+	}
+	keywords, err := s.x.TopicKeywords(concept, n)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if keywords == nil {
+		keywords = []string{}
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{"concept": concept, "keywords": keywords})
+}
+
+type topicResponse struct {
+	Concept string `json:"concept"`
+	Group   string `json:"group"`
+}
+
+func (s *Server) handleTopics(w http.ResponseWriter, r *http.Request) {
+	topics := make([]topicResponse, 0, 6)
+	for _, t := range s.x.EvaluationTopics() {
+		topics = append(topics, topicResponse{Concept: t[0], Group: t[1]})
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{"topics": topics})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"articles":       s.x.NumArticles(),
+		"uptime_seconds": time.Since(s.started).Seconds(),
+	})
+}
+
+// statszResponse is the /statsz payload: world dimensions, cache
+// effectiveness, and request counters.
+type statszResponse struct {
+	Index    ncexplorer.Stats `json:"index"`
+	Cache    qcache.Stats     `json:"cache"`
+	Requests requestStats     `json:"requests"`
+	Uptime   float64          `json:"uptime_seconds"`
+}
+
+type requestStats struct {
+	Total   int64            `json:"total"`
+	Errors  int64            `json:"errors"`
+	ByRoute map[string]int64 `json:"by_route"`
+}
+
+func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
+	by := make(map[string]int64, len(routes))
+	for _, route := range routes {
+		by[route] = s.byRoute[route].Load()
+	}
+	s.writeJSON(w, http.StatusOK, statszResponse{
+		Index: s.x.Stats(),
+		Cache: s.cache.Stats(),
+		Requests: requestStats{
+			Total:   s.total.Load(),
+			Errors:  s.errors.Load(),
+			ByRoute: by,
+		},
+		Uptime: time.Since(s.started).Seconds(),
+	})
+}

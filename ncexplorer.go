@@ -29,6 +29,10 @@ package ncexplorer
 
 import (
 	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
 
 	"ncexplorer/internal/core"
 	"ncexplorer/internal/corpus"
@@ -55,31 +59,48 @@ type Config struct {
 
 // Article is one roll-up result.
 type Article struct {
-	ID           int
-	Source       string
-	Title        string
-	Body         string
-	Score        float64
-	Explanations []Explanation
+	ID           int           `json:"id"`
+	Source       string        `json:"source"`
+	Title        string        `json:"title"`
+	Body         string        `json:"body"`
+	Score        float64       `json:"score"`
+	Explanations []Explanation `json:"explanations"`
 }
 
 // Explanation attributes part of an article's relevance to one query
 // concept: the concept-document relevance (cdr) and the pivot entity
 // whose mention carried the match.
 type Explanation struct {
-	Concept string
-	CDR     float64
-	Pivot   string
+	Concept string  `json:"concept"`
+	CDR     float64 `json:"cdr"`
+	Pivot   string  `json:"pivot,omitempty"`
 }
 
 // SubtopicSuggestion is one drill-down suggestion.
 type SubtopicSuggestion struct {
-	Concept     string
-	Score       float64
-	Coverage    float64
-	Specificity float64
-	Diversity   float64
-	MatchedDocs int
+	Concept     string  `json:"concept"`
+	Score       float64 `json:"score"`
+	Coverage    float64 `json:"coverage"`
+	Specificity float64 `json:"specificity"`
+	Diversity   float64 `json:"diversity"`
+	MatchedDocs int     `json:"matched_docs"`
+}
+
+// Stats summarises an Explorer's indexed world: corpus size, graph
+// dimensions, and the indexing cost split the engine measured. It is
+// the payload behind a server's /statsz endpoint.
+type Stats struct {
+	Articles       int   `json:"articles"`
+	Nodes          int   `json:"nodes"`
+	Instances      int   `json:"instances"`
+	Concepts       int   `json:"concepts"`
+	InstanceEdges  int64 `json:"instance_edges"`
+	BroaderEdges   int64 `json:"broader_edges"`
+	TypeAssertions int64 `json:"type_assertions"`
+	// Wall-clock nanoseconds spent entity-linking and concept-scoring
+	// the corpus at build time (single-threaded equivalents).
+	LinkNanos  int64 `json:"link_nanos"`
+	ScoreNanos int64 `json:"score_nanos"`
 }
 
 // Explorer is a fully indexed NCExplorer instance. Safe for concurrent
@@ -89,6 +110,9 @@ type Explorer struct {
 	meta   *kggen.Meta
 	corpus *corpus.Corpus
 	engine *core.Engine
+
+	statsOnce sync.Once
+	stats     Stats
 }
 
 // New builds a synthetic world and indexes it. Expect a few seconds at
@@ -130,6 +154,79 @@ func New(cfg Config) (*Explorer, error) {
 
 // NumArticles returns the corpus size.
 func (x *Explorer) NumArticles() int { return x.corpus.Len() }
+
+// Stats reports corpus and graph dimensions plus indexing cost. The
+// world is immutable after New, so the snapshot is computed once and
+// reused.
+func (x *Explorer) Stats() Stats {
+	x.statsOnce.Do(func() {
+		gs := x.g.Stats()
+		is := x.engine.Stats()
+		x.stats = Stats{
+			Articles:       x.corpus.Len(),
+			Nodes:          gs.Nodes,
+			Instances:      gs.Instances,
+			Concepts:       gs.Concepts,
+			InstanceEdges:  gs.InstanceEdges,
+			BroaderEdges:   gs.BroaderEdges,
+			TypeAssertions: gs.TypeAssertions,
+			LinkNanos:      is.LinkNanos,
+			ScoreNanos:     is.ScoreNanos,
+		}
+	})
+	return x.stats
+}
+
+// CanonicalConcepts returns a canonical form of a concept query:
+// names are whitespace-trimmed, empties dropped, duplicates removed,
+// and the rest sorted. Two queries naming the same concept set
+// canonicalize identically, which is what makes cache keys (QueryKey)
+// and cached responses order-insensitive. Already-canonical input is
+// returned as-is (the result may alias the input; the input is never
+// mutated).
+func CanonicalConcepts(concepts []string) []string {
+	canonical := true
+	for i, c := range concepts {
+		if c == "" || c != strings.TrimSpace(c) || (i > 0 && concepts[i-1] >= c) {
+			canonical = false
+			break
+		}
+	}
+	if canonical {
+		return concepts
+	}
+	out := make([]string, 0, len(concepts))
+	seen := make(map[string]bool, len(concepts))
+	for _, c := range concepts {
+		c = strings.TrimSpace(c)
+		if c == "" || seen[c] {
+			continue
+		}
+		seen[c] = true
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// QueryKey builds a canonical cache key for an operation over a
+// concept query at result size k. The concept set is canonicalized
+// first, so permutations and duplicates of the same query map to the
+// same key. Each concept is length-prefixed in the key, so distinct
+// queries cannot collide no matter what bytes the names contain.
+func QueryKey(op string, concepts []string, k int) string {
+	var b strings.Builder
+	b.WriteString(op)
+	b.WriteByte('|')
+	b.WriteString(strconv.Itoa(k))
+	for _, c := range CanonicalConcepts(concepts) {
+		b.WriteByte('|')
+		b.WriteString(strconv.Itoa(len(c)))
+		b.WriteByte(':')
+		b.WriteString(c)
+	}
+	return b.String()
+}
 
 // resolveConcepts maps concept names to node IDs.
 func (x *Explorer) resolveConcepts(names []string) (core.Query, error) {

@@ -155,3 +155,62 @@ func TestNumArticles(t *testing.T) {
 		t.Errorf("articles = %d", x.NumArticles())
 	}
 }
+
+func TestCanonicalConcepts(t *testing.T) {
+	got := CanonicalConcepts([]string{" b ", "a", "b", "", "  ", "a"})
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("got %v; want [a b]", got)
+	}
+	if got := CanonicalConcepts(nil); len(got) != 0 {
+		t.Fatalf("nil query canonicalized to %v", got)
+	}
+	// The input slice must not be mutated.
+	in := []string{"z", "y"}
+	CanonicalConcepts(in)
+	if in[0] != "z" || in[1] != "y" {
+		t.Fatalf("input mutated: %v", in)
+	}
+	// Already-canonical input round-trips unchanged (fast path).
+	done := []string{"a", "b"}
+	if got := CanonicalConcepts(done); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("canonical input changed: %v", got)
+	}
+}
+
+func TestQueryKey(t *testing.T) {
+	a := QueryKey("rollup", []string{"Swiss bank", "Money laundering"}, 10)
+	b := QueryKey("rollup", []string{"Money laundering", "Swiss bank", "Swiss bank"}, 10)
+	if a != b {
+		t.Fatalf("permuted/duplicated queries got different keys:\n%q\n%q", a, b)
+	}
+	if QueryKey("rollup", []string{"Swiss bank"}, 10) == QueryKey("rollup", []string{"Swiss bank"}, 5) {
+		t.Fatal("k must be part of the key")
+	}
+	if QueryKey("rollup", []string{"Swiss bank"}, 10) == QueryKey("drilldown", []string{"Swiss bank"}, 10) {
+		t.Fatal("operation must be part of the key")
+	}
+	// Length prefixing: a single name embedding arbitrary separator
+	// bytes must not collide with a multi-concept query.
+	joined := QueryKey("rollup", []string{"a|1:b"}, 10)
+	split := QueryKey("rollup", []string{"a", "b"}, 10)
+	if joined == split {
+		t.Fatal("user-controlled name bytes must not collide with a distinct query")
+	}
+}
+
+func TestStatsFacade(t *testing.T) {
+	x := getExplorer(t)
+	s := x.Stats()
+	if s.Articles != x.NumArticles() {
+		t.Errorf("stats articles = %d, NumArticles = %d", s.Articles, x.NumArticles())
+	}
+	if s.Concepts == 0 || s.Instances == 0 || s.Nodes != s.Concepts+s.Instances {
+		t.Errorf("graph dimensions inconsistent: %+v", s)
+	}
+	if s.InstanceEdges == 0 || s.TypeAssertions == 0 {
+		t.Errorf("edge counts missing: %+v", s)
+	}
+	if x.Stats() != s {
+		t.Error("Stats should be a stable snapshot")
+	}
+}
