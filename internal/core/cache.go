@@ -1,0 +1,72 @@
+package core
+
+import (
+	"ncexplorer/internal/kg"
+	"ncexplorer/internal/relevance"
+	"ncexplorer/internal/shardmap"
+)
+
+// Query-path caching. The engine's post-index structures (docs, entity
+// postings, term index, knowledge graph) are immutable once IndexCorpus
+// returns; everything mutable at query time lives in the two sharded
+// memo maps below plus a pool of per-goroutine scorers, so concurrent
+// queries never share unsynchronised state and never serialize behind a
+// global lock.
+//
+//   - cdrMemo memoises on-demand cdr(c, d) values under the same
+//     (concept, doc) key the indexing pass pre-seeds; per-shard
+//     singleflight means N concurrent misses on one key run the scorer
+//     once.
+//   - matchMemo memoises the sorted matching-document list per concept
+//     (Definition 1 semantics), the input to every roll-up and
+//     drill-down.
+//
+// Determinism is unaffected by the concurrency: on-demand cdr samplers
+// are seeded per (concept, doc) (see cdr in query.go), so whichever
+// goroutine computes a value computes THE value.
+
+// cdrShards/matchShards size the memo maps. cdr keys are dense (every
+// query touches many (concept, doc) pairs) so they get more shards.
+const (
+	cdrShards   = 64
+	matchShards = 16
+)
+
+// CacheStats reports the engine's query-cache effectiveness: the
+// serving layer surfaces it through /statsz.
+type CacheStats struct {
+	// CDR is the (concept, document) relevance memo.
+	CDR shardmap.Stats `json:"cdr"`
+	// Match is the concept→matching-documents memo.
+	Match shardmap.Stats `json:"match"`
+}
+
+// CacheStats returns a point-in-time snapshot of the query caches.
+func (e *Engine) CacheStats() CacheStats {
+	return CacheStats{CDR: e.cdrMemo.Stats(), Match: e.matchMemo.Stats()}
+}
+
+// getScorer takes a scorer from the pool. Scorers are not safe for
+// concurrent use (walk scratch buffers, extent memo), so each query
+// goroutine borrows one for the duration of a computation and returns
+// it with putScorer. Extent slices obtained from a pooled scorer stay
+// valid after release: the scorer treats them as immutable shared data
+// (see relevance.Scorer).
+func (e *Engine) getScorer() *relevance.Scorer {
+	return e.scorers.Get().(*relevance.Scorer)
+}
+
+func (e *Engine) putScorer(s *relevance.Scorer) { e.scorers.Put(s) }
+
+// seedCDRMemo (re)stores the indexing-time candidate scores into the
+// cdr memo — the cache's post-indexing baseline.
+func (e *Engine) seedCDRMemo() {
+	for i := range e.docs {
+		for _, cs := range e.docs[i].concepts {
+			e.cdrMemo.Store(cdrKey(cs.Concept, int32(i)), cdrEntry{cdr: cs.CDR, pivot: cs.Pivot})
+		}
+	}
+}
+
+func hashCDRKey(k uint64) uint64     { return shardmap.Mix64(k) }
+func hashConcept(c kg.NodeID) uint64 { return shardmap.Mix64(uint64(uint32(c))) }

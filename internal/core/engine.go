@@ -24,6 +24,7 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ncexplorer/internal/corpus"
@@ -31,6 +32,7 @@ import (
 	"ncexplorer/internal/nlp"
 	"ncexplorer/internal/reach"
 	"ncexplorer/internal/relevance"
+	"ncexplorer/internal/shardmap"
 	"ncexplorer/internal/textindex"
 	"ncexplorer/internal/xrand"
 )
@@ -50,7 +52,9 @@ type Options struct {
 	// AncestorLevels adds this many `broader` levels above each
 	// entity's direct concepts to the candidate set. 0 ⇒ 1.
 	AncestorLevels int
-	// Workers bounds indexing parallelism. 0 ⇒ GOMAXPROCS.
+	// Workers bounds indexing parallelism and the engine-wide budget
+	// of extra helper goroutines for intra-query fan-out (drill-down's
+	// diversity loop). 0 ⇒ GOMAXPROCS.
 	Workers int
 	// Exact computes connectivity exactly instead of sampling (tests
 	// and ablations).
@@ -141,21 +145,46 @@ type cdrEntry struct {
 }
 
 // Engine is an indexed NCExplorer instance. Safe for concurrent
-// queries after IndexCorpus returns.
+// queries after IndexCorpus returns: the query path takes no global
+// lock — post-index structures are immutable, memoisation goes through
+// sharded concurrent maps with per-shard singleflight, and miss-path
+// scoring borrows a per-goroutine scorer from a pool. Results are
+// deterministic regardless of interleaving because every on-demand
+// sample stream is seeded by its (concept, document) key alone.
 type Engine struct {
 	g       *kg.Graph
 	opts    Options
 	linker  *nlp.Linker
 	reachIx *reach.Index
 
+	// Immutable after IndexCorpus returns: the frozen term index, the
+	// per-document entity/concept records, and the entity→documents
+	// postings are never written again, so query goroutines read them
+	// without synchronisation.
 	entIx   *textindex.Index
 	docs    []docInfo
 	entDocs map[kg.NodeID][]int32
 
-	mu          sync.Mutex
-	scorer      *relevance.Scorer
-	cdrCache    map[uint64]cdrEntry
-	conceptDocs map[kg.NodeID][]int32
+	// Concurrent query-path state (see cache.go): sharded memo maps
+	// with per-shard singleflight, plus a pool of per-goroutine
+	// scorers for miss-path computation. There is no global query
+	// mutex.
+	cdrMemo   *shardmap.Map[uint64, cdrEntry]
+	matchMemo *shardmap.Map[kg.NodeID, []int32]
+	scorers   sync.Pool
+	// extents is shared by every scorer the engine creates (indexing
+	// workers and the serving pool), so each concept's extent closure
+	// is computed once engine-wide. It is deterministic index-derived
+	// data, not query-time randomness, so ResetQueryCaches leaves it
+	// alone — mirroring the old single-scorer engine, whose private
+	// extent memo also survived resets.
+	extents *relevance.ExtentCache
+	// querySem admits extra helper goroutines for intra-query fan-out
+	// (queryParallel). Capacity opts.Workers, engine-wide: C concurrent
+	// queries run on at most C caller goroutines + Workers helpers, not
+	// C × Workers, so request-level and intra-query parallelism compose
+	// without oversubscribing the scheduler.
+	querySem chan struct{}
 
 	stats IndexStats
 }
@@ -164,17 +193,22 @@ type Engine struct {
 func NewEngine(g *kg.Graph, opts Options) *Engine {
 	opts = opts.withDefaults()
 	e := &Engine{
-		g:           g,
-		opts:        opts,
-		linker:      nlp.NewLinker(g),
-		entIx:       textindex.New(),
-		entDocs:     make(map[kg.NodeID][]int32),
-		cdrCache:    make(map[uint64]cdrEntry),
-		conceptDocs: make(map[kg.NodeID][]int32),
+		g:         g,
+		opts:      opts,
+		linker:    nlp.NewLinker(g),
+		entIx:     textindex.New(),
+		entDocs:   make(map[kg.NodeID][]int32),
+		cdrMemo:   shardmap.New[uint64, cdrEntry](cdrShards, hashCDRKey),
+		matchMemo: shardmap.New[kg.NodeID, []int32](matchShards, hashConcept),
+		extents:   relevance.NewExtentCache(matchShards),
 	}
 	if !opts.Exact {
 		e.reachIx = reach.New(g, opts.Tau, opts.ReachCache)
 	}
+	e.scorers.New = func() any {
+		return relevance.NewScorer(e.g, e, e.reachIx, e.scorerOpts())
+	}
+	e.querySem = make(chan struct{}, opts.Workers)
 	return e
 }
 
@@ -202,6 +236,7 @@ func (e *Engine) scorerOpts() relevance.Options {
 		Beta:    e.opts.Beta,
 		Samples: e.opts.Samples,
 		Exact:   e.opts.Exact,
+		Extents: e.extents,
 	}
 }
 
@@ -251,6 +286,10 @@ func (e *Engine) IndexCorpus(c *corpus.Corpus) IndexStats {
 		e.stats.LinkNanos += linkNanos[i]
 	}
 	e.stats.Docs = n
+	// Freeze the term index before the parallel scoring phase: postings
+	// become sorted and immutable, so the scorers' TFIDF reads (here and
+	// at query time) are race-free binary searches.
+	e.entIx.Freeze()
 
 	// Phase C — candidate concept scoring (parallel, deterministic:
 	// each document's sampler is seeded by its ID).
@@ -266,13 +305,8 @@ func (e *Engine) IndexCorpus(c *corpus.Corpus) IndexStats {
 	})
 	for i := 0; i < n; i++ {
 		e.stats.ScoreNanos += scoreNanos[i]
-		for _, cs := range e.docs[i].concepts {
-			e.cdrCache[cdrKey(cs.Concept, int32(i))] = cdrEntry{cdr: cs.CDR, pivot: cs.Pivot}
-		}
 	}
-
-	// Serving-time scorer for query-path cache misses.
-	e.scorer = relevance.NewScorer(e.g, e, e.reachIx, e.scorerOpts())
+	e.seedCDRMemo()
 	return e.stats
 }
 
@@ -338,6 +372,48 @@ func (e *Engine) parallel(n int, fn func(i int)) {
 	e.parallelWorker(n, func(_, i int) { fn(i) })
 }
 
+// queryParallel runs fn(i) for i in [0, n) at query time. The calling
+// goroutine always works; helper goroutines join only when (a) the
+// loop is big enough to amortise a spawn and (b) the engine-wide
+// querySem has capacity — under saturation (many concurrent queries)
+// it degrades gracefully to an inline serial loop instead of piling
+// C × Workers goroutines onto the scheduler.
+func (e *Engine) queryParallel(n int, fn func(i int)) {
+	var next atomic.Int64
+	work := func() {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			fn(i)
+		}
+	}
+	const minPerWorker = 32
+	helpers := e.opts.Workers - 1
+	if m := n/minPerWorker - 1; m < helpers {
+		helpers = m
+	}
+	var wg sync.WaitGroup
+	for h := 0; h < helpers; h++ {
+		select {
+		case e.querySem <- struct{}{}:
+			wg.Add(1)
+			go func() {
+				defer func() {
+					<-e.querySem
+					wg.Done()
+				}()
+				work()
+			}()
+		default:
+			// Engine already running its full helper budget.
+		}
+	}
+	work()
+	wg.Wait()
+}
+
 func (e *Engine) parallelWorker(n int, fn func(worker, i int)) {
 	workers := e.opts.Workers
 	if workers > n {
@@ -349,22 +425,14 @@ func (e *Engine) parallelWorker(n int, fn func(worker, i int)) {
 		}
 		return
 	}
-	var next int64
+	var next atomic.Int64
 	var wg sync.WaitGroup
-	var mu sync.Mutex
-	take := func() int {
-		mu.Lock()
-		defer mu.Unlock()
-		i := int(next)
-		next++
-		return i
-	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(worker int) {
 			defer wg.Done()
 			for {
-				i := take()
+				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
@@ -390,16 +458,18 @@ func (e *Engine) DocConcepts(doc corpus.DocID) []ConceptScore {
 // post-indexing state. Benchmarks use it to measure cold query cost;
 // results are unaffected because on-demand values are seeded per
 // (concept, document).
+// Calling it concurrently with queries is memory-safe but not
+// recommended: a query landing in the window between the clear and the
+// re-seed can recompute an indexed (concept, doc) pair with the
+// on-demand sampler, whose stream differs from the indexing-time one —
+// that query may observe the deviating value, but the cache itself
+// converges: the re-seed wins (shardmap completion stores are
+// store-if-absent), so later queries read the indexing-time value.
+// Benchmarks reset between measurement phases, never mid-traffic.
 func (e *Engine) ResetQueryCaches() {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	e.conceptDocs = make(map[kg.NodeID][]int32)
-	e.cdrCache = make(map[uint64]cdrEntry, len(e.cdrCache))
-	for i := range e.docs {
-		for _, cs := range e.docs[i].concepts {
-			e.cdrCache[cdrKey(cs.Concept, int32(i))] = cdrEntry{cdr: cs.CDR, pivot: cs.Pivot}
-		}
-	}
+	e.matchMemo.Reset()
+	e.cdrMemo.Reset()
+	e.seedCDRMemo()
 }
 
 // NumDocs returns the number of indexed documents.

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"ncexplorer/internal/kg"
+)
+
+// benchQueries enumerates a large pool of distinct single-concept
+// queries (every concept in the world), so the cold-cache parallel
+// benchmarks spread concurrent misses across many cache keys the way
+// real mixed traffic does.
+func benchQueries(g *kg.Graph) []Query {
+	var qs []Query
+	g.Concepts(func(c kg.NodeID) bool {
+		qs = append(qs, Query{c})
+		return true
+	})
+	return qs
+}
+
+// runColdParallel times genuinely cold concurrent traffic. It cannot
+// use b.RunParallel over a fixed query pool: auto-scaled b.N quickly
+// outgrows the pool, after which the "cold" benchmark re-measures the
+// warm hit path. Instead each b.N iteration is one epoch — reset the
+// query caches (untimed), then drain the whole pool once through
+// GOMAXPROCS goroutines — so every timed query is a miss. The
+// per-query cost is reported as ns/query.
+func runColdParallel(b *testing.B, e *Engine, qs []Query, run func(q Query)) {
+	workers := runtime.GOMAXPROCS(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		e.ResetQueryCaches()
+		b.StartTimer()
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					j := int(next.Add(1)) - 1
+					if j >= len(qs) {
+						return
+					}
+					run(qs[j])
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(qs)), "ns/query")
+}
+
+// BenchmarkRollUpParallel measures roll-up throughput under concurrent
+// load. The warm variant replays one fully cached query via
+// b.RunParallel — pure read-path concurrency. The cold variant times
+// reset-and-drain epochs over distinct queries (see runColdParallel),
+// so the miss path (extent matching + on-demand cdr scoring) is what
+// is measured; under the pre-refactor global engine mutex every miss
+// serialized here.
+func BenchmarkRollUpParallel(b *testing.B) {
+	g, meta, _, e := world(b)
+	topic := meta.Topics[0]
+	warmQ := Query{topic.Concept, topic.GroupConcept}
+
+	b.Run("warm", func(b *testing.B) {
+		e.RollUp(warmQ, 10)
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				e.RollUp(warmQ, 10)
+			}
+		})
+	})
+	b.Run("cold", func(b *testing.B) {
+		runColdParallel(b, e, benchQueries(g), func(q Query) { e.RollUp(q, 10) })
+	})
+}
+
+// BenchmarkDrillDownParallel is the drill-down analogue of
+// BenchmarkRollUpParallel: warm replays one cached suggestion round
+// under b.RunParallel, cold times reset-and-drain epochs over
+// distinct queries.
+func BenchmarkDrillDownParallel(b *testing.B) {
+	g, meta, _, e := world(b)
+	topic := meta.Topics[0]
+	warmQ := Query{topic.Concept, topic.GroupConcept}
+
+	b.Run("warm", func(b *testing.B) {
+		e.DrillDown(warmQ, 10)
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				e.DrillDown(warmQ, 10)
+			}
+		})
+	})
+	b.Run("cold", func(b *testing.B) {
+		runColdParallel(b, e, benchQueries(g), func(q Query) { e.DrillDown(q, 10) })
+	})
+}

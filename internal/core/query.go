@@ -11,24 +11,27 @@ import (
 
 // conceptMatches returns the sorted document IDs matching concept c —
 // documents containing at least one entity of c's extent closure
-// (Definition 1 matching semantics). Memoised.
+// (Definition 1 matching semantics). Memoised in the sharded match
+// map; concurrent misses on the same concept compute once. The
+// returned slice is shared and must not be modified.
 func (e *Engine) conceptMatches(c kg.NodeID) []int32 {
-	if docs, ok := e.conceptDocs[c]; ok {
-		return docs
-	}
-	ext, _ := e.scorer.Extent(c)
-	var docs []int32
-	seen := make(map[int32]struct{})
-	for _, v := range ext {
-		for _, d := range e.entDocs[v] {
-			if _, ok := seen[d]; !ok {
-				seen[d] = struct{}{}
-				docs = append(docs, d)
+	docs, _ := e.matchMemo.GetOrCompute(c, func() []int32 {
+		s := e.getScorer()
+		defer e.putScorer(s)
+		ext, _ := s.Extent(c)
+		var docs []int32
+		seen := make(map[int32]struct{})
+		for _, v := range ext {
+			for _, d := range e.entDocs[v] {
+				if _, ok := seen[d]; !ok {
+					seen[d] = struct{}{}
+					docs = append(docs, d)
+				}
 			}
 		}
-	}
-	sort.Slice(docs, func(i, j int) bool { return docs[i] < docs[j] })
-	e.conceptDocs[c] = docs
+		sort.Slice(docs, func(i, j int) bool { return docs[i] < docs[j] })
+		return docs
+	})
 	return docs
 }
 
@@ -57,6 +60,8 @@ func (e *Engine) matchedDocs(q Query) []int32 {
 	return out
 }
 
+// containsConcept reports whether c is in the (typically tiny) direct
+// concept list of an entity.
 func containsConcept(s []kg.NodeID, c kg.NodeID) bool {
 	for _, x := range s {
 		if x == c {
@@ -86,24 +91,24 @@ func intersectSorted(a, b []int32) []int32 {
 
 // cdr returns the cached or freshly computed cdr(c, d) with its pivot.
 // The sampler is seeded by (concept, doc) so values are independent of
-// query order. Caller must hold e.mu.
+// query order AND of which goroutine computes them — the determinism
+// anchor of the lock-free query path. Concurrent misses on the same
+// key coalesce into one scorer call.
 func (e *Engine) cdr(c kg.NodeID, doc int32) cdrEntry {
 	key := cdrKey(c, doc)
-	if ent, ok := e.cdrCache[key]; ok {
-		return ent
-	}
-	rnd := xrand.Stream(e.opts.Seed^0x9e3779b97f4a7c15, key)
-	cdr, pivot := e.scorer.CDR(c, doc, rnd)
-	ent := cdrEntry{cdr: cdr, pivot: pivot}
-	e.cdrCache[key] = ent
+	ent, _ := e.cdrMemo.GetOrCompute(key, func() cdrEntry {
+		s := e.getScorer()
+		defer e.putScorer(s)
+		rnd := xrand.Stream(e.opts.Seed^0x9e3779b97f4a7c15, key)
+		cdr, pivot := s.CDR(c, doc, rnd)
+		return cdrEntry{cdr: cdr, pivot: pivot}
+	})
 	return ent
 }
 
 // MatchedDocs returns all documents matching the concept pattern Q, in
-// ascending document order.
+// ascending document order. Safe for concurrent use.
 func (e *Engine) MatchedDocs(q Query) []corpus.DocID {
-	e.mu.Lock()
-	defer e.mu.Unlock()
 	docs := e.matchedDocs(q)
 	out := make([]corpus.DocID, len(docs))
 	for i, d := range docs {
@@ -119,8 +124,6 @@ func (e *Engine) RollUp(q Query, k int) []DocResult {
 	if k <= 0 || len(q) == 0 {
 		return nil
 	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
 	docs := e.matchedDocs(q)
 	if len(docs) == 0 {
 		return nil
@@ -161,8 +164,6 @@ func (e *Engine) DrillDownComponents(q Query, k int, useSpecificity, useDiversit
 	if k <= 0 || len(q) == 0 {
 		return nil
 	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
 	docs := e.matchedDocs(q)
 	if len(docs) == 0 {
 		return nil
@@ -207,13 +208,22 @@ func (e *Engine) DrillDownComponents(q Query, k int, useSpecificity, useDiversit
 		shortlist.Push(c, s)
 	}
 
-	coll := topk.New[Subtopic](k)
-	for _, c := range shortlist.Values() {
+	// Score the shortlist in parallel (bounded by the engine's
+	// query-time helper budget): each concept's diversity computation
+	// is independent (reads only the immutable index and the
+	// loop-local coverage/matched maps), and results land in a
+	// per-index slot, so the final Push order — and with it
+	// tie-breaking — is identical to the serial loop.
+	short := shortlist.Values()
+	subs := make([]Subtopic, len(short))
+	e.queryParallel(len(short), func(i int) {
+		c := short[i]
+		md := matched[c]
 		sub := Subtopic{
 			Concept:     c,
 			Coverage:    coverage[c],
 			Specificity: e.g.Specificity(c),
-			MatchedDocs: len(matched[c]),
+			MatchedDocs: len(md),
 		}
 		// diversity(c, Q) = |∪_{d∈D(Q)} ME(c, d)| / |D(Q ∪ {c})| with
 		// ME over the *direct* extent Ψ(c), exactly as Definition 2
@@ -222,15 +232,44 @@ func (e *Engine) DrillDownComponents(q Query, k int, useSpecificity, useDiversit
 		// direct matches and scores zero diversity, while a concept
 		// matching through one popular entity is pushed down — the
 		// fairness bias the paper designed this factor to prevent.
+		//
+		// Membership "v ∈ Ψ(c)": Ψ is stored both ways in the graph, so
+		// v ∈ Extent(c) ⟺ c ∈ ConceptsOf(v). When the probe count is
+		// large enough to amortise it, precompute a membership set of
+		// the direct extent — replacing the former unconditional
+		// O(docs × entities × |ConceptsOf(v)|) scan with O(|Ψ(c)|)
+		// setup and O(1) probes. For sparsely-matched concepts with
+		// big extents the scan side is cheaper (|ConceptsOf(v)| is
+		// typically a handful), so the strategy is chosen per concept;
+		// both sides compute the identical union.
+		probes := 0
+		for _, d := range md {
+			probes += len(e.docs[d].entities)
+		}
+		ext := e.g.Extent(c)
 		union := make(map[kg.NodeID]struct{})
-		for _, d := range matched[c] {
-			for _, v := range e.docs[d].entities {
-				if containsConcept(e.g.ConceptsOf(v), c) {
-					union[v] = struct{}{}
+		if probes >= len(ext) {
+			direct := make(map[kg.NodeID]struct{}, len(ext))
+			for _, v := range ext {
+				direct[v] = struct{}{}
+			}
+			for _, d := range md {
+				for _, v := range e.docs[d].entities {
+					if _, ok := direct[v]; ok {
+						union[v] = struct{}{}
+					}
+				}
+			}
+		} else {
+			for _, d := range md {
+				for _, v := range e.docs[d].entities {
+					if containsConcept(e.g.ConceptsOf(v), c) {
+						union[v] = struct{}{}
+					}
 				}
 			}
 		}
-		if n := len(matched[c]); n > 0 {
+		if n := len(md); n > 0 {
 			sub.Diversity = float64(len(union)) / float64(n)
 		}
 		score := sub.Coverage
@@ -241,7 +280,11 @@ func (e *Engine) DrillDownComponents(q Query, k int, useSpecificity, useDiversit
 			score *= sub.Diversity
 		}
 		sub.Score = score
-		coll.Push(sub, score)
+		subs[i] = sub
+	})
+	coll := topk.New[Subtopic](k)
+	for _, sub := range subs {
+		coll.Push(sub, sub.Score)
 	}
 	items := coll.Sorted()
 	out := make([]Subtopic, len(items))
@@ -275,9 +318,9 @@ func (e *Engine) ConceptsForEntity(v kg.NodeID) []kg.NodeID {
 // names of the topic's most connected extent entities (what the paper
 // calls "curating a list of relevant keywords for retrieval").
 func (e *Engine) TopicKeywords(c kg.NodeID, n int) []string {
-	e.mu.Lock()
-	ext, _ := e.scorer.Extent(c)
-	e.mu.Unlock()
+	s := e.getScorer()
+	ext, _ := s.Extent(c)
+	e.putScorer(s)
 	if n <= 0 || len(ext) == 0 {
 		return nil
 	}

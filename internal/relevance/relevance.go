@@ -24,6 +24,7 @@ import (
 	"ncexplorer/internal/paths"
 	"ncexplorer/internal/reach"
 	"ncexplorer/internal/rw"
+	"ncexplorer/internal/shardmap"
 	"ncexplorer/internal/topk"
 	"ncexplorer/internal/xrand"
 )
@@ -55,6 +56,12 @@ type Options struct {
 	MaxExtent int
 	// Exact forces exact path counting instead of sampling.
 	Exact bool
+	// Extents, when non-nil, is a concurrency-safe extent cache shared
+	// across scorers (create with NewExtentCache), so a fleet of pooled
+	// workers computes each concept's extent closure once instead of
+	// once per scorer. Scorers sharing a cache must use the same
+	// MaxExtent. When nil, the scorer keeps a private memo.
+	Extents *ExtentCache
 }
 
 func (o Options) withDefaults() Options {
@@ -76,8 +83,21 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// Scorer computes cdr and its components. Not safe for concurrent use:
-// it owns walk scratch buffers and memo tables; create one per worker.
+// Scorer computes cdr and its components.
+//
+// Concurrency contract (the scorer-per-worker rule): a Scorer is NOT
+// safe for concurrent use — it owns random-walk scratch buffers and an
+// extent memo table. Create one per worker goroutine, or pool them
+// (sync.Pool) and borrow for the duration of a computation, as the
+// engine's query path does. Two scorers over the same graph are fully
+// independent and may run in parallel; the graph, DocView, and
+// reach.Index they share must themselves be safe for concurrent reads
+// (kg.Graph and reach.Index are; the engine's DocView is immutable
+// after indexing).
+//
+// Values a Scorer *returns* are a different matter: Extent results are
+// immutable shared slices that remain valid and safe to read after the
+// scorer is released to another goroutine — see Extent.
 type Scorer struct {
 	g    *kg.Graph
 	view DocView
@@ -92,6 +112,22 @@ type Scorer struct {
 type extentEntry struct {
 	list []kg.NodeID
 	set  map[kg.NodeID]struct{}
+}
+
+// ExtentCache is a concurrency-safe memo of concept extent closures,
+// shareable by any number of scorers (per-shard singleflight: N
+// scorers missing the same concept compute its closure once). Entries
+// are immutable once stored. Construct with NewExtentCache and hand it
+// to scorers via Options.Extents.
+type ExtentCache struct {
+	m *shardmap.Map[kg.NodeID, extentEntry]
+}
+
+// NewExtentCache returns an empty shared extent cache.
+func NewExtentCache(shards int) *ExtentCache {
+	return &ExtentCache{m: shardmap.New[kg.NodeID, extentEntry](shards, func(c kg.NodeID) uint64 {
+		return shardmap.Mix64(uint64(uint32(c)))
+	})}
 }
 
 // NewScorer builds a scorer. index may be nil (unguided walks); it is
@@ -114,11 +150,27 @@ func NewScorer(g *kg.Graph, view DocView, index *reach.Index, opts Options) *Sco
 func (s *Scorer) Options() Options { return s.opts }
 
 // Extent returns the matching extent of c — the capped extent closure —
-// as both list and set.
+// as both list and set. Both are immutable shared views: the scorer
+// never mutates a memoised entry after creating it and callers must
+// not modify them either, so the returned slice and set may be
+// retained, shared across goroutines, and read after the scorer has
+// been handed to another worker.
 func (s *Scorer) Extent(c kg.NodeID) ([]kg.NodeID, map[kg.NodeID]struct{}) {
+	if s.opts.Extents != nil {
+		e, _ := s.opts.Extents.m.GetOrCompute(c, func() extentEntry { return s.buildExtent(c) })
+		return e.list, e.set
+	}
 	if e, ok := s.extents[c]; ok {
 		return e.list, e.set
 	}
+	e := s.buildExtent(c)
+	s.extents[c] = e
+	return e.list, e.set
+}
+
+// buildExtent computes the capped extent closure of c. Pure: depends
+// only on the immutable graph and MaxExtent.
+func (s *Scorer) buildExtent(c kg.NodeID) extentEntry {
 	list := s.g.ExtentClosure(c, 0)
 	if len(list) > s.opts.MaxExtent {
 		list = list[:s.opts.MaxExtent]
@@ -127,8 +179,7 @@ func (s *Scorer) Extent(c kg.NodeID) ([]kg.NodeID, map[kg.NodeID]struct{}) {
 	for _, v := range list {
 		set[v] = struct{}{}
 	}
-	s.extents[c] = extentEntry{list: list, set: set}
-	return list, set
+	return extentEntry{list: list, set: set}
 }
 
 // Matches reports whether document doc contains an entity matching c.

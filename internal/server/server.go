@@ -12,7 +12,10 @@
 //	GET  /v1/keywords/{concept}   amplified keyword list (?n=10)
 //	GET  /v1/topics               the paper's six evaluation queries
 //	GET  /healthz                 liveness + world summary
-//	GET  /statsz                  index, cache, and request counters
+//	GET  /statsz                  index, cache, and request counters;
+//	                              index.engine_cache reports the
+//	                              engine's sharded memo caches (cdr and
+//	                              match hits/misses/coalesced/entries)
 //
 // Roll-up and drill-down responses are served through a sharded LRU
 // cache (internal/qcache) keyed by the canonicalized concept set and

@@ -333,9 +333,21 @@ func TestStatsz(t *testing.T) {
 	}
 	var resp struct {
 		Index struct {
-			Articles int `json:"articles"`
-			Concepts int `json:"concepts"`
-			Nodes    int `json:"nodes"`
+			Articles    int `json:"articles"`
+			Concepts    int `json:"concepts"`
+			Nodes       int `json:"nodes"`
+			EngineCache struct {
+				CDR struct {
+					Hits    int64 `json:"hits"`
+					Misses  int64 `json:"misses"`
+					Entries int64 `json:"entries"`
+				} `json:"cdr"`
+				Match struct {
+					Hits    int64 `json:"hits"`
+					Misses  int64 `json:"misses"`
+					Entries int64 `json:"entries"`
+				} `json:"match"`
+			} `json:"engine_cache"`
 		} `json:"index"`
 		Cache struct {
 			Hits    int64 `json:"hits"`
@@ -354,6 +366,16 @@ func TestStatsz(t *testing.T) {
 	}
 	if resp.Cache.Misses == 0 || resp.Cache.Hits == 0 || resp.Cache.Entries == 0 {
 		t.Fatalf("cache stats = %+v; want visible misses, hits, and entries", resp.Cache)
+	}
+	// The engine-side memo caches must be threaded through: the cdr
+	// memo is pre-seeded at indexing time (entries > 0) and the roll-up
+	// above exercised the match memo.
+	ec := resp.Index.EngineCache
+	if ec.CDR.Entries == 0 {
+		t.Fatalf("engine cdr cache not seeded: %+v", ec)
+	}
+	if ec.Match.Misses == 0 || ec.Match.Entries == 0 {
+		t.Fatalf("engine match cache untouched by roll-up: %+v", ec)
 	}
 	if resp.Requests.Total == 0 || resp.Requests.ByRoute["rollup"] < 2 || resp.Requests.ByRoute["statsz"] == 0 {
 		t.Fatalf("request stats = %+v", resp.Requests)

@@ -1,0 +1,221 @@
+// Package shardmap provides a sharded concurrent memo map with
+// per-shard singleflight, the building block behind the query engine's
+// lock-free serving path.
+//
+// It differs from internal/qcache in what it is for: qcache is a
+// bounded LRU over opaque response bodies at the HTTP layer, while a
+// shardmap.Map is an unbounded memoisation table for deterministic
+// pure computations inside the engine (concept→matching-documents
+// lists, (concept, document)→cdr scores). Because the memoised
+// function is pure and deterministic, there is no error channel and no
+// eviction: a value, once computed, is the value forever (until an
+// explicit Reset).
+//
+// Concurrency model:
+//
+//   - keys hash to one of N power-of-two shards, each guarded by its
+//     own mutex, so concurrent access to distinct keys rarely contends;
+//   - GetOrCompute coalesces concurrent misses on the same key: exactly
+//     one caller runs the compute function (outside the shard lock),
+//     the rest block until it finishes and share the result;
+//   - stored values must be treated as immutable by all callers — the
+//     same value is handed to every getter.
+//
+// All methods are safe for concurrent use. The zero Map is not usable;
+// construct with New.
+package shardmap
+
+import "sync"
+
+// Stats is a point-in-time snapshot of a Map's effectiveness counters,
+// summed across shards.
+type Stats struct {
+	// Hits counts lookups answered from a stored value.
+	Hits int64 `json:"hits"`
+	// Misses counts GetOrCompute calls that ran their compute function
+	// and Get lookups that found nothing.
+	Misses int64 `json:"misses"`
+	// Coalesced counts GetOrCompute calls that piggybacked on another
+	// caller's in-flight compute instead of running their own.
+	Coalesced int64 `json:"coalesced"`
+	// Entries is the current number of stored values.
+	Entries int64 `json:"entries"`
+}
+
+// call is one in-flight compute shared by coalesced callers.
+type call[V any] struct {
+	wg       sync.WaitGroup
+	val      V
+	ok       bool // compute returned (false ⇒ it panicked)
+	panicVal any  // the recovered value when ok is false
+}
+
+type shard[K comparable, V any] struct {
+	mu       sync.Mutex
+	items    map[K]V
+	inflight map[K]*call[V]
+
+	hits, misses, coalesced int64
+}
+
+// Map is a sharded concurrent memo map. K is hashed by the function
+// supplied to New.
+type Map[K comparable, V any] struct {
+	shards []shard[K, V]
+	mask   uint64
+	hash   func(K) uint64
+}
+
+// New returns a map with the given shard count (rounded up to a power
+// of two, minimum 1). hash must be deterministic; Mix64 is a suitable
+// finalizer for integer keys.
+func New[K comparable, V any](shards int, hash func(K) uint64) *Map[K, V] {
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	m := &Map[K, V]{shards: make([]shard[K, V], n), mask: uint64(n - 1), hash: hash}
+	for i := range m.shards {
+		m.shards[i].items = make(map[K]V)
+		m.shards[i].inflight = make(map[K]*call[V])
+	}
+	return m
+}
+
+// Mix64 is a splitmix64-style finalizer: a cheap, well-distributed
+// hash for integer-derived keys.
+func Mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+func (m *Map[K, V]) shard(k K) *shard[K, V] {
+	return &m.shards[m.hash(k)&m.mask]
+}
+
+// Get returns the stored value for k, if any.
+func (m *Map[K, V]) Get(k K) (V, bool) {
+	s := m.shard(k)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.items[k]
+	if ok {
+		s.hits++
+	} else {
+		s.misses++
+	}
+	return v, ok
+}
+
+// Store records v under k unconditionally. Used to pre-seed the map
+// with values computed elsewhere (e.g. at index build time); it does
+// not touch the hit/miss counters.
+func (m *Map[K, V]) Store(k K, v V) {
+	s := m.shard(k)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.items[k] = v
+}
+
+// GetOrCompute returns the value for k, running fn on a miss. fn is
+// called outside the shard lock, so it may itself use the map (on
+// other keys) or block. Concurrent calls for the same key are
+// coalesced: exactly one runs fn, the rest wait and share its result.
+// The second return value reports whether THIS caller ran fn.
+//
+// fn must be deterministic for its key: coalesced and later callers
+// all observe the first computed value. If fn panics, the panic
+// propagates to the computing caller, nothing is stored, and every
+// coalesced waiter panics too (a poisoned key never deadlocks).
+func (m *Map[K, V]) GetOrCompute(k K, fn func() V) (V, bool) {
+	s := m.shard(k)
+	s.mu.Lock()
+	if v, ok := s.items[k]; ok {
+		s.hits++
+		s.mu.Unlock()
+		return v, false
+	}
+	if cl, ok := s.inflight[k]; ok {
+		s.coalesced++
+		s.mu.Unlock()
+		cl.wg.Wait()
+		if !cl.ok {
+			// Re-panic with the computing goroutine's panic value so
+			// waiters' crash reports carry the root cause too.
+			panic(cl.panicVal)
+		}
+		return cl.val, false
+	}
+	cl := &call[V]{}
+	cl.wg.Add(1)
+	s.inflight[k] = cl
+	s.misses++
+	s.mu.Unlock()
+
+	defer func() {
+		if !cl.ok {
+			cl.panicVal = recover()
+		}
+		s.mu.Lock()
+		delete(s.inflight, k)
+		// Store-if-absent: a value that appeared meanwhile (a Store
+		// racing with this compute, e.g. a cache reseed after Reset)
+		// wins over the computed one, so an authoritative re-seed is
+		// never clobbered by an in-flight compute finishing late.
+		if _, exists := s.items[k]; cl.ok && !exists {
+			s.items[k] = cl.val
+		}
+		s.mu.Unlock()
+		cl.wg.Done()
+		if !cl.ok {
+			panic(cl.panicVal)
+		}
+	}()
+	cl.val = fn()
+	cl.ok = true
+	return cl.val, true
+}
+
+// Len returns the current number of stored values.
+func (m *Map[K, V]) Len() int {
+	n := 0
+	for i := range m.shards {
+		s := &m.shards[i]
+		s.mu.Lock()
+		n += len(s.items)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Reset drops every stored value. Effectiveness counters are retained
+// (they describe lifetime behaviour, not contents). Computes in flight
+// at reset time complete normally and store into the emptied map —
+// acceptable for deterministic functions, whose recomputed value would
+// be identical anyway.
+func (m *Map[K, V]) Reset() {
+	for i := range m.shards {
+		s := &m.shards[i]
+		s.mu.Lock()
+		s.items = make(map[K]V)
+		s.mu.Unlock()
+	}
+}
+
+// Stats sums effectiveness counters across shards.
+func (m *Map[K, V]) Stats() Stats {
+	var out Stats
+	for i := range m.shards {
+		s := &m.shards[i]
+		s.mu.Lock()
+		out.Hits += s.hits
+		out.Misses += s.misses
+		out.Coalesced += s.coalesced
+		out.Entries += int64(len(s.items))
+		s.mu.Unlock()
+	}
+	return out
+}

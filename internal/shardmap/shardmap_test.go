@@ -1,0 +1,223 @@
+package shardmap
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func hashInt(k int) uint64 { return Mix64(uint64(k)) }
+
+func TestGetStore(t *testing.T) {
+	m := New[int, string](8, hashInt)
+	if _, ok := m.Get(1); ok {
+		t.Fatal("empty map reported a value")
+	}
+	m.Store(1, "one")
+	v, ok := m.Get(1)
+	if !ok || v != "one" {
+		t.Fatalf("Get(1) = %q, %v", v, ok)
+	}
+	if m.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", m.Len())
+	}
+	st := m.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestGetOrComputeMemoises(t *testing.T) {
+	m := New[int, int](4, hashInt)
+	calls := 0
+	for i := 0; i < 3; i++ {
+		v, computed := m.GetOrCompute(7, func() int { calls++; return 49 })
+		if v != 49 {
+			t.Fatalf("iteration %d: v = %d", i, v)
+		}
+		if computed != (i == 0) {
+			t.Fatalf("iteration %d: computed = %v", i, computed)
+		}
+	}
+	if calls != 1 {
+		t.Fatalf("compute ran %d times, want 1", calls)
+	}
+}
+
+// TestSingleflight verifies the coalescing contract: N concurrent
+// callers for one cold key run the compute exactly once and all see
+// its value.
+func TestSingleflight(t *testing.T) {
+	m := New[int, int](1, hashInt) // one shard: maximum contention
+	const waiters = 32
+	var calls atomic.Int32
+	release := make(chan struct{})
+	started := make(chan struct{})
+
+	// Caller 0 takes the key and blocks inside the compute until every
+	// other caller has been launched, guaranteeing they coalesce.
+	var wg sync.WaitGroup
+	results := make([]int, waiters)
+	computed := make([]bool, waiters)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		results[0], computed[0] = m.GetOrCompute(5, func() int {
+			calls.Add(1)
+			close(started)
+			<-release
+			return 25
+		})
+	}()
+	<-started
+	for i := 1; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], computed[i] = m.GetOrCompute(5, func() int {
+				calls.Add(1)
+				return 25
+			})
+		}(i)
+	}
+	// Wait until all waiters are either queued on the in-flight call or
+	// done (they cannot finish before release). Coalesced counts are
+	// only observable after the fact, so release and then assert.
+	close(release)
+	wg.Wait()
+
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("compute ran %d times, want 1", n)
+	}
+	nComputed := 0
+	for i, r := range results {
+		if r != 25 {
+			t.Fatalf("caller %d saw %d", i, r)
+		}
+		if computed[i] {
+			nComputed++
+		}
+	}
+	if nComputed != 1 {
+		t.Fatalf("%d callers reported computed=true, want 1", nComputed)
+	}
+	st := m.Stats()
+	if st.Misses != 1 {
+		t.Fatalf("misses = %d, want 1", st.Misses)
+	}
+	if st.Coalesced+st.Hits != waiters-1 {
+		t.Fatalf("coalesced(%d) + hits(%d) != %d", st.Coalesced, st.Hits, waiters-1)
+	}
+}
+
+// TestConcurrentGetOrCompute hammers overlapping keys from many
+// goroutines under -race: every caller must observe the one memoised
+// value for its key, and each key's compute must run exactly once.
+func TestConcurrentGetOrCompute(t *testing.T) {
+	m := New[int, int](8, hashInt)
+	const keys = 64
+	const goroutines = 16
+	const iters = 200
+	var computes [keys]atomic.Int32
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				k := (g*31 + i) % keys
+				v, _ := m.GetOrCompute(k, func() int {
+					computes[k].Add(1)
+					return k * k
+				})
+				if v != k*k {
+					t.Errorf("key %d: got %d", k, v)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for k := range computes {
+		if n := computes[k].Load(); n != 1 {
+			t.Errorf("key %d computed %d times, want 1", k, n)
+		}
+	}
+	if m.Len() != keys {
+		t.Errorf("Len = %d, want %d", m.Len(), keys)
+	}
+}
+
+// TestReset verifies the semantics ResetQueryCaches depends on:
+// entries are dropped, counters survive, and the map is immediately
+// reusable (values recompute on demand).
+func TestReset(t *testing.T) {
+	m := New[int, int](4, hashInt)
+	for k := 0; k < 10; k++ {
+		m.GetOrCompute(k, func() int { return k })
+	}
+	before := m.Stats()
+	m.Reset()
+	if m.Len() != 0 {
+		t.Fatalf("Len after Reset = %d", m.Len())
+	}
+	after := m.Stats()
+	if after.Misses != before.Misses || after.Hits != before.Hits {
+		t.Fatalf("Reset clobbered counters: %+v vs %+v", after, before)
+	}
+	if after.Entries != 0 {
+		t.Fatalf("Entries after Reset = %d", after.Entries)
+	}
+	v, computed := m.GetOrCompute(3, func() int { return 33 })
+	if !computed || v != 33 {
+		t.Fatalf("post-Reset compute: v=%d computed=%v", v, computed)
+	}
+}
+
+// TestPanicPropagation: a panicking compute poisons neither the key
+// nor the shard — the panicker and any coalesced waiters panic with
+// the ORIGINAL panic value, nothing is stored, and a later call
+// recomputes cleanly.
+func TestPanicPropagation(t *testing.T) {
+	m := New[int, int](1, hashInt)
+
+	// A waiter coalesced onto the doomed compute must observe the same
+	// panic value as the computing goroutine. The key is registered
+	// in-flight before fn runs, so once fn has started the waiter is
+	// guaranteed to coalesce; fn waits for that (via the counter)
+	// before panicking.
+	entered := make(chan struct{})
+	waiterPanic := make(chan any, 1)
+	go func() {
+		defer func() { waiterPanic <- recover() }()
+		<-entered
+		m.GetOrCompute(9, func() int { t.Error("waiter ran the compute"); return 0 })
+	}()
+
+	func() {
+		defer func() {
+			if got := recover(); got != "boom" {
+				t.Errorf("computer recovered %v, want \"boom\"", got)
+			}
+		}()
+		m.GetOrCompute(9, func() int {
+			close(entered)
+			for i := 0; i < 5000 && m.Stats().Coalesced == 0; i++ {
+				time.Sleep(time.Millisecond)
+			}
+			panic("boom")
+		})
+	}()
+	if got := <-waiterPanic; got != "boom" {
+		t.Errorf("waiter recovered %v, want \"boom\"", got)
+	}
+
+	if m.Len() != 0 {
+		t.Fatal("panicked compute left a stored value")
+	}
+	v, computed := m.GetOrCompute(9, func() int { return 81 })
+	if !computed || v != 81 {
+		t.Fatalf("recompute after panic: v=%d computed=%v", v, computed)
+	}
+}

@@ -74,6 +74,14 @@ func (ix *Index) Add(doc int32, tf map[string]int) {
 	ix.n++
 }
 
+// Freeze sorts postings by document ID and marks the index immutable
+// in practice: after Freeze (and absent further Add calls, which
+// unfreeze), every read method — TF, TFIDF, IDF, SearchBM25, Postings —
+// touches only frozen data and is therefore safe for concurrent use.
+// TF lookups switch from linear scans to binary searches. Call it once
+// indexing is complete, before serving concurrent readers.
+func (ix *Index) Freeze() { ix.freeze() }
+
 // freeze sorts postings by document ID for deterministic iteration.
 func (ix *Index) freeze() {
 	if ix.frozen {

@@ -86,6 +86,26 @@ type SubtopicSuggestion struct {
 	MatchedDocs int     `json:"matched_docs"`
 }
 
+// CacheCounters is one engine memo cache's effectiveness snapshot.
+// Misses count computations actually performed; Coalesced counts
+// callers that piggybacked on another goroutine's in-flight
+// computation for the same key (the engine's per-shard singleflight).
+type CacheCounters struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Coalesced int64 `json:"coalesced"`
+	Entries   int64 `json:"entries"`
+}
+
+// EngineCacheStats reports the engine's two query-path memo caches:
+// CDR is the (concept, document) relevance memo (pre-seeded at
+// indexing time, so Entries starts large), Match the
+// concept→matching-documents memo.
+type EngineCacheStats struct {
+	CDR   CacheCounters `json:"cdr"`
+	Match CacheCounters `json:"match"`
+}
+
 // Stats summarises an Explorer's indexed world: corpus size, graph
 // dimensions, and the indexing cost split the engine measured. It is
 // the payload behind a server's /statsz endpoint.
@@ -101,6 +121,9 @@ type Stats struct {
 	// the corpus at build time (single-threaded equivalents).
 	LinkNanos  int64 `json:"link_nanos"`
 	ScoreNanos int64 `json:"score_nanos"`
+	// EngineCache is a live snapshot of the engine's query-path memo
+	// caches, refreshed on every Stats call.
+	EngineCache EngineCacheStats `json:"engine_cache"`
 }
 
 // Explorer is a fully indexed NCExplorer instance. Safe for concurrent
@@ -156,8 +179,9 @@ func New(cfg Config) (*Explorer, error) {
 func (x *Explorer) NumArticles() int { return x.corpus.Len() }
 
 // Stats reports corpus and graph dimensions plus indexing cost. The
-// world is immutable after New, so the snapshot is computed once and
-// reused.
+// world is immutable after New, so that part of the snapshot is
+// computed once and reused; the engine-cache counters are live and
+// refreshed on every call.
 func (x *Explorer) Stats() Stats {
 	x.statsOnce.Do(func() {
 		gs := x.g.Stats()
@@ -174,8 +198,21 @@ func (x *Explorer) Stats() Stats {
 			ScoreNanos:     is.ScoreNanos,
 		}
 	})
-	return x.stats
+	st := x.stats
+	cs := x.engine.CacheStats()
+	st.EngineCache = EngineCacheStats{
+		CDR:   CacheCounters(cs.CDR),
+		Match: CacheCounters(cs.Match),
+	}
+	return st
 }
+
+// ResetQueryCaches restores the engine's query-time memoisation to its
+// post-indexing state. Benchmarks and stress tests use it to replay
+// cold-cache traffic; results are unaffected because on-demand values
+// are seeded per (concept, document). Do not call it while queries are
+// in flight (see core.Engine.ResetQueryCaches).
+func (x *Explorer) ResetQueryCaches() { x.engine.ResetQueryCaches() }
 
 // CanonicalConcepts returns a canonical form of a concept query:
 // names are whitespace-trimmed, empties dropped, duplicates removed,

@@ -1,0 +1,123 @@
+package ncexplorer
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+// TestParallelQueryDeterminism is the lock-free engine's contract
+// test: N goroutines hammer one Explorer with a mixed
+// RollUp/DrillDown/TopicKeywords workload over cold caches —
+// overlapping queries (every goroutine runs the shared pool, in a
+// different order, so concurrent misses on one key must coalesce) and
+// disjoint ones (each goroutine owns a private slice of queries no one
+// else touches) — and every response must be byte-identical to the
+// serial run. Run with -race: this test is also the data-race probe
+// for the whole facade→engine→scorer path.
+func TestParallelQueryDeterminism(t *testing.T) {
+	x := getExplorer(t)
+
+	type op struct {
+		name string
+		run  func() (any, error)
+	}
+	var shared []op
+	addQuery := func(concepts ...string) {
+		shared = append(shared,
+			op{name: "rollup", run: func() (any, error) { return x.RollUp(concepts, 10) }},
+			op{name: "drilldown", run: func() (any, error) { return x.DrillDown(concepts, 8) }},
+		)
+	}
+	topics := x.EvaluationTopics()
+	if len(topics) == 0 {
+		t.Fatal("no evaluation topics")
+	}
+	for _, tp := range topics {
+		addQuery(tp[0], tp[1]) // two-concept pattern
+		addQuery(tp[0])        // single concept
+		group := tp[1]
+		shared = append(shared, op{
+			name: "keywords",
+			run:  func() (any, error) { return x.TopicKeywords(group, 6) },
+		})
+	}
+
+	// Disjoint pool: concepts only one goroutine will ever query, drawn
+	// from drill-down suggestions so they exist and match documents.
+	subs, err := x.DrillDown([]string{topics[0][0]}, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var disjoint []op
+	for _, s := range subs {
+		c := s.Concept
+		disjoint = append(disjoint,
+			op{name: "rollup-disjoint", run: func() (any, error) { return x.RollUp([]string{c}, 5) }},
+			op{name: "keywords-disjoint", run: func() (any, error) { return x.TopicKeywords(c, 4) }},
+		)
+	}
+
+	all := append(append([]op(nil), shared...), disjoint...)
+	marshal := func(o op) ([]byte, error) {
+		v, err := o.run()
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(v)
+	}
+
+	// Serial reference pass over cold caches.
+	x.ResetQueryCaches()
+	want := make([][]byte, len(all))
+	for i, o := range all {
+		b, err := marshal(o)
+		if err != nil {
+			t.Fatalf("serial %s: %v", o.name, err)
+		}
+		want[i] = b
+	}
+
+	// Parallel pass, cold again.
+	x.ResetQueryCaches()
+	const goroutines = 8
+	const reps = 3
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	fail := func(format string, args ...any) {
+		mu.Lock()
+		defer mu.Unlock()
+		t.Errorf(format, args...)
+	}
+	for w := 0; w < goroutines; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			check := func(i int) {
+				got, err := marshal(all[i])
+				if err != nil {
+					fail("goroutine %d op %d (%s): %v", w, i, all[i].name, err)
+					return
+				}
+				if !bytes.Equal(got, want[i]) {
+					fail("goroutine %d op %d (%s): parallel result diverges from serial\n got: %s\nwant: %s",
+						w, i, all[i].name, got, want[i])
+				}
+			}
+			for rep := 0; rep < reps; rep++ {
+				// Overlapping: every goroutine covers the shared ops in
+				// its own rotation, so distinct goroutines collide on
+				// cold keys in different interleavings each rep.
+				for j := range shared {
+					check((j*7 + w*13 + rep*5) % len(shared))
+				}
+				// Disjoint: ops owned by exactly one goroutine.
+				for j := len(shared) + w; j < len(all); j += goroutines {
+					check(j)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
