@@ -6,13 +6,23 @@
 //
 //	go run ./cmd/ncexplorer [-scale tiny|default] [-seed 42]
 //
+// The shell is session-backed: `open` starts an exploration session
+// holding the current concept pattern, `rollup`/`drill` with no
+// arguments query it, `refine` drills into a subtopic (by name or by
+// the number printed by the last `drill`), `back` undoes the last
+// pattern change, and `history` prints the breadcrumb trail.
+//
 // Commands inside the shell:
 //
 //	concepts <entity>         roll-up options for an entity (Fig. 1 step 1)
 //	broader <concept>         the next roll-up level
 //	keywords <concept>        amplified keyword list for a topic
-//	rollup <c1> ; <c2> ; …    top articles matching every concept
-//	drill <c1> ; <c2> ; …     suggested subtopics for the query
+//	open <c1> ; <c2> ; …      start (or replace) the exploration pattern
+//	rollup [<c1> ; <c2> …]    top articles (current pattern when no args)
+//	drill [<c1> ; <c2> …]     suggested subtopics (current pattern when no args)
+//	refine <concept|N>        add a subtopic to the pattern (N = drill row)
+//	back                      undo the last pattern change
+//	history                   the session's breadcrumb trail
 //	topics                    the paper's six evaluation queries
 //	help / quit
 package main
@@ -22,11 +32,22 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
 	"ncexplorer"
+	"ncexplorer/internal/session"
 )
+
+// shell holds the interactive state: the explorer, the session store,
+// and the live session (if any).
+type shell struct {
+	x        *ncexplorer.Explorer
+	sessions *session.Store
+	id       string   // current session ID; "" = none
+	lastSubs []string // last drill suggestions, for "refine N"
+}
 
 func main() {
 	scale := flag.String("scale", "tiny", "world scale: tiny or default")
@@ -43,20 +64,55 @@ func main() {
 	fmt.Printf("ready in %.1fs — %d articles indexed. Type 'help'.\n",
 		time.Since(start).Seconds(), x.NumArticles())
 
+	sh := &shell{x: x, sessions: session.NewStore(session.Options{TTL: 24 * time.Hour})}
 	sc := bufio.NewScanner(os.Stdin)
-	fmt.Print("> ")
+	fmt.Print(sh.prompt())
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
 		if line != "" {
-			if quit := execute(x, line); quit {
+			if quit := sh.execute(line); quit {
 				return
 			}
 		}
-		fmt.Print("> ")
+		fmt.Print(sh.prompt())
 	}
 }
 
-func execute(x *ncexplorer.Explorer, line string) (quit bool) {
+// prompt shows the current pattern so the analyst always knows where
+// they are in the hierarchy.
+func (sh *shell) prompt() string {
+	if snap, ok := sh.current(); ok {
+		return fmt.Sprintf("[%s] > ", strings.Join(snap.Concepts, " ; "))
+	}
+	return "> "
+}
+
+// current returns the live session snapshot, if a session is open.
+func (sh *shell) current() (session.Snapshot, bool) {
+	if sh.id == "" {
+		return session.Snapshot{}, false
+	}
+	snap, err := sh.sessions.Get(sh.id)
+	if err != nil {
+		return session.Snapshot{}, false
+	}
+	return snap, true
+}
+
+// pattern resolves the concepts a query command should run on: its
+// arguments when present, the session pattern otherwise.
+func (sh *shell) pattern(rest string) ([]string, bool) {
+	if rest != "" {
+		return splitConcepts(rest), true
+	}
+	if snap, ok := sh.current(); ok {
+		return snap.Concepts, true
+	}
+	fmt.Println("no open session — use 'open <concept> ; <concept>' or pass concepts inline")
+	return nil, false
+}
+
+func (sh *shell) execute(line string) (quit bool) {
 	cmd, rest, _ := strings.Cut(line, " ")
 	rest = strings.TrimSpace(rest)
 	switch strings.ToLower(cmd) {
@@ -67,27 +123,43 @@ func execute(x *ncexplorer.Explorer, line string) (quit bool) {
   concepts <entity>       roll-up options for an entity, e.g. "concepts FTX"
   broader <concept>       parent concepts, e.g. "broader Bitcoin exchange"
   keywords <concept>      amplified keyword list for retrieval
-  rollup <c1> ; <c2>      top articles for a concept pattern
-  drill <c1> ; <c2>       subtopic suggestions for a concept pattern
+  open <c1> ; <c2>        start (or replace) the exploration pattern
+  rollup [<c1> ; <c2>]    top articles (current pattern when no args)
+  drill [<c1> ; <c2>]     subtopic suggestions (current pattern when no args)
+  refine <concept|N>      add a subtopic to the pattern (N = row from last drill)
+  back                    undo the last pattern change
+  history                 the session's breadcrumb trail
   topics                  the paper's six evaluation queries
   quit`)
 	case "concepts":
-		list, err := x.ConceptsForEntity(rest)
+		list, err := sh.x.ConceptsForEntity(rest)
 		printList(list, err)
 	case "broader":
-		list, err := x.BroaderConcepts(rest)
+		list, err := sh.x.BroaderConcepts(rest)
 		printList(list, err)
 	case "keywords":
-		list, err := x.TopicKeywords(rest, 10)
+		list, err := sh.x.TopicKeywords(rest, 10)
 		printList(list, err)
 	case "topics":
-		for _, pair := range x.EvaluationTopics() {
+		for _, pair := range sh.x.EvaluationTopics() {
 			fmt.Printf("  rollup %s ; %s\n", pair[0], pair[1])
 		}
+	case "open":
+		sh.open(rest)
+	case "refine":
+		sh.refine(rest)
+	case "back":
+		sh.back()
+	case "history":
+		sh.history()
 	case "rollup":
-		articles, err := x.RollUp(splitConcepts(rest), 5)
+		concepts, ok := sh.pattern(rest)
+		if !ok {
+			return
+		}
+		articles, err := sh.x.RollUp(concepts, 5)
 		if err != nil {
-			fmt.Println("error:", err)
+			printError(err)
 			return
 		}
 		for i, a := range articles {
@@ -100,22 +172,122 @@ func execute(x *ncexplorer.Explorer, line string) (quit bool) {
 			fmt.Println("no matching articles")
 		}
 	case "drill":
-		subs, err := x.DrillDown(splitConcepts(rest), 8)
-		if err != nil {
-			fmt.Println("error:", err)
+		concepts, ok := sh.pattern(rest)
+		if !ok {
 			return
 		}
+		// "refine N" must always refer to suggestions for the session's
+		// own pattern, so stale or inline-query output never feeds it:
+		// the numbered list is cleared up front and repopulated only
+		// when this drill ran on the session pattern.
+		sh.lastSubs = nil
+		subs, err := sh.x.DrillDown(concepts, 8)
+		if err != nil {
+			printError(err)
+			return
+		}
+		forSession := rest == "" && sh.id != ""
 		for i, s := range subs {
+			if forSession {
+				sh.lastSubs = append(sh.lastSubs, s.Concept)
+			}
 			fmt.Printf("%d. %-30s score=%.3f (coverage %.2f · specificity %.2f · diversity %.2f, %d docs)\n",
 				i+1, s.Concept, s.Score, s.Coverage, s.Specificity, s.Diversity, s.MatchedDocs)
 		}
 		if len(subs) == 0 {
 			fmt.Println("no subtopics")
+		} else if forSession {
+			fmt.Println("(refine <name|number> drills into one)")
 		}
 	default:
 		fmt.Printf("unknown command %q (try 'help')\n", cmd)
 	}
 	return false
+}
+
+// open starts a session on the given pattern, replacing the pattern of
+// an already-open session (undoable with back).
+func (sh *shell) open(rest string) {
+	concepts := splitConcepts(rest)
+	if len(concepts) == 0 {
+		fmt.Println("usage: open <concept> ; <concept> ; …")
+		return
+	}
+	if err := sh.x.ValidateConcepts(concepts); err != nil {
+		printError(err)
+		return
+	}
+	if sh.id != "" {
+		if snap, err := sh.sessions.Set(sh.id, concepts); err == nil {
+			fmt.Printf("pattern set to %s (step %d; 'back' undoes)\n",
+				strings.Join(snap.Concepts, " ; "), len(snap.Steps))
+			return
+		}
+		// The session expired or vanished; fall through to a fresh one.
+	}
+	snap := sh.sessions.Create(concepts)
+	sh.id = snap.ID
+	fmt.Printf("session %s opened on %s\n", snap.ID, strings.Join(snap.Concepts, " ; "))
+}
+
+// refine drills the session into a subtopic, by name or by the row
+// number of the last drill output.
+func (sh *shell) refine(rest string) {
+	if sh.id == "" {
+		fmt.Println("no open session — use 'open' first")
+		return
+	}
+	if rest == "" {
+		fmt.Println("usage: refine <concept>  (or refine <number> from the last drill)")
+		return
+	}
+	concept := rest
+	if n, err := strconv.Atoi(rest); err == nil {
+		if n < 1 || n > len(sh.lastSubs) {
+			fmt.Printf("no suggestion %d (last drill listed %d)\n", n, len(sh.lastSubs))
+			return
+		}
+		concept = sh.lastSubs[n-1]
+	}
+	if err := sh.x.ValidateConcepts([]string{concept}); err != nil {
+		printError(err)
+		return
+	}
+	snap, err := sh.sessions.Refine(sh.id, concept)
+	if err != nil {
+		printError(err)
+		return
+	}
+	fmt.Printf("pattern: %s\n", strings.Join(snap.Concepts, " ; "))
+}
+
+func (sh *shell) back() {
+	if sh.id == "" {
+		fmt.Println("no open session")
+		return
+	}
+	snap, err := sh.sessions.Back(sh.id)
+	if err != nil {
+		printError(err)
+		return
+	}
+	fmt.Printf("pattern: %s\n", strings.Join(snap.Concepts, " ; "))
+}
+
+func (sh *shell) history() {
+	snap, ok := sh.current()
+	if !ok {
+		fmt.Println("no open session")
+		return
+	}
+	for i, st := range snap.Steps {
+		op := string(st.Op)
+		if st.Concept != "" {
+			op += " " + st.Concept
+		}
+		fmt.Printf("%2d. %-24s → %s\n", i+1, op, strings.Join(st.Concepts, " ; "))
+	}
+	fmt.Printf("    (%d step(s) undoable)\n", snap.Depth)
 }
 
 func splitConcepts(s string) []string {
@@ -128,9 +300,19 @@ func splitConcepts(s string) []string {
 	return out
 }
 
+// printError surfaces typed facade errors with their suggestions.
+func printError(err error) {
+	fmt.Println("error:", err)
+	if e, ok := ncexplorer.AsError(err); ok {
+		if sugg, ok := e.Details["suggestions"].([]string); ok && len(sugg) > 0 {
+			fmt.Printf("did you mean: %s?\n", strings.Join(sugg, ", "))
+		}
+	}
+}
+
 func printList(list []string, err error) {
 	if err != nil {
-		fmt.Println("error:", err)
+		printError(err)
 		return
 	}
 	if len(list) == 0 {

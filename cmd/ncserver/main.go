@@ -6,19 +6,25 @@
 //
 //	go run ./cmd/ncserver [-addr :8080] [-scale tiny|default] [-seed 42]
 //	                      [-cache-shards 8] [-cache-capacity 256] [-maxk 100]
+//	                      [-max-batch 64] [-session-ttl 30m] [-max-sessions 1024]
 //
 // Endpoints (see internal/server for payload shapes):
 //
 //	POST /v1/rollup             GET /v1/broader/{concept}
 //	POST /v1/drilldown          GET /v1/keywords/{concept}
 //	GET  /v1/concepts/{entity}  GET /v1/topics
+//	POST /v2/query/rollup       POST /v2/query/drilldown
+//	POST /v2/batch              /v2/sessions (+ /{id}/rollup|drilldown|back)
 //	GET  /healthz               GET /statsz
 //
-// Example session:
+// Example session (the stateful exploration loop):
 //
 //	curl -s localhost:8080/v1/topics
-//	curl -s -X POST localhost:8080/v1/rollup \
-//	    -d '{"concepts":["International trade","Country"],"k":5}'
+//	curl -s -X POST localhost:8080/v2/query/rollup \
+//	    -d '{"concepts":["International trade","Country"],"k":5,"offset":0,"explain":true}'
+//	curl -s -X POST localhost:8080/v2/sessions -d '{"concepts":["International trade"]}'
+//	curl -s -X POST localhost:8080/v2/sessions/<id>/drilldown -d '{"k":8,"select":"<subtopic>"}'
+//	curl -s -X POST localhost:8080/v2/sessions/<id>/back
 //	curl -s localhost:8080/statsz
 package main
 
@@ -44,6 +50,9 @@ func main() {
 	shards := flag.Int("cache-shards", 8, "result cache shard count")
 	capacity := flag.Int("cache-capacity", 256, "result cache entries per shard (negative disables)")
 	maxK := flag.Int("maxk", 100, "maximum k accepted by query endpoints")
+	maxBatch := flag.Int("max-batch", 64, "maximum queries per /v2/batch call")
+	sessionTTL := flag.Duration("session-ttl", 30*time.Minute, "idle lifetime of exploration sessions")
+	maxSessions := flag.Int("max-sessions", 1024, "maximum live exploration sessions (LRU eviction beyond)")
 	flag.Parse()
 
 	if *seed == 0 {
@@ -61,6 +70,9 @@ func main() {
 		CacheShards:   *shards,
 		CacheCapacity: *capacity,
 		MaxK:          *maxK,
+		MaxBatch:      *maxBatch,
+		SessionTTL:    *sessionTTL,
+		MaxSessions:   *maxSessions,
 	})
 	httpSrv := &http.Server{
 		Addr:              *addr,
@@ -84,7 +96,9 @@ func main() {
 	}()
 
 	log.Printf("serving on %s (POST /v1/rollup, POST /v1/drilldown, GET /v1/concepts/{entity}, "+
-		"GET /v1/broader/{concept}, GET /v1/keywords/{concept}, GET /v1/topics, GET /healthz, GET /statsz)", *addr)
+		"GET /v1/broader/{concept}, GET /v1/keywords/{concept}, GET /v1/topics, "+
+		"POST /v2/query/rollup, POST /v2/query/drilldown, POST /v2/batch, "+
+		"/v2/sessions CRUD + /{id}/rollup|drilldown|back, GET /healthz, GET /statsz)", *addr)
 	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatal(err)
 	}

@@ -1,0 +1,88 @@
+package ncexplorer
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// ErrorCode classifies a facade error for programmatic callers. The
+// HTTP layer maps codes to statuses and serializes them into the v2
+// error envelope; library callers switch on them with AsError.
+type ErrorCode string
+
+const (
+	// CodeInvalidArgument marks a structurally invalid request: empty
+	// concept set, non-positive k, negative offset or min_score, an
+	// unknown source name, or a name that resolves to an entity where a
+	// concept is required.
+	CodeInvalidArgument ErrorCode = "invalid_argument"
+	// CodeUnknownConcept marks a concept name absent from the knowledge
+	// graph. Details["suggestions"] carries the nearest concept names.
+	CodeUnknownConcept ErrorCode = "unknown_concept"
+	// CodeUnknownEntity marks an entity name absent from the knowledge
+	// graph.
+	CodeUnknownEntity ErrorCode = "unknown_entity"
+	// CodeCancelled marks a query abandoned because its context was
+	// cancelled.
+	CodeCancelled ErrorCode = "cancelled"
+	// CodeDeadlineExceeded marks a query abandoned because its context
+	// deadline passed.
+	CodeDeadlineExceeded ErrorCode = "deadline_exceeded"
+	// CodeNotFound marks a missing resource (an unknown session ID, an
+	// unknown route).
+	CodeNotFound ErrorCode = "not_found"
+	// CodeSessionExpired marks an exploration session evicted by TTL.
+	CodeSessionExpired ErrorCode = "session_expired"
+	// CodeNoHistory marks a back/undo on a session at its root pattern.
+	CodeNoHistory ErrorCode = "no_history"
+	// CodeInternal marks a server-side failure.
+	CodeInternal ErrorCode = "internal"
+)
+
+// Error is the facade's typed error: a machine-readable code, the
+// human-readable message (returned verbatim by Error() so /v1 clients
+// and existing callers see the same strings as before this API
+// existed), and optional structured details such as nearest-concept
+// suggestions.
+type Error struct {
+	Code    ErrorCode
+	Message string
+	Details map[string]any
+	// Err is the wrapped cause, if any (e.g. the context error behind
+	// CodeCancelled), surfaced through Unwrap for errors.Is.
+	Err error
+}
+
+func (e *Error) Error() string { return e.Message }
+
+// Unwrap exposes the cause so errors.Is(err, context.Canceled) keeps
+// working through the typed wrapper.
+func (e *Error) Unwrap() error { return e.Err }
+
+// newErrorf builds an Error with a formatted message and no details.
+func newErrorf(code ErrorCode, format string, args ...any) *Error {
+	return &Error{Code: code, Message: fmt.Sprintf(format, args...)}
+}
+
+// AsError extracts the typed error from err's chain. The boolean is
+// false when err carries no *Error, in which case callers should treat
+// it as CodeInternal.
+func AsError(err error) (*Error, bool) {
+	var e *Error
+	ok := errors.As(err, &e)
+	return e, ok
+}
+
+// ctxError wraps a context error in the matching typed code. It
+// returns nil when err is nil.
+func ctxError(err error) error {
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, context.DeadlineExceeded):
+		return &Error{Code: CodeDeadlineExceeded, Message: "ncexplorer: query deadline exceeded", Err: err}
+	default:
+		return &Error{Code: CodeCancelled, Message: "ncexplorer: query cancelled", Err: err}
+	}
+}

@@ -5,14 +5,21 @@
 // sector's record, and drills into regulatory exposure — the roll-up /
 // drill-down loop that replaces manual keyword-list maintenance.
 //
+// Steps 6–7 replay the investigation through the typed query API
+// (pagination, source filters) and an exploration session (refine /
+// back), the programmatic face of the same loop.
+//
 //	go run ./examples/duediligence
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"strings"
 
 	"ncexplorer"
+	"ncexplorer/internal/session"
 )
 
 func main() {
@@ -95,5 +102,60 @@ func main() {
 	}
 	if len(seen) == 0 {
 		fmt.Println("   no Swiss banks flagged in this corpus")
+	}
+
+	// Step 6 — the typed query API: page through the Reuters coverage
+	// of the industry screen, two articles at a time. A pipeline doing
+	// periodic re-screening consumes exactly this shape.
+	fmt.Printf("\n6. Reuters-only screen of %v, paged:\n", query)
+	ctx := context.Background()
+	for offset := 0; offset >= 0; {
+		page, err := x.RollUpQuery(ctx, ncexplorer.RollUpRequest{
+			Concepts: query,
+			K:        2,
+			Offset:   offset,
+			Sources:  []string{"reuters"},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		for i, a := range page.Articles {
+			fmt.Printf("   %2d. [%.3f] %s\n", offset+i+1, a.Score, a.Title)
+		}
+		if offset == 0 {
+			fmt.Printf("       (%d Reuters matches total)\n", page.Total)
+		}
+		offset = page.NextOffset
+	}
+
+	// Step 7 — the same loop as an exploration session: the analyst's
+	// position (current pattern) lives server-side, refinements stack,
+	// and back undoes a dead end.
+	fmt.Println("\n7. Session-backed exploration:")
+	store := session.NewStore(session.Options{})
+	sess := store.Create(query)
+	fmt.Printf("   opened %s on %s\n", sess.ID, strings.Join(sess.Concepts, " ; "))
+
+	subs, err = x.DrillDown(sess.Concepts, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(subs) > 0 {
+		sess, err = store.Refine(sess.ID, subs[0].Concept)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("   refined into %q → pattern %s\n", subs[0].Concept, strings.Join(sess.Concepts, " ; "))
+		if arts, err := x.RollUp(sess.Concepts, 2); err == nil {
+			for _, a := range arts {
+				fmt.Printf("      · %s\n", a.Title)
+			}
+		}
+		sess, err = store.Back(sess.ID)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("   back → pattern %s (%d breadcrumb steps recorded)\n",
+			strings.Join(sess.Concepts, " ; "), len(sess.Steps))
 	}
 }

@@ -20,6 +20,7 @@
 package core
 
 import (
+	"context"
 	"runtime"
 	"sort"
 	"strconv"
@@ -379,9 +380,19 @@ func (e *Engine) parallel(n int, fn func(i int)) {
 // it degrades gracefully to an inline serial loop instead of piling
 // C × Workers goroutines onto the scheduler.
 func (e *Engine) queryParallel(n int, fn func(i int)) {
+	e.queryParallelCtx(context.Background(), n, fn)
+}
+
+// queryParallelCtx is queryParallel under a context: every worker
+// (caller and helpers alike) checks ctx before claiming the next index
+// and stops claiming once it is cancelled, so a cancelled query
+// releases its helper budget promptly instead of draining the loop.
+// Indices already claimed run to completion; the ctx error, if any, is
+// returned after all workers stop.
+func (e *Engine) queryParallelCtx(ctx context.Context, n int, fn func(i int)) error {
 	var next atomic.Int64
 	work := func() {
-		for {
+		for ctx.Err() == nil {
 			i := int(next.Add(1)) - 1
 			if i >= n {
 				return
@@ -412,6 +423,7 @@ func (e *Engine) queryParallel(n int, fn func(i int)) {
 	}
 	work()
 	wg.Wait()
+	return ctx.Err()
 }
 
 func (e *Engine) parallelWorker(n int, fn func(worker, i int)) {

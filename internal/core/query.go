@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sort"
 
 	"ncexplorer/internal/corpus"
@@ -8,6 +9,13 @@ import (
 	"ncexplorer/internal/topk"
 	"ncexplorer/internal/xrand"
 )
+
+// ctxStride is how many per-document scoring iterations run between
+// context checks on the roll-up path. Each iteration may pay for a
+// memo-miss cdr computation (random-walk sampling), so a cancelled
+// query stops within one stride of scoring work rather than draining
+// the whole matched set.
+const ctxStride = 64
 
 // conceptMatches returns the sorted document IDs matching concept c —
 // documents containing at least one entity of c's extent closure
@@ -38,14 +46,25 @@ func (e *Engine) conceptMatches(c kg.NodeID) []int32 {
 // matchedDocs intersects the per-concept match lists: a document
 // matches Q iff it matches every concept in Q.
 func (e *Engine) matchedDocs(q Query) []int32 {
+	docs, _ := e.matchedDocsCtx(context.Background(), q)
+	return docs
+}
+
+// matchedDocsCtx is matchedDocs with cancellation checked before each
+// per-concept match-list computation (a cold concept can require a
+// full extent-closure walk over the postings).
+func (e *Engine) matchedDocsCtx(ctx context.Context, q Query) ([]int32, error) {
 	if len(q) == 0 {
-		return nil
+		return nil, nil
 	}
 	lists := make([][]int32, len(q))
 	for i, c := range q {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		lists[i] = e.conceptMatches(c)
 		if len(lists[i]) == 0 {
-			return nil
+			return nil, nil
 		}
 	}
 	// Intersect starting from the shortest list.
@@ -54,10 +73,10 @@ func (e *Engine) matchedDocs(q Query) []int32 {
 	for _, l := range lists[1:] {
 		out = intersectSorted(out, l)
 		if len(out) == 0 {
-			return nil
+			return nil, nil
 		}
 	}
-	return out
+	return out, nil
 }
 
 // containsConcept reports whether c is in the (typically tiny) direct
@@ -117,26 +136,96 @@ func (e *Engine) MatchedDocs(q Query) []corpus.DocID {
 	return out
 }
 
+// RollUpOptions parameterises a paged roll-up. The zero value of every
+// field except K means "no constraint": Offset 0 starts at the top,
+// nil Sources admits every source, MinScore <= 0 disables the score
+// floor.
+type RollUpOptions struct {
+	// K is the page size. K <= 0 yields an empty page (the facade
+	// validates and rejects non-positive K before reaching the engine).
+	K int
+	// Offset skips the first Offset ranked results (pagination).
+	Offset int
+	// Sources restricts results to documents from these sources.
+	Sources []corpus.Source
+	// MinScore excludes documents with rel(Q, d) < MinScore when > 0.
+	MinScore float64
+}
+
+// RollUpPage is one page of roll-up results plus the total number of
+// matching documents that passed the filters — what a paginating
+// client needs to compute the next offset.
+type RollUpPage struct {
+	Results []DocResult
+	Total   int
+}
+
 // RollUp implements Definition 1: the top-K documents d matching Q with
 // the highest rel(Q, d) = Σ_{c∈Q} cdr(c, d), each with its per-concept
 // explanation.
 func (e *Engine) RollUp(q Query, k int) []DocResult {
-	if k <= 0 || len(q) == 0 {
-		return nil
+	page, _ := e.RollUpPage(context.Background(), q, RollUpOptions{K: k})
+	return page.Results
+}
+
+// RollUpPage is RollUp with pagination, source/score filters, and
+// cancellation: the scoring loop observes ctx every ctxStride
+// documents (memo-miss cdr computations are the expensive step), and
+// a ctx error is returned as soon as it is seen. With Offset 0 and no
+// filters the page contents are identical to RollUp(q, opts.K).
+func (e *Engine) RollUpPage(ctx context.Context, q Query, opts RollUpOptions) (RollUpPage, error) {
+	if opts.K <= 0 || len(q) == 0 || opts.Offset < 0 {
+		return RollUpPage{}, nil
 	}
-	docs := e.matchedDocs(q)
+	docs, err := e.matchedDocsCtx(ctx, q)
+	if err != nil {
+		return RollUpPage{}, err
+	}
 	if len(docs) == 0 {
-		return nil
+		return RollUpPage{}, nil
 	}
-	coll := topk.New[int32](k)
-	for _, d := range docs {
+	var allowed map[corpus.Source]bool
+	if len(opts.Sources) > 0 {
+		allowed = make(map[corpus.Source]bool, len(opts.Sources))
+		for _, s := range opts.Sources {
+			allowed[s] = true
+		}
+	}
+	total := 0
+	// The collector needs K+Offset slots, but never more than there are
+	// matched documents — and Offset is caller-controlled, so capping at
+	// len(docs) also stops a huge (or overflowing) offset from turning
+	// into a huge allocation. The cap never changes results: a collector
+	// at least as large as the push count retains everything.
+	limit := opts.K + opts.Offset
+	if limit < 0 || limit > len(docs) {
+		limit = len(docs)
+	}
+	coll := topk.New[int32](limit)
+	for i, d := range docs {
+		if i%ctxStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return RollUpPage{}, err
+			}
+		}
+		if allowed != nil && !allowed[e.docs[d].source] {
+			continue
+		}
 		rel := 0.0
 		for _, c := range q {
 			rel += e.cdr(c, d).cdr
 		}
+		if opts.MinScore > 0 && rel < opts.MinScore {
+			continue
+		}
+		total++
 		coll.Push(d, rel)
 	}
 	items := coll.Sorted()
+	if opts.Offset >= len(items) {
+		return RollUpPage{Total: total}, nil
+	}
+	items = items[opts.Offset:]
 	out := make([]DocResult, len(items))
 	for i, it := range items {
 		res := DocResult{Doc: corpus.DocID(it.Value), Score: it.Score}
@@ -148,25 +237,72 @@ func (e *Engine) RollUp(q Query, k int) []DocResult {
 		}
 		out[i] = res
 	}
-	return out
+	return RollUpPage{Results: out, Total: total}, nil
+}
+
+// DrillDownOptions parameterises a paged drill-down. The negated
+// component toggles keep the zero value equal to the paper's full
+// scoring (C·S·D).
+type DrillDownOptions struct {
+	// K is the page size. K <= 0 yields an empty page.
+	K int
+	// Offset skips the first Offset ranked suggestions (pagination).
+	// The ranking is computed over a shortlist of max(128, K)
+	// candidates independent of Offset, so pages of a fixed-K listing
+	// are mutually consistent; offsets past the shortlist return
+	// empty pages.
+	Offset int
+	// MinScore excludes suggestions scoring below it when > 0.
+	MinScore float64
+	// NoSpecificity / NoDiversity disable the corresponding score
+	// factors — the Fig. 8 ablation (C, C+S, C+S+D).
+	NoSpecificity bool
+	NoDiversity   bool
+}
+
+// DrillDownPage is one page of subtopic suggestions plus the number
+// of rankable suggestions behind the cursor: the scored shortlist
+// size (so offset+k can actually reach every counted entry), reduced
+// to the entries at or above MinScore when a floor is set.
+type DrillDownPage struct {
+	Results []Subtopic
+	Total   int
 }
 
 // DrillDown implements Definition 2: the top-K subtopics c for Q by
 // sbr(c, Q) = coverage(c, Q) · specificity(c) · diversity(c, Q).
 func (e *Engine) DrillDown(q Query, k int) []Subtopic {
-	return e.DrillDownComponents(q, k, true, true)
+	page, _ := e.DrillDownPage(context.Background(), q, DrillDownOptions{K: k})
+	return page.Results
 }
 
 // DrillDownComponents is DrillDown with the specificity and diversity
 // factors individually switchable — the Fig. 8 ablation (C, C+S,
 // C+S+D).
 func (e *Engine) DrillDownComponents(q Query, k int, useSpecificity, useDiversity bool) []Subtopic {
-	if k <= 0 || len(q) == 0 {
-		return nil
+	page, _ := e.DrillDownPage(context.Background(), q, DrillDownOptions{
+		K: k, NoSpecificity: !useSpecificity, NoDiversity: !useDiversity,
+	})
+	return page.Results
+}
+
+// DrillDownPage is DrillDown with pagination, a score floor, the
+// ablation toggles, and cancellation: the parallel diversity loop
+// stops claiming shortlist entries once ctx is cancelled, and the ctx
+// error is returned. With Offset 0 and the zero options the page
+// contents are identical to DrillDown(q, opts.K).
+func (e *Engine) DrillDownPage(ctx context.Context, q Query, opts DrillDownOptions) (DrillDownPage, error) {
+	useSpecificity, useDiversity := !opts.NoSpecificity, !opts.NoDiversity
+	k := opts.K
+	if k <= 0 || len(q) == 0 || opts.Offset < 0 {
+		return DrillDownPage{}, nil
 	}
-	docs := e.matchedDocs(q)
+	docs, err := e.matchedDocsCtx(ctx, q)
+	if err != nil {
+		return DrillDownPage{}, err
+	}
 	if len(docs) == 0 {
-		return nil
+		return DrillDownPage{}, nil
 	}
 	inQuery := make(map[kg.NodeID]struct{}, len(q))
 	for _, c := range q {
@@ -188,11 +324,25 @@ func (e *Engine) DrillDownComponents(q Query, k int, useSpecificity, useDiversit
 		}
 	}
 	if len(coverage) == 0 {
-		return nil
+		return DrillDownPage{}, nil
 	}
 
 	// Shortlist by the cheap components before paying for diversity.
-	const shortlistSize = 128
+	// The window is max(128, K), deliberately independent of Offset:
+	// every page of a fixed-K listing re-ranks the *same* shortlist, so
+	// stitched pages can never duplicate or skip a suggestion (a window
+	// that grew with the offset would re-rank a larger candidate set on
+	// deeper pages and shift ranks across the boundary). Pagination
+	// therefore ends at the scored window — Total reports the rankable
+	// count, and the cursor goes -1 there — rather than pretending the
+	// cheap-score tail beyond it is ranked.
+	shortlistSize := 128
+	if k > shortlistSize {
+		shortlistSize = k
+	}
+	if shortlistSize > len(coverage) {
+		shortlistSize = len(coverage)
+	}
 	shortlist := topk.New[kg.NodeID](shortlistSize)
 	// Deterministic iteration order over candidates.
 	cands := make([]kg.NodeID, 0, len(coverage))
@@ -216,7 +366,7 @@ func (e *Engine) DrillDownComponents(q Query, k int, useSpecificity, useDiversit
 	// tie-breaking — is identical to the serial loop.
 	short := shortlist.Values()
 	subs := make([]Subtopic, len(short))
-	e.queryParallel(len(short), func(i int) {
+	err = e.queryParallelCtx(ctx, len(short), func(i int) {
 		c := short[i]
 		md := matched[c]
 		sub := Subtopic{
@@ -282,16 +432,37 @@ func (e *Engine) DrillDownComponents(q Query, k int, useSpecificity, useDiversit
 		sub.Score = score
 		subs[i] = sub
 	})
-	coll := topk.New[Subtopic](k)
+	if err != nil {
+		return DrillDownPage{}, err
+	}
+	total := len(subs)
+	if opts.MinScore > 0 {
+		total = 0
+	}
+	limit := k + opts.Offset
+	if limit < 0 || limit > len(subs) {
+		limit = len(subs)
+	}
+	coll := topk.New[Subtopic](limit)
 	for _, sub := range subs {
+		if opts.MinScore > 0 {
+			if sub.Score < opts.MinScore {
+				continue
+			}
+			total++
+		}
 		coll.Push(sub, sub.Score)
 	}
 	items := coll.Sorted()
+	if opts.Offset >= len(items) {
+		return DrillDownPage{Total: total}, nil
+	}
+	items = items[opts.Offset:]
 	out := make([]Subtopic, len(items))
 	for i, it := range items {
 		out[i] = it.Value
 	}
-	return out
+	return DrillDownPage{Results: out, Total: total}, nil
 }
 
 // BroaderOptions lists the roll-up targets of a concept: its `broader`

@@ -1,0 +1,70 @@
+package qcache
+
+import (
+	"strconv"
+	"strings"
+)
+
+// KeyBuilder assembles collision-free cache keys from typed parts.
+// Every part is written with an unambiguous encoding (strings are
+// length-prefixed, numbers rendered canonically), so two distinct part
+// sequences can never produce the same key no matter what bytes a
+// user-supplied string contains. The paginated v2 query endpoints key
+// their cache entries on the full request shape — operation, concept
+// set, k, offset, filters, explain flag — through this type.
+//
+// The zero value is ready to use. A KeyBuilder must not be reused
+// after String.
+type KeyBuilder struct {
+	b strings.Builder
+}
+
+// Str appends a length-prefixed string part.
+func (k *KeyBuilder) Str(s string) *KeyBuilder {
+	k.b.WriteString(strconv.Itoa(len(s)))
+	k.b.WriteByte(':')
+	k.b.WriteString(s)
+	k.b.WriteByte('|')
+	return k
+}
+
+// Strs appends a list of string parts with its own length prefix, so
+// ["ab"] and ["a","b"] cannot collide.
+func (k *KeyBuilder) Strs(ss []string) *KeyBuilder {
+	k.b.WriteByte('[')
+	k.b.WriteString(strconv.Itoa(len(ss)))
+	k.b.WriteByte('|')
+	for _, s := range ss {
+		k.Str(s)
+	}
+	k.b.WriteByte(']')
+	return k
+}
+
+// Int appends an integer part.
+func (k *KeyBuilder) Int(i int) *KeyBuilder {
+	k.b.WriteString(strconv.Itoa(i))
+	k.b.WriteByte('|')
+	return k
+}
+
+// Float appends a float part in the shortest round-trippable form.
+func (k *KeyBuilder) Float(f float64) *KeyBuilder {
+	k.b.WriteString(strconv.FormatFloat(f, 'g', -1, 64))
+	k.b.WriteByte('|')
+	return k
+}
+
+// Bool appends a boolean part.
+func (k *KeyBuilder) Bool(v bool) *KeyBuilder {
+	if v {
+		k.b.WriteByte('T')
+	} else {
+		k.b.WriteByte('F')
+	}
+	k.b.WriteByte('|')
+	return k
+}
+
+// String returns the assembled key.
+func (k *KeyBuilder) String() string { return k.b.String() }

@@ -1,0 +1,56 @@
+package qcache
+
+import "testing"
+
+// TestKeyBuilderUnambiguous pins the collision-freedom of the typed
+// key encoding: part boundaries cannot be forged by crafted strings,
+// and list structure is part of the key.
+func TestKeyBuilderUnambiguous(t *testing.T) {
+	key := func(build func(*KeyBuilder)) string {
+		var kb KeyBuilder
+		build(&kb)
+		return kb.String()
+	}
+	pairs := [][2]string{
+		{
+			key(func(k *KeyBuilder) { k.Str("ab").Str("c") }),
+			key(func(k *KeyBuilder) { k.Str("a").Str("bc") }),
+		},
+		{
+			key(func(k *KeyBuilder) { k.Str("a|b") }),
+			key(func(k *KeyBuilder) { k.Str("a").Str("b") }),
+		},
+		{
+			key(func(k *KeyBuilder) { k.Strs([]string{"ab"}) }),
+			key(func(k *KeyBuilder) { k.Strs([]string{"a", "b"}) }),
+		},
+		{
+			key(func(k *KeyBuilder) { k.Str("1:x") }),
+			key(func(k *KeyBuilder) { k.Int(1).Str("x") }),
+		},
+		{
+			key(func(k *KeyBuilder) { k.Int(12) }),
+			key(func(k *KeyBuilder) { k.Int(1).Int(2) }),
+		},
+		{
+			key(func(k *KeyBuilder) { k.Bool(true) }),
+			key(func(k *KeyBuilder) { k.Bool(false) }),
+		},
+		{
+			key(func(k *KeyBuilder) { k.Float(1.5) }),
+			key(func(k *KeyBuilder) { k.Float(1.25) }),
+		},
+	}
+	for i, p := range pairs {
+		if p[0] == p[1] {
+			t.Errorf("pair %d collides: %q", i, p[0])
+		}
+	}
+
+	// Identical part sequences produce identical keys.
+	a := key(func(k *KeyBuilder) { k.Str("op").Int(5).Strs([]string{"x", "y"}).Bool(true) })
+	b := key(func(k *KeyBuilder) { k.Str("op").Int(5).Strs([]string{"x", "y"}).Bool(true) })
+	if a != b {
+		t.Fatalf("deterministic build differs: %q vs %q", a, b)
+	}
+}

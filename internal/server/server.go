@@ -11,11 +11,20 @@
 //	GET  /v1/broader/{concept}    the next roll-up level
 //	GET  /v1/keywords/{concept}   amplified keyword list (?n=10)
 //	GET  /v1/topics               the paper's six evaluation queries
+//	POST /v2/query/rollup         typed request: pagination (offset),
+//	                              source/min-score filters, explain toggle
+//	POST /v2/query/drilldown      typed drill-down request
+//	POST /v2/batch                N typed queries in one POST, executed
+//	                              under the engine's bounded parallelism
+//	     /v2/sessions...          exploration sessions: CRUD plus
+//	                              rollup/drilldown/back navigation that
+//	                              mutates the current concept pattern
+//	                              (see sessions.go)
 //	GET  /healthz                 liveness + world summary
-//	GET  /statsz                  index, cache, and request counters;
-//	                              index.engine_cache reports the
-//	                              engine's sharded memo caches (cdr and
-//	                              match hits/misses/coalesced/entries)
+//	GET  /statsz                  index, cache, session, and request
+//	                              counters; index.engine_cache reports
+//	                              the engine's sharded memo caches (cdr
+//	                              and match hits/misses/coalesced/entries)
 //
 // Roll-up and drill-down responses are served through a sharded LRU
 // cache (internal/qcache) keyed by the canonicalized concept set and
@@ -24,9 +33,12 @@
 // identical queries are coalesced into one engine call. The X-Cache
 // response header reports HIT or MISS per request.
 //
-// Errors are JSON too: {"error": "..."} with status 400 for malformed
-// bodies, empty queries, and unknown concept or entity names; 404 and
-// 405 responses carry the same shape.
+// Errors are JSON too. The /v1 routes keep their original flat shape
+// {"error": "..."} byte-for-byte; every /v2 route shares the
+// structured envelope {"error": {"code", "message", "details"}} with
+// typed codes (unknown_concept errors carry nearest-concept
+// suggestions in details.suggestions). See DESIGN.md §5 for the
+// versioning contract.
 package server
 
 import (
@@ -40,10 +52,12 @@ import (
 
 	"ncexplorer"
 	"ncexplorer/internal/qcache"
+	"ncexplorer/internal/session"
 )
 
 // Options configures a Server. The zero value enables a 8-shard,
-// 256-entries-per-shard cache and k clamped to 100.
+// 256-entries-per-shard cache, k clamped to 100, a 64-query batch
+// cap, and 30-minute exploration sessions.
 type Options struct {
 	// CacheShards is the shard count of the result cache (default 8).
 	CacheShards int
@@ -53,6 +67,18 @@ type Options struct {
 	CacheCapacity int
 	// MaxK caps the k accepted by query endpoints (default 100).
 	MaxK int
+	// MaxBatch caps the queries accepted per /v2/batch call
+	// (default 64).
+	MaxBatch int
+	// SessionTTL is how long an exploration session survives without
+	// being touched (default 30m).
+	SessionTTL time.Duration
+	// MaxSessions bounds live exploration sessions; creation beyond it
+	// evicts the least-recently-used session (default 1024).
+	MaxSessions int
+	// Clock supplies the session store's time source (tests inject a
+	// fake one; default time.Now).
+	Clock func() time.Time
 }
 
 func (o Options) withDefaults() Options {
@@ -65,37 +91,51 @@ func (o Options) withDefaults() Options {
 	if o.MaxK <= 0 {
 		o.MaxK = 100
 	}
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 64
+	}
 	return o
 }
+
+// defaultK is the page size applied when a query body omits k.
+const defaultK = 10
 
 // routes enumerated for per-endpoint request counters, in /statsz
 // display order; "other" counts unknown paths and wrong-method
 // requests.
 var routes = []string{
 	"rollup", "drilldown", "concepts", "broader", "keywords",
-	"topics", "healthz", "statsz", "other",
+	"topics", "v2rollup", "v2drilldown", "v2batch", "v2sessions",
+	"healthz", "statsz", "other",
 }
 
 // Server is the HTTP serving layer over an Explorer. Safe for
 // concurrent use; construct with New.
 type Server struct {
-	x       *ncexplorer.Explorer
-	cache   *qcache.Cache
-	mux     *http.ServeMux
-	opts    Options
-	started time.Time
+	x        *ncexplorer.Explorer
+	cache    *qcache.Cache
+	sessions *session.Store
+	mux      *http.ServeMux
+	opts     Options
+	started  time.Time
 
 	total   atomic.Int64
 	errors  atomic.Int64
 	byRoute map[string]*atomic.Int64
 }
 
-// New wires the handlers and cache around an indexed Explorer.
+// New wires the handlers, cache, and session store around an indexed
+// Explorer.
 func New(x *ncexplorer.Explorer, opts Options) *Server {
 	opts = opts.withDefaults()
 	s := &Server{
-		x:       x,
-		cache:   qcache.New(opts.CacheShards, opts.CacheCapacity),
+		x:     x,
+		cache: qcache.New(opts.CacheShards, opts.CacheCapacity),
+		sessions: session.NewStore(session.Options{
+			TTL:         opts.SessionTTL,
+			MaxSessions: opts.MaxSessions,
+			Now:         opts.Clock,
+		}),
 		mux:     http.NewServeMux(),
 		opts:    opts,
 		started: time.Now(),
@@ -112,6 +152,20 @@ func New(x *ncexplorer.Explorer, opts Options) *Server {
 	s.mux.HandleFunc("GET /v1/topics", s.counted("topics", s.handleTopics))
 	s.mux.HandleFunc("GET /healthz", s.counted("healthz", s.handleHealthz))
 	s.mux.HandleFunc("GET /statsz", s.counted("statsz", s.handleStatsz))
+
+	// v2: typed queries, batch, exploration sessions (see v2.go and
+	// sessions.go).
+	s.mux.HandleFunc("POST /v2/query/rollup", s.counted("v2rollup", s.handleQueryV2("rollup")))
+	s.mux.HandleFunc("POST /v2/query/drilldown", s.counted("v2drilldown", s.handleQueryV2("drilldown")))
+	s.mux.HandleFunc("POST /v2/batch", s.counted("v2batch", s.handleBatch))
+	s.mux.HandleFunc("POST /v2/sessions", s.counted("v2sessions", s.handleSessionCreate))
+	s.mux.HandleFunc("GET /v2/sessions", s.counted("v2sessions", s.handleSessionList))
+	s.mux.HandleFunc("GET /v2/sessions/{id}", s.counted("v2sessions", s.handleSessionGet))
+	s.mux.HandleFunc("DELETE /v2/sessions/{id}", s.counted("v2sessions", s.handleSessionDelete))
+	s.mux.HandleFunc("POST /v2/sessions/{id}/rollup", s.counted("v2sessions", s.handleSessionRollUp))
+	s.mux.HandleFunc("POST /v2/sessions/{id}/drilldown", s.counted("v2sessions", s.handleSessionDrillDown))
+	s.mux.HandleFunc("POST /v2/sessions/{id}/back", s.counted("v2sessions", s.handleSessionBack))
+
 	// Method-less fallbacks (the method-specific patterns above win
 	// when they match) and a catch-all, so wrong-method and
 	// unknown-path responses are JSON and counted like everything
@@ -128,6 +182,27 @@ func New(x *ncexplorer.Explorer, opts Options) *Server {
 	} {
 		s.mux.HandleFunc(pattern, s.methodNotAllowed(allow))
 	}
+	for pattern, allow := range map[string]string{
+		"/v2/query/rollup":            "POST",
+		"/v2/query/drilldown":         "POST",
+		"/v2/batch":                   "POST",
+		"/v2/sessions":                "GET, POST",
+		"/v2/sessions/{id}":           "GET, DELETE",
+		"/v2/sessions/{id}/rollup":    "POST",
+		"/v2/sessions/{id}/drilldown": "POST",
+		"/v2/sessions/{id}/back":      "POST",
+	} {
+		s.mux.HandleFunc(pattern, s.methodNotAllowedV2(allow))
+	}
+	// Unknown /v2 paths get the structured envelope; everything else
+	// keeps the v1-era flat error shape.
+	s.mux.HandleFunc("/v2/", s.counted("other", func(w http.ResponseWriter, r *http.Request) {
+		s.writeAPIError(w, &apiError{
+			status:  http.StatusNotFound,
+			code:    ncexplorer.CodeNotFound,
+			message: fmt.Sprintf("unknown path %q", r.URL.Path),
+		})
+	}))
 	s.mux.HandleFunc("/", s.counted("other", func(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusNotFound, fmt.Errorf("unknown path %q", r.URL.Path))
 	}))
@@ -216,7 +291,7 @@ func (s *Server) decodeQuery(w http.ResponseWriter, r *http.Request) ([]string, 
 		return nil, 0, false
 	}
 	if k == 0 { // absent from the body
-		k = 10
+		k = defaultK
 	}
 	if k > s.opts.MaxK {
 		k = s.opts.MaxK
@@ -378,12 +453,17 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 // statszResponse is the /statsz payload: world dimensions, cache
-// effectiveness, and request counters.
+// effectiveness, session occupancy, and request counters.
 type statszResponse struct {
 	Index    ncexplorer.Stats `json:"index"`
 	Cache    qcache.Stats     `json:"cache"`
+	Sessions sessionStats     `json:"sessions"`
 	Requests requestStats     `json:"requests"`
 	Uptime   float64          `json:"uptime_seconds"`
+}
+
+type sessionStats struct {
+	Live int `json:"live"`
 }
 
 type requestStats struct {
@@ -398,8 +478,9 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 		by[route] = s.byRoute[route].Load()
 	}
 	s.writeJSON(w, http.StatusOK, statszResponse{
-		Index: s.x.Stats(),
-		Cache: s.cache.Stats(),
+		Index:    s.x.Stats(),
+		Cache:    s.cache.Stats(),
+		Sessions: sessionStats{Live: s.sessions.Len()},
 		Requests: requestStats{
 			Total:   s.total.Load(),
 			Errors:  s.errors.Load(),

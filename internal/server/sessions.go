@@ -1,0 +1,196 @@
+// Session endpoints: server-side exploration state over
+// internal/session. A session holds the analyst's current concept
+// pattern and the roll-up/drill-down navigation history; the
+// navigation endpoints execute queries through the same cached typed
+// path as /v2/query/*, so a session walk-through produces
+// byte-identical payloads to the equivalent stateless calls.
+//
+//	POST   /v2/sessions                    {"concepts": [...]} → create
+//	GET    /v2/sessions                    list live sessions
+//	GET    /v2/sessions/{id}               snapshot (does not refresh TTL)
+//	DELETE /v2/sessions/{id}               drop a session
+//	POST   /v2/sessions/{id}/rollup        roll up the current pattern
+//	                                       (optional "concepts" replaces it first)
+//	POST   /v2/sessions/{id}/drilldown     suggest subtopics for the current
+//	                                       pattern (optional "select" then
+//	                                       refines the pattern with one)
+//	POST   /v2/sessions/{id}/back          undo the last pattern change
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+
+	"ncexplorer"
+	"ncexplorer/internal/session"
+)
+
+// sessionError maps internal/session failures onto the envelope.
+func sessionError(err error) *apiError {
+	switch {
+	case errors.Is(err, session.ErrNotFound):
+		return &apiError{status: http.StatusNotFound, code: ncexplorer.CodeNotFound, message: err.Error()}
+	case errors.Is(err, session.ErrExpired):
+		return &apiError{status: http.StatusGone, code: ncexplorer.CodeSessionExpired, message: err.Error()}
+	case errors.Is(err, session.ErrNoHistory):
+		return &apiError{status: http.StatusConflict, code: ncexplorer.CodeNoHistory, message: err.Error()}
+	case errors.Is(err, session.ErrDuplicateConcept):
+		return &apiError{status: http.StatusBadRequest, code: ncexplorer.CodeInvalidArgument, message: err.Error()}
+	default:
+		return apiErrorFrom(err)
+	}
+}
+
+// sessionEnvelope wraps a session snapshot, optionally with the query
+// result a navigation call produced. Result is the same bytes the
+// stateless /v2/query endpoint would return for the session's pattern.
+type sessionEnvelope struct {
+	Session session.Snapshot `json:"session"`
+	Result  json.RawMessage  `json:"result,omitempty"`
+}
+
+type createSessionRequest struct {
+	Concepts []string `json:"concepts"`
+}
+
+func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
+	var req createSessionRequest
+	if aerr := decodeV2(w, r, &req); aerr != nil {
+		s.writeAPIError(w, aerr)
+		return
+	}
+	concepts := ncexplorer.CanonicalConcepts(req.Concepts)
+	if err := s.x.ValidateConcepts(concepts); err != nil {
+		s.writeAPIError(w, apiErrorFrom(err))
+		return
+	}
+	snap := s.sessions.Create(concepts)
+	s.writeJSON(w, http.StatusCreated, sessionEnvelope{Session: snap})
+}
+
+func (s *Server) handleSessionList(w http.ResponseWriter, r *http.Request) {
+	list := s.sessions.List()
+	s.writeJSON(w, http.StatusOK, map[string]any{"count": len(list), "sessions": list})
+}
+
+func (s *Server) handleSessionGet(w http.ResponseWriter, r *http.Request) {
+	snap, err := s.sessions.Peek(r.PathValue("id"))
+	if err != nil {
+		s.writeAPIError(w, sessionError(err))
+		return
+	}
+	s.writeJSON(w, http.StatusOK, sessionEnvelope{Session: snap})
+}
+
+func (s *Server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !s.sessions.Delete(id) {
+		s.writeAPIError(w, sessionError(session.ErrNotFound))
+		return
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{"deleted": id})
+}
+
+// handleSessionRollUp rolls up the session's current pattern. A
+// non-empty "concepts" field replaces the pattern first (recorded as a
+// navigation step, undoable with back); the other typed request
+// fields (k, offset, sources, min_score, explain) apply as on
+// /v2/query/rollup.
+func (s *Server) handleSessionRollUp(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	var q v2QueryRequest
+	if aerr := decodeV2(w, r, &q); aerr != nil {
+		s.writeAPIError(w, aerr)
+		return
+	}
+	snap, err := s.sessions.Get(id)
+	if err != nil {
+		s.writeAPIError(w, sessionError(err))
+		return
+	}
+	// Run the query on the prospective pattern first and commit the
+	// pattern replacement only once it succeeds: a request rejected
+	// for any reason (unknown concept, bad paging, cancellation) must
+	// leave the session exactly as it was.
+	newConcepts := ncexplorer.CanonicalConcepts(q.Concepts)
+	if len(newConcepts) > 0 {
+		if err := s.x.ValidateConcepts(newConcepts); err != nil {
+			s.writeAPIError(w, apiErrorFrom(err))
+			return
+		}
+		q.Concepts = newConcepts
+	} else {
+		q.Concepts = snap.Concepts
+	}
+	body, _, aerr := s.execV2(r.Context(), "rollup", q)
+	if aerr != nil {
+		s.writeAPIError(w, aerr)
+		return
+	}
+	if len(newConcepts) > 0 {
+		if snap, err = s.sessions.Set(id, newConcepts); err != nil {
+			s.writeAPIError(w, sessionError(err))
+			return
+		}
+	}
+	s.writeJSON(w, http.StatusOK, sessionEnvelope{Session: snap, Result: body})
+}
+
+// sessionDrillDownRequest adds the refinement selector to the typed
+// request fields.
+type sessionDrillDownRequest struct {
+	v2QueryRequest
+	// Select, when non-empty, appends this concept to the session's
+	// pattern after the suggestions are computed — the paper's
+	// "drill down into a subtopic" move, undoable with back.
+	Select string `json:"select"`
+}
+
+// handleSessionDrillDown suggests subtopics for the session's current
+// pattern. Suggestions are computed on the pattern *before* any
+// "select" refinement is applied, mirroring the interactive loop: the
+// analyst sees suggestions for where they are, then moves.
+func (s *Server) handleSessionDrillDown(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	var req sessionDrillDownRequest
+	if aerr := decodeV2(w, r, &req); aerr != nil {
+		s.writeAPIError(w, aerr)
+		return
+	}
+	snap, err := s.sessions.Get(id)
+	if err != nil {
+		s.writeAPIError(w, sessionError(err))
+		return
+	}
+	q := req.v2QueryRequest
+	q.Concepts = snap.Concepts
+	body, _, aerr := s.execV2(r.Context(), "drilldown", q)
+	if aerr != nil {
+		s.writeAPIError(w, aerr)
+		return
+	}
+	// Canonicalize the selection before validating and refining, so a
+	// whitespace variant of a concept already in the pattern cannot
+	// slip past the duplicate-refine guard.
+	if sel := ncexplorer.CanonicalConcepts([]string{req.Select}); len(sel) > 0 {
+		if err := s.x.ValidateConcepts(sel); err != nil {
+			s.writeAPIError(w, apiErrorFrom(err))
+			return
+		}
+		if snap, err = s.sessions.Refine(id, sel[0]); err != nil {
+			s.writeAPIError(w, sessionError(err))
+			return
+		}
+	}
+	s.writeJSON(w, http.StatusOK, sessionEnvelope{Session: snap, Result: body})
+}
+
+func (s *Server) handleSessionBack(w http.ResponseWriter, r *http.Request) {
+	snap, err := s.sessions.Back(r.PathValue("id"))
+	if err != nil {
+		s.writeAPIError(w, sessionError(err))
+		return
+	}
+	s.writeJSON(w, http.StatusOK, sessionEnvelope{Session: snap})
+}

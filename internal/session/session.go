@@ -1,0 +1,348 @@
+// Package session implements server-side exploration sessions: the
+// stateful navigation loop of the paper's Fig. 1 workflow, where an
+// analyst holds a *current concept pattern* and moves through the KG
+// hierarchy by rolling up, drilling down, and stepping back.
+//
+// A Session records the current pattern, an undo stack of previous
+// patterns, and an append-only breadcrumb trail of every navigation
+// step. A Store owns many sessions with TTL-based eviction (idle
+// sessions expire) and a capacity bound (least-recently-used sessions
+// are evicted first). All Store methods are safe for concurrent use;
+// query execution happens outside the store, so holding the store's
+// lock never blocks on engine work.
+//
+// Session IDs are deterministic — a creation counter plus a hash of
+// the initial pattern — so replayed traffic produces identical IDs,
+// in keeping with the repository's byte-reproducibility contract.
+package session
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Typed failures the HTTP layer maps to structured error codes.
+var (
+	// ErrNotFound reports an ID no live session has.
+	ErrNotFound = errors.New("session: not found")
+	// ErrExpired reports a session evicted because its TTL elapsed
+	// since last use. The session is gone; the client must create a
+	// new one.
+	ErrExpired = errors.New("session: expired")
+	// ErrNoHistory reports a Back on a session at its root pattern.
+	ErrNoHistory = errors.New("session: no history to go back to")
+	// ErrDuplicateConcept reports a Refine with a concept already in
+	// the pattern.
+	ErrDuplicateConcept = errors.New("session: concept already in pattern")
+)
+
+// Op names a navigation step kind in the breadcrumb trail.
+type Op string
+
+const (
+	// OpCreate is the session's initial pattern.
+	OpCreate Op = "create"
+	// OpSet replaced the whole pattern.
+	OpSet Op = "set"
+	// OpRefine appended a drill-down subtopic to the pattern.
+	OpRefine Op = "refine"
+	// OpBack restored the previous pattern.
+	OpBack Op = "back"
+)
+
+// Step is one breadcrumb: the operation, the concept it involved (for
+// refines), and the pattern in force after it ran.
+type Step struct {
+	Op       Op        `json:"op"`
+	Concept  string    `json:"concept,omitempty"`
+	Concepts []string  `json:"concepts"`
+	At       time.Time `json:"at"`
+}
+
+// Snapshot is an immutable copy of a session's state, safe to retain
+// and serialize after the store has moved on.
+type Snapshot struct {
+	ID       string   `json:"id"`
+	Concepts []string `json:"concepts"`
+	// Steps is the full breadcrumb trail, oldest first.
+	Steps []Step `json:"steps"`
+	// Depth is the undo-stack depth: how many Back calls can succeed.
+	Depth     int       `json:"depth"`
+	CreatedAt time.Time `json:"created_at"`
+	LastUsed  time.Time `json:"last_used"`
+	ExpiresAt time.Time `json:"expires_at"`
+}
+
+// state is the mutable per-session record, guarded by the store lock.
+type state struct {
+	id       string
+	pattern  []string
+	undo     [][]string
+	steps    []Step
+	created  time.Time
+	lastUsed time.Time
+}
+
+// Options configures a Store. Zero values select a 30-minute TTL, a
+// 1024-session capacity, and the wall clock.
+type Options struct {
+	// TTL is how long a session survives without being touched.
+	TTL time.Duration
+	// MaxSessions bounds live sessions; creation beyond it evicts the
+	// least-recently-used session.
+	MaxSessions int
+	// Now supplies the clock (tests inject a fake one).
+	Now func() time.Time
+}
+
+func (o Options) withDefaults() Options {
+	if o.TTL <= 0 {
+		o.TTL = 30 * time.Minute
+	}
+	if o.MaxSessions <= 0 {
+		o.MaxSessions = 1024
+	}
+	if o.Now == nil {
+		o.Now = time.Now
+	}
+	return o
+}
+
+// Store owns the live sessions. Construct with NewStore.
+type Store struct {
+	mu       sync.Mutex
+	opts     Options
+	sessions map[string]*state
+	counter  uint64
+}
+
+// NewStore returns an empty store.
+func NewStore(opts Options) *Store {
+	return &Store{opts: opts.withDefaults(), sessions: make(map[string]*state)}
+}
+
+// fnvConcepts hashes a pattern for the ID suffix.
+func fnvConcepts(concepts []string) uint32 {
+	h := uint32(2166136261)
+	for _, c := range concepts {
+		for i := 0; i < len(c); i++ {
+			h ^= uint32(c[i])
+			h *= 16777619
+		}
+		h ^= 0xff // separator so ["ab"] and ["a","b"] differ
+		h *= 16777619
+	}
+	return h
+}
+
+// Create opens a session on the given pattern and returns its
+// snapshot. The caller is responsible for validating the concepts
+// first (the store knows nothing about the knowledge graph).
+func (s *Store) Create(concepts []string) Snapshot {
+	pattern := append([]string(nil), concepts...)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := s.opts.Now()
+	s.sweepLocked(now)
+	s.counter++
+	id := fmt.Sprintf("sess-%06d-%08x", s.counter, fnvConcepts(pattern))
+	st := &state{
+		id:       id,
+		pattern:  pattern,
+		steps:    []Step{{Op: OpCreate, Concepts: pattern, At: now}},
+		created:  now,
+		lastUsed: now,
+	}
+	s.sessions[id] = st
+	s.evictLocked()
+	return s.snapshotLocked(st)
+}
+
+// sweepLocked drops every expired session.
+func (s *Store) sweepLocked(now time.Time) {
+	for id, st := range s.sessions {
+		if now.Sub(st.lastUsed) > s.opts.TTL {
+			delete(s.sessions, id)
+		}
+	}
+}
+
+// evictLocked enforces MaxSessions by evicting least-recently-used
+// sessions (ties broken by ID for determinism).
+func (s *Store) evictLocked() {
+	for len(s.sessions) > s.opts.MaxSessions {
+		var victim *state
+		for _, st := range s.sessions {
+			if victim == nil || st.lastUsed.Before(victim.lastUsed) ||
+				(st.lastUsed.Equal(victim.lastUsed) && st.id < victim.id) {
+				victim = st
+			}
+		}
+		delete(s.sessions, victim.id)
+	}
+}
+
+// lookupLocked finds a live session, expiring it on the spot if its
+// TTL has elapsed.
+func (s *Store) lookupLocked(id string, now time.Time) (*state, error) {
+	st, ok := s.sessions[id]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	if now.Sub(st.lastUsed) > s.opts.TTL {
+		delete(s.sessions, id)
+		return nil, ErrExpired
+	}
+	return st, nil
+}
+
+func (s *Store) snapshotLocked(st *state) Snapshot {
+	steps := make([]Step, len(st.steps))
+	for i, step := range st.steps {
+		step.Concepts = append([]string(nil), step.Concepts...)
+		steps[i] = step
+	}
+	return Snapshot{
+		ID:        st.id,
+		Concepts:  append([]string(nil), st.pattern...),
+		Steps:     steps,
+		Depth:     len(st.undo),
+		CreatedAt: st.created,
+		LastUsed:  st.lastUsed,
+		ExpiresAt: st.lastUsed.Add(s.opts.TTL),
+	}
+}
+
+// Get returns a session's snapshot, refreshing its TTL.
+func (s *Store) Get(id string) (Snapshot, error) {
+	return s.mutate(id, func(*state) error { return nil })
+}
+
+// Peek returns a session's snapshot without refreshing its TTL (the
+// listing endpoint uses it so monitoring does not keep sessions
+// alive). Expired sessions still expire on contact.
+func (s *Store) Peek(id string) (Snapshot, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, err := s.lookupLocked(id, s.opts.Now())
+	if err != nil {
+		return Snapshot{}, err
+	}
+	return s.snapshotLocked(st), nil
+}
+
+// List snapshots every live session, ordered by ID (creation order),
+// without refreshing TTLs.
+func (s *Store) List() []Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sweepLocked(s.opts.Now())
+	out := make([]Snapshot, 0, len(s.sessions))
+	for _, st := range s.sessions {
+		out = append(out, s.snapshotLocked(st))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Len reports the number of live sessions (expired ones are swept
+// first).
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sweepLocked(s.opts.Now())
+	return len(s.sessions)
+}
+
+// Delete removes a session, reporting whether it existed (expired
+// sessions count as gone).
+func (s *Store) Delete(id string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.sessions[id]
+	if ok && s.opts.Now().Sub(st.lastUsed) > s.opts.TTL {
+		delete(s.sessions, id)
+		return false
+	}
+	delete(s.sessions, id)
+	return ok
+}
+
+// mutate runs fn on a live session under the lock, refreshing the TTL
+// and returning the post-mutation snapshot. fn returning an error
+// leaves the session untouched apart from the TTL refresh.
+func (s *Store) mutate(id string, fn func(*state) error) (Snapshot, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := s.opts.Now()
+	st, err := s.lookupLocked(id, now)
+	if err != nil {
+		return Snapshot{}, err
+	}
+	st.lastUsed = now
+	if err := fn(st); err != nil {
+		return Snapshot{}, err
+	}
+	return s.snapshotLocked(st), nil
+}
+
+// Set replaces the session's pattern, pushing the old one onto the
+// undo stack. Setting the identical pattern is a no-op that records no
+// step.
+func (s *Store) Set(id string, concepts []string) (Snapshot, error) {
+	pattern := append([]string(nil), concepts...)
+	return s.mutate(id, func(st *state) error {
+		if equalPatterns(st.pattern, pattern) {
+			return nil
+		}
+		st.undo = append(st.undo, st.pattern)
+		st.pattern = pattern
+		st.steps = append(st.steps, Step{Op: OpSet, Concepts: pattern, At: st.lastUsed})
+		return nil
+	})
+}
+
+// Refine appends a drill-down subtopic to the pattern, pushing the
+// previous pattern onto the undo stack.
+func (s *Store) Refine(id, concept string) (Snapshot, error) {
+	return s.mutate(id, func(st *state) error {
+		for _, c := range st.pattern {
+			if c == concept {
+				return ErrDuplicateConcept
+			}
+		}
+		st.undo = append(st.undo, st.pattern)
+		st.pattern = append(append([]string(nil), st.pattern...), concept)
+		st.steps = append(st.steps, Step{Op: OpRefine, Concept: concept, Concepts: st.pattern, At: st.lastUsed})
+		return nil
+	})
+}
+
+// Back restores the previous pattern (undo), failing with ErrNoHistory
+// at the root.
+func (s *Store) Back(id string) (Snapshot, error) {
+	return s.mutate(id, func(st *state) error {
+		if len(st.undo) == 0 {
+			return ErrNoHistory
+		}
+		st.pattern = st.undo[len(st.undo)-1]
+		st.undo = st.undo[:len(st.undo)-1]
+		st.steps = append(st.steps, Step{Op: OpBack, Concepts: st.pattern, At: st.lastUsed})
+		return nil
+	})
+}
+
+func equalPatterns(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

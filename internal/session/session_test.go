@@ -1,0 +1,261 @@
+package session
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is an adjustable test clock.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{now: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(d)
+}
+
+func testStore(ttl time.Duration, maxSessions int) (*Store, *fakeClock) {
+	clk := newFakeClock()
+	return NewStore(Options{TTL: ttl, MaxSessions: maxSessions, Now: clk.Now}), clk
+}
+
+func TestCreateGetDeterministicIDs(t *testing.T) {
+	s1, _ := testStore(time.Hour, 0)
+	s2, _ := testStore(time.Hour, 0)
+	a1 := s1.Create([]string{"Money laundering", "Swiss bank"})
+	b1 := s2.Create([]string{"Money laundering", "Swiss bank"})
+	if a1.ID != b1.ID {
+		t.Fatalf("same creation order produced different IDs: %q vs %q", a1.ID, b1.ID)
+	}
+	if !strings.HasPrefix(a1.ID, "sess-") {
+		t.Fatalf("unexpected ID shape %q", a1.ID)
+	}
+	a2 := s1.Create([]string{"Fraud"})
+	if a2.ID == a1.ID {
+		t.Fatal("distinct sessions share an ID")
+	}
+
+	got, err := s1.Get(a1.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Concepts) != 2 || got.Concepts[0] != "Money laundering" {
+		t.Fatalf("pattern = %v", got.Concepts)
+	}
+	if len(got.Steps) != 1 || got.Steps[0].Op != OpCreate {
+		t.Fatalf("steps = %+v", got.Steps)
+	}
+	if got.Depth != 0 {
+		t.Fatalf("fresh session depth = %d", got.Depth)
+	}
+	if _, err := s1.Get("sess-999999-00000000"); err != ErrNotFound {
+		t.Fatalf("unknown ID error = %v; want ErrNotFound", err)
+	}
+}
+
+func TestRefineBackSet(t *testing.T) {
+	s, _ := testStore(time.Hour, 0)
+	sn := s.Create([]string{"A"})
+
+	sn, err := s.Refine(sn.ID, "B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(sn.Concepts) != "[A B]" || sn.Depth != 1 {
+		t.Fatalf("after refine: %v depth %d", sn.Concepts, sn.Depth)
+	}
+	if _, err := s.Refine(sn.ID, "B"); err != ErrDuplicateConcept {
+		t.Fatalf("duplicate refine error = %v", err)
+	}
+
+	sn, err = s.Set(sn.ID, []string{"C", "D"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(sn.Concepts) != "[C D]" || sn.Depth != 2 {
+		t.Fatalf("after set: %v depth %d", sn.Concepts, sn.Depth)
+	}
+
+	// Setting the identical pattern records nothing.
+	same, err := s.Set(sn.ID, []string{"C", "D"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if same.Depth != 2 || len(same.Steps) != len(sn.Steps) {
+		t.Fatalf("no-op set changed state: depth %d steps %d", same.Depth, len(same.Steps))
+	}
+
+	sn, err = s.Back(sn.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(sn.Concepts) != "[A B]" || sn.Depth != 1 {
+		t.Fatalf("after back: %v depth %d", sn.Concepts, sn.Depth)
+	}
+	sn, err = s.Back(sn.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(sn.Concepts) != "[A]" || sn.Depth != 0 {
+		t.Fatalf("after second back: %v depth %d", sn.Concepts, sn.Depth)
+	}
+	if _, err := s.Back(sn.ID); err != ErrNoHistory {
+		t.Fatalf("back at root error = %v", err)
+	}
+
+	// The breadcrumb trail recorded every step including backs.
+	got, _ := s.Get(sn.ID)
+	var ops []Op
+	for _, st := range got.Steps {
+		ops = append(ops, st.Op)
+	}
+	want := []Op{OpCreate, OpRefine, OpSet, OpBack, OpBack}
+	if fmt.Sprint(ops) != fmt.Sprint(want) {
+		t.Fatalf("ops = %v; want %v", ops, want)
+	}
+}
+
+func TestTTLExpiry(t *testing.T) {
+	s, clk := testStore(10*time.Minute, 0)
+	sn := s.Create([]string{"A"})
+
+	clk.Advance(9 * time.Minute)
+	if _, err := s.Get(sn.ID); err != nil {
+		t.Fatalf("session expired early: %v", err)
+	}
+	// The Get refreshed the TTL.
+	clk.Advance(9 * time.Minute)
+	if _, err := s.Get(sn.ID); err != nil {
+		t.Fatalf("TTL not refreshed by access: %v", err)
+	}
+	clk.Advance(11 * time.Minute)
+	if _, err := s.Get(sn.ID); err != ErrExpired {
+		t.Fatalf("error after TTL = %v; want ErrExpired", err)
+	}
+	// Once expired it is gone, not resurrected.
+	if _, err := s.Get(sn.ID); err != ErrNotFound {
+		t.Fatalf("second access after expiry = %v; want ErrNotFound", err)
+	}
+	if s.Len() != 0 {
+		t.Fatalf("expired session still counted: %d", s.Len())
+	}
+}
+
+func TestPeekDoesNotRefresh(t *testing.T) {
+	s, clk := testStore(10*time.Minute, 0)
+	sn := s.Create([]string{"A"})
+	clk.Advance(9 * time.Minute)
+	if _, err := s.Peek(sn.ID); err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(2 * time.Minute)
+	if _, err := s.Get(sn.ID); err != ErrExpired {
+		t.Fatalf("Peek refreshed the TTL: err = %v", err)
+	}
+}
+
+func TestCapacityEvictsLRU(t *testing.T) {
+	s, clk := testStore(time.Hour, 3)
+	var ids []string
+	for i := 0; i < 3; i++ {
+		ids = append(ids, s.Create([]string{fmt.Sprintf("C%d", i)}).ID)
+		clk.Advance(time.Second)
+	}
+	// Touch the oldest so the second-oldest becomes LRU.
+	if _, err := s.Get(ids[0]); err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(time.Second)
+	s.Create([]string{"C3"})
+	if s.Len() != 3 {
+		t.Fatalf("len = %d; want 3", s.Len())
+	}
+	if _, err := s.Get(ids[1]); err != ErrNotFound {
+		t.Fatalf("LRU session survived eviction: err = %v", err)
+	}
+	if _, err := s.Get(ids[0]); err != nil {
+		t.Fatalf("recently used session evicted: %v", err)
+	}
+}
+
+func TestListAndDelete(t *testing.T) {
+	s, _ := testStore(time.Hour, 0)
+	a := s.Create([]string{"A"})
+	b := s.Create([]string{"B"})
+	list := s.List()
+	if len(list) != 2 || list[0].ID != a.ID || list[1].ID != b.ID {
+		t.Fatalf("list = %+v", list)
+	}
+	if !s.Delete(a.ID) {
+		t.Fatal("delete of live session reported not found")
+	}
+	if s.Delete(a.ID) {
+		t.Fatal("double delete reported found")
+	}
+	if s.Len() != 1 {
+		t.Fatalf("len = %d", s.Len())
+	}
+}
+
+// TestConcurrentAccess hammers one store from many goroutines; run
+// under -race this is the package's thread-safety proof.
+func TestConcurrentAccess(t *testing.T) {
+	// Capacity above the total creations: with the fake clock frozen,
+	// every session shares one lastUsed and LRU eviction would tie-break
+	// by ID, evicting the base session this test asserts on.
+	s, _ := testStore(time.Hour, 128)
+	base := s.Create([]string{"Root"})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				switch i % 5 {
+				case 0:
+					s.Create([]string{fmt.Sprintf("G%d-%d", g, i)})
+				case 1:
+					s.Get(base.ID)
+				case 2:
+					s.Refine(base.ID, fmt.Sprintf("R%d-%d", g, i))
+				case 3:
+					s.Back(base.ID)
+				case 4:
+					s.List()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if _, err := s.Get(base.ID); err != nil {
+		t.Fatalf("base session lost: %v", err)
+	}
+}
+
+// TestSnapshotIsolation verifies snapshots do not alias store state.
+func TestSnapshotIsolation(t *testing.T) {
+	s, _ := testStore(time.Hour, 0)
+	sn := s.Create([]string{"A"})
+	sn.Concepts[0] = "mutated"
+	sn.Steps[0].Concepts[0] = "mutated"
+	got, _ := s.Get(sn.ID)
+	if got.Concepts[0] != "A" {
+		t.Fatal("snapshot mutation leaked into the store")
+	}
+}

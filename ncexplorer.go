@@ -28,6 +28,7 @@
 package ncexplorer
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strconv"
@@ -57,14 +58,16 @@ type Config struct {
 	Beta float64
 }
 
-// Article is one roll-up result.
+// Article is one roll-up result. Explanations are present when the
+// query asked for them (RollUp always does; RollUpQuery honours its
+// Explain toggle).
 type Article struct {
 	ID           int           `json:"id"`
 	Source       string        `json:"source"`
 	Title        string        `json:"title"`
 	Body         string        `json:"body"`
 	Score        float64       `json:"score"`
-	Explanations []Explanation `json:"explanations"`
+	Explanations []Explanation `json:"explanations,omitempty"`
 }
 
 // Explanation attributes part of an article's relevance to one query
@@ -265,19 +268,22 @@ func QueryKey(op string, concepts []string, k int) string {
 	return b.String()
 }
 
-// resolveConcepts maps concept names to node IDs.
+// resolveConcepts maps concept names to node IDs, producing typed
+// errors: an unknown name yields CodeUnknownConcept with
+// nearest-concept suggestions in Details.
 func (x *Explorer) resolveConcepts(names []string) (core.Query, error) {
 	if len(names) == 0 {
-		return nil, fmt.Errorf("ncexplorer: empty concept query")
+		return nil, newErrorf(CodeInvalidArgument, "ncexplorer: empty concept query")
 	}
 	q := make(core.Query, 0, len(names))
 	for _, name := range names {
 		id, ok := x.g.Lookup(name)
 		if !ok {
-			return nil, fmt.Errorf("ncexplorer: unknown concept %q", name)
+			return nil, x.unknownConceptError(name)
 		}
 		if !x.g.IsConcept(id) {
-			return nil, fmt.Errorf("ncexplorer: %q is an entity, not a concept (try ConceptsForEntity)", name)
+			return nil, newErrorf(CodeInvalidArgument,
+				"ncexplorer: %q is an entity, not a concept (try ConceptsForEntity)", name)
 		}
 		q = append(q, id)
 	}
@@ -285,55 +291,35 @@ func (x *Explorer) resolveConcepts(names []string) (core.Query, error) {
 }
 
 // RollUp retrieves the top-k articles matching every named concept
-// (Definition 1 of the paper).
+// (Definition 1 of the paper), with explanations. k must be positive;
+// k <= 0 returns a CodeInvalidArgument error — one behavior shared by
+// the CLI, the server, and the batch path (historically the facade
+// silently returned no results for k <= 0).
+//
+// The concept list is treated as a set (Definition 1's Q): it is
+// canonicalized — trimmed, deduplicated, sorted — before execution,
+// so duplicates no longer double-count a concept's cdr contribution
+// and Explanations arrive in canonical (sorted) concept order. The
+// HTTP layer has always canonicalized before calling, so served
+// results are unchanged.
 func (x *Explorer) RollUp(concepts []string, k int) ([]Article, error) {
-	q, err := x.resolveConcepts(concepts)
+	res, err := x.RollUpQuery(context.Background(), RollUpRequest{Concepts: concepts, K: k, Explain: true})
 	if err != nil {
 		return nil, err
 	}
-	results := x.engine.RollUp(q, k)
-	out := make([]Article, 0, len(results))
-	for _, r := range results {
-		d := x.corpus.Doc(r.Doc)
-		art := Article{
-			ID:     int(r.Doc),
-			Source: d.Source.String(),
-			Title:  d.Title,
-			Body:   d.Body,
-			Score:  r.Score,
-		}
-		for _, cc := range r.Contributors {
-			expl := Explanation{Concept: x.g.Name(cc.Concept), CDR: cc.CDR}
-			if cc.Pivot >= 0 {
-				expl.Pivot = x.g.Name(cc.Pivot)
-			}
-			art.Explanations = append(art.Explanations, expl)
-		}
-		out = append(out, art)
-	}
-	return out, nil
+	return res.Articles, nil
 }
 
 // DrillDown suggests the top-k subtopics refining the named concepts
-// (Definition 2 of the paper).
+// (Definition 2 of the paper), with score components. Like RollUp it
+// rejects k <= 0 with CodeInvalidArgument and canonicalizes the
+// concept list into a set before execution.
 func (x *Explorer) DrillDown(concepts []string, k int) ([]SubtopicSuggestion, error) {
-	q, err := x.resolveConcepts(concepts)
+	res, err := x.DrillDownQuery(context.Background(), DrillDownRequest{Concepts: concepts, K: k, Explain: true})
 	if err != nil {
 		return nil, err
 	}
-	subs := x.engine.DrillDown(q, k)
-	out := make([]SubtopicSuggestion, 0, len(subs))
-	for _, s := range subs {
-		out = append(out, SubtopicSuggestion{
-			Concept:     x.g.Name(s.Concept),
-			Score:       s.Score,
-			Coverage:    s.Coverage,
-			Specificity: s.Specificity,
-			Diversity:   s.Diversity,
-			MatchedDocs: s.MatchedDocs,
-		})
-	}
-	return out, nil
+	return res.Suggestions, nil
 }
 
 // ConceptsForEntity lists the concepts an entity can be rolled up to,
@@ -342,10 +328,10 @@ func (x *Explorer) DrillDown(concepts []string, k int) ([]SubtopicSuggestion, er
 func (x *Explorer) ConceptsForEntity(entity string) ([]string, error) {
 	id, ok := x.g.Lookup(entity)
 	if !ok {
-		return nil, fmt.Errorf("ncexplorer: unknown entity %q", entity)
+		return nil, newErrorf(CodeUnknownEntity, "ncexplorer: unknown entity %q", entity)
 	}
 	if !x.g.IsInstance(id) {
-		return nil, fmt.Errorf("ncexplorer: %q is a concept, not an entity", entity)
+		return nil, newErrorf(CodeInvalidArgument, "ncexplorer: %q is a concept, not an entity", entity)
 	}
 	var out []string
 	for _, c := range x.engine.ConceptsForEntity(id) {
@@ -358,7 +344,7 @@ func (x *Explorer) ConceptsForEntity(entity string) ([]string, error) {
 func (x *Explorer) BroaderConcepts(concept string) ([]string, error) {
 	id, ok := x.g.Lookup(concept)
 	if !ok || !x.g.IsConcept(id) {
-		return nil, fmt.Errorf("ncexplorer: unknown concept %q", concept)
+		return nil, x.unknownConceptError(concept)
 	}
 	var out []string
 	for _, c := range x.engine.BroaderOptions(id) {
@@ -372,9 +358,20 @@ func (x *Explorer) BroaderConcepts(concept string) ([]string, error) {
 func (x *Explorer) TopicKeywords(concept string, n int) ([]string, error) {
 	id, ok := x.g.Lookup(concept)
 	if !ok || !x.g.IsConcept(id) {
-		return nil, fmt.Errorf("ncexplorer: unknown concept %q", concept)
+		return nil, x.unknownConceptError(concept)
 	}
 	return x.engine.TopicKeywords(id, n), nil
+}
+
+// unknownConceptError builds the typed unknown-concept error with its
+// nearest-concept suggestions.
+func (x *Explorer) unknownConceptError(concept string) *Error {
+	e := newErrorf(CodeUnknownConcept, "ncexplorer: unknown concept %q", concept)
+	e.Details = map[string]any{"concept": concept}
+	if sugg := x.SuggestConcepts(concept, maxSuggestions); len(sugg) > 0 {
+		e.Details["suggestions"] = sugg
+	}
+	return e
 }
 
 // EvaluationTopics returns the six Table-I topic names with their

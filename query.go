@@ -1,0 +1,391 @@
+package ncexplorer
+
+import (
+	"context"
+	"sort"
+	"strings"
+
+	"ncexplorer/internal/core"
+	"ncexplorer/internal/corpus"
+	"ncexplorer/internal/kg"
+	"ncexplorer/internal/qcache"
+)
+
+// RollUpRequest is a typed roll-up query: the concept pattern plus the
+// paging, filtering, and explanation controls of the v2 API. The JSON
+// tags match the /v2/query/rollup request body.
+type RollUpRequest struct {
+	// Concepts is the concept pattern; every result matches all of them.
+	Concepts []string `json:"concepts"`
+	// K is the page size. It must be positive; RollUpQuery rejects
+	// K <= 0 with CodeInvalidArgument (HTTP callers get a default
+	// applied by the server before the request reaches the facade).
+	K int `json:"k"`
+	// Offset skips the first Offset ranked results (pagination).
+	Offset int `json:"offset,omitempty"`
+	// Sources restricts results to these source names (e.g. "reuters");
+	// empty admits every source.
+	Sources []string `json:"sources,omitempty"`
+	// MinScore excludes articles scoring below it when > 0.
+	MinScore float64 `json:"min_score,omitempty"`
+	// Explain includes per-concept explanations in each article.
+	Explain bool `json:"explain,omitempty"`
+}
+
+// RollUpResult is one page of roll-up results with the pagination
+// cursor a client needs to continue: Total matches behind the filters
+// and NextOffset (-1 once the listing is exhausted).
+type RollUpResult struct {
+	Query      []string  `json:"query"`
+	K          int       `json:"k"`
+	Offset     int       `json:"offset"`
+	Total      int       `json:"total"`
+	NextOffset int       `json:"next_offset"`
+	Articles   []Article `json:"articles"`
+}
+
+// DrillDownRequest is a typed drill-down query. The JSON tags match
+// the /v2/query/drilldown request body.
+type DrillDownRequest struct {
+	// Concepts is the concept pattern being refined.
+	Concepts []string `json:"concepts"`
+	// K is the page size; K <= 0 is rejected with CodeInvalidArgument.
+	K int `json:"k"`
+	// Offset skips the first Offset ranked suggestions.
+	Offset int `json:"offset,omitempty"`
+	// MinScore excludes suggestions scoring below it when > 0.
+	MinScore float64 `json:"min_score,omitempty"`
+	// Explain includes the score components (coverage, specificity,
+	// diversity) in each suggestion; without it only concept, score and
+	// matched_docs are populated.
+	Explain bool `json:"explain,omitempty"`
+}
+
+// DrillDownResult is one page of subtopic suggestions with the same
+// pagination cursor as RollUpResult. Total counts the *rankable*
+// suggestions — the engine scores a shortlist of max(128, K)
+// candidates independent of Offset, so pages of a fixed-K listing
+// are mutually consistent and the cursor ends at the window edge.
+type DrillDownResult struct {
+	Query       []string             `json:"query"`
+	K           int                  `json:"k"`
+	Offset      int                  `json:"offset"`
+	Total       int                  `json:"total"`
+	NextOffset  int                  `json:"next_offset"`
+	Suggestions []SubtopicSuggestion `json:"suggestions"`
+}
+
+// Key returns the canonical cache key of the request: every field that
+// can change the response participates, so paginated and filtered
+// variants of one concept pattern occupy distinct cache entries.
+func (r RollUpRequest) Key() string {
+	var kb qcache.KeyBuilder
+	kb.Str("rollup2").Int(r.K).Int(r.Offset).Float(r.MinScore).Bool(r.Explain)
+	kb.Strs(canonicalSources(r.Sources))
+	kb.Strs(CanonicalConcepts(r.Concepts))
+	return kb.String()
+}
+
+// Key returns the canonical cache key of the request.
+func (r DrillDownRequest) Key() string {
+	var kb qcache.KeyBuilder
+	kb.Str("drilldown2").Int(r.K).Int(r.Offset).Float(r.MinScore).Bool(r.Explain)
+	kb.Strs(CanonicalConcepts(r.Concepts))
+	return kb.String()
+}
+
+// canonicalSources trims, dedupes, lowercases and sorts source names.
+func canonicalSources(names []string) []string {
+	if len(names) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(names))
+	seen := make(map[string]bool, len(names))
+	for _, n := range names {
+		n = strings.ToLower(strings.TrimSpace(n))
+		if n == "" || seen[n] {
+			continue
+		}
+		seen[n] = true
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SourceNames lists the valid Sources filter values.
+func SourceNames() []string {
+	out := make([]string, 0, len(corpus.Sources))
+	for _, s := range corpus.Sources {
+		out = append(out, s.String())
+	}
+	return out
+}
+
+// resolveSources maps source names to corpus sources, rejecting
+// unknown names with a typed error that lists the valid values.
+func resolveSources(names []string) ([]corpus.Source, error) {
+	names = canonicalSources(names)
+	if len(names) == 0 {
+		return nil, nil
+	}
+	out := make([]corpus.Source, 0, len(names))
+	for _, n := range names {
+		found := false
+		for _, s := range corpus.Sources {
+			if s.String() == n {
+				out = append(out, s)
+				found = true
+				break
+			}
+		}
+		if !found {
+			e := newErrorf(CodeInvalidArgument, "ncexplorer: unknown source %q", n)
+			e.Details = map[string]any{"source": n, "valid_sources": SourceNames()}
+			return nil, e
+		}
+	}
+	return out, nil
+}
+
+// validatePage rejects the request shapes every typed query refuses:
+// non-positive page size, negative offset, negative score floor.
+func validatePage(k, offset int, minScore float64) error {
+	if k <= 0 {
+		return newErrorf(CodeInvalidArgument, "ncexplorer: invalid k %d: want a positive integer", k)
+	}
+	if offset < 0 {
+		return newErrorf(CodeInvalidArgument, "ncexplorer: invalid offset %d: want a non-negative integer", offset)
+	}
+	if minScore < 0 {
+		return newErrorf(CodeInvalidArgument, "ncexplorer: invalid min_score %g: want a non-negative number", minScore)
+	}
+	return nil
+}
+
+// nextOffset computes the pagination cursor: the offset of the page
+// after this one, or -1 when the listing is exhausted.
+func nextOffset(offset, returned, total int) int {
+	if n := offset + returned; n < total && returned > 0 {
+		return n
+	}
+	return -1
+}
+
+// RollUpQuery is the typed, context-aware roll-up: pagination via
+// Offset, source and score filters, optional explanations, and
+// cancellation through ctx (a cancelled query returns CodeCancelled /
+// CodeDeadlineExceeded and stops consuming engine work). The concept
+// pattern is canonicalized before execution, so permutations of one
+// pattern produce identical results.
+func (x *Explorer) RollUpQuery(ctx context.Context, req RollUpRequest) (RollUpResult, error) {
+	if err := validatePage(req.K, req.Offset, req.MinScore); err != nil {
+		return RollUpResult{}, err
+	}
+	sources, err := resolveSources(req.Sources)
+	if err != nil {
+		return RollUpResult{}, err
+	}
+	concepts := CanonicalConcepts(req.Concepts)
+	q, err := x.resolveConcepts(concepts)
+	if err != nil {
+		return RollUpResult{}, err
+	}
+	page, err := x.engine.RollUpPage(ctx, q, core.RollUpOptions{
+		K: req.K, Offset: req.Offset, Sources: sources, MinScore: req.MinScore,
+	})
+	if err != nil {
+		return RollUpResult{}, ctxError(err)
+	}
+	articles := make([]Article, 0, len(page.Results))
+	for _, r := range page.Results {
+		articles = append(articles, x.article(r, req.Explain))
+	}
+	return RollUpResult{
+		Query:      concepts,
+		K:          req.K,
+		Offset:     req.Offset,
+		Total:      page.Total,
+		NextOffset: nextOffset(req.Offset, len(articles), page.Total),
+		Articles:   articles,
+	}, nil
+}
+
+// DrillDownQuery is the typed, context-aware drill-down — the
+// suggestion side of RollUpQuery with the same pagination and
+// cancellation contract.
+func (x *Explorer) DrillDownQuery(ctx context.Context, req DrillDownRequest) (DrillDownResult, error) {
+	if err := validatePage(req.K, req.Offset, req.MinScore); err != nil {
+		return DrillDownResult{}, err
+	}
+	concepts := CanonicalConcepts(req.Concepts)
+	q, err := x.resolveConcepts(concepts)
+	if err != nil {
+		return DrillDownResult{}, err
+	}
+	page, err := x.engine.DrillDownPage(ctx, q, core.DrillDownOptions{
+		K: req.K, Offset: req.Offset, MinScore: req.MinScore,
+	})
+	if err != nil {
+		return DrillDownResult{}, ctxError(err)
+	}
+	subs := make([]SubtopicSuggestion, 0, len(page.Results))
+	for _, s := range page.Results {
+		sub := SubtopicSuggestion{
+			Concept:     x.g.Name(s.Concept),
+			Score:       s.Score,
+			MatchedDocs: s.MatchedDocs,
+		}
+		if req.Explain {
+			sub.Coverage = s.Coverage
+			sub.Specificity = s.Specificity
+			sub.Diversity = s.Diversity
+		}
+		subs = append(subs, sub)
+	}
+	return DrillDownResult{
+		Query:       concepts,
+		K:           req.K,
+		Offset:      req.Offset,
+		Total:       page.Total,
+		NextOffset:  nextOffset(req.Offset, len(subs), page.Total),
+		Suggestions: subs,
+	}, nil
+}
+
+// article converts one engine result, attaching explanations only when
+// requested.
+func (x *Explorer) article(r core.DocResult, explain bool) Article {
+	d := x.corpus.Doc(r.Doc)
+	art := Article{
+		ID:     int(r.Doc),
+		Source: d.Source.String(),
+		Title:  d.Title,
+		Body:   d.Body,
+		Score:  r.Score,
+	}
+	if !explain {
+		return art
+	}
+	for _, cc := range r.Contributors {
+		expl := Explanation{Concept: x.g.Name(cc.Concept), CDR: cc.CDR}
+		if cc.Pivot >= 0 {
+			expl.Pivot = x.g.Name(cc.Pivot)
+		}
+		art.Explanations = append(art.Explanations, expl)
+	}
+	return art
+}
+
+// ValidateConcepts checks that every name resolves to a known concept,
+// returning the same typed errors (with nearest-concept suggestions)
+// as the query methods. The session layer uses it to vet patterns
+// before storing them.
+func (x *Explorer) ValidateConcepts(names []string) error {
+	_, err := x.resolveConcepts(CanonicalConcepts(names))
+	return err
+}
+
+// Parallelism reports the engine's worker budget — the bound the batch
+// endpoint uses to execute independent queries concurrently without
+// oversubscribing the engine's own intra-query helpers.
+func (x *Explorer) Parallelism() int {
+	return x.engine.Options().Workers
+}
+
+// maxSuggestions bounds the nearest-concept list attached to
+// unknown-concept errors.
+const maxSuggestions = 5
+
+// SuggestConcepts returns up to n concept names nearest to name:
+// case-insensitive exact and substring matches first, then small
+// edit-distance neighbours — the "did you mean" list behind
+// CodeUnknownConcept errors.
+func (x *Explorer) SuggestConcepts(name string, n int) []string {
+	if n <= 0 || strings.TrimSpace(name) == "" {
+		return nil
+	}
+	needle := strings.ToLower(strings.TrimSpace(name))
+	// Edit-distance budget: generous enough for typos, tight enough
+	// that short names don't match everything.
+	maxDist := len(needle)/3 + 1
+	type scored struct {
+		name string
+		rank int // lower is better
+	}
+	var cands []scored
+	x.g.Concepts(func(c kg.NodeID) bool {
+		cname := x.g.Name(c)
+		lower := strings.ToLower(cname)
+		switch {
+		case lower == needle:
+			cands = append(cands, scored{cname, 0})
+		case strings.HasPrefix(lower, needle) || strings.HasPrefix(needle, lower):
+			cands = append(cands, scored{cname, 1})
+		case strings.Contains(lower, needle) || strings.Contains(needle, lower):
+			cands = append(cands, scored{cname, 2})
+		default:
+			if d := boundedEditDistance(lower, needle, maxDist); d <= maxDist {
+				cands = append(cands, scored{cname, 2 + d})
+			}
+		}
+		return true
+	})
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].rank != cands[j].rank {
+			return cands[i].rank < cands[j].rank
+		}
+		return cands[i].name < cands[j].name
+	})
+	if len(cands) == 0 {
+		return nil
+	}
+	if len(cands) > n {
+		cands = cands[:n]
+	}
+	out := make([]string, len(cands))
+	for i, c := range cands {
+		out[i] = c.name
+	}
+	return out
+}
+
+// boundedEditDistance computes the Levenshtein distance between a and
+// b, giving up (returning bound+1) as soon as the distance provably
+// exceeds bound — O(len·bound) instead of O(len²) per candidate.
+func boundedEditDistance(a, b string, bound int) int {
+	if d := len(a) - len(b); d > bound || -d > bound {
+		return bound + 1
+	}
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		rowMin := cur[0]
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			m := prev[j-1] + cost        // substitute
+			if v := prev[j] + 1; v < m { // delete
+				m = v
+			}
+			if v := cur[j-1] + 1; v < m { // insert
+				m = v
+			}
+			cur[j] = m
+			if m < rowMin {
+				rowMin = m
+			}
+		}
+		if rowMin > bound {
+			return bound + 1
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
+}

@@ -1,0 +1,260 @@
+package ncexplorer
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// topicQuery returns one evaluation-topic concept pair.
+func topicQuery(t testing.TB, i int) []string {
+	t.Helper()
+	x := getExplorer(t)
+	ts := x.EvaluationTopics()
+	tp := ts[i%len(ts)]
+	return []string{tp[0], tp[1]}
+}
+
+// TestKMustBePositive pins the satellite contract: k <= 0 is an error
+// with CodeInvalidArgument on every query path — legacy wrappers and
+// typed requests alike.
+func TestKMustBePositive(t *testing.T) {
+	x := getExplorer(t)
+	q := topicQuery(t, 0)
+	for name, call := range map[string]func() error{
+		"RollUp k=0":     func() error { _, err := x.RollUp(q, 0); return err },
+		"RollUp k=-3":    func() error { _, err := x.RollUp(q, -3); return err },
+		"DrillDown k=0":  func() error { _, err := x.DrillDown(q, 0); return err },
+		"DrillDown k=-1": func() error { _, err := x.DrillDown(q, -1); return err },
+		"RollUpQuery": func() error {
+			_, err := x.RollUpQuery(context.Background(), RollUpRequest{Concepts: q})
+			return err
+		},
+		"DrillDownQuery": func() error {
+			_, err := x.DrillDownQuery(context.Background(), DrillDownRequest{Concepts: q, K: -9})
+			return err
+		},
+	} {
+		err := call()
+		if err == nil {
+			t.Fatalf("%s: no error", name)
+		}
+		e, ok := AsError(err)
+		if !ok || e.Code != CodeInvalidArgument {
+			t.Fatalf("%s: err = %v; want CodeInvalidArgument", name, err)
+		}
+	}
+}
+
+func TestTypedErrorCodes(t *testing.T) {
+	x := getExplorer(t)
+	ctx := context.Background()
+
+	_, err := x.RollUpQuery(ctx, RollUpRequest{Concepts: []string{"No such concept zzz"}, K: 3})
+	e, ok := AsError(err)
+	if !ok || e.Code != CodeUnknownConcept {
+		t.Fatalf("unknown concept err = %v", err)
+	}
+	if e.Details["concept"] != "No such concept zzz" {
+		t.Fatalf("details = %v", e.Details)
+	}
+
+	// A near-miss of a real concept gets suggestions including it.
+	real := topicQuery(t, 0)[0]
+	_, err = x.RollUpQuery(ctx, RollUpRequest{Concepts: []string{real + "x"}, K: 3})
+	e, _ = AsError(err)
+	sugg, _ := e.Details["suggestions"].([]string)
+	found := false
+	for _, s := range sugg {
+		if s == real {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("suggestions for %q = %v; want to include %q", real+"x", sugg, real)
+	}
+
+	_, err = x.RollUpQuery(ctx, RollUpRequest{Concepts: topicQuery(t, 0), K: 3, Offset: -1})
+	if e, _ := AsError(err); e == nil || e.Code != CodeInvalidArgument {
+		t.Fatalf("negative offset err = %v", err)
+	}
+	_, err = x.RollUpQuery(ctx, RollUpRequest{Concepts: topicQuery(t, 0), K: 3, MinScore: -1})
+	if e, _ := AsError(err); e == nil || e.Code != CodeInvalidArgument {
+		t.Fatalf("negative min_score err = %v", err)
+	}
+	_, err = x.RollUpQuery(ctx, RollUpRequest{Concepts: topicQuery(t, 0), K: 3, Sources: []string{"tabloid"}})
+	e, _ = AsError(err)
+	if e == nil || e.Code != CodeInvalidArgument {
+		t.Fatalf("unknown source err = %v", err)
+	}
+	if _, ok := e.Details["valid_sources"]; !ok {
+		t.Fatalf("unknown source details = %v", e.Details)
+	}
+
+	_, err = x.ConceptsForEntity("No such entity zzz")
+	if e, _ := AsError(err); e == nil || e.Code != CodeUnknownEntity {
+		t.Fatalf("unknown entity err = %v", err)
+	}
+}
+
+func TestRollUpQueryMatchesLegacy(t *testing.T) {
+	x := getExplorer(t)
+	q := topicQuery(t, 1)
+	legacy, err := x.RollUp(q, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := x.RollUpQuery(context.Background(), RollUpRequest{Concepts: q, K: 4, Explain: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Articles) != len(legacy) {
+		t.Fatalf("typed %d articles, legacy %d", len(res.Articles), len(legacy))
+	}
+	for i := range legacy {
+		if res.Articles[i].ID != legacy[i].ID || res.Articles[i].Score != legacy[i].Score {
+			t.Fatalf("rank %d differs", i)
+		}
+		if len(res.Articles[i].Explanations) == 0 {
+			t.Fatalf("rank %d missing explanations despite Explain", i)
+		}
+	}
+	if res.Total < len(res.Articles) || res.Offset != 0 {
+		t.Fatalf("cursor fields: %+v", res)
+	}
+	if res.NextOffset != -1 && res.NextOffset != len(res.Articles) {
+		t.Fatalf("next_offset = %d", res.NextOffset)
+	}
+
+	// Explain off strips explanations but changes nothing else.
+	plain, err := x.RollUpQuery(context.Background(), RollUpRequest{Concepts: q, K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, a := range plain.Articles {
+		if len(a.Explanations) != 0 {
+			t.Fatal("explanations present without Explain")
+		}
+		if a.ID != legacy[i].ID {
+			t.Fatalf("rank %d differs without Explain", i)
+		}
+	}
+}
+
+func TestDrillDownQueryExplainToggle(t *testing.T) {
+	x := getExplorer(t)
+	q := topicQuery(t, 2)[:1]
+	full, err := x.DrillDownQuery(context.Background(), DrillDownRequest{Concepts: q, K: 5, Explain: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full.Suggestions) == 0 {
+		t.Skip("no suggestions in this world")
+	}
+	plain, err := x.DrillDownQuery(context.Background(), DrillDownRequest{Concepts: q, K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range full.Suggestions {
+		if plain.Suggestions[i].Concept != full.Suggestions[i].Concept ||
+			plain.Suggestions[i].Score != full.Suggestions[i].Score {
+			t.Fatalf("rank %d differs between explain modes", i)
+		}
+		if plain.Suggestions[i].Coverage != 0 || plain.Suggestions[i].Diversity != 0 {
+			t.Fatal("score components present without Explain")
+		}
+	}
+}
+
+func TestQueryCancelledContext(t *testing.T) {
+	x := getExplorer(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := x.RollUpQuery(ctx, RollUpRequest{Concepts: topicQuery(t, 3), K: 5})
+	e, ok := AsError(err)
+	if !ok || e.Code != CodeCancelled {
+		t.Fatalf("err = %v; want CodeCancelled", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatal("typed wrapper hides context.Canceled from errors.Is")
+	}
+	_, err = x.DrillDownQuery(ctx, DrillDownRequest{Concepts: topicQuery(t, 3), K: 5})
+	if e, _ := AsError(err); e == nil || e.Code != CodeCancelled {
+		t.Fatalf("drilldown err = %v", err)
+	}
+}
+
+// TestRequestKeys pins that every response-shaping field participates
+// in the cache key, and that permutations of one concept set share it.
+func TestRequestKeys(t *testing.T) {
+	base := RollUpRequest{Concepts: []string{"A", "B"}, K: 5}
+	variants := []RollUpRequest{
+		{Concepts: []string{"A", "B"}, K: 6},
+		{Concepts: []string{"A", "B"}, K: 5, Offset: 5},
+		{Concepts: []string{"A", "B"}, K: 5, MinScore: 0.5},
+		{Concepts: []string{"A", "B"}, K: 5, Explain: true},
+		{Concepts: []string{"A", "B"}, K: 5, Sources: []string{"nyt"}},
+		{Concepts: []string{"A", "C"}, K: 5},
+	}
+	seen := map[string]bool{base.Key(): true}
+	for i, v := range variants {
+		if seen[v.Key()] {
+			t.Fatalf("variant %d collides: %q", i, v.Key())
+		}
+		seen[v.Key()] = true
+	}
+	perm := RollUpRequest{Concepts: []string{"B", "A", "A"}, K: 5}
+	if perm.Key() != base.Key() {
+		t.Fatalf("permuted concepts change the key: %q vs %q", perm.Key(), base.Key())
+	}
+	srcPerm := RollUpRequest{Concepts: []string{"A", "B"}, K: 5, Sources: []string{"NYT", "reuters"}}
+	srcPerm2 := RollUpRequest{Concepts: []string{"A", "B"}, K: 5, Sources: []string{"reuters", "nyt", "nyt"}}
+	if srcPerm.Key() != srcPerm2.Key() {
+		t.Fatal("source order/case changes the key")
+	}
+	if (DrillDownRequest{Concepts: []string{"A"}, K: 5}).Key() ==
+		(RollUpRequest{Concepts: []string{"A"}, K: 5}).Key() {
+		t.Fatal("rollup and drilldown keys collide")
+	}
+}
+
+func TestSuggestConcepts(t *testing.T) {
+	x := getExplorer(t)
+	real := topicQuery(t, 0)[0]
+
+	// Exact (case-insensitive) match ranks first.
+	got := x.SuggestConcepts(real, 3)
+	if len(got) == 0 || got[0] != real {
+		t.Fatalf("SuggestConcepts(%q) = %v", real, got)
+	}
+	// A one-character typo still finds it.
+	typo := real[:len(real)-1]
+	found := false
+	for _, s := range x.SuggestConcepts(typo, 5) {
+		if s == real {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("SuggestConcepts(%q) = %v; want to include %q", typo, x.SuggestConcepts(typo, 5), real)
+	}
+	if x.SuggestConcepts("", 5) != nil {
+		t.Fatal("empty needle should suggest nothing")
+	}
+	if x.SuggestConcepts("zzzzqqqqxxxx", 5) != nil {
+		t.Fatal("hopeless needle should suggest nothing")
+	}
+}
+
+func TestSourceNames(t *testing.T) {
+	names := SourceNames()
+	if len(names) != 3 {
+		t.Fatalf("sources = %v", names)
+	}
+	want := map[string]bool{"seekingalpha": true, "nyt": true, "reuters": true}
+	for _, n := range names {
+		if !want[n] {
+			t.Fatalf("unexpected source %q", n)
+		}
+	}
+}

@@ -1,0 +1,49 @@
+#!/bin/sh
+# bench_json.sh — run the roll-up/drill-down parallel benchmarks
+# (warm + cold) and write a machine-readable JSON snapshot, so the
+# perf trajectory accumulates one file per PR.
+#
+# Usage: scripts/bench_json.sh [output.json] [benchtime]
+set -e
+
+out="${1:-BENCH_pr3.json}"
+benchtime="${2:-20x}"
+tmp="$(mktemp)"
+trap 'rm -f "$tmp" "$tmp.body"' EXIT
+
+# No pipe here: piping into tee would mask go test's exit status (POSIX
+# sh has no pipefail), letting a half-failed run emit truncated JSON.
+go test -run '^$' -bench 'Benchmark(RollUp|DrillDown)Parallel' \
+    -benchtime "$benchtime" ./internal/core > "$tmp"
+cat "$tmp"
+
+awk -v benchtime="$benchtime" '
+  /^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)   # strip the -GOMAXPROCS suffix
+    nsop = ""; nsq = ""
+    for (i = 2; i < NF; i++) {
+      if ($(i+1) == "ns/op")    nsop = $i
+      if ($(i+1) == "ns/query") nsq  = $i
+    }
+    if (nsop == "") next
+    if (n++) printf ",\n"
+    printf "    \"%s\": {\"ns_per_op\": %s", name, nsop
+    if (nsq != "") printf ", \"ns_per_query\": %s", nsq
+    printf "}"
+  }
+  END {
+    if (n == 0) { print "no benchmark lines parsed" > "/dev/stderr"; exit 1 }
+    print ""
+  }
+' "$tmp" > "$tmp.body"
+
+{
+  echo "{"
+  echo "  \"benchtime\": \"$benchtime\","
+  echo "  \"benchmarks\": {"
+  cat "$tmp.body"
+  echo "  }"
+  echo "}"
+} > "$out"
+echo "wrote $out"
