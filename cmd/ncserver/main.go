@@ -1,12 +1,15 @@
 // Command ncserver serves the NCExplorer engine over HTTP/JSON: the
 // paper's interactive roll-up/drill-down workflow as a programmable
-// API for dashboards and downstream risk pipelines.
+// API for dashboards and downstream risk pipelines, with optional
+// live ingestion so the index tracks incoming news without restarts.
 //
 // Usage:
 //
 //	go run ./cmd/ncserver [-addr :8080] [-scale tiny|default] [-seed 42]
 //	                      [-cache-shards 8] [-cache-capacity 256] [-maxk 100]
 //	                      [-max-batch 64] [-session-ttl 30m] [-max-sessions 1024]
+//	                      [-ingest] [-max-ingest-batch 1024] [-max-segments 4]
+//	                      [-watch DIR] [-watch-interval 2s]
 //
 // Endpoints (see internal/server for payload shapes):
 //
@@ -14,28 +17,40 @@
 //	POST /v1/drilldown          GET /v1/keywords/{concept}
 //	GET  /v1/concepts/{entity}  GET /v1/topics
 //	POST /v2/query/rollup       POST /v2/query/drilldown
-//	POST /v2/batch              /v2/sessions (+ /{id}/rollup|drilldown|back)
+//	POST /v2/batch              POST /v2/ingest (with -ingest)
+//	/v2/sessions (+ /{id}/rollup|drilldown|back)
 //	GET  /healthz               GET /statsz
 //
-// Example session (the stateful exploration loop):
+// Live ingestion:
 //
-//	curl -s localhost:8080/v1/topics
-//	curl -s -X POST localhost:8080/v2/query/rollup \
-//	    -d '{"concepts":["International trade","Country"],"k":5,"offset":0,"explain":true}'
-//	curl -s -X POST localhost:8080/v2/sessions -d '{"concepts":["International trade"]}'
-//	curl -s -X POST localhost:8080/v2/sessions/<id>/drilldown -d '{"k":8,"select":"<subtopic>"}'
-//	curl -s -X POST localhost:8080/v2/sessions/<id>/back
-//	curl -s localhost:8080/statsz
+//	-ingest enables POST /v2/ingest:
+//	    curl -s -X POST localhost:8080/v2/ingest \
+//	        -d '{"articles":[{"source":"reuters","title":"...","body":"..."}]}'
+//	-watch DIR additionally polls DIR for *.json files (each either an
+//	array of articles or {"articles":[...]}), ingests them, and renames
+//	processed files to *.json.ingested — a zero-dependency stand-in for
+//	a feed consumer. -watch implies -ingest's pipeline but does not
+//	open the HTTP endpoint unless -ingest is also set.
+//
+// Shutdown: SIGINT/SIGTERM stops the listener, drains in-flight
+// requests (bounded by -shutdown-timeout), waits for the directory
+// watcher to finish any batch it started, and lets background segment
+// merges quiesce before exiting.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"log"
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
 	"syscall"
 	"time"
 
@@ -53,6 +68,12 @@ func main() {
 	maxBatch := flag.Int("max-batch", 64, "maximum queries per /v2/batch call")
 	sessionTTL := flag.Duration("session-ttl", 30*time.Minute, "idle lifetime of exploration sessions")
 	maxSessions := flag.Int("max-sessions", 1024, "maximum live exploration sessions (LRU eviction beyond)")
+	ingest := flag.Bool("ingest", false, "enable POST /v2/ingest (live article ingestion)")
+	maxIngestBatch := flag.Int("max-ingest-batch", 1024, "maximum articles per /v2/ingest call")
+	maxSegments := flag.Int("max-segments", 4, "index segment count above which background merges trigger")
+	watch := flag.String("watch", "", "directory to poll for *.json article batches to ingest")
+	watchInterval := flag.Duration("watch-interval", 2*time.Second, "poll interval for -watch")
+	shutdownTimeout := flag.Duration("shutdown-timeout", 5*time.Second, "drain deadline for graceful shutdown")
 	flag.Parse()
 
 	if *seed == 0 {
@@ -60,19 +81,22 @@ func main() {
 	}
 	log.Printf("building %s world (seed %d)...", *scale, *seed)
 	start := time.Now()
-	x, err := ncexplorer.New(ncexplorer.Config{Scale: *scale, Seed: *seed})
+	x, err := ncexplorer.New(ncexplorer.Config{Scale: *scale, Seed: *seed, MaxSegments: *maxSegments})
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("world ready in %.1fs — %d articles indexed", time.Since(start).Seconds(), x.NumArticles())
+	log.Printf("world ready in %.1fs — %d articles indexed (generation %d)",
+		time.Since(start).Seconds(), x.NumArticles(), x.Generation())
 
 	s := server.New(x, server.Options{
-		CacheShards:   *shards,
-		CacheCapacity: *capacity,
-		MaxK:          *maxK,
-		MaxBatch:      *maxBatch,
-		SessionTTL:    *sessionTTL,
-		MaxSessions:   *maxSessions,
+		CacheShards:    *shards,
+		CacheCapacity:  *capacity,
+		MaxK:           *maxK,
+		MaxBatch:       *maxBatch,
+		SessionTTL:     *sessionTTL,
+		MaxSessions:    *maxSessions,
+		EnableIngest:   *ingest,
+		MaxIngestBatch: *maxIngestBatch,
 	})
 	httpSrv := &http.Server{
 		Addr:              *addr,
@@ -85,29 +109,131 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	var watchWG sync.WaitGroup
+	if *watch != "" {
+		watchWG.Add(1)
+		go func() {
+			defer watchWG.Done()
+			watchLoop(ctx, x, *watch, *watchInterval)
+		}()
+		log.Printf("watching %s for article batches every %s", *watch, *watchInterval)
+	}
+
 	drained := make(chan struct{})
 	var shutdownErr error
 	go func() {
 		defer close(drained)
 		<-ctx.Done()
-		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
 		defer cancel()
 		shutdownErr = httpSrv.Shutdown(shutdownCtx)
 	}()
 
 	log.Printf("serving on %s (POST /v1/rollup, POST /v1/drilldown, GET /v1/concepts/{entity}, "+
 		"GET /v1/broader/{concept}, GET /v1/keywords/{concept}, GET /v1/topics, "+
-		"POST /v2/query/rollup, POST /v2/query/drilldown, POST /v2/batch, "+
+		"POST /v2/query/rollup, POST /v2/query/drilldown, POST /v2/batch, POST /v2/ingest, "+
 		"/v2/sessions CRUD + /{id}/rollup|drilldown|back, GET /healthz, GET /statsz)", *addr)
 	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatal(err)
 	}
 	// ErrServerClosed arrives as soon as the listener stops; wait for
-	// Shutdown to finish draining in-flight requests before exiting.
+	// Shutdown to finish draining in-flight requests (queries AND
+	// ingest batches), then for the watcher to finish the batch it may
+	// have started, then for background segment merges to settle.
 	<-drained
+	watchWG.Wait()
+	x.Quiesce()
 	if shutdownErr != nil {
 		log.Printf("shutdown: drain incomplete: %v", shutdownErr)
 		os.Exit(1)
 	}
 	log.Print("shut down cleanly")
+}
+
+// watchLoop polls dir for *.json batch files and ingests them. A
+// processed file is renamed to <name>.ingested (or <name>.failed when
+// it cannot be parsed or ingested), so each batch is consumed once
+// and the outcome is visible in the directory. The loop exits when
+// ctx is cancelled; a batch already being ingested completes first —
+// Ingest is atomic, so shutdown never leaves a half-visible batch.
+func watchLoop(ctx context.Context, x *ncexplorer.Explorer, dir string, interval time.Duration) {
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		consumeBatches(ctx, x, dir)
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+		}
+	}
+}
+
+// consumeBatches ingests every pending *.json file in dir, oldest
+// name first (feeds conventionally timestamp their drops).
+func consumeBatches(ctx context.Context, x *ncexplorer.Explorer, dir string) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		log.Printf("watch: %v", err)
+		return
+	}
+	var names []string
+	for _, ent := range entries {
+		if !ent.IsDir() && strings.HasSuffix(ent.Name(), ".json") {
+			names = append(names, ent.Name())
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if ctx.Err() != nil {
+			return
+		}
+		path := filepath.Join(dir, name)
+		articles, err := readBatch(path)
+		if err == nil && len(articles) > 0 {
+			// A batch that starts ingesting completes: the shutdown
+			// context stops the *loop* (checked above), never a batch
+			// in flight — a cancelled Ingest would abort before the
+			// swap and the file must not be marked failed for a
+			// shutdown that merely arrived mid-batch.
+			var res ncexplorer.IngestResult
+			res, err = x.Ingest(context.Background(), articles)
+			if err == nil {
+				log.Printf("watch: ingested %d articles from %s (generation %d, %d total)",
+					res.Accepted, name, res.Generation, res.TotalArticles)
+			}
+		} else if err == nil {
+			err = errors.New("no articles in batch")
+		}
+		suffix := ".ingested"
+		if err != nil {
+			log.Printf("watch: %s: %v", name, err)
+			suffix = ".failed"
+		}
+		if rerr := os.Rename(path, path+suffix); rerr != nil {
+			log.Printf("watch: rename %s: %v", name, rerr)
+			return // avoid re-ingesting the same file in a tight loop
+		}
+	}
+}
+
+// readBatch parses one batch file: either a bare article array or an
+// {"articles": [...]} envelope (the /v2/ingest body shape).
+func readBatch(path string) ([]ncexplorer.IngestArticle, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var arr []ncexplorer.IngestArticle
+	if err := json.Unmarshal(data, &arr); err == nil {
+		return arr, nil
+	}
+	var env struct {
+		Articles []ncexplorer.IngestArticle `json:"articles"`
+	}
+	if err := json.Unmarshal(data, &env); err != nil {
+		return nil, err
+	}
+	return env.Articles, nil
 }

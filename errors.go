@@ -32,6 +32,10 @@ const (
 	// CodeNotFound marks a missing resource (an unknown session ID, an
 	// unknown route).
 	CodeNotFound ErrorCode = "not_found"
+	// CodePermissionDenied marks a write operation the deployment has
+	// not enabled (e.g. POST /v2/ingest on a server started without
+	// -ingest).
+	CodePermissionDenied ErrorCode = "permission_denied"
 	// CodeSessionExpired marks an exploration session evicted by TTL.
 	CodeSessionExpired ErrorCode = "session_expired"
 	// CodeNoHistory marks a back/undo on a session at its root pattern.

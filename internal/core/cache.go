@@ -6,24 +6,32 @@ import (
 	"ncexplorer/internal/shardmap"
 )
 
-// Query-path caching. The engine's post-index structures (docs, entity
-// postings, term index, knowledge graph) are immutable once IndexCorpus
-// returns; everything mutable at query time lives in the two sharded
-// memo maps below plus a pool of per-goroutine scorers, so concurrent
-// queries never share unsynchronised state and never serialize behind a
-// global lock.
+// Query-path caching. Everything a query reads hangs off the pinned
+// genState: the snapshot's segments (docs, entity postings, term
+// index, knowledge graph) are immutable, and everything mutable at
+// query time lives in sharded memo maps plus a pool of per-goroutine
+// scorers, so concurrent queries never share unsynchronised state and
+// never serialize behind a global lock.
 //
-//   - cdrMemo memoises on-demand cdr(c, d) values under the same
-//     (concept, doc) key the indexing pass pre-seeds; per-shard
-//     singleflight means N concurrent misses on one key run the scorer
-//     once.
-//   - matchMemo memoises the sorted matching-document list per concept
-//     (Definition 1 semantics), the input to every roll-up and
-//     drill-down.
+// The maps split by lifetime:
 //
-// Determinism is unaffected by the concurrency: on-demand cdr samplers
-// are seeded per (concept, doc) (see cdr in query.go), so whichever
-// goroutine computes a value computes THE value.
+//   - per generation (swapped with the snapshot, so an ingest
+//     invalidates them wholesale without a flush):
+//     cdrMemo memoises full cdr(c, d) values under the same key the
+//     snapshot build pre-seeds; matchMemo memoises the sorted
+//     matching-document list per concept (Definition 1 semantics),
+//     the input to every roll-up and drill-down;
+//   - engine-wide (valid forever): connMemo holds the
+//     context-relevance factor cdrc(c, d) — the random-walk part of
+//     cdr, a pure function of graph + document — and the extent cache
+//     holds concept extent closures (pure graph data). These are what
+//     make a post-ingest snapshot rebuild cheap: only the cheap
+//     ontology factor is recomputed; nothing is re-walked.
+//
+// Determinism is unaffected by the concurrency: on-demand cdrc
+// samplers are seeded per (concept, doc) (see contextRel in
+// engine.go), so whichever goroutine — and whichever generation —
+// computes a value computes THE value.
 
 // cdrShards/matchShards size the memo maps. cdr keys are dense (every
 // query touches many (concept, doc) pairs) so they get more shards.
@@ -35,35 +43,53 @@ const (
 // CacheStats reports the engine's query-cache effectiveness: the
 // serving layer surfaces it through /statsz.
 type CacheStats struct {
-	// CDR is the (concept, document) relevance memo.
+	// CDR is the (concept, document) relevance memo (current
+	// generation).
 	CDR shardmap.Stats `json:"cdr"`
-	// Match is the concept→matching-documents memo.
+	// Match is the concept→matching-documents memo (current
+	// generation).
 	Match shardmap.Stats `json:"match"`
+	// Conn is the engine-wide (generation-independent) connectivity
+	// memo behind cdr's expensive factor.
+	Conn shardmap.Stats `json:"conn"`
 }
 
 // CacheStats returns a point-in-time snapshot of the query caches.
 func (e *Engine) CacheStats() CacheStats {
-	return CacheStats{CDR: e.cdrMemo.Stats(), Match: e.matchMemo.Stats()}
+	st := e.state()
+	if st == nil {
+		return CacheStats{}
+	}
+	return CacheStats{
+		CDR:   st.cdrMemo.Stats(),
+		Match: st.matchMemo.Stats(),
+		Conn:  e.connMemo.Stats(),
+	}
 }
 
-// getScorer takes a scorer from the pool. Scorers are not safe for
-// concurrent use (walk scratch buffers, extent memo), so each query
-// goroutine borrows one for the duration of a computation and returns
-// it with putScorer. Extent slices obtained from a pooled scorer stay
-// valid after release: the scorer treats them as immutable shared data
-// (see relevance.Scorer).
-func (e *Engine) getScorer() *relevance.Scorer {
-	return e.scorers.Get().(*relevance.Scorer)
+// getScorer takes a scorer from the state's pool. Scorers are not safe
+// for concurrent use (walk scratch buffers), so each query goroutine
+// borrows one for the duration of a computation and returns it with
+// putScorer. Extent slices obtained from a pooled scorer stay valid
+// after release: the scorer treats them as immutable shared data (see
+// relevance.Scorer).
+func (st *genState) getScorer() *relevance.Scorer {
+	return st.scorers.Get().(*relevance.Scorer)
 }
 
-func (e *Engine) putScorer(s *relevance.Scorer) { e.scorers.Put(s) }
+func (st *genState) putScorer(s *relevance.Scorer) { st.scorers.Put(s) }
 
-// seedCDRMemo (re)stores the indexing-time candidate scores into the
-// cdr memo — the cache's post-indexing baseline.
-func (e *Engine) seedCDRMemo() {
-	for i := range e.docs {
-		for _, cs := range e.docs[i].concepts {
-			e.cdrMemo.Store(cdrKey(cs.Concept, int32(i)), cdrEntry{cdr: cs.CDR, pivot: cs.Pivot})
+// seedMemos stores the generation's per-document concept scores into
+// the cdr memo (the cache's post-build baseline) and pins their
+// context factors in the engine-wide connectivity memo — after a
+// ResetQueryCaches this restores connMemo to exactly the state a
+// fresh build of this generation would leave behind.
+func (st *genState) seedMemos() {
+	for i := range st.concepts {
+		for _, cs := range st.concepts[i] {
+			key := cdrKey(cs.Concept, int32(i))
+			st.cdrMemo.Store(key, cdrEntry{cdr: cs.CDR, pivot: cs.Pivot})
+			st.e.connMemo.Store(key, cs.CDRC)
 		}
 	}
 }

@@ -5,25 +5,34 @@
 // and drill-down (Definition 2: top-K subtopic suggestions ranked by
 // coverage × specificity × diversity).
 //
-// Index layout:
+// Index layout (see internal/snapshot for the storage model):
 //
-//   - an entity→documents inverted index gives exact Definition-1
-//     matching semantics (a document matches concept c iff it contains
-//     an entity in c's extent closure);
+//   - the corpus lives in immutable segments behind an atomically
+//     swapped snapshot; documents have dense, append-only global IDs;
+//   - an entity→documents inverted index per segment gives exact
+//     Definition-1 matching semantics (a document matches concept c iff
+//     it contains an entity in c's extent closure);
 //   - per document, the candidate concepts (the direct Ψ⁻¹ concepts of
 //     its entities plus a configurable number of `broader` ancestor
-//     levels) are scored with cdr at indexing time — these postings
-//     drive drill-down coverage and act as a cdr cache;
+//     levels) are scored with cdr when a snapshot is built — these
+//     postings drive drill-down coverage and act as a cdr cache;
 //   - query-time cdr for concepts outside a document's candidate set is
 //     computed on demand and memoised, with a per-(concept, doc) seeded
-//     sampler so results are reproducible regardless of query order.
+//     sampler so results are reproducible regardless of query order,
+//     of which goroutine computes them, and of how the corpus was
+//     grown (one monolithic build and any sequence of ingested batches
+//     produce identical values at equal content).
+//
+// Live ingestion (Ingest) appends a new segment and swaps in a new
+// snapshot generation; queries pin one generation end-to-end, so a
+// roll-up running concurrently with an ingest sees either entirely the
+// old corpus or entirely the new one, never a mix. See ingest.go.
 package core
 
 import (
 	"context"
 	"runtime"
 	"sort"
-	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -34,7 +43,7 @@ import (
 	"ncexplorer/internal/reach"
 	"ncexplorer/internal/relevance"
 	"ncexplorer/internal/shardmap"
-	"ncexplorer/internal/textindex"
+	"ncexplorer/internal/snapshot"
 	"ncexplorer/internal/xrand"
 )
 
@@ -57,6 +66,9 @@ type Options struct {
 	// of extra helper goroutines for intra-query fan-out (drill-down's
 	// diversity loop). 0 ⇒ GOMAXPROCS.
 	Workers int
+	// MaxSegments is the segment count above which ingested segments
+	// are merged in the background. 0 ⇒ 4.
+	MaxSegments int
 	// Exact computes connectivity exactly instead of sampling (tests
 	// and ablations).
 	Exact bool
@@ -82,6 +94,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Workers <= 0 {
 		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.MaxSegments <= 0 {
+		o.MaxSegments = 4
 	}
 	return o
 }
@@ -115,8 +130,9 @@ type Subtopic struct {
 	MatchedDocs int
 }
 
-// IndexStats reports indexing outcomes and the cost breakdown measured
-// for the paper's Fig. 4 analysis.
+// IndexStats reports the outcomes and cost breakdown of the *initial*
+// IndexCorpus build (the paper's Fig. 4 analysis). Ingested batches
+// are tracked separately by IngestCounters.
 type IndexStats struct {
 	Docs      int
 	PerSource map[corpus.Source]corpus.SourceStats
@@ -126,18 +142,18 @@ type IndexStats struct {
 	ScoreNanos int64
 }
 
-// ConceptScore is one indexed candidate concept of a document with its
-// concept-document relevance and pivot entity.
+// ConceptScore is one scored candidate concept of a document at the
+// current snapshot generation: the full concept-document relevance,
+// its generation-independent context factor, and the pivot entity.
 type ConceptScore struct {
 	Concept kg.NodeID
 	CDR     float64
 	Pivot   kg.NodeID
-}
-
-type docInfo struct {
-	source   corpus.Source
-	entities []kg.NodeID // distinct linked entities, first-mention order
-	concepts []ConceptScore
+	// CDRC is the context-relevance factor cdrc(c, d) (Eq. 5). It
+	// depends only on the graph and the document — never on
+	// corpus-global statistics — so it is reused verbatim when the
+	// snapshot is rebuilt after an ingest.
+	CDRC float64
 }
 
 type cdrEntry struct {
@@ -145,41 +161,46 @@ type cdrEntry struct {
 	pivot kg.NodeID
 }
 
+// cdrStreamSalt seeds the per-(concept, document) sampler streams for
+// the context-relevance factor. One salt for indexing-time and
+// on-demand computation: whichever path computes cdrc(c, d) first
+// computes THE value.
+const cdrStreamSalt = 0x9e3779b97f4a7c15
+
 // Engine is an indexed NCExplorer instance. Safe for concurrent
-// queries after IndexCorpus returns: the query path takes no global
-// lock — post-index structures are immutable, memoisation goes through
-// sharded concurrent maps with per-shard singleflight, and miss-path
-// scoring borrows a per-goroutine scorer from a pool. Results are
-// deterministic regardless of interleaving because every on-demand
-// sample stream is seeded by its (concept, document) key alone.
+// queries after IndexCorpus returns, including concurrently with
+// Ingest: the query path takes no global lock — all post-index
+// structures hang off an atomic snapshot pointer pinned once per
+// query, memoisation goes through sharded concurrent maps with
+// per-shard singleflight, and miss-path scoring borrows a
+// per-goroutine scorer from a pool. Results are deterministic
+// regardless of interleaving because every on-demand sample stream is
+// seeded by its (concept, document) key alone.
 type Engine struct {
 	g       *kg.Graph
 	opts    Options
 	linker  *nlp.Linker
 	reachIx *reach.Index
 
-	// Immutable after IndexCorpus returns: the frozen term index, the
-	// per-document entity/concept records, and the entity→documents
-	// postings are never written again, so query goroutines read them
-	// without synchronisation.
-	entIx   *textindex.Index
-	docs    []docInfo
-	entDocs map[kg.NodeID][]int32
+	// st is the current generation's query state. Query entry points
+	// load it exactly once and thread it through, so a query runs
+	// against one consistent snapshot even while Ingest swaps in a new
+	// one. Writers (IndexCorpus, Ingest, merge, ResetQueryCaches)
+	// serialise on ingestMu and publish with a single Store.
+	st atomic.Pointer[genState]
 
-	// Concurrent query-path state (see cache.go): sharded memo maps
-	// with per-shard singleflight, plus a pool of per-goroutine
-	// scorers for miss-path computation. There is no global query
-	// mutex.
-	cdrMemo   *shardmap.Map[uint64, cdrEntry]
-	matchMemo *shardmap.Map[kg.NodeID, []int32]
-	scorers   sync.Pool
-	// extents is shared by every scorer the engine creates (indexing
-	// workers and the serving pool), so each concept's extent closure
-	// is computed once engine-wide. It is deterministic index-derived
-	// data, not query-time randomness, so ResetQueryCaches leaves it
-	// alone — mirroring the old single-scorer engine, whose private
-	// extent memo also survived resets.
-	extents *relevance.ExtentCache
+	// Generation-independent caches, shared by every snapshot:
+	//
+	//   - connMemo memoises the context-relevance factor cdrc(c, d),
+	//     the expensive random-walk part of cdr. Its inputs (graph,
+	//     document entities, document-local term saturation) never
+	//     change once a document is ingested, so entries stay valid
+	//     across generations — a snapshot rebuild re-walks nothing
+	//     that was walked before;
+	//   - extents memoises concept extent closures (pure graph data).
+	connMemo *shardmap.Map[uint64, float64]
+	extents  *relevance.ExtentCache
+
 	// querySem admits extra helper goroutines for intra-query fan-out
 	// (queryParallel). Capacity opts.Workers, engine-wide: C concurrent
 	// queries run on at most C caller goroutines + Workers helpers, not
@@ -187,27 +208,82 @@ type Engine struct {
 	// without oversubscribing the scheduler.
 	querySem chan struct{}
 
+	// Single-writer side: ingestMu serialises all snapshot producers;
+	// mergeWG tracks the background merge goroutine; merging
+	// deduplicates merge kicks; epoch tags externally visible cache
+	// state (see CacheEpoch).
+	ingestMu sync.Mutex
+	mergeWG  sync.WaitGroup
+	merging  atomic.Bool
+	epoch    atomic.Uint64
+
 	stats IndexStats
+	ing   ingestCounters
+}
+
+// genState is everything a query needs from one snapshot generation:
+// the raw snapshot, the generation-derived per-document concept
+// scores, and fresh memo maps. Swapping the whole bundle atomically is
+// what makes cache invalidation free: a new generation starts with
+// clean memos while in-flight queries keep using — and filling — the
+// generation they pinned.
+type genState struct {
+	e    *Engine
+	snap *snapshot.Snapshot
+
+	// concepts holds each document's kept candidate scores at this
+	// generation (the cdr postings driving drill-down coverage),
+	// indexed by global doc ID.
+	concepts [][]ConceptScore
+
+	// Query-path memoisation, valid for this generation only:
+	// cdrMemo caches full cdr(c, d) values (pre-seeded from concepts),
+	// matchMemo the sorted matching-document list per concept.
+	cdrMemo   *shardmap.Map[uint64, cdrEntry]
+	matchMemo *shardmap.Map[kg.NodeID, []int32]
+
+	// scorers pools per-goroutine relevance scorers whose DocView is
+	// this state — a borrowed scorer reads one generation's statistics
+	// no matter when the engine swaps.
+	scorers sync.Pool
+}
+
+// Entities implements relevance.DocView.
+func (st *genState) Entities(doc int32) []kg.NodeID {
+	return st.snap.Doc(doc).Entities
+}
+
+// EntityWeight implements relevance.DocView (tw(v, d), Eq. 3) over the
+// snapshot's corpus-global term statistics.
+func (st *genState) EntityWeight(v kg.NodeID, doc int32) float64 {
+	return st.snap.Text.TFIDF(snapshot.EntTerm(v), doc)
+}
+
+// ContextWeight implements relevance.DocView: the document-local
+// saturated term frequency tf/(tf+1). Deliberately free of
+// corpus-global statistics so the truncated context set of (c, d) —
+// and with it the memoised connectivity estimate — is identical at
+// every index generation.
+func (st *genState) ContextWeight(v kg.NodeID, doc int32) float64 {
+	tf := st.snap.Doc(doc).EntityFreq[v]
+	if tf <= 0 {
+		return 0
+	}
+	return float64(tf) / float64(tf+1)
 }
 
 // NewEngine creates an engine over the knowledge graph.
 func NewEngine(g *kg.Graph, opts Options) *Engine {
 	opts = opts.withDefaults()
 	e := &Engine{
-		g:         g,
-		opts:      opts,
-		linker:    nlp.NewLinker(g),
-		entIx:     textindex.New(),
-		entDocs:   make(map[kg.NodeID][]int32),
-		cdrMemo:   shardmap.New[uint64, cdrEntry](cdrShards, hashCDRKey),
-		matchMemo: shardmap.New[kg.NodeID, []int32](matchShards, hashConcept),
-		extents:   relevance.NewExtentCache(matchShards),
+		g:        g,
+		opts:     opts,
+		linker:   nlp.NewLinker(g),
+		connMemo: shardmap.New[uint64, float64](cdrShards, hashCDRKey),
+		extents:  relevance.NewExtentCache(matchShards),
 	}
 	if !opts.Exact {
 		e.reachIx = reach.New(g, opts.Tau, opts.ReachCache)
-	}
-	e.scorers.New = func() any {
-		return relevance.NewScorer(e.g, e, e.reachIx, e.scorerOpts())
 	}
 	e.querySem = make(chan struct{}, opts.Workers)
 	return e
@@ -219,16 +295,8 @@ func (e *Engine) Options() Options { return e.opts }
 // Graph returns the underlying knowledge graph.
 func (e *Engine) Graph() *kg.Graph { return e.g }
 
-// entity IDs double as terms in the entity index.
-func entKey(v kg.NodeID) string { return strconv.Itoa(int(v)) }
-
-// Entities implements relevance.DocView.
-func (e *Engine) Entities(doc int32) []kg.NodeID { return e.docs[doc].entities }
-
-// EntityWeight implements relevance.DocView (tw(v, d), Eq. 3).
-func (e *Engine) EntityWeight(v kg.NodeID, doc int32) float64 {
-	return e.entIx.TFIDF(entKey(v), doc)
-}
+// state returns the current generation state (nil before IndexCorpus).
+func (e *Engine) state() *genState { return e.st.Load() }
 
 // scorerOpts builds the relevance options for this engine.
 func (e *Engine) scorerOpts() relevance.Options {
@@ -241,80 +309,84 @@ func (e *Engine) scorerOpts() relevance.Options {
 	}
 }
 
-// IndexCorpus runs the full pipeline over the corpus. Documents must
-// have dense IDs 0..n−1 (the corpus generator guarantees this). It may
-// be called once per engine.
+// IndexCorpus runs the full pipeline over the corpus, producing the
+// base segment and the first snapshot generation. Documents must have
+// dense IDs 0..n−1 (the corpus generator guarantees this). It may be
+// called once per engine; grow the corpus afterwards with Ingest.
 func (e *Engine) IndexCorpus(c *corpus.Corpus) IndexStats {
-	if len(e.docs) > 0 {
+	if e.st.Load() != nil {
 		panic("core: IndexCorpus called twice")
 	}
-	n := c.Len()
-	e.docs = make([]docInfo, n)
+	e.ingestMu.Lock()
+	defer e.ingestMu.Unlock()
+	// Private copy of the display articles: the engine owns them from
+	// here on (IDs are rewritten, and ingested articles extend them).
+	articles := append([]corpus.Document(nil), c.Docs...)
+	seg, perSource, linkNanos, err := e.buildSegment(context.Background(), articles, 0)
+	if err != nil {
+		panic("core: segment build failed without a cancellable context: " + err.Error())
+	}
+	e.stats = IndexStats{Docs: len(articles), PerSource: perSource, LinkNanos: linkNanos}
+	st, scoreNanos := e.buildState(1, []*snapshot.Segment{seg})
+	e.stats.ScoreNanos = scoreNanos
+	e.st.Store(st)
+	e.epoch.Add(1)
+	return e.stats
+}
+
+// buildSegment runs the annotation/linking pipeline (Phase A–B) over a
+// batch of articles and assembles an immutable segment based at the
+// given global ID. ctx cancellation aborts between documents.
+func (e *Engine) buildSegment(ctx context.Context, articles []corpus.Document, base int32) (*snapshot.Segment, map[corpus.Source]corpus.SourceStats, int64, error) {
+	n := len(articles)
 	anns := make([]*nlp.Annotation, n)
 	linkNanos := make([]int64, n)
 
 	// Phase A — NLP annotation + entity linking (parallel; the paper's
-	// dominant indexing cost).
+	// dominant indexing cost). Workers stop claiming documents once ctx
+	// is cancelled.
 	e.parallel(n, func(i int) {
-		d := c.Doc(corpus.DocID(i))
+		if ctx.Err() != nil {
+			return
+		}
 		start := time.Now()
-		anns[i] = e.linker.Annotate(d.Text())
+		anns[i] = e.linker.Annotate(articles[i].Text())
 		linkNanos[i] = time.Since(start).Nanoseconds()
 	})
+	if err := ctx.Err(); err != nil {
+		return nil, nil, 0, err
+	}
 
-	// Phase B — sequential: entity term index, entity→doc postings,
-	// per-source mention statistics.
-	e.stats.PerSource = make(map[corpus.Source]corpus.SourceStats)
+	// Phase B — sequential: per-document records (entities, raw term
+	// frequencies, candidate concepts) and per-source mention stats.
+	perSource := make(map[corpus.Source]corpus.SourceStats)
+	docs := make([]snapshot.DocRecord, n)
+	var totalLink int64
 	for i := 0; i < n; i++ {
-		d := c.Doc(corpus.DocID(i))
 		ann := anns[i]
-		tf := make(map[string]int, len(ann.EntityFreq))
-		for v, f := range ann.EntityFreq {
-			tf[entKey(v)] = f
-		}
-		e.entIx.Add(int32(i), tf)
 		ents := ann.Entities()
-		e.docs[i] = docInfo{source: d.Source, entities: ents}
-		for _, v := range ents {
-			e.entDocs[v] = append(e.entDocs[v], int32(i))
+		docs[i] = snapshot.DocRecord{
+			Source:     articles[i].Source,
+			Entities:   ents,
+			EntityFreq: ann.EntityFreq,
+			Candidates: e.candidateConcepts(ents),
 		}
-		ss := e.stats.PerSource[d.Source]
-		ss.Source = d.Source
+		ss := perSource[articles[i].Source]
+		ss.Source = articles[i].Source
 		ss.Articles++
 		ss.TotalMentions += ann.TotalMentions()
 		ss.LinkedMentions += len(ann.Mentions)
-		e.stats.PerSource[d.Source] = ss
-		e.stats.LinkNanos += linkNanos[i]
+		perSource[articles[i].Source] = ss
+		totalLink += linkNanos[i]
 	}
-	e.stats.Docs = n
-	// Freeze the term index before the parallel scoring phase: postings
-	// become sorted and immutable, so the scorers' TFIDF reads (here and
-	// at query time) are race-free binary searches.
-	e.entIx.Freeze()
-
-	// Phase C — candidate concept scoring (parallel, deterministic:
-	// each document's sampler is seeded by its ID).
-	scoreNanos := make([]int64, n)
-	workerScorers := make([]*relevance.Scorer, e.opts.Workers)
-	for w := range workerScorers {
-		workerScorers[w] = relevance.NewScorer(e.g, e, e.reachIx, e.scorerOpts())
-	}
-	e.parallelWorker(n, func(worker, i int) {
-		start := time.Now()
-		e.docs[i].concepts = e.scoreCandidates(workerScorers[worker], int32(i))
-		scoreNanos[i] = time.Since(start).Nanoseconds()
-	})
-	for i := 0; i < n; i++ {
-		e.stats.ScoreNanos += scoreNanos[i]
-	}
-	e.seedCDRMemo()
-	return e.stats
+	return snapshot.BuildSegment(base, docs, articles), perSource, totalLink, nil
 }
 
-// scoreCandidates selects and scores the candidate concepts of one
-// document: direct Ψ⁻¹ concepts of its entities plus AncestorLevels of
-// `broader` parents, capped by ontology relevance.
-func (e *Engine) scoreCandidates(s *relevance.Scorer, doc int32) []ConceptScore {
+// candidateConcepts enumerates a document's candidate subtopic
+// concepts: the direct Ψ⁻¹ concepts of its entities plus
+// AncestorLevels of `broader` parents. Pure graph data — the set is
+// the same at every generation; only the scores change.
+func (e *Engine) candidateConcepts(ents []kg.NodeID) []kg.NodeID {
 	seen := make(map[kg.NodeID]struct{})
 	var candidates []kg.NodeID
 	add := func(c kg.NodeID) {
@@ -323,7 +395,7 @@ func (e *Engine) scoreCandidates(s *relevance.Scorer, doc int32) []ConceptScore 
 			candidates = append(candidates, c)
 		}
 	}
-	for _, v := range e.docs[doc].entities {
+	for _, v := range ents {
 		for _, c := range e.g.ConceptsOf(v) {
 			add(c)
 			for _, anc := range e.g.AncestorsWithin(c, e.opts.AncestorLevels) {
@@ -331,14 +403,67 @@ func (e *Engine) scoreCandidates(s *relevance.Scorer, doc int32) []ConceptScore 
 			}
 		}
 	}
-	// Rank by cdro (cheap), keep the cap, then pay for connectivity.
+	return snapshot.SortedCandidates(candidates)
+}
+
+// buildState derives a complete generation state over the given
+// segments: per-document concept scores (Phase C) plus seeded memo
+// maps. Expensive connectivity factors are fetched from the
+// generation-independent connMemo, so only documents (or candidates)
+// never scored before pay for random walks — the heart of cheap
+// snapshot rebuilds after an ingest. Returns the state and the summed
+// per-document scoring nanoseconds.
+func (e *Engine) buildState(gen uint64, segs []*snapshot.Segment) (*genState, int64) {
+	st := e.newStateShell(snapshot.New(gen, segs))
+	n := st.snap.NumDocs()
+	st.concepts = make([][]ConceptScore, n)
+
+	scoreNanos := make([]int64, n)
+	workerScorers := make([]*relevance.Scorer, e.opts.Workers)
+	for w := range workerScorers {
+		workerScorers[w] = relevance.NewScorer(e.g, st, e.reachIx, e.scorerOpts())
+	}
+	e.parallelWorker(n, func(worker, i int) {
+		start := time.Now()
+		st.concepts[i] = st.deriveDocScores(workerScorers[worker], int32(i))
+		scoreNanos[i] = time.Since(start).Nanoseconds()
+	})
+	var total int64
+	for _, ns := range scoreNanos {
+		total += ns
+	}
+	st.seedMemos()
+	return st, total
+}
+
+// newStateShell allocates a genState with empty memos and a scorer
+// pool bound to it.
+func (e *Engine) newStateShell(snap *snapshot.Snapshot) *genState {
+	st := &genState{
+		e:         e,
+		snap:      snap,
+		cdrMemo:   shardmap.New[uint64, cdrEntry](cdrShards, hashCDRKey),
+		matchMemo: shardmap.New[kg.NodeID, []int32](matchShards, hashConcept),
+	}
+	st.scorers.New = func() any {
+		return relevance.NewScorer(e.g, st, e.reachIx, e.scorerOpts())
+	}
+	return st
+}
+
+// deriveDocScores computes one document's kept candidate scores at
+// this generation: rank candidates by the (cheap, generation-
+// dependent) ontology relevance, keep the cap, then attach the
+// (expensive, generation-independent, memoised) context factor.
+func (st *genState) deriveDocScores(s *relevance.Scorer, doc int32) []ConceptScore {
+	rec := st.snap.Doc(doc)
 	type cand struct {
 		c     kg.NodeID
 		cdro  float64
 		pivot kg.NodeID
 	}
-	scored := make([]cand, 0, len(candidates))
-	for _, c := range candidates {
+	scored := make([]cand, 0, len(rec.Candidates))
+	for _, c := range rec.Candidates {
 		cdro, pivot := s.OntologyRel(c, doc)
 		if cdro > 0 {
 			scored = append(scored, cand{c, cdro, pivot})
@@ -350,18 +475,31 @@ func (e *Engine) scoreCandidates(s *relevance.Scorer, doc int32) []ConceptScore 
 		}
 		return scored[i].c < scored[j].c
 	})
-	if len(scored) > e.opts.MaxConceptsPerDoc {
-		scored = scored[:e.opts.MaxConceptsPerDoc]
+	if len(scored) > st.e.opts.MaxConceptsPerDoc {
+		scored = scored[:st.e.opts.MaxConceptsPerDoc]
 	}
-	rnd := xrand.Stream(e.opts.Seed, uint64(doc))
 	out := make([]ConceptScore, 0, len(scored))
 	for _, cd := range scored {
-		cdrc := s.ContextRel(cd.c, doc, rnd)
-		out = append(out, ConceptScore{Concept: cd.c, CDR: cd.cdro * cdrc, Pivot: cd.pivot})
+		cdrc := st.e.contextRel(s, cd.c, doc)
+		out = append(out, ConceptScore{Concept: cd.c, CDR: cd.cdro * cdrc, CDRC: cdrc, Pivot: cd.pivot})
 	}
 	// Deterministic order for downstream iteration.
 	sort.Slice(out, func(i, j int) bool { return out[i].Concept < out[j].Concept })
 	return out
+}
+
+// contextRel returns the memoised context-relevance factor cdrc(c, d),
+// computing it with the caller's scorer on a miss. The sampler is
+// seeded by (concept, doc) alone, so the value is independent of query
+// order, of goroutine interleaving, and of the generation that first
+// computed it.
+func (e *Engine) contextRel(s *relevance.Scorer, c kg.NodeID, doc int32) float64 {
+	key := cdrKey(c, doc)
+	v, _ := e.connMemo.GetOrCompute(key, func() float64 {
+		rnd := xrand.Stream(e.opts.Seed^cdrStreamSalt, key)
+		return s.ContextRel(c, doc, rnd)
+	})
+	return v
 }
 
 func cdrKey(c kg.NodeID, doc int32) uint64 {
@@ -455,39 +593,90 @@ func (e *Engine) parallelWorker(n int, fn func(worker, i int)) {
 	wg.Wait()
 }
 
-// Stats returns indexing statistics (valid after IndexCorpus).
+// Stats returns the initial indexing statistics (valid after
+// IndexCorpus; ingested batches are reported by IngestCounters).
 func (e *Engine) Stats() IndexStats { return e.stats }
 
-// DocConcepts returns a document's indexed candidate concepts with
-// their cdr scores (the per-document postings). The slice must not be
-// modified.
+// Generation returns the current snapshot generation: 1 after
+// IndexCorpus, +1 per ingested batch (0 before indexing). Segment
+// merges do not change it — they reorganise storage, not content.
+func (e *Engine) Generation() uint64 {
+	if st := e.state(); st != nil {
+		return st.snap.Generation
+	}
+	return 0
+}
+
+// CacheEpoch tags the externally observable query-cache state: it
+// advances on every event after which an external response cache must
+// stop serving retained bodies — each snapshot swap (new content) and
+// each ResetQueryCaches call. Serving layers fold it into their cache
+// keys, making old entries unreachable without a stop-the-world flush.
+func (e *Engine) CacheEpoch() uint64 { return e.epoch.Load() }
+
+// Entities returns a document's distinct linked entities (current
+// generation; entity lists are append-only and never change once a
+// document is ingested).
+func (e *Engine) Entities(doc int32) []kg.NodeID {
+	return e.state().Entities(doc)
+}
+
+// EntityWeight returns tw(v, d) under the current generation's
+// corpus-global term statistics.
+func (e *Engine) EntityWeight(v kg.NodeID, doc int32) float64 {
+	return e.state().EntityWeight(v, doc)
+}
+
+// ContextWeight returns the document-local context-ranking weight of
+// an entity. Together with Entities and EntityWeight this lets an
+// Engine serve as a relevance.DocView for ad-hoc scorers (the
+// experiment harness builds exact-mode scorers this way); such a
+// scorer reads whatever generation is current at each call, unlike
+// the engine's own query path, which pins one.
+func (e *Engine) ContextWeight(v kg.NodeID, doc int32) float64 {
+	return e.state().ContextWeight(v, doc)
+}
+
+// DocConcepts returns a document's candidate concepts with their cdr
+// scores at the current generation (the per-document postings). The
+// slice must not be modified.
 func (e *Engine) DocConcepts(doc corpus.DocID) []ConceptScore {
-	return e.docs[doc].concepts
+	return e.state().concepts[doc]
 }
 
-// ResetQueryCaches discards the query-time memoisation (concept match
-// lists and on-demand cdr values), restoring the cache to its
-// post-indexing state. Benchmarks use it to measure cold query cost;
-// results are unaffected because on-demand values are seeded per
-// (concept, document).
-// Calling it concurrently with queries is memory-safe but not
-// recommended: a query landing in the window between the clear and the
-// re-seed can recompute an indexed (concept, doc) pair with the
-// on-demand sampler, whose stream differs from the indexing-time one —
-// that query may observe the deviating value, but the cache itself
-// converges: the re-seed wins (shardmap completion stores are
-// store-if-absent), so later queries read the indexing-time value.
-// Benchmarks reset between measurement phases, never mid-traffic.
+// ResetQueryCaches restores the query-time memoisation to the current
+// generation's post-build state: fresh match and cdr memos re-seeded
+// from the per-document concept scores, and the connectivity memo
+// reduced to the entries those scores pin. Benchmarks use it to replay
+// cold-cache traffic; results are unaffected because on-demand values
+// are seeded per (concept, document) — a query in flight during the
+// reset keeps its pinned state and recomputes identical values.
 func (e *Engine) ResetQueryCaches() {
-	e.matchMemo.Reset()
-	e.cdrMemo.Reset()
-	e.seedCDRMemo()
+	e.ingestMu.Lock()
+	defer e.ingestMu.Unlock()
+	cur := e.state()
+	if cur == nil {
+		return
+	}
+	e.connMemo.Reset()
+	st := e.newStateShell(cur.snap)
+	st.concepts = cur.concepts
+	st.seedMemos()
+	e.st.Store(st)
+	e.epoch.Add(1)
 }
 
-// NumDocs returns the number of indexed documents.
-func (e *Engine) NumDocs() int { return len(e.docs) }
+// NumDocs returns the number of indexed documents at the current
+// generation.
+func (e *Engine) NumDocs() int { return e.state().snap.NumDocs() }
 
 // DocSource returns the source of an indexed document.
 func (e *Engine) DocSource(doc corpus.DocID) corpus.Source {
-	return e.docs[doc].source
+	return e.state().snap.Doc(int32(doc)).Source
+}
+
+// Doc returns the display document (title, body, source) of an
+// indexed or ingested article. The returned value is immutable.
+func (e *Engine) Doc(doc corpus.DocID) *corpus.Document {
+	return e.state().snap.Article(int32(doc))
 }

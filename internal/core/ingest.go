@@ -1,0 +1,201 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"time"
+
+	"ncexplorer/internal/corpus"
+	"ncexplorer/internal/snapshot"
+)
+
+// Live corpus ingestion. Ingest appends a batch of documents as a new
+// immutable segment and swaps in the next snapshot generation; a
+// background merge keeps the segment count bounded. The write side is
+// single-writer (ingestMu); the read side never blocks on it.
+//
+// Equivalence guarantee: an engine grown by any sequence of Ingest
+// calls answers every query byte-identically to an engine that
+// indexed the same documents in one IndexCorpus build. Three design
+// choices carry the proof:
+//
+//  1. corpus-global term statistics — the snapshot's merged text view
+//     sums document frequencies across segments, so tw(v, d) equals
+//     the monolithic build's value exactly;
+//  2. generation-derived scores — everything downstream of tw (the
+//     ontology factor, candidate ranking, pivots) is recomputed for
+//     every document when a snapshot is built, never carried over;
+//  3. content-addressed sampling — the connectivity factor's sampler
+//     is seeded by (concept, doc) alone, so its memoised values are
+//     the ones a from-scratch build would draw.
+
+// errNotIndexed is returned by Ingest before IndexCorpus has run.
+var errNotIndexed = errors.New("core: Ingest called before IndexCorpus")
+
+// IngestResult reports one ingested batch.
+type IngestResult struct {
+	// Docs is the number of documents added by this batch.
+	Docs int
+	// Generation is the snapshot generation now serving.
+	Generation uint64
+	// TotalDocs is the corpus size after the batch.
+	TotalDocs int
+	// LinkNanos / ScoreNanos split the batch's indexing cost:
+	// annotation+linking of the new documents vs deriving the new
+	// generation's scores (which spans the whole corpus but re-walks
+	// only never-seen candidates).
+	LinkNanos  int64
+	ScoreNanos int64
+}
+
+// ingestCounters aggregates ingestion throughput for /statsz.
+type ingestCounters struct {
+	batches atomic.Int64
+	docs    atomic.Int64
+	nanos   atomic.Int64
+	merges  atomic.Int64
+}
+
+// IngestCounters is the exported snapshot of ingestion counters.
+type IngestCounters struct {
+	// Batches and Docs count successful Ingest calls and the documents
+	// they added.
+	Batches int64 `json:"batches"`
+	Docs    int64 `json:"docs"`
+	// Nanos is the summed wall-clock cost of those calls (link + score
+	// + swap).
+	Nanos int64 `json:"nanos"`
+	// Merges counts background segment merges.
+	Merges int64 `json:"merges"`
+}
+
+// IngestCounters returns the engine's ingestion counters.
+func (e *Engine) IngestCounters() IngestCounters {
+	return IngestCounters{
+		Batches: e.ing.batches.Load(),
+		Docs:    e.ing.docs.Load(),
+		Nanos:   e.ing.nanos.Load(),
+		Merges:  e.ing.merges.Load(),
+	}
+}
+
+// SegmentSizes lists the current snapshot's per-segment document
+// counts, in base order.
+func (e *Engine) SegmentSizes() []int {
+	st := e.state()
+	if st == nil {
+		return nil
+	}
+	out := make([]int, len(st.snap.Segments))
+	for i, seg := range st.snap.Segments {
+		out[i] = seg.Len()
+	}
+	return out
+}
+
+// Ingest indexes a batch of articles into a new segment and publishes
+// the next snapshot generation. Queries running concurrently are
+// unaffected: each pinned the snapshot it started with, and the swap
+// is a single atomic store. Document IDs are assigned densely after
+// the existing corpus; the input slice is copied, never retained.
+//
+// ctx cancellation aborts the batch before the swap — either the
+// whole batch becomes visible (at one new generation) or none of it.
+// Concurrent Ingest calls serialise; order between racing batches is
+// unspecified but each lands as its own generation.
+func (e *Engine) Ingest(ctx context.Context, articles []corpus.Document) (IngestResult, error) {
+	e.ingestMu.Lock()
+	defer e.ingestMu.Unlock()
+	cur := e.state()
+	if cur == nil {
+		return IngestResult{}, errNotIndexed
+	}
+	if len(articles) == 0 {
+		return IngestResult{Generation: cur.snap.Generation, TotalDocs: cur.snap.NumDocs()}, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return IngestResult{}, err
+	}
+	start := time.Now()
+	arts := append([]corpus.Document(nil), articles...)
+	seg, _, linkNanos, err := e.buildSegment(ctx, arts, int32(cur.snap.NumDocs()))
+	if err != nil {
+		return IngestResult{}, err
+	}
+	segs := make([]*snapshot.Segment, 0, len(cur.snap.Segments)+1)
+	segs = append(segs, cur.snap.Segments...)
+	segs = append(segs, seg)
+	st, scoreNanos := e.buildState(cur.snap.Generation+1, segs)
+	e.st.Store(st)
+	e.epoch.Add(1)
+	e.ing.batches.Add(1)
+	e.ing.docs.Add(int64(len(arts)))
+	e.ing.nanos.Add(time.Since(start).Nanoseconds())
+	e.maybeMerge(len(segs))
+	return IngestResult{
+		Docs:       len(arts),
+		Generation: st.snap.Generation,
+		TotalDocs:  st.snap.NumDocs(),
+		LinkNanos:  linkNanos,
+		ScoreNanos: scoreNanos,
+	}, nil
+}
+
+// maybeMerge kicks the background merge goroutine when the segment
+// count exceeds the policy bound. Called with ingestMu held; at most
+// one merge goroutine runs at a time.
+func (e *Engine) maybeMerge(segments int) {
+	if segments <= e.opts.MaxSegments {
+		return
+	}
+	if !e.merging.CompareAndSwap(false, true) {
+		return
+	}
+	e.mergeWG.Add(1)
+	go func() {
+		defer e.mergeWG.Done()
+		defer e.merging.Store(false)
+		e.mergeSegments()
+	}()
+}
+
+// mergeSegments folds the smallest adjacent segment pairs together
+// until the count respects MaxSegments, then swaps in a state that
+// keeps the SAME generation and transplants the memo maps and derived
+// scores: a merge reorganises storage without changing any statistic,
+// so every cached value — engine memos and external response caches
+// alike — stays valid and warm.
+func (e *Engine) mergeSegments() {
+	e.ingestMu.Lock()
+	defer e.ingestMu.Unlock()
+	cur := e.state()
+	if cur == nil || len(cur.snap.Segments) <= e.opts.MaxSegments {
+		return
+	}
+	segs := append([]*snapshot.Segment(nil), cur.snap.Segments...)
+	for len(segs) > e.opts.MaxSegments {
+		best := 0
+		bestSize := -1
+		for i := 0; i+1 < len(segs); i++ {
+			size := segs[i].Len() + segs[i+1].Len()
+			if bestSize < 0 || size < bestSize {
+				best, bestSize = i, size
+			}
+		}
+		merged := snapshot.Merge(segs[best : best+2])
+		segs = append(segs[:best+1], segs[best+2:]...)
+		segs[best] = merged
+		e.ing.merges.Add(1)
+	}
+	st := e.newStateShell(snapshot.New(cur.snap.Generation, segs))
+	st.concepts = cur.concepts
+	st.cdrMemo = cur.cdrMemo
+	st.matchMemo = cur.matchMemo
+	e.st.Store(st)
+	// No epoch bump: answers are unchanged, external caches stay warm.
+}
+
+// WaitMerges blocks until any in-flight background merge completes.
+// Tests and graceful shutdown use it; queries never need to.
+func (e *Engine) WaitMerges() { e.mergeWG.Wait() }

@@ -7,7 +7,6 @@ import (
 	"ncexplorer/internal/corpus"
 	"ncexplorer/internal/kg"
 	"ncexplorer/internal/topk"
-	"ncexplorer/internal/xrand"
 )
 
 // ctxStride is how many per-document scoring iterations run between
@@ -17,25 +16,35 @@ import (
 // the whole matched set.
 const ctxStride = 64
 
+// Generation pinning: every public query entry point loads the current
+// genState exactly once and threads it through all per-document reads,
+// memo lookups, and scorer borrows. A query therefore observes one
+// snapshot generation end-to-end — an Ingest swapping mid-query can
+// never hand it a half-old, half-new view — and its memo fills land in
+// that generation's maps, warming them for queries pinned to the same
+// snapshot.
+
 // conceptMatches returns the sorted document IDs matching concept c —
 // documents containing at least one entity of c's extent closure
-// (Definition 1 matching semantics). Memoised in the sharded match
-// map; concurrent misses on the same concept compute once. The
-// returned slice is shared and must not be modified.
-func (e *Engine) conceptMatches(c kg.NodeID) []int32 {
-	docs, _ := e.matchMemo.GetOrCompute(c, func() []int32 {
-		s := e.getScorer()
-		defer e.putScorer(s)
+// (Definition 1 matching semantics). Memoised in the generation's
+// sharded match map; concurrent misses on the same concept compute
+// once. The returned slice is shared and must not be modified.
+func (st *genState) conceptMatches(c kg.NodeID) []int32 {
+	docs, _ := st.matchMemo.GetOrCompute(c, func() []int32 {
+		s := st.getScorer()
+		defer st.putScorer(s)
 		ext, _ := s.Extent(c)
 		var docs []int32
 		seen := make(map[int32]struct{})
 		for _, v := range ext {
-			for _, d := range e.entDocs[v] {
-				if _, ok := seen[d]; !ok {
-					seen[d] = struct{}{}
-					docs = append(docs, d)
+			st.snap.EntityDocs(v, func(list []int32) {
+				for _, d := range list {
+					if _, ok := seen[d]; !ok {
+						seen[d] = struct{}{}
+						docs = append(docs, d)
+					}
 				}
-			}
+			})
 		}
 		sort.Slice(docs, func(i, j int) bool { return docs[i] < docs[j] })
 		return docs
@@ -45,15 +54,15 @@ func (e *Engine) conceptMatches(c kg.NodeID) []int32 {
 
 // matchedDocs intersects the per-concept match lists: a document
 // matches Q iff it matches every concept in Q.
-func (e *Engine) matchedDocs(q Query) []int32 {
-	docs, _ := e.matchedDocsCtx(context.Background(), q)
+func (st *genState) matchedDocs(q Query) []int32 {
+	docs, _ := st.matchedDocsCtx(context.Background(), q)
 	return docs
 }
 
 // matchedDocsCtx is matchedDocs with cancellation checked before each
 // per-concept match-list computation (a cold concept can require a
 // full extent-closure walk over the postings).
-func (e *Engine) matchedDocsCtx(ctx context.Context, q Query) ([]int32, error) {
+func (st *genState) matchedDocsCtx(ctx context.Context, q Query) ([]int32, error) {
 	if len(q) == 0 {
 		return nil, nil
 	}
@@ -62,7 +71,7 @@ func (e *Engine) matchedDocsCtx(ctx context.Context, q Query) ([]int32, error) {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		lists[i] = e.conceptMatches(c)
+		lists[i] = st.conceptMatches(c)
 		if len(lists[i]) == 0 {
 			return nil, nil
 		}
@@ -108,19 +117,23 @@ func intersectSorted(a, b []int32) []int32 {
 	return out
 }
 
-// cdr returns the cached or freshly computed cdr(c, d) with its pivot.
-// The sampler is seeded by (concept, doc) so values are independent of
-// query order AND of which goroutine computes them — the determinism
-// anchor of the lock-free query path. Concurrent misses on the same
-// key coalesce into one scorer call.
-func (e *Engine) cdr(c kg.NodeID, doc int32) cdrEntry {
-	key := cdrKey(c, doc)
-	ent, _ := e.cdrMemo.GetOrCompute(key, func() cdrEntry {
-		s := e.getScorer()
-		defer e.putScorer(s)
-		rnd := xrand.Stream(e.opts.Seed^0x9e3779b97f4a7c15, key)
-		cdr, pivot := s.CDR(c, doc, rnd)
-		return cdrEntry{cdr: cdr, pivot: pivot}
+// cdr returns the cached or freshly computed cdr(c, d) with its pivot
+// at this generation. The full value is memoised per generation (its
+// ontology factor depends on corpus-global statistics); the expensive
+// connectivity factor comes from the engine-wide memo, seeded by
+// (concept, doc) so values are independent of query order AND of which
+// goroutine computes them — the determinism anchor of the lock-free
+// query path. Concurrent misses on the same key coalesce into one
+// scorer call.
+func (st *genState) cdr(c kg.NodeID, doc int32) cdrEntry {
+	ent, _ := st.cdrMemo.GetOrCompute(cdrKey(c, doc), func() cdrEntry {
+		s := st.getScorer()
+		defer st.putScorer(s)
+		cdro, pivot := s.OntologyRel(c, doc)
+		if cdro <= 0 {
+			return cdrEntry{cdr: 0, pivot: pivot}
+		}
+		return cdrEntry{cdr: cdro * st.e.contextRel(s, c, doc), pivot: pivot}
 	})
 	return ent
 }
@@ -128,7 +141,7 @@ func (e *Engine) cdr(c kg.NodeID, doc int32) cdrEntry {
 // MatchedDocs returns all documents matching the concept pattern Q, in
 // ascending document order. Safe for concurrent use.
 func (e *Engine) MatchedDocs(q Query) []corpus.DocID {
-	docs := e.matchedDocs(q)
+	docs := e.state().matchedDocs(q)
 	out := make([]corpus.DocID, len(docs))
 	for i, d := range docs {
 		out[i] = corpus.DocID(d)
@@ -154,10 +167,12 @@ type RollUpOptions struct {
 
 // RollUpPage is one page of roll-up results plus the total number of
 // matching documents that passed the filters — what a paginating
-// client needs to compute the next offset.
+// client needs to compute the next offset — and the snapshot
+// generation the whole page was served from.
 type RollUpPage struct {
-	Results []DocResult
-	Total   int
+	Results    []DocResult
+	Total      int
+	Generation uint64
 }
 
 // RollUp implements Definition 1: the top-K documents d matching Q with
@@ -174,15 +189,17 @@ func (e *Engine) RollUp(q Query, k int) []DocResult {
 // a ctx error is returned as soon as it is seen. With Offset 0 and no
 // filters the page contents are identical to RollUp(q, opts.K).
 func (e *Engine) RollUpPage(ctx context.Context, q Query, opts RollUpOptions) (RollUpPage, error) {
+	st := e.state()
+	out := RollUpPage{Generation: st.snap.Generation}
 	if opts.K <= 0 || len(q) == 0 || opts.Offset < 0 {
-		return RollUpPage{}, nil
+		return out, nil
 	}
-	docs, err := e.matchedDocsCtx(ctx, q)
+	docs, err := st.matchedDocsCtx(ctx, q)
 	if err != nil {
-		return RollUpPage{}, err
+		return out, err
 	}
 	if len(docs) == 0 {
-		return RollUpPage{}, nil
+		return out, nil
 	}
 	var allowed map[corpus.Source]bool
 	if len(opts.Sources) > 0 {
@@ -205,15 +222,15 @@ func (e *Engine) RollUpPage(ctx context.Context, q Query, opts RollUpOptions) (R
 	for i, d := range docs {
 		if i%ctxStride == 0 {
 			if err := ctx.Err(); err != nil {
-				return RollUpPage{}, err
+				return RollUpPage{Generation: st.snap.Generation}, err
 			}
 		}
-		if allowed != nil && !allowed[e.docs[d].source] {
+		if allowed != nil && !allowed[st.snap.Doc(d).Source] {
 			continue
 		}
 		rel := 0.0
 		for _, c := range q {
-			rel += e.cdr(c, d).cdr
+			rel += st.cdr(c, d).cdr
 		}
 		if opts.MinScore > 0 && rel < opts.MinScore {
 			continue
@@ -222,22 +239,23 @@ func (e *Engine) RollUpPage(ctx context.Context, q Query, opts RollUpOptions) (R
 		coll.Push(d, rel)
 	}
 	items := coll.Sorted()
+	out.Total = total
 	if opts.Offset >= len(items) {
-		return RollUpPage{Total: total}, nil
+		return out, nil
 	}
 	items = items[opts.Offset:]
-	out := make([]DocResult, len(items))
+	out.Results = make([]DocResult, len(items))
 	for i, it := range items {
 		res := DocResult{Doc: corpus.DocID(it.Value), Score: it.Score}
 		for _, c := range q {
-			ent := e.cdr(c, it.Value)
+			ent := st.cdr(c, it.Value)
 			res.Contributors = append(res.Contributors, ConceptContribution{
 				Concept: c, CDR: ent.cdr, Pivot: ent.pivot,
 			})
 		}
-		out[i] = res
+		out.Results[i] = res
 	}
-	return RollUpPage{Results: out, Total: total}, nil
+	return out, nil
 }
 
 // DrillDownOptions parameterises a paged drill-down. The negated
@@ -263,10 +281,12 @@ type DrillDownOptions struct {
 // DrillDownPage is one page of subtopic suggestions plus the number
 // of rankable suggestions behind the cursor: the scored shortlist
 // size (so offset+k can actually reach every counted entry), reduced
-// to the entries at or above MinScore when a floor is set.
+// to the entries at or above MinScore when a floor is set. Generation
+// is the snapshot the page was served from.
 type DrillDownPage struct {
-	Results []Subtopic
-	Total   int
+	Results    []Subtopic
+	Total      int
+	Generation uint64
 }
 
 // DrillDown implements Definition 2: the top-K subtopics c for Q by
@@ -292,30 +312,32 @@ func (e *Engine) DrillDownComponents(q Query, k int, useSpecificity, useDiversit
 // error is returned. With Offset 0 and the zero options the page
 // contents are identical to DrillDown(q, opts.K).
 func (e *Engine) DrillDownPage(ctx context.Context, q Query, opts DrillDownOptions) (DrillDownPage, error) {
+	st := e.state()
+	empty := DrillDownPage{Generation: st.snap.Generation}
 	useSpecificity, useDiversity := !opts.NoSpecificity, !opts.NoDiversity
 	k := opts.K
 	if k <= 0 || len(q) == 0 || opts.Offset < 0 {
-		return DrillDownPage{}, nil
+		return empty, nil
 	}
-	docs, err := e.matchedDocsCtx(ctx, q)
+	docs, err := st.matchedDocsCtx(ctx, q)
 	if err != nil {
-		return DrillDownPage{}, err
+		return empty, err
 	}
 	if len(docs) == 0 {
-		return DrillDownPage{}, nil
+		return empty, nil
 	}
 	inQuery := make(map[kg.NodeID]struct{}, len(q))
 	for _, c := range q {
 		inQuery[c] = struct{}{}
 	}
 
-	// Coverage from the indexing-time candidate postings: candidates
-	// are the direct Ψ⁻¹ concepts of document entities (plus ancestor
+	// Coverage from the snapshot's candidate postings: candidates are
+	// the direct Ψ⁻¹ concepts of document entities (plus ancestor
 	// levels), exactly the paper's candidate subtopic set.
 	coverage := make(map[kg.NodeID]float64)
 	matched := make(map[kg.NodeID][]int32)
 	for _, d := range docs {
-		for _, cs := range e.docs[d].concepts {
+		for _, cs := range st.concepts[d] {
 			if _, skip := inQuery[cs.Concept]; skip {
 				continue
 			}
@@ -324,7 +346,7 @@ func (e *Engine) DrillDownPage(ctx context.Context, q Query, opts DrillDownOptio
 		}
 	}
 	if len(coverage) == 0 {
-		return DrillDownPage{}, nil
+		return empty, nil
 	}
 
 	// Shortlist by the cheap components before paying for diversity.
@@ -360,7 +382,7 @@ func (e *Engine) DrillDownPage(ctx context.Context, q Query, opts DrillDownOptio
 
 	// Score the shortlist in parallel (bounded by the engine's
 	// query-time helper budget): each concept's diversity computation
-	// is independent (reads only the immutable index and the
+	// is independent (reads only the immutable snapshot and the
 	// loop-local coverage/matched maps), and results land in a
 	// per-index slot, so the final Push order — and with it
 	// tie-breaking — is identical to the serial loop.
@@ -394,7 +416,7 @@ func (e *Engine) DrillDownPage(ctx context.Context, q Query, opts DrillDownOptio
 		// both sides compute the identical union.
 		probes := 0
 		for _, d := range md {
-			probes += len(e.docs[d].entities)
+			probes += len(st.snap.Doc(d).Entities)
 		}
 		ext := e.g.Extent(c)
 		union := make(map[kg.NodeID]struct{})
@@ -404,7 +426,7 @@ func (e *Engine) DrillDownPage(ctx context.Context, q Query, opts DrillDownOptio
 				direct[v] = struct{}{}
 			}
 			for _, d := range md {
-				for _, v := range e.docs[d].entities {
+				for _, v := range st.snap.Doc(d).Entities {
 					if _, ok := direct[v]; ok {
 						union[v] = struct{}{}
 					}
@@ -412,7 +434,7 @@ func (e *Engine) DrillDownPage(ctx context.Context, q Query, opts DrillDownOptio
 			}
 		} else {
 			for _, d := range md {
-				for _, v := range e.docs[d].entities {
+				for _, v := range st.snap.Doc(d).Entities {
 					if containsConcept(e.g.ConceptsOf(v), c) {
 						union[v] = struct{}{}
 					}
@@ -433,7 +455,7 @@ func (e *Engine) DrillDownPage(ctx context.Context, q Query, opts DrillDownOptio
 		subs[i] = sub
 	})
 	if err != nil {
-		return DrillDownPage{}, err
+		return empty, err
 	}
 	total := len(subs)
 	if opts.MinScore > 0 {
@@ -454,15 +476,16 @@ func (e *Engine) DrillDownPage(ctx context.Context, q Query, opts DrillDownOptio
 		coll.Push(sub, sub.Score)
 	}
 	items := coll.Sorted()
+	page := DrillDownPage{Total: total, Generation: st.snap.Generation}
 	if opts.Offset >= len(items) {
-		return DrillDownPage{Total: total}, nil
+		return page, nil
 	}
 	items = items[opts.Offset:]
-	out := make([]Subtopic, len(items))
+	page.Results = make([]Subtopic, len(items))
 	for i, it := range items {
-		out[i] = it.Value
+		page.Results[i] = it.Value
 	}
-	return DrillDownPage{Results: out, Total: total}, nil
+	return page, nil
 }
 
 // BroaderOptions lists the roll-up targets of a concept: its `broader`
@@ -489,9 +512,10 @@ func (e *Engine) ConceptsForEntity(v kg.NodeID) []kg.NodeID {
 // names of the topic's most connected extent entities (what the paper
 // calls "curating a list of relevant keywords for retrieval").
 func (e *Engine) TopicKeywords(c kg.NodeID, n int) []string {
-	s := e.getScorer()
+	st := e.state()
+	s := st.getScorer()
 	ext, _ := s.Extent(c)
-	e.putScorer(s)
+	st.putScorer(s)
 	if n <= 0 || len(ext) == 0 {
 		return nil
 	}

@@ -92,6 +92,36 @@ func MustGenerate(g *kg.Graph, meta *kggen.Meta, cfg Config) *Corpus {
 	return c
 }
 
+// GenerateBatch synthesises n additional articles over the same world
+// — the "incoming news" for live-ingestion demos, tests, and
+// benchmarks. The batch is drawn from its own generator seeded by
+// seed, so it is deterministic per (world, cfg, seed, n) and
+// independent of the corpus stream; sources rotate round-robin.
+// Document IDs are provisional (0..n−1): the indexer assigns global
+// IDs at ingest time.
+func GenerateBatch(g *kg.Graph, meta *kggen.Meta, cfg Config, seed uint64, n int) ([]Document, error) {
+	cfg.Seed = seed
+	if cfg.Docs == nil {
+		cfg.Docs = Tiny().Docs
+	}
+	if cfg.OOV == nil {
+		cfg.OOV = defaultOOV()
+	}
+	if cfg.DistractorRate <= 0 {
+		cfg.DistractorRate = 0.12
+	}
+	gen, err := newGenerator(g, meta, cfg)
+	if err != nil {
+		return nil, err
+	}
+	docs := make([]Document, n)
+	for i := 0; i < n; i++ {
+		docs[i] = gen.article(Sources[i%len(Sources)])
+		docs[i].ID = DocID(i)
+	}
+	return docs, nil
+}
+
 type generator struct {
 	g    *kg.Graph
 	meta *kggen.Meta

@@ -35,8 +35,19 @@ type DocView interface {
 	// Entities returns the distinct linked entities of a document.
 	Entities(doc int32) []kg.NodeID
 	// EntityWeight returns tw(v, d) ∈ [0, 1], the textual importance of
-	// entity v in document d (TF-IDF in the default pipeline).
+	// entity v in document d (TF-IDF in the default pipeline). It may
+	// depend on corpus-global statistics (IDF) and therefore change as
+	// the corpus grows.
 	EntityWeight(v kg.NodeID, doc int32) float64
+	// ContextWeight ranks a document's entities for context-set
+	// truncation (Eq. 4's CE cap). Unlike EntityWeight it must depend
+	// only on the document itself (the default pipeline uses the
+	// saturated term frequency tf/(tf+1)), never on corpus-global
+	// statistics: the selected context set — and with it the expensive
+	// connectivity estimate — is then a pure function of (concept,
+	// document) and can be memoised once and reused across index
+	// generations as the corpus grows.
+	ContextWeight(v kg.NodeID, doc int32) float64
 }
 
 // Options configures a Scorer. Zero values select the paper's defaults.
@@ -227,7 +238,10 @@ func (s *Scorer) OntologyRel(c kg.NodeID, doc int32) (float64, kg.NodeID) {
 
 // Conn computes conn(c, d) (Eq. 4). rnd drives the sampling estimator;
 // it is ignored in exact mode. Context entities beyond MaxContext are
-// truncated to the highest-weighted ones (deterministic).
+// truncated to the highest-ranked ones under the view's ContextWeight
+// (deterministic, and document-local by the DocView contract — so the
+// same (concept, document) pair always walks the same context set, no
+// matter how large the surrounding corpus has grown).
 func (s *Scorer) Conn(c kg.NodeID, doc int32, rnd *xrand.Rand) float64 {
 	_, context := s.Split(c, doc)
 	if len(context) == 0 {
@@ -236,7 +250,7 @@ func (s *Scorer) Conn(c kg.NodeID, doc int32, rnd *xrand.Rand) float64 {
 	if len(context) > s.opts.MaxContext {
 		coll := topk.New[kg.NodeID](s.opts.MaxContext)
 		for _, v := range context {
-			coll.Push(v, s.view.EntityWeight(v, doc))
+			coll.Push(v, s.view.ContextWeight(v, doc))
 		}
 		context = coll.Values()
 	}

@@ -19,6 +19,9 @@ func (f *fakeView) Entities(doc int32) []kg.NodeID { return f.entities[doc] }
 func (f *fakeView) EntityWeight(v kg.NodeID, doc int32) float64 {
 	return f.weights[doc][v]
 }
+func (f *fakeView) ContextWeight(v kg.NodeID, doc int32) float64 {
+	return f.weights[doc][v]
+}
 
 // testWorld builds:
 //

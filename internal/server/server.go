@@ -16,22 +16,31 @@
 //	POST /v2/query/drilldown      typed drill-down request
 //	POST /v2/batch                N typed queries in one POST, executed
 //	                              under the engine's bounded parallelism
+//	POST /v2/ingest               live ingestion: index a batch of raw
+//	                              articles and publish the next index
+//	                              generation (requires EnableIngest;
+//	                              see ingest.go)
 //	     /v2/sessions...          exploration sessions: CRUD plus
 //	                              rollup/drilldown/back navigation that
 //	                              mutates the current concept pattern
 //	                              (see sessions.go)
 //	GET  /healthz                 liveness + world summary
-//	GET  /statsz                  index, cache, session, and request
-//	                              counters; index.engine_cache reports
-//	                              the engine's sharded memo caches (cdr
-//	                              and match hits/misses/coalesced/entries)
+//	GET  /statsz                  index (incl. generation, per-segment
+//	                              doc counts, ingest throughput), cache,
+//	                              session, and request counters;
+//	                              index.engine_cache reports the
+//	                              engine's sharded memo caches
 //
 // Roll-up and drill-down responses are served through a sharded LRU
 // cache (internal/qcache) keyed by the canonicalized concept set and
-// k: the marshaled JSON body itself is cached, so a hit is
-// byte-identical to the miss that populated it, and concurrent
-// identical queries are coalesced into one engine call. The X-Cache
-// response header reports HIT or MISS per request.
+// k, scoped to the explorer's query epoch: the marshaled JSON body
+// itself is cached, so a hit is byte-identical to the miss that
+// populated it, and concurrent identical queries are coalesced into
+// one engine call. When an ingest (or a cache reset) changes what
+// queries return, the epoch advances and every retained body becomes
+// unreachable by key — generation-tagged invalidation instead of a
+// stop-the-world flush. The X-Cache response header reports HIT or
+// MISS per request.
 //
 // Errors are JSON too. The /v1 routes keep their original flat shape
 // {"error": "..."} byte-for-byte; every /v2 route shares the
@@ -76,6 +85,12 @@ type Options struct {
 	// MaxSessions bounds live exploration sessions; creation beyond it
 	// evicts the least-recently-used session (default 1024).
 	MaxSessions int
+	// EnableIngest exposes POST /v2/ingest. Off by default: ingestion
+	// is a write path and deployments must opt in.
+	EnableIngest bool
+	// MaxIngestBatch caps the articles accepted per /v2/ingest call
+	// (default 1024).
+	MaxIngestBatch int
 	// Clock supplies the session store's time source (tests inject a
 	// fake one; default time.Now).
 	Clock func() time.Time
@@ -94,6 +109,9 @@ func (o Options) withDefaults() Options {
 	if o.MaxBatch <= 0 {
 		o.MaxBatch = 64
 	}
+	if o.MaxIngestBatch <= 0 {
+		o.MaxIngestBatch = 1024
+	}
 	return o
 }
 
@@ -106,7 +124,7 @@ const defaultK = 10
 var routes = []string{
 	"rollup", "drilldown", "concepts", "broader", "keywords",
 	"topics", "v2rollup", "v2drilldown", "v2batch", "v2sessions",
-	"healthz", "statsz", "other",
+	"v2ingest", "healthz", "statsz", "other",
 }
 
 // Server is the HTTP serving layer over an Explorer. Safe for
@@ -158,6 +176,7 @@ func New(x *ncexplorer.Explorer, opts Options) *Server {
 	s.mux.HandleFunc("POST /v2/query/rollup", s.counted("v2rollup", s.handleQueryV2("rollup")))
 	s.mux.HandleFunc("POST /v2/query/drilldown", s.counted("v2drilldown", s.handleQueryV2("drilldown")))
 	s.mux.HandleFunc("POST /v2/batch", s.counted("v2batch", s.handleBatch))
+	s.mux.HandleFunc("POST /v2/ingest", s.counted("v2ingest", s.handleIngest))
 	s.mux.HandleFunc("POST /v2/sessions", s.counted("v2sessions", s.handleSessionCreate))
 	s.mux.HandleFunc("GET /v2/sessions", s.counted("v2sessions", s.handleSessionList))
 	s.mux.HandleFunc("GET /v2/sessions/{id}", s.counted("v2sessions", s.handleSessionGet))
@@ -186,6 +205,7 @@ func New(x *ncexplorer.Explorer, opts Options) *Server {
 		"/v2/query/rollup":            "POST",
 		"/v2/query/drilldown":         "POST",
 		"/v2/batch":                   "POST",
+		"/v2/ingest":                  "POST",
 		"/v2/sessions":                "GET, POST",
 		"/v2/sessions/{id}":           "GET, DELETE",
 		"/v2/sessions/{id}/rollup":    "POST",
@@ -307,11 +327,23 @@ type clientError struct{ err error }
 func (e clientError) Error() string { return e.err.Error() }
 func (e clientError) Unwrap() error { return e.err }
 
+// epochKey scopes a result-cache key to the explorer's current query
+// epoch. The epoch advances on every ingested batch and every
+// ResetQueryCaches call, so entries cached under an older epoch become
+// unreachable the instant the index changes — stale bodies are never
+// served and nothing is flushed (old entries simply age out of the
+// LRU). This is also what keeps the HTTP cache coherent with the
+// engine's own memo caches: both invalidate off the same event.
+func (s *Server) epochKey(key string) string {
+	return "e" + strconv.FormatUint(s.x.QueryEpoch(), 36) + "|" + key
+}
+
 // serveCached answers a query endpoint through the result cache: on a
 // miss, fill runs the engine and the marshaled body is retained so
-// every later hit is byte-identical.
+// every later hit is byte-identical. Keys are epoch-scoped (see
+// epochKey).
 func (s *Server) serveCached(w http.ResponseWriter, key string, fill func() (any, error)) {
-	v, hit, err := s.cache.Do(key, fill)
+	v, hit, err := s.cache.Do(s.epochKey(key), fill)
 	if err != nil {
 		var ce clientError
 		if errors.As(err, &ce) {

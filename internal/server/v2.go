@@ -50,6 +50,8 @@ func statusForCode(code ncexplorer.ErrorCode) int {
 		return http.StatusBadRequest
 	case ncexplorer.CodeNotFound:
 		return http.StatusNotFound
+	case ncexplorer.CodePermissionDenied:
+		return http.StatusForbidden
 	case ncexplorer.CodeSessionExpired:
 		return http.StatusGone
 	case ncexplorer.CodeNoHistory:
@@ -135,7 +137,13 @@ func (s *Server) normalizeV2(q *v2QueryRequest) {
 // (truncated JSON still fails: that surfaces as ErrUnexpectedEOF, not
 // EOF).
 func decodeV2(w http.ResponseWriter, r *http.Request, v any) *apiError {
-	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	return decodeV2Limit(w, r, v, maxBodyBytes)
+}
+
+// decodeV2Limit is decodeV2 with a caller-chosen body cap (the ingest
+// endpoint accepts much larger payloads than the query endpoints).
+func decodeV2Limit(w http.ResponseWriter, r *http.Request, v any, limit int64) *apiError {
+	body := http.MaxBytesReader(w, r.Body, limit)
 	if err := json.NewDecoder(body).Decode(v); err != nil {
 		if errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) {
 			return nil
@@ -163,6 +171,7 @@ func decodeV2(w http.ResponseWriter, r *http.Request, v any) *apiError {
 // live context. Bounded, since each retry can only lose the race to
 // another dying request.
 func (s *Server) doCached(ctx context.Context, key string, fill func() (any, error)) (any, bool, error) {
+	key = s.epochKey(key)
 	const maxRetries = 2
 	for attempt := 0; ; attempt++ {
 		v, hit, err := s.cache.Do(key, fill)

@@ -1,0 +1,229 @@
+// Package snapshot holds the engine's post-index corpus state as a set
+// of immutable segments behind a point-in-time snapshot — the structure
+// that makes live ingestion possible over a lock-free query path.
+//
+// The design follows the segmented-index architecture of LSM-style
+// search systems (and of the risk-monitoring pipelines the paper's
+// due-diligence scenario implies, where news arrives continuously):
+//
+//   - a Segment is the immutable product of indexing one batch of
+//     documents: per-document records (source, linked entities, raw
+//     entity term frequencies, candidate concepts), the display
+//     articles, a frozen per-segment text index, and entity→document
+//     postings. Once built, a segment is never written again, so any
+//     number of query goroutines read it without synchronisation;
+//   - a Snapshot is an ordered list of segments plus a merged text
+//     view reporting corpus-GLOBAL statistics (textindex.Merged), so
+//     term weights over a grown corpus are bit-identical to a
+//     from-scratch rebuild. Snapshots are stamped with a Generation
+//     that increases with every content change; the engine publishes
+//     the current snapshot through an atomic pointer and queries pin
+//     one snapshot for their whole execution.
+//
+// Document IDs are global and dense: segment i owns the contiguous
+// range [Base, Base+len(Docs)). IDs are append-only — a document never
+// changes ID across ingests or merges — which is what lets
+// generation-independent per-document values (entity lists, raw term
+// frequencies, connectivity scores keyed by (concept, doc)) be shared
+// across generations.
+//
+// What does NOT live here: anything derived from corpus-global term
+// statistics (cdr scores, candidate rankings). Those change whenever
+// the corpus grows and are recomputed per generation by the engine.
+package snapshot
+
+import (
+	"sort"
+	"strconv"
+
+	"ncexplorer/internal/corpus"
+	"ncexplorer/internal/kg"
+	"ncexplorer/internal/textindex"
+)
+
+// DocRecord is the immutable, generation-independent indexing product
+// of one document.
+type DocRecord struct {
+	// Source is the news portal the document came from.
+	Source corpus.Source
+	// Entities are the distinct linked entities in first-mention order.
+	Entities []kg.NodeID
+	// EntityFreq maps each linked entity to its mention count — the raw
+	// term frequencies behind the segment text index, retained so merges
+	// can rebuild a combined index without re-running the NLP pipeline.
+	EntityFreq map[kg.NodeID]int
+	// Candidates are the document's candidate subtopic concepts (the
+	// direct Ψ⁻¹ concepts of its entities plus the configured number of
+	// `broader` ancestor levels), sorted by node ID. The set depends
+	// only on the document and the graph; which candidates are *kept*
+	// and how they score is generation-dependent and computed elsewhere.
+	Candidates []kg.NodeID
+}
+
+// Segment is one immutable indexed batch of documents.
+type Segment struct {
+	// Base is the global ID of the segment's first document.
+	Base int32
+	// Docs are the per-document records, indexed by local ID.
+	Docs []DocRecord
+	// Articles carries the display payload (title, body, source) for
+	// each document, aligned with Docs. Article IDs are global.
+	Articles []corpus.Document
+	// Text is the segment's frozen entity-term index (local doc IDs).
+	Text *textindex.Index
+	// EntDocs maps an entity to the GLOBAL IDs of the segment documents
+	// mentioning it, ascending.
+	EntDocs map[kg.NodeID][]int32
+}
+
+// Len returns the segment's document count.
+func (s *Segment) Len() int { return len(s.Docs) }
+
+// Snapshot is a consistent point-in-time view of the whole indexed
+// corpus: an ordered segment list plus the merged text-statistics
+// view. Immutable after construction.
+type Snapshot struct {
+	// Generation increases with every content change (initial index = 1,
+	// each ingested batch +1). Segment merges keep the generation: they
+	// reorganise storage without changing any answer.
+	Generation uint64
+	// Segments are ordered by Base; ranges are contiguous from 0.
+	Segments []*Segment
+	// Text reports corpus-global term statistics over all segments.
+	Text *textindex.Merged
+
+	numDocs int
+}
+
+// New assembles a snapshot over segments (which must be contiguous and
+// in base order, starting at 0).
+func New(generation uint64, segments []*Segment) *Snapshot {
+	parts := make([]*textindex.Index, len(segments))
+	bases := make([]int32, len(segments))
+	n := 0
+	for i, seg := range segments {
+		if int(seg.Base) != n {
+			panic("snapshot: segments not contiguous")
+		}
+		parts[i] = seg.Text
+		bases[i] = seg.Base
+		n += seg.Len()
+	}
+	return &Snapshot{
+		Generation: generation,
+		Segments:   segments,
+		Text:       textindex.NewMerged(parts, bases),
+		numDocs:    n,
+	}
+}
+
+// NumDocs returns the total document count.
+func (s *Snapshot) NumDocs() int { return s.numDocs }
+
+// segmentOf returns the segment owning a global document ID.
+func (s *Snapshot) segmentOf(doc int32) *Segment {
+	// Segments are few (merge policy bounds them); binary search over
+	// bases keeps lookups cheap either way.
+	lo, hi := 0, len(s.Segments)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s.Segments[mid].Base <= doc {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return s.Segments[lo-1]
+}
+
+// Doc returns the record of a global document ID.
+func (s *Snapshot) Doc(doc int32) *DocRecord {
+	seg := s.segmentOf(doc)
+	return &seg.Docs[doc-seg.Base]
+}
+
+// Article returns the display document of a global ID. Because
+// documents are append-only and immutable, reading an article through
+// any snapshot at least as new as the one that served the query
+// returns identical content.
+func (s *Snapshot) Article(doc int32) *corpus.Document {
+	seg := s.segmentOf(doc)
+	return &seg.Articles[doc-seg.Base]
+}
+
+// EntityDocs calls fn with each segment's posting list for entity v,
+// in ascending global-ID order (segment lists are sorted and segments
+// are base-ordered, so the concatenation is globally sorted). No
+// allocation: callers stream the lists instead of materialising a
+// merged slice.
+func (s *Snapshot) EntityDocs(v kg.NodeID, fn func(docs []int32)) {
+	for _, seg := range s.Segments {
+		if docs := seg.EntDocs[v]; len(docs) > 0 {
+			fn(docs)
+		}
+	}
+}
+
+// BuildSegment assembles an immutable segment from per-document raw
+// indexing products. docs and articles must be aligned; article IDs
+// are rewritten to their global values.
+func BuildSegment(base int32, docs []DocRecord, articles []corpus.Document) *Segment {
+	seg := &Segment{
+		Base:     base,
+		Docs:     docs,
+		Articles: articles,
+		Text:     textindex.New(),
+		EntDocs:  make(map[kg.NodeID][]int32),
+	}
+	for i := range docs {
+		global := base + int32(i)
+		seg.Articles[i].ID = corpus.DocID(global)
+		tf := make(map[string]int, len(docs[i].EntityFreq))
+		for v, f := range docs[i].EntityFreq {
+			tf[EntTerm(v)] = f
+		}
+		seg.Text.Add(int32(i), tf)
+		for _, v := range docs[i].Entities {
+			seg.EntDocs[v] = append(seg.EntDocs[v], global)
+		}
+	}
+	seg.Text.Freeze()
+	return seg
+}
+
+// Merge concatenates adjacent segments into one. Raw per-document data
+// is carried over untouched and the text index is rebuilt from the
+// retained term frequencies, so the merged segment indexes exactly the
+// same content: every corpus-global statistic — and therefore every
+// query answer — is unchanged. Merging is a storage reorganisation,
+// not a content change, which is why it does not bump the generation.
+func Merge(segments []*Segment) *Segment {
+	n := 0
+	for _, seg := range segments {
+		n += seg.Len()
+	}
+	docs := make([]DocRecord, 0, n)
+	articles := make([]corpus.Document, 0, n)
+	for _, seg := range segments {
+		docs = append(docs, seg.Docs...)
+		articles = append(articles, seg.Articles...)
+	}
+	return BuildSegment(segments[0].Base, docs, articles)
+}
+
+// EntTerm renders an entity ID as a text-index term; the engine uses
+// the same mapping when reading term weights back.
+func EntTerm(v kg.NodeID) string { return strconv.Itoa(int(v)) }
+
+// SortedCandidates sorts and dedupes a candidate concept list in
+// place, returning it (helper for segment builders).
+func SortedCandidates(cands []kg.NodeID) []kg.NodeID {
+	sort.Slice(cands, func(i, j int) bool { return cands[i] < cands[j] })
+	out := cands[:0]
+	for i, c := range cands {
+		if i == 0 || c != cands[i-1] {
+			out = append(out, c)
+		}
+	}
+	return out
+}

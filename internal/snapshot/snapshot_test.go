@@ -1,0 +1,149 @@
+package snapshot
+
+import (
+	"reflect"
+	"testing"
+
+	"ncexplorer/internal/corpus"
+	"ncexplorer/internal/kg"
+)
+
+// record builds a DocRecord over entity IDs with tf = 1 + (id % 3).
+func record(src corpus.Source, ents ...kg.NodeID) DocRecord {
+	freq := make(map[kg.NodeID]int, len(ents))
+	for _, v := range ents {
+		freq[v] = 1 + int(v)%3
+	}
+	return DocRecord{Source: src, Entities: ents, EntityFreq: freq}
+}
+
+func buildWorld(t *testing.T) ([]DocRecord, []corpus.Document) {
+	t.Helper()
+	var docs []DocRecord
+	var arts []corpus.Document
+	for i := 0; i < 9; i++ {
+		ents := []kg.NodeID{kg.NodeID(i % 4), kg.NodeID(10 + i%3)}
+		docs = append(docs, record(corpus.Source(i%3), ents...))
+		arts = append(arts, corpus.Document{
+			Source: corpus.Source(i % 3),
+			Title:  "t",
+			Body:   "b",
+		})
+	}
+	return docs, arts
+}
+
+func TestSegmentGlobalIDs(t *testing.T) {
+	docs, arts := buildWorld(t)
+	seg := BuildSegment(100, docs, arts)
+	if seg.Len() != len(docs) {
+		t.Fatalf("len = %d, want %d", seg.Len(), len(docs))
+	}
+	for i, a := range seg.Articles {
+		if int(a.ID) != 100+i {
+			t.Fatalf("article %d ID = %d, want %d", i, a.ID, 100+i)
+		}
+	}
+	for v, list := range seg.EntDocs {
+		for i, d := range list {
+			if d < 100 || int(d) >= 100+len(docs) {
+				t.Fatalf("entity %d posting %d out of segment range", v, d)
+			}
+			if i > 0 && list[i-1] >= d {
+				t.Fatalf("entity %d postings not ascending", v)
+			}
+		}
+	}
+}
+
+// TestSnapshotPartitionEquivalence checks that splitting the same
+// document set across segments changes nothing observable: doc
+// lookups, entity postings (streamed in global order), and the merged
+// text statistics all match the single-segment snapshot.
+func TestSnapshotPartitionEquivalence(t *testing.T) {
+	docs, arts := buildWorld(t)
+	one := New(1, []*Segment{BuildSegment(0, docs, arts)})
+
+	split := New(1, []*Segment{
+		BuildSegment(0, docs[:4], arts[:4]),
+		BuildSegment(4, docs[4:6], arts[4:6]),
+		BuildSegment(6, docs[6:], arts[6:]),
+	})
+	if one.NumDocs() != split.NumDocs() {
+		t.Fatalf("NumDocs %d vs %d", one.NumDocs(), split.NumDocs())
+	}
+	for d := int32(0); d < int32(one.NumDocs()); d++ {
+		if !reflect.DeepEqual(one.Doc(d), split.Doc(d)) {
+			t.Fatalf("doc %d differs across partitions", d)
+		}
+		if !reflect.DeepEqual(one.Article(d), split.Article(d)) {
+			t.Fatalf("article %d differs across partitions", d)
+		}
+	}
+	for v := kg.NodeID(0); v < 16; v++ {
+		var a, b []int32
+		one.EntityDocs(v, func(l []int32) { a = append(a, l...) })
+		split.EntityDocs(v, func(l []int32) { b = append(b, l...) })
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("entity %d postings differ: %v vs %v", v, a, b)
+		}
+	}
+	for v := kg.NodeID(0); v < 16; v++ {
+		term := EntTerm(v)
+		if one.Text.DF(term) != split.Text.DF(term) {
+			t.Fatalf("DF(%s) differs", term)
+		}
+		for d := int32(0); d < int32(one.NumDocs()); d++ {
+			if one.Text.TFIDF(term, d) != split.Text.TFIDF(term, d) {
+				t.Fatalf("TFIDF(%s, %d) differs across partitions", term, d)
+			}
+		}
+	}
+}
+
+// TestMergePreservesEverything: merging adjacent segments must leave
+// every observable value — including the rebuilt text index — exactly
+// as before.
+func TestMergePreservesEverything(t *testing.T) {
+	docs, arts := buildWorld(t)
+	segs := []*Segment{
+		BuildSegment(0, docs[:3], arts[:3]),
+		BuildSegment(3, docs[3:5], arts[3:5]),
+		BuildSegment(5, docs[5:], arts[5:]),
+	}
+	before := New(3, segs)
+	merged := Merge(segs[1:])
+	after := New(3, []*Segment{segs[0], merged})
+	if merged.Base != 3 || merged.Len() != 6 {
+		t.Fatalf("merged base/len = %d/%d, want 3/6", merged.Base, merged.Len())
+	}
+	for d := int32(0); d < int32(before.NumDocs()); d++ {
+		if !reflect.DeepEqual(before.Doc(d), after.Doc(d)) {
+			t.Fatalf("doc %d differs after merge", d)
+		}
+	}
+	for v := kg.NodeID(0); v < 16; v++ {
+		term := EntTerm(v)
+		for d := int32(0); d < int32(before.NumDocs()); d++ {
+			if before.Text.TFIDF(term, d) != after.Text.TFIDF(term, d) {
+				t.Fatalf("TFIDF(%s, %d) changed across merge", term, d)
+			}
+		}
+		var a, b []int32
+		before.EntityDocs(v, func(l []int32) { a = append(a, l...) })
+		after.EntityDocs(v, func(l []int32) { b = append(b, l...) })
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("entity %d postings changed across merge", v)
+		}
+	}
+}
+
+func TestNonContiguousSegmentsPanic(t *testing.T) {
+	docs, arts := buildWorld(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on non-contiguous segments")
+		}
+	}()
+	New(1, []*Segment{BuildSegment(5, docs, arts)})
+}

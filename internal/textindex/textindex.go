@@ -206,3 +206,105 @@ func (ix *Index) Postings(term string) []Posting {
 	ix.freeze()
 	return ix.postings[term]
 }
+
+// TotalLen returns the summed token length of all documents.
+func (ix *Index) TotalLen() int64 { return ix.totalLen }
+
+// Merged is a read-only union of frozen per-segment indexes that
+// reports *corpus-global* statistics: document frequencies, IDF, and
+// TF-IDF are computed from the summed counts of every part, so a
+// Merged over segments {A, B} returns bit-identical values to a single
+// Index built over A ∪ B. This is what keeps an incrementally grown
+// (segmented) index equivalent to a from-scratch rebuild — per-segment
+// statistics alone would skew IDF toward whichever segment a document
+// happened to land in.
+//
+// Each part owns a contiguous global document-ID range starting at its
+// base; lookups map a global ID to (part, local ID) by binary search.
+// Parts must be frozen before construction and never modified after;
+// a Merged is then immutable and safe for concurrent use.
+type Merged struct {
+	parts    []*Index
+	bases    []int32
+	n        int
+	totalLen int64
+}
+
+// NewMerged builds a merged view over frozen parts, where parts[i]'s
+// local document 0 has global ID bases[i]. Parts must be sorted by
+// base with no overlaps (the segment layout guarantees this).
+func NewMerged(parts []*Index, bases []int32) *Merged {
+	if len(parts) != len(bases) {
+		panic("textindex: parts/bases length mismatch")
+	}
+	m := &Merged{parts: parts, bases: bases}
+	for _, p := range parts {
+		p.freeze()
+		m.n += p.n
+		m.totalLen += p.totalLen
+	}
+	return m
+}
+
+// locate maps a global document ID to its owning part and local ID.
+func (m *Merged) locate(doc int32) (*Index, int32) {
+	// First part whose base is > doc, minus one.
+	lo, hi := 0, len(m.bases)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if m.bases[mid] <= doc {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == 0 {
+		return nil, 0
+	}
+	return m.parts[lo-1], doc - m.bases[lo-1]
+}
+
+// NumDocs returns the total number of documents across parts.
+func (m *Merged) NumDocs() int { return m.n }
+
+// DF returns the corpus-global document frequency of a term.
+func (m *Merged) DF(term string) int {
+	df := 0
+	for _, p := range m.parts {
+		df += p.DF(term)
+	}
+	return df
+}
+
+// IDF returns the BM25 inverse document frequency of a term over the
+// merged corpus — the same formula as Index.IDF with summed counts.
+func (m *Merged) IDF(term string) float64 {
+	df := float64(m.DF(term))
+	return math.Log(1 + (float64(m.n)-df+0.5)/(df+0.5))
+}
+
+// TF returns the term frequency of term in the given global document.
+func (m *Merged) TF(term string, doc int32) int {
+	p, local := m.locate(doc)
+	if p == nil {
+		return 0
+	}
+	return p.TF(term, local)
+}
+
+// TFIDF is Index.TFIDF over the merged corpus: saturated term
+// frequency from the owning part, IDF from the global counts. The
+// arithmetic mirrors Index.TFIDF exactly so single-part merges are
+// bit-identical to querying the part directly.
+func (m *Merged) TFIDF(term string, doc int32) float64 {
+	tf := m.TF(term, doc)
+	if tf == 0 {
+		return 0
+	}
+	idfMax := math.Log(1 + (float64(m.n)+0.5)/0.5)
+	if idfMax == 0 {
+		return 0
+	}
+	sat := float64(tf) / (float64(tf) + 1)
+	return sat * (m.IDF(term) / idfMax)
+}

@@ -56,6 +56,9 @@ type Config struct {
 	Tau int
 	// Beta is the path damping factor β (paper default 0.5).
 	Beta float64
+	// MaxSegments is the index segment count above which ingested
+	// segments are merged in the background (default 4).
+	MaxSegments int
 }
 
 // Article is one roll-up result. Explanations are present when the
@@ -100,13 +103,26 @@ type CacheCounters struct {
 	Entries   int64 `json:"entries"`
 }
 
-// EngineCacheStats reports the engine's two query-path memo caches:
-// CDR is the (concept, document) relevance memo (pre-seeded at
-// indexing time, so Entries starts large), Match the
-// concept→matching-documents memo.
+// EngineCacheStats reports the engine's query-path memo caches: CDR
+// is the (concept, document) relevance memo (pre-seeded when a
+// snapshot is built, so Entries starts large), Match the
+// concept→matching-documents memo — both scoped to the current index
+// generation — and Conn the generation-independent connectivity memo
+// that makes post-ingest snapshot rebuilds cheap.
 type EngineCacheStats struct {
 	CDR   CacheCounters `json:"cdr"`
 	Match CacheCounters `json:"match"`
+	Conn  CacheCounters `json:"conn"`
+}
+
+// IngestCounters reports live-ingestion throughput: successful
+// batches, documents added, their summed wall-clock cost, and
+// background segment merges.
+type IngestCounters struct {
+	Batches int64 `json:"batches"`
+	Docs    int64 `json:"docs"`
+	Nanos   int64 `json:"nanos"`
+	Merges  int64 `json:"merges"`
 }
 
 // Stats summarises an Explorer's indexed world: corpus size, graph
@@ -121,21 +137,29 @@ type Stats struct {
 	BroaderEdges   int64 `json:"broader_edges"`
 	TypeAssertions int64 `json:"type_assertions"`
 	// Wall-clock nanoseconds spent entity-linking and concept-scoring
-	// the corpus at build time (single-threaded equivalents).
+	// the seed corpus at build time (single-threaded equivalents).
 	LinkNanos  int64 `json:"link_nanos"`
 	ScoreNanos int64 `json:"score_nanos"`
+	// Generation is the index snapshot generation currently serving:
+	// 1 after New, +1 per ingested batch.
+	Generation uint64 `json:"generation"`
+	// Segments lists per-segment document counts of the current
+	// snapshot, in base order.
+	Segments []int `json:"segments"`
+	// Ingest reports live-ingestion throughput counters.
+	Ingest IngestCounters `json:"ingest"`
 	// EngineCache is a live snapshot of the engine's query-path memo
 	// caches, refreshed on every Stats call.
 	EngineCache EngineCacheStats `json:"engine_cache"`
 }
 
 // Explorer is a fully indexed NCExplorer instance. Safe for concurrent
-// queries.
+// queries, including queries concurrent with Ingest.
 type Explorer struct {
 	g      *kg.Graph
 	meta   *kggen.Meta
-	corpus *corpus.Corpus
 	engine *core.Engine
+	ccfg   corpus.Config
 
 	statsOnce sync.Once
 	stats     Stats
@@ -169,28 +193,42 @@ func New(cfg Config) (*Explorer, error) {
 		return nil, err
 	}
 	engine := core.NewEngine(g, core.Options{
-		Seed:    cfg.Seed,
-		Samples: cfg.Samples,
-		Tau:     cfg.Tau,
-		Beta:    cfg.Beta,
+		Seed:        cfg.Seed,
+		Samples:     cfg.Samples,
+		Tau:         cfg.Tau,
+		Beta:        cfg.Beta,
+		MaxSegments: cfg.MaxSegments,
 	})
 	engine.IndexCorpus(c)
-	return &Explorer{g: g, meta: meta, corpus: c, engine: engine}, nil
+	return &Explorer{g: g, meta: meta, engine: engine, ccfg: ccfg}, nil
 }
 
-// NumArticles returns the corpus size.
-func (x *Explorer) NumArticles() int { return x.corpus.Len() }
+// NumArticles returns the current corpus size (seed world plus every
+// ingested article).
+func (x *Explorer) NumArticles() int { return x.engine.NumDocs() }
+
+// Generation returns the index snapshot generation currently serving:
+// 1 after New, +1 per ingested batch. Segment merges do not change it
+// (they reorganise storage, not content).
+func (x *Explorer) Generation() uint64 { return x.engine.Generation() }
+
+// QueryEpoch tags the externally observable query-result state: it
+// advances whenever previously returned results may differ from what
+// the same query returns now — on every ingested batch and every
+// ResetQueryCaches call. Response caches layered above the facade
+// (e.g. the HTTP server's result cache) fold it into their keys so a
+// swap strands stale entries instead of requiring a flush.
+func (x *Explorer) QueryEpoch() uint64 { return x.engine.CacheEpoch() }
 
 // Stats reports corpus and graph dimensions plus indexing cost. The
-// world is immutable after New, so that part of the snapshot is
-// computed once and reused; the engine-cache counters are live and
-// refreshed on every call.
+// graph is immutable after New, so that part of the snapshot is
+// computed once and reused; the corpus size, generation, segment,
+// ingest, and engine-cache numbers are live and refreshed per call.
 func (x *Explorer) Stats() Stats {
 	x.statsOnce.Do(func() {
 		gs := x.g.Stats()
 		is := x.engine.Stats()
 		x.stats = Stats{
-			Articles:       x.corpus.Len(),
 			Nodes:          gs.Nodes,
 			Instances:      gs.Instances,
 			Concepts:       gs.Concepts,
@@ -202,19 +240,26 @@ func (x *Explorer) Stats() Stats {
 		}
 	})
 	st := x.stats
+	st.Articles = x.engine.NumDocs()
+	st.Generation = x.engine.Generation()
+	st.Segments = x.engine.SegmentSizes()
+	st.Ingest = IngestCounters(x.engine.IngestCounters())
 	cs := x.engine.CacheStats()
 	st.EngineCache = EngineCacheStats{
 		CDR:   CacheCounters(cs.CDR),
 		Match: CacheCounters(cs.Match),
+		Conn:  CacheCounters(cs.Conn),
 	}
 	return st
 }
 
 // ResetQueryCaches restores the engine's query-time memoisation to its
-// post-indexing state. Benchmarks and stress tests use it to replay
-// cold-cache traffic; results are unaffected because on-demand values
-// are seeded per (concept, document). Do not call it while queries are
-// in flight (see core.Engine.ResetQueryCaches).
+// post-build state for the current generation. Benchmarks and stress
+// tests use it to replay cold-cache traffic; results are unaffected
+// because on-demand values are seeded per (concept, document), and
+// queries in flight keep their pinned snapshot. It advances
+// QueryEpoch, so layered response caches stop serving retained bodies
+// too.
 func (x *Explorer) ResetQueryCaches() { x.engine.ResetQueryCaches() }
 
 // CanonicalConcepts returns a canonical form of a concept query:

@@ -1,6 +1,8 @@
 package ncexplorer
 
 import (
+	"context"
+	"reflect"
 	"strings"
 	"sync"
 	"testing"
@@ -210,7 +212,92 @@ func TestStatsFacade(t *testing.T) {
 	if s.InstanceEdges == 0 || s.TypeAssertions == 0 {
 		t.Errorf("edge counts missing: %+v", s)
 	}
-	if x.Stats() != s {
-		t.Error("Stats should be a stable snapshot")
+	if s2 := x.Stats(); !reflect.DeepEqual(s2, s) {
+		t.Error("Stats should be a stable snapshot while the corpus is unchanged")
+	}
+	if s.Generation != 1 {
+		t.Errorf("fresh explorer generation = %d, want 1", s.Generation)
+	}
+	if len(s.Segments) != 1 || s.Segments[0] != s.Articles {
+		t.Errorf("fresh explorer segments = %v, want one segment of %d docs", s.Segments, s.Articles)
+	}
+}
+
+func TestIngestFacade(t *testing.T) {
+	x, err := New(Config{Scale: "tiny"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := x.NumArticles()
+	topics := x.EvaluationTopics()
+	baseTotals := make([]int, len(topics))
+	for i, tp := range topics {
+		res, err := x.RollUpQuery(context.Background(), RollUpRequest{Concepts: []string{tp[0]}, K: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		baseTotals[i] = res.Total
+	}
+
+	// Validation: the batch is rejected atomically on any bad article.
+	if _, err := x.Ingest(context.Background(), nil); err == nil {
+		t.Fatal("empty batch should be rejected")
+	}
+	bad := []IngestArticle{
+		{Source: "reuters", Title: "ok", Body: "fine"},
+		{Source: "bloomberg", Title: "nope", Body: "unknown source"},
+	}
+	_, err = x.Ingest(context.Background(), bad)
+	e, ok := AsError(err)
+	if !ok || e.Code != CodeInvalidArgument {
+		t.Fatalf("bad source error = %v, want CodeInvalidArgument", err)
+	}
+	if x.NumArticles() != before || x.Generation() != 1 {
+		t.Fatal("rejected batch must not change the corpus")
+	}
+
+	arts, err := x.SampleArticles(31337, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := x.Ingest(context.Background(), arts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accepted != 12 || res.Generation != 2 || res.TotalArticles != before+12 {
+		t.Fatalf("ingest result = %+v", res)
+	}
+	if x.NumArticles() != before+12 || x.Generation() != 2 {
+		t.Fatalf("explorer not updated: %d articles, generation %d", x.NumArticles(), x.Generation())
+	}
+	st := x.Stats()
+	if st.Generation != 2 || len(st.Segments) != 2 || st.Segments[1] != 12 {
+		t.Fatalf("stats after ingest: generation=%d segments=%v", st.Generation, st.Segments)
+	}
+	if st.Ingest.Batches != 1 || st.Ingest.Docs != 12 {
+		t.Fatalf("ingest counters = %+v", st.Ingest)
+	}
+
+	// Ingested articles are retrievable: match totals never shrink
+	// (append-only corpus) and at least one evaluation topic must pick
+	// up new coverage from a 12-article sample.
+	grew := false
+	for i, tp := range topics {
+		res, err := x.RollUpQuery(context.Background(), RollUpRequest{Concepts: []string{tp[0]}, K: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Generation != 2 {
+			t.Fatalf("query served at generation %d, want 2", res.Generation)
+		}
+		if res.Total < baseTotals[i] {
+			t.Fatalf("topic %q total shrank after ingest: %d → %d", tp[0], baseTotals[i], res.Total)
+		}
+		if res.Total > baseTotals[i] {
+			grew = true
+		}
+	}
+	if !grew {
+		t.Error("no evaluation topic gained coverage from the ingested batch")
 	}
 }

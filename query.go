@@ -34,13 +34,17 @@ type RollUpRequest struct {
 
 // RollUpResult is one page of roll-up results with the pagination
 // cursor a client needs to continue: Total matches behind the filters
-// and NextOffset (-1 once the listing is exhausted).
+// and NextOffset (-1 once the listing is exhausted). Generation is
+// the index snapshot the whole page was served from — queries pin one
+// generation end-to-end, so a page never mixes pre- and post-ingest
+// state.
 type RollUpResult struct {
 	Query      []string  `json:"query"`
 	K          int       `json:"k"`
 	Offset     int       `json:"offset"`
 	Total      int       `json:"total"`
 	NextOffset int       `json:"next_offset"`
+	Generation uint64    `json:"generation"`
 	Articles   []Article `json:"articles"`
 }
 
@@ -72,6 +76,7 @@ type DrillDownResult struct {
 	Offset      int                  `json:"offset"`
 	Total       int                  `json:"total"`
 	NextOffset  int                  `json:"next_offset"`
+	Generation  uint64               `json:"generation"`
 	Suggestions []SubtopicSuggestion `json:"suggestions"`
 }
 
@@ -207,6 +212,7 @@ func (x *Explorer) RollUpQuery(ctx context.Context, req RollUpRequest) (RollUpRe
 		Offset:     req.Offset,
 		Total:      page.Total,
 		NextOffset: nextOffset(req.Offset, len(articles), page.Total),
+		Generation: page.Generation,
 		Articles:   articles,
 	}, nil
 }
@@ -249,14 +255,17 @@ func (x *Explorer) DrillDownQuery(ctx context.Context, req DrillDownRequest) (Dr
 		Offset:      req.Offset,
 		Total:       page.Total,
 		NextOffset:  nextOffset(req.Offset, len(subs), page.Total),
+		Generation:  page.Generation,
 		Suggestions: subs,
 	}, nil
 }
 
 // article converts one engine result, attaching explanations only when
-// requested.
+// requested. Display data is read through the engine's snapshot:
+// documents are append-only and immutable, so the article is identical
+// in every generation that contains it.
 func (x *Explorer) article(r core.DocResult, explain bool) Article {
-	d := x.corpus.Doc(r.Doc)
+	d := x.engine.Doc(r.Doc)
 	art := Article{
 		ID:     int(r.Doc),
 		Source: d.Source.String(),

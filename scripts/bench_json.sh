@@ -1,19 +1,25 @@
 #!/bin/sh
 # bench_json.sh — run the roll-up/drill-down parallel benchmarks
-# (warm + cold) and write a machine-readable JSON snapshot, so the
-# perf trajectory accumulates one file per PR.
+# (warm + cold) plus the ingest throughput benchmark and write a
+# machine-readable JSON snapshot, so the perf trajectory accumulates
+# one file per PR. Optionally compare the warm roll-up path against a
+# baseline snapshot and fail on regression (the CI perf gate).
 #
-# Usage: scripts/bench_json.sh [output.json] [benchtime]
+# Usage: scripts/bench_json.sh [output.json] [benchtime] [baseline.json]
+#
+# With a baseline, the run fails (exit 1) if warm RollUp ns/op
+# regresses by more than 25% versus the baseline's value.
 set -e
 
-out="${1:-BENCH_pr3.json}"
+out="${1:-BENCH_pr4.json}"
 benchtime="${2:-20x}"
+baseline="${3:-}"
 tmp="$(mktemp)"
 trap 'rm -f "$tmp" "$tmp.body"' EXIT
 
 # No pipe here: piping into tee would mask go test's exit status (POSIX
 # sh has no pipefail), letting a half-failed run emit truncated JSON.
-go test -run '^$' -bench 'Benchmark(RollUp|DrillDown)Parallel' \
+go test -run '^$' -bench 'Benchmark((RollUp|DrillDown)Parallel|Ingest)$' \
     -benchtime "$benchtime" ./internal/core > "$tmp"
 cat "$tmp"
 
@@ -21,15 +27,17 @@ awk -v benchtime="$benchtime" '
   /^Benchmark/ {
     name = $1
     sub(/-[0-9]+$/, "", name)   # strip the -GOMAXPROCS suffix
-    nsop = ""; nsq = ""
+    nsop = ""; nsq = ""; dps = ""
     for (i = 2; i < NF; i++) {
       if ($(i+1) == "ns/op")    nsop = $i
       if ($(i+1) == "ns/query") nsq  = $i
+      if ($(i+1) == "docs/sec") dps  = $i
     }
     if (nsop == "") next
     if (n++) printf ",\n"
     printf "    \"%s\": {\"ns_per_op\": %s", name, nsop
     if (nsq != "") printf ", \"ns_per_query\": %s", nsq
+    if (dps != "") printf ", \"docs_per_sec\": %s", dps
     printf "}"
   }
   END {
@@ -47,3 +55,31 @@ awk -v benchtime="$benchtime" '
   echo "}"
 } > "$out"
 echo "wrote $out"
+
+# Perf gate: warm RollUp must stay within 25% of the baseline. The
+# warm path is the steady-state serving cost (memo + collector only),
+# so it is the number the segmented-index refactor must not tax.
+if [ -n "$baseline" ]; then
+  if [ ! -f "$baseline" ]; then
+    echo "baseline $baseline not found" >&2
+    exit 1
+  fi
+  extract_warm() {
+    # pull ns_per_op of BenchmarkRollUpParallel/warm out of a snapshot
+    tr ',' '\n' < "$1" \
+      | sed -n 's/.*BenchmarkRollUpParallel\/warm.*"ns_per_op": *\([0-9][0-9]*\).*/\1/p' \
+      | head -1
+  }
+  base_warm="$(extract_warm "$baseline")"
+  new_warm="$(extract_warm "$out")"
+  if [ -z "$base_warm" ] || [ -z "$new_warm" ]; then
+    echo "could not extract warm RollUp ns/op (baseline=$base_warm, new=$new_warm)" >&2
+    exit 1
+  fi
+  limit=$((base_warm * 125 / 100))
+  echo "perf gate: warm RollUp $new_warm ns/op vs baseline $base_warm ns/op (limit $limit)"
+  if [ "$new_warm" -gt "$limit" ]; then
+    echo "FAIL: warm RollUp regressed >25% vs $baseline" >&2
+    exit 1
+  fi
+fi

@@ -2,8 +2,10 @@ package ncexplorer
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"sync"
+	"sync/atomic"
 	"testing"
 )
 
@@ -120,4 +122,181 @@ func TestParallelQueryDeterminism(t *testing.T) {
 		}(w)
 	}
 	wg.Wait()
+}
+
+// TestConcurrentIngestQueryConsistency is the live-ingestion contract
+// test (run it with -race): queries hammering an Explorer while
+// batches are ingested — and while background segment merges run —
+// must return results byte-identical to a reference Explorer that
+// reached the same generation by serial ingestion. Every response is
+// stamped with the generation it was served from; a response mixing
+// generations, or diverging from the reference at its own generation,
+// fails the test.
+func TestConcurrentIngestQueryConsistency(t *testing.T) {
+	const (
+		nBatches  = 3
+		batchSize = 15
+		workers   = 6
+	)
+	build := func(maxSegments int) *Explorer {
+		x, err := New(Config{Scale: "tiny", MaxSegments: maxSegments})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return x
+	}
+	// The live explorer merges aggressively (MaxSegments 2) so merges
+	// overlap the query traffic; the reference never merges. Merge
+	// invariance is part of what this equality proves.
+	live := build(2)
+	ref := build(100)
+
+	batches := make([][]IngestArticle, nBatches)
+	for i := range batches {
+		arts, err := live.SampleArticles(9100+uint64(i), batchSize)
+		if err != nil {
+			t.Fatal(err)
+		}
+		batches[i] = arts
+	}
+
+	// Query set: the evaluation topics, paged and mixed.
+	topics := live.EvaluationTopics()
+	var rollups []RollUpRequest
+	var drills []DrillDownRequest
+	for _, tp := range topics {
+		rollups = append(rollups,
+			RollUpRequest{Concepts: []string{tp[0], tp[1]}, K: 6, Explain: true},
+			RollUpRequest{Concepts: []string{tp[0]}, K: 4, Offset: 2})
+		drills = append(drills, DrillDownRequest{Concepts: []string{tp[0]}, K: 6, Explain: true})
+	}
+	ctx := context.Background()
+
+	// Reference answers per generation, computed by serial ingestion.
+	type expectation struct {
+		rollups [][]byte
+		drills  [][]byte
+	}
+	expected := make(map[uint64]expectation)
+	record := func() {
+		exp := expectation{}
+		for _, req := range rollups {
+			res, err := ref.RollUpQuery(ctx, req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := json.Marshal(res)
+			if err != nil {
+				t.Fatal(err)
+			}
+			exp.rollups = append(exp.rollups, b)
+		}
+		for _, req := range drills {
+			res, err := ref.DrillDownQuery(ctx, req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := json.Marshal(res)
+			if err != nil {
+				t.Fatal(err)
+			}
+			exp.drills = append(exp.drills, b)
+		}
+		expected[ref.Generation()] = exp
+	}
+	record()
+	for _, batch := range batches {
+		if _, err := ref.Ingest(ctx, batch); err != nil {
+			t.Fatal(err)
+		}
+		record()
+	}
+
+	// Live phase: workers query continuously while the main goroutine
+	// ingests every batch.
+	var (
+		stop     atomic.Bool
+		seenGens sync.Map // generation → true
+		mu       sync.Mutex
+	)
+	fail := func(format string, args ...any) {
+		mu.Lock()
+		defer mu.Unlock()
+		t.Errorf(format, args...)
+	}
+	check := func(w, rep int) {
+		i := (w*7 + rep) % len(rollups)
+		res, err := live.RollUpQuery(ctx, rollups[i])
+		if err != nil {
+			fail("worker %d rollup %d: %v", w, i, err)
+			return
+		}
+		got, _ := json.Marshal(res)
+		exp, ok := expected[res.Generation]
+		if !ok {
+			fail("worker %d observed unknown generation %d", w, res.Generation)
+			return
+		}
+		seenGens.Store(res.Generation, true)
+		if !bytes.Equal(got, exp.rollups[i]) {
+			fail("worker %d rollup %d at generation %d diverges from serial reference\n got: %s\nwant: %s",
+				w, i, res.Generation, got, exp.rollups[i])
+		}
+		j := (w*5 + rep) % len(drills)
+		dres, err := live.DrillDownQuery(ctx, drills[j])
+		if err != nil {
+			fail("worker %d drilldown %d: %v", w, j, err)
+			return
+		}
+		dgot, _ := json.Marshal(dres)
+		dexp, ok := expected[dres.Generation]
+		if !ok {
+			fail("worker %d observed unknown generation %d", w, dres.Generation)
+			return
+		}
+		if !bytes.Equal(dgot, dexp.drills[j]) {
+			fail("worker %d drilldown %d at generation %d diverges from serial reference",
+				w, j, dres.Generation)
+		}
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for rep := 0; !stop.Load(); rep++ {
+				check(w, rep)
+			}
+		}(w)
+	}
+	for _, batch := range batches {
+		if _, err := live.Ingest(ctx, batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	live.Quiesce() // let merges overlap the tail of the query traffic
+	stop.Store(true)
+	wg.Wait()
+
+	// The final generation must be queryable and byte-identical too.
+	finalGen := uint64(1 + nBatches)
+	if live.Generation() != finalGen || ref.Generation() != finalGen {
+		t.Fatalf("generations: live %d, ref %d, want %d", live.Generation(), ref.Generation(), finalGen)
+	}
+	for i, req := range rollups {
+		res, err := live.RollUpQuery(ctx, req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Generation != finalGen {
+			t.Fatalf("post-ingest query served at generation %d, want %d", res.Generation, finalGen)
+		}
+		got, _ := json.Marshal(res)
+		if !bytes.Equal(got, expected[finalGen].rollups[i]) {
+			t.Fatalf("final rollup %d diverges from serial reference", i)
+		}
+	}
+	if _, ok := seenGens.Load(uint64(1)); !ok {
+		t.Log("note: no worker observed generation 1 (ingest outran the first queries)")
+	}
 }
