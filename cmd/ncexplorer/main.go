@@ -4,7 +4,12 @@
 //
 // Usage:
 //
-//	go run ./cmd/ncexplorer [-scale tiny|default] [-seed 42]
+//	go run ./cmd/ncexplorer [-scale tiny|default] [-seed 42] [-open DIR]
+//
+// -open DIR skips the world build and warm-starts from a snapshot
+// directory saved earlier (by the in-shell `save` command or by
+// ncserver's -data-dir); -scale/-seed are then taken from the
+// snapshot's manifest.
 //
 // The shell is session-backed: `open` starts an exploration session
 // holding the current concept pattern, `rollup`/`drill` with no
@@ -24,6 +29,7 @@
 //	back                      undo the last pattern change
 //	history                   the session's breadcrumb trail
 //	topics                    the paper's six evaluation queries
+//	save <dir>                persist the index for a later -open
 //	help / quit
 package main
 
@@ -52,17 +58,25 @@ type shell struct {
 func main() {
 	scale := flag.String("scale", "tiny", "world scale: tiny or default")
 	seed := flag.Uint64("seed", 42, "generation seed")
+	open := flag.String("open", "", "snapshot directory to warm-start from instead of building a world")
 	flag.Parse()
 
-	fmt.Printf("building %s world (seed %d)...\n", *scale, *seed)
 	start := time.Now()
-	x, err := ncexplorer.New(ncexplorer.Config{Scale: *scale, Seed: *seed})
+	var x *ncexplorer.Explorer
+	var err error
+	if *open != "" {
+		fmt.Printf("opening snapshot %s...\n", *open)
+		x, err = ncexplorer.Open(*open, ncexplorer.OpenOptions{})
+	} else {
+		fmt.Printf("building %s world (seed %d)...\n", *scale, *seed)
+		x, err = ncexplorer.New(ncexplorer.Config{Scale: *scale, Seed: *seed})
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	fmt.Printf("ready in %.1fs — %d articles indexed. Type 'help'.\n",
-		time.Since(start).Seconds(), x.NumArticles())
+	fmt.Printf("ready in %.1fs — %d articles indexed (generation %d). Type 'help'.\n",
+		time.Since(start).Seconds(), x.NumArticles(), x.Generation())
 
 	sh := &shell{x: x, sessions: session.NewStore(session.Options{TTL: 24 * time.Hour})}
 	sc := bufio.NewScanner(os.Stdin)
@@ -130,6 +144,7 @@ func (sh *shell) execute(line string) (quit bool) {
   back                    undo the last pattern change
   history                 the session's breadcrumb trail
   topics                  the paper's six evaluation queries
+  save <dir>              persist the index (reload with -open <dir>)
   quit`)
 	case "concepts":
 		list, err := sh.x.ConceptsForEntity(rest)
@@ -146,6 +161,18 @@ func (sh *shell) execute(line string) (quit bool) {
 		}
 	case "open":
 		sh.open(rest)
+	case "save":
+		if rest == "" {
+			fmt.Println("usage: save <dir>")
+			return
+		}
+		start := time.Now()
+		if err := sh.x.Save(rest); err != nil {
+			printError(err)
+			return
+		}
+		fmt.Printf("saved snapshot to %s in %.1fs (generation %d, %d articles); reopen with -open %s\n",
+			rest, time.Since(start).Seconds(), sh.x.Generation(), sh.x.NumArticles(), rest)
 	case "refine":
 		sh.refine(rest)
 	case "back":

@@ -9,7 +9,7 @@
 //	                      [-cache-shards 8] [-cache-capacity 256] [-maxk 100]
 //	                      [-max-batch 64] [-session-ttl 30m] [-max-sessions 1024]
 //	                      [-ingest] [-max-ingest-batch 1024] [-max-segments 4]
-//	                      [-watch DIR] [-watch-interval 2s]
+//	                      [-watch DIR] [-watch-interval 2s] [-data-dir DIR]
 //
 // Endpoints (see internal/server for payload shapes):
 //
@@ -32,10 +32,22 @@
 //	a feed consumer. -watch implies -ingest's pipeline but does not
 //	open the HTTP endpoint unless -ingest is also set.
 //
+// Durable snapshots:
+//
+//	-data-dir DIR makes restarts boring. On boot, if DIR holds a saved
+//	snapshot it is opened instead of rebuilding the world — the NLP/
+//	linking pipeline is skipped entirely and -scale/-seed are taken
+//	from the snapshot's manifest. While running, every committed ingest
+//	batch (HTTP or -watch) is checkpointed into DIR, so a crash loses
+//	at most the batch in flight. On graceful shutdown the index is
+//	fully saved (including the connectivity-score cache that makes the
+//	next open fast). A failed final save logs, leaves the previous
+//	snapshot intact, and exits non-zero so supervisors notice.
+//
 // Shutdown: SIGINT/SIGTERM stops the listener, drains in-flight
 // requests (bounded by -shutdown-timeout), waits for the directory
-// watcher to finish any batch it started, and lets background segment
-// merges quiesce before exiting.
+// watcher to finish any batch it started, lets background segment
+// merges quiesce, and then performs the final -data-dir save.
 package main
 
 import (
@@ -74,19 +86,29 @@ func main() {
 	watch := flag.String("watch", "", "directory to poll for *.json article batches to ingest")
 	watchInterval := flag.Duration("watch-interval", 2*time.Second, "poll interval for -watch")
 	shutdownTimeout := flag.Duration("shutdown-timeout", 5*time.Second, "drain deadline for graceful shutdown")
+	dataDir := flag.String("data-dir", "", "durable snapshot directory: warm-open on boot, checkpoint ingests, save on shutdown")
 	flag.Parse()
 
 	if *seed == 0 {
 		log.Print("seed 0 selects the built-in default (42)")
 	}
-	log.Printf("building %s world (seed %d)...", *scale, *seed)
-	start := time.Now()
-	x, err := ncexplorer.New(ncexplorer.Config{Scale: *scale, Seed: *seed, MaxSegments: *maxSegments})
+	// Only an explicit -max-segments overrides a snapshot's saved merge
+	// policy on warm boot; the flag's default must not.
+	openMaxSegments := 0
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "max-segments" {
+			openMaxSegments = *maxSegments
+		}
+	})
+	x, err := bootExplorer(*dataDir, *scale, *seed, *maxSegments, openMaxSegments)
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("world ready in %.1fs — %d articles indexed (generation %d)",
-		time.Since(start).Seconds(), x.NumArticles(), x.Generation())
+	if *dataDir != "" {
+		// Persist every committed ingest so a crash (as opposed to a
+		// graceful shutdown) loses at most the batch in flight.
+		x.CheckpointTo(*dataDir)
+	}
 
 	s := server.New(x, server.Options{
 		CacheShards:    *shards,
@@ -144,11 +166,70 @@ func main() {
 	<-drained
 	watchWG.Wait()
 	x.Quiesce()
+	// The final save runs only after the watcher has drained and merges
+	// have settled, so the snapshot captures everything that was
+	// committed. Failure here must NOT be silent: the previous snapshot
+	// in -data-dir stays intact (the manifest swap is atomic and runs
+	// last), but supervisors need the non-zero exit to know this
+	// process's work was not fully persisted.
+	saved := persistOnShutdown(x, *dataDir)
 	if shutdownErr != nil {
 		log.Printf("shutdown: drain incomplete: %v", shutdownErr)
+	}
+	if shutdownErr != nil || !saved {
 		os.Exit(1)
 	}
 	log.Print("shut down cleanly")
+}
+
+// bootExplorer opens the saved snapshot in dataDir when one exists and
+// builds the world from scratch otherwise. Only "nothing saved here"
+// (CodeNotFound) selects the cold build: a present-but-unloadable
+// snapshot — corrupt files, a future format version, an unreadable
+// path — is a hard error, not a silent rebuild. Rebuilding would mask
+// data loss, and the shutdown save's garbage collection would then
+// destroy the evidence. openMaxSegments is the merge-policy override
+// for a warm boot (0 keeps the snapshot's saved value); maxSegments
+// configures a cold build.
+func bootExplorer(dataDir, scale string, seed uint64, maxSegments, openMaxSegments int) (*ncexplorer.Explorer, error) {
+	start := time.Now()
+	if dataDir != "" {
+		x, err := ncexplorer.Open(dataDir, ncexplorer.OpenOptions{MaxSegments: openMaxSegments})
+		if err == nil {
+			log.Printf("warm start from %s in %.1fs — %d articles (generation %d); -scale/-seed taken from the snapshot",
+				dataDir, time.Since(start).Seconds(), x.NumArticles(), x.Generation())
+			return x, nil
+		}
+		if e, ok := ncexplorer.AsError(err); !ok || e.Code != ncexplorer.CodeNotFound {
+			return nil, err
+		}
+	}
+	log.Printf("building %s world (seed %d)...", scale, seed)
+	x, err := ncexplorer.New(ncexplorer.Config{Scale: scale, Seed: seed, MaxSegments: maxSegments})
+	if err != nil {
+		return nil, err
+	}
+	log.Printf("world ready in %.1fs — %d articles indexed (generation %d)",
+		time.Since(start).Seconds(), x.NumArticles(), x.Generation())
+	return x, nil
+}
+
+// persistOnShutdown performs the final -data-dir save. It returns true
+// when there is nothing to save or the save succeeded; false means the
+// save failed — the previous snapshot on disk is intact, the failure
+// has been logged, and the caller must exit non-zero.
+func persistOnShutdown(x *ncexplorer.Explorer, dataDir string) bool {
+	if dataDir == "" {
+		return true
+	}
+	start := time.Now()
+	if err := x.Save(dataDir); err != nil {
+		log.Printf("shutdown: final save to %s FAILED (previous snapshot left intact): %v", dataDir, err)
+		return false
+	}
+	log.Printf("shutdown: saved snapshot to %s in %.1fs (generation %d, %d articles)",
+		dataDir, time.Since(start).Seconds(), x.Generation(), x.NumArticles())
+	return true
 }
 
 // watchLoop polls dir for *.json batch files and ingests them. A

@@ -1,0 +1,167 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"ncexplorer"
+)
+
+// The shutdown-persistence contract (ISSUE 5): a failed final save
+// must be reported (persistOnShutdown returns false so main exits
+// non-zero) and must leave any previous snapshot intact; a successful
+// one must produce a store a warm boot reopens.
+
+var (
+	testExplorerOnce sync.Once
+	testExplorer     *ncexplorer.Explorer
+	testExplorerErr  error
+)
+
+func tinyExplorer(t *testing.T) *ncexplorer.Explorer {
+	t.Helper()
+	testExplorerOnce.Do(func() {
+		testExplorer, testExplorerErr = ncexplorer.New(ncexplorer.Config{Scale: "tiny"})
+	})
+	if testExplorerErr != nil {
+		t.Fatal(testExplorerErr)
+	}
+	return testExplorer
+}
+
+// unwritableDir returns a path into which no directory can be created,
+// regardless of the uid running the tests (permission bits do not stop
+// root; a path through a regular file stops everyone).
+func unwritableDir(t *testing.T) string {
+	t.Helper()
+	file := filepath.Join(t.TempDir(), "plain-file")
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return filepath.Join(file, "data")
+}
+
+func TestPersistOnShutdownFailureIsReported(t *testing.T) {
+	x := tinyExplorer(t)
+	if persistOnShutdown(x, unwritableDir(t)) {
+		t.Fatal("persistOnShutdown reported success for an unwritable data dir")
+	}
+	// No data dir configured → nothing to save → success.
+	if !persistOnShutdown(x, "") {
+		t.Fatal("persistOnShutdown without a data dir must succeed")
+	}
+}
+
+// TestPersistOnShutdownKeepsPreviousSnapshot: when the final save
+// cannot run, the store saved by a previous shutdown still opens.
+func TestPersistOnShutdownKeepsPreviousSnapshot(t *testing.T) {
+	x := tinyExplorer(t)
+	dir := t.TempDir()
+	if !persistOnShutdown(x, dir) {
+		t.Fatal("initial save failed")
+	}
+
+	// A later shutdown whose save fails must not disturb what earlier
+	// shutdowns persisted (core-level injection tests cover failures in
+	// the same directory; here the save fails before touching any dir).
+	if persistOnShutdown(x, unwritableDir(t)) {
+		t.Fatal("save into unwritable dir succeeded")
+	}
+
+	// The earlier snapshot still boots, warm.
+	y, err := bootExplorer(dir, "ignored", 0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y.Generation() != x.Generation() || y.NumArticles() != x.NumArticles() {
+		t.Fatalf("warm boot diverges: gen %d/%d docs %d/%d",
+			y.Generation(), x.Generation(), y.NumArticles(), x.NumArticles())
+	}
+	if y.Stats().Persist.Opens != 1 {
+		t.Fatal("warm boot did not open the snapshot")
+	}
+}
+
+// TestBootExplorerColdStart: without a data dir (or with an empty /
+// not-yet-existing one), boot builds the world from scratch; a path
+// that cannot even be read is a hard error, not a fallback.
+func TestBootExplorerColdStart(t *testing.T) {
+	x, err := bootExplorer("", "tiny", 7, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.Stats().Persist.Opens != 0 {
+		t.Fatal("cold boot claims to have opened a snapshot")
+	}
+	if _, err := bootExplorer(t.TempDir(), "tiny", 7, 0, 0); err != nil {
+		t.Fatalf("empty data dir must fall back to a cold build: %v", err)
+	}
+	if _, err := bootExplorer(unwritableDir(t), "tiny", 7, 0, 0); err == nil {
+		t.Fatal("an unreadable data path must fail the boot, not silently rebuild")
+	}
+}
+
+// TestBootExplorerRejectsCorruptSnapshot: a present-but-damaged
+// snapshot is a hard boot error, never a silent rebuild — rebuilding
+// would let the shutdown save garbage-collect the previous snapshot's
+// files and destroy the evidence.
+func TestBootExplorerRejectsCorruptSnapshot(t *testing.T) {
+	x := tinyExplorer(t)
+	damage := []struct {
+		name  string
+		apply func(t *testing.T, dir string)
+	}{
+		{"missing segment files", func(t *testing.T, dir string) {
+			entries, err := os.ReadDir(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, ent := range entries {
+				if filepath.Ext(ent.Name()) == ".ncseg" {
+					if err := os.Remove(filepath.Join(dir, ent.Name())); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+		}},
+		{"truncated manifest", func(t *testing.T, dir string) {
+			path := filepath.Join(dir, "MANIFEST")
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"future manifest version", func(t *testing.T, dir string) {
+			path := filepath.Join(dir, "MANIFEST")
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			replaced := strings.Replace(string(data), `"format_version": 1`, `"format_version": 99`, 1)
+			if replaced == string(data) {
+				t.Fatal("format_version marker not found")
+			}
+			if err := os.WriteFile(path, []byte(replaced), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+	}
+	for _, tc := range damage {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			if err := x.Save(dir); err != nil {
+				t.Fatal(err)
+			}
+			tc.apply(t, dir)
+			if _, err := bootExplorer(dir, "tiny", 42, 0, 0); err == nil {
+				t.Fatal("boot on a damaged snapshot must fail loudly")
+			}
+		})
+	}
+}

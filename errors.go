@@ -38,6 +38,14 @@ const (
 	CodePermissionDenied ErrorCode = "permission_denied"
 	// CodeSessionExpired marks an exploration session evicted by TTL.
 	CodeSessionExpired ErrorCode = "session_expired"
+	// CodeCorruptSnapshot marks a persisted snapshot directory that
+	// cannot be loaded: bad magic, truncated or bit-flipped files,
+	// checksum mismatches, or a manifest referencing missing files.
+	// Open never returns a partially-initialized Explorer alongside it.
+	CodeCorruptSnapshot ErrorCode = "corrupt_snapshot"
+	// CodeVersionMismatch marks a persisted snapshot written in a format
+	// version this build does not read (e.g. by a newer release).
+	CodeVersionMismatch ErrorCode = "version_mismatch"
 	// CodeNoHistory marks a back/undo on a session at its root pattern.
 	CodeNoHistory ErrorCode = "no_history"
 	// CodeInternal marks a server-side failure.

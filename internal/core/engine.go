@@ -219,6 +219,11 @@ type Engine struct {
 
 	stats IndexStats
 	ing   ingestCounters
+
+	// persist tracks durable-snapshot state: counters, the optional
+	// checkpoint directory, and the segment→file name cache (see
+	// persist.go). Mutable fields are guarded by ingestMu.
+	persist persistState
 }
 
 // genState is everything a query needs from one snapshot generation:

@@ -132,6 +132,13 @@ func (e *Engine) Ingest(ctx context.Context, articles []corpus.Document) (Ingest
 	e.ing.batches.Add(1)
 	e.ing.docs.Add(int64(len(arts)))
 	e.ing.nanos.Add(time.Since(start).Nanoseconds())
+	// With a checkpoint directory configured, persist the committed
+	// batch before returning: the only segment encoded and written is
+	// the new one (earlier segments are already on disk under their
+	// content-addressed names), and the manifest swap is atomic, so a
+	// crash after this point re-opens with the batch included and a
+	// crash before it loses only this batch.
+	e.checkpointLocked(st)
 	e.maybeMerge(len(segs))
 	return IngestResult{
 		Docs:       len(arts),
@@ -194,6 +201,9 @@ func (e *Engine) mergeSegments() {
 	st.matchMemo = cur.matchMemo
 	e.st.Store(st)
 	// No epoch bump: answers are unchanged, external caches stay warm.
+	// The checkpoint keeps the data directory aligned with the merged
+	// layout (and garbage-collects the folded segment files).
+	e.checkpointLocked(st)
 }
 
 // WaitMerges blocks until any in-flight background merge completes.

@@ -1,0 +1,473 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync/atomic"
+
+	"ncexplorer/internal/corpus"
+	"ncexplorer/internal/kg"
+	"ncexplorer/internal/segio"
+	"ncexplorer/internal/snapshot"
+)
+
+// Durable snapshot persistence. SaveSnapshot serializes the current
+// snapshot's segments (plus the connectivity memo and a manifest) to a
+// directory; OpenSnapshot loads them back into a freshly constructed
+// engine. The load path skips the NLP/linking pipeline entirely — it
+// decodes the immutable per-document indexing products and goes
+// straight to the swap-time rescore every ingest already performs,
+// with the persisted conn memo pre-filled so no random walk re-runs.
+// Because the rescore is the same code path a from-scratch build ends
+// with, and every sampled value is content-addressed by (concept,
+// document) under the engine seed, a loaded engine answers every query
+// byte-identically to the engine that saved it.
+//
+// Crash safety: segment and conn files are immutable and content-named;
+// each is written via temp-file + fsync + atomic rename, and the
+// MANIFEST — the only mutable object — is replaced the same way, last.
+// A crash at any point leaves the previous manifest (and every file it
+// references) fully intact; orphaned files from the interrupted save
+// are collected by the next successful one.
+
+// errNotPersisted marks persistence calls in the wrong lifecycle state.
+var (
+	errSaveBeforeIndex = errors.New("core: SaveSnapshot called before IndexCorpus")
+	errOpenAfterIndex  = errors.New("core: OpenSnapshot called on an already-indexed engine")
+)
+
+// PersistCounters aggregates persistence activity for /statsz.
+type PersistCounters struct {
+	// Saves counts successful SaveSnapshot calls; Opens successful
+	// OpenSnapshot calls; Checkpoints successful per-ingest (and
+	// per-merge) incremental manifest updates.
+	Saves       int64 `json:"saves"`
+	Opens       int64 `json:"opens"`
+	Checkpoints int64 `json:"checkpoints"`
+	// SegmentsWritten / SegmentsReused split segment persistence into
+	// files actually written vs files already on disk from an earlier
+	// save (segments are immutable and content-named, so an unchanged
+	// segment is never rewritten).
+	SegmentsWritten int64 `json:"segments_written"`
+	SegmentsReused  int64 `json:"segments_reused"`
+	// BytesWritten / BytesRead total the file bytes moved by saves,
+	// checkpoints, and opens.
+	BytesWritten int64 `json:"bytes_written"`
+	BytesRead    int64 `json:"bytes_read"`
+	// CheckpointErrors counts failed checkpoint attempts. A checkpoint
+	// failure never fails the ingest that triggered it — the in-memory
+	// swap already happened — it means the data directory lags until
+	// the next checkpoint or save succeeds.
+	CheckpointErrors int64 `json:"checkpoint_errors"`
+}
+
+// Indirections over segio's write functions: tests inject write
+// failures here to prove that a failed save leaves the previous
+// manifest (and everything it references) intact.
+var (
+	writeSegioFile     = segio.WriteFileAtomic
+	writeSegioManifest = segio.WriteManifest
+)
+
+// persistState is the engine's persistence bookkeeping. The mutable
+// fields (checkpoint dir, world meta, the segment→file name cache) are
+// guarded by ingestMu like every other write-side structure.
+type persistState struct {
+	saves, opens, checkpoints       atomic.Int64
+	segmentsWritten, segmentsReused atomic.Int64
+	bytesWritten, bytesRead         atomic.Int64
+	checkpointErrors                atomic.Int64
+	checkpointDir                   string
+	world                           map[string]string
+	// segFiles caches the content-addressed file name of segments
+	// already encoded, so a checkpoint after an ingest re-encodes only
+	// the new segment. Pruned to the live snapshot on every save.
+	segFiles map[*snapshot.Segment]segio.SegmentRef
+	// connFile/connEntries remember the last conn-memo file this engine
+	// wrote or loaded, so checkpoints can keep referencing it without
+	// re-reading the manifest on every ingest. connChecked marks the
+	// one-time fallback read of a pre-existing manifest as done.
+	connFile    string
+	connEntries int
+	connChecked bool
+}
+
+// PersistCounters returns the engine's persistence counters.
+func (e *Engine) PersistCounters() PersistCounters {
+	return PersistCounters{
+		Saves:            e.persist.saves.Load(),
+		Opens:            e.persist.opens.Load(),
+		Checkpoints:      e.persist.checkpoints.Load(),
+		SegmentsWritten:  e.persist.segmentsWritten.Load(),
+		SegmentsReused:   e.persist.segmentsReused.Load(),
+		BytesWritten:     e.persist.bytesWritten.Load(),
+		BytesRead:        e.persist.bytesRead.Load(),
+		CheckpointErrors: e.persist.checkpointErrors.Load(),
+	}
+}
+
+// SetCheckpointDir enables (dir != "") or disables (dir == "")
+// per-commit checkpointing: after every ingested batch and every
+// background merge, the engine writes the affected segment files and
+// atomically updates dir's manifest, so a crash loses at most the
+// batch in flight — a -watch deployment restarts from its last
+// committed segment instead of re-ingesting everything. world is
+// carried into every manifest written (see SaveSnapshot).
+func (e *Engine) SetCheckpointDir(dir string, world map[string]string) {
+	e.ingestMu.Lock()
+	defer e.ingestMu.Unlock()
+	e.persist.checkpointDir = dir
+	e.persist.world = world
+}
+
+// SaveSnapshot durably persists the current snapshot (segments, conn
+// memo, manifest) into dir, which is created if needed. world is an
+// opaque facade-level map stored in the manifest for reconstruction
+// (e.g. the synthetic-world scale). Save excludes writers — a batch
+// racing with Ingest lands either entirely before or entirely after
+// the saved generation — and never blocks queries. On any error the
+// directory's previous manifest, if one exists, is untouched.
+func (e *Engine) SaveSnapshot(dir string, world map[string]string) error {
+	e.ingestMu.Lock()
+	defer e.ingestMu.Unlock()
+	if world != nil {
+		e.persist.world = world
+	}
+	st := e.state()
+	if st == nil {
+		return errSaveBeforeIndex
+	}
+	if err := e.writeStoreLocked(dir, st, true); err != nil {
+		return err
+	}
+	e.persist.saves.Add(1)
+	return nil
+}
+
+// checkpointLocked incrementally persists the current snapshot to the
+// configured checkpoint directory (no conn-memo rewrite — conn entries
+// are a pure cache and the manifest keeps referencing the last fully
+// saved one). Called with ingestMu held, after a successful swap.
+func (e *Engine) checkpointLocked(st *genState) {
+	dir := e.persist.checkpointDir
+	if dir == "" {
+		return
+	}
+	if err := e.writeStoreLocked(dir, st, false); err != nil {
+		e.persist.checkpointErrors.Add(1)
+		return
+	}
+	e.persist.checkpoints.Add(1)
+}
+
+// writeStoreLocked writes segments (+ conn memo when writeConn) and
+// swaps the manifest. ingestMu must be held.
+func (e *Engine) writeStoreLocked(dir string, st *genState, writeConn bool) error {
+	if err := ensureDir(dir); err != nil {
+		return err
+	}
+	segs := st.snap.Segments
+	if e.persist.segFiles == nil {
+		e.persist.segFiles = make(map[*snapshot.Segment]segio.SegmentRef)
+	}
+	refs := make([]segio.SegmentRef, 0, len(segs))
+	for _, seg := range segs {
+		ref, ok := e.persist.segFiles[seg]
+		var data []byte
+		if !ok {
+			data = segio.EncodeSegment(seg)
+			ref = segio.SegmentRef{
+				Base: seg.Base,
+				Docs: seg.Len(),
+				CRC:  crc32.ChecksumIEEE(data),
+			}
+			ref.File = segio.SegmentFileName(ref.Base, ref.Docs, ref.CRC)
+			e.persist.segFiles[seg] = ref
+		}
+		if fileExists(dir, ref.File) {
+			e.persist.segmentsReused.Add(1)
+		} else {
+			if data == nil {
+				// Known segment but absent file (first save into a new
+				// dir, or external deletion): re-encode.
+				data = segio.EncodeSegment(seg)
+			}
+			if err := writeSegioFile(dir, ref.File, data); err != nil {
+				return fmt.Errorf("core: writing segment %s: %w", ref.File, err)
+			}
+			e.persist.segmentsWritten.Add(1)
+			e.persist.bytesWritten.Add(int64(len(data)))
+		}
+		refs = append(refs, ref)
+	}
+	// Prune the name cache to live segments so merge churn cannot grow
+	// it without bound.
+	for seg := range e.persist.segFiles {
+		live := false
+		for _, s := range segs {
+			if s == seg {
+				live = true
+				break
+			}
+		}
+		if !live {
+			delete(e.persist.segFiles, seg)
+		}
+	}
+
+	m := &segio.Manifest{
+		Generation: st.snap.Generation,
+		NumDocs:    st.snap.NumDocs(),
+		Segments:   refs,
+		Engine:     e.engineMeta(),
+		World:      e.persist.world,
+		Stats:      statsMeta(e.stats),
+	}
+	if writeConn {
+		data, entries := e.encodeConnMemo()
+		name := fmt.Sprintf("conn-%08x%s", crc32.ChecksumIEEE(data), segio.ConnExt)
+		if !fileExists(dir, name) {
+			if err := writeSegioFile(dir, name, data); err != nil {
+				return fmt.Errorf("core: writing conn memo: %w", err)
+			}
+			e.persist.bytesWritten.Add(int64(len(data)))
+		}
+		m.ConnFile, m.ConnEntries = name, entries
+		e.persist.connFile, e.persist.connEntries, e.persist.connChecked = name, entries, true
+	} else {
+		// Checkpoints keep the last fully saved conn file: its entries
+		// are content-addressed and never go stale. The reference is
+		// cached from the save/open that produced it; the manifest is
+		// read at most once, for a store inherited from a previous
+		// process that this engine has neither saved nor opened — and
+		// only adopted when that manifest's content-determining engine
+		// options match this engine's, since conn values computed under
+		// a different graph/seed/sampling would silently poison a later
+		// open's prefill.
+		if !e.persist.connChecked {
+			if prev, err := segio.ReadManifest(dir); err == nil && compatibleEngineMeta(e.engineMeta(), prev.Engine) {
+				e.persist.connFile, e.persist.connEntries = prev.ConnFile, prev.ConnEntries
+			}
+			e.persist.connChecked = true
+		}
+		if e.persist.connFile != "" && fileExists(dir, e.persist.connFile) {
+			m.ConnFile, m.ConnEntries = e.persist.connFile, e.persist.connEntries
+		}
+	}
+	if err := writeSegioManifest(dir, m); err != nil {
+		return fmt.Errorf("core: writing manifest: %w", err)
+	}
+	segio.CollectGarbage(dir, m)
+	return nil
+}
+
+// encodeConnMemo dumps the engine-wide connectivity memo in canonical
+// (key-sorted) order.
+func (e *Engine) encodeConnMemo() ([]byte, int) {
+	type kv struct {
+		k uint64
+		v float64
+	}
+	var entries []kv
+	e.connMemo.Range(func(k uint64, v float64) {
+		entries = append(entries, kv{k, v})
+	})
+	sort.Slice(entries, func(i, j int) bool { return entries[i].k < entries[j].k })
+	keys := make([]uint64, len(entries))
+	values := make([]float64, len(entries))
+	for i, ent := range entries {
+		keys[i] = ent.k
+		values[i] = ent.v
+	}
+	return segio.EncodeConn(keys, values), len(entries)
+}
+
+// OpenSnapshot loads a persisted snapshot into a freshly constructed
+// engine (NewEngine with the same graph and options as the saver —
+// the manifest's EngineMeta is cross-checked). It decodes every
+// referenced segment, pre-fills the connectivity memo from the saved
+// cache, and derives the generation state through the same rescore an
+// ingest performs, so the opened engine is indistinguishable from the
+// one that saved: same generation, same scores, same answers.
+func (e *Engine) OpenSnapshot(dir string, m *segio.Manifest) error {
+	e.ingestMu.Lock()
+	defer e.ingestMu.Unlock()
+	if e.st.Load() != nil {
+		return errOpenAfterIndex
+	}
+	if m == nil {
+		var err error
+		if m, err = segio.ReadManifest(dir); err != nil {
+			return err
+		}
+	}
+	if got, want := e.engineMeta(), m.Engine; !compatibleEngineMeta(got, want) {
+		return fmt.Errorf("core: engine options %+v do not match saved snapshot %+v", got, want)
+	}
+	segs := make([]*snapshot.Segment, 0, len(m.Segments))
+	for _, ref := range m.Segments {
+		seg, n, err := segio.ReadSegmentFile(dir, ref)
+		if err != nil {
+			return err
+		}
+		if err := validateSegmentNodes(seg, e.g.NumNodes()); err != nil {
+			return fmt.Errorf("segment file %s: %w", ref.File, err)
+		}
+		e.persist.bytesRead.Add(int64(n))
+		segs = append(segs, seg)
+	}
+	if m.ConnFile != "" {
+		data, err := segio.ReadConnFile(dir, m.ConnFile)
+		if err != nil {
+			return err
+		}
+		e.persist.bytesRead.Add(int64(len(data)))
+		// Stage the entries and install them only after the whole file
+		// decodes: a file that fails validation partway through must not
+		// leave stray values in the engine-wide memo (the engine stays
+		// reusable after a failed open, so a later successful open would
+		// silently serve them).
+		type connEntry struct {
+			k uint64
+			v float64
+		}
+		// Capacity from the validated file size, never from the
+		// manifest's (attacker- or rot-controllable) ConnEntries field:
+		// a hostile count must not panic make or balloon the allocation.
+		staged := make([]connEntry, 0, len(data)/16)
+		if err := segio.DecodeConn(data, func(k uint64, v float64) {
+			staged = append(staged, connEntry{k, v})
+		}); err != nil {
+			return err
+		}
+		for _, ent := range staged {
+			e.connMemo.Store(ent.k, ent.v)
+		}
+	}
+	// Remember the loaded segments' file identities so a later save
+	// into the same directory rewrites nothing.
+	if e.persist.segFiles == nil {
+		e.persist.segFiles = make(map[*snapshot.Segment]segio.SegmentRef)
+	}
+	for i, seg := range segs {
+		e.persist.segFiles[seg] = m.Segments[i]
+	}
+	e.persist.connFile, e.persist.connEntries, e.persist.connChecked = m.ConnFile, m.ConnEntries, true
+
+	e.stats = statsFromMeta(m.Stats)
+	st, _ := e.buildState(m.Generation, segs)
+	e.st.Store(st)
+	e.epoch.Add(1)
+	e.persist.opens.Add(1)
+	return nil
+}
+
+// validateSegmentNodes checks every node ID the rescore path will feed
+// into graph lookups against the graph's node count. The codec can only
+// validate IDs structurally (non-negative, sorted); whether they exist
+// is a property of THIS graph — a snapshot saved against a different
+// world (or a world generator that changed shape under the same seed)
+// must surface as typed corruption, not as an index-out-of-range panic
+// inside the scorer.
+func validateSegmentNodes(seg *snapshot.Segment, numNodes int) error {
+	bad := func(kind string, id kg.NodeID) error {
+		return fmt.Errorf("%w: %s node %d outside graph (%d nodes)", segio.ErrCorrupt, kind, id, numNodes)
+	}
+	for i := range seg.Docs {
+		d := &seg.Docs[i]
+		for _, v := range d.Entities {
+			if int(v) >= numNodes {
+				return bad("entity", v)
+			}
+		}
+		for v := range d.EntityFreq {
+			if int(v) >= numNodes {
+				return bad("entity-frequency", v)
+			}
+		}
+		for _, c := range d.Candidates {
+			if int(c) >= numNodes {
+				return bad("candidate", c)
+			}
+		}
+	}
+	for v := range seg.EntDocs {
+		if int(v) >= numNodes {
+			return bad("posting", v)
+		}
+	}
+	return nil
+}
+
+// compatibleEngineMeta reports whether two engine-option sets agree on
+// everything content-determining. MaxSegments is excluded: it is a
+// storage policy, and callers may legitimately reopen with a different
+// merge bound.
+func compatibleEngineMeta(a, b segio.EngineMeta) bool {
+	a.MaxSegments = b.MaxSegments
+	return a == b
+}
+
+// engineMeta renders the content-determining engine options.
+func (e *Engine) engineMeta() segio.EngineMeta {
+	return segio.EngineMeta{
+		Tau:               e.opts.Tau,
+		Beta:              e.opts.Beta,
+		Samples:           e.opts.Samples,
+		Seed:              e.opts.Seed,
+		MaxConceptsPerDoc: e.opts.MaxConceptsPerDoc,
+		AncestorLevels:    e.opts.AncestorLevels,
+		Exact:             e.opts.Exact,
+		MaxSegments:       e.opts.MaxSegments,
+	}
+}
+
+func statsMeta(s IndexStats) segio.StatsMeta {
+	out := segio.StatsMeta{Docs: s.Docs, LinkNanos: s.LinkNanos, ScoreNanos: s.ScoreNanos}
+	if len(s.PerSource) > 0 {
+		out.PerSource = make(map[string]segio.SourceStatsMeta, len(s.PerSource))
+		for src, ss := range s.PerSource {
+			out.PerSource[src.String()] = segio.SourceStatsMeta{
+				Articles:       ss.Articles,
+				TotalMentions:  ss.TotalMentions,
+				LinkedMentions: ss.LinkedMentions,
+			}
+		}
+	}
+	return out
+}
+
+func statsFromMeta(m segio.StatsMeta) IndexStats {
+	out := IndexStats{Docs: m.Docs, LinkNanos: m.LinkNanos, ScoreNanos: m.ScoreNanos}
+	if len(m.PerSource) > 0 {
+		out.PerSource = make(map[corpus.Source]corpus.SourceStats, len(m.PerSource))
+		for name, ss := range m.PerSource {
+			for _, src := range corpus.Sources {
+				if src.String() == name {
+					out.PerSource[src] = corpus.SourceStats{
+						Source:         src,
+						Articles:       ss.Articles,
+						TotalMentions:  ss.TotalMentions,
+						LinkedMentions: ss.LinkedMentions,
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// ensureDir creates the snapshot directory if it does not exist.
+func ensureDir(dir string) error {
+	return os.MkdirAll(dir, 0o755)
+}
+
+// fileExists reports whether dir/name exists as a regular file.
+func fileExists(dir, name string) bool {
+	info, err := os.Stat(filepath.Join(dir, name))
+	return err == nil && info.Mode().IsRegular()
+}

@@ -1,0 +1,452 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"hash/crc32"
+
+	"ncexplorer/internal/corpus"
+	"ncexplorer/internal/kg"
+	"ncexplorer/internal/segio"
+)
+
+// enginesEquivalent asserts the save→load acceptance contract: same
+// generation, same corpus, same per-document postings and articles,
+// and byte-identical answers to a mixed query workload.
+func enginesEquivalent(t *testing.T, saved, loaded *Engine) {
+	t.Helper()
+	if saved.Generation() != loaded.Generation() {
+		t.Fatalf("generation: %d vs %d", saved.Generation(), loaded.Generation())
+	}
+	if saved.NumDocs() != loaded.NumDocs() {
+		t.Fatalf("docs: %d vs %d", saved.NumDocs(), loaded.NumDocs())
+	}
+	for d := 0; d < saved.NumDocs(); d++ {
+		id := corpus.DocID(d)
+		if !reflect.DeepEqual(saved.DocConcepts(id), loaded.DocConcepts(id)) {
+			t.Fatalf("doc %d concept postings diverge", d)
+		}
+		if !reflect.DeepEqual(saved.Doc(id), loaded.Doc(id)) {
+			t.Fatalf("article %d diverges", d)
+		}
+	}
+	got, want := queryFingerprint(t, loaded), queryFingerprint(t, saved)
+	if string(got) != string(want) {
+		t.Fatal("loaded engine's query results diverge from the saving engine")
+	}
+}
+
+func persistTestOptions() Options {
+	return Options{Seed: 11, Samples: 20}
+}
+
+// TestSaveOpenEquivalence: build → ingest → save → open must yield an
+// engine indistinguishable from the saver, across generations, and the
+// loaded engine must keep ingesting and merging from where the saver
+// stopped.
+func TestSaveOpenEquivalence(t *testing.T) {
+	g, _, c, _ := world(t)
+	dir := t.TempDir()
+
+	saver := NewEngine(g, persistTestOptions())
+	saver.IndexCorpus(c)
+	if _, err := saver.Ingest(context.Background(), ingestBatch(t, 8001, 13)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := saver.Ingest(context.Background(), ingestBatch(t, 8002, 5)); err != nil {
+		t.Fatal(err)
+	}
+	saver.WaitMerges()
+	worldMeta := map[string]string{"scale": "tiny"}
+	if err := saver.SaveSnapshot(dir, worldMeta); err != nil {
+		t.Fatal(err)
+	}
+
+	loaded := NewEngine(g, persistTestOptions())
+	if err := loaded.OpenSnapshot(dir, nil); err != nil {
+		t.Fatal(err)
+	}
+	enginesEquivalent(t, saver, loaded)
+
+	// The loaded engine carries the saver's build stats (for /statsz).
+	if saver.Stats().Docs != loaded.Stats().Docs ||
+		!reflect.DeepEqual(saver.Stats().PerSource, loaded.Stats().PerSource) {
+		t.Fatalf("stats diverge: %+v vs %+v", saver.Stats(), loaded.Stats())
+	}
+	pc := loaded.PersistCounters()
+	if pc.Opens != 1 || pc.BytesRead == 0 {
+		t.Fatalf("loaded persist counters = %+v", pc)
+	}
+
+	// Post-load growth: both engines ingest the same further batches;
+	// equivalence must hold at every new generation, including through
+	// merges.
+	for i := 0; i < 3; i++ {
+		batch := ingestBatch(t, 8100+uint64(i), 7)
+		if _, err := saver.Ingest(context.Background(), batch); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := loaded.Ingest(context.Background(), batch); err != nil {
+			t.Fatal(err)
+		}
+		saver.WaitMerges()
+		loaded.WaitMerges()
+		enginesEquivalent(t, saver, loaded)
+	}
+
+	// Save the grown loaded engine and reopen: a second generation of
+	// persistence over a warm-started engine.
+	if err := loaded.SaveSnapshot(dir, worldMeta); err != nil {
+		t.Fatal(err)
+	}
+	pc = loaded.PersistCounters()
+	if pc.Saves != 1 || pc.SegmentsReused == 0 {
+		t.Fatalf("second-save persist counters = %+v (want reuse of loaded segment files)", pc)
+	}
+	reopened := NewEngine(g, persistTestOptions())
+	if err := reopened.OpenSnapshot(dir, nil); err != nil {
+		t.Fatal(err)
+	}
+	enginesEquivalent(t, loaded, reopened)
+}
+
+// TestSaveReusesSegmentFiles: an unchanged corpus re-saves without
+// rewriting any segment file (content-addressed names), and the
+// manifest swap collects files no longer referenced after a merge.
+func TestSaveReusesSegmentFiles(t *testing.T) {
+	g, _, c, _ := world(t)
+	dir := t.TempDir()
+	e := NewEngine(g, Options{Seed: 11, Samples: 20, MaxSegments: 2})
+	e.IndexCorpus(c)
+	if err := e.SaveSnapshot(dir, nil); err != nil {
+		t.Fatal(err)
+	}
+	first := e.PersistCounters()
+	if first.SegmentsWritten != 1 || first.SegmentsReused != 0 {
+		t.Fatalf("first save counters = %+v", first)
+	}
+	if err := e.SaveSnapshot(dir, nil); err != nil {
+		t.Fatal(err)
+	}
+	second := e.PersistCounters()
+	if second.SegmentsWritten != 1 || second.SegmentsReused != 1 {
+		t.Fatalf("second save counters = %+v", second)
+	}
+
+	// Grow past MaxSegments so a merge folds segments, then save: the
+	// directory must hold exactly the live segment files.
+	for i := 0; i < 3; i++ {
+		if _, err := e.Ingest(context.Background(), ingestBatch(t, 8200+uint64(i), 4)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.WaitMerges()
+	if err := e.SaveSnapshot(dir, nil); err != nil {
+		t.Fatal(err)
+	}
+	m, err := segio.ReadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var segFiles int
+	entries, _ := os.ReadDir(dir)
+	for _, ent := range entries {
+		if strings.HasSuffix(ent.Name(), segio.SegmentExt) {
+			segFiles++
+		}
+	}
+	if segFiles != len(m.Segments) {
+		t.Fatalf("%d segment files on disk, manifest references %d", segFiles, len(m.Segments))
+	}
+	if len(m.Segments) != len(e.SegmentSizes()) {
+		t.Fatalf("manifest has %d segments, engine %d", len(m.Segments), len(e.SegmentSizes()))
+	}
+}
+
+// TestCheckpointSurvivesCrash: with a checkpoint dir configured, every
+// committed ingest is reopenable without any explicit save — the
+// -watch crash-recovery story.
+func TestCheckpointSurvivesCrash(t *testing.T) {
+	g, _, c, _ := world(t)
+	dir := t.TempDir()
+	e := NewEngine(g, Options{Seed: 11, Samples: 20, MaxSegments: 2})
+	e.IndexCorpus(c)
+	e.SetCheckpointDir(dir, map[string]string{"scale": "tiny"})
+	for i := 0; i < 3; i++ {
+		if _, err := e.Ingest(context.Background(), ingestBatch(t, 8300+uint64(i), 6)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.WaitMerges()
+	pc := e.PersistCounters()
+	if pc.Checkpoints == 0 || pc.Saves != 0 {
+		t.Fatalf("persist counters = %+v (want checkpoints without saves)", pc)
+	}
+
+	// "Crash": no SaveSnapshot call; a fresh engine must reopen the
+	// checkpointed state (no conn file — only full saves write one).
+	m, err := segio.ReadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.ConnFile != "" {
+		t.Fatalf("checkpoint wrote a conn file: %q", m.ConnFile)
+	}
+	if m.Generation != e.Generation() {
+		t.Fatalf("manifest generation %d, engine %d", m.Generation, e.Generation())
+	}
+	recovered := NewEngine(g, Options{Seed: 11, Samples: 20, MaxSegments: 2})
+	if err := recovered.OpenSnapshot(dir, nil); err != nil {
+		t.Fatal(err)
+	}
+	enginesEquivalent(t, e, recovered)
+
+	// A full save upgrades the store with the conn cache; a checkpoint
+	// after it keeps referencing that cache.
+	if err := e.SaveSnapshot(dir, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Ingest(context.Background(), ingestBatch(t, 8350, 3)); err != nil {
+		t.Fatal(err)
+	}
+	e.WaitMerges()
+	m, err = segio.ReadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.ConnFile == "" {
+		t.Fatal("checkpoint dropped the saved conn file reference")
+	}
+	if m.Generation != e.Generation() {
+		t.Fatalf("post-save checkpoint generation %d, engine %d", m.Generation, e.Generation())
+	}
+}
+
+// TestFailedSaveKeepsPreviousSnapshot: when any write fails mid-save,
+// the directory still opens to the previously saved state.
+func TestFailedSaveKeepsPreviousSnapshot(t *testing.T) {
+	g, _, c, _ := world(t)
+	dir := t.TempDir()
+	e := NewEngine(g, persistTestOptions())
+	e.IndexCorpus(c)
+	if err := e.SaveSnapshot(dir, map[string]string{"scale": "tiny"}); err != nil {
+		t.Fatal(err)
+	}
+	before, err := os.ReadFile(filepath.Join(dir, segio.ManifestName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Ingest(context.Background(), ingestBatch(t, 8400, 5)); err != nil {
+		t.Fatal(err)
+	}
+
+	injected := errors.New("injected write failure")
+	for _, stage := range []string{"segment", "manifest"} {
+		stage := stage
+		origFile, origManifest := writeSegioFile, writeSegioManifest
+		if stage == "segment" {
+			writeSegioFile = func(dir, name string, data []byte) error { return injected }
+		} else {
+			writeSegioManifest = func(dir string, m *segio.Manifest) error { return injected }
+		}
+		err := e.SaveSnapshot(dir, nil)
+		writeSegioFile, writeSegioManifest = origFile, origManifest
+		if !errors.Is(err, injected) {
+			t.Fatalf("%s stage: save err = %v, want injected failure", stage, err)
+		}
+		after, rerr := os.ReadFile(filepath.Join(dir, segio.ManifestName))
+		if rerr != nil || string(after) != string(before) {
+			t.Fatalf("%s stage: previous manifest not intact after failed save", stage)
+		}
+		recovered := NewEngine(g, persistTestOptions())
+		if oerr := recovered.OpenSnapshot(dir, nil); oerr != nil {
+			t.Fatalf("%s stage: store no longer opens: %v", stage, oerr)
+		}
+		if recovered.Generation() != 1 || recovered.NumDocs() != c.Len() {
+			t.Fatalf("%s stage: recovered wrong state: gen=%d docs=%d",
+				stage, recovered.Generation(), recovered.NumDocs())
+		}
+	}
+	// And with the failure gone, the same save succeeds.
+	if err := e.SaveSnapshot(dir, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPersistErrors pins the misuse and corruption error paths of the
+// engine-level API.
+func TestPersistErrors(t *testing.T) {
+	g, _, c, _ := world(t)
+	dir := t.TempDir()
+
+	empty := NewEngine(g, persistTestOptions())
+	if err := empty.SaveSnapshot(dir, nil); !errors.Is(err, errSaveBeforeIndex) {
+		t.Fatalf("save before index: %v", err)
+	}
+	if err := empty.OpenSnapshot(t.TempDir(), nil); !errors.Is(err, segio.ErrNoSnapshot) {
+		t.Fatalf("open empty dir: %v", err)
+	}
+
+	e := NewEngine(g, persistTestOptions())
+	e.IndexCorpus(c)
+	if err := e.SaveSnapshot(dir, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.OpenSnapshot(dir, nil); !errors.Is(err, errOpenAfterIndex) {
+		t.Fatalf("open on indexed engine: %v", err)
+	}
+
+	// Mismatched engine options must be rejected before any state is
+	// installed.
+	other := NewEngine(g, Options{Seed: 12, Samples: 20})
+	if err := other.OpenSnapshot(dir, nil); err == nil || !strings.Contains(err.Error(), "options") {
+		t.Fatalf("mismatched options: %v", err)
+	}
+	if other.state() != nil {
+		t.Fatal("failed open installed state")
+	}
+
+	// Manifest referencing a missing segment file: typed corruption,
+	// no partial engine.
+	m, err := segio.ReadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(dir, m.Segments[0].File)); err != nil {
+		t.Fatal(err)
+	}
+	victim := NewEngine(g, persistTestOptions())
+	if err := victim.OpenSnapshot(dir, nil); !errors.Is(err, segio.ErrCorrupt) {
+		t.Fatalf("missing segment file: %v", err)
+	}
+	if victim.state() != nil {
+		t.Fatal("corrupt open installed state")
+	}
+}
+
+// TestOpenRejectsOutOfGraphNodes: node IDs the codec accepts
+// structurally but that do not exist in THIS graph must fail the open
+// with typed corruption — never reach the rescore path, where they
+// would panic graph lookups.
+func TestOpenRejectsOutOfGraphNodes(t *testing.T) {
+	g, _, c, _ := world(t)
+	dir := t.TempDir()
+	e := NewEngine(g, persistTestOptions())
+	e.IndexCorpus(c)
+	if err := e.SaveSnapshot(dir, nil); err != nil {
+		t.Fatal(err)
+	}
+	m, err := segio.ReadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rewrite the first segment with a candidate ID beyond the graph,
+	// keeping the file canonical and the manifest CRC in agreement (the
+	// damage models a snapshot saved against a different world, which
+	// no checksum can catch).
+	ref := &m.Segments[0]
+	seg, _, err := segio.ReadSegmentFile(dir, *ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alien := kg.NodeID(g.NumNodes() + 5)
+	seg.Docs[0].Candidates = append(seg.Docs[0].Candidates, alien)
+	data := segio.EncodeSegment(seg)
+	ref.CRC = crc32.ChecksumIEEE(data)
+	if err := segio.WriteFileAtomic(dir, ref.File, data); err != nil {
+		t.Fatal(err)
+	}
+	if err := segio.WriteManifest(dir, m); err != nil {
+		t.Fatal(err)
+	}
+	victim := NewEngine(g, persistTestOptions())
+	if err := victim.OpenSnapshot(dir, nil); !errors.Is(err, segio.ErrCorrupt) {
+		t.Fatalf("out-of-graph candidate: err = %v, want ErrCorrupt", err)
+	}
+	if victim.state() != nil {
+		t.Fatal("corrupt open installed state")
+	}
+}
+
+// TestCheckpointRejectsForeignConnFile: a checkpoint into a directory
+// previously saved by an engine with different content-determining
+// options must not adopt that store's conn file — its walk values were
+// computed under a different seed and would poison a later open.
+func TestCheckpointRejectsForeignConnFile(t *testing.T) {
+	g, _, c, _ := world(t)
+	dir := t.TempDir()
+	foreign := NewEngine(g, Options{Seed: 99, Samples: 20})
+	foreign.IndexCorpus(c)
+	if err := foreign.SaveSnapshot(dir, nil); err != nil {
+		t.Fatal(err)
+	}
+	fm, err := segio.ReadManifest(dir)
+	if err != nil || fm.ConnFile == "" {
+		t.Fatalf("foreign save: manifest=%+v err=%v", fm, err)
+	}
+
+	e := NewEngine(g, persistTestOptions()) // Seed 11: different content
+	e.IndexCorpus(c)
+	e.SetCheckpointDir(dir, nil)
+	if _, err := e.Ingest(context.Background(), ingestBatch(t, 8500, 3)); err != nil {
+		t.Fatal(err)
+	}
+	e.WaitMerges()
+	m, err := segio.ReadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.ConnFile != "" {
+		t.Fatalf("checkpoint inherited foreign conn file %q", m.ConnFile)
+	}
+	// Same-options inheritance still works (covered structurally by
+	// TestCheckpointSurvivesCrash; assert the meta comparison here).
+	if !compatibleEngineMeta(e.engineMeta(), m.Engine) {
+		t.Fatal("checkpoint manifest does not carry this engine's options")
+	}
+}
+
+// TestFailedOpenLeavesNoConnEntries: a conn-memo file that passes its
+// CRC but fails structural validation partway through must not leave
+// any streamed entries behind in the engine-wide memo — the engine
+// stays reusable after a failed open, and a later successful open
+// must not silently serve values from the rejected file.
+func TestFailedOpenLeavesNoConnEntries(t *testing.T) {
+	g, _, c, _ := world(t)
+	dir := t.TempDir()
+	e := NewEngine(g, persistTestOptions())
+	e.IndexCorpus(c)
+	if err := e.SaveSnapshot(dir, nil); err != nil {
+		t.Fatal(err)
+	}
+	m, err := segio.ReadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.ConnFile == "" {
+		t.Fatal("full save wrote no conn file")
+	}
+	// Unsorted keys: the header and CRC are valid, so entries stream to
+	// the callback before the violation is detected. (The manifest does
+	// not pin the conn file's CRC, so the overwrite reaches the decoder.)
+	bad := segio.EncodeConn([]uint64{9, 3}, []float64{1, 2})
+	if err := os.WriteFile(filepath.Join(dir, m.ConnFile), bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	victim := NewEngine(g, persistTestOptions())
+	if err := victim.OpenSnapshot(dir, nil); !errors.Is(err, segio.ErrCorrupt) {
+		t.Fatalf("open with corrupt conn file: %v", err)
+	}
+	if victim.state() != nil {
+		t.Fatal("corrupt open installed state")
+	}
+	if n := victim.connMemo.Len(); n != 0 {
+		t.Fatalf("failed open leaked %d conn-memo entries", n)
+	}
+}

@@ -1,0 +1,300 @@
+// Manifest handling: the MANIFEST file is the single source of truth
+// for a snapshot directory. Segment and conn-memo files are immutable
+// and content-named; the manifest says which of them constitute the
+// current snapshot. It is always written via temp-file + fsync +
+// atomic rename, so at every instant the directory holds either the
+// previous complete manifest or the new complete manifest — a crash
+// mid-save never corrupts an existing store, it only leaves unreferenced
+// files for the next save to collect.
+package segio
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"ncexplorer/internal/snapshot"
+)
+
+const (
+	// ManifestName is the manifest's filename inside a snapshot dir.
+	ManifestName = "MANIFEST"
+	// manifestMagic guards against pointing the loader at arbitrary JSON.
+	manifestMagic = "ncexplorer-snapshot"
+	// manifestVersion versions the manifest schema independently of the
+	// binary segment format.
+	manifestVersion = 1
+
+	// SegmentExt / ConnExt are the extensions of the two immutable file
+	// kinds a manifest references.
+	SegmentExt = ".ncseg"
+	ConnExt    = ".nccm"
+)
+
+// SegmentRef locates one segment file and pins its identity: global
+// base ID, document count, and the CRC32 of the whole encoded file.
+type SegmentRef struct {
+	File string `json:"file"`
+	Base int32  `json:"base"`
+	Docs int    `json:"docs"`
+	CRC  uint32 `json:"crc"`
+}
+
+// EngineMeta records the engine parameters that determine index
+// content. An engine opening the snapshot must run with exactly these
+// values or its recomputed scores would diverge from the saved corpus.
+type EngineMeta struct {
+	Tau               int     `json:"tau"`
+	Beta              float64 `json:"beta"`
+	Samples           int     `json:"samples"`
+	Seed              uint64  `json:"seed"`
+	MaxConceptsPerDoc int     `json:"max_concepts_per_doc"`
+	AncestorLevels    int     `json:"ancestor_levels"`
+	Exact             bool    `json:"exact"`
+	MaxSegments       int     `json:"max_segments"`
+}
+
+// SourceStatsMeta persists one source's build-time linking statistics.
+type SourceStatsMeta struct {
+	Articles       int `json:"articles"`
+	TotalMentions  int `json:"total_mentions"`
+	LinkedMentions int `json:"linked_mentions"`
+}
+
+// StatsMeta persists the initial-build IndexStats so a warm-started
+// process reports the same /statsz numbers as the process that saved.
+type StatsMeta struct {
+	Docs       int                        `json:"docs"`
+	LinkNanos  int64                      `json:"link_nanos"`
+	ScoreNanos int64                      `json:"score_nanos"`
+	PerSource  map[string]SourceStatsMeta `json:"per_source,omitempty"`
+}
+
+// Manifest describes one complete snapshot: the ordered segment files,
+// the optional conn-memo cache file, the generation stamp, and the
+// engine/world parameters needed to reopen it.
+type Manifest struct {
+	Magic         string `json:"magic"`
+	FormatVersion int    `json:"format_version"`
+	// Generation is the snapshot generation at save time; an engine
+	// opening the store resumes at this generation.
+	Generation uint64       `json:"generation"`
+	NumDocs    int          `json:"num_docs"`
+	Segments   []SegmentRef `json:"segments"`
+	// ConnFile names the connectivity-memo cache file, when one was
+	// saved. Its entries are content-addressed and never go stale, so a
+	// checkpoint may keep referencing a conn file written by an earlier
+	// full save.
+	ConnFile    string     `json:"conn_file,omitempty"`
+	ConnEntries int        `json:"conn_entries,omitempty"`
+	Engine      EngineMeta `json:"engine"`
+	// World carries facade-level reconstruction hints (e.g. the
+	// synthetic-world scale) the core engine does not interpret.
+	World map[string]string `json:"world,omitempty"`
+	Stats StatsMeta         `json:"stats"`
+}
+
+// ReadManifest loads and validates the manifest of a snapshot
+// directory. A missing manifest yields ErrNoSnapshot; a malformed one
+// ErrCorrupt; a future schema ErrVersionMismatch.
+func ReadManifest(dir string) (*Manifest, error) {
+	data, err := os.ReadFile(filepath.Join(dir, ManifestName))
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, fmt.Errorf("%w: %s", ErrNoSnapshot, dir)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("%w: reading manifest: %v", ErrCorrupt, err)
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("%w: manifest is not valid JSON: %v", ErrCorrupt, err)
+	}
+	if m.Magic != manifestMagic {
+		return nil, fmt.Errorf("%w: manifest magic %q", ErrCorrupt, m.Magic)
+	}
+	if m.FormatVersion != manifestVersion {
+		return nil, fmt.Errorf("%w: manifest format version %d (this build reads %d)",
+			ErrVersionMismatch, m.FormatVersion, manifestVersion)
+	}
+	if err := m.validate(); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// validate checks the manifest's internal consistency: segments must
+// tile [0, NumDocs) contiguously and reference plausible files.
+func (m *Manifest) validate() error {
+	if len(m.Segments) == 0 {
+		return fmt.Errorf("%w: manifest lists no segments", ErrCorrupt)
+	}
+	next := int32(0)
+	for i, ref := range m.Segments {
+		if ref.File == "" || ref.File != filepath.Base(ref.File) || ref.Docs <= 0 {
+			return fmt.Errorf("%w: manifest segment %d: bad file reference", ErrCorrupt, i)
+		}
+		if ref.Base != next {
+			return fmt.Errorf("%w: manifest segment %d: base %d not contiguous (want %d)",
+				ErrCorrupt, i, ref.Base, next)
+		}
+		next += int32(ref.Docs)
+	}
+	if int(next) != m.NumDocs {
+		return fmt.Errorf("%w: manifest num_docs %d disagrees with segment sum %d",
+			ErrCorrupt, m.NumDocs, next)
+	}
+	if m.ConnFile != "" && m.ConnFile != filepath.Base(m.ConnFile) {
+		return fmt.Errorf("%w: manifest conn file reference escapes directory", ErrCorrupt)
+	}
+	return nil
+}
+
+// WriteManifest atomically replaces dir's manifest: marshal to a temp
+// file, fsync, rename over ManifestName, fsync the directory. A crash
+// at any point leaves either the old or the new manifest in place.
+func WriteManifest(dir string, m *Manifest) error {
+	m.Magic = manifestMagic
+	m.FormatVersion = manifestVersion
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	return writeAtomic(dir, ManifestName, append(data, '\n'))
+}
+
+// ReadSegmentFile reads, CRC-verifies, and decodes one referenced
+// segment file, returning the segment and its on-disk size. The
+// whole-file CRC pinned in the manifest catches a swapped or regressed
+// file even when the file itself is internally consistent.
+func ReadSegmentFile(dir string, ref SegmentRef) (*snapshot.Segment, int, error) {
+	path := filepath.Join(dir, ref.File)
+	data, err := os.ReadFile(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, 0, fmt.Errorf("%w: manifest references missing segment file %s: %v", ErrCorrupt, ref.File, err)
+	}
+	if err != nil {
+		return nil, 0, fmt.Errorf("%w: reading segment file %s: %v", ErrCorrupt, ref.File, err)
+	}
+	if sum := crc32.ChecksumIEEE(data); sum != ref.CRC {
+		return nil, 0, fmt.Errorf("%w: segment file %s: file CRC %08x does not match manifest %08x",
+			ErrCorrupt, ref.File, sum, ref.CRC)
+	}
+	s, err := DecodeSegment(data)
+	if err != nil {
+		return nil, 0, fmt.Errorf("segment file %s: %w", ref.File, err)
+	}
+	if int(s.Base) != int(ref.Base) || s.Len() != ref.Docs {
+		return nil, 0, fmt.Errorf("%w: segment file %s: base/docs (%d, %d) disagree with manifest (%d, %d)",
+			ErrCorrupt, ref.File, s.Base, s.Len(), ref.Base, ref.Docs)
+	}
+	return s, len(data), nil
+}
+
+// ReadConnFile reads a manifest-referenced conn-memo file's bytes
+// (decode with DecodeConn). A missing or unreadable file is corruption:
+// the manifest promised it.
+func ReadConnFile(dir, name string) ([]byte, error) {
+	data, err := os.ReadFile(filepath.Join(dir, name))
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, fmt.Errorf("%w: manifest references missing conn-memo file %s: %v", ErrCorrupt, name, err)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("%w: reading conn-memo file %s: %v", ErrCorrupt, name, err)
+	}
+	return data, nil
+}
+
+// SegmentFileName derives the canonical content-addressed name for an
+// encoded segment: base, length, and whole-file CRC. Equal content
+// yields equal names, which is what lets a save skip files that are
+// already on disk.
+func SegmentFileName(base int32, docs int, crc uint32) string {
+	return fmt.Sprintf("seg-%010d-%07d-%08x%s", base, docs, crc, SegmentExt)
+}
+
+// WriteFileAtomic durably writes an immutable artifact (segment or
+// conn-memo file) under dir/name via temp + fsync + rename. If the
+// target already exists it is atomically replaced with identical
+// content (names are content-addressed), so concurrent or repeated
+// saves converge.
+func WriteFileAtomic(dir, name string, data []byte) error {
+	return writeAtomic(dir, name, data)
+}
+
+func writeAtomic(dir, name string, data []byte) error {
+	f, err := os.CreateTemp(dir, name+".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	_, werr := f.Write(data)
+	if serr := f.Sync(); werr == nil {
+		werr = serr
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		os.Remove(tmp)
+		return werr
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, name)); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs the directory so the rename itself is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	// Some filesystems reject fsync on directories; the rename is still
+	// atomic there, just not yet durable — acceptable on such systems.
+	if err := d.Sync(); err != nil && !errors.Is(err, fs.ErrInvalid) {
+		return err
+	}
+	return nil
+}
+
+// CollectGarbage removes segment/conn files in dir that the manifest
+// does not reference — leftovers of interrupted or superseded saves.
+// Call it only after the new manifest is durably in place. Unremovable
+// files are skipped (they stay garbage; the next save retries).
+func CollectGarbage(dir string, m *Manifest) (removed []string) {
+	keep := map[string]bool{ManifestName: true}
+	for _, ref := range m.Segments {
+		keep[ref.File] = true
+	}
+	if m.ConnFile != "" {
+		keep[m.ConnFile] = true
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil
+	}
+	for _, ent := range entries {
+		name := ent.Name()
+		if ent.IsDir() || keep[name] {
+			continue
+		}
+		if !strings.HasSuffix(name, SegmentExt) && !strings.HasSuffix(name, ConnExt) &&
+			!strings.Contains(name, ".tmp-") {
+			continue
+		}
+		if os.Remove(filepath.Join(dir, name)) == nil {
+			removed = append(removed, name)
+		}
+	}
+	sort.Strings(removed)
+	return removed
+}

@@ -191,6 +191,21 @@ func (m *Map[K, V]) Len() int {
 	return n
 }
 
+// Range calls fn for every stored entry, one shard at a time under
+// that shard's lock (fn must not call back into the map). Iteration
+// order is unspecified; entries stored concurrently may or may not be
+// observed. Serializers use it to dump a memo's contents.
+func (m *Map[K, V]) Range(fn func(k K, v V)) {
+	for i := range m.shards {
+		s := &m.shards[i]
+		s.mu.Lock()
+		for k, v := range s.items {
+			fn(k, v)
+		}
+		s.mu.Unlock()
+	}
+}
+
 // Reset drops every stored value. Effectiveness counters are retained
 // (they describe lifetime behaviour, not contents). Computes in flight
 // at reset time complete normally and store into the emptied map —

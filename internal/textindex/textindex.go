@@ -207,6 +207,41 @@ func (ix *Index) Postings(term string) []Posting {
 	return ix.postings[term]
 }
 
+// Terms returns every indexed term in sorted order — the deterministic
+// iteration order serializers need (map iteration would differ run to
+// run).
+func (ix *Index) Terms() []string {
+	terms := make([]string, 0, len(ix.postings))
+	for term := range ix.postings {
+		terms = append(terms, term)
+	}
+	sort.Strings(terms)
+	return terms
+}
+
+// Restore reconstructs a frozen index directly from its serialized
+// parts: n documents (dense local IDs 0..n−1) and per-term posting
+// lists already sorted by document ID. Document lengths are derived by
+// summing term frequencies, exactly what Add would have accumulated,
+// so a restored index answers every read identically to the index that
+// was serialized. The posting slices are retained, not copied.
+func Restore(n int, terms []string, postings [][]Posting) *Index {
+	ix := &Index{
+		postings: make(map[string][]Posting, len(terms)),
+		docLen:   make(map[int32]int, n),
+		n:        n,
+		frozen:   true,
+	}
+	for i, term := range terms {
+		ix.postings[term] = postings[i]
+		for _, p := range postings[i] {
+			ix.docLen[p.Doc] += int(p.TF)
+			ix.totalLen += int64(p.TF)
+		}
+	}
+	return ix
+}
+
 // TotalLen returns the summed token length of all documents.
 func (ix *Index) TotalLen() int64 { return ix.totalLen }
 

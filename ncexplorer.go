@@ -125,6 +125,18 @@ type IngestCounters struct {
 	Merges  int64 `json:"merges"`
 }
 
+// PersistCounters reports durable-snapshot activity (see Stats.Persist).
+type PersistCounters struct {
+	Saves            int64 `json:"saves"`
+	Opens            int64 `json:"opens"`
+	Checkpoints      int64 `json:"checkpoints"`
+	SegmentsWritten  int64 `json:"segments_written"`
+	SegmentsReused   int64 `json:"segments_reused"`
+	BytesWritten     int64 `json:"bytes_written"`
+	BytesRead        int64 `json:"bytes_read"`
+	CheckpointErrors int64 `json:"checkpoint_errors"`
+}
+
 // Stats summarises an Explorer's indexed world: corpus size, graph
 // dimensions, and the indexing cost split the engine measured. It is
 // the payload behind a server's /statsz endpoint.
@@ -148,6 +160,12 @@ type Stats struct {
 	Segments []int `json:"segments"`
 	// Ingest reports live-ingestion throughput counters.
 	Ingest IngestCounters `json:"ingest"`
+	// Persist reports durable-snapshot activity: saves, warm opens,
+	// per-ingest checkpoints, segment files written vs reused, bytes
+	// moved, and checkpoint failures (which never fail the triggering
+	// ingest — they mean the data directory lags until the next
+	// checkpoint succeeds).
+	Persist PersistCounters `json:"persist"`
 	// EngineCache is a live snapshot of the engine's query-path memo
 	// caches, refreshed on every Stats call.
 	EngineCache EngineCacheStats `json:"engine_cache"`
@@ -160,9 +178,32 @@ type Explorer struct {
 	meta   *kggen.Meta
 	engine *core.Engine
 	ccfg   corpus.Config
+	// scale names the synthetic-world scale the Explorer was built at;
+	// persisted in snapshot manifests so Open can rebuild the graph.
+	scale string
 
 	statsOnce sync.Once
 	stats     Stats
+}
+
+// worldConfigs maps a scale name to the generator configurations New
+// and Open share, with the seed derivations applied. The scale string
+// is returned normalized ("" → "default").
+func worldConfigs(scale string, seed uint64) (string, kggen.Config, corpus.Config, error) {
+	var kcfg kggen.Config
+	var ccfg corpus.Config
+	switch scale {
+	case "", "default":
+		scale = "default"
+		kcfg, ccfg = kggen.Default(), corpus.Default()
+	case "tiny":
+		kcfg, ccfg = kggen.Tiny(), corpus.Tiny()
+	default:
+		return "", kcfg, ccfg, fmt.Errorf("ncexplorer: unknown scale %q (want \"tiny\" or \"default\")", scale)
+	}
+	kcfg.Seed = seed
+	ccfg.Seed = (seed ^ 0xC0) + 7
+	return scale, kcfg, ccfg, nil
 }
 
 // New builds a synthetic world and indexes it. Expect a few seconds at
@@ -171,18 +212,10 @@ func New(cfg Config) (*Explorer, error) {
 	if cfg.Seed == 0 {
 		cfg.Seed = 42
 	}
-	var kcfg kggen.Config
-	var ccfg corpus.Config
-	switch cfg.Scale {
-	case "", "default":
-		kcfg, ccfg = kggen.Default(), corpus.Default()
-	case "tiny":
-		kcfg, ccfg = kggen.Tiny(), corpus.Tiny()
-	default:
-		return nil, fmt.Errorf("ncexplorer: unknown scale %q (want \"tiny\" or \"default\")", cfg.Scale)
+	scale, kcfg, ccfg, err := worldConfigs(cfg.Scale, cfg.Seed)
+	if err != nil {
+		return nil, err
 	}
-	kcfg.Seed = cfg.Seed
-	ccfg.Seed = (cfg.Seed ^ 0xC0) + 7
 
 	g, meta, err := kggen.Generate(kcfg)
 	if err != nil {
@@ -200,7 +233,7 @@ func New(cfg Config) (*Explorer, error) {
 		MaxSegments: cfg.MaxSegments,
 	})
 	engine.IndexCorpus(c)
-	return &Explorer{g: g, meta: meta, engine: engine, ccfg: ccfg}, nil
+	return &Explorer{g: g, meta: meta, engine: engine, ccfg: ccfg, scale: scale}, nil
 }
 
 // NumArticles returns the current corpus size (seed world plus every
@@ -244,6 +277,7 @@ func (x *Explorer) Stats() Stats {
 	st.Generation = x.engine.Generation()
 	st.Segments = x.engine.SegmentSizes()
 	st.Ingest = IngestCounters(x.engine.IngestCounters())
+	st.Persist = PersistCounters(x.engine.PersistCounters())
 	cs := x.engine.CacheStats()
 	st.EngineCache = EngineCacheStats{
 		CDR:   CacheCounters(cs.CDR),

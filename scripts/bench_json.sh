@@ -1,6 +1,7 @@
 #!/bin/sh
 # bench_json.sh — run the roll-up/drill-down parallel benchmarks
-# (warm + cold) plus the ingest throughput benchmark and write a
+# (warm + cold), the ingest throughput benchmark, and the snapshot
+# open benchmark (warm restart vs from-scratch build), and write a
 # machine-readable JSON snapshot, so the perf trajectory accumulates
 # one file per PR. Optionally compare the warm roll-up path against a
 # baseline snapshot and fail on regression (the CI perf gate).
@@ -8,10 +9,12 @@
 # Usage: scripts/bench_json.sh [output.json] [benchtime] [baseline.json]
 #
 # With a baseline, the run fails (exit 1) if warm RollUp ns/op
-# regresses by more than 25% versus the baseline's value.
+# regresses by more than 25% versus the baseline's value. The run also
+# fails if the warm snapshot open is not at least 5x faster than the
+# cold from-scratch build (the PR 5 durability acceptance bar).
 set -e
 
-out="${1:-BENCH_pr4.json}"
+out="${1:-BENCH_pr5.json}"
 benchtime="${2:-20x}"
 baseline="${3:-}"
 tmp="$(mktemp)"
@@ -21,6 +24,11 @@ trap 'rm -f "$tmp" "$tmp.body"' EXIT
 # sh has no pipefail), letting a half-failed run emit truncated JSON.
 go test -run '^$' -bench 'Benchmark((RollUp|DrillDown)Parallel|Ingest)$' \
     -benchtime "$benchtime" ./internal/core > "$tmp"
+# Warm-restart benchmark lives at the facade level (it exercises
+# Save/Open end to end). Appended to the same log; the awk below
+# parses every Benchmark line it finds.
+go test -run '^$' -bench 'BenchmarkOpenSnapshot' \
+    -benchtime "$benchtime" . >> "$tmp"
 cat "$tmp"
 
 awk -v benchtime="$benchtime" '
@@ -56,6 +64,28 @@ awk -v benchtime="$benchtime" '
 } > "$out"
 echo "wrote $out"
 
+extract_nsop() {
+  # pull ns_per_op of one benchmark name out of a snapshot
+  tr ',' '\n' < "$2" \
+    | sed -n 's/.*'"$1"'.*"ns_per_op": *\([0-9][0-9]*\).*/\1/p' \
+    | head -1
+}
+
+# Durability gate: the whole point of persistence is that a restart is
+# much cheaper than a rebuild. Enforce the PR 5 acceptance bar of 5x.
+open_warm="$(extract_nsop 'BenchmarkOpenSnapshot\/warm' "$out")"
+open_cold="$(extract_nsop 'BenchmarkOpenSnapshot\/cold' "$out")"
+if [ -z "$open_warm" ] || [ -z "$open_cold" ]; then
+  echo "could not extract OpenSnapshot timings (warm=$open_warm, cold=$open_cold)" >&2
+  exit 1
+fi
+speedup=$((open_cold / open_warm))
+echo "open gate: warm $open_warm ns/op vs cold $open_cold ns/op (${speedup}x)"
+if [ $((open_warm * 5)) -gt "$open_cold" ]; then
+  echo "FAIL: warm snapshot open is not 5x faster than a cold build" >&2
+  exit 1
+fi
+
 # Perf gate: warm RollUp must stay within 25% of the baseline. The
 # warm path is the steady-state serving cost (memo + collector only),
 # so it is the number the segmented-index refactor must not tax.
@@ -65,10 +95,7 @@ if [ -n "$baseline" ]; then
     exit 1
   fi
   extract_warm() {
-    # pull ns_per_op of BenchmarkRollUpParallel/warm out of a snapshot
-    tr ',' '\n' < "$1" \
-      | sed -n 's/.*BenchmarkRollUpParallel\/warm.*"ns_per_op": *\([0-9][0-9]*\).*/\1/p' \
-      | head -1
+    extract_nsop 'BenchmarkRollUpParallel\/warm' "$1"
   }
   base_warm="$(extract_warm "$baseline")"
   new_warm="$(extract_warm "$out")"

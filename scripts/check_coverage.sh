@@ -1,0 +1,44 @@
+#!/bin/sh
+# check_coverage.sh — run the persistence-critical packages with
+# -coverprofile and enforce the checked-in per-package floors in
+# scripts/coverage_floors.txt (lines: <import-path> <min-percent>).
+# The merged profile is written for upload as a CI artifact.
+#
+# Usage: scripts/check_coverage.sh [coverage.out]
+set -e
+
+profile="${1:-coverage.out}"
+floors="$(dirname "$0")/coverage_floors.txt"
+
+pkgs="$(awk 'NF >= 2 && $1 !~ /^#/ {printf "%s ", $1}' "$floors")"
+if [ -z "$pkgs" ]; then
+  echo "no packages listed in $floors" >&2
+  exit 1
+fi
+
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+# shellcheck disable=SC2086 — the package list is intentionally split.
+go test -covermode=atomic -coverprofile="$profile" $pkgs > "$tmp"
+cat "$tmp"
+
+fail=0
+while read -r pkg floor; do
+  case "$pkg" in ""|\#*) continue ;; esac
+  pct="$(awk -v pkg="$pkg" '$1 == "ok" && $2 == pkg {
+    for (i = 1; i <= NF; i++) if ($i ~ /%$/) { gsub(/%/, "", $i); print $i }
+  }' "$tmp" | head -1)"
+  if [ -z "$pct" ]; then
+    echo "FAIL: no coverage reported for $pkg" >&2
+    fail=1
+    continue
+  fi
+  ok="$(awk -v p="$pct" -v f="$floor" 'BEGIN { print (p >= f) ? 1 : 0 }')"
+  if [ "$ok" = "1" ]; then
+    echo "coverage gate: $pkg ${pct}% >= ${floor}% floor"
+  else
+    echo "FAIL: $pkg coverage ${pct}% below the ${floor}% floor" >&2
+    fail=1
+  fi
+done < "$floors"
+exit "$fail"
