@@ -30,11 +30,17 @@
 //	history                   the session's breadcrumb trail
 //	topics                    the paper's six evaluation queries
 //	save <dir>                persist the index for a later -open
+//	watch <c1> ; <c2> ; …     register a standing query; alerts print live
+//	                          as matching articles are ingested
+//	watchlists                list registered watchlists
+//	unwatch <id>              remove a watchlist
+//	feed <n>                  ingest n sample articles (fires watch alerts)
 //	help / quit
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -53,6 +59,12 @@ type shell struct {
 	sessions *session.Store
 	id       string   // current session ID; "" = none
 	lastSubs []string // last drill suggestions, for "refine N"
+	// watchSubs holds the live alert subscriptions opened by `watch`,
+	// by watchlist ID, so `unwatch` can end the printer goroutine.
+	watchSubs map[string]*ncexplorer.WatchSubscription
+	// feedSeed varies each `feed` batch so repeated feeds draw
+	// different sample articles.
+	feedSeed uint64
 }
 
 func main() {
@@ -78,7 +90,12 @@ func main() {
 	fmt.Printf("ready in %.1fs — %d articles indexed (generation %d). Type 'help'.\n",
 		time.Since(start).Seconds(), x.NumArticles(), x.Generation())
 
-	sh := &shell{x: x, sessions: session.NewStore(session.Options{TTL: 24 * time.Hour})}
+	sh := &shell{
+		x:         x,
+		sessions:  session.NewStore(session.Options{TTL: 24 * time.Hour}),
+		watchSubs: make(map[string]*ncexplorer.WatchSubscription),
+		feedSeed:  *seed,
+	}
 	sc := bufio.NewScanner(os.Stdin)
 	fmt.Print(sh.prompt())
 	for sc.Scan() {
@@ -145,6 +162,10 @@ func (sh *shell) execute(line string) (quit bool) {
   history                 the session's breadcrumb trail
   topics                  the paper's six evaluation queries
   save <dir>              persist the index (reload with -open <dir>)
+  watch <c1> ; <c2>       register a standing query; alerts print live
+  watchlists              list registered watchlists
+  unwatch <id>            remove a watchlist
+  feed <n>                ingest n sample articles (fires watch alerts)
   quit`)
 	case "concepts":
 		list, err := sh.x.ConceptsForEntity(rest)
@@ -173,6 +194,14 @@ func (sh *shell) execute(line string) (quit bool) {
 		}
 		fmt.Printf("saved snapshot to %s in %.1fs (generation %d, %d articles); reopen with -open %s\n",
 			rest, time.Since(start).Seconds(), sh.x.Generation(), sh.x.NumArticles(), rest)
+	case "watch":
+		sh.watch(rest)
+	case "watchlists":
+		sh.watchlists()
+	case "unwatch":
+		sh.unwatch(rest)
+	case "feed":
+		sh.feed(rest)
 	case "refine":
 		sh.refine(rest)
 	case "back":
@@ -315,6 +344,101 @@ func (sh *shell) history() {
 		fmt.Printf("%2d. %-24s → %s\n", i+1, op, strings.Join(st.Concepts, " ; "))
 	}
 	fmt.Printf("    (%d step(s) undoable)\n", snap.Depth)
+}
+
+// watch registers a standing query on the given pattern and starts a
+// printer goroutine: every time `feed` (or any other ingest) commits a
+// matching article, the alert prints in place, with the same score and
+// evidence a rollup would report.
+func (sh *shell) watch(rest string) {
+	concepts := splitConcepts(rest)
+	if len(concepts) == 0 {
+		fmt.Println("usage: watch <concept> ; <concept> ; …")
+		return
+	}
+	wl, err := sh.x.RegisterWatchlist(ncexplorer.WatchlistSpec{Concepts: concepts})
+	if err != nil {
+		printError(err)
+		return
+	}
+	sub, err := sh.x.WatchSubscribe(wl.ID, 0)
+	if err != nil {
+		printError(err)
+		return
+	}
+	sh.watchSubs[wl.ID] = sub
+	go func() {
+		for a := range sub.C {
+			fmt.Printf("\n⚑ %s #%d gen %d: [%.3f] (%s) %s\n",
+				a.Watchlist, a.Seq, a.Generation, a.Article.Score, a.Article.Source, a.Article.Title)
+			for _, e := range a.Article.Explanations {
+				fmt.Printf("     %-28s cdr=%.3f via %s\n", e.Concept, e.CDR, e.Pivot)
+			}
+		}
+	}()
+	fmt.Printf("watchlist %s registered on %s (from generation %d); 'feed <n>' ingests sample articles\n",
+		wl.ID, strings.Join(wl.Concepts, " ; "), wl.CreatedGeneration)
+}
+
+func (sh *shell) watchlists() {
+	lists := sh.x.ListWatchlists()
+	if len(lists) == 0 {
+		fmt.Println("(none — 'watch <concept>' registers one)")
+		return
+	}
+	for _, wl := range lists {
+		fmt.Printf("  %s  %-40s alerts=%d from-gen=%d\n",
+			wl.ID, strings.Join(wl.Concepts, " ; "), wl.LastSeq, wl.CreatedGeneration)
+	}
+}
+
+func (sh *shell) unwatch(rest string) {
+	if rest == "" {
+		fmt.Println("usage: unwatch <id>  (IDs from 'watchlists')")
+		return
+	}
+	if err := sh.x.RemoveWatchlist(rest); err != nil {
+		printError(err)
+		return
+	}
+	// Removal closed the subscription channel; the printer goroutine has
+	// already exited.
+	delete(sh.watchSubs, rest)
+	fmt.Printf("watchlist %s removed\n", rest)
+}
+
+// feed ingests n synthesised sample articles — the in-shell stand-in
+// for a live news feed, and the way to see watch alerts fire.
+func (sh *shell) feed(rest string) {
+	n := 10
+	if rest != "" {
+		v, err := strconv.Atoi(rest)
+		if err != nil || v <= 0 {
+			fmt.Println("usage: feed [<n>] — a positive article count")
+			return
+		}
+		n = v
+	}
+	sh.feedSeed++
+	arts, err := sh.x.SampleArticles(sh.feedSeed, n)
+	if err != nil {
+		printError(err)
+		return
+	}
+	res, err := sh.x.Ingest(context.Background(), arts)
+	if err != nil {
+		printError(err)
+		return
+	}
+	fmt.Printf("ingested %d articles (generation %d, %d total)\n",
+		res.Accepted, res.Generation, res.TotalArticles)
+	// Let watch printers drain before the next prompt: alerts were
+	// published synchronously by the ingest, but their goroutines only
+	// print when scheduled — a piped session on one CPU would otherwise
+	// reach the next command (or exit) first and swallow them.
+	if len(sh.watchSubs) > 0 {
+		time.Sleep(20 * time.Millisecond)
+	}
 }
 
 func splitConcepts(s string) []string {

@@ -10,6 +10,8 @@
 //	                      [-max-batch 64] [-session-ttl 30m] [-max-sessions 1024]
 //	                      [-ingest] [-max-ingest-batch 1024] [-max-segments 4]
 //	                      [-watch DIR] [-watch-interval 2s] [-data-dir DIR]
+//	                      [-max-watchlists 64] [-alert-buffer 256]
+//	                      [-webhook-timeout 5s]
 //
 // Endpoints (see internal/server for payload shapes):
 //
@@ -19,7 +21,20 @@
 //	POST /v2/query/rollup       POST /v2/query/drilldown
 //	POST /v2/batch              POST /v2/ingest (with -ingest)
 //	/v2/sessions (+ /{id}/rollup|drilldown|back)
+//	/v2/watchlists (+ /{id}, /{id}/events SSE stream)
 //	GET  /healthz               GET /statsz
+//
+// Standing queries:
+//
+//	POST /v2/watchlists registers a concept pattern (with optional
+//	source/min-score filters and a webhook URL); every batch ingested
+//	afterwards — via /v2/ingest or -watch — is evaluated against it and
+//	matches are pushed as alerts: streamed on GET
+//	/v2/watchlists/{id}/events (SSE, resume with ?after=<last id>) and
+//	POSTed to the webhook with bounded retries. Watchlists and delivery
+//	cursors persist in -data-dir and survive restarts.
+//	-max-watchlists caps registrations, -alert-buffer sets the
+//	per-watchlist retention window, -webhook-timeout bounds each POST.
 //
 // Live ingestion:
 //
@@ -44,10 +59,15 @@
 //	next open fast). A failed final save logs, leaves the previous
 //	snapshot intact, and exits non-zero so supervisors notice.
 //
-// Shutdown: SIGINT/SIGTERM stops the listener, drains in-flight
-// requests (bounded by -shutdown-timeout), waits for the directory
-// watcher to finish any batch it started, lets background segment
-// merges quiesce, and then performs the final -data-dir save.
+// Shutdown: SIGINT/SIGTERM ends SSE streams, stops the listener,
+// drains in-flight requests (bounded by -shutdown-timeout), waits for
+// the directory watcher to finish any batch it started, stops the
+// webhook worker after its in-flight delivery, lets background segment
+// merges quiesce, and then performs the final -data-dir save. The
+// ordering matters: every committed batch's alerts are fired before
+// the final save runs, and an alert whose webhook delivery was cut off
+// keeps its un-acked cursor, so it is redelivered after restart rather
+// than dropped (at-least-once delivery).
 package main
 
 import (
@@ -85,6 +105,9 @@ func main() {
 	maxSegments := flag.Int("max-segments", 4, "index segment count above which background merges trigger")
 	watch := flag.String("watch", "", "directory to poll for *.json article batches to ingest")
 	watchInterval := flag.Duration("watch-interval", 2*time.Second, "poll interval for -watch")
+	maxWatchlists := flag.Int("max-watchlists", 64, "maximum registered watchlists (standing queries)")
+	alertBuffer := flag.Int("alert-buffer", 256, "per-watchlist alert retention window (SSE catch-up and webhook redelivery)")
+	webhookTimeout := flag.Duration("webhook-timeout", 5*time.Second, "per-attempt timeout for webhook alert deliveries")
 	shutdownTimeout := flag.Duration("shutdown-timeout", 5*time.Second, "drain deadline for graceful shutdown")
 	dataDir := flag.String("data-dir", "", "durable snapshot directory: warm-open on boot, checkpoint ingests, save on shutdown")
 	flag.Parse()
@@ -100,10 +123,13 @@ func main() {
 			openMaxSegments = *maxSegments
 		}
 	})
-	x, err := bootExplorer(*dataDir, *scale, *seed, *maxSegments, openMaxSegments)
+	x, err := bootExplorer(*dataDir, *scale, *seed, *maxSegments, openMaxSegments, *maxWatchlists, *alertBuffer)
 	if err != nil {
 		log.Fatal(err)
 	}
+	// The webhook worker starts before serving so un-acked deliveries
+	// from a previous run (loaded with the snapshot) resume immediately.
+	x.StartWebhooks(*webhookTimeout)
 	if *dataDir != "" {
 		// Persist every committed ingest so a crash (as opposed to a
 		// graceful shutdown) loses at most the batch in flight.
@@ -147,6 +173,10 @@ func main() {
 	go func() {
 		defer close(drained)
 		<-ctx.Done()
+		// SSE streams end first: Shutdown waits for handlers to return,
+		// and an open alert stream would otherwise hold the drain until
+		// its deadline.
+		s.StopStreams()
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
 		defer cancel()
 		shutdownErr = httpSrv.Shutdown(shutdownCtx)
@@ -162,9 +192,18 @@ func main() {
 	// ErrServerClosed arrives as soon as the listener stops; wait for
 	// Shutdown to finish draining in-flight requests (queries AND
 	// ingest batches), then for the watcher to finish the batch it may
-	// have started, then for background segment merges to settle.
+	// have started — only then is the set of committed batches (and the
+	// alerts they fired) final — then stop the webhook worker after its
+	// in-flight delivery, then let background segment merges settle.
+	// An alert cut off un-acked keeps its delivery cursor; the final
+	// save persists it and the next boot redelivers.
 	<-drained
 	watchWG.Wait()
+	drainCtx, cancelDrain := context.WithTimeout(context.Background(), *shutdownTimeout)
+	if err := x.DrainWebhooks(drainCtx); err != nil {
+		log.Printf("shutdown: webhook drain incomplete: %v", err)
+	}
+	cancelDrain()
 	x.Quiesce()
 	// The final save runs only after the watcher has drained and merges
 	// have settled, so the snapshot captures everything that was
@@ -191,10 +230,14 @@ func main() {
 // destroy the evidence. openMaxSegments is the merge-policy override
 // for a warm boot (0 keeps the snapshot's saved value); maxSegments
 // configures a cold build.
-func bootExplorer(dataDir, scale string, seed uint64, maxSegments, openMaxSegments int) (*ncexplorer.Explorer, error) {
+func bootExplorer(dataDir, scale string, seed uint64, maxSegments, openMaxSegments, maxWatchlists, alertBuffer int) (*ncexplorer.Explorer, error) {
 	start := time.Now()
 	if dataDir != "" {
-		x, err := ncexplorer.Open(dataDir, ncexplorer.OpenOptions{MaxSegments: openMaxSegments})
+		x, err := ncexplorer.Open(dataDir, ncexplorer.OpenOptions{
+			MaxSegments:   openMaxSegments,
+			MaxWatchlists: maxWatchlists,
+			AlertBuffer:   alertBuffer,
+		})
 		if err == nil {
 			log.Printf("warm start from %s in %.1fs — %d articles (generation %d); -scale/-seed taken from the snapshot",
 				dataDir, time.Since(start).Seconds(), x.NumArticles(), x.Generation())
@@ -205,7 +248,10 @@ func bootExplorer(dataDir, scale string, seed uint64, maxSegments, openMaxSegmen
 		}
 	}
 	log.Printf("building %s world (seed %d)...", scale, seed)
-	x, err := ncexplorer.New(ncexplorer.Config{Scale: scale, Seed: seed, MaxSegments: maxSegments})
+	x, err := ncexplorer.New(ncexplorer.Config{
+		Scale: scale, Seed: seed, MaxSegments: maxSegments,
+		MaxWatchlists: maxWatchlists, AlertBuffer: alertBuffer,
+	})
 	if err != nil {
 		return nil, err
 	}

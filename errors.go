@@ -48,6 +48,10 @@ const (
 	CodeVersionMismatch ErrorCode = "version_mismatch"
 	// CodeNoHistory marks a back/undo on a session at its root pattern.
 	CodeNoHistory ErrorCode = "no_history"
+	// CodeLimitExceeded marks a registration refused by a configured
+	// capacity bound (e.g. the watchlist limit). The HTTP layer maps it
+	// to 429.
+	CodeLimitExceeded ErrorCode = "limit_exceeded"
 	// CodeInternal marks a server-side failure.
 	CodeInternal ErrorCode = "internal"
 )

@@ -1,0 +1,181 @@
+package core
+
+import (
+	"sort"
+
+	"ncexplorer/internal/corpus"
+	"ncexplorer/internal/kg"
+)
+
+// Standing-query support: the ingest-time evaluation hook.
+//
+// Every Ingest appends one immutable segment and swaps in the next
+// snapshot generation. Immediately after the swap — still under the
+// ingest lock, before the checkpoint persists the batch — the engine
+// invokes the registered hook with a DeltaView scoped to the documents
+// the batch added. The hook is where the watch subsystem evaluates its
+// watchlists against just the delta.
+//
+// Why delta-only evaluation is exact (the correctness argument the
+// watch subsystem relies on): Definition-1 matching is a property of
+// the document alone — a document matches concept c iff it contains an
+// entity in c's extent closure, and both the document's entity list
+// and the graph are immutable. So the matched set of a query at
+// generation N differs from generation N−1 by exactly the new
+// segment's matching documents; no old document can enter or leave it.
+// Scores are a different matter: rel(Q, d) reads corpus-global term
+// statistics and drifts for every document as the corpus grows, which
+// is why the hook scores delta documents at the generation they arrive
+// and the watch layer defines its score filter over that value.
+//
+// Merges never invoke the hook: they keep the generation and change no
+// content, so there is no delta to evaluate.
+
+// DeltaView is the evaluation surface handed to the ingest hook: a
+// window over the trailing delta of the just-published generation,
+// with matching and scoring pinned to that generation's state. It is
+// only valid during the hook call (or WithRecentView callback) that
+// provided it; holding it longer would pin a dead generation.
+type DeltaView struct {
+	st   *genState
+	base int32
+	n    int
+}
+
+// Generation returns the snapshot generation the view is pinned to.
+func (v *DeltaView) Generation() uint64 { return v.st.snap.Generation }
+
+// NumDocs returns the total corpus size at this generation.
+func (v *DeltaView) NumDocs() int { return v.st.snap.NumDocs() }
+
+// DeltaBase returns the global ID of the first delta document.
+func (v *DeltaView) DeltaBase() int32 { return v.base }
+
+// DeltaDocs returns the number of documents in the delta.
+func (v *DeltaView) DeltaDocs() int { return v.n }
+
+// Source returns the source of a document.
+func (v *DeltaView) Source(doc int32) corpus.Source {
+	return v.st.snap.Doc(doc).Source
+}
+
+// Article returns the immutable display document of a global ID.
+func (v *DeltaView) Article(doc int32) *corpus.Document {
+	return v.st.snap.Article(doc)
+}
+
+// MatchedInDelta returns the delta documents matching every concept of
+// q (Definition 1), ascending. The work is proportional to the delta —
+// per concept, one extent-closure walk (graph-sized, memoised
+// engine-wide) plus the postings of the segments overlapping the delta
+// range — never to the whole corpus, which is what keeps standing-query
+// evaluation cost flat as the corpus grows.
+func (v *DeltaView) MatchedInDelta(q Query) []int32 {
+	if len(q) == 0 || v.n == 0 {
+		return nil
+	}
+	st := v.st
+	s := st.getScorer()
+	defer st.putScorer(s)
+	lists := make([][]int32, len(q))
+	for i, c := range q {
+		ext, _ := s.Extent(c)
+		seen := make(map[int32]struct{})
+		var docs []int32
+		for _, ent := range ext {
+			v.deltaEntityDocs(ent, func(list []int32) {
+				for _, d := range list {
+					if _, ok := seen[d]; !ok {
+						seen[d] = struct{}{}
+						docs = append(docs, d)
+					}
+				}
+			})
+		}
+		if len(docs) == 0 {
+			return nil
+		}
+		sort.Slice(docs, func(a, b int) bool { return docs[a] < docs[b] })
+		lists[i] = docs
+	}
+	sort.Slice(lists, func(i, j int) bool { return len(lists[i]) < len(lists[j]) })
+	out := lists[0]
+	for _, l := range lists[1:] {
+		out = intersectSorted(out, l)
+		if len(out) == 0 {
+			return nil
+		}
+	}
+	return out
+}
+
+// deltaEntityDocs streams entity ent's posting lists restricted to the
+// delta range, skipping segments that end before it. At hook time the
+// delta is exactly the newly appended segment, so only that segment is
+// touched; the in-segment filter handles views that straddle a segment
+// boundary (a full-corpus view, or a delta re-read after a merge).
+func (v *DeltaView) deltaEntityDocs(ent kg.NodeID, fn func(docs []int32)) {
+	segs := v.st.snap.Segments
+	for i := len(segs) - 1; i >= 0; i-- {
+		seg := segs[i]
+		if seg.Base+int32(seg.Len()) <= v.base {
+			break
+		}
+		list := seg.EntDocs[ent]
+		if len(list) == 0 {
+			continue
+		}
+		// Posting lists are ascending: binary-search the first delta doc.
+		lo := sort.Search(len(list), func(j int) bool { return list[j] >= v.base })
+		if lo < len(list) {
+			fn(list[lo:])
+		}
+	}
+}
+
+// Score computes rel(q, d) = Σ cdr(c, d) at this generation, with the
+// per-concept explanation — the same memoised path RollUp uses, so a
+// standing query and a from-scratch query over the same generation
+// report byte-identical scores and evidence.
+func (v *DeltaView) Score(q Query, doc int32) (float64, []ConceptContribution) {
+	rel := 0.0
+	contribs := make([]ConceptContribution, 0, len(q))
+	for _, c := range q {
+		ent := v.st.cdr(c, doc)
+		rel += ent.cdr
+		contribs = append(contribs, ConceptContribution{Concept: c, CDR: ent.cdr, Pivot: ent.pivot})
+	}
+	return rel, contribs
+}
+
+// SetIngestHook registers fn to run after every successful Ingest swap,
+// before the batch's checkpoint, with a DeltaView over the documents
+// the batch added. The hook runs under the ingest lock: evaluations are
+// serialised in generation order, and the checkpoint that follows
+// persists whatever state the hook committed. Pass nil to clear.
+func (e *Engine) SetIngestHook(fn func(*DeltaView)) {
+	e.ingestMu.Lock()
+	defer e.ingestMu.Unlock()
+	e.ingestHook = fn
+}
+
+// WithRecentView runs fn under the ingest lock with a DeltaView over
+// the most recent n documents (the whole corpus when n < 0 or exceeds
+// it; an empty delta when n == 0). Because the ingest hook runs under
+// the same lock, fn cannot interleave with a delta evaluation — the
+// watch subsystem uses that to pin "watch from generation G"
+// registration atomically against concurrent ingests. A no-op before
+// IndexCorpus.
+func (e *Engine) WithRecentView(n int, fn func(*DeltaView)) {
+	e.ingestMu.Lock()
+	defer e.ingestMu.Unlock()
+	st := e.state()
+	if st == nil {
+		return
+	}
+	total := st.snap.NumDocs()
+	if n < 0 || n > total {
+		n = total
+	}
+	fn(&DeltaView{st: st, base: int32(total - n), n: n})
+}

@@ -220,6 +220,11 @@ type Engine struct {
 	stats IndexStats
 	ing   ingestCounters
 
+	// ingestHook, when set, runs after every successful Ingest swap with
+	// a DeltaView over the batch's documents (see delta.go). Guarded by
+	// ingestMu like every other write-side field.
+	ingestHook func(*DeltaView)
+
 	// persist tracks durable-snapshot state: counters, the optional
 	// checkpoint directory, and the segment→file name cache (see
 	// persist.go). Mutable fields are guarded by ingestMu.

@@ -132,6 +132,13 @@ func (e *Engine) Ingest(ctx context.Context, articles []corpus.Document) (Ingest
 	e.ing.batches.Add(1)
 	e.ing.docs.Add(int64(len(arts)))
 	e.ing.nanos.Add(time.Since(start).Nanoseconds())
+	// Standing queries evaluate the committed delta before the
+	// checkpoint, so the checkpoint below persists the alerts this batch
+	// fired along with the batch itself — a restart never replays a
+	// batch without its alerts or vice versa.
+	if e.ingestHook != nil {
+		e.ingestHook(&DeltaView{st: st, base: seg.Base, n: len(arts)})
+	}
 	// With a checkpoint directory configured, persist the committed
 	// batch before returning: the only segment encoded and written is
 	// the new one (earlier segments are already on disk under their

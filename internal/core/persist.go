@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"hash/fnv"
 	"os"
 	"path/filepath"
 	"sort"
@@ -94,6 +95,10 @@ type persistState struct {
 	connFile    string
 	connEntries int
 	connChecked bool
+	// watchEnc, when set, renders the standing-query state (watchlists,
+	// alert rings, delivery cursors) for manifest participation. It
+	// returns nil when there is nothing to persist.
+	watchEnc func() []byte
 }
 
 // PersistCounters returns the engine's persistence counters.
@@ -258,11 +263,57 @@ func (e *Engine) writeStoreLocked(dir string, st *genState, writeConn bool) erro
 			m.ConnFile, m.ConnEntries = e.persist.connFile, e.persist.connEntries
 		}
 	}
+	// Standing-query state participates in the same atomic manifest
+	// swap: the content-named file is written first, the manifest points
+	// at it, and stale generations are garbage-collected after the swap.
+	// Unlike segments the state is mutable, but each version is written
+	// under its content hash, so an unchanged registry rewrites nothing
+	// and a crash mid-save leaves the previous manifest's file intact.
+	if e.persist.watchEnc != nil {
+		if data := e.persist.watchEnc(); len(data) > 0 {
+			// Content-address with FNV-1a, not CRC32: the payload ends with
+			// its own CRC32 trailer, and the CRC of data-plus-trailer is the
+			// fixed CRC-32 residue — every version would share one name and
+			// the fileExists fast path would silently never persist updates.
+			h := fnv.New32a()
+			h.Write(data)
+			name := fmt.Sprintf("watch-%08x%s", h.Sum32(), segio.WatchExt)
+			if !fileExists(dir, name) {
+				if err := writeSegioFile(dir, name, data); err != nil {
+					return fmt.Errorf("core: writing watch state: %w", err)
+				}
+				e.persist.bytesWritten.Add(int64(len(data)))
+			}
+			m.WatchFile = name
+		}
+	}
 	if err := writeSegioManifest(dir, m); err != nil {
 		return fmt.Errorf("core: writing manifest: %w", err)
 	}
 	segio.CollectGarbage(dir, m)
 	return nil
+}
+
+// SetWatchEncoder registers the standing-query state encoder consulted
+// by every save and checkpoint. Pass nil to clear.
+func (e *Engine) SetWatchEncoder(fn func() []byte) {
+	e.ingestMu.Lock()
+	defer e.ingestMu.Unlock()
+	e.persist.watchEnc = fn
+}
+
+// Checkpoint persists the current snapshot (and standing-query state)
+// to the configured checkpoint directory immediately, outside the
+// ingest path — watchlist registration and removal use it so a
+// restart between ingests does not forget them. A no-op without a
+// checkpoint directory or before IndexCorpus; failures are counted in
+// CheckpointErrors exactly like per-ingest checkpoint failures.
+func (e *Engine) Checkpoint() {
+	e.ingestMu.Lock()
+	defer e.ingestMu.Unlock()
+	if st := e.state(); st != nil {
+		e.checkpointLocked(st)
+	}
 }
 
 // encodeConnMemo dumps the engine-wide connectivity memo in canonical

@@ -31,10 +31,11 @@ const (
 	// binary segment format.
 	manifestVersion = 1
 
-	// SegmentExt / ConnExt are the extensions of the two immutable file
-	// kinds a manifest references.
+	// SegmentExt / ConnExt / WatchExt are the extensions of the three
+	// immutable file kinds a manifest references.
 	SegmentExt = ".ncseg"
 	ConnExt    = ".nccm"
+	WatchExt   = ".ncwl"
 )
 
 // SegmentRef locates one segment file and pins its identity: global
@@ -91,9 +92,15 @@ type Manifest struct {
 	// saved. Its entries are content-addressed and never go stale, so a
 	// checkpoint may keep referencing a conn file written by an earlier
 	// full save.
-	ConnFile    string     `json:"conn_file,omitempty"`
-	ConnEntries int        `json:"conn_entries,omitempty"`
-	Engine      EngineMeta `json:"engine"`
+	ConnFile    string `json:"conn_file,omitempty"`
+	ConnEntries int    `json:"conn_entries,omitempty"`
+	// WatchFile names the standing-query state file (watchlists, alert
+	// ring buffers, delivery cursors), when the saving engine had any.
+	// Like segments it is immutable and content-named; unlike them it is
+	// rewritten whenever its content changes, and the manifest swap makes
+	// the new state current atomically.
+	WatchFile string     `json:"watch_file,omitempty"`
+	Engine    EngineMeta `json:"engine"`
 	// World carries facade-level reconstruction hints (e.g. the
 	// synthetic-world scale) the core engine does not interpret.
 	World map[string]string `json:"world,omitempty"`
@@ -152,6 +159,9 @@ func (m *Manifest) validate() error {
 	if m.ConnFile != "" && m.ConnFile != filepath.Base(m.ConnFile) {
 		return fmt.Errorf("%w: manifest conn file reference escapes directory", ErrCorrupt)
 	}
+	if m.WatchFile != "" && m.WatchFile != filepath.Base(m.WatchFile) {
+		return fmt.Errorf("%w: manifest watch file reference escapes directory", ErrCorrupt)
+	}
 	return nil
 }
 
@@ -206,6 +216,20 @@ func ReadConnFile(dir, name string) ([]byte, error) {
 	}
 	if err != nil {
 		return nil, fmt.Errorf("%w: reading conn-memo file %s: %v", ErrCorrupt, name, err)
+	}
+	return data, nil
+}
+
+// ReadWatchFile reads a manifest-referenced standing-query state file's
+// bytes (decode with the watch package's codec). A missing or
+// unreadable file is corruption: the manifest promised it.
+func ReadWatchFile(dir, name string) ([]byte, error) {
+	data, err := os.ReadFile(filepath.Join(dir, name))
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, fmt.Errorf("%w: manifest references missing watch file %s: %v", ErrCorrupt, name, err)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("%w: reading watch file %s: %v", ErrCorrupt, name, err)
 	}
 	return data, nil
 }
@@ -278,6 +302,9 @@ func CollectGarbage(dir string, m *Manifest) (removed []string) {
 	if m.ConnFile != "" {
 		keep[m.ConnFile] = true
 	}
+	if m.WatchFile != "" {
+		keep[m.WatchFile] = true
+	}
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil
@@ -288,7 +315,7 @@ func CollectGarbage(dir string, m *Manifest) (removed []string) {
 			continue
 		}
 		if !strings.HasSuffix(name, SegmentExt) && !strings.HasSuffix(name, ConnExt) &&
-			!strings.Contains(name, ".tmp-") {
+			!strings.HasSuffix(name, WatchExt) && !strings.Contains(name, ".tmp-") {
 			continue
 		}
 		if os.Remove(filepath.Join(dir, name)) == nil {

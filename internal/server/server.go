@@ -24,12 +24,18 @@
 //	                              rollup/drilldown/back navigation that
 //	                              mutates the current concept pattern
 //	                              (see sessions.go)
+//	     /v2/watchlists...        standing queries: register concept
+//	                              patterns evaluated at ingest time,
+//	                              with SSE alert streams and webhook
+//	                              delivery (see watch.go)
 //	GET  /healthz                 liveness + world summary
 //	GET  /statsz                  index (incl. generation, per-segment
 //	                              doc counts, ingest throughput), cache,
 //	                              session, and request counters;
 //	                              index.engine_cache reports the
-//	                              engine's sharded memo caches
+//	                              engine's sharded memo caches and
+//	                              index.watch the standing-query
+//	                              counters
 //
 // Roll-up and drill-down responses are served through a sharded LRU
 // cache (internal/qcache) keyed by the canonicalized concept set and
@@ -56,6 +62,7 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -124,7 +131,7 @@ const defaultK = 10
 var routes = []string{
 	"rollup", "drilldown", "concepts", "broader", "keywords",
 	"topics", "v2rollup", "v2drilldown", "v2batch", "v2sessions",
-	"v2ingest", "healthz", "statsz", "other",
+	"v2ingest", "v2watchlists", "healthz", "statsz", "other",
 }
 
 // Server is the HTTP serving layer over an Explorer. Safe for
@@ -140,6 +147,12 @@ type Server struct {
 	total   atomic.Int64
 	errors  atomic.Int64
 	byRoute map[string]*atomic.Int64
+
+	// streamStop, when closed, ends every live SSE stream; graceful
+	// shutdown closes it (StopStreams) before http.Server.Shutdown so
+	// open streams don't hold the drain until its deadline.
+	streamStop      chan struct{}
+	stopStreamsOnce sync.Once
 }
 
 // New wires the handlers, cache, and session store around an indexed
@@ -154,10 +167,11 @@ func New(x *ncexplorer.Explorer, opts Options) *Server {
 			MaxSessions: opts.MaxSessions,
 			Now:         opts.Clock,
 		}),
-		mux:     http.NewServeMux(),
-		opts:    opts,
-		started: time.Now(),
-		byRoute: make(map[string]*atomic.Int64, len(routes)),
+		mux:        http.NewServeMux(),
+		opts:       opts,
+		started:    time.Now(),
+		byRoute:    make(map[string]*atomic.Int64, len(routes)),
+		streamStop: make(chan struct{}),
 	}
 	for _, r := range routes {
 		s.byRoute[r] = new(atomic.Int64)
@@ -185,6 +199,13 @@ func New(x *ncexplorer.Explorer, opts Options) *Server {
 	s.mux.HandleFunc("POST /v2/sessions/{id}/drilldown", s.counted("v2sessions", s.handleSessionDrillDown))
 	s.mux.HandleFunc("POST /v2/sessions/{id}/back", s.counted("v2sessions", s.handleSessionBack))
 
+	// Watchlists: standing queries with SSE alert streams (see watch.go).
+	s.mux.HandleFunc("POST /v2/watchlists", s.counted("v2watchlists", s.handleWatchlistCreate))
+	s.mux.HandleFunc("GET /v2/watchlists", s.counted("v2watchlists", s.handleWatchlistList))
+	s.mux.HandleFunc("GET /v2/watchlists/{id}", s.counted("v2watchlists", s.handleWatchlistGet))
+	s.mux.HandleFunc("DELETE /v2/watchlists/{id}", s.counted("v2watchlists", s.handleWatchlistDelete))
+	s.mux.HandleFunc("GET /v2/watchlists/{id}/events", s.counted("v2watchlists", s.handleWatchlistEvents))
+
 	// Method-less fallbacks (the method-specific patterns above win
 	// when they match) and a catch-all, so wrong-method and
 	// unknown-path responses are JSON and counted like everything
@@ -211,6 +232,9 @@ func New(x *ncexplorer.Explorer, opts Options) *Server {
 		"/v2/sessions/{id}/rollup":    "POST",
 		"/v2/sessions/{id}/drilldown": "POST",
 		"/v2/sessions/{id}/back":      "POST",
+		"/v2/watchlists":              "GET, POST",
+		"/v2/watchlists/{id}":         "GET, DELETE",
+		"/v2/watchlists/{id}/events":  "GET",
 	} {
 		s.mux.HandleFunc(pattern, s.methodNotAllowedV2(allow))
 	}

@@ -56,6 +56,8 @@ func statusForCode(code ncexplorer.ErrorCode) int {
 		return http.StatusGone
 	case ncexplorer.CodeNoHistory:
 		return http.StatusConflict
+	case ncexplorer.CodeLimitExceeded:
+		return http.StatusTooManyRequests
 	case ncexplorer.CodeCancelled:
 		return statusClientClosedRequest
 	case ncexplorer.CodeDeadlineExceeded:

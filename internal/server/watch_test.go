@@ -1,0 +1,361 @@
+package server_test
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"ncexplorer"
+	"ncexplorer/internal/server"
+)
+
+// SSE delivery contract (ISSUE satellite 4): a subscriber that
+// disconnects and later resumes with ?after=<last seen id> receives
+// exactly the alerts it missed, in order, with framing byte-identical
+// to what an uninterrupted stream delivered. The test runs both
+// subscribers against the same alert history and compares raw frames.
+
+// sseFrame is one complete SSE event block as raw text (without the
+// trailing blank line) plus the parsed alert sequence.
+type sseFrame struct {
+	raw string
+	id  uint64
+}
+
+// sseStream reads SSE frames off a live response body in a background
+// goroutine, handing them over a channel so the test can bound waits.
+type sseStream struct {
+	resp   *http.Response
+	frames chan sseFrame
+	errs   chan error
+}
+
+func openSSE(t *testing.T, base, id string, after uint64) *sseStream {
+	t.Helper()
+	url := fmt.Sprintf("%s/v2/watchlists/%s/events", base, id)
+	if after > 0 {
+		url += fmt.Sprintf("?after=%d", after)
+	}
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		t.Fatalf("SSE connect: status %d: %s", resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/event-stream") {
+		t.Fatalf("SSE content type %q", ct)
+	}
+	st := &sseStream{resp: resp, frames: make(chan sseFrame, 64), errs: make(chan error, 1)}
+	go func() {
+		defer close(st.frames)
+		rd := bufio.NewReader(resp.Body)
+		var block bytes.Buffer
+		for {
+			line, err := rd.ReadString('\n')
+			if err != nil {
+				st.errs <- err
+				return
+			}
+			if line == "\n" {
+				raw := block.String()
+				block.Reset()
+				var id uint64
+				for _, fl := range strings.Split(raw, "\n") {
+					if _, err := fmt.Sscanf(fl, "id: %d", &id); err == nil {
+						break
+					}
+				}
+				st.frames <- sseFrame{raw: raw, id: id}
+				continue
+			}
+			block.WriteString(line)
+		}
+	}()
+	return st
+}
+
+// next returns the next frame or fails after a timeout.
+func (st *sseStream) next(t *testing.T) sseFrame {
+	t.Helper()
+	select {
+	case f, ok := <-st.frames:
+		if !ok {
+			t.Fatal("SSE stream closed while a frame was expected")
+		}
+		return f
+	case <-time.After(5 * time.Second):
+		t.Fatal("no SSE frame within 5s")
+	}
+	panic("unreachable")
+}
+
+// collectThrough reads frames until one carries sequence seq.
+func (st *sseStream) collectThrough(t *testing.T, seq uint64) []sseFrame {
+	t.Helper()
+	var out []sseFrame
+	for {
+		f := st.next(t)
+		out = append(out, f)
+		if f.id >= seq {
+			return out
+		}
+	}
+}
+
+func (st *sseStream) close() { st.resp.Body.Close() }
+
+// watchWorld builds a private tiny world (the test ingests, so the
+// shared package world cannot be used) and picks the concept with the
+// most seed-corpus matches so sampled batches reliably alert.
+func watchWorld(t *testing.T) (*ncexplorer.Explorer, string) {
+	t.Helper()
+	x, err := ncexplorer.New(ncexplorer.Config{Scale: "tiny", Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, bestTotal := "", -1
+	for _, topic := range x.EvaluationTopics() {
+		for _, name := range topic {
+			res, err := x.RollUpQuery(context.Background(), ncexplorer.RollUpRequest{
+				Concepts: []string{name}, K: 1,
+			})
+			if err != nil {
+				continue
+			}
+			if res.Total > bestTotal {
+				best, bestTotal = name, res.Total
+			}
+		}
+	}
+	if bestTotal < 1 {
+		t.Fatal("no matching concept among evaluation topics")
+	}
+	return x, best
+}
+
+func ingestBatch(t *testing.T, x *ncexplorer.Explorer, seed uint64) {
+	t.Helper()
+	arts, err := x.SampleArticles(seed, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := x.Ingest(context.Background(), arts); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWatchlistSSEReconnectCatchUp(t *testing.T) {
+	x, concept := watchWorld(t)
+	s := server.New(x, server.Options{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Register over the wire, like a real client.
+	body, _ := json.Marshal(map[string]any{"concepts": []string{concept}})
+	resp, err := http.Post(ts.URL+"/v2/watchlists", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wl ncexplorer.Watchlist
+	if err := json.NewDecoder(resp.Body).Decode(&wl); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("register: status %d", resp.StatusCode)
+	}
+
+	// witness never disconnects; flaky connects, loses its connection,
+	// and resumes with ?after=. Frames must match byte for byte.
+	witness := openSSE(t, ts.URL, wl.ID, 0)
+	defer witness.close()
+	flaky := openSSE(t, ts.URL, wl.ID, 0)
+
+	ingestBatch(t, x, 100)
+	seq := func() uint64 {
+		got, err := x.GetWatchlist(wl.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return got.LastSeq
+	}
+	firstSeq := seq()
+	if firstSeq == 0 {
+		t.Fatal("first batch fired no alerts — the stream is never exercised")
+	}
+	witnessLive := witness.collectThrough(t, firstSeq)
+	flakyLive := flaky.collectThrough(t, firstSeq)
+	flaky.close()
+
+	// Three batches land while flaky is gone.
+	for i := uint64(1); i <= 3; i++ {
+		ingestBatch(t, x, 100+i)
+	}
+	lastSeq := seq()
+	if lastSeq <= firstSeq {
+		t.Fatal("no alerts fired while disconnected — reconnect has nothing to prove")
+	}
+	witnessMissed := witness.collectThrough(t, lastSeq)
+
+	// Resume exactly after the last frame flaky saw.
+	resumed := openSSE(t, ts.URL, wl.ID, flakyLive[len(flakyLive)-1].id)
+	defer resumed.close()
+	flakyCatchUp := resumed.collectThrough(t, lastSeq)
+
+	compare := func(label string, got, want []sseFrame) {
+		t.Helper()
+		if len(got) != len(want) {
+			t.Fatalf("%s: %d frames, want %d", label, len(got), len(want))
+		}
+		for i := range got {
+			if got[i].raw != want[i].raw {
+				t.Fatalf("%s: frame %d diverges:\ngot:  %q\nwant: %q", label, i, got[i].raw, want[i].raw)
+			}
+		}
+	}
+	// Live phases agree, and the catch-up replay is byte-identical to
+	// what the uninterrupted stream saw live: no gap, no duplicate, no
+	// reframing.
+	compare("live", flakyLive, witnessLive)
+	compare("catch-up", flakyCatchUp, witnessMissed)
+
+	for i := 1; i < len(flakyCatchUp); i++ {
+		if flakyCatchUp[i].id != flakyCatchUp[i-1].id+1 {
+			t.Fatalf("catch-up ids not contiguous: %d then %d", flakyCatchUp[i-1].id, flakyCatchUp[i].id)
+		}
+	}
+}
+
+// TestWatchlistSSEBadCursor: a non-numeric ?after= is a client error,
+// not a stream.
+func TestWatchlistSSEBadCursor(t *testing.T) {
+	x, concept := watchWorld(t)
+	s := server.New(x, server.Options{})
+	wl, err := x.RegisterWatchlist(ncexplorer.WatchlistSpec{Concepts: []string{concept}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest(http.MethodGet, "/v2/watchlists/"+wl.ID+"/events?after=abc", nil)
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("bad cursor: status %d, want 400", rec.Code)
+	}
+	req = httptest.NewRequest(http.MethodGet, "/v2/watchlists/nope/events", nil)
+	rec = httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("unknown watchlist: status %d, want 404", rec.Code)
+	}
+}
+
+// TestWatchlistCRUDOverHTTP drives the full lifecycle over the wire:
+// create (validated like a query), list, get, delete, and the typed
+// error shapes for bad input.
+func TestWatchlistCRUDOverHTTP(t *testing.T) {
+	x, concept := watchWorld(t)
+	s := server.New(x, server.Options{})
+	do := func(method, path string, body any) *httptest.ResponseRecorder {
+		t.Helper()
+		var rd io.Reader
+		if body != nil {
+			raw, err := json.Marshal(body)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rd = bytes.NewReader(raw)
+		}
+		req := httptest.NewRequest(method, path, rd)
+		rec := httptest.NewRecorder()
+		s.Handler().ServeHTTP(rec, req)
+		return rec
+	}
+
+	rec := do(http.MethodPost, "/v2/watchlists", map[string]any{"concepts": []string{concept}, "name": "n"})
+	if rec.Code != http.StatusCreated {
+		t.Fatalf("create: status %d: %s", rec.Code, rec.Body)
+	}
+	var wl ncexplorer.Watchlist
+	if err := json.Unmarshal(rec.Body.Bytes(), &wl); err != nil {
+		t.Fatal(err)
+	}
+
+	// Unknown concepts get the same typed suggestion error a query gets.
+	rec = do(http.MethodPost, "/v2/watchlists", map[string]any{"concepts": []string{"Nonexistent Concept"}})
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("unknown concept: status %d, want 400: %s", rec.Code, rec.Body)
+	}
+	if !bytes.Contains(rec.Body.Bytes(), []byte("unknown_concept")) {
+		t.Fatalf("unknown concept: body lacks typed code: %s", rec.Body)
+	}
+
+	rec = do(http.MethodGet, "/v2/watchlists", nil)
+	if rec.Code != http.StatusOK || !bytes.Contains(rec.Body.Bytes(), []byte(wl.ID)) {
+		t.Fatalf("list: status %d body %s", rec.Code, rec.Body)
+	}
+
+	// The watch counters surface in /statsz next to cache and sessions.
+	rec = do(http.MethodGet, "/statsz", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("statsz: status %d", rec.Code)
+	}
+	var stats struct {
+		Index struct {
+			Watch struct {
+				Watchlists int `json:"watchlists"`
+			} `json:"watch"`
+		} `json:"index"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Index.Watch.Watchlists != 1 {
+		t.Fatalf("statsz watch.watchlists = %d, want 1: %s", stats.Index.Watch.Watchlists, rec.Body)
+	}
+	rec = do(http.MethodGet, "/v2/watchlists/"+wl.ID, nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("get: status %d", rec.Code)
+	}
+	rec = do(http.MethodDelete, "/v2/watchlists/"+wl.ID, nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("delete: status %d", rec.Code)
+	}
+	rec = do(http.MethodGet, "/v2/watchlists/"+wl.ID, nil)
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("get after delete: status %d, want 404", rec.Code)
+	}
+
+	// The registry cap surfaces as 429 limit_exceeded.
+	y, err := ncexplorer.New(ncexplorer.Config{Scale: "tiny", Seed: 42, MaxWatchlists: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := server.New(y, server.Options{})
+	body, _ := json.Marshal(map[string]any{"concepts": []string{concept}})
+	req := httptest.NewRequest(http.MethodPost, "/v2/watchlists", bytes.NewReader(body))
+	rec = httptest.NewRecorder()
+	s2.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusCreated {
+		t.Fatalf("first create under cap: status %d", rec.Code)
+	}
+	req = httptest.NewRequest(http.MethodPost, "/v2/watchlists", bytes.NewReader(body))
+	rec = httptest.NewRecorder()
+	s2.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("over cap: status %d, want 429: %s", rec.Code, rec.Body)
+	}
+	if !bytes.Contains(rec.Body.Bytes(), []byte("limit_exceeded")) {
+		t.Fatalf("over cap: body lacks typed code: %s", rec.Body)
+	}
+}

@@ -1,0 +1,318 @@
+package watch
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"sort"
+
+	"ncexplorer/internal/segio"
+)
+
+// Versioned codec for the registry's durable state: the watchlist
+// definitions, the ID counter, and per watchlist the sequence counter,
+// webhook delivery cursor, and retained alert ring. It participates in
+// the snapshot manifest like segments do (segio.WatchExt,
+// Manifest.WatchFile), so the same guarantees apply: content-addressed
+// file name, CRC-validated payload, atomic manifest swap, typed
+// ErrCorrupt / ErrVersionMismatch sentinels.
+//
+// The encoding is canonical: watchlists sorted by ID, string lists
+// sorted and deduplicated, little-endian fixed-width integers, IEEE
+// float bits. Equal registry state encodes to equal bytes — which is
+// what makes content addressing skip rewrites — and the decoder
+// rejects any non-canonical input, so decode(encode(state)) == state
+// and encode(decode(b)) == b for every accepted b (the fuzz target's
+// invariant).
+
+// watchMagic identifies a watch-state file; watchVersion is bumped on
+// any incompatible layout change.
+const (
+	watchMagic   = "NCWL"
+	watchVersion = 1
+)
+
+// maxWatchString bounds every decoded string (names, URLs, bodies);
+// maxWatchCount bounds every decoded collection. Both are sanity
+// limits far above real use, to stop a corrupt length prefix from
+// forcing a huge allocation before the CRC check would catch it.
+const (
+	maxWatchString = 1 << 24
+	maxWatchCount  = 1 << 20
+)
+
+// encodeState renders the registry's durable state. Callers hold r.mu.
+func (r *Registry) encodeState() []byte {
+	w := &watchWriter{}
+	w.bytes([]byte(watchMagic))
+	w.u16(watchVersion)
+	w.u64(r.nextID)
+	ids := make([]string, 0, len(r.lists))
+	for id := range r.lists {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	w.u32(uint32(len(ids)))
+	for _, id := range ids {
+		l := r.lists[id]
+		w.str(l.def.ID)
+		w.str(l.def.Name)
+		w.strs(l.def.Concepts)
+		w.strs(l.def.Sources)
+		w.f64(l.def.MinScore)
+		w.str(l.def.WebhookURL)
+		w.u64(l.def.CreatedGen)
+		w.u64(l.nextSeq)
+		w.u64(l.ack)
+		w.u32(uint32(len(l.ring)))
+		for _, a := range l.ring {
+			w.u64(a.Seq)
+			w.u64(a.Generation)
+			w.u32(uint32(a.Article.ID))
+			w.str(a.Article.Source)
+			w.str(a.Article.Title)
+			w.str(a.Article.Body)
+			w.f64(a.Article.Score)
+			w.u32(uint32(len(a.Article.Explanations)))
+			for _, ex := range a.Article.Explanations {
+				w.str(ex.Concept)
+				w.f64(ex.CDR)
+				w.str(ex.Pivot)
+			}
+		}
+	}
+	w.u32(crc32.ChecksumIEEE(w.buf))
+	return w.buf
+}
+
+// Encode renders the registry's durable state, or nil when there is
+// nothing worth persisting (no watchlists and no IDs ever assigned) —
+// the engine's persist layer treats nil as "omit the watch file".
+func (r *Registry) Encode() []byte {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.lists) == 0 && r.nextID == 1 {
+		return nil
+	}
+	return r.encodeState()
+}
+
+// Load replaces the registry's durable state with a decoded file.
+// Delivery-side state (subscriptions, the webhook worker) is untouched;
+// Load is called once at open, before any of that exists.
+func (r *Registry) Load(data []byte) error {
+	nextID, lists, err := decodeState(data)
+	if err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.nextID = nextID
+	r.lists = lists
+	return nil
+}
+
+// decodeState parses and validates an encoded registry state.
+func decodeState(data []byte) (nextID uint64, lists map[string]*list, err error) {
+	if len(data) < len(watchMagic)+2+4 {
+		return 0, nil, fmt.Errorf("%w: watch state truncated", segio.ErrCorrupt)
+	}
+	body, sum := data[:len(data)-4], binary.LittleEndian.Uint32(data[len(data)-4:])
+	if crc32.ChecksumIEEE(body) != sum {
+		return 0, nil, fmt.Errorf("%w: watch state checksum mismatch", segio.ErrCorrupt)
+	}
+	rd := &watchReader{buf: body}
+	if string(rd.bytes(len(watchMagic))) != watchMagic {
+		return 0, nil, fmt.Errorf("%w: bad watch magic", segio.ErrCorrupt)
+	}
+	if v := rd.u16(); v != watchVersion {
+		return 0, nil, fmt.Errorf("%w: watch state version %d, want %d", segio.ErrVersionMismatch, v, watchVersion)
+	}
+	nextID = rd.u64()
+	n := rd.count()
+	lists = make(map[string]*list, n)
+	prevID := ""
+	for i := 0; i < n && rd.err == nil; i++ {
+		l := &list{subs: make(map[*Subscription]struct{})}
+		l.def.ID = rd.str()
+		if l.def.ID == "" || l.def.ID <= prevID {
+			return 0, nil, fmt.Errorf("%w: watchlist IDs not strictly ascending", segio.ErrCorrupt)
+		}
+		prevID = l.def.ID
+		l.def.Name = rd.str()
+		l.def.Concepts = rd.strs()
+		l.def.Sources = rd.strs()
+		l.def.MinScore = rd.f64()
+		if l.def.MinScore < 0 {
+			return 0, nil, fmt.Errorf("%w: negative min score", segio.ErrCorrupt)
+		}
+		l.def.WebhookURL = rd.str()
+		l.def.CreatedGen = rd.u64()
+		l.nextSeq = rd.u64()
+		l.ack = rd.u64()
+		if rd.err == nil && (l.nextSeq < 1 || l.ack >= l.nextSeq) {
+			return 0, nil, fmt.Errorf("%w: watchlist cursor out of range", segio.ErrCorrupt)
+		}
+		nAlerts := rd.count()
+		prevSeq := uint64(0)
+		for j := 0; j < nAlerts && rd.err == nil; j++ {
+			var a Alert
+			a.Seq = rd.u64()
+			if a.Seq <= prevSeq || a.Seq >= l.nextSeq {
+				return 0, nil, fmt.Errorf("%w: alert sequences not strictly ascending", segio.ErrCorrupt)
+			}
+			prevSeq = a.Seq
+			a.Watchlist = l.def.ID
+			a.Generation = rd.u64()
+			a.Article.ID = int(rd.u32())
+			a.Article.Source = rd.str()
+			a.Article.Title = rd.str()
+			a.Article.Body = rd.str()
+			a.Article.Score = rd.f64()
+			nExpl := rd.count()
+			for k := 0; k < nExpl && rd.err == nil; k++ {
+				var ex Explanation
+				ex.Concept = rd.str()
+				ex.CDR = rd.f64()
+				ex.Pivot = rd.str()
+				a.Article.Explanations = append(a.Article.Explanations, ex)
+			}
+			l.ring = append(l.ring, a)
+		}
+		if rd.err == nil && nAlerts > 0 && l.ring[nAlerts-1].Seq != l.nextSeq-1 {
+			return 0, nil, fmt.Errorf("%w: alert ring does not end at latest sequence", segio.ErrCorrupt)
+		}
+		lists[l.def.ID] = l
+	}
+	if rd.err != nil {
+		return 0, nil, rd.err
+	}
+	if len(rd.buf) != rd.off {
+		return 0, nil, fmt.Errorf("%w: trailing bytes after watch state", segio.ErrCorrupt)
+	}
+	if nextID < uint64(len(lists))+1 {
+		return 0, nil, fmt.Errorf("%w: watch ID counter below list count", segio.ErrCorrupt)
+	}
+	return nextID, lists, nil
+}
+
+// watchWriter is a little sticky append-only encoder.
+type watchWriter struct{ buf []byte }
+
+func (w *watchWriter) bytes(b []byte) { w.buf = append(w.buf, b...) }
+func (w *watchWriter) u16(v uint16)   { w.buf = binary.LittleEndian.AppendUint16(w.buf, v) }
+func (w *watchWriter) u32(v uint32)   { w.buf = binary.LittleEndian.AppendUint32(w.buf, v) }
+func (w *watchWriter) u64(v uint64)   { w.buf = binary.LittleEndian.AppendUint64(w.buf, v) }
+func (w *watchWriter) f64(v float64)  { w.u64(math.Float64bits(v)) }
+func (w *watchWriter) str(s string) {
+	w.u32(uint32(len(s)))
+	w.buf = append(w.buf, s...)
+}
+func (w *watchWriter) strs(ss []string) {
+	w.u32(uint32(len(ss)))
+	for _, s := range ss {
+		w.str(s)
+	}
+}
+
+// watchReader is the sticky-error decoder. The first failure pins err;
+// every later read returns zero values, so decode loops need only
+// check err at their boundaries.
+type watchReader struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (r *watchReader) fail(msg string) {
+	if r.err == nil {
+		r.err = fmt.Errorf("%w: %s", segio.ErrCorrupt, msg)
+	}
+}
+
+func (r *watchReader) bytes(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || len(r.buf)-r.off < n {
+		r.fail("watch state truncated")
+		return nil
+	}
+	b := r.buf[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+func (r *watchReader) u16() uint16 {
+	b := r.bytes(2)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(b)
+}
+
+func (r *watchReader) u32() uint32 {
+	b := r.bytes(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (r *watchReader) u64() uint64 {
+	b := r.bytes(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+func (r *watchReader) f64() float64 {
+	v := math.Float64frombits(r.u64())
+	if r.err == nil && (math.IsNaN(v) || math.IsInf(v, 0)) {
+		r.fail("non-finite float")
+		return 0
+	}
+	return v
+}
+
+// count reads a collection length, bounding it both by the sanity cap
+// and by the bytes remaining (every element is at least one byte).
+func (r *watchReader) count() int {
+	n := int(r.u32())
+	if r.err == nil && (n > maxWatchCount || n > len(r.buf)-r.off) {
+		r.fail("collection length out of range")
+		return 0
+	}
+	return n
+}
+
+func (r *watchReader) str() string {
+	n := int(r.u32())
+	if r.err == nil && n > maxWatchString {
+		r.fail("string length out of range")
+		return ""
+	}
+	return string(r.bytes(n))
+}
+
+// strs reads a canonical string list: strictly ascending, no empties.
+func (r *watchReader) strs() []string {
+	n := r.count()
+	if n == 0 {
+		return nil
+	}
+	out := make([]string, 0, n)
+	prev := ""
+	for i := 0; i < n && r.err == nil; i++ {
+		s := r.str()
+		if r.err == nil && (s == "" || s <= prev) {
+			r.fail("string list not canonical")
+			return nil
+		}
+		prev = s
+		out = append(out, s)
+	}
+	return out
+}

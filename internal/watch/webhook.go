@@ -1,0 +1,231 @@
+package watch
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"time"
+)
+
+// Webhook delivery: a single background worker drains each
+// webhook-enabled watchlist's pending alerts — everything between the
+// delivery cursor (ack) and the latest sequence — POSTing one alert
+// per request. The cursor advances only on a 2xx acknowledgement and
+// is persisted with the registry, so delivery is at-least-once: a
+// crash or SIGTERM after the POST but before the next save redelivers
+// from the cursor on restart; a committed alert is never dropped by
+// shutdown. Failed attempts retry with doubling backoff up to a
+// bounded budget, then the round gives up (counted as a failure) and
+// the next ingest kick retries from the same cursor.
+
+// WebhookOptions configures delivery. Zero values select defaults.
+type WebhookOptions struct {
+	// Timeout bounds each POST attempt. 0 ⇒ 5s.
+	Timeout time.Duration
+	// Attempts is the per-alert tries per delivery round. 0 ⇒ 3.
+	Attempts int
+	// Backoff is the first retry delay; it doubles per retry. 0 ⇒ 100ms.
+	Backoff time.Duration
+	// Post overrides the transport — tests inject failures and capture
+	// bodies here. nil ⇒ HTTP POST of the JSON alert, 2xx = success.
+	Post func(url string, body []byte) error
+}
+
+func (o WebhookOptions) withDefaults() WebhookOptions {
+	if o.Timeout <= 0 {
+		o.Timeout = 5 * time.Second
+	}
+	if o.Attempts <= 0 {
+		o.Attempts = 3
+	}
+	if o.Backoff <= 0 {
+		o.Backoff = 100 * time.Millisecond
+	}
+	if o.Post == nil {
+		client := &http.Client{Timeout: o.Timeout}
+		o.Post = func(url string, body []byte) error {
+			resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+			if err != nil {
+				return err
+			}
+			resp.Body.Close()
+			if resp.StatusCode < 200 || resp.StatusCode >= 300 {
+				return fmt.Errorf("watch: webhook status %s", resp.Status)
+			}
+			return nil
+		}
+	}
+	return o
+}
+
+// StartWebhooks launches the delivery worker. Call at most once;
+// DrainWebhooks stops it.
+func (r *Registry) StartWebhooks(opts WebhookOptions) {
+	opts = opts.withDefaults()
+	r.stop = make(chan struct{})
+	r.workerDone = make(chan struct{})
+	go r.webhookWorker(opts)
+	// Deliver anything pending from a previous run (un-acked cursors
+	// loaded from disk) without waiting for the first ingest.
+	r.kickWebhooks()
+}
+
+// kickWebhooks nudges the worker; a pending nudge coalesces.
+func (r *Registry) kickWebhooks() {
+	select {
+	case r.kick <- struct{}{}:
+	default:
+	}
+}
+
+// DrainWebhooks stops the worker and waits for its in-flight delivery
+// round to finish or ctx to expire. Part of graceful shutdown: after it
+// returns, no POST is in flight, and any alert not yet acknowledged
+// keeps its cursor position for redelivery after restart.
+func (r *Registry) DrainWebhooks(ctx context.Context) error {
+	if r.stop == nil {
+		return nil
+	}
+	r.stopOnce.Do(func() { close(r.stop) })
+	select {
+	case <-r.workerDone:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// webhookWorker is the delivery loop: sleep until kicked, sweep all
+// webhook-enabled watchlists, repeat. Stopping wins over pending kicks.
+func (r *Registry) webhookWorker(opts WebhookOptions) {
+	defer close(r.workerDone)
+	for {
+		select {
+		case <-r.stop:
+			return
+		case <-r.kick:
+			r.deliverPending(opts)
+		}
+	}
+}
+
+// deliverPending sweeps watchlists in ID order, delivering each one's
+// pending alerts in sequence order. State is re-read from the registry
+// between POSTs (the watchlist may be removed, or the ring may evict
+// past the cursor, while a slow POST is in flight).
+func (r *Registry) deliverPending(opts WebhookOptions) {
+	for _, id := range r.webhookIDs() {
+		for {
+			select {
+			case <-r.stop:
+				return
+			default:
+			}
+			alert, url, ok := r.nextPending(id)
+			if !ok {
+				break
+			}
+			body, err := json.Marshal(alert)
+			if err != nil {
+				// Alerts are plain data; this cannot happen. Skip rather
+				// than wedge the cursor forever.
+				r.ackDelivery(id, alert.Seq, false)
+				continue
+			}
+			if r.postWithRetry(opts, url, body) {
+				r.ackDelivery(id, alert.Seq, true)
+			} else {
+				// Budget exhausted: leave the cursor; the next kick retries.
+				break
+			}
+		}
+	}
+}
+
+// postWithRetry attempts one delivery within the retry budget. Backoff
+// sleeps are interruptible by stop, so shutdown never waits out a
+// backoff ladder.
+func (r *Registry) postWithRetry(opts WebhookOptions, url string, body []byte) bool {
+	delay := opts.Backoff
+	for attempt := 1; ; attempt++ {
+		if err := opts.Post(url, body); err == nil {
+			return true
+		}
+		r.mu.Lock()
+		r.retries++
+		if attempt >= opts.Attempts {
+			r.failures++
+			r.mu.Unlock()
+			return false
+		}
+		r.mu.Unlock()
+		select {
+		case <-r.stop:
+			return false
+		case <-time.After(delay):
+		}
+		delay *= 2
+	}
+}
+
+// webhookIDs snapshots the webhook-enabled watchlist IDs, sorted.
+func (r *Registry) webhookIDs() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var ids []string
+	for id, l := range r.lists {
+		if l.def.WebhookURL != "" {
+			ids = append(ids, id)
+		}
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// nextPending returns the first retained alert past the delivery
+// cursor. If eviction outran the cursor, the cursor jumps to the start
+// of the ring and the gap is counted dropped (the alerts are gone; the
+// count is the honest record).
+func (r *Registry) nextPending(id string) (Alert, string, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	l, ok := r.lists[id]
+	if !ok || l.def.WebhookURL == "" || l.ack >= l.nextSeq-1 {
+		return Alert{}, "", false
+	}
+	if len(l.ring) == 0 {
+		// Everything pending was evicted before delivery.
+		r.dropped += l.nextSeq - 1 - l.ack
+		l.ack = l.nextSeq - 1
+		return Alert{}, "", false
+	}
+	if first := l.ring[0].Seq; first > l.ack+1 {
+		r.dropped += first - 1 - l.ack
+		l.ack = first - 1
+	}
+	i := sort.Search(len(l.ring), func(j int) bool { return l.ring[j].Seq > l.ack })
+	if i == len(l.ring) {
+		return Alert{}, "", false
+	}
+	return l.ring[i], l.def.WebhookURL, true
+}
+
+// ackDelivery advances the delivery cursor past seq. delivered=false
+// records a skip (unmarshalable alert) without counting a delivery.
+func (r *Registry) ackDelivery(id string, seq uint64, delivered bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	l, ok := r.lists[id]
+	if !ok {
+		return
+	}
+	if seq > l.ack {
+		l.ack = seq
+	}
+	if delivered {
+		r.delivered++
+	}
+}

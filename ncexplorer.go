@@ -39,6 +39,7 @@ import (
 	"ncexplorer/internal/corpus"
 	"ncexplorer/internal/kg"
 	"ncexplorer/internal/kggen"
+	"ncexplorer/internal/watch"
 )
 
 // Config controls the synthetic world and the engine. The zero value
@@ -59,6 +60,11 @@ type Config struct {
 	// MaxSegments is the index segment count above which ingested
 	// segments are merged in the background (default 4).
 	MaxSegments int
+	// MaxWatchlists caps concurrently registered watchlists (default 64).
+	MaxWatchlists int
+	// AlertBuffer is the per-watchlist alert retention window — the ring
+	// capacity backing SSE catch-up and webhook redelivery (default 256).
+	AlertBuffer int
 }
 
 // Article is one roll-up result. Explanations are present when the
@@ -169,6 +175,10 @@ type Stats struct {
 	// EngineCache is a live snapshot of the engine's query-path memo
 	// caches, refreshed on every Stats call.
 	EngineCache EngineCacheStats `json:"engine_cache"`
+	// Watch reports standing-query activity: live watchlists, alerts
+	// fired/delivered/dropped, webhook retries and failures, and live
+	// SSE subscribers. Refreshed on every Stats call.
+	Watch WatchCounters `json:"watch"`
 }
 
 // Explorer is a fully indexed NCExplorer instance. Safe for concurrent
@@ -181,6 +191,9 @@ type Explorer struct {
 	// scale names the synthetic-world scale the Explorer was built at;
 	// persisted in snapshot manifests so Open can rebuild the graph.
 	scale string
+	// watch is the standing-query registry; initWatch wires it to the
+	// engine's ingest hook and the persistence layer.
+	watch *watch.Registry
 
 	statsOnce sync.Once
 	stats     Stats
@@ -233,7 +246,9 @@ func New(cfg Config) (*Explorer, error) {
 		MaxSegments: cfg.MaxSegments,
 	})
 	engine.IndexCorpus(c)
-	return &Explorer{g: g, meta: meta, engine: engine, ccfg: ccfg, scale: scale}, nil
+	x := &Explorer{g: g, meta: meta, engine: engine, ccfg: ccfg, scale: scale}
+	x.initWatch(watch.Options{MaxWatchlists: cfg.MaxWatchlists, AlertBuffer: cfg.AlertBuffer})
+	return x, nil
 }
 
 // NumArticles returns the current corpus size (seed world plus every
@@ -284,6 +299,7 @@ func (x *Explorer) Stats() Stats {
 		Match: CacheCounters(cs.Match),
 		Conn:  CacheCounters(cs.Conn),
 	}
+	st.Watch = WatchCounters(x.watch.Counters())
 	return st
 }
 

@@ -6,6 +6,7 @@ import (
 	"ncexplorer/internal/core"
 	"ncexplorer/internal/kggen"
 	"ncexplorer/internal/segio"
+	"ncexplorer/internal/watch"
 )
 
 // Durable snapshot persistence: Save serializes an Explorer's indexed
@@ -24,6 +25,13 @@ type OpenOptions struct {
 	// MaxSegments overrides the merge-policy bound; 0 keeps the saved
 	// value.
 	MaxSegments int
+	// MaxWatchlists caps concurrently registered watchlists (default
+	// 64). A snapshot holding more watchlists than the cap still opens;
+	// the cap only refuses new registrations.
+	MaxWatchlists int
+	// AlertBuffer is the per-watchlist alert retention window (default
+	// 256).
+	AlertBuffer int
 }
 
 // Save durably persists the Explorer's current index snapshot into
@@ -95,7 +103,18 @@ func Open(dir string, opts OpenOptions) (*Explorer, error) {
 	if err := engine.OpenSnapshot(dir, m); err != nil {
 		return nil, persistError(err)
 	}
-	return &Explorer{g: g, meta: meta, engine: engine, ccfg: ccfg, scale: scale}, nil
+	x := &Explorer{g: g, meta: meta, engine: engine, ccfg: ccfg, scale: scale}
+	x.initWatch(watch.Options{MaxWatchlists: opts.MaxWatchlists, AlertBuffer: opts.AlertBuffer})
+	if m.WatchFile != "" {
+		data, err := segio.ReadWatchFile(dir, m.WatchFile)
+		if err != nil {
+			return nil, persistError(err)
+		}
+		if err := x.watch.Load(data); err != nil {
+			return nil, persistError(err)
+		}
+	}
+	return x, nil
 }
 
 // persistError maps segio/core persistence failures to the facade's

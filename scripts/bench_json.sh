@@ -11,10 +11,12 @@
 # With a baseline, the run fails (exit 1) if warm RollUp ns/op
 # regresses by more than 25% versus the baseline's value. The run also
 # fails if the warm snapshot open is not at least 5x faster than the
-# cold from-scratch build (the PR 5 durability acceptance bar).
+# cold from-scratch build (the PR 5 durability acceptance bar), or if
+# per-ingest standing-query evaluation grows >25% with corpus size
+# (the PR 6 delta-evaluation acceptance bar).
 set -e
 
-out="${1:-BENCH_pr5.json}"
+out="${1:-BENCH_pr6.json}"
 benchtime="${2:-20x}"
 baseline="${3:-}"
 tmp="$(mktemp)"
@@ -24,10 +26,11 @@ trap 'rm -f "$tmp" "$tmp.body"' EXIT
 # sh has no pipefail), letting a half-failed run emit truncated JSON.
 go test -run '^$' -bench 'Benchmark((RollUp|DrillDown)Parallel|Ingest)$' \
     -benchtime "$benchtime" ./internal/core > "$tmp"
-# Warm-restart benchmark lives at the facade level (it exercises
-# Save/Open end to end). Appended to the same log; the awk below
-# parses every Benchmark line it finds.
-go test -run '^$' -bench 'BenchmarkOpenSnapshot' \
+# Warm-restart and standing-query benchmarks live at the facade level
+# (they exercise Save/Open and the ingest-hook evaluation end to end).
+# Appended to the same log; the awk below parses every Benchmark line
+# it finds.
+go test -run '^$' -bench 'BenchmarkOpenSnapshot|BenchmarkWatchEvaluate' \
     -benchtime "$benchtime" . >> "$tmp"
 cat "$tmp"
 
@@ -35,17 +38,19 @@ awk -v benchtime="$benchtime" '
   /^Benchmark/ {
     name = $1
     sub(/-[0-9]+$/, "", name)   # strip the -GOMAXPROCS suffix
-    nsop = ""; nsq = ""; dps = ""
+    nsop = ""; nsq = ""; dps = ""; aps = ""
     for (i = 2; i < NF; i++) {
       if ($(i+1) == "ns/op")    nsop = $i
       if ($(i+1) == "ns/query") nsq  = $i
       if ($(i+1) == "docs/sec") dps  = $i
+      if ($(i+1) == "alerts/s") aps  = $i
     }
     if (nsop == "") next
     if (n++) printf ",\n"
     printf "    \"%s\": {\"ns_per_op\": %s", name, nsop
     if (nsq != "") printf ", \"ns_per_query\": %s", nsq
     if (dps != "") printf ", \"docs_per_sec\": %s", dps
+    if (aps != "") printf ", \"alerts_per_sec\": %s", aps
     printf "}"
   }
   END {
@@ -83,6 +88,23 @@ speedup=$((open_cold / open_warm))
 echo "open gate: warm $open_warm ns/op vs cold $open_cold ns/op (${speedup}x)"
 if [ $((open_warm * 5)) -gt "$open_cold" ]; then
   echo "FAIL: warm snapshot open is not 5x faster than a cold build" >&2
+  exit 1
+fi
+
+# Standing-query gate: evaluating watchlists against a fixed-size
+# delta must cost the same whether the corpus is fresh or has grown
+# across segment merges — the delta-only evaluation claim (the PR 6
+# acceptance bar of ±25%, checked within this run so it holds on any
+# machine).
+watch_small="$(extract_nsop 'BenchmarkWatchEvaluate\/growth=0\/watchlists=16' "$out")"
+watch_grown="$(extract_nsop 'BenchmarkWatchEvaluate\/growth=8\/watchlists=16' "$out")"
+if [ -z "$watch_small" ] || [ -z "$watch_grown" ]; then
+  echo "could not extract WatchEvaluate timings (growth=0: $watch_small, growth=8: $watch_grown)" >&2
+  exit 1
+fi
+echo "watch gate: growth=0 $watch_small ns/op vs growth=8 $watch_grown ns/op"
+if [ "$watch_grown" -gt $((watch_small * 125 / 100)) ]; then
+  echo "FAIL: per-ingest watch evaluation grew >25% with corpus size" >&2
   exit 1
 fi
 

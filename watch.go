@@ -1,0 +1,283 @@
+package ncexplorer
+
+import (
+	"context"
+	"errors"
+	"net/url"
+	"time"
+
+	"ncexplorer/internal/core"
+	"ncexplorer/internal/corpus"
+	"ncexplorer/internal/watch"
+)
+
+// Standing queries. A watchlist is a persistent concept-pattern query:
+// once registered, every ingested batch is evaluated against it — the
+// delta only, never the whole corpus — and matching articles are
+// published as alerts, retained for catch-up, streamed to SSE
+// subscribers, and POSTed to an optional webhook. Watchlists and their
+// delivery cursors persist with the snapshot and survive restarts.
+// DESIGN.md §8 gives the model and the delta-evaluation correctness
+// argument.
+
+// WatchlistSpec is a registration request.
+type WatchlistSpec struct {
+	// Name is an optional client label.
+	Name string `json:"name,omitempty"`
+	// Concepts is the concept pattern; an article alerts only if it
+	// matches every concept. Validated like a query — unknown names get
+	// CodeUnknownConcept with did-you-mean suggestions.
+	Concepts []string `json:"concepts"`
+	// Sources restricts alerts to these source names; empty admits all.
+	Sources []string `json:"sources,omitempty"`
+	// MinScore excludes matches scoring below it (at the generation the
+	// article arrived) when > 0.
+	MinScore float64 `json:"min_score,omitempty"`
+	// WebhookURL, when set, receives each alert as a JSON POST
+	// (at-least-once, bounded retries). Must be http or https.
+	WebhookURL string `json:"webhook_url,omitempty"`
+}
+
+// Watchlist is a registered watchlist's public state.
+type Watchlist struct {
+	ID       string   `json:"id"`
+	Name     string   `json:"name,omitempty"`
+	Concepts []string `json:"concepts"`
+	Sources  []string `json:"sources,omitempty"`
+	MinScore float64  `json:"min_score,omitempty"`
+	// WebhookURL is the configured delivery endpoint, if any.
+	WebhookURL string `json:"webhook_url,omitempty"`
+	// CreatedGeneration is the snapshot generation at registration; the
+	// watchlist sees batches committed after it.
+	CreatedGeneration uint64 `json:"created_generation"`
+	// LastSeq is the latest alert sequence fired (0 when none yet);
+	// clients resume an event stream with ?after=<seq>.
+	LastSeq uint64 `json:"last_seq"`
+}
+
+// Alert re-exports the watch package's alert envelope: sequence,
+// watchlist, generation, and the matched article with the same
+// score-and-explanations payload a roll-up result carries.
+type Alert = watch.Alert
+
+// WatchCounters re-exports the standing-query activity counters
+// surfaced in Stats and /statsz.
+type WatchCounters watch.Counters
+
+// WatchSubscription re-exports a live alert subscription: read C until
+// closed, then Cancel.
+type WatchSubscription = watch.Subscription
+
+// RegisterWatchlist validates a spec exactly like a query (canonical
+// concepts, typed unknown-concept errors with suggestions, source-name
+// validation) and registers it. The new watchlist observes every batch
+// ingested after the returned CreatedGeneration; registration is
+// atomic against concurrent ingests (a racing batch is either fully
+// seen or fully before the watchlist, never half-evaluated). The
+// registration is checkpointed immediately when a checkpoint directory
+// is configured.
+func (x *Explorer) RegisterWatchlist(spec WatchlistSpec) (Watchlist, error) {
+	concepts := CanonicalConcepts(spec.Concepts)
+	if _, err := x.resolveConcepts(concepts); err != nil {
+		return Watchlist{}, err
+	}
+	if _, err := resolveSources(spec.Sources); err != nil {
+		return Watchlist{}, err
+	}
+	if spec.MinScore < 0 {
+		return Watchlist{}, newErrorf(CodeInvalidArgument,
+			"ncexplorer: invalid min_score %g: want a non-negative number", spec.MinScore)
+	}
+	if spec.WebhookURL != "" {
+		u, err := url.Parse(spec.WebhookURL)
+		if err != nil || (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+			return Watchlist{}, newErrorf(CodeInvalidArgument,
+				"ncexplorer: invalid webhook_url %q: want an absolute http(s) URL", spec.WebhookURL)
+		}
+	}
+	def := watch.Definition{
+		Name:       spec.Name,
+		Concepts:   concepts,
+		Sources:    canonicalSources(spec.Sources),
+		MinScore:   spec.MinScore,
+		WebhookURL: spec.WebhookURL,
+	}
+	var regErr error
+	// Pin CreatedGen under the ingest lock: no batch can commit between
+	// reading the generation and the registration becoming visible, so
+	// "watches everything after generation G" is exact.
+	x.engine.WithRecentView(0, func(v *core.DeltaView) {
+		def.CreatedGen = v.Generation()
+		def, regErr = x.watch.Register(def)
+	})
+	if regErr != nil {
+		if errors.Is(regErr, watch.ErrLimit) {
+			return Watchlist{}, &Error{Code: CodeLimitExceeded, Message: "ncexplorer: " + regErr.Error(), Err: regErr}
+		}
+		return Watchlist{}, regErr
+	}
+	x.engine.Checkpoint()
+	return x.watchlist(def, 0), nil
+}
+
+// GetWatchlist returns one watchlist, or CodeNotFound.
+func (x *Explorer) GetWatchlist(id string) (Watchlist, error) {
+	def, last, ok := x.watch.Get(id)
+	if !ok {
+		return Watchlist{}, newErrorf(CodeNotFound, "ncexplorer: unknown watchlist %q", id)
+	}
+	return x.watchlist(def, last), nil
+}
+
+// ListWatchlists returns all registered watchlists, ordered by ID
+// (registration order).
+func (x *Explorer) ListWatchlists() []Watchlist {
+	defs, seqs := x.watch.List()
+	out := make([]Watchlist, len(defs))
+	for i, d := range defs {
+		out[i] = x.watchlist(d, seqs[i])
+	}
+	return out
+}
+
+// RemoveWatchlist deletes a watchlist, ending its subscriptions and
+// deliveries; retained alerts are discarded. Returns CodeNotFound for
+// an unknown ID. The removal is checkpointed immediately when a
+// checkpoint directory is configured.
+func (x *Explorer) RemoveWatchlist(id string) error {
+	if !x.watch.Remove(id) {
+		return newErrorf(CodeNotFound, "ncexplorer: unknown watchlist %q", id)
+	}
+	x.engine.Checkpoint()
+	return nil
+}
+
+// WatchSubscribe opens a live alert subscription on a watchlist,
+// replaying retained alerts with Seq > after before any live alert —
+// in order, with no gap or duplicate at the catch-up boundary.
+func (x *Explorer) WatchSubscribe(id string, after uint64) (*WatchSubscription, error) {
+	sub, err := x.watch.Subscribe(id, after)
+	if err != nil {
+		return nil, newErrorf(CodeNotFound, "ncexplorer: unknown watchlist %q", id)
+	}
+	return sub, nil
+}
+
+// WatchReplay returns the retained alerts with Seq > after, plus the
+// earliest sequence still retained (0 when none): earliest > after+1
+// means the client's cursor predates the retention window.
+func (x *Explorer) WatchReplay(id string, after uint64) ([]Alert, uint64, error) {
+	alerts, earliest, err := x.watch.Replay(id, after)
+	if err != nil {
+		return nil, 0, newErrorf(CodeNotFound, "ncexplorer: unknown watchlist %q", id)
+	}
+	return alerts, earliest, nil
+}
+
+// StartWebhooks launches the webhook delivery worker. Call once after
+// construction (the server does, when watchlists are enabled); idle
+// without webhook-enabled watchlists. timeout bounds each POST
+// attempt; 0 selects the 5s default.
+func (x *Explorer) StartWebhooks(timeout time.Duration) {
+	x.watch.StartWebhooks(watch.WebhookOptions{Timeout: timeout})
+}
+
+// DrainWebhooks stops the webhook worker, waiting for the in-flight
+// delivery (not the whole backlog) to finish or ctx to expire. Alerts
+// not yet acknowledged keep their cursor position — they are persisted
+// by the final save and redelivered after restart, which is the
+// at-least-once half of the delivery contract.
+func (x *Explorer) DrainWebhooks(ctx context.Context) error {
+	return x.watch.DrainWebhooks(ctx)
+}
+
+// watchlist converts a definition to the public shape.
+func (x *Explorer) watchlist(def watch.Definition, lastSeq uint64) Watchlist {
+	return Watchlist{
+		ID:                def.ID,
+		Name:              def.Name,
+		Concepts:          def.Concepts,
+		Sources:           def.Sources,
+		MinScore:          def.MinScore,
+		WebhookURL:        def.WebhookURL,
+		CreatedGeneration: def.CreatedGen,
+		LastSeq:           lastSeq,
+	}
+}
+
+// initWatch builds the registry and wires it into the engine: the
+// ingest hook evaluates every committed batch, and the encoder makes
+// registry state a first-class participant in snapshot persistence
+// (written before the manifest, loaded by Open).
+func (x *Explorer) initWatch(opts watch.Options) {
+	x.watch = watch.NewRegistry(opts)
+	x.engine.SetIngestHook(x.watchEvaluate)
+	x.engine.SetWatchEncoder(x.watch.Encode)
+}
+
+// watchEvaluate is the ingest hook: match every watchlist against the
+// batch's delta and publish the alerts. It runs under the ingest lock,
+// after the generation swap and before the batch's checkpoint, so
+// alert state persists atomically with the batch that fired it.
+//
+// Cost is proportional to the delta (and the watchlist count), not the
+// corpus: matching walks only the new segment's postings, and scoring
+// touches only matched delta documents. That keeps per-ingest overhead
+// flat as the corpus grows — the property BenchmarkWatchEvaluate pins.
+func (x *Explorer) watchEvaluate(v *core.DeltaView) {
+	for _, def := range x.watch.Definitions() {
+		// A watchlist registered at generation G sees batches after G. The
+		// hook's generation is always ≥ CreatedGen+1 for pre-batch
+		// registrations; equality means the list was registered after this
+		// batch committed (impossible here, but the guard is cheap).
+		if def.CreatedGen >= v.Generation() {
+			continue
+		}
+		q, err := x.resolveConcepts(def.Concepts)
+		if err != nil {
+			continue // world changed under a persisted list; never alerts
+		}
+		matched := v.MatchedInDelta(q)
+		if len(matched) == 0 {
+			continue
+		}
+		var srcs map[corpus.Source]bool
+		if len(def.Sources) > 0 {
+			resolved, err := resolveSources(def.Sources)
+			if err != nil {
+				continue
+			}
+			srcs = make(map[corpus.Source]bool, len(resolved))
+			for _, s := range resolved {
+				srcs[s] = true
+			}
+		}
+		var arts []watch.Article
+		for _, doc := range matched {
+			if srcs != nil && !srcs[v.Source(doc)] {
+				continue
+			}
+			score, contribs := v.Score(q, doc)
+			if def.MinScore > 0 && score < def.MinScore {
+				continue
+			}
+			d := v.Article(doc)
+			art := watch.Article{
+				ID:     int(doc),
+				Source: d.Source.String(),
+				Title:  d.Title,
+				Body:   d.Body,
+				Score:  score,
+			}
+			for _, cc := range contribs {
+				expl := watch.Explanation{Concept: x.g.Name(cc.Concept), CDR: cc.CDR}
+				if cc.Pivot >= 0 {
+					expl.Pivot = x.g.Name(cc.Pivot)
+				}
+				art.Explanations = append(art.Explanations, expl)
+			}
+			arts = append(arts, art)
+		}
+		x.watch.Publish(def.ID, v.Generation(), arts)
+	}
+}

@@ -1,0 +1,85 @@
+package ncexplorer
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"ncexplorer/internal/core"
+)
+
+// BenchmarkWatchEvaluate measures the ingest-time standing-query
+// sweep: one call evaluates every registered watchlist against a
+// 25-document delta, exactly as the ingest hook does. The growth axis
+// pre-ingests batches (crossing the segment-merge threshold) before
+// measuring; because evaluation walks only the delta's postings, the
+// per-ingest cost must stay flat (±25%) as the corpus grows — the
+// acceptance gate scripts/bench_json.sh enforces. The watchlists axis
+// shows cost scaling linearly in the number of standing queries, and
+// the alerts/s metric reports delivery throughput.
+func BenchmarkWatchEvaluate(b *testing.B) {
+	const deltaDocs = 25
+	for _, growth := range []int{0, 8} {
+		x, err := New(Config{Scale: "tiny", Seed: 42, AlertBuffer: 64})
+		if err != nil {
+			b.Fatal(err)
+		}
+		seed := uint64(5000 + 100*growth)
+		ingest := func() {
+			arts, err := x.SampleArticles(seed, deltaDocs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			seed++
+			if _, err := x.Ingest(context.Background(), arts); err != nil {
+				b.Fatal(err)
+			}
+		}
+		for i := 0; i < growth; i++ {
+			ingest()
+		}
+		x.Quiesce()
+		pool := popularConcepts(b, x, 8)
+
+		for _, nw := range []int{1, 4, 16} {
+			name := fmt.Sprintf("growth=%d/watchlists=%d", growth, nw)
+			b.Run(name, func(b *testing.B) {
+				// Register before the measured batch lands: a watchlist only
+				// sees batches ingested after its CreatedGeneration, and the
+				// repeated evaluations below replay that batch's delta.
+				var wls []Watchlist
+				for i := 0; i < nw; i++ {
+					wl, err := x.RegisterWatchlist(WatchlistSpec{
+						Concepts: []string{pool[i%len(pool)]},
+						MinScore: float64(i%4) * 0.01,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					wls = append(wls, wl)
+				}
+				ingest()
+				x.Quiesce()
+				before := x.Stats().Watch.AlertsFired
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					x.engine.WithRecentView(deltaDocs, func(v *core.DeltaView) {
+						x.watchEvaluate(v)
+					})
+				}
+				b.StopTimer()
+				fired := x.Stats().Watch.AlertsFired - before
+				if fired == 0 {
+					b.Fatal("evaluation fired no alerts — the benchmark measures nothing")
+				}
+				b.ReportMetric(float64(fired)/b.Elapsed().Seconds(), "alerts/s")
+				b.ReportMetric(float64(fired)/float64(b.N), "alerts/op")
+				for _, wl := range wls {
+					if err := x.RemoveWatchlist(wl.ID); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
