@@ -18,9 +18,10 @@ import (
 //   - per generation (swapped with the snapshot, so an ingest
 //     invalidates them wholesale without a flush):
 //     cdrMemo memoises full cdr(c, d) values under the same key the
-//     snapshot build pre-seeds; matchMemo memoises the sorted
-//     matching-document list per concept (Definition 1 semantics),
-//     the input to every roll-up and drill-down;
+//     snapshot build pre-seeds; the per-concept matching-document
+//     lists (Definition 1 semantics) live in the generation's concept
+//     plans (plan.go), precomputed at swap time rather than memoised
+//     on demand;
 //   - engine-wide (valid forever): connMemo holds the
 //     context-relevance factor cdrc(c, d) — the random-walk part of
 //     cdr, a pure function of graph + document — and the extent cache
@@ -34,7 +35,8 @@ import (
 // computes a value computes THE value.
 
 // cdrShards/matchShards size the memo maps. cdr keys are dense (every
-// query touches many (concept, doc) pairs) so they get more shards.
+// query touches many (concept, doc) pairs) so they get more shards;
+// matchShards sizes the engine-wide extent cache.
 const (
 	cdrShards   = 64
 	matchShards = 16
@@ -46,8 +48,10 @@ type CacheStats struct {
 	// CDR is the (concept, document) relevance memo (current
 	// generation).
 	CDR shardmap.Stats `json:"cdr"`
-	// Match is the concept→matching-documents memo (current
-	// generation).
+	// Match reports the concept→matching-documents plans (current
+	// generation). Plans are precomputed at swap time, so Entries is
+	// the number of concepts with a non-empty plan and the hit/miss
+	// counters stay zero — the query path never faults one in.
 	Match shardmap.Stats `json:"match"`
 	// Conn is the engine-wide (generation-independent) connectivity
 	// memo behind cdr's expensive factor.
@@ -62,7 +66,7 @@ func (e *Engine) CacheStats() CacheStats {
 	}
 	return CacheStats{
 		CDR:   st.cdrMemo.Stats(),
-		Match: st.matchMemo.Stats(),
+		Match: shardmap.Stats{Entries: int64(st.planned)},
 		Conn:  e.connMemo.Stats(),
 	}
 }
@@ -79,20 +83,24 @@ func (st *genState) getScorer() *relevance.Scorer {
 
 func (st *genState) putScorer(s *relevance.Scorer) { st.scorers.Put(s) }
 
-// seedMemos stores the generation's per-document concept scores into
-// the cdr memo (the cache's post-build baseline) and pins their
-// context factors in the engine-wide connectivity memo — after a
-// ResetQueryCaches this restores connMemo to exactly the state a
-// fresh build of this generation would leave behind.
+// seedMemos stores every planned (concept, document) score into the
+// cdr memo (the cache's post-build baseline — the delta-evaluation
+// path reads cdr by key) and pins the walked context factors in the
+// engine-wide connectivity memo — after a ResetQueryCaches this
+// restores connMemo to exactly the state a fresh build of this
+// generation would leave behind. Pairs whose ontology factor is zero
+// were never walked and stay out of the connectivity memo.
 func (st *genState) seedMemos() {
-	for i := range st.concepts {
-		for _, cs := range st.concepts[i] {
-			key := cdrKey(cs.Concept, int32(i))
-			st.cdrMemo.Store(key, cdrEntry{cdr: cs.CDR, pivot: cs.Pivot})
-			st.e.connMemo.Store(key, cs.CDRC)
+	for c := range st.plans {
+		p := &st.plans[c]
+		for i, d := range p.docs {
+			key := cdrKey(kg.NodeID(c), d)
+			st.cdrMemo.Store(key, cdrEntry{cdr: p.scores[i], pivot: p.pivots[i]})
+			if p.ont[i] > 0 {
+				st.e.connMemo.Store(key, p.cdrc[i])
+			}
 		}
 	}
 }
 
-func hashCDRKey(k uint64) uint64     { return shardmap.Mix64(k) }
-func hashConcept(c kg.NodeID) uint64 { return shardmap.Mix64(uint64(uint32(c))) }
+func hashCDRKey(k uint64) uint64 { return shardmap.Mix64(k) }

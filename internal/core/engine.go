@@ -182,6 +182,17 @@ type Engine struct {
 	linker  *nlp.Linker
 	reachIx *reach.Index
 
+	// maxInstDeg is Δ, the maximum instance degree of the graph —
+	// the walk branching bound behind the planner's cdrc ceilings.
+	maxInstDeg int
+
+	// scratch pools the per-query planner scratch (collectors, dense
+	// stamp arrays) and divScratch the per-worker drill-down diversity
+	// scratch; both are engine-wide because their sizes depend only on
+	// the immutable graph.
+	scratch sync.Pool
+	divPool sync.Pool
+
 	// st is the current generation's query state. Query entry points
 	// load it exactly once and thread it through, so a query runs
 	// against one consistent snapshot even while Ingest swaps in a new
@@ -246,11 +257,23 @@ type genState struct {
 	// indexed by global doc ID.
 	concepts [][]ConceptScore
 
-	// Query-path memoisation, valid for this generation only:
-	// cdrMemo caches full cdr(c, d) values (pre-seeded from concepts),
-	// matchMemo the sorted matching-document list per concept.
-	cdrMemo   *shardmap.Map[uint64, cdrEntry]
-	matchMemo *shardmap.Map[kg.NodeID, []int32]
+	// ents maps global doc ID to the document's entity list — the same
+	// slices snap.Doc returns, resolved once per generation so the
+	// drill-down hot loops never pay segment resolution per lookup.
+	ents [][]kg.NodeID
+
+	// plans are the generation's pruned-query plans, indexed by
+	// concept node ID: sorted matching documents (the former match
+	// memo, now precomputed), their cdr scores and explanation
+	// payloads, and block-max score ceilings (see plan.go). planned
+	// counts the concepts with non-empty plans.
+	plans   []conceptPlan
+	planned int
+
+	// Query-path memoisation, valid for this generation only: cdrMemo
+	// caches full cdr(c, d) values, pre-seeded from the plans (the
+	// delta-evaluation path reads it by key).
+	cdrMemo *shardmap.Map[uint64, cdrEntry]
 
 	// scorers pools per-goroutine relevance scorers whose DocView is
 	// this state — a borrowed scorer reads one generation's statistics
@@ -286,12 +309,15 @@ func (st *genState) ContextWeight(v kg.NodeID, doc int32) float64 {
 func NewEngine(g *kg.Graph, opts Options) *Engine {
 	opts = opts.withDefaults()
 	e := &Engine{
-		g:        g,
-		opts:     opts,
-		linker:   nlp.NewLinker(g),
-		connMemo: shardmap.New[uint64, float64](cdrShards, hashCDRKey),
-		extents:  relevance.NewExtentCache(matchShards),
+		g:          g,
+		opts:       opts,
+		linker:     nlp.NewLinker(g),
+		maxInstDeg: maxInstanceDegree(g),
+		connMemo:   shardmap.New[uint64, float64](cdrShards, hashCDRKey),
+		extents:    relevance.NewExtentCache(matchShards),
 	}
+	e.scratch.New = func() any { return newQueryScratch(g.NumNodes()) }
+	e.divPool.New = func() any { return &divScratch{stamp: make([]uint32, g.NumNodes())} }
 	if !opts.Exact {
 		e.reachIx = reach.New(g, opts.Tau, opts.ReachCache)
 	}
@@ -428,17 +454,17 @@ func (e *Engine) buildState(gen uint64, segs []*snapshot.Segment) (*genState, in
 	n := st.snap.NumDocs()
 	st.concepts = make([][]ConceptScore, n)
 
-	scoreNanos := make([]int64, n)
 	workerScorers := make([]*relevance.Scorer, e.opts.Workers)
 	for w := range workerScorers {
 		workerScorers[w] = relevance.NewScorer(e.g, st, e.reachIx, e.scorerOpts())
 	}
+	total := e.buildPlans(st, workerScorers)
+	scoreNanos := make([]int64, n)
 	e.parallelWorker(n, func(worker, i int) {
 		start := time.Now()
-		st.concepts[i] = st.deriveDocScores(workerScorers[worker], int32(i))
+		st.concepts[i] = st.deriveDocScores(int32(i))
 		scoreNanos[i] = time.Since(start).Nanoseconds()
 	})
-	var total int64
 	for _, ns := range scoreNanos {
 		total += ns
 	}
@@ -450,10 +476,13 @@ func (e *Engine) buildState(gen uint64, segs []*snapshot.Segment) (*genState, in
 // pool bound to it.
 func (e *Engine) newStateShell(snap *snapshot.Snapshot) *genState {
 	st := &genState{
-		e:         e,
-		snap:      snap,
-		cdrMemo:   shardmap.New[uint64, cdrEntry](cdrShards, hashCDRKey),
-		matchMemo: shardmap.New[kg.NodeID, []int32](matchShards, hashConcept),
+		e:       e,
+		snap:    snap,
+		cdrMemo: shardmap.New[uint64, cdrEntry](cdrShards, hashCDRKey),
+	}
+	st.ents = make([][]kg.NodeID, snap.NumDocs())
+	for i := range st.ents {
+		st.ents[i] = snap.Doc(int32(i)).Entities
 	}
 	st.scorers.New = func() any {
 		return relevance.NewScorer(e.g, st, e.reachIx, e.scorerOpts())
@@ -462,21 +491,29 @@ func (e *Engine) newStateShell(snap *snapshot.Snapshot) *genState {
 }
 
 // deriveDocScores computes one document's kept candidate scores at
-// this generation: rank candidates by the (cheap, generation-
-// dependent) ontology relevance, keep the cap, then attach the
-// (expensive, generation-independent, memoised) context factor.
-func (st *genState) deriveDocScores(s *relevance.Scorer, doc int32) []ConceptScore {
+// this generation by looking up the already-built plans: rank the
+// candidates by the ontology relevance, keep the cap, and attach the
+// precomputed context factor. Identical output to scoring on demand —
+// a candidate matches the document exactly when it appears in the
+// concept's plan, and the plan carries the same cdro/pivot/cdrc
+// values the scorer would produce.
+func (st *genState) deriveDocScores(doc int32) []ConceptScore {
 	rec := st.snap.Doc(doc)
 	type cand struct {
 		c     kg.NodeID
+		idx   int
 		cdro  float64
 		pivot kg.NodeID
 	}
 	scored := make([]cand, 0, len(rec.Candidates))
 	for _, c := range rec.Candidates {
-		cdro, pivot := s.OntologyRel(c, doc)
-		if cdro > 0 {
-			scored = append(scored, cand{c, cdro, pivot})
+		p := st.plan(c)
+		idx := p.planIdx(doc)
+		if idx < 0 {
+			continue
+		}
+		if cdro := p.ont[idx]; cdro > 0 {
+			scored = append(scored, cand{c, idx, cdro, p.pivots[idx]})
 		}
 	}
 	sort.Slice(scored, func(i, j int) bool {
@@ -490,8 +527,10 @@ func (st *genState) deriveDocScores(s *relevance.Scorer, doc int32) []ConceptSco
 	}
 	out := make([]ConceptScore, 0, len(scored))
 	for _, cd := range scored {
-		cdrc := st.e.contextRel(s, cd.c, doc)
-		out = append(out, ConceptScore{Concept: cd.c, CDR: cd.cdro * cdrc, CDRC: cdrc, Pivot: cd.pivot})
+		p := st.plan(cd.c)
+		out = append(out, ConceptScore{
+			Concept: cd.c, CDR: p.scores[cd.idx], CDRC: p.cdrc[cd.idx], Pivot: cd.pivot,
+		})
 	}
 	// Deterministic order for downstream iteration.
 	sort.Slice(out, func(i, j int) bool { return out[i].Concept < out[j].Concept })
@@ -655,12 +694,15 @@ func (e *Engine) DocConcepts(doc corpus.DocID) []ConceptScore {
 }
 
 // ResetQueryCaches restores the query-time memoisation to the current
-// generation's post-build state: fresh match and cdr memos re-seeded
-// from the per-document concept scores, and the connectivity memo
-// reduced to the entries those scores pin. Benchmarks use it to replay
-// cold-cache traffic; results are unaffected because on-demand values
-// are seeded per (concept, document) — a query in flight during the
-// reset keeps its pinned state and recomputes identical values.
+// generation's post-build state: a fresh cdr memo re-seeded from the
+// plans, and the connectivity memo reduced to the entries the plans
+// pin. The plans and per-document scores themselves are generation
+// state, not query caches — they are carried over, exactly as a fresh
+// build of this generation would recreate them. Benchmarks use this
+// to replay cold-cache traffic; results are unaffected because
+// on-demand values are seeded per (concept, document) — a query in
+// flight during the reset keeps its pinned state and recomputes
+// identical values.
 func (e *Engine) ResetQueryCaches() {
 	e.ingestMu.Lock()
 	defer e.ingestMu.Unlock()
@@ -671,6 +713,8 @@ func (e *Engine) ResetQueryCaches() {
 	e.connMemo.Reset()
 	st := e.newStateShell(cur.snap)
 	st.concepts = cur.concepts
+	st.plans = cur.plans
+	st.planned = cur.planned
 	st.seedMemos()
 	e.st.Store(st)
 	e.epoch.Add(1)

@@ -205,7 +205,10 @@ func (e *Engine) mergeSegments() {
 	st := e.newStateShell(snapshot.New(cur.snap.Generation, segs))
 	st.concepts = cur.concepts
 	st.cdrMemo = cur.cdrMemo
-	st.matchMemo = cur.matchMemo
+	// Plans stay valid verbatim: merges keep document IDs, corpus-global
+	// statistics, and (global-ID-aligned) block identities unchanged.
+	st.plans = cur.plans
+	st.planned = cur.planned
 	e.st.Store(st)
 	// No epoch bump: answers are unchanged, external caches stay warm.
 	// The checkpoint keeps the data directory aligned with the merged

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -11,8 +12,8 @@ import (
 
 // benchQueries enumerates a large pool of distinct single-concept
 // queries (every concept in the world), so the cold-cache parallel
-// benchmarks spread concurrent misses across many cache keys the way
-// real mixed traffic does.
+// benchmarks spread concurrent work across many plans the way real
+// mixed traffic does.
 func benchQueries(g *kg.Graph) []Query {
 	var qs []Query
 	g.Concepts(func(c kg.NodeID) bool {
@@ -27,10 +28,11 @@ func benchQueries(g *kg.Graph) []Query {
 // outgrows the pool, after which the "cold" benchmark re-measures the
 // warm hit path. Instead each b.N iteration is one epoch — reset the
 // query caches (untimed), then drain the whole pool once through
-// GOMAXPROCS goroutines — so every timed query is a miss. The
-// per-query cost is reported as ns/query.
+// GOMAXPROCS goroutines — so every timed query runs against freshly
+// reset memoisation. The per-query cost is reported as ns/query.
 func runColdParallel(b *testing.B, e *Engine, qs []Query, run func(q Query)) {
 	workers := runtime.GOMAXPROCS(0)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()
@@ -58,23 +60,28 @@ func runColdParallel(b *testing.B, e *Engine, qs []Query, run func(q Query)) {
 }
 
 // BenchmarkRollUpParallel measures roll-up throughput under concurrent
-// load. The warm variant replays one fully cached query via
-// b.RunParallel — pure read-path concurrency. The cold variant times
-// reset-and-drain epochs over distinct queries (see runColdParallel),
-// so the miss path (extent matching + on-demand cdr scoring) is what
-// is measured; under the pre-refactor global engine mutex every miss
-// serialized here.
+// load. The warm variant replays one query via b.RunParallel through
+// the page-reusing RollUpPageInto — pure read-path concurrency, gated
+// at 0 allocs/op. The cold variant times reset-and-drain epochs over
+// distinct queries (see runColdParallel) through the allocating public
+// API, so the full per-query cost — pruned plan scan plus page
+// construction — is what is measured.
 func BenchmarkRollUpParallel(b *testing.B) {
 	g, meta, _, e := world(b)
 	topic := meta.Topics[0]
 	warmQ := Query{topic.Concept, topic.GroupConcept}
 
 	b.Run("warm", func(b *testing.B) {
-		e.RollUp(warmQ, 10)
+		ctx := context.Background()
+		opts := RollUpOptions{K: 10}
+		b.ReportAllocs()
 		b.ResetTimer()
 		b.RunParallel(func(pb *testing.PB) {
+			var page RollUpPage
 			for pb.Next() {
-				e.RollUp(warmQ, 10)
+				if err := e.RollUpPageInto(ctx, warmQ, opts, &page); err != nil {
+					b.Fatal(err)
+				}
 			}
 		})
 	})
@@ -84,9 +91,9 @@ func BenchmarkRollUpParallel(b *testing.B) {
 }
 
 // BenchmarkDrillDownParallel is the drill-down analogue of
-// BenchmarkRollUpParallel: warm replays one cached suggestion round
-// under b.RunParallel, cold times reset-and-drain epochs over
-// distinct queries.
+// BenchmarkRollUpParallel: warm replays one suggestion round under
+// b.RunParallel, cold times reset-and-drain epochs over distinct
+// queries.
 func BenchmarkDrillDownParallel(b *testing.B) {
 	g, meta, _, e := world(b)
 	topic := meta.Topics[0]
@@ -94,6 +101,7 @@ func BenchmarkDrillDownParallel(b *testing.B) {
 
 	b.Run("warm", func(b *testing.B) {
 		e.DrillDown(warmQ, 10)
+		b.ReportAllocs()
 		b.ResetTimer()
 		b.RunParallel(func(pb *testing.PB) {
 			for pb.Next() {

@@ -1,0 +1,440 @@
+package core
+
+import (
+	"context"
+	"math"
+	"sort"
+	"time"
+
+	"ncexplorer/internal/corpus"
+	"ncexplorer/internal/kg"
+	"ncexplorer/internal/relevance"
+	"ncexplorer/internal/snapshot"
+	"ncexplorer/internal/topk"
+)
+
+// The query planner: at swap time (build, ingest, merge-carry, cache
+// reset) the engine eagerly scores every MATCHING (concept, document)
+// pair — not just the per-document kept candidates — into per-concept
+// plans, and computes a block-max score ceiling per fixed window of
+// the document-ID space. A roll-up then never touches the relevance
+// machinery: it walks one plan's blocks in ceiling order, keeps a
+// top-k threshold, and skips whole blocks that provably cannot beat
+// it (WAND-style upper-bound pruning, cf. block-max indexes in text
+// search).
+//
+// Why eager scoring is affordable: matching pairs exceed the candidate
+// pairs the engine always scored by only a small factor (~1.3× at the
+// default experiment scale — candidates are the direct concepts of
+// document entities plus ancestor levels, and most matching concepts
+// ARE candidates), and the expensive connectivity factor is memoised
+// in the generation-independent connMemo, so pairs are walked once
+// per corpus lifetime no matter how many generations rebuild plans.
+//
+// Ceiling construction (see DESIGN.md §9): for concept c and block w,
+//
+//	ceil(c, w) = Spec(c) · ubOnt(c, w) · cdrcCap(c)
+//	ubOnt(c, w) = max_{v∈ext(c)} idfN(v) · sat(maxTF(v, w))
+//	cdrcCap(c)  = ConnToScore(ConnCap(|ext(c)|, Δ, τ, β))
+//
+// where maxTF comes from the persisted per-segment block-max tables
+// (snapshot.MaxTF), idfN(v) = IDF(v)/idfMax is this generation's
+// normalised inverse document frequency, and Δ is the graph's maximum
+// instance degree. Every factor dominates its counterpart in
+// cdr = (Spec·max tw)·cdrc with the same floating-point operations
+// (sat ≤ satMax exactly, and fp multiplication is monotone), so
+// ceil(c, w) ≥ cdr(c, d) for every d in the block. As belt-and-braces
+// against accumulation corner cases in the sampled conn estimate, the
+// builder additionally raises a ceiling to the block's realised
+// maximum score — by construction a skip can then never hide a
+// retained result.
+
+// planBlock is one scoring block of a concept plan: the contiguous
+// index range [lo, hi) of plan.docs whose documents fall into one
+// global-ID window, plus the score ceiling for that window.
+type planBlock struct {
+	lo, hi int32
+	ceil   float64
+}
+
+// conceptPlan holds everything a query needs about one concept,
+// parallel-indexed: the sorted matching documents (Definition 1
+// semantics, identical to the former match memo), their full cdr
+// scores and explanation payloads, and the pruning blocks. Immutable
+// after build; shared by every query pinned to the generation.
+type conceptPlan struct {
+	docs   []int32
+	scores []float64 // cdr(c, d)
+	ont    []float64 // cdro(c, d): candidate-ranking input for drill-down postings
+	cdrc   []float64 // the memoised connectivity factor (0 when cdro = 0: never walked)
+	pivots []kg.NodeID
+	blocks []planBlock
+	// ceilOrder lists block indices by (ceil desc, position asc): the
+	// visit order that raises the top-k threshold fastest.
+	ceilOrder []int32
+}
+
+// plan returns the concept's plan (empty plan: matches nothing).
+func (st *genState) plan(c kg.NodeID) *conceptPlan {
+	if c < 0 || int(c) >= len(st.plans) {
+		return &emptyPlan
+	}
+	return &st.plans[c]
+}
+
+var emptyPlan conceptPlan
+
+// planIdx returns the index of doc in p.docs, or -1.
+func (p *conceptPlan) planIdx(doc int32) int {
+	lo, hi := 0, len(p.docs)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if p.docs[mid] < doc {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(p.docs) && p.docs[lo] == doc {
+		return lo
+	}
+	return -1
+}
+
+// maxInstanceDegree scans the instance space once for Δ, the walk
+// branching bound behind cdrcCap.
+func maxInstanceDegree(g *kg.Graph) int {
+	max := 0
+	g.Instances(func(v kg.NodeID) bool {
+		if d := g.InstanceDegree(v); d > max {
+			max = d
+		}
+		return true
+	})
+	return max
+}
+
+// buildPlans derives the generation's concept plans. Concepts that can
+// match at least one document are exactly those with a document entity
+// in their extent closure; enumerating the broader-closure of every
+// document entity's direct concepts gives a superset (the closure cap
+// can only shrink a concept's matches), and gathering per concept via
+// the capped extent reproduces Definition 1 matching exactly. Returns
+// the summed per-concept scoring nanoseconds.
+func (e *Engine) buildPlans(st *genState, scorers []*relevance.Scorer) int64 {
+	numNodes := e.g.NumNodes()
+	st.plans = make([]conceptPlan, numNodes)
+	snap := st.snap
+	nDocs := snap.NumDocs()
+
+	// Phase 1: enumerate the matching-concept superset, deterministically
+	// (documents ascending, entities in first-mention order).
+	entSeen := make([]bool, numNodes)
+	conceptSeen := make([]bool, numNodes)
+	var concepts []kg.NodeID
+	var stack []kg.NodeID
+	mark := func(c kg.NodeID) {
+		if !conceptSeen[c] {
+			conceptSeen[c] = true
+			concepts = append(concepts, c)
+			stack = append(stack, c)
+		}
+	}
+	for d := 0; d < nDocs; d++ {
+		for _, v := range snap.Doc(int32(d)).Entities {
+			if entSeen[v] {
+				continue
+			}
+			entSeen[v] = true
+			for _, c0 := range e.g.ConceptsOf(v) {
+				mark(c0)
+			}
+			for len(stack) > 0 {
+				c := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				for _, b := range e.g.Broader(c) {
+					mark(b)
+				}
+			}
+		}
+	}
+	st.planned = len(concepts)
+
+	// Phase 2: per-entity normalised IDF, idfN(v) = IDF(v)/idfMax, with
+	// the exact floating-point operations of textindex TFIDF so the
+	// ceiling's ubOnt dominates every term weight op-for-op.
+	idfMax := math.Log(1 + (float64(snap.Text.NumDocs())+0.5)/0.5)
+	entIDFN := make([]float64, numNodes)
+	if idfMax != 0 {
+		for v := kg.NodeID(0); int(v) < numNodes; v++ {
+			if entSeen[v] {
+				entIDFN[v] = snap.Text.IDF(snapshot.EntTerm(v)) / idfMax
+			}
+		}
+	}
+
+	// Phase 3: per-concept gather + score + ceilings, in parallel.
+	numBlocks := snap.NumBlocks()
+	type planScratch struct {
+		docStamp []uint32
+		blockAcc []float64
+		blockGen []uint32
+		gen      uint32
+	}
+	scratches := make([]*planScratch, len(scorers))
+	for w := range scratches {
+		scratches[w] = &planScratch{
+			docStamp: make([]uint32, nDocs),
+			blockAcc: make([]float64, numBlocks+1),
+			blockGen: make([]uint32, numBlocks+1),
+		}
+	}
+	nanos := make([]int64, len(scorers))
+	e.parallelWorker(len(concepts), func(worker, i int) {
+		start := time.Now()
+		c := concepts[i]
+		s := scorers[worker]
+		sc := scratches[worker]
+		sc.gen++
+		ext, _ := s.Extent(c)
+
+		// Matched documents: union of the capped extent's postings.
+		var docs []int32
+		for _, v := range ext {
+			snap.EntityDocs(v, func(list []int32) {
+				for _, d := range list {
+					if sc.docStamp[d] != sc.gen {
+						sc.docStamp[d] = sc.gen
+						docs = append(docs, d)
+					}
+				}
+			})
+		}
+		if len(docs) == 0 {
+			nanos[worker] += time.Since(start).Nanoseconds()
+			return
+		}
+		sort.Slice(docs, func(a, b int) bool { return docs[a] < docs[b] })
+
+		p := &st.plans[c]
+		p.docs = docs
+		p.scores = make([]float64, len(docs))
+		p.ont = make([]float64, len(docs))
+		p.cdrc = make([]float64, len(docs))
+		p.pivots = make([]kg.NodeID, len(docs))
+		for j, d := range docs {
+			cdro, pivot := s.OntologyRel(c, d)
+			p.ont[j] = cdro
+			p.pivots[j] = pivot
+			if cdro > 0 {
+				cdrc := e.contextRel(s, c, d)
+				p.cdrc[j] = cdrc
+				p.scores[j] = cdro * cdrc
+			}
+		}
+
+		// Ceilings: fold the persisted block-max tf tables over the
+		// extent into per-block ubOnt maxima.
+		for _, v := range ext {
+			q := entIDFN[v]
+			if q == 0 {
+				continue
+			}
+			snap.EntityMaxTF(v, func(table []snapshot.BlockTF) {
+				for _, bt := range table {
+					sat := float64(bt.TF) / (float64(bt.TF) + 1)
+					w := sat * q
+					if sc.blockGen[bt.Block] != sc.gen {
+						sc.blockGen[bt.Block] = sc.gen
+						sc.blockAcc[bt.Block] = w
+					} else if w > sc.blockAcc[bt.Block] {
+						sc.blockAcc[bt.Block] = w
+					}
+				}
+			})
+		}
+		spec := e.g.Specificity(c)
+		cdrcCap := relevance.ConnToScore(relevance.ConnCap(len(ext), e.maxInstDeg, e.opts.Tau, e.opts.Beta))
+		lo := 0
+		for lo < len(docs) {
+			block := docs[lo] >> snapshot.BlockShift
+			hi := lo + 1
+			for hi < len(docs) && docs[hi]>>snapshot.BlockShift == block {
+				hi++
+			}
+			ceil := 0.0
+			if sc.blockGen[block] == sc.gen {
+				ceil = spec * sc.blockAcc[block] * cdrcCap
+			}
+			// Defensive clamp: the bound is proven over the real numbers
+			// and op-monotone for the ontology part; raising it to the
+			// realised maximum makes the skip rule unconditionally sound
+			// even if sampled-conn accumulation ever rounds above the cap.
+			for j := lo; j < hi; j++ {
+				if p.scores[j] > ceil {
+					ceil = p.scores[j]
+				}
+			}
+			p.blocks = append(p.blocks, planBlock{lo: int32(lo), hi: int32(hi), ceil: ceil})
+			lo = hi
+		}
+		p.ceilOrder = make([]int32, len(p.blocks))
+		for j := range p.ceilOrder {
+			p.ceilOrder[j] = int32(j)
+		}
+		sort.Slice(p.ceilOrder, func(a, b int) bool {
+			ba, bb := p.blocks[p.ceilOrder[a]], p.blocks[p.ceilOrder[b]]
+			if ba.ceil != bb.ceil {
+				return ba.ceil > bb.ceil
+			}
+			return ba.lo < bb.lo
+		})
+		nanos[worker] += time.Since(start).Nanoseconds()
+	})
+	var total int64
+	for _, ns := range nanos {
+		total += ns
+	}
+	return total
+}
+
+// docSourceView is the document→source lookup the pruned scan filters
+// on; satisfied by genState (and by test fakes).
+type docSourceView interface {
+	docSource(doc int32) corpus.Source
+}
+
+func (st *genState) docSource(doc int32) corpus.Source {
+	return st.snap.Doc(doc).Source
+}
+
+// sourceAllowed reports membership in the (tiny) allowed-source list.
+func sourceAllowed(allowed []corpus.Source, s corpus.Source) bool {
+	for _, a := range allowed {
+		if a == s {
+			return true
+		}
+	}
+	return false
+}
+
+// scanPlanPruned is the single-concept pruned roll-up scan: walk the
+// plan's blocks in ceiling order, push scored documents keyed by their
+// ID (order-independent tie-breaking identical to an exhaustive
+// ascending scan), and skip the scoring of any block whose ceiling is
+// STRICTLY below the current top-k threshold — at equality a block may
+// still evict on the ID tie-break, so it must be scored. Returns the
+// filter-passing match count (Total).
+//
+// Filters tighten rather than disable pruning:
+//
+//   - minScore > 0 is itself a skip threshold: a block with
+//     ceil < minScore strictly can contain no document passing the
+//     floor, so it is skipped entirely and contributes nothing to
+//     Total (equality passes the floor, hence strict again);
+//   - a source filter only changes which skipped documents COUNT:
+//     documents in threshold-skipped blocks still match the query, so
+//     Total walks their sources without scoring anything.
+func scanPlanPruned(ctx context.Context, p *conceptPlan, view docSourceView,
+	allowed []corpus.Source, minScore float64, coll *topk.Keyed[int32]) (int, error) {
+	total := 0
+	for _, bi := range p.ceilOrder {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		b := p.blocks[bi]
+		if minScore > 0 && b.ceil < minScore {
+			continue
+		}
+		if th, full := coll.Threshold(); full && b.ceil < th {
+			// Cannot change the retained set; count the matches only.
+			if minScore > 0 {
+				// The floor needs per-document scores to decide Total, and
+				// ceil ≥ minScore here, so fall through to scoring below.
+			} else {
+				if allowed == nil {
+					total += int(b.hi - b.lo)
+				} else {
+					for j := b.lo; j < b.hi; j++ {
+						if sourceAllowed(allowed, view.docSource(p.docs[j])) {
+							total++
+						}
+					}
+				}
+				continue
+			}
+		}
+		for j := b.lo; j < b.hi; j++ {
+			d := p.docs[j]
+			if allowed != nil && !sourceAllowed(allowed, view.docSource(d)) {
+				continue
+			}
+			rel := p.scores[j]
+			if minScore > 0 && rel < minScore {
+				continue
+			}
+			total++
+			coll.Push(d, int64(d), rel)
+		}
+	}
+	return total, nil
+}
+
+// scanMergedPlans is the multi-concept roll-up scan: a leapfrog
+// intersection of the plans' sorted document lists, summing the
+// per-concept scores at the aligned cursors. cursors must be len(plans)
+// zeros; ctx is observed every ctxStride candidate alignments. No block
+// pruning here: per-concept ceilings would have to be summed across
+// blocks that intersect only partially, and multi-concept queries are
+// both rare and already reduced to the (small) intersection — the
+// leapfrog is the win. Tie-breaking matches an ascending exhaustive
+// scan because intersections emit documents in ascending ID order and
+// the collector keys by document ID.
+func scanMergedPlans(ctx context.Context, plans []*conceptPlan, cursors []int, view docSourceView,
+	allowed []corpus.Source, minScore float64, coll *topk.Keyed[int32]) (int, error) {
+	total := 0
+	steps := 0
+	p0 := plans[0]
+outer:
+	for cursors[0] < len(p0.docs) {
+		if steps%ctxStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return 0, err
+			}
+		}
+		steps++
+		d := p0.docs[cursors[0]]
+		for i := 1; i < len(plans); i++ {
+			docs := plans[i].docs
+			j := cursors[i]
+			for j < len(docs) && docs[j] < d {
+				j++
+			}
+			cursors[i] = j
+			if j == len(docs) {
+				break outer
+			}
+			if docs[j] > d {
+				j0 := cursors[0]
+				for j0 < len(p0.docs) && p0.docs[j0] < docs[j] {
+					j0++
+				}
+				cursors[0] = j0
+				continue outer
+			}
+		}
+		// d is in every plan at the current cursors.
+		if allowed == nil || sourceAllowed(allowed, view.docSource(d)) {
+			rel := 0.0
+			for i, p := range plans {
+				rel += p.scores[cursors[i]]
+			}
+			if !(minScore > 0 && rel < minScore) {
+				total++
+				coll.Push(d, int64(d), rel)
+			}
+		}
+		cursors[0]++
+	}
+	return total, nil
+}

@@ -2,6 +2,8 @@ package core
 
 import (
 	"context"
+	"math"
+	"slices"
 	"sort"
 
 	"ncexplorer/internal/corpus"
@@ -9,47 +11,173 @@ import (
 	"ncexplorer/internal/topk"
 )
 
-// ctxStride is how many per-document scoring iterations run between
-// context checks on the roll-up path. Each iteration may pay for a
-// memo-miss cdr computation (random-walk sampling), so a cancelled
-// query stops within one stride of scoring work rather than draining
-// the whole matched set.
+// ctxStride is how many per-document iterations run between context
+// checks on the query paths (the pruned scan checks per block instead:
+// a block is at most BlockSize documents of pure arithmetic).
 const ctxStride = 64
 
 // Generation pinning: every public query entry point loads the current
 // genState exactly once and threads it through all per-document reads,
-// memo lookups, and scorer borrows. A query therefore observes one
+// plan lookups, and scorer borrows. A query therefore observes one
 // snapshot generation end-to-end — an Ingest swapping mid-query can
-// never hand it a half-old, half-new view — and its memo fills land in
-// that generation's maps, warming them for queries pinned to the same
-// snapshot.
+// never hand it a half-old, half-new view.
+
+// queryScratch is the pooled per-query workspace: the roll-up collector
+// and page scratch, plus the dense per-node accumulators behind
+// drill-down. Dense arrays are sized by the immutable graph, so the
+// pool is engine-wide and a warmed entry serves any generation.
+type queryScratch struct {
+	// Roll-up state.
+	coll    *topk.Keyed[int32]
+	items   []topk.KeyedItem[int32]
+	qplans  []*conceptPlan
+	cursors []int
+
+	// Drill-down dense per-concept accumulators, indexed by node ID and
+	// validity-stamped so they never need clearing between queries.
+	stamp   []uint32
+	gen     uint32
+	cov     []float64
+	cnt     []int32
+	pr      []int32
+	head    []int32
+	touched []kg.NodeID
+
+	// mdDoc/mdNext form the shared matched-document pair log: head[c]
+	// chains concept c's entries (most recent first) through mdNext.
+	mdDoc  []int32
+	mdNext []int32
+
+	cand      []candScore
+	shortVals []kg.NodeID
+	subs      []Subtopic
+	subColl   *topk.Collector[int32]
+	subItems  []topk.Item[int32]
+}
+
+// candScore pairs a candidate subtopic with its cheap (pre-diversity)
+// score for shortlist selection.
+type candScore struct {
+	c kg.NodeID
+	s float64
+}
+
+// cmpCandScore orders candidates by (score desc, concept asc); concept
+// IDs are unique, so the order is total and deterministic.
+func cmpCandScore(a, b candScore) int {
+	switch {
+	case a.s > b.s:
+		return -1
+	case a.s < b.s:
+		return 1
+	case a.c < b.c:
+		return -1
+	case a.c > b.c:
+		return 1
+	}
+	return 0
+}
+
+// selectTopCand partitions s so that its k first-by-cmpCandScore
+// elements occupy s[:k] (in arbitrary internal order): a quickselect
+// with median-of-three pivots, average O(len(s)). The order is total
+// (concept IDs are unique), so the selected set is exact — sorting the
+// prefix afterwards yields the same result as sorting all of s.
+func selectTopCand(s []candScore, k int) {
+	lo, hi := 0, len(s)
+	for hi-lo > 1 {
+		// Median of three as the pivot, placed at mid.
+		mid := int(uint(lo+hi) >> 1)
+		if cmpCandScore(s[mid], s[lo]) < 0 {
+			s[mid], s[lo] = s[lo], s[mid]
+		}
+		if cmpCandScore(s[hi-1], s[mid]) < 0 {
+			s[hi-1], s[mid] = s[mid], s[hi-1]
+			if cmpCandScore(s[mid], s[lo]) < 0 {
+				s[mid], s[lo] = s[lo], s[mid]
+			}
+		}
+		p := s[mid]
+		i, j := lo, hi-1
+		for i <= j {
+			for cmpCandScore(s[i], p) < 0 {
+				i++
+			}
+			for cmpCandScore(p, s[j]) < 0 {
+				j--
+			}
+			if i <= j {
+				s[i], s[j] = s[j], s[i]
+				i++
+				j--
+			}
+		}
+		// s[lo:j+1] ≤ pivot region ≤ s[i:hi]; recurse into the side
+		// holding the k-th boundary.
+		switch {
+		case k <= j:
+			hi = j + 1
+		case k >= i:
+			lo = i
+		default:
+			return
+		}
+	}
+}
+
+func newQueryScratch(numNodes int) *queryScratch {
+	return &queryScratch{
+		stamp: make([]uint32, numNodes),
+		cov:   make([]float64, numNodes),
+		cnt:   make([]int32, numNodes),
+		pr:    make([]int32, numNodes),
+		head:  make([]int32, numNodes),
+	}
+}
+
+// marks reserves two fresh stamp values (wrap-safe): stale entries are
+// always strictly below both, so the arrays act as cleared without a
+// clearing pass.
+func (sc *queryScratch) marks() (uint32, uint32) {
+	if sc.gen >= math.MaxUint32-2 {
+		for i := range sc.stamp {
+			sc.stamp[i] = 0
+		}
+		sc.gen = 0
+	}
+	sc.gen += 2
+	return sc.gen - 1, sc.gen
+}
+
+// divScratch is the pooled per-worker diversity workspace: one dense
+// stamp array used both as the direct-extent membership set and as the
+// union deduplicator.
+type divScratch struct {
+	stamp []uint32
+	gen   uint32
+}
+
+func (ds *divScratch) marks() (uint32, uint32) {
+	if ds.gen >= math.MaxUint32-2 {
+		for i := range ds.stamp {
+			ds.stamp[i] = 0
+		}
+		ds.gen = 0
+	}
+	ds.gen += 2
+	return ds.gen - 1, ds.gen
+}
+
+func (e *Engine) getScratch() *queryScratch   { return e.scratch.Get().(*queryScratch) }
+func (e *Engine) putScratch(sc *queryScratch) { e.scratch.Put(sc) }
 
 // conceptMatches returns the sorted document IDs matching concept c —
 // documents containing at least one entity of c's extent closure
-// (Definition 1 matching semantics). Memoised in the generation's
-// sharded match map; concurrent misses on the same concept compute
-// once. The returned slice is shared and must not be modified.
+// (Definition 1 matching semantics). The list is precomputed in the
+// generation's plan; the returned slice is shared and must not be
+// modified.
 func (st *genState) conceptMatches(c kg.NodeID) []int32 {
-	docs, _ := st.matchMemo.GetOrCompute(c, func() []int32 {
-		s := st.getScorer()
-		defer st.putScorer(s)
-		ext, _ := s.Extent(c)
-		var docs []int32
-		seen := make(map[int32]struct{})
-		for _, v := range ext {
-			st.snap.EntityDocs(v, func(list []int32) {
-				for _, d := range list {
-					if _, ok := seen[d]; !ok {
-						seen[d] = struct{}{}
-						docs = append(docs, d)
-					}
-				}
-			})
-		}
-		sort.Slice(docs, func(i, j int) bool { return docs[i] < docs[j] })
-		return docs
-	})
-	return docs
+	return st.plan(c).docs
 }
 
 // matchedDocs intersects the per-concept match lists: a document
@@ -59,12 +187,14 @@ func (st *genState) matchedDocs(q Query) []int32 {
 	return docs
 }
 
-// matchedDocsCtx is matchedDocs with cancellation checked before each
-// per-concept match-list computation (a cold concept can require a
-// full extent-closure walk over the postings).
+// matchedDocsCtx is matchedDocs with cancellation checked between
+// per-concept intersections.
 func (st *genState) matchedDocsCtx(ctx context.Context, q Query) ([]int32, error) {
 	if len(q) == 0 {
 		return nil, nil
+	}
+	if len(q) == 1 {
+		return st.conceptMatches(q[0]), nil
 	}
 	lists := make([][]int32, len(q))
 	for i, c := range q {
@@ -99,6 +229,16 @@ func containsConcept(s []kg.NodeID, c kg.NodeID) bool {
 	return false
 }
 
+// queryHas reports whether c is one of the (few) query concepts.
+func queryHas(q Query, c kg.NodeID) bool {
+	for _, x := range q {
+		if x == c {
+			return true
+		}
+	}
+	return false
+}
+
 func intersectSorted(a, b []int32) []int32 {
 	var out []int32
 	i, j := 0, 0
@@ -118,13 +258,13 @@ func intersectSorted(a, b []int32) []int32 {
 }
 
 // cdr returns the cached or freshly computed cdr(c, d) with its pivot
-// at this generation. The full value is memoised per generation (its
-// ontology factor depends on corpus-global statistics); the expensive
-// connectivity factor comes from the engine-wide memo, seeded by
-// (concept, doc) so values are independent of query order AND of which
-// goroutine computes them — the determinism anchor of the lock-free
-// query path. Concurrent misses on the same key coalesce into one
-// scorer call.
+// at this generation. The memo is pre-seeded from the plans, so for
+// matching pairs this is a lookup; the compute path remains for
+// non-matching pairs (delta evaluation probes arbitrary keys). The
+// expensive connectivity factor comes from the engine-wide memo,
+// seeded by (concept, doc) so values are independent of query order
+// AND of which goroutine computes them — the determinism anchor of the
+// lock-free query path.
 func (st *genState) cdr(c kg.NodeID, doc int32) cdrEntry {
 	ent, _ := st.cdrMemo.GetOrCompute(cdrKey(c, doc), func() cdrEntry {
 		s := st.getScorer()
@@ -184,11 +324,128 @@ func (e *Engine) RollUp(q Query, k int) []DocResult {
 }
 
 // RollUpPage is RollUp with pagination, source/score filters, and
-// cancellation: the scoring loop observes ctx every ctxStride
-// documents (memo-miss cdr computations are the expensive step), and
-// a ctx error is returned as soon as it is seen. With Offset 0 and no
-// filters the page contents are identical to RollUp(q, opts.K).
+// cancellation. With Offset 0 and no filters the page contents are
+// identical to RollUp(q, opts.K).
 func (e *Engine) RollUpPage(ctx context.Context, q Query, opts RollUpOptions) (RollUpPage, error) {
+	var page RollUpPage
+	err := e.RollUpPageInto(ctx, q, opts, &page)
+	return page, err
+}
+
+// RollUpPageInto is RollUpPage writing into a caller-owned page,
+// reusing its Results and Contributors backing storage — the warm
+// path allocates nothing. Single-concept queries run the block-max
+// pruned scan over the generation's plan (see plan.go); multi-concept
+// queries leapfrog-intersect the plans with scores summed at the
+// cursors. Cancellation is observed per pruning block, every ctxStride
+// intersection steps, and every ctxStride explanation fills; a ctx
+// error empties the page.
+func (e *Engine) RollUpPageInto(ctx context.Context, q Query, opts RollUpOptions, page *RollUpPage) error {
+	st := e.state()
+	page.Generation = st.snap.Generation
+	page.Total = 0
+	page.Results = page.Results[:0]
+	if opts.K <= 0 || len(q) == 0 || opts.Offset < 0 {
+		return nil
+	}
+	sc := e.getScratch()
+	defer e.putScratch(sc)
+
+	qplans := sc.qplans[:0]
+	minLen := 0
+	for _, c := range q {
+		p := st.plan(c)
+		if len(p.docs) == 0 {
+			sc.qplans = qplans
+			return nil
+		}
+		qplans = append(qplans, p)
+		if minLen == 0 || len(p.docs) < minLen {
+			minLen = len(p.docs)
+		}
+	}
+	sc.qplans = qplans
+
+	// The collector needs K+Offset slots, but never more than there can
+	// be matched documents — and Offset is caller-controlled, so capping
+	// also stops a huge (or overflowing) offset from turning into a huge
+	// allocation. The cap never changes results: a collector at least as
+	// large as the push count retains everything.
+	limit := opts.K + opts.Offset
+	if limit < 0 || limit > minLen {
+		limit = minLen
+	}
+	if sc.coll == nil {
+		sc.coll = topk.NewKeyed[int32](limit)
+	} else {
+		sc.coll.Reset(limit)
+	}
+	var allowed []corpus.Source
+	if len(opts.Sources) > 0 {
+		allowed = opts.Sources
+	}
+
+	var total int
+	var err error
+	if len(qplans) == 1 {
+		total, err = scanPlanPruned(ctx, qplans[0], st, allowed, opts.MinScore, sc.coll)
+	} else {
+		cursors := sc.cursors[:0]
+		for range qplans {
+			cursors = append(cursors, 0)
+		}
+		sc.cursors = cursors
+		total, err = scanMergedPlans(ctx, qplans, cursors, st, allowed, opts.MinScore, sc.coll)
+	}
+	if err != nil {
+		return err
+	}
+	page.Total = total
+
+	sc.items = sc.coll.AppendSorted(sc.items[:0])
+	items := sc.items
+	if opts.Offset >= len(items) {
+		return nil
+	}
+	items = items[opts.Offset:]
+	// Re-extend through the capacity (not by appending zero values, which
+	// would wipe the Contributors backing arrays retained in the spare
+	// slots) so a warm page reuses every previous allocation.
+	if n := len(items); cap(page.Results) >= n {
+		page.Results = page.Results[:n]
+	} else {
+		page.Results = append(page.Results[:cap(page.Results)], make([]DocResult, n-cap(page.Results))...)
+	}
+	for i, it := range items {
+		if i%ctxStride == 0 {
+			if err := ctx.Err(); err != nil {
+				page.Total = 0
+				page.Results = page.Results[:0]
+				return err
+			}
+		}
+		res := &page.Results[i]
+		res.Doc = corpus.DocID(it.Value)
+		res.Score = it.Score
+		res.Contributors = res.Contributors[:0]
+		for _, c := range q {
+			p := st.plan(c)
+			idx := p.planIdx(it.Value)
+			res.Contributors = append(res.Contributors, ConceptContribution{
+				Concept: c, CDR: p.scores[idx], Pivot: p.pivots[idx],
+			})
+		}
+	}
+	return nil
+}
+
+// rollUpPageExhaustive is the pre-planner roll-up: score every matched
+// document in ascending ID order through the memoised cdr path into a
+// sequential collector. Kept as the equivalence oracle for the pruned
+// scan — property tests require RollUpPage to reproduce its pages
+// byte-for-byte at every generation, offset, and filter combination.
+// Not used by the serving path.
+func (e *Engine) rollUpPageExhaustive(ctx context.Context, q Query, opts RollUpOptions) (RollUpPage, error) {
 	st := e.state()
 	out := RollUpPage{Generation: st.snap.Generation}
 	if opts.K <= 0 || len(q) == 0 || opts.Offset < 0 {
@@ -209,11 +466,6 @@ func (e *Engine) RollUpPage(ctx context.Context, q Query, opts RollUpOptions) (R
 		}
 	}
 	total := 0
-	// The collector needs K+Offset slots, but never more than there are
-	// matched documents — and Offset is caller-controlled, so capping at
-	// len(docs) also stops a huge (or overflowing) offset from turning
-	// into a huge allocation. The cap never changes results: a collector
-	// at least as large as the push count retains everything.
 	limit := opts.K + opts.Offset
 	if limit < 0 || limit > len(docs) {
 		limit = len(docs)
@@ -311,6 +563,12 @@ func (e *Engine) DrillDownComponents(q Query, k int, useSpecificity, useDiversit
 // stops claiming shortlist entries once ctx is cancelled, and the ctx
 // error is returned. With Offset 0 and the zero options the page
 // contents are identical to DrillDown(q, opts.K).
+//
+// The candidate accumulation runs on the pooled dense scratch
+// (stamp-validated per-node arrays) instead of maps; iteration and
+// accumulation order — documents ascending, then candidates by node
+// ID — is identical to the former map implementation, so scores and
+// tie-breaking are unchanged.
 func (e *Engine) DrillDownPage(ctx context.Context, q Query, opts DrillDownOptions) (DrillDownPage, error) {
 	st := e.state()
 	empty := DrillDownPage{Generation: st.snap.Generation}
@@ -326,26 +584,45 @@ func (e *Engine) DrillDownPage(ctx context.Context, q Query, opts DrillDownOptio
 	if len(docs) == 0 {
 		return empty, nil
 	}
-	inQuery := make(map[kg.NodeID]struct{}, len(q))
-	for _, c := range q {
-		inQuery[c] = struct{}{}
-	}
+	sc := e.getScratch()
+	defer e.putScratch(sc)
+	covMark, _ := sc.marks()
+	spec := e.g.SpecTable()
 
 	// Coverage from the snapshot's candidate postings: candidates are
 	// the direct Ψ⁻¹ concepts of document entities (plus ancestor
-	// levels), exactly the paper's candidate subtopic set.
-	coverage := make(map[kg.NodeID]float64)
-	matched := make(map[kg.NodeID][]int32)
+	// levels), exactly the paper's candidate subtopic set. The same pass
+	// accumulates each candidate's entity probe total (diversity's
+	// strategy pivot and the pruning bound) and chains its matched
+	// documents through a shared pair log (head/next intrusive lists),
+	// so no second documents×candidates walk is ever needed.
+	touched := sc.touched[:0]
+	mdDoc, mdNext := sc.mdDoc[:0], sc.mdNext[:0]
 	for _, d := range docs {
+		ne := int32(len(st.ents[d]))
 		for _, cs := range st.concepts[d] {
-			if _, skip := inQuery[cs.Concept]; skip {
+			c := cs.Concept
+			if queryHas(q, c) {
 				continue
 			}
-			coverage[cs.Concept] += cs.CDR
-			matched[cs.Concept] = append(matched[cs.Concept], d)
+			if sc.stamp[c] != covMark {
+				sc.stamp[c] = covMark
+				sc.cov[c] = 0
+				sc.cnt[c] = 0
+				sc.pr[c] = 0
+				sc.head[c] = -1
+				touched = append(touched, c)
+			}
+			sc.cov[c] += cs.CDR
+			sc.cnt[c]++
+			sc.pr[c] += ne
+			mdDoc = append(mdDoc, d)
+			mdNext = append(mdNext, sc.head[c])
+			sc.head[c] = int32(len(mdDoc) - 1)
 		}
 	}
-	if len(coverage) == 0 {
+	sc.touched, sc.mdDoc, sc.mdNext = touched, mdDoc, mdNext
+	if len(touched) == 0 {
 		return empty, nil
 	}
 
@@ -362,40 +639,51 @@ func (e *Engine) DrillDownPage(ctx context.Context, q Query, opts DrillDownOptio
 	if k > shortlistSize {
 		shortlistSize = k
 	}
-	if shortlistSize > len(coverage) {
-		shortlistSize = len(coverage)
+	if shortlistSize > len(touched) {
+		shortlistSize = len(touched)
 	}
-	shortlist := topk.New[kg.NodeID](shortlistSize)
-	// Deterministic iteration order over candidates.
-	cands := make([]kg.NodeID, 0, len(coverage))
-	for c := range coverage {
-		cands = append(cands, c)
-	}
-	sort.Slice(cands, func(i, j int) bool { return cands[i] < cands[j] })
-	for _, c := range cands {
-		s := coverage[c]
+	// Shortlist selection: quickselect the top window by (cheap score
+	// desc, concept asc) — concept IDs are unique, so the order is total
+	// — then sort only the window. The selected set and its order are
+	// exactly the former bounded heap's deterministic (score,
+	// earliest-push) output, without sorting the full candidate list.
+	cand := sc.cand[:0]
+	for _, c := range touched {
+		s := sc.cov[c]
 		if useSpecificity {
-			s *= e.g.Specificity(c)
+			s *= spec[c]
 		}
-		shortlist.Push(c, s)
+		cand = append(cand, candScore{c: c, s: s})
 	}
+	sc.cand = cand
+	if len(cand) > shortlistSize {
+		selectTopCand(cand, shortlistSize)
+		cand = cand[:shortlistSize]
+	}
+	slices.SortFunc(cand, cmpCandScore)
+	short := sc.shortVals[:0]
+	for _, cs := range cand {
+		short = append(short, cs.c)
+	}
+	sc.shortVals = short
 
-	// Score the shortlist in parallel (bounded by the engine's
-	// query-time helper budget): each concept's diversity computation
-	// is independent (reads only the immutable snapshot and the
-	// loop-local coverage/matched maps), and results land in a
-	// per-index slot, so the final Push order — and with it
-	// tie-breaking — is identical to the serial loop.
-	short := shortlist.Values()
-	subs := make([]Subtopic, len(short))
-	err = e.queryParallelCtx(ctx, len(short), func(i int) {
+	// Score the shortlist: each concept's diversity computation is
+	// independent (reads only the immutable snapshot and the pair log),
+	// and results land in a per-index slot, so the final Push order —
+	// and with it tie-breaking — is identical to a serial loop. The
+	// matched-document chain yields documents in reverse order; the
+	// union cardinality and probe totals it feeds are order-independent.
+	for len(sc.subs) < len(short) {
+		sc.subs = append(sc.subs, Subtopic{})
+	}
+	subs := sc.subs[:len(short)]
+	scoreWith := func(i int, ds *divScratch) {
 		c := short[i]
-		md := matched[c]
 		sub := Subtopic{
 			Concept:     c,
-			Coverage:    coverage[c],
-			Specificity: e.g.Specificity(c),
-			MatchedDocs: len(md),
+			Coverage:    sc.cov[c],
+			Specificity: spec[c],
+			MatchedDocs: int(sc.cnt[c]),
 		}
 		// diversity(c, Q) = |∪_{d∈D(Q)} ME(c, d)| / |D(Q ∪ {c})| with
 		// ME over the *direct* extent Ψ(c), exactly as Definition 2
@@ -407,42 +695,45 @@ func (e *Engine) DrillDownPage(ctx context.Context, q Query, opts DrillDownOptio
 		//
 		// Membership "v ∈ Ψ(c)": Ψ is stored both ways in the graph, so
 		// v ∈ Extent(c) ⟺ c ∈ ConceptsOf(v). When the probe count is
-		// large enough to amortise it, precompute a membership set of
-		// the direct extent — replacing the former unconditional
-		// O(docs × entities × |ConceptsOf(v)|) scan with O(|Ψ(c)|)
-		// setup and O(1) probes. For sparsely-matched concepts with
-		// big extents the scan side is cheaper (|ConceptsOf(v)| is
-		// typically a handful), so the strategy is chosen per concept;
-		// both sides compute the identical union.
-		probes := 0
-		for _, d := range md {
-			probes += len(st.snap.Doc(d).Entities)
-		}
+		// large enough to amortise it, premark the direct extent in the
+		// pooled dense stamp and count the union with O(1) probes; for
+		// sparsely-matched concepts with big extents the scan side is
+		// cheaper (|ConceptsOf(v)| is typically a handful). Both sides
+		// compute the identical union; the stamp array doubles as the
+		// across-document deduplicator either way.
+		probes := int(sc.pr[c])
 		ext := e.g.Extent(c)
-		union := make(map[kg.NodeID]struct{})
+		seen, counted := ds.marks()
+		union := 0
 		if probes >= len(ext) {
-			direct := make(map[kg.NodeID]struct{}, len(ext))
 			for _, v := range ext {
-				direct[v] = struct{}{}
+				ds.stamp[v] = seen
 			}
-			for _, d := range md {
-				for _, v := range st.snap.Doc(d).Entities {
-					if _, ok := direct[v]; ok {
-						union[v] = struct{}{}
+			for j := sc.head[c]; j >= 0; j = sc.mdNext[j] {
+				for _, v := range st.ents[sc.mdDoc[j]] {
+					if ds.stamp[v] == seen {
+						ds.stamp[v] = counted
+						union++
 					}
 				}
 			}
 		} else {
-			for _, d := range md {
-				for _, v := range st.snap.Doc(d).Entities {
+			for j := sc.head[c]; j >= 0; j = sc.mdNext[j] {
+				for _, v := range st.ents[sc.mdDoc[j]] {
+					if ds.stamp[v] == seen || ds.stamp[v] == counted {
+						continue
+					}
 					if containsConcept(e.g.ConceptsOf(v), c) {
-						union[v] = struct{}{}
+						ds.stamp[v] = counted
+						union++
+					} else {
+						ds.stamp[v] = seen
 					}
 				}
 			}
 		}
-		if n := len(md); n > 0 {
-			sub.Diversity = float64(len(union)) / float64(n)
+		if n := int(sc.cnt[c]); n > 0 {
+			sub.Diversity = float64(union) / float64(n)
 		}
 		score := sub.Coverage
 		if useSpecificity {
@@ -453,29 +744,104 @@ func (e *Engine) DrillDownPage(ctx context.Context, q Query, opts DrillDownOptio
 		}
 		sub.Score = score
 		subs[i] = sub
-	})
-	if err != nil {
-		return empty, err
 	}
-	total := len(subs)
-	if opts.MinScore > 0 {
-		total = 0
+	scoreOne := func(i int) {
+		ds := e.divPool.Get().(*divScratch)
+		scoreWith(i, ds)
+		e.divPool.Put(ds)
 	}
+
 	limit := k + opts.Offset
 	if limit < 0 || limit > len(subs) {
 		limit = len(subs)
 	}
-	coll := topk.New[Subtopic](limit)
-	for _, sub := range subs {
-		if opts.MinScore > 0 {
+	// The collector ranks shortlist indexes, not Subtopic values: heap
+	// swaps then move 16 bytes instead of a full Subtopic, and the push
+	// order — hence tie-breaking — is exactly the same.
+	if sc.subColl == nil {
+		sc.subColl = topk.New[int32](limit)
+	} else {
+		sc.subColl.Reset(limit)
+	}
+	coll := sc.subColl
+	var total int
+	if opts.MinScore > 0 {
+		// The floor's Total counts every shortlist entry at or above it,
+		// so all scores are needed: compute the whole window in parallel.
+		if err := e.queryParallelCtx(ctx, len(short), scoreOne); err != nil {
+			return empty, err
+		}
+		for i, sub := range subs {
 			if sub.Score < opts.MinScore {
 				continue
 			}
 			total++
+			coll.Push(int32(i), sub.Score)
 		}
-		coll.Push(sub, sub.Score)
+	} else {
+		// Upper-bound pruning over the shortlist tail: the first `limit`
+		// entries always seed the collector, so score them (in parallel
+		// when the window is worth it) and push in order. Every later
+		// entry first gets a cheap bound — coverage (× specificity) ×
+		// min(|Ψ(c)|, entity probes)/|D| — that dominates its real score
+		// (the diversity union is capped by both the direct extent and
+		// the probe count, and fp multiplication is monotone). A full
+		// collector rejects later pushes at scores equal to its
+		// threshold (ties favour earlier pushes), so entries with bound
+		// ≤ threshold are skipped without computing their diversity
+		// union: the retained set and order are provably unchanged.
+		total = len(subs)
+		ds := e.divPool.Get().(*divScratch)
+		if limit >= 64 {
+			if err := e.queryParallelCtx(ctx, limit, scoreOne); err != nil {
+				e.divPool.Put(ds)
+				return empty, err
+			}
+		} else {
+			for i := 0; i < limit; i++ {
+				scoreWith(i, ds)
+			}
+		}
+		for i := 0; i < limit; i++ {
+			coll.Push(int32(i), subs[i].Score)
+		}
+		// The tail walk is strictly serial, so one diversity scratch
+		// serves every surviving entry.
+		for i := limit; i < len(short); i++ {
+			if (i-limit)%ctxStride == 0 {
+				if err := ctx.Err(); err != nil {
+					e.divPool.Put(ds)
+					return empty, err
+				}
+			}
+			if th, full := coll.Threshold(); full {
+				c := short[i]
+				ub := sc.cov[c]
+				if useSpecificity {
+					ub *= spec[c]
+				}
+				if useDiversity {
+					if n := int(sc.cnt[c]); n == 0 {
+						ub = 0
+					} else {
+						bound := len(e.g.Extent(c))
+						if p := int(sc.pr[c]); p < bound {
+							bound = p
+						}
+						ub *= float64(bound) / float64(n)
+					}
+				}
+				if ub <= th {
+					continue
+				}
+			}
+			scoreWith(i, ds)
+			coll.Push(int32(i), subs[i].Score)
+		}
+		e.divPool.Put(ds)
 	}
-	items := coll.Sorted()
+	sc.subItems = coll.AppendSorted(sc.subItems[:0])
+	items := sc.subItems
 	page := DrillDownPage{Total: total, Generation: st.snap.Generation}
 	if opts.Offset >= len(items) {
 		return page, nil
@@ -483,7 +849,7 @@ func (e *Engine) DrillDownPage(ctx context.Context, q Query, opts DrillDownOptio
 	items = items[opts.Offset:]
 	page.Results = make([]Subtopic, len(items))
 	for i, it := range items {
-		page.Results[i] = it.Value
+		page.Results[i] = subs[it.Value]
 	}
 	return page, nil
 }

@@ -86,6 +86,9 @@ type Graph struct {
 
 	closureMu sync.Mutex
 	closure   map[NodeID]int // memoised ExtentClosureSize
+
+	specOnce sync.Once
+	spec     []float64 // memoised Specificity, filled on first use
 }
 
 // NumNodes returns the total node count |V_C| + |V_I|.
@@ -216,7 +219,35 @@ func (g *Graph) ExtentClosureSize(c NodeID) int {
 // concept) the closure extent is used, matching the paper's edge-concept
 // substitution; a concept with no instances at all scores as if it had a
 // single instance (maximal specificity) rather than dividing by zero.
+//
+// Values are pure graph data read in hot query loops (drill-down
+// shortlisting, plan ceilings), so the whole table is computed once on
+// first use and served lock-free afterwards.
 func (g *Graph) Specificity(c NodeID) float64 {
+	g.specOnce.Do(g.fillSpecificity)
+	if c < 0 || int(c) >= len(g.spec) {
+		return g.specificityOf(c)
+	}
+	return g.spec[c]
+}
+
+// SpecTable returns the memoised specificity table indexed by node ID.
+// The slice is shared and must not be modified; it lets hot loops index
+// directly instead of paying a call per lookup.
+func (g *Graph) SpecTable() []float64 {
+	g.specOnce.Do(g.fillSpecificity)
+	return g.spec
+}
+
+func (g *Graph) fillSpecificity() {
+	spec := make([]float64, g.NumNodes())
+	for i := range spec {
+		spec[i] = g.specificityOf(NodeID(i))
+	}
+	g.spec = spec
+}
+
+func (g *Graph) specificityOf(c NodeID) float64 {
 	n := g.ExtentSize(c)
 	if n == 0 {
 		n = g.ExtentClosureSize(c)

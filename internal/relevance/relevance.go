@@ -118,6 +118,13 @@ type Scorer struct {
 	counter *paths.Counter
 
 	extents map[kg.NodeID]extentEntry
+
+	// Scratch reused across calls (part of the zero-alloc warm path):
+	// Split's result slices and Conn's context-truncation collector.
+	matchedBuf []kg.NodeID
+	contextBuf []kg.NodeID
+	ctxColl    *topk.Collector[kg.NodeID]
+	ctxKeep    []kg.NodeID
 }
 
 type extentEntry struct {
@@ -205,8 +212,11 @@ func (s *Scorer) Matches(c kg.NodeID, doc int32) bool {
 }
 
 // Split partitions a document's entities into ME(c, d) and CE(c, d).
+// The returned slices are scorer-owned scratch: they are valid until
+// the next Split call on this scorer and must not be retained.
 func (s *Scorer) Split(c kg.NodeID, doc int32) (matched, context []kg.NodeID) {
 	_, set := s.Extent(c)
+	matched, context = s.matchedBuf[:0], s.contextBuf[:0]
 	for _, v := range s.view.Entities(doc) {
 		if _, ok := set[v]; ok {
 			matched = append(matched, v)
@@ -214,6 +224,7 @@ func (s *Scorer) Split(c kg.NodeID, doc int32) (matched, context []kg.NodeID) {
 			context = append(context, v)
 		}
 	}
+	s.matchedBuf, s.contextBuf = matched, context
 	return matched, context
 }
 
@@ -248,11 +259,16 @@ func (s *Scorer) Conn(c kg.NodeID, doc int32, rnd *xrand.Rand) float64 {
 		return 0
 	}
 	if len(context) > s.opts.MaxContext {
-		coll := topk.New[kg.NodeID](s.opts.MaxContext)
-		for _, v := range context {
-			coll.Push(v, s.view.ContextWeight(v, doc))
+		if s.ctxColl == nil {
+			s.ctxColl = topk.New[kg.NodeID](s.opts.MaxContext)
+		} else {
+			s.ctxColl.Reset(s.opts.MaxContext)
 		}
-		context = coll.Values()
+		for _, v := range context {
+			s.ctxColl.Push(v, s.view.ContextWeight(v, doc))
+		}
+		s.ctxKeep = s.ctxColl.AppendValues(s.ctxKeep[:0])
+		context = s.ctxKeep
 	}
 	ext, _ := s.Extent(c)
 	if len(ext) == 0 {
@@ -287,6 +303,29 @@ func (s *Scorer) pairScore(ext []kg.NodeID, v kg.NodeID, rnd *xrand.Rand) float6
 // ContextRel computes cdrc(c, d) (Eq. 5), normalising conn to [0, 1).
 func (s *Scorer) ContextRel(c kg.NodeID, doc int32, rnd *xrand.Rand) float64 {
 	return ConnToScore(s.Conn(c, doc, rnd))
+}
+
+// ConnCap returns a proven upper bound on conn(c, d) for ANY document,
+// given the concept's (capped) extent size and the maximum instance
+// degree of the graph:
+//
+//	conn(c, d) = Σ_{v∈CE} S(c, v) / |CE| ≤ max_v S(c, v)
+//	S(c, v)    = Σ_{u∈Ψ(c)} Σ_{l≤τ} β^l |paths^⟨l⟩(u, v)|
+//	           ≤ |Ψ(c)| · Σ_{l=1..τ} β^l Δ^l
+//
+// since a node has at most Δ^l distinct l-hop paths leaving it (each
+// step picks one of ≤ Δ neighbours). The sampling estimator obeys the
+// same bound sample-by-sample: a walk's value is β^l·Π N(u_i) with
+// every branching factor N(u_i) ≤ Δ, scaled by a pool size ≤ |Ψ(c)|,
+// so neither exact counting nor sampling can exceed the cap.
+func ConnCap(extentSize, maxDegree, tau int, beta float64) float64 {
+	cap := 0.0
+	step := 1.0
+	for l := 1; l <= tau; l++ {
+		step *= beta * float64(maxDegree)
+		cap += step
+	}
+	return cap * float64(extentSize)
 }
 
 // ConnToScore maps a connectivity value to the normalised context

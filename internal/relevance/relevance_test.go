@@ -262,3 +262,92 @@ func BenchmarkCDRSampled(b *testing.B) {
 		s.CDR(ids["Narrow"], 0, rnd)
 	}
 }
+
+// TestSplitScratchReuse pins the documented contract: Split's returned
+// slices are scorer-owned scratch, overwritten by the next call and
+// allocation-free in steady state.
+func TestSplitScratchReuse(t *testing.T) {
+	g, view, ids := testWorld(t)
+	s := newScorer(g, view, true)
+	matched, _ := s.Split(ids["Narrow"], 0)
+	if len(matched) != 1 || matched[0] != ids["ftx"] {
+		t.Fatalf("ME = %v", matched)
+	}
+	s.Split(ids["Other"], 1) // overwrites the scratch
+	if matched[0] == ids["ftx"] {
+		t.Fatal("scratch was not reused — the zero-alloc contract is not exercised")
+	}
+	s.Split(ids["Narrow"], 0) // warm the buffers
+	allocs := testing.AllocsPerRun(100, func() {
+		s.Split(ids["Narrow"], 0)
+	})
+	if allocs != 0 {
+		t.Fatalf("warm Split allocated %.1f/op", allocs)
+	}
+}
+
+// TestConnCapSoundness: the closed-form cap must dominate conn for
+// every (concept, doc) pair under both exact counting and sampling.
+func TestConnCapSoundness(t *testing.T) {
+	g, view, ids := testWorld(t)
+	maxDeg := 0
+	g.Instances(func(v kg.NodeID) bool {
+		if d := g.InstanceDegree(v); d > maxDeg {
+			maxDeg = d
+		}
+		return true
+	})
+	for _, exact := range []bool{true, false} {
+		s := newScorer(g, view, exact)
+		rnd := xrand.New(7)
+		for _, c := range []string{"Broad", "Narrow", "Other"} {
+			ext, _ := s.Extent(ids[c])
+			cap := ConnCap(len(ext), maxDeg, s.Options().Tau, s.Options().Beta)
+			for doc := int32(0); doc < 3; doc++ {
+				if conn := s.Conn(ids[c], doc, rnd); conn > cap {
+					t.Errorf("exact=%v concept %s doc %d: conn %v exceeds cap %v",
+						exact, c, doc, conn, cap)
+				}
+			}
+		}
+	}
+}
+
+func TestConnCapClosedForm(t *testing.T) {
+	// τ=2, β=0.5, Δ=3, |Ψ|=4: 4·(0.5·3 + 0.25·9) = 15.
+	if got := ConnCap(4, 3, 2, 0.5); math.Abs(got-15) > 1e-12 {
+		t.Fatalf("ConnCap = %v, want 15", got)
+	}
+	if got := ConnCap(0, 3, 2, 0.5); got != 0 {
+		t.Fatalf("empty extent cap = %v, want 0", got)
+	}
+}
+
+// TestSharedExtentCache: scorers sharing an ExtentCache see identical
+// immutable extents.
+func TestSharedExtentCache(t *testing.T) {
+	g, view, ids := testWorld(t)
+	cache := NewExtentCache(4)
+	mk := func() *Scorer {
+		return NewScorer(g, view, nil, Options{Exact: true, Extents: cache})
+	}
+	a, b := mk(), mk()
+	listA, setA := a.Extent(ids["Broad"])
+	listB, setB := b.Extent(ids["Broad"])
+	if &listA[0] != &listB[0] {
+		t.Fatal("shared cache returned distinct extent copies")
+	}
+	if len(setA) != len(setB) || len(listA) != len(setA) {
+		t.Fatalf("set/list mismatch: %d/%d/%d", len(listA), len(setA), len(setB))
+	}
+}
+
+func TestPairScoreMatchesConnParts(t *testing.T) {
+	g, view, ids := testWorld(t)
+	s := newScorer(g, view, true)
+	ext, _ := s.Extent(ids["Narrow"])
+	// court is 1 hop from both extent members: S = 2·β.
+	if got := s.PairScore(ext, ids["court"], nil); math.Abs(got-1.0) > 1e-12 {
+		t.Fatalf("PairScore = %v, want 1.0", got)
+	}
+}

@@ -6,6 +6,8 @@ import (
 	"hash/crc32"
 	"strings"
 	"testing"
+
+	"ncexplorer/internal/snapshot"
 )
 
 // sectionRanges parses a valid segment encoding and returns the byte
@@ -148,4 +150,43 @@ func TestConnCorruption(t *testing.T) {
 			}
 		})
 	}
+}
+
+// TestBlockMaxDisagreement: the BMAX section is derivable from DOCS,
+// and the decoder validates it by recomputation — a structurally valid,
+// correctly-checksummed table with a wrong maximum (which would skew
+// pruning ceilings) must still be rejected.
+func TestBlockMaxDisagreement(t *testing.T) {
+	seg := buildTestSegment(77, 0, 25)
+	corrupt := func(name string, mutate func(*snapshot.Segment)) {
+		t.Run(name, func(t *testing.T) {
+			bad := *seg
+			bad.MaxTF = snapshot.ComputeMaxTF(seg.Base, seg.Docs)
+			mutate(&bad)
+			got, err := DecodeSegment(EncodeSegment(&bad))
+			if got != nil || !errors.Is(err, ErrCorrupt) || !strings.Contains(err.Error(), "BMAX") {
+				t.Fatalf("seg=%v err=%v, want BMAX corruption", got, err)
+			}
+		})
+	}
+	corrupt("inflated maximum", func(s *snapshot.Segment) {
+		for v := range s.MaxTF {
+			s.MaxTF[v][0].TF++
+			return
+		}
+	})
+	corrupt("dropped entity", func(s *snapshot.Segment) {
+		for v := range s.MaxTF {
+			delete(s.MaxTF, v)
+			return
+		}
+	})
+	corrupt("extra block", func(s *snapshot.Segment) {
+		for v := range s.MaxTF {
+			tbl := s.MaxTF[v]
+			last := tbl[len(tbl)-1]
+			s.MaxTF[v] = append(tbl, snapshot.BlockTF{Block: last.Block + 1, TF: 1})
+			return
+		}
+	})
 }

@@ -71,8 +71,10 @@ const (
 	segmentMagic = "NCSG"
 	connMagic    = "NCCM"
 	// formatVersion is the binary layout version shared by segment and
-	// conn-memo files (the manifest versions independently).
-	formatVersion = 1
+	// conn-memo files (the manifest versions independently). v2 added
+	// the BMAX section (per-entity per-block maximum term frequencies
+	// backing the pruned query planner's persisted score ceilings).
+	formatVersion = 2
 
 	// maxSegmentDocs bounds the per-segment document count a decoder
 	// will accept; far above anything the engine produces, low enough
@@ -82,20 +84,21 @@ const (
 )
 
 // Section tags, in the order they appear in a segment file.
-var segmentSections = [4]string{"DOCS", "ARTS", "TEXT", "POST"}
+var segmentSections = [5]string{"DOCS", "ARTS", "TEXT", "POST", "BMAX"}
 
 // EncodeSegment renders a segment in the canonical on-disk format.
 func EncodeSegment(seg *snapshot.Segment) []byte {
-	var docs, arts, text, post writer
+	var docs, arts, text, post, bmax writer
 	encodeDocs(&docs, seg)
 	encodeArticles(&arts, seg)
 	encodeText(&text, seg)
 	encodePostings(&post, seg)
+	encodeBlockMax(&bmax, seg)
 
 	var out writer
 	out.bytes([]byte(segmentMagic))
 	out.u16(formatVersion)
-	for i, payload := range [][]byte{docs.buf, arts.buf, text.buf, post.buf} {
+	for i, payload := range [][]byte{docs.buf, arts.buf, text.buf, post.buf, bmax.buf} {
 		out.bytes([]byte(segmentSections[i]))
 		out.u64(uint64(len(payload)))
 		out.bytes(payload)
@@ -154,6 +157,9 @@ func DecodeSegment(data []byte) (*snapshot.Segment, error) {
 		return nil, err
 	}
 	if err := decodePostings(sections[3], seg); err != nil {
+		return nil, err
+	}
+	if err := decodeBlockMax(sections[4], seg); err != nil {
 		return nil, err
 	}
 	return seg, nil
@@ -454,6 +460,93 @@ func decodePostings(data []byte, seg *snapshot.Segment) error {
 	if r.remaining() != 0 {
 		return corruptf(section, "trailing bytes")
 	}
+	return nil
+}
+
+// ---- BMAX: per-entity per-block maximum term frequencies ----------
+//
+// The table is fully derivable from the DOCS section, so the decoder
+// validates it by recomputation rather than trusting the bytes: a
+// tampered ceiling could otherwise silently change pruning decisions
+// (an understated maximum would drop correct results). Persisting it
+// anyway keeps warm opens from re-deriving the planner's inputs and,
+// more importantly, pins the canonical form on disk.
+
+func encodeBlockMax(w *writer, seg *snapshot.Segment) {
+	ents := make([]kg.NodeID, 0, len(seg.MaxTF))
+	for v := range seg.MaxTF {
+		ents = append(ents, v)
+	}
+	sort.Slice(ents, func(a, b int) bool { return ents[a] < ents[b] })
+	w.u32(uint32(len(ents)))
+	for _, v := range ents {
+		table := seg.MaxTF[v]
+		w.u32(uint32(v))
+		w.u32(uint32(len(table)))
+		for _, bt := range table {
+			w.u32(uint32(bt.Block))
+			w.u32(uint32(bt.TF))
+		}
+	}
+}
+
+func decodeBlockMax(data []byte, seg *snapshot.Segment) error {
+	const section = "BMAX"
+	r := &reader{buf: data}
+	ne := r.count(section, 8)
+	got := make(map[kg.NodeID][]snapshot.BlockTF, ne)
+	prevEnt := kg.NodeID(-1)
+	for i := 0; i < ne; i++ {
+		v := kg.NodeID(r.u32())
+		if r.err != nil {
+			return r.err
+		}
+		if v < 0 || v <= prevEnt {
+			return corruptf(section, "entities not sorted")
+		}
+		prevEnt = v
+		nb := r.count(section, 8)
+		if r.err == nil && nb == 0 {
+			return corruptf(section, "entity %d: empty block table", v)
+		}
+		table := make([]snapshot.BlockTF, 0, nb)
+		prevBlock := int32(-1)
+		for j := 0; j < nb; j++ {
+			block := int32(r.u32())
+			tf := int32(r.u32())
+			if r.err != nil {
+				return r.err
+			}
+			if block <= prevBlock || tf <= 0 {
+				return corruptf(section, "entity %d: block table not canonical", v)
+			}
+			prevBlock = block
+			table = append(table, snapshot.BlockTF{Block: block, TF: tf})
+		}
+		got[v] = table
+	}
+	if r.err != nil {
+		return r.err
+	}
+	if r.remaining() != 0 {
+		return corruptf(section, "trailing bytes")
+	}
+	want := snapshot.ComputeMaxTF(seg.Base, seg.Docs)
+	if len(got) != len(want) {
+		return corruptf(section, "block maxima disagree with DOCS (entity count %d, derived %d)", len(got), len(want))
+	}
+	for v, table := range got {
+		ref, ok := want[v]
+		if !ok || len(ref) != len(table) {
+			return corruptf(section, "entity %d: block maxima disagree with DOCS", v)
+		}
+		for j := range table {
+			if table[j] != ref[j] {
+				return corruptf(section, "entity %d: block maxima disagree with DOCS", v)
+			}
+		}
+	}
+	seg.MaxTF = got
 	return nil
 }
 

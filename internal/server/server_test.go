@@ -368,14 +368,15 @@ func TestStatsz(t *testing.T) {
 		t.Fatalf("cache stats = %+v; want visible misses, hits, and entries", resp.Cache)
 	}
 	// The engine-side memo caches must be threaded through: the cdr
-	// memo is pre-seeded at indexing time (entries > 0) and the roll-up
-	// above exercised the match memo.
+	// memo is pre-seeded at indexing time and the match stats report
+	// the swap-time query plans (both entries > 0; the query path is
+	// plan-driven, so neither accrues hits or misses on roll-ups).
 	ec := resp.Index.EngineCache
 	if ec.CDR.Entries == 0 {
 		t.Fatalf("engine cdr cache not seeded: %+v", ec)
 	}
-	if ec.Match.Misses == 0 || ec.Match.Entries == 0 {
-		t.Fatalf("engine match cache untouched by roll-up: %+v", ec)
+	if ec.Match.Entries == 0 {
+		t.Fatalf("engine query plans not reported: %+v", ec)
 	}
 	if resp.Requests.Total == 0 || resp.Requests.ByRoute["rollup"] < 2 || resp.Requests.ByRoute["statsz"] == 0 {
 		t.Fatalf("request stats = %+v", resp.Requests)

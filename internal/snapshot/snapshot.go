@@ -60,6 +60,30 @@ type DocRecord struct {
 	Candidates []kg.NodeID
 }
 
+// Scoring blocks: the pruned query planner bounds scores per fixed
+// window of the global document-ID space. BlockSize documents share a
+// block; block b covers global IDs [b<<BlockShift, (b+1)<<BlockShift).
+// Blocks are aligned to GLOBAL IDs (not segment-local ones) so block
+// identities — and the per-block maxima below — survive segment merges
+// unchanged.
+const (
+	// BlockShift is log2(BlockSize).
+	BlockShift = 6
+	// BlockSize is the number of consecutive global document IDs per
+	// scoring block.
+	BlockSize = 1 << BlockShift
+)
+
+// BlockTF records the maximum raw term frequency an entity reaches in
+// one scoring block of a segment.
+type BlockTF struct {
+	// Block is the global block index (doc >> BlockShift).
+	Block int32
+	// TF is the maximum EntityFreq of the entity over the block's
+	// documents within this segment (≥ 1: the entity occurs).
+	TF int32
+}
+
 // Segment is one immutable indexed batch of documents.
 type Segment struct {
 	// Base is the global ID of the segment's first document.
@@ -74,6 +98,14 @@ type Segment struct {
 	// EntDocs maps an entity to the GLOBAL IDs of the segment documents
 	// mentioning it, ascending.
 	EntDocs map[kg.NodeID][]int32
+	// MaxTF maps an entity to its per-block maximum raw term frequency
+	// (blocks ascending; only blocks where the entity occurs appear).
+	// This is the persistent half of the block-max score ceilings: the
+	// saturation tf/(tf+1) is monotone in tf, so the block's maximum tf
+	// bounds every document's saturated term weight in the block, for
+	// any generation's idf. Derived deterministically from Docs (see
+	// ComputeMaxTF), so decoders can validate it by recomputation.
+	MaxTF map[kg.NodeID][]BlockTF
 }
 
 // Len returns the segment's document count.
@@ -188,7 +220,54 @@ func BuildSegment(base int32, docs []DocRecord, articles []corpus.Document) *Seg
 		}
 	}
 	seg.Text.Freeze()
+	seg.MaxTF = ComputeMaxTF(base, docs)
 	return seg
+}
+
+// ComputeMaxTF derives the per-entity, per-block maximum raw term
+// frequencies of a segment from its document records. Exported so the
+// persistence codec can validate a decoded table by recomputation.
+func ComputeMaxTF(base int32, docs []DocRecord) map[kg.NodeID][]BlockTF {
+	out := make(map[kg.NodeID][]BlockTF)
+	for i := range docs {
+		block := (base + int32(i)) >> BlockShift
+		// Entities is the distinct-entity list, so each (doc, entity)
+		// pair is visited once; blocks arrive in ascending order because
+		// docs are ID-ordered.
+		for _, v := range docs[i].Entities {
+			tf := int32(docs[i].EntityFreq[v])
+			if tf <= 0 {
+				continue
+			}
+			bt := out[v]
+			if n := len(bt); n > 0 && bt[n-1].Block == block {
+				if tf > bt[n-1].TF {
+					bt[n-1].TF = tf
+				}
+			} else {
+				out[v] = append(bt, BlockTF{Block: block, TF: tf})
+			}
+		}
+	}
+	return out
+}
+
+// EntityMaxTF calls fn with each segment's block-max table for entity
+// v. Segment tables cover disjoint document ranges but may share a
+// block at segment boundaries (blocks are global-ID windows; a window
+// can span two segments), so a block index may appear in more than one
+// call — consumers take the running maximum per block.
+func (s *Snapshot) EntityMaxTF(v kg.NodeID, fn func(table []BlockTF)) {
+	for _, seg := range s.Segments {
+		if table := seg.MaxTF[v]; len(table) > 0 {
+			fn(table)
+		}
+	}
+}
+
+// NumBlocks returns the number of scoring blocks covering the corpus.
+func (s *Snapshot) NumBlocks() int {
+	return (s.numDocs + BlockSize - 1) / BlockSize
 }
 
 // Merge concatenates adjacent segments into one. Raw per-document data

@@ -147,3 +147,90 @@ func TestNonContiguousSegmentsPanic(t *testing.T) {
 	}()
 	New(1, []*Segment{BuildSegment(5, docs, arts)})
 }
+
+// collectMaxTF folds a snapshot's per-segment block-max tables into one
+// per-block maximum, the way the planner consumes them.
+func collectMaxTF(s *Snapshot, v kg.NodeID) map[int32]int32 {
+	out := map[int32]int32{}
+	s.EntityMaxTF(v, func(table []BlockTF) {
+		for _, bt := range table {
+			if bt.TF > out[bt.Block] {
+				out[bt.Block] = bt.TF
+			}
+		}
+	})
+	return out
+}
+
+// TestMaxTFBoundsEveryDocument: the folded block-max table must
+// dominate the raw tf of every (entity, doc) pair, and every recorded
+// block must be realised by at least one document (tightness).
+func TestMaxTFBoundsEveryDocument(t *testing.T) {
+	docs, arts := buildWorld(t)
+	s := New(1, []*Segment{
+		BuildSegment(0, docs[:4], arts[:4]),
+		BuildSegment(4, docs[4:], arts[4:]),
+	})
+	for v := kg.NodeID(0); v < 16; v++ {
+		folded := collectMaxTF(s, v)
+		realised := map[int32]int32{}
+		for d := int32(0); d < int32(s.NumDocs()); d++ {
+			tf := int32(s.Doc(d).EntityFreq[v])
+			if tf == 0 {
+				continue
+			}
+			block := d >> BlockShift
+			if tf > folded[block] {
+				t.Fatalf("entity %d doc %d tf %d exceeds block max %d", v, d, tf, folded[block])
+			}
+			if tf > realised[block] {
+				realised[block] = tf
+			}
+		}
+		if !reflect.DeepEqual(folded, realised) {
+			t.Fatalf("entity %d block maxima not tight: folded %v, realised %v", v, folded, realised)
+		}
+	}
+}
+
+// TestMaxTFMergeInvariant: blocks are global-ID aligned, so folding
+// the tables of split segments equals the merged segment's table.
+func TestMaxTFMergeInvariant(t *testing.T) {
+	docs, arts := buildWorld(t)
+	segs := []*Segment{
+		BuildSegment(0, docs[:3], arts[:3]),
+		BuildSegment(3, docs[3:5], arts[3:5]),
+		BuildSegment(5, docs[5:], arts[5:]),
+	}
+	before := New(3, segs)
+	after := New(3, []*Segment{segs[0], Merge(segs[1:])})
+	for v := kg.NodeID(0); v < 16; v++ {
+		if !reflect.DeepEqual(collectMaxTF(before, v), collectMaxTF(after, v)) {
+			t.Fatalf("entity %d block maxima changed across merge", v)
+		}
+	}
+}
+
+// TestMaxTFSegmentBoundaryShare: a base not aligned to BlockSize
+// makes the boundary block span two segments; both tables must report
+// it and the fold must take the maximum.
+func TestMaxTFSegmentBoundaryShare(t *testing.T) {
+	v := kg.NodeID(7)
+	mk := func(tf int) DocRecord {
+		return DocRecord{Entities: []kg.NodeID{v}, EntityFreq: map[kg.NodeID]int{v: tf}}
+	}
+	a := BuildSegment(0, []DocRecord{mk(2), mk(5)}, make([]corpus.Document, 2))
+	b := BuildSegment(2, []DocRecord{mk(9)}, make([]corpus.Document, 1))
+	s := New(1, []*Segment{a, b})
+	if got := collectMaxTF(s, v); len(got) != 1 || got[0] != 9 {
+		t.Fatalf("boundary fold = %v, want block 0 -> 9", got)
+	}
+	calls := 0
+	s.EntityMaxTF(v, func([]BlockTF) { calls++ })
+	if calls != 2 {
+		t.Fatalf("expected both segments to report block 0, got %d calls", calls)
+	}
+	if want := (2 + BlockSize - 1) / BlockSize; s.NumBlocks() != want {
+		t.Fatalf("NumBlocks = %d, want %d", s.NumBlocks(), want)
+	}
+}

@@ -1,0 +1,178 @@
+package topk
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"ncexplorer/internal/xrand"
+)
+
+// Property: a Keyed collector fed the same (value, score) stream in ANY
+// order — with keys equal to each item's position in the canonical
+// ascending order — retains exactly what a plain Collector retains when
+// pushed in that canonical order, in the same Sorted order. This is the
+// order-independence guarantee the pruned scan relies on.
+func TestKeyedMatchesSeqCollector(t *testing.T) {
+	err := quick.Check(func(seed uint64, kRaw uint8, nRaw uint8) bool {
+		k := int(kRaw%20) + 1
+		n := int(nRaw) + 1
+		r := xrand.New(seed)
+		scores := make([]float64, n)
+		for i := range scores {
+			scores[i] = float64(r.Intn(8)) // force heavy collisions
+		}
+		ref := New[int](k)
+		for i, s := range scores {
+			ref.Push(i, s)
+		}
+		perm := r.Perm(n)
+		got := NewKeyed[int](k)
+		for _, i := range perm {
+			got.Push(i, int64(i), scores[i])
+		}
+		want := ref.Sorted()
+		have := got.AppendSorted(nil)
+		if len(want) != len(have) {
+			return false
+		}
+		for i := range want {
+			if want[i].Value != have[i].Value || want[i].Score != have[i].Score {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 300})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKeyedTieEvictsLargerKey(t *testing.T) {
+	c := NewKeyed[string](2)
+	c.Push("late", 10, 5)
+	c.Push("mid", 5, 5)
+	// Equal score, smaller key: must evict the largest retained key.
+	c.Push("early", 1, 5)
+	items := c.AppendSorted(nil)
+	if items[0].Value != "early" || items[1].Value != "mid" {
+		t.Fatalf("tie eviction wrong: %+v", items)
+	}
+	// Equal score, larger key than the root: must be rejected.
+	c.Push("later", 20, 5)
+	items = c.AppendSorted(items[:0])
+	if items[0].Value != "early" || items[1].Value != "mid" {
+		t.Fatalf("equal-score larger key displaced an item: %+v", items)
+	}
+}
+
+func TestKeyedThresholdAndReset(t *testing.T) {
+	c := NewKeyed[int](2)
+	if _, ok := c.Threshold(); ok {
+		t.Fatal("threshold available on empty collector")
+	}
+	c.Push(1, 1, 3)
+	c.Push(2, 2, 7)
+	th, ok := c.Threshold()
+	if !ok || th != 3 {
+		t.Fatalf("threshold = %v, %v", th, ok)
+	}
+	c.Reset(1)
+	if c.Len() != 0 {
+		t.Fatalf("len after reset = %d", c.Len())
+	}
+	c.Push(3, 3, 1)
+	c.Push(4, 4, 2)
+	items := c.AppendSorted(nil)
+	if len(items) != 1 || items[0].Value != 4 {
+		t.Fatalf("post-reset contents: %+v", items)
+	}
+}
+
+func TestKeyedPanicsOnBadK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewKeyed[int](0)
+}
+
+func TestKeyedResetPanicsOnBadK(t *testing.T) {
+	c := NewKeyed[int](1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	c.Reset(-1)
+}
+
+func TestCollectorResetReuse(t *testing.T) {
+	c := New[int](3)
+	c.Push(1, 1)
+	c.Push(2, 2)
+	c.Reset(2)
+	if c.Len() != 0 {
+		t.Fatalf("len after reset = %d", c.Len())
+	}
+	// seq restarts: tie-breaking must behave like a fresh collector.
+	c.Push(10, 5)
+	c.Push(11, 5)
+	c.Push(12, 5)
+	got := c.Values()
+	if got[0] != 10 || got[1] != 11 {
+		t.Fatalf("post-reset ties: %v", got)
+	}
+}
+
+func TestCollectorResetPanicsOnBadK(t *testing.T) {
+	c := New[int](1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	c.Reset(0)
+}
+
+func TestAppendValuesNoAlloc(t *testing.T) {
+	c := New[int](8)
+	for i := 0; i < 32; i++ {
+		c.Push(i, float64(i%5))
+	}
+	dst := make([]int, 0, 8)
+	c.AppendValues(dst) // warm the internal scratch
+	allocs := testing.AllocsPerRun(100, func() {
+		dst = c.AppendValues(dst[:0])
+	})
+	if allocs != 0 {
+		t.Fatalf("AppendValues allocated %.1f/op", allocs)
+	}
+	want := c.Values()
+	if len(dst) != len(want) {
+		t.Fatalf("len %d vs %d", len(dst), len(want))
+	}
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatalf("AppendValues diverges from Values at %d: %v vs %v", i, dst, want)
+		}
+	}
+}
+
+func TestKeyedSortOrder(t *testing.T) {
+	r := xrand.New(7)
+	c := NewKeyed[int](16)
+	for i := 0; i < 64; i++ {
+		c.Push(i, int64(i), float64(r.Intn(4)))
+	}
+	items := c.AppendSorted(nil)
+	if !sort.SliceIsSorted(items, func(i, j int) bool {
+		if items[i].Score != items[j].Score {
+			return items[i].Score > items[j].Score
+		}
+		return items[i].Key < items[j].Key
+	}) {
+		t.Fatalf("AppendSorted order violated: %+v", items)
+	}
+}

@@ -5,7 +5,7 @@
 // because experiment tables must be byte-stable across runs.
 package topk
 
-import "sort"
+import "slices"
 
 // Item is a collected value with its score.
 type Item[T any] struct {
@@ -16,9 +16,26 @@ type Item[T any] struct {
 
 // Collector keeps the k highest-scoring items pushed into it.
 type Collector[T any] struct {
-	k     int
-	next  int64
-	items []Item[T] // min-heap on (score asc, seq desc)
+	k       int
+	next    int64
+	items   []Item[T] // min-heap on (score asc, seq desc)
+	scratch []Item[T] // reused by AppendValues
+}
+
+// cmpItems orders items by (score desc, seq asc); seqs are distinct, so
+// the order is total and any sort algorithm yields the same result.
+func cmpItems[T any](a, b Item[T]) int {
+	switch {
+	case a.Score > b.Score:
+		return -1
+	case a.Score < b.Score:
+		return 1
+	case a.seq < b.seq:
+		return -1
+	case a.seq > b.seq:
+		return 1
+	}
+	return 0
 }
 
 // New returns a collector for the k best items. k must be positive.
@@ -72,15 +89,18 @@ func (c *Collector[T]) Threshold() (float64, bool) {
 // Sorted returns the retained items in descending score order (ties:
 // earliest push first). The collector remains usable afterwards.
 func (c *Collector[T]) Sorted() []Item[T] {
-	out := make([]Item[T], len(c.items))
-	copy(out, c.items)
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Score != out[j].Score {
-			return out[i].Score > out[j].Score
-		}
-		return out[i].seq < out[j].seq
-	})
-	return out
+	return c.AppendSorted(nil)
+}
+
+// AppendSorted appends the retained items to dst in descending score
+// order (ties: earliest push first) and returns the extended slice.
+// With sufficient capacity in dst it performs no allocation. The
+// collector remains usable afterwards.
+func (c *Collector[T]) AppendSorted(dst []Item[T]) []Item[T] {
+	base := len(dst)
+	dst = append(dst, c.items...)
+	slices.SortFunc(dst[base:], cmpItems[T])
+	return dst
 }
 
 // Values returns just the values of Sorted().
@@ -91,6 +111,29 @@ func (c *Collector[T]) Values() []T {
 		out[i] = it.Value
 	}
 	return out
+}
+
+// AppendValues appends just the values of Sorted() to dst, reusing the
+// collector's internal scratch so that with sufficient capacity in dst
+// it performs no allocation.
+func (c *Collector[T]) AppendValues(dst []T) []T {
+	c.scratch = c.AppendSorted(c.scratch[:0])
+	for _, it := range c.scratch {
+		dst = append(dst, it.Value)
+	}
+	return dst
+}
+
+// Reset empties the collector and re-arms it for k items, retaining the
+// backing array so steady-state reuse allocates nothing once capacity
+// has grown to the largest k seen. k must be positive.
+func (c *Collector[T]) Reset(k int) {
+	if k <= 0 {
+		panic("topk: non-positive k")
+	}
+	c.k = k
+	c.next = 0
+	c.items = c.items[:0]
 }
 
 func (c *Collector[T]) up(i int) {
@@ -105,6 +148,146 @@ func (c *Collector[T]) up(i int) {
 }
 
 func (c *Collector[T]) down(i int) {
+	n := len(c.items)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && c.less(l, smallest) {
+			smallest = l
+		}
+		if r < n && c.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		c.items[i], c.items[smallest] = c.items[smallest], c.items[i]
+		i = smallest
+	}
+}
+
+// KeyedItem is a collected value with its score and an explicit
+// tie-breaking key.
+type KeyedItem[T any] struct {
+	Value T
+	Score float64
+	Key   int64
+}
+
+// Keyed keeps the k highest-scoring items pushed into it, breaking
+// score ties by the smallest explicit key instead of push order. That
+// makes the retained set independent of push order, which is what a
+// pruned scan needs: it visits candidates in ceiling order, not
+// document order, yet must retain exactly the items an exhaustive
+// ascending-order scan would. When keys are the ascending positions of
+// an exhaustive scan, Keyed and Collector retain identical sets in
+// identical Sorted order.
+type Keyed[T any] struct {
+	k     int
+	items []KeyedItem[T] // min-heap on (score asc, key desc)
+}
+
+// cmpKeyedItems orders items by (score desc, key asc); keys are
+// distinct, so the order is total.
+func cmpKeyedItems[T any](a, b KeyedItem[T]) int {
+	switch {
+	case a.Score > b.Score:
+		return -1
+	case a.Score < b.Score:
+		return 1
+	case a.Key < b.Key:
+		return -1
+	case a.Key > b.Key:
+		return 1
+	}
+	return 0
+}
+
+// NewKeyed returns a keyed collector for the k best items. k must be
+// positive.
+func NewKeyed[T any](k int) *Keyed[T] {
+	if k <= 0 {
+		panic("topk: non-positive k")
+	}
+	return &Keyed[T]{k: k, items: make([]KeyedItem[T], 0, k)}
+}
+
+// Reset empties the collector and re-arms it for k items, retaining
+// the backing array. k must be positive.
+func (c *Keyed[T]) Reset(k int) {
+	if k <= 0 {
+		panic("topk: non-positive k")
+	}
+	c.k = k
+	c.items = c.items[:0]
+}
+
+// less orders the heap: evict-first is the lowest score; among equal
+// scores, the largest key.
+func (c *Keyed[T]) less(i, j int) bool {
+	a, b := c.items[i], c.items[j]
+	if a.Score != b.Score {
+		return a.Score < b.Score
+	}
+	return a.Key > b.Key
+}
+
+// Push offers an item; it is retained only if it beats the current kth
+// best (ties favour the smaller key). Keys must be distinct across
+// pushes for the order-independence guarantee to hold.
+func (c *Keyed[T]) Push(v T, key int64, score float64) {
+	it := KeyedItem[T]{Value: v, Score: score, Key: key}
+	if len(c.items) < c.k {
+		c.items = append(c.items, it)
+		c.up(len(c.items) - 1)
+		return
+	}
+	root := c.items[0]
+	if score < root.Score || (score == root.Score && key > root.Key) {
+		return
+	}
+	c.items[0] = it
+	c.down(0)
+}
+
+// Len returns the number of retained items (≤ k).
+func (c *Keyed[T]) Len() int { return len(c.items) }
+
+// Threshold returns the lowest retained score, with ok=false when
+// fewer than k items are retained. A candidate block whose score
+// ceiling is strictly below the threshold cannot change the retained
+// set; at equality it still can (a smaller key evicts at equal score),
+// so pruning must compare strictly.
+func (c *Keyed[T]) Threshold() (float64, bool) {
+	if len(c.items) < c.k {
+		return 0, false
+	}
+	return c.items[0].Score, true
+}
+
+// AppendSorted appends the retained items to dst in descending score
+// order (ties: smallest key first) and returns the extended slice.
+// With sufficient capacity in dst it performs no allocation. The
+// collector remains usable afterwards.
+func (c *Keyed[T]) AppendSorted(dst []KeyedItem[T]) []KeyedItem[T] {
+	base := len(dst)
+	dst = append(dst, c.items...)
+	slices.SortFunc(dst[base:], cmpKeyedItems[T])
+	return dst
+}
+
+func (c *Keyed[T]) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !c.less(i, parent) {
+			break
+		}
+		c.items[i], c.items[parent] = c.items[parent], c.items[i]
+		i = parent
+	}
+}
+
+func (c *Keyed[T]) down(i int) {
 	n := len(c.items)
 	for {
 		l, r := 2*i+1, 2*i+2
