@@ -1,0 +1,145 @@
+package ncexplorer
+
+// Multi-node serving surface: what the cluster layers (the HTTP
+// server's internal replication endpoints, the replica catch-up loop,
+// and the scatter-gather query router) build on. An Explorer can be
+// constructed as one shard of a federated corpus (Config.ShardCount),
+// and a QueryWorld is the corpus-less counterpart a router holds: the
+// deterministic knowledge graph regenerated from (scale, seed), enough
+// to resolve and render concept queries whose execution happens on the
+// shards. See DESIGN.md §10 for the topology and the exactness
+// argument.
+
+import (
+	"context"
+	"errors"
+
+	"ncexplorer/internal/core"
+	"ncexplorer/internal/kg"
+	"ncexplorer/internal/kggen"
+)
+
+// WrapContextErr converts a raw context error from an engine-level
+// call into the facade's typed error (CodeCancelled or
+// CodeDeadlineExceeded), exactly as the facade's own query methods do;
+// other errors pass through unchanged. The serving layers use it when
+// they call engine scatter primitives directly.
+func WrapContextErr(err error) error {
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return ctxError(err)
+	}
+	return err
+}
+
+// Engine exposes the underlying core engine to the internal serving
+// layers (HTTP server, cluster router and replica). It is not a
+// stability-guaranteed public API: the facade methods are.
+func (x *Explorer) Engine() *core.Engine { return x.engine }
+
+// Graph exposes the knowledge graph (immutable after construction).
+func (x *Explorer) Graph() *kg.Graph { return x.g }
+
+// Scale names the synthetic-world scale this Explorer was built at.
+func (x *Explorer) Scale() string { return x.scale }
+
+// Seed returns the world seed; together with Scale it identifies the
+// deterministic world, which is how cluster nodes verify they share
+// one graph (equal (scale, seed) ⇒ byte-identical graphs and node
+// IDs).
+func (x *Explorer) Seed() uint64 { return x.engine.Options().Seed }
+
+// ShardInfo reports the Explorer's cluster position: shard index,
+// shard count, and whether it is sharded at all.
+func (x *Explorer) ShardInfo() (index, count int, sharded bool) {
+	return x.engine.ShardInfo()
+}
+
+// ResolveConcepts maps concept names to node IDs with the facade's
+// typed errors — the internal scatter endpoints use it to turn a
+// router's canonical concept list into a core query.
+func (x *Explorer) ResolveConcepts(names []string) (core.Query, error) {
+	return resolveConceptsOn(x.g, names)
+}
+
+// ValidatePage applies the facade's shared page-shape validation — the
+// router validates at its own edge with the exact typed errors (and so
+// the exact error bodies) a monolithic server would produce.
+func ValidatePage(k, offset int, minScore float64) error {
+	return validatePage(k, offset, minScore)
+}
+
+// ValidateSources rejects unknown source-filter names with the same
+// typed error RollUpQuery produces.
+func ValidateSources(names []string) error {
+	_, err := resolveSources(names)
+	return err
+}
+
+// NextPageOffset computes the pagination cursor exactly as the facade
+// does: the offset of the page after one that returned `returned` of
+// `total` results, or -1 when exhausted.
+func NextPageOffset(offset, returned, total int) int {
+	return nextOffset(offset, returned, total)
+}
+
+// QueryWorld is the router's world model: the knowledge graph (and
+// evaluation metadata) regenerated deterministically from (scale,
+// seed), with the same name resolution and error surface the Explorer
+// uses — but no corpus and no engine. A router resolves concept names
+// against it, ships node IDs to the shards, and renders shard answers
+// back to names.
+type QueryWorld struct {
+	g     *kg.Graph
+	meta  *kggen.Meta
+	scale string
+	seed  uint64
+}
+
+// NewQueryWorld regenerates the world for (scale, seed). Seed 0 means
+// the default seed, exactly as in Config.
+func NewQueryWorld(scale string, seed uint64) (*QueryWorld, error) {
+	if seed == 0 {
+		seed = 42
+	}
+	scale, kcfg, _, err := worldConfigs(scale, seed)
+	if err != nil {
+		return nil, err
+	}
+	g, meta, err := kggen.Generate(kcfg)
+	if err != nil {
+		return nil, err
+	}
+	return &QueryWorld{g: g, meta: meta, scale: scale, seed: seed}, nil
+}
+
+// Graph returns the regenerated knowledge graph.
+func (w *QueryWorld) Graph() *kg.Graph { return w.g }
+
+// Scale returns the normalized world scale.
+func (w *QueryWorld) Scale() string { return w.scale }
+
+// Seed returns the world seed.
+func (w *QueryWorld) Seed() uint64 { return w.seed }
+
+// ResolveConcepts maps concept names to node IDs with the facade's
+// typed errors (CodeUnknownConcept with suggestions, CodeInvalidArgument
+// for entities). Call with CanonicalConcepts output for set semantics.
+func (w *QueryWorld) ResolveConcepts(names []string) (core.Query, error) {
+	return resolveConceptsOn(w.g, names)
+}
+
+// ConceptName renders a node ID back to its concept name.
+func (w *QueryWorld) ConceptName(c kg.NodeID) string { return w.g.Name(c) }
+
+// EvaluationTopics returns the Table-I topic names, like
+// Explorer.EvaluationTopics.
+func (w *QueryWorld) EvaluationTopics() [][2]string {
+	var out [][2]string
+	for _, t := range w.meta.Topics {
+		out = append(out, [2]string{w.g.Name(t.Concept), w.g.Name(t.GroupConcept)})
+	}
+	return out
+}

@@ -12,6 +12,8 @@
 //	                      [-watch DIR] [-watch-interval 2s] [-data-dir DIR]
 //	                      [-max-watchlists 64] [-alert-buffer 256]
 //	                      [-webhook-timeout 5s]
+//	                      [-role leader|replica] [-peer URL] [-shard i/n]
+//	                      [-sync-interval 500ms]
 //
 // Endpoints (see internal/server for payload shapes):
 //
@@ -47,6 +49,27 @@
 //	a feed consumer. -watch implies -ingest's pipeline but does not
 //	open the HTTP endpoint unless -ingest is also set.
 //
+// Multi-node serving:
+//
+//	-role leader marks this node the write side of a replica set: it
+//	requires -data-dir (the snapshot directory is what ships) and
+//	additionally serves the internal replication and scatter endpoints
+//	(GET /internal/manifest, GET /internal/segments/{name},
+//	GET /internal/stats, POST /internal/remote-stats, and the
+//	POST /internal/query/* scatter calls a router fans out).
+//	-role replica boots with no corpus at all: it polls -peer (the
+//	leader's base URL) for new snapshot generations, ships only the
+//	segment files it has never seen into -data-dir, warm-opens each
+//	complete snapshot, and swaps it into the serving path atomically.
+//	Until its first catch-up completes every public endpoint answers
+//	503 {"state":"syncing",...}, which is how routers exclude it.
+//	-shard i/n builds (or, on warm boot, verifies) this node as shard
+//	i of an n-way federated corpus: it indexes only its slice of the
+//	articles under global document IDs, and scores with corpus-global
+//	statistics once a router runs the term-statistics exchange. See
+//	cmd/ncrouter for the scatter-gather front door and DESIGN.md §10
+//	for the topology.
+//
 // Durable snapshots:
 //
 //	-data-dir DIR makes restarts boring. On boot, if DIR holds a saved
@@ -75,18 +98,22 @@ import (
 	"encoding/json"
 	"errors"
 	"flag"
+	"fmt"
 	"log"
 	"net/http"
 	"os"
 	"os/signal"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"ncexplorer"
+	"ncexplorer/internal/cluster"
 	"ncexplorer/internal/server"
 )
 
@@ -110,10 +137,32 @@ func main() {
 	webhookTimeout := flag.Duration("webhook-timeout", 5*time.Second, "per-attempt timeout for webhook alert deliveries")
 	shutdownTimeout := flag.Duration("shutdown-timeout", 5*time.Second, "drain deadline for graceful shutdown")
 	dataDir := flag.String("data-dir", "", "durable snapshot directory: warm-open on boot, checkpoint ingests, save on shutdown")
+	role := flag.String("role", "", "cluster role: leader or replica (empty: standalone)")
+	peer := flag.String("peer", "", "leader base URL to replicate from (with -role replica)")
+	shardSpec := flag.String("shard", "", "shard position i/n of a federated corpus, e.g. 0/2")
+	syncInterval := flag.Duration("sync-interval", 500*time.Millisecond, "replica manifest poll interval")
 	flag.Parse()
 
 	if *seed == 0 {
 		log.Print("seed 0 selects the built-in default (42)")
+	}
+	if *role != "" && *role != "leader" && *role != "replica" {
+		log.Fatalf("-role %q: want leader, replica, or empty (standalone)", *role)
+	}
+	shardIdx, shardCount, err := parseShardSpec(*shardSpec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *role == "leader" && *dataDir == "" {
+		log.Fatal("-role leader requires -data-dir: the snapshot directory is what ships to replicas")
+	}
+	if *role == "replica" {
+		if *peer == "" {
+			log.Fatal("-role replica requires -peer (the leader's base URL)")
+		}
+		if *dataDir == "" {
+			log.Fatal("-role replica requires -data-dir (the local snapshot mirror)")
+		}
 	}
 	// Only an explicit -max-segments overrides a snapshot's saved merge
 	// policy on warm boot; the flag's default must not.
@@ -123,20 +172,39 @@ func main() {
 			openMaxSegments = *maxSegments
 		}
 	})
-	x, err := bootExplorer(*dataDir, *scale, *seed, *maxSegments, openMaxSegments, *maxWatchlists, *alertBuffer)
-	if err != nil {
-		log.Fatal(err)
-	}
-	// The webhook worker starts before serving so un-acked deliveries
-	// from a previous run (loaded with the snapshot) resume immediately.
-	x.StartWebhooks(*webhookTimeout)
-	if *dataDir != "" {
-		// Persist every committed ingest so a crash (as opposed to a
-		// graceful shutdown) loses at most the batch in flight.
-		x.CheckpointTo(*dataDir)
+	// A replica boots with no explorer at all: the catch-up loop below
+	// ships the leader's snapshot and installs one; the readiness gate
+	// answers 503 syncing in the meantime.
+	var x *ncexplorer.Explorer
+	if *role != "replica" {
+		x, err = bootExplorer(*dataDir, *scale, *seed, *maxSegments, openMaxSegments,
+			*maxWatchlists, *alertBuffer, shardIdx, shardCount)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// The webhook worker starts before serving so un-acked deliveries
+		// from a previous run (loaded with the snapshot) resume immediately.
+		x.StartWebhooks(*webhookTimeout)
+		if *dataDir != "" {
+			// Persist every committed ingest so a crash (as opposed to a
+			// graceful shutdown) loses at most the batch in flight. For a
+			// leader this is also the replication feed: replicas poll the
+			// checkpointed snapshot directory.
+			x.CheckpointTo(*dataDir)
+		}
+		if *role == "leader" && !ncexplorer.HasSnapshot(*dataDir) {
+			// A cold-built leader publishes its seed snapshot immediately:
+			// replicas bootstrap from the manifest, and waiting for the
+			// first ingest would leave them syncing forever on a read-only
+			// corpus.
+			if err := x.Save(*dataDir); err != nil {
+				log.Fatal(err)
+			}
+			log.Printf("published initial snapshot to %s (generation %d)", *dataDir, x.Generation())
+		}
 	}
 
-	s := server.New(x, server.Options{
+	opts := server.Options{
 		CacheShards:    *shards,
 		CacheCapacity:  *capacity,
 		MaxK:           *maxK,
@@ -145,7 +213,36 @@ func main() {
 		MaxSessions:    *maxSessions,
 		EnableIngest:   *ingest,
 		MaxIngestBatch: *maxIngestBatch,
-	})
+	}
+	if *role != "" || shardCount > 1 {
+		// Cluster nodes (and standalone shards a router may query)
+		// expose the internal scatter endpoints.
+		opts.EnableCluster = true
+	}
+	if *role != "" {
+		// Leaders ship their checkpoint directory; replicas re-serve the
+		// mirror they fetched, so replicas can daisy-chain.
+		opts.ClusterDataDir = *dataDir
+	}
+	s := server.New(x, opts)
+
+	var rep *cluster.Replica
+	if *role == "replica" {
+		rep = newReplica(s, strings.TrimRight(*peer, "/"), *dataDir, *syncInterval,
+			ncexplorer.OpenOptions{
+				MaxSegments:   openMaxSegments,
+				MaxWatchlists: *maxWatchlists,
+				AlertBuffer:   *alertBuffer,
+			})
+	} else if *role == "leader" {
+		s.SetClusterInfo(func() *server.ClusterInfo {
+			idx, n, _ := x.ShardInfo()
+			return &server.ClusterInfo{
+				Role: "leader", Shard: idx, ShardCount: n,
+				Generation: x.Generation(),
+			}
+		})
+	}
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           s.Handler(),
@@ -159,13 +256,21 @@ func main() {
 	defer stop()
 
 	var watchWG sync.WaitGroup
-	if *watch != "" {
+	if *watch != "" && x != nil {
 		watchWG.Add(1)
 		go func() {
 			defer watchWG.Done()
 			watchLoop(ctx, x, *watch, *watchInterval)
 		}()
 		log.Printf("watching %s for article batches every %s", *watch, *watchInterval)
+	}
+	if rep != nil {
+		watchWG.Add(1)
+		go func() {
+			defer watchWG.Done()
+			rep.Run(ctx)
+		}()
+		log.Printf("replicating from %s into %s (poll every %s)", *peer, *dataDir, *syncInterval)
 	}
 
 	drained := make(chan struct{})
@@ -199,6 +304,17 @@ func main() {
 	// save persists it and the next boot redelivers.
 	<-drained
 	watchWG.Wait()
+	if x == nil {
+		// A replica owns no durable state of its own: the mirror in
+		// -data-dir is already a complete snapshot, and re-saving it
+		// here would race the catch-up loop it just stopped.
+		if shutdownErr != nil {
+			log.Printf("shutdown: drain incomplete: %v", shutdownErr)
+			os.Exit(1)
+		}
+		log.Print("shut down cleanly")
+		return
+	}
 	drainCtx, cancelDrain := context.WithTimeout(context.Background(), *shutdownTimeout)
 	if err := x.DrainWebhooks(drainCtx); err != nil {
 		log.Printf("shutdown: webhook drain incomplete: %v", err)
@@ -229,8 +345,12 @@ func main() {
 // data loss, and the shutdown save's garbage collection would then
 // destroy the evidence. openMaxSegments is the merge-policy override
 // for a warm boot (0 keeps the snapshot's saved value); maxSegments
-// configures a cold build.
-func bootExplorer(dataDir, scale string, seed uint64, maxSegments, openMaxSegments, maxWatchlists, alertBuffer int) (*ncexplorer.Explorer, error) {
+// configures a cold build. shardIdx/shardCount place the node in a
+// federated corpus (shardCount > 1): a cold build indexes only this
+// shard's slice, and a warm boot verifies the snapshot holds the shard
+// the flags name — silently serving the wrong slice would corrupt
+// every cross-shard merge.
+func bootExplorer(dataDir, scale string, seed uint64, maxSegments, openMaxSegments, maxWatchlists, alertBuffer, shardIdx, shardCount int) (*ncexplorer.Explorer, error) {
 	start := time.Now()
 	if dataDir != "" {
 		x, err := ncexplorer.Open(dataDir, ncexplorer.OpenOptions{
@@ -239,6 +359,12 @@ func bootExplorer(dataDir, scale string, seed uint64, maxSegments, openMaxSegmen
 			AlertBuffer:   alertBuffer,
 		})
 		if err == nil {
+			if shardCount > 1 {
+				if idx, n, _ := x.ShardInfo(); idx != shardIdx || n != shardCount {
+					return nil, fmt.Errorf("snapshot in %s is shard %d/%d but -shard asked for %d/%d",
+						dataDir, idx, n, shardIdx, shardCount)
+				}
+			}
 			log.Printf("warm start from %s in %.1fs — %d articles (generation %d); -scale/-seed taken from the snapshot",
 				dataDir, time.Since(start).Seconds(), x.NumArticles(), x.Generation())
 			return x, nil
@@ -247,10 +373,15 @@ func bootExplorer(dataDir, scale string, seed uint64, maxSegments, openMaxSegmen
 			return nil, err
 		}
 	}
-	log.Printf("building %s world (seed %d)...", scale, seed)
+	if shardCount > 1 {
+		log.Printf("building %s world (seed %d), shard %d/%d...", scale, seed, shardIdx, shardCount)
+	} else {
+		log.Printf("building %s world (seed %d)...", scale, seed)
+	}
 	x, err := ncexplorer.New(ncexplorer.Config{
 		Scale: scale, Seed: seed, MaxSegments: maxSegments,
 		MaxWatchlists: maxWatchlists, AlertBuffer: alertBuffer,
+		Shard: shardIdx, ShardCount: shardCount,
 	})
 	if err != nil {
 		return nil, err
@@ -258,6 +389,68 @@ func bootExplorer(dataDir, scale string, seed uint64, maxSegments, openMaxSegmen
 	log.Printf("world ready in %.1fs — %d articles indexed (generation %d)",
 		time.Since(start).Seconds(), x.NumArticles(), x.Generation())
 	return x, nil
+}
+
+// parseShardSpec parses "-shard i/n" into a shard position. The empty
+// spec means unsharded (0, 0).
+func parseShardSpec(spec string) (idx, count int, err error) {
+	if spec == "" {
+		return 0, 0, nil
+	}
+	slash := strings.IndexByte(spec, '/')
+	if slash < 0 {
+		return 0, 0, fmt.Errorf("-shard %q: want i/n, e.g. 0/2", spec)
+	}
+	idx, err1 := strconv.Atoi(spec[:slash])
+	count, err2 := strconv.Atoi(spec[slash+1:])
+	if err1 != nil || err2 != nil || count < 1 || idx < 0 || idx >= count {
+		return 0, 0, fmt.Errorf("-shard %q: want i/n with 0 <= i < n", spec)
+	}
+	return idx, count, nil
+}
+
+// newReplica wires the catch-up loop into the server: each complete
+// snapshot swap publishes the fresh explorer atomically, status
+// transitions drive the readiness gate, and /statsz exposes the
+// shipping counters and replication lag.
+func newReplica(s *server.Server, peer, dataDir string, interval time.Duration, open ncexplorer.OpenOptions) *cluster.Replica {
+	var cur atomic.Pointer[ncexplorer.Explorer]
+	var target atomic.Uint64
+	rep := &cluster.Replica{
+		Fetcher:     &cluster.Fetcher{BaseURL: peer, Dir: dataDir},
+		Interval:    interval,
+		OpenOptions: open,
+		OnSwap: func(x *ncexplorer.Explorer) {
+			cur.Store(x)
+			s.SetExplorer(x)
+		},
+		Status: func(generation, tgt uint64, syncing bool) {
+			if tgt > 0 {
+				target.Store(tgt)
+			}
+			s.SetSyncState(generation, tgt, syncing)
+		},
+	}
+	s.SetClusterInfo(func() *server.ClusterInfo {
+		c := rep.Fetcher.Counters()
+		info := &server.ClusterInfo{
+			Role:             "replica",
+			Generation:       rep.Generation(),
+			TargetGeneration: target.Load(),
+			ManifestPolls:    c.ManifestPolls,
+			SegmentsFetched:  c.SegmentsFetched,
+			SegmentsReused:   c.SegmentsReused,
+			BytesShipped:     c.BytesShipped,
+		}
+		if x := cur.Load(); x != nil {
+			info.Shard, info.ShardCount, _ = x.ShardInfo()
+		}
+		if info.TargetGeneration > info.Generation {
+			info.GenerationLag = int64(info.TargetGeneration - info.Generation)
+		}
+		return info
+	})
+	return rep
 }
 
 // persistOnShutdown performs the final -data-dir save. It returns true

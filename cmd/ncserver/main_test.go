@@ -72,7 +72,7 @@ func TestPersistOnShutdownKeepsPreviousSnapshot(t *testing.T) {
 	}
 
 	// The earlier snapshot still boots, warm.
-	y, err := bootExplorer(dir, "ignored", 0, 0, 0, 0, 0)
+	y, err := bootExplorer(dir, "ignored", 0, 0, 0, 0, 0, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,17 +89,17 @@ func TestPersistOnShutdownKeepsPreviousSnapshot(t *testing.T) {
 // not-yet-existing one), boot builds the world from scratch; a path
 // that cannot even be read is a hard error, not a fallback.
 func TestBootExplorerColdStart(t *testing.T) {
-	x, err := bootExplorer("", "tiny", 7, 0, 0, 0, 0)
+	x, err := bootExplorer("", "tiny", 7, 0, 0, 0, 0, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if x.Stats().Persist.Opens != 0 {
 		t.Fatal("cold boot claims to have opened a snapshot")
 	}
-	if _, err := bootExplorer(t.TempDir(), "tiny", 7, 0, 0, 0, 0); err != nil {
+	if _, err := bootExplorer(t.TempDir(), "tiny", 7, 0, 0, 0, 0, 0, 0); err != nil {
 		t.Fatalf("empty data dir must fall back to a cold build: %v", err)
 	}
-	if _, err := bootExplorer(unwritableDir(t), "tiny", 7, 0, 0, 0, 0); err == nil {
+	if _, err := bootExplorer(unwritableDir(t), "tiny", 7, 0, 0, 0, 0, 0, 0); err == nil {
 		t.Fatal("an unreadable data path must fail the boot, not silently rebuild")
 	}
 }
@@ -159,7 +159,7 @@ func TestBootExplorerRejectsCorruptSnapshot(t *testing.T) {
 				t.Fatal(err)
 			}
 			tc.apply(t, dir)
-			if _, err := bootExplorer(dir, "tiny", 42, 0, 0, 0, 0); err == nil {
+			if _, err := bootExplorer(dir, "tiny", 42, 0, 0, 0, 0, 0, 0); err == nil {
 				t.Fatal("boot on a damaged snapshot must fail loudly")
 			}
 		})

@@ -52,6 +52,13 @@ const (
 	// capacity bound (e.g. the watchlist limit). The HTTP layer maps it
 	// to 429.
 	CodeLimitExceeded ErrorCode = "limit_exceeded"
+	// CodeShardUnavailable marks a scatter-gather query that could not
+	// reach some corpus shard: every replica of that shard was down,
+	// syncing, or answering at a skewed generation past the router's
+	// retry budget. The HTTP layer maps it to 503 — the cluster serves
+	// exact answers or none, never silently partial ones (unless the
+	// caller opts in; see the router's partial flag).
+	CodeShardUnavailable ErrorCode = "shard_unavailable"
 	// CodeInternal marks a server-side failure.
 	CodeInternal ErrorCode = "internal"
 )

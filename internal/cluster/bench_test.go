@@ -1,0 +1,151 @@
+package cluster
+
+// Cluster-tier benchmarks for scripts/bench_json.sh: router fan-out
+// latency (p50/p99 across the scatter-gather round trip), segment
+// shipping throughput (a cold replica mirroring a leader snapshot),
+// and leader ingest with checkpointing armed — the configuration the
+// plan-reuse mitigation in internal/core exists for.
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"testing"
+	"time"
+
+	"ncexplorer"
+	"ncexplorer/internal/server"
+)
+
+// percentile picks the p-th percentile (0..1) from sorted durations.
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// benchCluster builds a seeded 2-shard cluster once per benchmark and
+// returns it with a few batches already committed, so fan-out queries
+// touch real segments on both shards.
+func benchCluster(b *testing.B) *testCluster {
+	b.Helper()
+	tc := newTestCluster(b, 2)
+	tc.ingest(0, 31, 8)
+	tc.ingest(1, 32, 8)
+	return tc
+}
+
+// BenchmarkRouterFanout measures the full scatter-gather round trip
+// through the router's HTTP front — validation, per-shard fan-out over
+// real sockets, exact merge, encode — and reports tail latency, the
+// number a deployment actually budgets for.
+func BenchmarkRouterFanout(b *testing.B) {
+	for _, op := range []string{"rollup", "drilldown"} {
+		b.Run(op, func(b *testing.B) {
+			tc := benchCluster(b)
+			topics := tc.world.EvaluationTopics()
+			path := "/v2/query/" + op
+			lat := make([]time.Duration, 0, b.N)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				topic := topics[i%len(topics)]
+				req := queryReq{Concepts: []string{topic[0]}, K: 5}
+				start := time.Now()
+				status, body := postJSON(b, tc.rts.URL, path, req)
+				lat = append(lat, time.Since(start))
+				if status != http.StatusOK {
+					b.Fatalf("%s = %d: %s", path, status, body)
+				}
+			}
+			b.StopTimer()
+			sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+			b.ReportMetric(float64(percentile(lat, 0.50)), "p50-ns")
+			b.ReportMetric(float64(percentile(lat, 0.99)), "p99-ns")
+		})
+	}
+}
+
+// BenchmarkSegmentShipping measures a cold replica mirroring a leader
+// snapshot over HTTP: manifest fetch, every segment verified and
+// written, mirror committed. Reported as shipped bytes per second.
+func BenchmarkSegmentShipping(b *testing.B) {
+	ctx := context.Background()
+	x, err := ncexplorer.New(ncexplorer.Config{Scale: "tiny", MaxSegments: 100})
+	if err != nil {
+		b.Fatal(err)
+	}
+	dir := b.TempDir()
+	if err := x.Save(dir); err != nil {
+		b.Fatal(err)
+	}
+	x.CheckpointTo(dir)
+	for seed := uint64(41); seed < 45; seed++ {
+		batch, err := x.SampleArticles(seed, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := x.Ingest(ctx, batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+	srv := httptest.NewServer(server.New(x, server.Options{ClusterDataDir: dir}).Handler())
+	defer srv.Close()
+
+	var shipped int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f := &Fetcher{BaseURL: srv.URL, Dir: b.TempDir()}
+		if _, changed, err := f.Sync(ctx); err != nil || !changed {
+			b.Fatalf("cold sync: changed=%v err=%v", changed, err)
+		}
+		shipped += f.Counters().BytesShipped
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(shipped)/b.Elapsed().Seconds(), "ship-B/s")
+}
+
+// BenchmarkLeaderIngest is the gate for the leader-ingest plan-reuse
+// mitigation: ingest throughput with CheckpointTo armed (every batch
+// both commits a segment and publishes a snapshot — the exact path a
+// cluster leader runs on every ingest) against plain ingest, measured
+// back-to-back in the same invocation so the ratio is comparable.
+func BenchmarkLeaderIngest(b *testing.B) {
+	for _, mode := range []string{"plain", "checkpointing"} {
+		b.Run(mode, func(b *testing.B) {
+			ctx := context.Background()
+			x, err := ncexplorer.New(ncexplorer.Config{Scale: "tiny"})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if mode == "checkpointing" {
+				dir := b.TempDir()
+				if err := x.Save(dir); err != nil {
+					b.Fatal(err)
+				}
+				x.CheckpointTo(dir)
+			}
+			const batchSize = 16
+			batches := make([][]ncexplorer.IngestArticle, 8)
+			for i := range batches {
+				batch, err := x.SampleArticles(uint64(100+i), batchSize)
+				if err != nil {
+					b.Fatal(err)
+				}
+				batches[i] = batch
+			}
+			docs := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := x.Ingest(ctx, batches[i%len(batches)]); err != nil {
+					b.Fatal(err)
+				}
+				docs += batchSize
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(docs)/b.Elapsed().Seconds(), "docs/sec")
+		})
+	}
+}

@@ -1,0 +1,300 @@
+package cluster
+
+// In-process cluster harness: real HTTP servers (httptest) around real
+// shard explorers, a real replica catch-up loop, and the router in
+// front — versus a monolithic server over the union corpus. The
+// equivalence test is the tentpole contract: every public query body
+// the router serves must be byte-identical to the monolithic answer,
+// at every generation of a randomized ingest-and-merge schedule.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"ncexplorer"
+	"ncexplorer/internal/server"
+)
+
+// shardNode is one serving process stand-in: explorer (nil for a
+// replica before catch-up), server, and its HTTP front.
+type shardNode struct {
+	x   *ncexplorer.Explorer
+	srv *server.Server
+	ts  *httptest.Server
+}
+
+type testCluster struct {
+	t        testing.TB
+	ctx      context.Context
+	monoX    *ncexplorer.Explorer
+	mono     *httptest.Server
+	leaders  []shardNode
+	replicas []shardNode
+	reps     []*Replica
+	world    *ncexplorer.QueryWorld
+	router   *Router
+	rts      *httptest.Server
+}
+
+// newTestCluster builds an nShards-way cluster over the tiny world —
+// each shard a leader (checkpointing into its shipping directory) plus
+// one replica — and a monolithic reference server over the union
+// corpus. Shard leaders merge aggressively (MaxSegments 2) so segment
+// reorganisation happens mid-schedule; the reference never merges, so
+// the equality also proves merge invariance end to end.
+func newTestCluster(t testing.TB, nShards int) *testCluster {
+	t.Helper()
+	ctx := context.Background()
+	tc := &testCluster{t: t, ctx: ctx}
+
+	monoX, err := ncexplorer.New(ncexplorer.Config{Scale: "tiny", MaxSegments: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc.monoX = monoX
+	tc.mono = httptest.NewServer(server.New(monoX, server.Options{}).Handler())
+	t.Cleanup(tc.mono.Close)
+
+	shards := make([][]string, nShards)
+	for i := 0; i < nShards; i++ {
+		x, err := ncexplorer.New(ncexplorer.Config{
+			Scale: "tiny", Shard: i, ShardCount: nShards, MaxSegments: 2,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		dir := t.TempDir()
+		if err := x.Save(dir); err != nil {
+			t.Fatal(err)
+		}
+		x.CheckpointTo(dir)
+		lsrv := server.New(x, server.Options{EnableCluster: true, ClusterDataDir: dir})
+		lts := httptest.NewServer(lsrv.Handler())
+		t.Cleanup(lts.Close)
+		tc.leaders = append(tc.leaders, shardNode{x: x, srv: lsrv, ts: lts})
+
+		rdir := t.TempDir()
+		rsrv := server.New(nil, server.Options{EnableCluster: true, ClusterDataDir: rdir})
+		rts := httptest.NewServer(rsrv.Handler())
+		t.Cleanup(rts.Close)
+		tc.replicas = append(tc.replicas, shardNode{srv: rsrv, ts: rts})
+		tc.reps = append(tc.reps, &Replica{
+			Fetcher: &Fetcher{BaseURL: lts.URL, Dir: rdir},
+			OnSwap:  rsrv.SetExplorer,
+			Status:  rsrv.SetSyncState,
+			Logf:    t.Logf,
+		})
+		shards[i] = []string{lts.URL, rts.URL}
+	}
+
+	world, err := ncexplorer.NewQueryWorld("tiny", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc.world = world
+	tc.router = &Router{World: world, Shards: shards, Logf: t.Logf}
+	tc.rts = httptest.NewServer(tc.router.Handler())
+	t.Cleanup(tc.rts.Close)
+
+	// First statistics exchange makes every shard score corpus-globally,
+	// then the replicas catch up to the post-exchange snapshots.
+	if err := tc.router.SyncStats(ctx); err != nil {
+		t.Fatal(err)
+	}
+	tc.catchUp()
+	return tc
+}
+
+// catchUp drives every replica through one synchronous catch-up step.
+func (tc *testCluster) catchUp() {
+	tc.t.Helper()
+	for i, rep := range tc.reps {
+		if _, err := rep.SyncOnce(tc.ctx); err != nil {
+			tc.t.Fatalf("replica %d catch-up: %v", i, err)
+		}
+	}
+}
+
+// ingest commits one article batch to a shard leader and the
+// monolithic reference, then restores the cluster invariants the
+// router maintains in production: statistics exchanged, replicas
+// caught up.
+func (tc *testCluster) ingest(target int, seed uint64, n int) {
+	tc.t.Helper()
+	batch, err := tc.monoX.SampleArticles(seed, n)
+	if err != nil {
+		tc.t.Fatal(err)
+	}
+	if _, err := tc.leaders[target].x.Ingest(tc.ctx, batch); err != nil {
+		tc.t.Fatal(err)
+	}
+	if _, err := tc.monoX.Ingest(tc.ctx, batch); err != nil {
+		tc.t.Fatal(err)
+	}
+	if err := tc.router.SyncStats(tc.ctx); err != nil {
+		tc.t.Fatal(err)
+	}
+	tc.catchUp()
+}
+
+// postJSON sends one query and returns (status, body).
+func postJSON(t testing.TB, base, path string, body any) (int, []byte) {
+	t.Helper()
+	payload, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+path, "application/json", bytes.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, data
+}
+
+// queryReq is the public /v2 query body.
+type queryReq struct {
+	Concepts []string `json:"concepts"`
+	K        int      `json:"k,omitempty"`
+	Offset   int      `json:"offset,omitempty"`
+	Sources  []string `json:"sources,omitempty"`
+	MinScore float64  `json:"min_score,omitempty"`
+	Explain  bool     `json:"explain,omitempty"`
+}
+
+// checkEquivalence compares router and monolithic answers — status and
+// raw bytes — across the query grid, including requests that must fail
+// (typed error envelopes are part of the byte-identity contract).
+func (tc *testCluster) checkEquivalence(stage string) {
+	tc.t.Helper()
+	var queries [][]string
+	for _, topic := range tc.world.EvaluationTopics() {
+		queries = append(queries, []string{topic[0]}, []string{topic[0], topic[1]})
+	}
+	var reqs []queryReq
+	for _, concepts := range queries {
+		for _, k := range []int{1, 3, 8} {
+			for _, offset := range []int{0, 2} {
+				for _, minScore := range []float64{0, 0.05} {
+					req := queryReq{
+						Concepts: concepts, K: k, Offset: offset,
+						MinScore: minScore, Explain: k == 3,
+					}
+					if k == 8 && offset == 0 {
+						req.Sources = []string{"reuters", "nyt"}
+					}
+					reqs = append(reqs, req)
+				}
+			}
+		}
+	}
+	// Error-path probes: same envelope bytes required on both paths.
+	reqs = append(reqs,
+		queryReq{Concepts: queries[0], K: -3},
+		queryReq{Concepts: queries[0], Offset: -1},
+		queryReq{Concepts: queries[0], MinScore: 2},
+		queryReq{Concepts: []string{"no-such-concept"}},
+		queryReq{Concepts: queries[0], Sources: []string{"tabloid"}},
+	)
+	for _, op := range []string{"rollup", "drilldown"} {
+		path := "/v2/query/" + op
+		for _, req := range reqs {
+			if op == "drilldown" {
+				req.Sources = nil
+			}
+			wantStatus, want := postJSON(tc.t, tc.mono.URL, path, req)
+			gotStatus, got := postJSON(tc.t, tc.rts.URL, path, req)
+			if gotStatus != wantStatus || !bytes.Equal(got, want) {
+				tc.t.Fatalf("%s: %s diverges for %+v:\n got  (%d): %s\n want (%d): %s",
+					stage, path, req, gotStatus, got, wantStatus, want)
+			}
+		}
+	}
+	// Drill-down with a sources filter is rejected identically.
+	req := queryReq{Concepts: queries[0], Sources: []string{"reuters"}}
+	wantStatus, want := postJSON(tc.t, tc.mono.URL, "/v2/query/drilldown", req)
+	gotStatus, got := postJSON(tc.t, tc.rts.URL, "/v2/query/drilldown", req)
+	if gotStatus != wantStatus || !bytes.Equal(got, want) {
+		tc.t.Fatalf("%s: drilldown sources rejection diverges:\n got  (%d): %s\n want (%d): %s",
+			stage, gotStatus, got, wantStatus, want)
+	}
+}
+
+// TestRouterMatchesMonolithic is the acceptance contract: a 2-shard
+// cluster behind the router answers byte-identically to a monolithic
+// server over the union corpus, for roll-up and drill-down across the
+// K/offset/filter/explain grid, at the seed generation, after every
+// batch of a randomized ingest schedule, and after background merges
+// settle.
+func TestRouterMatchesMonolithic(t *testing.T) {
+	tc := newTestCluster(t, 2)
+	tc.checkEquivalence("seed")
+
+	// Pseudo-random schedule: alternating targets, growing batches.
+	targets := []int{1, 0, 0, 1}
+	for i, target := range targets {
+		tc.ingest(target, 9500+uint64(i), 4+i)
+		tc.checkEquivalence(fmt.Sprintf("batch %d (shard %d)", i, target))
+	}
+
+	// Let the aggressive shard merge policies reorganise segments, ship
+	// the reorganised snapshots, and re-check: merges change files
+	// without changing answers or generations.
+	for _, l := range tc.leaders {
+		l.x.Quiesce()
+	}
+	tc.monoX.Quiesce()
+	tc.catchUp()
+	tc.checkEquivalence("after merges")
+}
+
+// TestRouterTopicsMatchesMonolithic pins the graph-only endpoint the
+// router answers locally from its QueryWorld.
+func TestRouterTopicsMatchesMonolithic(t *testing.T) {
+	tc := newTestCluster(t, 2)
+	for _, path := range []string{"/v1/topics"} {
+		want := getBody(t, tc.mono.URL+path)
+		got := getBody(t, tc.rts.URL+path)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("%s diverges:\n got:  %s\n want: %s", path, got, want)
+		}
+	}
+	// Keywords proxy: the router forwards to any live replica; topic
+	// keywords are deterministic graph+connectivity data, so the bytes
+	// must match the monolithic answer too.
+	topics := tc.world.EvaluationTopics()
+	path := "/v1/keywords/" + strings.ReplaceAll(topics[0][0], " ", "%20")
+	want := getBody(t, tc.mono.URL+path)
+	got := getBody(t, tc.rts.URL+path)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("%s diverges:\n got:  %s\n want: %s", path, got, want)
+	}
+}
+
+func getBody(t testing.TB, url string) []byte {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %d: %s", url, resp.StatusCode, data)
+	}
+	return data
+}

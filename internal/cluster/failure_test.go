@@ -1,0 +1,297 @@
+package cluster
+
+// Failure-mode contracts: what the router answers when shards are
+// down, hung, or mid-catch-up, and what the shipping layer does on a
+// replica restart. All typed, all pinned.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"ncexplorer"
+	"ncexplorer/internal/server"
+)
+
+// errEnvelope decodes the /v2 error body.
+type errEnvelope struct {
+	Error struct {
+		Code    string         `json:"code"`
+		Message string         `json:"message"`
+		Details map[string]any `json:"details"`
+	} `json:"error"`
+}
+
+func decodeEnvelope(t *testing.T, body []byte) errEnvelope {
+	t.Helper()
+	var env errEnvelope
+	if err := json.Unmarshal(body, &env); err != nil {
+		t.Fatalf("not an error envelope: %v: %s", err, body)
+	}
+	return env
+}
+
+// routerOver builds a router over explicit replica lists, reusing the
+// harness world.
+func routerOver(t *testing.T, tc *testCluster, timeout time.Duration, shards ...[]string) *httptest.Server {
+	t.Helper()
+	rt := &Router{World: tc.world, Shards: shards, Timeout: timeout, Logf: t.Logf}
+	ts := httptest.NewServer(rt.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func TestRouterFailureModes(t *testing.T) {
+	tc := newTestCluster(t, 2)
+	shard0 := tc.router.Shards[0]
+	rollup := func(base string, path string) (int, []byte) {
+		return postJSON(t, base, path, queryReq{Concepts: []string{tc.world.EvaluationTopics()[0][0]}, K: 5})
+	}
+
+	t.Run("shard down is typed shard_unavailable", func(t *testing.T) {
+		// Shard 1's replicas all point at a closed port.
+		ts := routerOver(t, tc, 2*time.Second, shard0, []string{"http://127.0.0.1:1"})
+		status, body := rollup(ts.URL, "/v2/query/rollup")
+		if status != http.StatusServiceUnavailable {
+			t.Fatalf("status = %d, want 503: %s", status, body)
+		}
+		env := decodeEnvelope(t, body)
+		if env.Error.Code != string(ncexplorer.CodeShardUnavailable) {
+			t.Fatalf("code = %q, want shard_unavailable: %s", env.Error.Code, body)
+		}
+		if shard, ok := env.Error.Details["shard"].(float64); !ok || int(shard) != 1 {
+			t.Fatalf("details.shard = %v, want 1", env.Error.Details["shard"])
+		}
+	})
+
+	t.Run("hung shard is typed deadline_exceeded", func(t *testing.T) {
+		hung := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			select {
+			case <-r.Context().Done():
+			case <-time.After(2 * time.Second):
+			}
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}))
+		t.Cleanup(hung.Close)
+		ts := routerOver(t, tc, 100*time.Millisecond, shard0, []string{hung.URL})
+		status, body := rollup(ts.URL, "/v2/query/drilldown")
+		if status != http.StatusGatewayTimeout {
+			t.Fatalf("status = %d, want 504: %s", status, body)
+		}
+		env := decodeEnvelope(t, body)
+		if env.Error.Code != string(ncexplorer.CodeDeadlineExceeded) {
+			t.Fatalf("code = %q, want deadline_exceeded: %s", env.Error.Code, body)
+		}
+	})
+
+	t.Run("partial=true merges the answering shards", func(t *testing.T) {
+		ts := routerOver(t, tc, 2*time.Second, shard0, []string{"http://127.0.0.1:1"})
+		// Without the opt-in: refused.
+		status, _ := rollup(ts.URL, "/v2/query/rollup")
+		if status != http.StatusServiceUnavailable {
+			t.Fatalf("non-partial status = %d, want 503", status)
+		}
+		// With it: the live shard's contribution, marked partial.
+		status, body := rollup(ts.URL, "/v2/query/rollup?partial=true")
+		if status != http.StatusOK {
+			t.Fatalf("partial status = %d, want 200: %s", status, body)
+		}
+		var res struct {
+			Partial    bool   `json:"partial"`
+			Generation uint64 `json:"generation"`
+			Total      int    `json:"total"`
+		}
+		if err := json.Unmarshal(body, &res); err != nil {
+			t.Fatal(err)
+		}
+		if !res.Partial {
+			t.Fatalf("partial flag missing: %s", body)
+		}
+		if res.Generation == 0 {
+			t.Fatalf("partial answer carries no generation: %s", body)
+		}
+		// And a full (non-partial) success must not carry the field at
+		// all — byte-identity with the monolithic encoding depends on it.
+		_, full := rollup(tc.rts.URL, "/v2/query/rollup?partial=true")
+		if bytes.Contains(full, []byte(`"partial"`)) {
+			t.Fatalf("healthy cluster answer leaks the partial marker: %s", full)
+		}
+	})
+
+	t.Run("dead replica falls back to the next", func(t *testing.T) {
+		// The dead URL sits last, so the router tries it first and must
+		// transparently fall back to the live leader.
+		ts := routerOver(t, tc, 2*time.Second,
+			[]string{shard0[0], "http://127.0.0.1:1"}, tc.router.Shards[1])
+		status, body := rollup(ts.URL, "/v2/query/rollup")
+		if status != http.StatusOK {
+			t.Fatalf("status = %d, want 200: %s", status, body)
+		}
+		_, want := rollup(tc.rts.URL, "/v2/query/rollup")
+		if !bytes.Equal(body, want) {
+			t.Fatalf("failover answer diverges:\n got:  %s\n want: %s", body, want)
+		}
+	})
+
+	t.Run("syncing replica is excluded by readiness", func(t *testing.T) {
+		// A replica mid-catch-up answers 503 syncing everywhere; the
+		// router must skip it and use the leader.
+		syncing := server.New(nil, server.Options{EnableCluster: true})
+		syncing.SetSyncState(3, 9, true)
+		sts := httptest.NewServer(syncing.Handler())
+		t.Cleanup(sts.Close)
+		ts := routerOver(t, tc, 2*time.Second,
+			[]string{shard0[0], sts.URL}, tc.router.Shards[1])
+		status, body := rollup(ts.URL, "/v2/query/rollup")
+		if status != http.StatusOK {
+			t.Fatalf("status = %d, want 200: %s", status, body)
+		}
+		_, want := rollup(tc.rts.URL, "/v2/query/rollup")
+		if !bytes.Equal(body, want) {
+			t.Fatalf("answer with syncing replica diverges:\n got:  %s\n want: %s", body, want)
+		}
+	})
+}
+
+// TestReplicaRestartFetchesOnlyMissingSegments pins the shipping
+// economics: a replica that restarts with its mirror intact re-fetches
+// nothing it already holds — catch-up cost is proportional to what
+// changed since, not to corpus size.
+func TestReplicaRestartFetchesOnlyMissingSegments(t *testing.T) {
+	ctx := context.Background()
+	x, err := ncexplorer.New(ncexplorer.Config{Scale: "tiny", MaxSegments: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := x.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	x.CheckpointTo(dir)
+	srv := httptest.NewServer(server.New(x, server.Options{ClusterDataDir: dir}).Handler())
+	defer srv.Close()
+
+	rdir := t.TempDir()
+	first := &Fetcher{BaseURL: srv.URL, Dir: rdir}
+	if _, changed, err := first.Sync(ctx); err != nil || !changed {
+		t.Fatalf("initial sync: changed=%v err=%v", changed, err)
+	}
+	c1 := first.Counters()
+	if c1.SegmentsFetched == 0 || c1.BytesShipped == 0 {
+		t.Fatalf("initial sync shipped nothing: %+v", c1)
+	}
+
+	// The leader commits one more batch: exactly one new segment (plus
+	// possibly a rewritten auxiliary file) appears.
+	batch, err := x.SampleArticles(7, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := x.Ingest(ctx, batch); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Restart": a fresh fetcher over the surviving mirror. It must ship
+	// only the delta.
+	second := &Fetcher{BaseURL: srv.URL, Dir: rdir}
+	m, changed, err := second.Sync(ctx)
+	if err != nil || !changed {
+		t.Fatalf("post-restart sync: changed=%v err=%v", changed, err)
+	}
+	c2 := second.Counters()
+	if c2.SegmentsReused == 0 {
+		t.Fatalf("restarted replica re-fetched everything: %+v", c2)
+	}
+	if c2.SegmentsFetched >= c1.SegmentsFetched {
+		t.Fatalf("restarted replica fetched %d files, initial sync fetched %d — not a delta",
+			c2.SegmentsFetched, c1.SegmentsFetched)
+	}
+
+	// The mirror must open at the leader's generation.
+	y, err := ncexplorer.Open(rdir, ncexplorer.OpenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y.Generation() != x.Generation() || y.Generation() != m.Generation {
+		t.Fatalf("mirror generation %d, leader %d, manifest %d",
+			y.Generation(), x.Generation(), m.Generation)
+	}
+	if y.NumArticles() != x.NumArticles() {
+		t.Fatalf("mirror holds %d articles, leader %d", y.NumArticles(), x.NumArticles())
+	}
+
+	// An unchanged leader is a no-op poll: nothing ships.
+	third := &Fetcher{BaseURL: srv.URL, Dir: rdir}
+	if _, changed, err := third.Sync(ctx); err != nil || changed {
+		t.Fatalf("idle sync: changed=%v err=%v", changed, err)
+	}
+	if c3 := third.Counters(); c3.SegmentsFetched != 0 || c3.BytesShipped != 0 {
+		t.Fatalf("idle sync shipped data: %+v", c3)
+	}
+}
+
+// TestReplicaReadinessGate pins the 503 syncing body shape and the
+// transition to serving after the first catch-up.
+func TestReplicaReadinessGate(t *testing.T) {
+	ctx := context.Background()
+	x, err := ncexplorer.New(ncexplorer.Config{Scale: "tiny"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := x.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	leader := httptest.NewServer(server.New(x, server.Options{ClusterDataDir: dir}).Handler())
+	defer leader.Close()
+
+	rsrv := server.New(nil, server.Options{})
+	rts := httptest.NewServer(rsrv.Handler())
+	defer rts.Close()
+
+	resp, err := http.Get(rts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := readAll(resp)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("pre-catch-up healthz = %d, want 503: %s", resp.StatusCode, body)
+	}
+	var st struct {
+		State      string `json:"state"`
+		Generation uint64 `json:"generation"`
+		Target     uint64 `json:"target"`
+	}
+	if err := json.Unmarshal(body, &st); err != nil || st.State != "syncing" {
+		t.Fatalf("syncing body = %s (err %v)", body, err)
+	}
+
+	rep := &Replica{
+		Fetcher: &Fetcher{BaseURL: leader.URL, Dir: t.TempDir()},
+		OnSwap:  rsrv.SetExplorer,
+		Status:  rsrv.SetSyncState,
+		Logf:    t.Logf,
+	}
+	if swapped, err := rep.SyncOnce(ctx); err != nil || !swapped {
+		t.Fatalf("catch-up: swapped=%v err=%v", swapped, err)
+	}
+	resp, err = http.Get(rts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = readAll(resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-catch-up healthz = %d: %s", resp.StatusCode, body)
+	}
+}
+
+func readAll(resp *http.Response) ([]byte, error) {
+	defer resp.Body.Close()
+	buf := new(bytes.Buffer)
+	_, err := buf.ReadFrom(resp.Body)
+	return buf.Bytes(), err
+}

@@ -1,0 +1,113 @@
+package cluster
+
+import (
+	"context"
+	"log"
+	"sync/atomic"
+	"time"
+
+	"ncexplorer"
+)
+
+// Replica is the catch-up loop of a read replica: poll the leader's
+// manifest, ship missing files, warm-open the new snapshot, and swap
+// it into the serving layer atomically. Before the first successful
+// open the replica reports itself syncing (routers exclude it); after
+// that it keeps serving its current generation while newer ones ship,
+// and each swap is a pointer store — readers never block.
+type Replica struct {
+	// Fetcher ships the leader's snapshot directory.
+	Fetcher *Fetcher
+	// Interval is the manifest poll cadence (default 500ms).
+	Interval time.Duration
+	// OpenOptions passes storage policy to each warm open.
+	OpenOptions ncexplorer.OpenOptions
+	// OnSwap publishes a freshly opened explorer to the serving layer
+	// (typically server.SetExplorer).
+	OnSwap func(x *ncexplorer.Explorer)
+	// Status publishes catch-up state transitions (typically
+	// server.SetSyncState): the serving generation, the leader
+	// generation being chased, and whether the replica is still in its
+	// initial catch-up.
+	Status func(generation, target uint64, syncing bool)
+	// Logf, when set, receives catch-up diagnostics.
+	Logf func(format string, args ...any)
+
+	generation atomic.Uint64
+}
+
+// Generation returns the snapshot generation the replica last opened
+// (0 before the first successful catch-up).
+func (r *Replica) Generation() uint64 { return r.generation.Load() }
+
+func (r *Replica) logf(format string, args ...any) {
+	if r.Logf != nil {
+		r.Logf(format, args...)
+	} else {
+		log.Printf(format, args...)
+	}
+}
+
+func (r *Replica) status(gen, target uint64, syncing bool) {
+	if r.Status != nil {
+		r.Status(gen, target, syncing)
+	}
+}
+
+// SyncOnce performs one catch-up step: fetch whatever the leader's
+// current snapshot needs, and if the store changed (or nothing is
+// serving yet), open and publish it. Returns whether a new explorer
+// was published.
+func (r *Replica) SyncOnce(ctx context.Context) (bool, error) {
+	first := r.generation.Load() == 0
+	if first {
+		r.status(0, 0, true)
+	}
+	m, changed, err := r.Fetcher.Sync(ctx)
+	if err != nil {
+		return false, err
+	}
+	if first {
+		r.status(0, m.Generation, true)
+	}
+	if !changed && !first {
+		return false, nil
+	}
+	x, err := ncexplorer.Open(r.Fetcher.Dir, r.OpenOptions)
+	if err != nil {
+		return false, err
+	}
+	r.generation.Store(m.Generation)
+	if r.OnSwap != nil {
+		r.OnSwap(x)
+	}
+	r.status(m.Generation, m.Generation, false)
+	return true, nil
+}
+
+// Run polls until ctx is cancelled. Fetch and open failures are
+// logged and retried on the next tick — a replica that falls behind
+// keeps serving its last good generation rather than dying.
+func (r *Replica) Run(ctx context.Context) {
+	interval := r.Interval
+	if interval <= 0 {
+		interval = 500 * time.Millisecond
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		if swapped, err := r.SyncOnce(ctx); err != nil {
+			if ctx.Err() != nil {
+				return
+			}
+			r.logf("cluster: replica sync: %v", err)
+		} else if swapped {
+			r.logf("cluster: replica serving generation %d", r.Generation())
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+	}
+}

@@ -1,0 +1,822 @@
+package cluster
+
+// The scatter-gather query router: the public /v2 query surface over a
+// sharded corpus, answering byte-identically to a monolithic server.
+//
+// Exactness rests on three pieces. (1) Shards score corpus-globally:
+// the router runs the term-statistics exchange (SyncStats) that folds
+// every shard's document frequencies into every other's IDF, so a
+// per-document score is the same number everywhere. (2) Merges replay
+// monolithic arithmetic: roll-up pages merge under the shards' own
+// (score desc, doc asc) total order; drill-down ships raw accumulation
+// rows and replays the float-addition sequence in ascending global
+// document order (core.MergeDrillDown). (3) A generation barrier
+// refuses torn reads: every shard answer carries the generation it was
+// served from, and the router only merges a set of answers at one
+// common generation — on skew it re-syncs statistics and refetches,
+// and past its retry budget it returns a typed error rather than an
+// almost-right page. Within one shard's replica set, each request is
+// answered wholly by one replica (generation pinning per request);
+// across shards the barrier enforces one common generation per merge.
+//
+// Failure modes are typed, matching the /v2 error envelope: a shard
+// whose replicas are all down or syncing yields shard_unavailable
+// (503), a shard that exhausts the per-shard timeout budget yields
+// deadline_exceeded (504). Callers that prefer availability over
+// completeness opt in with ?partial=true, which merges the shards that
+// did answer and marks the response "partial": true.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ncexplorer"
+	"ncexplorer/internal/core"
+	"ncexplorer/internal/kg"
+	"ncexplorer/internal/server"
+	"ncexplorer/internal/topk"
+)
+
+// Router fans public queries out across corpus shards and merges the
+// answers exactly. Shards[i] lists shard i's replica base URLs, the
+// leader first; reads prefer later entries (replicas) and fall back
+// toward the leader, writes (the stats exchange) go to the leader
+// only.
+type Router struct {
+	// World resolves and renders concept names — the same deterministic
+	// graph every shard was built on.
+	World *ncexplorer.QueryWorld
+	// Shards is the cluster layout: one replica-URL list per corpus
+	// shard, leader first.
+	Shards [][]string
+	// Client is the HTTP client for shard calls (nil: http.DefaultClient).
+	Client *http.Client
+	// Timeout bounds each shard's whole answer — all replica attempts
+	// included (default 10s).
+	Timeout time.Duration
+	// MaxK caps k like the public server does (default 100).
+	MaxK int
+	// SkewRetries bounds generation-barrier retries, each preceded by a
+	// stats re-sync (default 3).
+	SkewRetries int
+	// Logf, when set, receives router diagnostics.
+	Logf func(format string, args ...any)
+
+	mux     *http.ServeMux
+	muxOnce sync.Once
+	started time.Time
+
+	total      atomic.Int64
+	errCount   atomic.Int64
+	statsSyncs atomic.Int64
+	generation atomic.Uint64
+}
+
+func (rt *Router) logf(format string, args ...any) {
+	if rt.Logf != nil {
+		rt.Logf(format, args...)
+	}
+}
+
+func (rt *Router) client() *http.Client {
+	if rt.Client != nil {
+		return rt.Client
+	}
+	return http.DefaultClient
+}
+
+func (rt *Router) timeout() time.Duration {
+	if rt.Timeout > 0 {
+		return rt.Timeout
+	}
+	return 10 * time.Second
+}
+
+func (rt *Router) maxK() int {
+	if rt.MaxK > 0 {
+		return rt.MaxK
+	}
+	return 100
+}
+
+func (rt *Router) skewRetries() int {
+	if rt.SkewRetries > 0 {
+		return rt.SkewRetries
+	}
+	return 3
+}
+
+// Handler returns the router's HTTP surface: the public /v2 query
+// endpoints plus the graph-only /v1 reads a router can answer (topics
+// locally, keywords proxied), and its own health/stats endpoints.
+func (rt *Router) Handler() http.Handler {
+	rt.muxOnce.Do(func() {
+		rt.started = time.Now()
+		rt.mux = http.NewServeMux()
+		rt.mux.HandleFunc("POST /v2/query/rollup", rt.handleQuery("rollup"))
+		rt.mux.HandleFunc("POST /v2/query/drilldown", rt.handleQuery("drilldown"))
+		rt.mux.HandleFunc("GET /v1/topics", rt.handleTopics)
+		rt.mux.HandleFunc("GET /v1/keywords/{concept}", rt.handleKeywords)
+		rt.mux.HandleFunc("GET /healthz", rt.handleHealthz)
+		rt.mux.HandleFunc("GET /statsz", rt.handleStatsz)
+	})
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rt.total.Add(1)
+		rt.mux.ServeHTTP(w, r)
+	})
+}
+
+func (rt *Router) writeBody(w http.ResponseWriter, status int, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(body)
+	w.Write([]byte("\n"))
+}
+
+func (rt *Router) writeJSON(w http.ResponseWriter, status int, v any) {
+	body, err := json.Marshal(v)
+	if err != nil {
+		rt.writeErr(w, err)
+		return
+	}
+	rt.writeBody(w, status, body)
+}
+
+// writeErr renders any error as the shared /v2 envelope with the same
+// status mapping the shard servers use, so router error responses are
+// byte-identical to a monolithic server's for the same failure.
+func (rt *Router) writeErr(w http.ResponseWriter, err error) {
+	rt.errCount.Add(1)
+	e, ok := ncexplorer.AsError(err)
+	if !ok {
+		e = &ncexplorer.Error{Code: ncexplorer.CodeInternal, Message: err.Error()}
+	}
+	rt.writeBody(w, server.StatusForCode(e.Code), server.MarshalErrorEnvelope(e.Code, e.Message, e.Details))
+}
+
+// queryBody mirrors the /v2 query request body.
+type queryBody struct {
+	Concepts []string `json:"concepts"`
+	K        int      `json:"k"`
+	Offset   int      `json:"offset"`
+	Sources  []string `json:"sources"`
+	MinScore float64  `json:"min_score"`
+	Explain  bool     `json:"explain"`
+}
+
+// handleQuery decodes, validates, and normalizes exactly like the
+// monolithic server (k default 10, clamp MaxK, facade-typed validation
+// errors), then scatters.
+func (rt *Router) handleQuery(op string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		var q queryBody
+		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&q); err != nil && !errors.Is(err, io.EOF) {
+			rt.writeErr(w, &ncexplorer.Error{Code: ncexplorer.CodeInvalidArgument,
+				Message: fmt.Sprintf("malformed request body: %v", err)})
+			return
+		}
+		if q.K == 0 {
+			q.K = 10
+		}
+		if q.K > rt.maxK() {
+			q.K = rt.maxK()
+		}
+		// Validation order matches the monolithic path exactly — the
+		// server rejects a drill-down sources filter before the facade
+		// validates the page shape, while a roll-up validates page shape,
+		// then sources, then concepts — so a request with several defects
+		// gets the same error either way.
+		if op == "drilldown" && len(q.Sources) > 0 {
+			rt.writeErr(w, &ncexplorer.Error{Code: ncexplorer.CodeInvalidArgument,
+				Message: "drilldown does not accept a sources filter"})
+			return
+		}
+		if err := ncexplorer.ValidatePage(q.K, q.Offset, q.MinScore); err != nil {
+			rt.writeErr(w, err)
+			return
+		}
+		if op == "rollup" {
+			if err := ncexplorer.ValidateSources(q.Sources); err != nil {
+				rt.writeErr(w, err)
+				return
+			}
+		}
+		concepts := ncexplorer.CanonicalConcepts(q.Concepts)
+		if _, err := rt.World.ResolveConcepts(concepts); err != nil {
+			rt.writeErr(w, err)
+			return
+		}
+		allowPartial := r.URL.Query().Get("partial") == "true"
+		var (
+			body []byte
+			err  error
+		)
+		if op == "rollup" {
+			body, _, err = rt.rollUp(r.Context(), concepts, q, allowPartial)
+		} else {
+			body, _, err = rt.drillDown(r.Context(), concepts, q, allowPartial)
+		}
+		if err != nil {
+			rt.writeErr(w, err)
+			return
+		}
+		rt.writeBody(w, http.StatusOK, body)
+	}
+}
+
+// envelope decodes a shard's /v2-style error response.
+type envelope struct {
+	Error struct {
+		Code    ncexplorer.ErrorCode `json:"code"`
+		Message string               `json:"message"`
+		Details map[string]any       `json:"details,omitempty"`
+	} `json:"error"`
+}
+
+// shardUnavailable builds the typed error for a shard the router could
+// not get an answer from.
+func shardUnavailable(shard int, reason string) *ncexplorer.Error {
+	return &ncexplorer.Error{
+		Code:    ncexplorer.CodeShardUnavailable,
+		Message: fmt.Sprintf("ncexplorer: shard %d unavailable: %s", shard, reason),
+		Details: map[string]any{"shard": shard},
+	}
+}
+
+// shardDeadline builds the typed error for a shard that exhausted the
+// per-shard timeout budget.
+func shardDeadline(shard int) *ncexplorer.Error {
+	return &ncexplorer.Error{
+		Code:    ncexplorer.CodeDeadlineExceeded,
+		Message: fmt.Sprintf("ncexplorer: shard %d exceeded the query deadline", shard),
+		Details: map[string]any{"shard": shard},
+	}
+}
+
+// shardPost sends one scatter call to shard i, trying its replicas
+// last-to-first (replicas before leader, so read traffic drains off
+// the ingest path) under the shard's timeout budget. A replica that is
+// down, refusing, or syncing (503) is skipped; a replica that answers
+// an application error (4xx/5xx envelope) ends the attempt — the same
+// request would fail identically everywhere. The JSON answer decodes
+// into out.
+func (rt *Router) shardPost(ctx context.Context, shard int, path string, reqBody, out any) error {
+	payload, err := json.Marshal(reqBody)
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithTimeout(ctx, rt.timeout())
+	defer cancel()
+	replicas := rt.Shards[shard]
+	var lastErr error
+	for i := len(replicas) - 1; i >= 0; i-- {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, replicas[i]+path, bytes.NewReader(payload))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := rt.client().Do(req)
+		if err != nil {
+			lastErr = err
+			if ctx.Err() != nil {
+				break
+			}
+			continue
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			// Syncing or explicitly not ready: exclude this replica and
+			// try the next one.
+			lastErr = fmt.Errorf("replica %s not ready", replicas[i])
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			var env envelope
+			if json.Unmarshal(body, &env) == nil && env.Error.Code != "" {
+				return &ncexplorer.Error{Code: env.Error.Code, Message: env.Error.Message, Details: env.Error.Details}
+			}
+			return fmt.Errorf("shard %d: %s: %s", shard, resp.Status, bytes.TrimSpace(body))
+		}
+		return json.Unmarshal(body, out)
+	}
+	if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+		return shardDeadline(shard)
+	}
+	if lastErr != nil {
+		return shardUnavailable(shard, lastErr.Error())
+	}
+	return shardUnavailable(shard, "no replicas configured")
+}
+
+// isAvailabilityError reports whether err means "this shard could not
+// be reached in time" (down, syncing, or timed out) as opposed to a
+// deterministic application error that would fail the same request on
+// any replica.
+func isAvailabilityError(err error) bool {
+	e, typed := ncexplorer.AsError(err)
+	if !typed {
+		return false
+	}
+	return e.Code == ncexplorer.CodeShardUnavailable || e.Code == ncexplorer.CodeDeadlineExceeded
+}
+
+// scatter runs fn for every shard concurrently and reports which
+// succeeded. A deterministic application error always fails the
+// request. Availability errors fail it too unless the caller opted
+// into partial results and at least one shard answered.
+func (rt *Router) scatter(allowPartial bool, n int, fn func(shard int) error) ([]bool, bool, error) {
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = fn(i)
+		}(i)
+	}
+	wg.Wait()
+	ok := make([]bool, n)
+	okCount := 0
+	var availErr error
+	for i, err := range errs {
+		switch {
+		case err == nil:
+			ok[i] = true
+			okCount++
+		case !isAvailabilityError(err):
+			return nil, false, err
+		case availErr == nil:
+			availErr = err
+		}
+	}
+	if availErr == nil {
+		return ok, false, nil
+	}
+	if !allowPartial || okCount == 0 {
+		return nil, false, availErr
+	}
+	rt.logf("cluster: router serving partial results (%d/%d shards): %v", okCount, n, availErr)
+	return ok, true, nil
+}
+
+// commonGeneration verifies the barrier: all participating generations
+// equal. Returns the generation, or ok=false on skew.
+func commonGeneration(gens []uint64, participating []bool) (uint64, bool) {
+	var gen uint64
+	first := true
+	for i, g := range gens {
+		if !participating[i] {
+			continue
+		}
+		if first {
+			gen, first = g, false
+			continue
+		}
+		if g != gen {
+			return 0, false
+		}
+	}
+	return gen, true
+}
+
+// partialRollUpResult adds the opt-in partial marker. When false the
+// field is omitted, keeping the body byte-identical to the monolithic
+// RollUpResult encoding.
+type partialRollUpResult struct {
+	ncexplorer.RollUpResult
+	Partial bool `json:"partial,omitempty"`
+}
+
+type partialDrillDownResult struct {
+	ncexplorer.DrillDownResult
+	Partial bool `json:"partial,omitempty"`
+}
+
+// cmpArticle is the roll-up ranking order over rendered articles —
+// identical to the engine's (score desc, doc asc), with the article ID
+// being the global document ID.
+func cmpArticle(a, b ncexplorer.Article) int {
+	switch {
+	case a.Score > b.Score:
+		return -1
+	case a.Score < b.Score:
+		return 1
+	case a.ID < b.ID:
+		return -1
+	case a.ID > b.ID:
+		return 1
+	}
+	return 0
+}
+
+// rollUp scatters a roll-up, asking each shard for its local
+// top-(k+offset) page, and merges under the shared total order.
+func (rt *Router) rollUp(ctx context.Context, concepts []string, q queryBody, allowPartial bool) ([]byte, bool, error) {
+	req := ncexplorer.RollUpRequest{
+		Concepts: concepts, K: q.K + q.Offset, Offset: 0,
+		Sources: q.Sources, MinScore: q.MinScore, Explain: q.Explain,
+	}
+	for attempt := 0; ; attempt++ {
+		results := make([]ncexplorer.RollUpResult, len(rt.Shards))
+		ok, partial, err := rt.scatter(allowPartial, len(rt.Shards), func(i int) error {
+			return rt.shardPost(ctx, i, "/internal/query/rollup", req, &results[i])
+		})
+		if err != nil {
+			return nil, false, err
+		}
+		gens := make([]uint64, len(results))
+		for i := range results {
+			gens[i] = results[i].Generation
+		}
+		gen, aligned := commonGeneration(gens, ok)
+		if !aligned {
+			if attempt < rt.skewRetries() {
+				rt.logf("cluster: router roll-up generation skew, re-syncing (attempt %d)", attempt+1)
+				rt.SyncStats(ctx)
+				continue
+			}
+			return nil, false, shardUnavailable(firstSkewed(gens, ok), "generation skew past retry budget")
+		}
+		rt.generation.Store(gen)
+
+		lists := make([][]ncexplorer.Article, 0, len(results))
+		total := 0
+		for i := range results {
+			if !ok[i] {
+				continue
+			}
+			total += results[i].Total
+			if len(results[i].Articles) > 0 {
+				lists = append(lists, results[i].Articles)
+			}
+		}
+		merged := topk.MergeSorted(lists, cmpArticle, q.K+q.Offset)
+		if q.Offset < len(merged) {
+			merged = merged[q.Offset:]
+			if len(merged) > q.K {
+				merged = merged[:q.K]
+			}
+		} else {
+			merged = nil
+		}
+		articles := make([]ncexplorer.Article, 0, len(merged))
+		articles = append(articles, merged...)
+		res := partialRollUpResult{
+			RollUpResult: ncexplorer.RollUpResult{
+				Query: concepts, K: q.K, Offset: q.Offset,
+				Total:      total,
+				NextOffset: ncexplorer.NextPageOffset(q.Offset, len(articles), total),
+				Generation: gen,
+				Articles:   articles,
+			},
+			Partial: partial,
+		}
+		body, err := json.Marshal(res)
+		return body, partial, err
+	}
+}
+
+// firstSkewed names a shard involved in a generation skew, for the
+// error detail.
+func firstSkewed(gens []uint64, ok []bool) int {
+	var gen uint64
+	first := -1
+	for i := range gens {
+		if !ok[i] {
+			continue
+		}
+		if first < 0 {
+			first, gen = i, gens[i]
+			continue
+		}
+		if gens[i] != gen {
+			return i
+		}
+	}
+	return 0
+}
+
+// conceptsRequest mirrors the internal scatter request body.
+type conceptsRequest struct {
+	Concepts  []string    `json:"concepts"`
+	Shortlist []kg.NodeID `json:"shortlist,omitempty"`
+}
+
+// drillDown scatters a drill-down: phase one gathers each shard's raw
+// accumulation rows, phase two (inside core.MergeDrillDown, via the
+// fetchSets callback) gathers diversity sets for the merged shortlist;
+// both phases must answer at one generation or the merge reports skew
+// and the router re-syncs and retries.
+func (rt *Router) drillDown(ctx context.Context, concepts []string, q queryBody, allowPartial bool) ([]byte, bool, error) {
+	opts := core.DrillDownOptions{K: q.K, Offset: q.Offset, MinScore: q.MinScore}
+	for attempt := 0; ; attempt++ {
+		parts := make([]core.DrillDownPartial, len(rt.Shards))
+		ok, partial, err := rt.scatter(allowPartial, len(rt.Shards), func(i int) error {
+			return rt.shardPost(ctx, i, "/internal/query/drilldown-partials",
+				conceptsRequest{Concepts: concepts}, &parts[i])
+		})
+		if err != nil {
+			return nil, false, err
+		}
+		gens := make([]uint64, len(parts))
+		for i := range parts {
+			gens[i] = parts[i].Generation
+		}
+		gen, aligned := commonGeneration(gens, ok)
+		if !aligned {
+			if attempt < rt.skewRetries() {
+				rt.logf("cluster: router drill-down generation skew, re-syncing (attempt %d)", attempt+1)
+				rt.SyncStats(ctx)
+				continue
+			}
+			return nil, false, shardUnavailable(firstSkewed(gens, ok), "generation skew past retry budget")
+		}
+
+		participating := make([]core.DrillDownPartial, 0, len(parts))
+		shardOf := make([]int, 0, len(parts))
+		for i := range parts {
+			if ok[i] {
+				participating = append(participating, parts[i])
+				shardOf = append(shardOf, i)
+			}
+		}
+		fetchSets := func(short []kg.NodeID) ([][]kg.NodeID, error) {
+			divs := make([]core.DiversityPartial, len(shardOf))
+			var wg sync.WaitGroup
+			errs := make([]error, len(shardOf))
+			for j, shard := range shardOf {
+				wg.Add(1)
+				go func(j, shard int) {
+					defer wg.Done()
+					errs[j] = rt.shardPost(ctx, shard, "/internal/query/diversity",
+						conceptsRequest{Concepts: concepts, Shortlist: short}, &divs[j])
+				}(j, shard)
+			}
+			wg.Wait()
+			sets := make([][]kg.NodeID, len(short))
+			for j := range divs {
+				if errs[j] != nil {
+					return nil, errs[j]
+				}
+				// Phase-two answers must come from the same generation the
+				// phase-one rows were read at, replica failover included.
+				if divs[j].Generation != gen {
+					return nil, core.ErrGenerationSkew
+				}
+				for si, set := range divs[j].Sets {
+					sets[si] = append(sets[si], set...)
+				}
+			}
+			return sets, nil
+		}
+		page, err := core.MergeDrillDown(rt.World.Graph(), opts, participating, fetchSets)
+		if errors.Is(err, core.ErrGenerationSkew) {
+			if attempt < rt.skewRetries() {
+				rt.logf("cluster: router drill-down phase-2 skew, re-syncing (attempt %d)", attempt+1)
+				rt.SyncStats(ctx)
+				continue
+			}
+			return nil, false, shardUnavailable(0, "generation skew past retry budget")
+		}
+		if err != nil {
+			return nil, false, err
+		}
+		rt.generation.Store(page.Generation)
+
+		subs := make([]ncexplorer.SubtopicSuggestion, 0, len(page.Results))
+		for _, s := range page.Results {
+			sub := ncexplorer.SubtopicSuggestion{
+				Concept:     rt.World.ConceptName(s.Concept),
+				Score:       s.Score,
+				MatchedDocs: s.MatchedDocs,
+			}
+			if q.Explain {
+				sub.Coverage = s.Coverage
+				sub.Specificity = s.Specificity
+				sub.Diversity = s.Diversity
+			}
+			subs = append(subs, sub)
+		}
+		res := partialDrillDownResult{
+			DrillDownResult: ncexplorer.DrillDownResult{
+				Query: concepts, K: q.K, Offset: q.Offset,
+				Total:       page.Total,
+				NextOffset:  ncexplorer.NextPageOffset(q.Offset, len(subs), page.Total),
+				Generation:  page.Generation,
+				Suggestions: subs,
+			},
+			Partial: partial,
+		}
+		body, err := json.Marshal(res)
+		return body, partial, err
+	}
+}
+
+// handleTopics serves the evaluation topics from the router's own
+// world — graph metadata, identical on every node.
+func (rt *Router) handleTopics(w http.ResponseWriter, r *http.Request) {
+	type topicResponse struct {
+		Concept string `json:"concept"`
+		Group   string `json:"group"`
+	}
+	topics := make([]topicResponse, 0, 6)
+	for _, t := range rt.World.EvaluationTopics() {
+		topics = append(topics, topicResponse{Concept: t[0], Group: t[1]})
+	}
+	rt.writeJSON(w, http.StatusOK, map[string]any{"topics": topics})
+}
+
+// handleKeywords proxies to the first shard that answers: topic
+// keywords derive from the graph and the deterministic connectivity
+// estimates, so every shard returns the same list.
+func (rt *Router) handleKeywords(w http.ResponseWriter, r *http.Request) {
+	path := "/v1/keywords/" + r.PathValue("concept")
+	if raw := r.URL.Query().Encode(); raw != "" {
+		path += "?" + raw
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), rt.timeout())
+	defer cancel()
+	for _, replicas := range rt.Shards {
+		for i := len(replicas) - 1; i >= 0; i-- {
+			req, err := http.NewRequestWithContext(ctx, http.MethodGet, replicas[i]+path, nil)
+			if err != nil {
+				continue
+			}
+			resp, err := rt.client().Do(req)
+			if err != nil {
+				continue
+			}
+			body, err := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err != nil || resp.StatusCode == http.StatusServiceUnavailable {
+				continue
+			}
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(resp.StatusCode)
+			w.Write(body)
+			return
+		}
+	}
+	rt.writeErr(w, shardUnavailable(0, "no replica answered the keywords proxy"))
+}
+
+func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	rt.writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"role":           "router",
+		"shards":         len(rt.Shards),
+		"generation":     rt.generation.Load(),
+		"uptime_seconds": time.Since(rt.started).Seconds(),
+	})
+}
+
+func (rt *Router) handleStatsz(w http.ResponseWriter, r *http.Request) {
+	type shardInfo struct {
+		Replicas []string `json:"replicas"`
+	}
+	shards := make([]shardInfo, len(rt.Shards))
+	for i, reps := range rt.Shards {
+		shards[i] = shardInfo{Replicas: reps}
+	}
+	rt.writeJSON(w, http.StatusOK, map[string]any{
+		"role":           "router",
+		"shards":         shards,
+		"generation":     rt.generation.Load(),
+		"stats_syncs":    rt.statsSyncs.Load(),
+		"requests":       map[string]int64{"total": rt.total.Load(), "errors": rt.errCount.Load()},
+		"uptime_seconds": time.Since(rt.started).Seconds(),
+	})
+}
+
+// shardStats mirrors the GET /internal/stats payload.
+type shardStats struct {
+	Shard      int             `json:"shard"`
+	ShardCount int             `json:"shard_count"`
+	Sharded    bool            `json:"sharded"`
+	Generation uint64          `json:"generation"`
+	Stats      core.ShardStats `json:"stats"`
+}
+
+// SyncStats runs the cross-leader term-statistics exchange: collect
+// every leader's local statistics, fold each shard's peers into a
+// remote summary, and post it back. Unchanged summaries are no-ops on
+// the leader, so running this on a timer (and on barrier skew) is
+// cheap in the steady state. After every leader accepts its summary,
+// all shards report the same global generation and score with the same
+// corpus-global IDF.
+func (rt *Router) SyncStats(ctx context.Context) error {
+	if len(rt.Shards) < 2 {
+		// One shard already scores corpus-globally (it may not even be
+		// built sharded), and has no peers to fold in.
+		return nil
+	}
+	rt.statsSyncs.Add(1)
+	stats := make([]shardStats, len(rt.Shards))
+	for i, replicas := range rt.Shards {
+		if len(replicas) == 0 {
+			return shardUnavailable(i, "no replicas configured")
+		}
+		if err := rt.getJSON(ctx, replicas[0]+"/internal/stats", &stats[i]); err != nil {
+			return err
+		}
+	}
+	for i, replicas := range rt.Shards {
+		remote := core.ShardStats{DF: make(map[string]int)}
+		for j := range stats {
+			if j == i {
+				continue
+			}
+			remote.Docs += stats[j].Stats.Docs
+			remote.TotalLen += stats[j].Stats.TotalLen
+			remote.Batches += stats[j].Stats.Batches
+			for term, df := range stats[j].Stats.DF {
+				remote.DF[term] += df
+			}
+		}
+		var ack struct {
+			Generation uint64 `json:"generation"`
+		}
+		payload, err := json.Marshal(remote)
+		if err != nil {
+			return err
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+			replicas[0]+"/internal/remote-stats", bytes.NewReader(payload))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := rt.client().Do(req)
+		if err != nil {
+			return err
+		}
+		body, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if rerr != nil {
+			return rerr
+		}
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("cluster: shard %d remote-stats: %s: %s", i, resp.Status, bytes.TrimSpace(body))
+		}
+		if err := json.Unmarshal(body, &ack); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunStatsSync runs the exchange on a timer until ctx cancels —
+// leaders that ingest independently drift apart between queries, and
+// the timer bounds how stale one shard's view of the others' term
+// statistics can get (the generation barrier converts residual drift
+// into retries, never into wrong answers).
+func (rt *Router) RunStatsSync(ctx context.Context, interval time.Duration) {
+	if interval <= 0 {
+		interval = 2 * time.Second
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		if err := rt.SyncStats(ctx); err != nil && ctx.Err() == nil {
+			rt.logf("cluster: stats sync: %v", err)
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+	}
+}
+
+func (rt *Router) getJSON(ctx context.Context, url string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := rt.client().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("cluster: GET %s: %s: %s", url, resp.Status, bytes.TrimSpace(body))
+	}
+	return json.Unmarshal(body, out)
+}

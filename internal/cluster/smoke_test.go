@@ -1,0 +1,167 @@
+package cluster
+
+// Multi-process smoke test: real binaries, real ports, real polling
+// loops — the closest thing to a deployment the test suite gets. One
+// leader, one replica catching up over HTTP, one router in front;
+// queries through the router must answer byte-identically to the
+// leader, before and after a live ingest. Skipped with -short.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// freePort grabs an ephemeral port and releases it for the child
+// process to bind. Mildly racy by nature; fine for a smoke test.
+func freePort(t *testing.T) int {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	port := l.Addr().(*net.TCPAddr).Port
+	l.Close()
+	return port
+}
+
+// startProc launches one binary and tees its output into the test log.
+func startProc(t *testing.T, name string, args ...string) {
+	t.Helper()
+	cmd := exec.Command(name, args...)
+	out, err := os.CreateTemp(t.TempDir(), "log-*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stdout = out
+	cmd.Stderr = out
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+		if t.Failed() {
+			out.Seek(0, io.SeekStart)
+			logData, _ := io.ReadAll(out)
+			t.Logf("%s output:\n%s", filepath.Base(name), logData)
+		}
+		out.Close()
+	})
+}
+
+// waitOK polls url until it answers 200 or the deadline passes.
+func waitOK(t *testing.T, url string, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(url)
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	t.Fatalf("%s not healthy within %s", url, timeout)
+}
+
+func TestMultiProcessClusterSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process smoke test skipped with -short")
+	}
+	binDir := t.TempDir()
+	ncserver := filepath.Join(binDir, "ncserver")
+	ncrouter := filepath.Join(binDir, "ncrouter")
+	for bin, pkg := range map[string]string{ncserver: "./cmd/ncserver", ncrouter: "./cmd/ncrouter"} {
+		cmd := exec.Command("go", "build", "-o", bin, pkg)
+		cmd.Dir = "../.."
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("go build %s: %v\n%s", pkg, err, out)
+		}
+	}
+
+	leaderPort, replicaPort, routerPort := freePort(t), freePort(t), freePort(t)
+	leaderURL := fmt.Sprintf("http://127.0.0.1:%d", leaderPort)
+	replicaURL := fmt.Sprintf("http://127.0.0.1:%d", replicaPort)
+	routerURL := fmt.Sprintf("http://127.0.0.1:%d", routerPort)
+
+	startProc(t, ncserver,
+		"-addr", fmt.Sprintf("127.0.0.1:%d", leaderPort),
+		"-scale", "tiny", "-role", "leader", "-ingest",
+		"-data-dir", t.TempDir())
+	waitOK(t, leaderURL+"/healthz", 90*time.Second)
+
+	startProc(t, ncserver,
+		"-addr", fmt.Sprintf("127.0.0.1:%d", replicaPort),
+		"-role", "replica", "-peer", leaderURL,
+		"-sync-interval", "200ms",
+		"-data-dir", t.TempDir())
+	startProc(t, ncrouter,
+		"-addr", fmt.Sprintf("127.0.0.1:%d", routerPort),
+		"-shard", leaderURL+","+replicaURL,
+		"-sync-interval", "500ms")
+	// The replica answers 503 syncing until its first catch-up lands.
+	waitOK(t, replicaURL+"/healthz", 60*time.Second)
+	waitOK(t, routerURL+"/healthz", 30*time.Second)
+
+	// A topic to query, from the router's own graph.
+	var topics struct {
+		Topics []struct {
+			Concept string `json:"concept"`
+		} `json:"topics"`
+	}
+	if err := json.Unmarshal(getBody(t, routerURL+"/v1/topics"), &topics); err != nil {
+		t.Fatal(err)
+	}
+	if len(topics.Topics) == 0 {
+		t.Fatal("router reports no topics")
+	}
+	query := queryReq{Concepts: []string{topics.Topics[0].Concept}, K: 5}
+
+	mustAgree := func(stage string) []byte {
+		t.Helper()
+		wantStatus, want := postJSON(t, leaderURL, "/v2/query/rollup", query)
+		gotStatus, got := postJSON(t, routerURL, "/v2/query/rollup", query)
+		if wantStatus != http.StatusOK || gotStatus != http.StatusOK || !bytes.Equal(got, want) {
+			t.Fatalf("%s: router (%d) and leader (%d) disagree:\n got:  %s\n want: %s",
+				stage, gotStatus, wantStatus, got, want)
+		}
+		return got
+	}
+	before := mustAgree("seed")
+
+	// Live ingest through the leader; the replica must catch up and the
+	// router must converge on the new generation's answer.
+	ingest := map[string]any{"articles": []map[string]string{
+		{"source": "reuters", "title": "smoke one", "body": "first smoke article body"},
+		{"source": "nyt", "title": "smoke two", "body": "second smoke article body"},
+	}}
+	status, body := postJSON(t, leaderURL, "/v2/ingest", ingest)
+	if status != http.StatusOK {
+		t.Fatalf("ingest = %d: %s", status, body)
+	}
+
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		wantStatus, want := postJSON(t, leaderURL, "/v2/query/rollup", query)
+		gotStatus, got := postJSON(t, routerURL, "/v2/query/rollup", query)
+		if wantStatus == http.StatusOK && gotStatus == http.StatusOK &&
+			bytes.Equal(got, want) && !bytes.Equal(got, before) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("router never converged on the post-ingest answer:\n got:  %s\n want: %s", got, want)
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+}

@@ -177,5 +177,20 @@ func (e *Engine) WithRecentView(n int, fn func(*DeltaView)) {
 	if n < 0 || n > total {
 		n = total
 	}
-	fn(&DeltaView{st: st, base: int32(total - n), n: n})
+	// The view's base is the global ID of the first of the last n LOCAL
+	// documents. A shard's ID space has gaps, so walk segments from the
+	// tail instead of subtracting from the count (for a contiguous
+	// snapshot the two are identical).
+	base := int32(st.snap.DocBound())
+	remaining := n
+	for i := len(st.snap.Segments) - 1; i >= 0 && remaining > 0; i-- {
+		seg := st.snap.Segments[i]
+		take := seg.Len()
+		if take > remaining {
+			take = remaining
+		}
+		base = seg.Base + int32(seg.Len()-take)
+		remaining -= take
+	}
+	fn(&DeltaView{st: st, base: base, n: n})
 }

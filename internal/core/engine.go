@@ -240,6 +240,19 @@ type Engine struct {
 	// checkpoint directory, and the segment→file name cache (see
 	// persist.go). Mutable fields are guarded by ingestMu.
 	persist persistState
+
+	// Sharded serving (see shard.go): remote carries the other shards'
+	// term statistics when this engine holds one shard of a federated
+	// corpus (nil for a monolithic engine); localGen counts the
+	// generations produced locally (initial build = 1, +1 per local
+	// batch) — the published snapshot generation is localGen plus the
+	// remote batch count, so every shard numbers generations exactly
+	// like a monolithic engine over the union. shardIndex/shardCount
+	// describe the cluster layout; they are written once at boot
+	// (IndexCorpusSharded / OpenSnapshot), before serving starts.
+	remote                 atomic.Pointer[ShardStats]
+	localGen               atomic.Uint64
+	shardIndex, shardCount int
 }
 
 // genState is everything a query needs from one snapshot generation:
@@ -363,8 +376,9 @@ func (e *Engine) IndexCorpus(c *corpus.Corpus) IndexStats {
 		panic("core: segment build failed without a cancellable context: " + err.Error())
 	}
 	e.stats = IndexStats{Docs: len(articles), PerSource: perSource, LinkNanos: linkNanos}
-	st, scoreNanos := e.buildState(1, []*snapshot.Segment{seg})
+	st, scoreNanos := e.buildState(1, []*snapshot.Segment{seg}, nil)
 	e.stats.ScoreNanos = scoreNanos
+	e.localGen.Store(1)
 	e.st.Store(st)
 	e.epoch.Add(1)
 	return e.stats
@@ -442,27 +456,55 @@ func (e *Engine) candidateConcepts(ents []kg.NodeID) []kg.NodeID {
 	return snapshot.SortedCandidates(candidates)
 }
 
+// buildSnapshot assembles the snapshot for the engine's sharding mode:
+// strictly contiguous for a monolithic engine, gap-tolerant with the
+// remote term statistics folded in for a shard.
+func (e *Engine) buildSnapshot(gen uint64, segs []*snapshot.Segment) *snapshot.Snapshot {
+	rs := e.remote.Load()
+	if rs == nil {
+		return snapshot.New(gen, segs)
+	}
+	return snapshot.NewSharded(gen, segs, rs.textStats())
+}
+
+// localDocs lists the snapshot's local global document IDs, ascending.
+// For a monolithic snapshot this is just 0..NumDocs−1; a shard's ID
+// space has gaps, so dense loops over documents iterate this list.
+func localDocs(snap *snapshot.Snapshot) []int32 {
+	out := make([]int32, 0, snap.NumDocs())
+	for _, seg := range snap.Segments {
+		for i := range seg.Docs {
+			out = append(out, seg.Base+int32(i))
+		}
+	}
+	return out
+}
+
 // buildState derives a complete generation state over the given
 // segments: per-document concept scores (Phase C) plus seeded memo
 // maps. Expensive connectivity factors are fetched from the
 // generation-independent connMemo, so only documents (or candidates)
 // never scored before pay for random walks — the heart of cheap
-// snapshot rebuilds after an ingest. Returns the state and the summed
-// per-document scoring nanoseconds.
-func (e *Engine) buildState(gen uint64, segs []*snapshot.Segment) (*genState, int64) {
-	st := e.newStateShell(snapshot.New(gen, segs))
-	n := st.snap.NumDocs()
-	st.concepts = make([][]ConceptScore, n)
+// snapshot rebuilds after an ingest. prev, when non-nil and covering a
+// segment-pointer prefix of segs, lets the planner reuse the
+// generation-independent plan skeletons of untouched segments (see
+// buildPlans). Returns the state and the summed per-document scoring
+// nanoseconds.
+func (e *Engine) buildState(gen uint64, segs []*snapshot.Segment, prev *genState) (*genState, int64) {
+	st := e.newStateShell(e.buildSnapshot(gen, segs))
+	st.concepts = make([][]ConceptScore, st.snap.DocBound())
 
 	workerScorers := make([]*relevance.Scorer, e.opts.Workers)
 	for w := range workerScorers {
 		workerScorers[w] = relevance.NewScorer(e.g, st, e.reachIx, e.scorerOpts())
 	}
-	total := e.buildPlans(st, workerScorers)
-	scoreNanos := make([]int64, n)
-	e.parallelWorker(n, func(worker, i int) {
+	total := e.buildPlans(st, workerScorers, prev)
+	locals := localDocs(st.snap)
+	scoreNanos := make([]int64, len(locals))
+	e.parallelWorker(len(locals), func(worker, i int) {
 		start := time.Now()
-		st.concepts[i] = st.deriveDocScores(int32(i))
+		d := locals[i]
+		st.concepts[d] = st.deriveDocScores(d)
 		scoreNanos[i] = time.Since(start).Nanoseconds()
 	})
 	for _, ns := range scoreNanos {
@@ -480,9 +522,11 @@ func (e *Engine) newStateShell(snap *snapshot.Snapshot) *genState {
 		snap:    snap,
 		cdrMemo: shardmap.New[uint64, cdrEntry](cdrShards, hashCDRKey),
 	}
-	st.ents = make([][]kg.NodeID, snap.NumDocs())
-	for i := range st.ents {
-		st.ents[i] = snap.Doc(int32(i)).Entities
+	st.ents = make([][]kg.NodeID, snap.DocBound())
+	for _, seg := range snap.Segments {
+		for i := range seg.Docs {
+			st.ents[seg.Base+int32(i)] = seg.Docs[i].Entities
+		}
 	}
 	st.scorers.New = func() any {
 		return relevance.NewScorer(e.g, st, e.reachIx, e.scorerOpts())

@@ -119,14 +119,25 @@ func (e *Engine) Ingest(ctx context.Context, articles []corpus.Document) (Ingest
 	}
 	start := time.Now()
 	arts := append([]corpus.Document(nil), articles...)
-	seg, _, linkNanos, err := e.buildSegment(ctx, arts, int32(cur.snap.NumDocs()))
+	// The new segment's base is the next free GLOBAL document ID: local
+	// documents plus the documents other shards hold (zero for a
+	// monolithic engine). The published generation is likewise global —
+	// local generations plus remote batches — so every shard numbers
+	// generations exactly like a monolithic engine over the union.
+	remoteDocs, remoteBatches := 0, uint64(0)
+	if rs := e.remote.Load(); rs != nil {
+		remoteDocs, remoteBatches = rs.Docs, rs.Batches
+	}
+	seg, _, linkNanos, err := e.buildSegment(ctx, arts, int32(cur.snap.NumDocs()+remoteDocs))
 	if err != nil {
 		return IngestResult{}, err
 	}
 	segs := make([]*snapshot.Segment, 0, len(cur.snap.Segments)+1)
 	segs = append(segs, cur.snap.Segments...)
 	segs = append(segs, seg)
-	st, scoreNanos := e.buildState(cur.snap.Generation+1, segs)
+	localGen := e.localGen.Load() + 1
+	st, scoreNanos := e.buildState(localGen+remoteBatches, segs, cur)
+	e.localGen.Store(localGen)
 	e.st.Store(st)
 	e.epoch.Add(1)
 	e.ing.batches.Add(1)
@@ -188,21 +199,37 @@ func (e *Engine) mergeSegments() {
 		return
 	}
 	segs := append([]*snapshot.Segment(nil), cur.snap.Segments...)
+	mergedAny := false
 	for len(segs) > e.opts.MaxSegments {
-		best := 0
+		// Only ID-contiguous neighbours may fold: a merged segment covers
+		// one contiguous global range, and a shard's segment list can have
+		// gaps where other shards' batches landed. When no adjacent pair
+		// is contiguous the shard keeps its segment count — correctness
+		// never depends on merging.
+		best := -1
 		bestSize := -1
 		for i := 0; i+1 < len(segs); i++ {
+			if segs[i].Base+int32(segs[i].Len()) != segs[i+1].Base {
+				continue
+			}
 			size := segs[i].Len() + segs[i+1].Len()
 			if bestSize < 0 || size < bestSize {
 				best, bestSize = i, size
 			}
 		}
+		if best < 0 {
+			break
+		}
 		merged := snapshot.Merge(segs[best : best+2])
 		segs = append(segs[:best+1], segs[best+2:]...)
 		segs[best] = merged
 		e.ing.merges.Add(1)
+		mergedAny = true
 	}
-	st := e.newStateShell(snapshot.New(cur.snap.Generation, segs))
+	if !mergedAny {
+		return
+	}
+	st := e.newStateShell(e.buildSnapshot(cur.snap.Generation, segs))
 	st.concepts = cur.concepts
 	st.cdrMemo = cur.cdrMemo
 	// Plans stay valid verbatim: merges keep document IDs, corpus-global

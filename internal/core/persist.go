@@ -232,6 +232,20 @@ func (e *Engine) writeStoreLocked(dir string, st *genState, writeConn bool) erro
 		World:      e.persist.world,
 		Stats:      statsMeta(e.stats),
 	}
+	// A shard persists its cluster position and the remote term
+	// statistics its global scores were computed under, so a warm reopen
+	// (or a replica opening shipped segments) reproduces bit-identical
+	// answers without talking to any peer first.
+	if rs := e.remote.Load(); rs != nil {
+		m.Shard = &segio.ShardMeta{
+			Index:          e.shardIndex,
+			Count:          e.shardCount,
+			RemoteDocs:     rs.Docs,
+			RemoteTotalLen: rs.TotalLen,
+			RemoteDF:       rs.DF,
+			RemoteBatches:  rs.Batches,
+		}
+	}
 	if writeConn {
 		data, entries := e.encodeConnMemo()
 		name := fmt.Sprintf("conn-%08x%s", crc32.ChecksumIEEE(data), segio.ConnExt)
@@ -410,7 +424,19 @@ func (e *Engine) OpenSnapshot(dir string, m *segio.Manifest) error {
 	e.persist.connFile, e.persist.connEntries, e.persist.connChecked = m.ConnFile, m.ConnEntries, true
 
 	e.stats = statsFromMeta(m.Stats)
-	st, _ := e.buildState(m.Generation, segs)
+	if m.Shard != nil {
+		e.shardIndex, e.shardCount = m.Shard.Index, m.Shard.Count
+		e.remote.Store(&ShardStats{
+			Docs:     m.Shard.RemoteDocs,
+			TotalLen: m.Shard.RemoteTotalLen,
+			DF:       m.Shard.RemoteDF,
+			Batches:  m.Shard.RemoteBatches,
+		})
+		e.localGen.Store(m.Generation - m.Shard.RemoteBatches)
+	} else {
+		e.localGen.Store(m.Generation)
+	}
+	st, _ := e.buildState(m.Generation, segs, nil)
 	e.st.Store(st)
 	e.epoch.Add(1)
 	e.persist.opens.Add(1)

@@ -72,6 +72,18 @@ type conceptPlan struct {
 	// ceilOrder lists block indices by (ceil desc, position asc): the
 	// visit order that raises the top-k threshold fastest.
 	ceilOrder []int32
+	// The match skeleton, CSR-packed: for document j, rows
+	// [matchOff[j], matchOff[j+1]) list the document's matched extent
+	// entities in first-mention order with their saturated term
+	// frequencies tf/(tf+1). Everything generation-DEPENDENT about a
+	// plan (ont, pivots, scores, ceilings) is a cheap replay over this
+	// skeleton with the generation's normalised IDF — and the skeleton
+	// itself is generation-INDEPENDENT, so a rebuild after an ingest
+	// copies it for untouched segments instead of re-walking postings
+	// and term statistics (see buildPlans).
+	matchOff  []int32
+	matchEnts []kg.NodeID
+	matchSats []float64
 }
 
 // plan returns the concept's plan (empty plan: matches nothing).
@@ -119,16 +131,51 @@ func maxInstanceDegree(g *kg.Graph) int {
 // in their extent closure; enumerating the broader-closure of every
 // document entity's direct concepts gives a superset (the closure cap
 // can only shrink a concept's matches), and gathering per concept via
-// the capped extent reproduces Definition 1 matching exactly. Returns
-// the summed per-concept scoring nanoseconds.
-func (e *Engine) buildPlans(st *genState, scorers []*relevance.Scorer) int64 {
+// the capped extent reproduces Definition 1 matching exactly.
+//
+// Incremental rebuilds: when prev is the previous generation's state
+// and its segments are a pointer-prefix of st's (the shape every
+// Ingest produces — old segments are immutable, one segment is
+// appended), each concept's match skeleton (docs, matched entities,
+// saturated term frequencies, connectivity factors) is copied from the
+// previous plan and extended with the new segments' postings only; the
+// generation-dependent arrays are then replayed over the skeleton. The
+// replay performs the exact floating-point operations a from-scratch
+// build performs — sat·(IDF/idfMax) with this generation's global
+// counts, max by strict >, Spec·best — so both paths are bit-identical
+// (the equivalence tests pin this). Returns the summed per-concept
+// scoring nanoseconds.
+func (e *Engine) buildPlans(st *genState, scorers []*relevance.Scorer, prev *genState) int64 {
 	numNodes := e.g.NumNodes()
 	st.plans = make([]conceptPlan, numNodes)
 	snap := st.snap
-	nDocs := snap.NumDocs()
 
-	// Phase 1: enumerate the matching-concept superset, deterministically
-	// (documents ascending, entities in first-mention order).
+	// Reuse applies when prev's segment list is a pointer-prefix of the
+	// new one: those segments are untouched, so per-document skeleton
+	// rows keyed by their global IDs are still exact. Merges replace
+	// segment pointers and therefore rebuild from scratch (they carry
+	// plans over verbatim instead, see mergeSegments).
+	reuse := prev != nil && prev.plans != nil && len(prev.snap.Segments) <= len(snap.Segments)
+	if reuse {
+		for i, seg := range prev.snap.Segments {
+			if snap.Segments[i] != seg {
+				reuse = false
+				break
+			}
+		}
+	}
+	newSegs := snap.Segments
+	if reuse {
+		newSegs = snap.Segments[len(prev.snap.Segments):]
+	}
+
+	// Phase 1: enumerate the matching-concept superset from the segments
+	// being (re)scanned, deterministically (documents ascending, entities
+	// in first-mention order); under reuse, concepts whose previous plan
+	// matched something are appended afterwards. A concept absent from
+	// both sets matches no document: the previous gather was exact over
+	// the old segments, and the closure walk covers every concept a new
+	// entity can reach.
 	entSeen := make([]bool, numNodes)
 	conceptSeen := make([]bool, numNodes)
 	var concepts []kg.NodeID
@@ -140,21 +187,31 @@ func (e *Engine) buildPlans(st *genState, scorers []*relevance.Scorer) int64 {
 			stack = append(stack, c)
 		}
 	}
-	for d := 0; d < nDocs; d++ {
-		for _, v := range snap.Doc(int32(d)).Entities {
-			if entSeen[v] {
-				continue
-			}
-			entSeen[v] = true
-			for _, c0 := range e.g.ConceptsOf(v) {
-				mark(c0)
-			}
-			for len(stack) > 0 {
-				c := stack[len(stack)-1]
-				stack = stack[:len(stack)-1]
-				for _, b := range e.g.Broader(c) {
-					mark(b)
+	for _, seg := range newSegs {
+		for di := range seg.Docs {
+			for _, v := range seg.Docs[di].Entities {
+				if entSeen[v] {
+					continue
 				}
+				entSeen[v] = true
+				for _, c0 := range e.g.ConceptsOf(v) {
+					mark(c0)
+				}
+				for len(stack) > 0 {
+					c := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					for _, b := range e.g.Broader(c) {
+						mark(b)
+					}
+				}
+			}
+		}
+	}
+	if reuse {
+		for c := range prev.plans {
+			if len(prev.plans[c].docs) > 0 && !conceptSeen[c] {
+				conceptSeen[c] = true
+				concepts = append(concepts, kg.NodeID(c))
 			}
 		}
 	}
@@ -162,21 +219,28 @@ func (e *Engine) buildPlans(st *genState, scorers []*relevance.Scorer) int64 {
 
 	// Phase 2: per-entity normalised IDF, idfN(v) = IDF(v)/idfMax, with
 	// the exact floating-point operations of textindex TFIDF so the
-	// ceiling's ubOnt dominates every term weight op-for-op.
+	// ceiling's ubOnt dominates every term weight op-for-op. Filled from
+	// the posting keys of ALL segments (not just the rescanned ones):
+	// the replay needs every local entity's idfN, and posting keys are
+	// exactly the entities occurring in some local document.
 	idfMax := math.Log(1 + (float64(snap.Text.NumDocs())+0.5)/0.5)
 	entIDFN := make([]float64, numNodes)
 	if idfMax != 0 {
-		for v := kg.NodeID(0); int(v) < numNodes; v++ {
-			if entSeen[v] {
-				entIDFN[v] = snap.Text.IDF(snapshot.EntTerm(v)) / idfMax
+		for _, seg := range snap.Segments {
+			for v := range seg.EntDocs {
+				if entIDFN[v] == 0 {
+					entIDFN[v] = snap.Text.IDF(snapshot.EntTerm(v)) / idfMax
+				}
 			}
 		}
 	}
 
 	// Phase 3: per-concept gather + score + ceilings, in parallel.
 	numBlocks := snap.NumBlocks()
+	docBound := snap.DocBound()
 	type planScratch struct {
 		docStamp []uint32
+		extStamp []uint32
 		blockAcc []float64
 		blockGen []uint32
 		gen      uint32
@@ -184,7 +248,8 @@ func (e *Engine) buildPlans(st *genState, scorers []*relevance.Scorer) int64 {
 	scratches := make([]*planScratch, len(scorers))
 	for w := range scratches {
 		scratches[w] = &planScratch{
-			docStamp: make([]uint32, nDocs),
+			docStamp: make([]uint32, docBound),
+			extStamp: make([]uint32, numNodes),
 			blockAcc: make([]float64, numBlocks+1),
 			blockGen: make([]uint32, numBlocks+1),
 		}
@@ -197,39 +262,98 @@ func (e *Engine) buildPlans(st *genState, scorers []*relevance.Scorer) int64 {
 		sc := scratches[worker]
 		sc.gen++
 		ext, _ := s.Extent(c)
-
-		// Matched documents: union of the capped extent's postings.
-		var docs []int32
 		for _, v := range ext {
-			snap.EntityDocs(v, func(list []int32) {
-				for _, d := range list {
+			sc.extStamp[v] = sc.gen
+		}
+
+		var pp *conceptPlan
+		nOld := 0
+		if reuse {
+			pp = &prev.plans[c]
+			nOld = len(pp.docs)
+		}
+
+		// Matched documents: the previous skeleton's list verbatim, plus
+		// the union of the capped extent's postings over the (re)scanned
+		// segments. New global IDs all exceed old ones (bases ascend), so
+		// the concatenation stays sorted.
+		var newDocs []int32
+		for _, v := range ext {
+			for _, seg := range newSegs {
+				for _, d := range seg.EntDocs[v] {
 					if sc.docStamp[d] != sc.gen {
 						sc.docStamp[d] = sc.gen
-						docs = append(docs, d)
+						newDocs = append(newDocs, d)
 					}
 				}
-			})
+			}
 		}
-		if len(docs) == 0 {
+		n := nOld + len(newDocs)
+		if n == 0 {
 			nanos[worker] += time.Since(start).Nanoseconds()
 			return
 		}
-		sort.Slice(docs, func(a, b int) bool { return docs[a] < docs[b] })
+		sort.Slice(newDocs, func(a, b int) bool { return newDocs[a] < newDocs[b] })
+		docs := make([]int32, 0, n)
+		if nOld > 0 {
+			docs = append(docs, pp.docs...)
+		}
+		docs = append(docs, newDocs...)
 
 		p := &st.plans[c]
 		p.docs = docs
-		p.scores = make([]float64, len(docs))
-		p.ont = make([]float64, len(docs))
-		p.cdrc = make([]float64, len(docs))
-		p.pivots = make([]kg.NodeID, len(docs))
-		for j, d := range docs {
-			cdro, pivot := s.OntologyRel(c, d)
+		p.scores = make([]float64, n)
+		p.ont = make([]float64, n)
+		p.cdrc = make([]float64, n)
+		p.pivots = make([]kg.NodeID, n)
+
+		// Skeleton: copy the previous rows, append rows for new documents.
+		if nOld > 0 {
+			copy(p.cdrc, pp.cdrc[:nOld])
+			p.matchOff = append(make([]int32, 0, n+1), pp.matchOff...)
+			p.matchEnts = append(make([]kg.NodeID, 0, len(pp.matchEnts)+4*len(newDocs)), pp.matchEnts...)
+			p.matchSats = append(make([]float64, 0, len(pp.matchSats)+4*len(newDocs)), pp.matchSats...)
+		} else {
+			p.matchOff = append(make([]int32, 0, n+1), 0)
+		}
+		for _, d := range newDocs {
+			rec := snap.Doc(d)
+			for _, v := range rec.Entities {
+				if sc.extStamp[v] == sc.gen {
+					tf := rec.EntityFreq[v]
+					p.matchEnts = append(p.matchEnts, v)
+					p.matchSats = append(p.matchSats, float64(tf)/(float64(tf)+1))
+				}
+			}
+			p.matchOff = append(p.matchOff, int32(len(p.matchEnts)))
+		}
+
+		// Replay: cdro(c, d) = Spec(c) · max_v sat(v, d)·idfN(v) over the
+		// matched entities, pivot by first strict maximum — the identical
+		// arithmetic and comparison order of relevance.OntologyRel. The
+		// connectivity factor is generation-independent: copied for old
+		// rows, computed (memoised engine-wide) for new ones. Whether
+		// cdro > 0 is itself generation-independent (Spec and tf do not
+		// change, and idfN is always positive), so copied cdrc values
+		// cover exactly the rows a fresh build would walk.
+		spec := e.g.Specificity(c)
+		for j := 0; j < n; j++ {
+			best := -1.0
+			pivot := kg.InvalidNode
+			for m := p.matchOff[j]; m < p.matchOff[j+1]; m++ {
+				if w := p.matchSats[m] * entIDFN[p.matchEnts[m]]; w > best {
+					best = w
+					pivot = p.matchEnts[m]
+				}
+			}
+			cdro := spec * best
 			p.ont[j] = cdro
 			p.pivots[j] = pivot
 			if cdro > 0 {
-				cdrc := e.contextRel(s, c, d)
-				p.cdrc[j] = cdrc
-				p.scores[j] = cdro * cdrc
+				if j >= nOld {
+					p.cdrc[j] = e.contextRel(s, c, docs[j])
+				}
+				p.scores[j] = cdro * p.cdrc[j]
 			}
 		}
 
@@ -253,7 +377,6 @@ func (e *Engine) buildPlans(st *genState, scorers []*relevance.Scorer) int64 {
 				}
 			})
 		}
-		spec := e.g.Specificity(c)
 		cdrcCap := relevance.ConnToScore(relevance.ConnCap(len(ext), e.maxInstDeg, e.opts.Tau, e.opts.Beta))
 		lo := 0
 		for lo < len(docs) {

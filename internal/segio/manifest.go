@@ -77,6 +77,27 @@ type StatsMeta struct {
 	PerSource  map[string]SourceStatsMeta `json:"per_source,omitempty"`
 }
 
+// ShardMeta marks a snapshot as one shard of a federated corpus and
+// persists the remote term statistics the shard's engine was scoring
+// with, so a warm restart (or a replica opening a shipped snapshot)
+// resumes with exactly the corpus-global IDF it had. RemoteBatches
+// also recovers the generation split: the manifest Generation is
+// global (local batches + remote batches), and an opening engine needs
+// the local component back to keep numbering future local ingests.
+type ShardMeta struct {
+	// Index / Count identify this shard within the cluster layout.
+	Index int `json:"index"`
+	Count int `json:"count"`
+	// RemoteDocs / RemoteTotalLen / RemoteDF are the term statistics of
+	// the documents held by the other shards (see textindex.RemoteStats).
+	RemoteDocs     int            `json:"remote_docs"`
+	RemoteTotalLen int64          `json:"remote_total_len"`
+	RemoteDF       map[string]int `json:"remote_df,omitempty"`
+	// RemoteBatches counts the ingest batches other shards committed
+	// (the seed corpus is generation 1 cluster-wide and counts for none).
+	RemoteBatches uint64 `json:"remote_batches"`
+}
+
 // Manifest describes one complete snapshot: the ordered segment files,
 // the optional conn-memo cache file, the generation stamp, and the
 // engine/world parameters needed to reopen it.
@@ -101,6 +122,11 @@ type Manifest struct {
 	// the new state current atomically.
 	WatchFile string     `json:"watch_file,omitempty"`
 	Engine    EngineMeta `json:"engine"`
+	// Shard, when present, marks the snapshot as one shard of a
+	// federated corpus: segment bases keep their global IDs (so the
+	// local ID space has gaps) and the recorded remote statistics make
+	// scoring corpus-global.
+	Shard *ShardMeta `json:"shard,omitempty"`
 	// World carries facade-level reconstruction hints (e.g. the
 	// synthetic-world scale) the core engine does not interpret.
 	World map[string]string `json:"world,omitempty"`
@@ -118,6 +144,13 @@ func ReadManifest(dir string) (*Manifest, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%w: reading manifest: %v", ErrCorrupt, err)
 	}
+	return ParseManifest(data)
+}
+
+// ParseManifest validates raw manifest bytes — the parsing half of
+// ReadManifest, split out so a replica can vet a manifest fetched over
+// the wire before any file lands on disk.
+func ParseManifest(data []byte) (*Manifest, error) {
 	var m Manifest
 	if err := json.Unmarshal(data, &m); err != nil {
 		return nil, fmt.Errorf("%w: manifest is not valid JSON: %v", ErrCorrupt, err)
@@ -135,26 +168,39 @@ func ReadManifest(dir string) (*Manifest, error) {
 	return &m, nil
 }
 
-// validate checks the manifest's internal consistency: segments must
-// tile [0, NumDocs) contiguously and reference plausible files.
+// validate checks the manifest's internal consistency. A monolithic
+// snapshot's segments must tile [0, NumDocs) contiguously; a shard
+// snapshot (Shard present) keeps global bases, so its segments need
+// only be ascending and non-overlapping, with NumDocs the sum of the
+// local segment lengths.
 func (m *Manifest) validate() error {
 	if len(m.Segments) == 0 {
 		return fmt.Errorf("%w: manifest lists no segments", ErrCorrupt)
 	}
 	next := int32(0)
+	sum := 0
 	for i, ref := range m.Segments {
 		if ref.File == "" || ref.File != filepath.Base(ref.File) || ref.Docs <= 0 {
 			return fmt.Errorf("%w: manifest segment %d: bad file reference", ErrCorrupt, i)
 		}
-		if ref.Base != next {
+		if m.Shard == nil && ref.Base != next {
 			return fmt.Errorf("%w: manifest segment %d: base %d not contiguous (want %d)",
 				ErrCorrupt, i, ref.Base, next)
 		}
-		next += int32(ref.Docs)
+		if m.Shard != nil && ref.Base < next {
+			return fmt.Errorf("%w: manifest segment %d: base %d overlaps previous segment (ends at %d)",
+				ErrCorrupt, i, ref.Base, next)
+		}
+		next = ref.Base + int32(ref.Docs)
+		sum += ref.Docs
 	}
-	if int(next) != m.NumDocs {
+	if sum != m.NumDocs {
 		return fmt.Errorf("%w: manifest num_docs %d disagrees with segment sum %d",
-			ErrCorrupt, m.NumDocs, next)
+			ErrCorrupt, m.NumDocs, sum)
+	}
+	if m.Shard != nil && (m.Shard.Count < 1 || m.Shard.Index < 0 || m.Shard.Index >= m.Shard.Count ||
+		m.Shard.RemoteDocs < 0 || m.Shard.RemoteTotalLen < 0) {
+		return fmt.Errorf("%w: manifest shard section inconsistent", ErrCorrupt)
 	}
 	if m.ConnFile != "" && m.ConnFile != filepath.Base(m.ConnFile) {
 		return fmt.Errorf("%w: manifest conn file reference escapes directory", ErrCorrupt)

@@ -49,7 +49,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 			len(req.Articles), s.opts.MaxIngestBatch))
 		return
 	}
-	res, err := s.x.Ingest(r.Context(), req.Articles)
+	res, err := s.explorer().Ingest(r.Context(), req.Articles)
 	if err != nil {
 		s.writeAPIError(w, apiErrorFrom(err))
 		return

@@ -1,0 +1,245 @@
+// Internal cluster surface: the trusted-peer endpoints behind
+// multi-node serving. Two groups, separately gated by Options:
+//
+// Segment shipping (ClusterDataDir set) — how replicas replicate:
+//
+//	GET /internal/manifest         the snapshot directory's MANIFEST,
+//	                               verbatim
+//	GET /internal/segments/{name}  one immutable content-addressed file
+//	                               (segment, conn-memo, or watch state),
+//	                               with Range support so an interrupted
+//	                               fetch resumes
+//
+// Scatter/gather (EnableCluster) — how a router queries shards and
+// keeps their IDF corpus-global:
+//
+//	GET  /internal/stats                     this shard's term statistics
+//	                                         (fold into peers' remote stats)
+//	POST /internal/remote-stats              replace the peers' folded-in
+//	                                         statistics (leaders only —
+//	                                         replicas inherit via shipping)
+//	POST /internal/query/rollup              typed roll-up, k uncapped
+//	                                         (the router asks for k+offset)
+//	POST /internal/query/drilldown-partials  raw drill-down accumulation
+//	                                         rows (core.DrillDownPartial)
+//	POST /internal/query/diversity           per-concept distinct-entity
+//	                                         sets for a shortlist
+//
+// None of these are public APIs: no k clamping, no canonicalization
+// beyond what correctness needs — the router is the trusted caller and
+// has already validated at its own edge. The readiness gate exempts
+// /internal/ so a syncing node keeps shipping data, but the query
+// endpoints below still refuse (503 syncing) while no explorer is
+// installed.
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"ncexplorer"
+	"ncexplorer/internal/core"
+	"ncexplorer/internal/kg"
+	"ncexplorer/internal/segio"
+)
+
+// registerInternal wires whichever internal endpoint groups the
+// options enable. Called from New.
+func (s *Server) registerInternal() {
+	if s.opts.ClusterDataDir != "" {
+		s.mux.HandleFunc("GET /internal/manifest", s.counted("internal", s.handleManifest))
+		s.mux.HandleFunc("GET /internal/segments/{name}", s.counted("internal", s.handleSegment))
+	}
+	if s.opts.EnableCluster {
+		s.mux.HandleFunc("GET /internal/stats", s.counted("internal", s.handleShardStats))
+		s.mux.HandleFunc("POST /internal/remote-stats", s.counted("internal", s.handleRemoteStats))
+		s.mux.HandleFunc("POST /internal/query/rollup", s.counted("internal", s.handleInternalRollUp))
+		s.mux.HandleFunc("POST /internal/query/drilldown-partials", s.counted("internal", s.handleInternalDrillDownPartials))
+		s.mux.HandleFunc("POST /internal/query/diversity", s.counted("internal", s.handleInternalDiversity))
+	}
+}
+
+// handleManifest serves the snapshot manifest verbatim. Replicas parse
+// and validate it client-side (segio.ParseManifest) before trusting
+// any reference in it.
+func (s *Server) handleManifest(w http.ResponseWriter, r *http.Request) {
+	data, err := os.ReadFile(filepath.Join(s.opts.ClusterDataDir, segio.ManifestName))
+	if err != nil {
+		s.writeAPIError(w, &apiError{
+			status: http.StatusNotFound, code: ncexplorer.CodeNotFound,
+			message: "no snapshot manifest to ship yet",
+		})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(data)
+}
+
+// handleSegment serves one immutable snapshot file. Only bare
+// content-addressed names with the three known extensions are
+// accepted; http.ServeFile supplies Range handling, which is what
+// makes interrupted segment fetches resumable.
+func (s *Server) handleSegment(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if name != filepath.Base(name) || name == "" || strings.Contains(name, "..") ||
+		!(strings.HasSuffix(name, segio.SegmentExt) ||
+			strings.HasSuffix(name, segio.ConnExt) ||
+			strings.HasSuffix(name, segio.WatchExt)) {
+		s.writeAPIError(w, &apiError{
+			status: http.StatusBadRequest, code: ncexplorer.CodeInvalidArgument,
+			message: "invalid snapshot file name",
+		})
+		return
+	}
+	http.ServeFile(w, r, filepath.Join(s.opts.ClusterDataDir, name))
+}
+
+// internalExplorer fetches the serving explorer for an internal query
+// handler, answering 503 syncing when none is installed yet (a replica
+// racing its first catch-up).
+func (s *Server) internalExplorer(w http.ResponseWriter) (*ncexplorer.Explorer, bool) {
+	x := s.explorer()
+	if x == nil {
+		st := s.syncing.Load()
+		if st == nil {
+			st = &syncState{}
+		}
+		s.writeSyncing(w, st)
+		return nil, false
+	}
+	return x, true
+}
+
+// shardStatsResponse is the GET /internal/stats payload: the node's
+// shard position and the local term statistics peers fold in.
+type shardStatsResponse struct {
+	Shard      int             `json:"shard"`
+	ShardCount int             `json:"shard_count"`
+	Sharded    bool            `json:"sharded"`
+	Generation uint64          `json:"generation"`
+	Stats      core.ShardStats `json:"stats"`
+}
+
+func (s *Server) handleShardStats(w http.ResponseWriter, r *http.Request) {
+	x, ok := s.internalExplorer(w)
+	if !ok {
+		return
+	}
+	idx, count, sharded := x.ShardInfo()
+	s.writeJSON(w, http.StatusOK, shardStatsResponse{
+		Shard: idx, ShardCount: count, Sharded: sharded,
+		Generation: x.Generation(),
+		Stats:      x.Engine().LocalStats(),
+	})
+}
+
+func (s *Server) handleRemoteStats(w http.ResponseWriter, r *http.Request) {
+	x, ok := s.internalExplorer(w)
+	if !ok {
+		return
+	}
+	var rs core.ShardStats
+	if aerr := decodeV2(w, r, &rs); aerr != nil {
+		s.writeAPIError(w, aerr)
+		return
+	}
+	if err := x.Engine().SetRemoteStats(rs); err != nil {
+		s.writeAPIError(w, &apiError{
+			status: http.StatusBadRequest, code: ncexplorer.CodeInvalidArgument,
+			message: err.Error(),
+		})
+		return
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{"generation": x.Generation()})
+}
+
+// handleInternalRollUp executes a shard-local roll-up exactly as
+// requested — no defaulting, no MaxK clamp: the router already
+// clamped at the public edge and asks each shard for its local
+// top-(k+offset) page. Bodies flow through the same result cache as
+// the public endpoints, so repeated fan-outs of a hot query are
+// byte-identical cache hits.
+func (s *Server) handleInternalRollUp(w http.ResponseWriter, r *http.Request) {
+	x, ok := s.internalExplorer(w)
+	if !ok {
+		return
+	}
+	var q v2QueryRequest
+	if aerr := decodeV2(w, r, &q); aerr != nil {
+		s.writeAPIError(w, aerr)
+		return
+	}
+	req := ncexplorer.RollUpRequest{
+		Concepts: q.Concepts, K: q.K, Offset: q.Offset,
+		Sources: q.Sources, MinScore: q.MinScore, Explain: q.Explain,
+	}
+	v, _, err := s.doCached(r.Context(), "int|"+req.Key(), func() (any, error) {
+		res, err := x.RollUpQuery(r.Context(), req)
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(res)
+	})
+	if err != nil {
+		s.writeAPIError(w, apiErrorFrom(err))
+		return
+	}
+	s.writeBody(w, http.StatusOK, v.([]byte))
+}
+
+// internalConceptsRequest names the concepts of a scatter query; the
+// router sends the canonicalized list, each shard resolves it against
+// the shared deterministic graph.
+type internalConceptsRequest struct {
+	Concepts  []string    `json:"concepts"`
+	Shortlist []kg.NodeID `json:"shortlist,omitempty"`
+}
+
+func (s *Server) handleInternalDrillDownPartials(w http.ResponseWriter, r *http.Request) {
+	x, ok := s.internalExplorer(w)
+	if !ok {
+		return
+	}
+	var req internalConceptsRequest
+	if aerr := decodeV2(w, r, &req); aerr != nil {
+		s.writeAPIError(w, aerr)
+		return
+	}
+	q, err := x.ResolveConcepts(ncexplorer.CanonicalConcepts(req.Concepts))
+	if err != nil {
+		s.writeAPIError(w, apiErrorFrom(err))
+		return
+	}
+	part, err := x.Engine().DrillDownPartials(r.Context(), q)
+	if err != nil {
+		s.writeAPIError(w, apiErrorFrom(ncexplorer.WrapContextErr(err)))
+		return
+	}
+	s.writeJSON(w, http.StatusOK, part)
+}
+
+func (s *Server) handleInternalDiversity(w http.ResponseWriter, r *http.Request) {
+	x, ok := s.internalExplorer(w)
+	if !ok {
+		return
+	}
+	var req internalConceptsRequest
+	if aerr := decodeV2(w, r, &req); aerr != nil {
+		s.writeAPIError(w, aerr)
+		return
+	}
+	q, err := x.ResolveConcepts(ncexplorer.CanonicalConcepts(req.Concepts))
+	if err != nil {
+		s.writeAPIError(w, apiErrorFrom(err))
+		return
+	}
+	part, err := x.Engine().DiversityPartials(r.Context(), q, req.Shortlist)
+	if err != nil {
+		s.writeAPIError(w, apiErrorFrom(ncexplorer.WrapContextErr(err)))
+		return
+	}
+	s.writeJSON(w, http.StatusOK, part)
+}

@@ -62,6 +62,7 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -101,6 +102,17 @@ type Options struct {
 	// Clock supplies the session store's time source (tests inject a
 	// fake one; default time.Now).
 	Clock func() time.Time
+	// ClusterDataDir, when set, exposes the segment-shipping endpoints
+	// (GET /internal/manifest, GET /internal/segments/{name}) serving
+	// that snapshot directory — a leader publishing its store, or a
+	// replica daisy-chaining the one it fetched.
+	ClusterDataDir string
+	// EnableCluster exposes the internal scatter/gather surface: the
+	// shard statistics exchange (GET /internal/stats, POST
+	// /internal/remote-stats) and the exact-merge query endpoints
+	// (POST /internal/query/...). Off by default; these endpoints are
+	// trusted-peer APIs, not public ones.
+	EnableCluster bool
 }
 
 func (o Options) withDefaults() Options {
@@ -131,18 +143,32 @@ const defaultK = 10
 var routes = []string{
 	"rollup", "drilldown", "concepts", "broader", "keywords",
 	"topics", "v2rollup", "v2drilldown", "v2batch", "v2sessions",
-	"v2ingest", "v2watchlists", "healthz", "statsz", "other",
+	"v2ingest", "v2watchlists", "internal", "healthz", "statsz", "other",
 }
 
 // Server is the HTTP serving layer over an Explorer. Safe for
 // concurrent use; construct with New.
 type Server struct {
-	x        *ncexplorer.Explorer
+	// x is the serving explorer, behind an atomic pointer so a replica
+	// can swap in a freshly caught-up generation while requests are in
+	// flight. It is nil on a replica that has not completed its first
+	// catch-up; the readiness gate answers 503 until then.
+	x        atomic.Pointer[ncexplorer.Explorer]
 	cache    *qcache.Cache
 	sessions *session.Store
 	mux      *http.ServeMux
 	opts     Options
 	started  time.Time
+
+	// swapSeq counts explorer swaps; epochKey folds it in so result-cache
+	// keys from one explorer instance can never collide with another's
+	// (two instances may report equal query epochs).
+	swapSeq atomic.Uint64
+	// syncing holds the replica catch-up state the readiness gate and
+	// /healthz report; nil means serving normally.
+	syncing atomic.Pointer[syncState]
+	// clusterInfo, when set, supplies the /statsz cluster section.
+	clusterInfo atomic.Pointer[func() *ClusterInfo]
 
 	total   atomic.Int64
 	errors  atomic.Int64
@@ -155,12 +181,70 @@ type Server struct {
 	stopStreamsOnce sync.Once
 }
 
+// syncState is a replica's catch-up position: the generation it is
+// serving (0 if none yet) and the leader generation it is chasing.
+type syncState struct {
+	Generation uint64
+	Target     uint64
+}
+
+// explorer returns the currently serving explorer; nil while a replica
+// has not completed its first catch-up (the readiness gate keeps such
+// requests from reaching handlers).
+func (s *Server) explorer() *ncexplorer.Explorer { return s.x.Load() }
+
+// SetExplorer atomically swaps the serving explorer — how a replica
+// publishes a freshly opened generation while requests are in flight.
+// In-flight requests finish against the explorer they loaded; new
+// requests see the new one. The swap sequence feeds cache keys, so
+// bodies cached against the old instance become unreachable.
+func (s *Server) SetExplorer(x *ncexplorer.Explorer) {
+	s.swapSeq.Add(1)
+	s.x.Store(x)
+}
+
+// SetSyncState publishes a replica's catch-up position. While syncing
+// is true every endpoint answers 503 with a
+// {"state":"syncing","generation":N,"target":M} body (routers use this
+// to exclude the replica); syncing=false restores normal serving.
+func (s *Server) SetSyncState(generation, target uint64, syncing bool) {
+	if syncing {
+		s.syncing.Store(&syncState{Generation: generation, Target: target})
+	} else {
+		s.syncing.Store(nil)
+	}
+}
+
+// ClusterInfo is the /statsz cluster section: the node's role and
+// shard position, its replication lag, and segment-shipping counters.
+type ClusterInfo struct {
+	Role             string `json:"role"`
+	Shard            int    `json:"shard"`
+	ShardCount       int    `json:"shard_count"`
+	Generation       uint64 `json:"generation"`
+	TargetGeneration uint64 `json:"target_generation,omitempty"`
+	GenerationLag    int64  `json:"generation_lag"`
+	ManifestPolls    int64  `json:"manifest_polls,omitempty"`
+	SegmentsFetched  int64  `json:"segments_fetched,omitempty"`
+	SegmentsReused   int64  `json:"segments_reused,omitempty"`
+	BytesShipped     int64  `json:"bytes_shipped,omitempty"`
+}
+
+// SetClusterInfo installs the provider behind /statsz's cluster
+// section (nil provider or nil result omits the section).
+func (s *Server) SetClusterInfo(provider func() *ClusterInfo) {
+	if provider != nil {
+		s.clusterInfo.Store(&provider)
+	}
+}
+
 // New wires the handlers, cache, and session store around an indexed
-// Explorer.
+// Explorer. x may be nil for a replica booting ahead of its first
+// catch-up: the readiness gate answers 503 until SetExplorer installs
+// one.
 func New(x *ncexplorer.Explorer, opts Options) *Server {
 	opts = opts.withDefaults()
 	s := &Server{
-		x:     x,
 		cache: qcache.New(opts.CacheShards, opts.CacheCapacity),
 		sessions: session.NewStore(session.Options{
 			TTL:         opts.SessionTTL,
@@ -173,9 +257,13 @@ func New(x *ncexplorer.Explorer, opts Options) *Server {
 		byRoute:    make(map[string]*atomic.Int64, len(routes)),
 		streamStop: make(chan struct{}),
 	}
+	if x != nil {
+		s.x.Store(x)
+	}
 	for _, r := range routes {
 		s.byRoute[r] = new(atomic.Int64)
 	}
+	s.registerInternal()
 	s.mux.HandleFunc("POST /v1/rollup", s.counted("rollup", s.handleRollUp))
 	s.mux.HandleFunc("POST /v1/drilldown", s.counted("drilldown", s.handleDrillDown))
 	s.mux.HandleFunc("GET /v1/concepts/{entity}", s.counted("concepts", s.handleConcepts))
@@ -262,8 +350,39 @@ func (s *Server) methodNotAllowed(allow string) http.HandlerFunc {
 	})
 }
 
-// Handler returns the root http.Handler.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the root http.Handler: the mux behind the readiness
+// gate. A server with no explorer yet (replica pre-first-catch-up) or
+// one explicitly marked syncing answers 503 with the syncing body on
+// every route — /healthz included, which is how routers and load
+// balancers exclude the node — except the /internal/ shipping and
+// stats surface, which must stay reachable so peers can keep feeding
+// the node the very data it is syncing.
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !strings.HasPrefix(r.URL.Path, "/internal/") {
+			st := s.syncing.Load()
+			if st == nil && s.explorer() == nil {
+				st = &syncState{}
+			}
+			if st != nil {
+				s.writeSyncing(w, st)
+				return
+			}
+		}
+		s.mux.ServeHTTP(w, r)
+	})
+}
+
+// writeSyncing answers a request refused by the readiness gate.
+func (s *Server) writeSyncing(w http.ResponseWriter, st *syncState) {
+	s.total.Add(1)
+	body, _ := json.Marshal(map[string]any{
+		"state":      "syncing",
+		"generation": st.Generation,
+		"target":     st.Target,
+	})
+	s.writeBody(w, http.StatusServiceUnavailable, body)
+}
 
 // CacheStats exposes the result cache counters (for tests and ops).
 func (s *Server) CacheStats() qcache.Stats { return s.cache.Stats() }
@@ -359,7 +478,8 @@ func (e clientError) Unwrap() error { return e.err }
 // LRU). This is also what keeps the HTTP cache coherent with the
 // engine's own memo caches: both invalidate off the same event.
 func (s *Server) epochKey(key string) string {
-	return "e" + strconv.FormatUint(s.x.QueryEpoch(), 36) + "|" + key
+	return "w" + strconv.FormatUint(s.swapSeq.Load(), 36) +
+		"e" + strconv.FormatUint(s.explorer().QueryEpoch(), 36) + "|" + key
 }
 
 // serveCached answers a query endpoint through the result cache: on a
@@ -398,7 +518,7 @@ func (s *Server) handleRollUp(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.serveCached(w, ncexplorer.QueryKey("rollup", concepts, k), func() (any, error) {
-		articles, err := s.x.RollUp(concepts, k)
+		articles, err := s.explorer().RollUp(concepts, k)
 		if err != nil {
 			return nil, clientError{err}
 		}
@@ -422,7 +542,7 @@ func (s *Server) handleDrillDown(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.serveCached(w, ncexplorer.QueryKey("drilldown", concepts, k), func() (any, error) {
-		subs, err := s.x.DrillDown(concepts, k)
+		subs, err := s.explorer().DrillDown(concepts, k)
 		if err != nil {
 			return nil, clientError{err}
 		}
@@ -435,7 +555,7 @@ func (s *Server) handleDrillDown(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleConcepts(w http.ResponseWriter, r *http.Request) {
 	entity := r.PathValue("entity")
-	concepts, err := s.x.ConceptsForEntity(entity)
+	concepts, err := s.explorer().ConceptsForEntity(entity)
 	if err != nil {
 		s.writeError(w, http.StatusBadRequest, err)
 		return
@@ -448,7 +568,7 @@ func (s *Server) handleConcepts(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleBroader(w http.ResponseWriter, r *http.Request) {
 	concept := r.PathValue("concept")
-	broader, err := s.x.BroaderConcepts(concept)
+	broader, err := s.explorer().BroaderConcepts(concept)
 	if err != nil {
 		s.writeError(w, http.StatusBadRequest, err)
 		return
@@ -476,7 +596,7 @@ func (s *Server) handleKeywords(w http.ResponseWriter, r *http.Request) {
 	if n > s.opts.MaxK {
 		n = s.opts.MaxK
 	}
-	keywords, err := s.x.TopicKeywords(concept, n)
+	keywords, err := s.explorer().TopicKeywords(concept, n)
 	if err != nil {
 		s.writeError(w, http.StatusBadRequest, err)
 		return
@@ -494,7 +614,7 @@ type topicResponse struct {
 
 func (s *Server) handleTopics(w http.ResponseWriter, r *http.Request) {
 	topics := make([]topicResponse, 0, 6)
-	for _, t := range s.x.EvaluationTopics() {
+	for _, t := range s.explorer().EvaluationTopics() {
 		topics = append(topics, topicResponse{Concept: t[0], Group: t[1]})
 	}
 	s.writeJSON(w, http.StatusOK, map[string]any{"topics": topics})
@@ -503,7 +623,7 @@ func (s *Server) handleTopics(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, map[string]any{
 		"status":         "ok",
-		"articles":       s.x.NumArticles(),
+		"articles":       s.explorer().NumArticles(),
 		"uptime_seconds": time.Since(s.started).Seconds(),
 	})
 }
@@ -515,6 +635,7 @@ type statszResponse struct {
 	Cache    qcache.Stats     `json:"cache"`
 	Sessions sessionStats     `json:"sessions"`
 	Requests requestStats     `json:"requests"`
+	Cluster  *ClusterInfo     `json:"cluster,omitempty"`
 	Uptime   float64          `json:"uptime_seconds"`
 }
 
@@ -533,8 +654,8 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 	for _, route := range routes {
 		by[route] = s.byRoute[route].Load()
 	}
-	s.writeJSON(w, http.StatusOK, statszResponse{
-		Index:    s.x.Stats(),
+	resp := statszResponse{
+		Index:    s.explorer().Stats(),
 		Cache:    s.cache.Stats(),
 		Sessions: sessionStats{Live: s.sessions.Len()},
 		Requests: requestStats{
@@ -543,5 +664,9 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 			ByRoute: by,
 		},
 		Uptime: time.Since(s.started).Seconds(),
-	})
+	}
+	if p := s.clusterInfo.Load(); p != nil {
+		resp.Cluster = (*p)()
+	}
+	s.writeJSON(w, http.StatusOK, resp)
 }

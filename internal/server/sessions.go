@@ -61,7 +61,7 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	concepts := ncexplorer.CanonicalConcepts(req.Concepts)
-	if err := s.x.ValidateConcepts(concepts); err != nil {
+	if err := s.explorer().ValidateConcepts(concepts); err != nil {
 		s.writeAPIError(w, apiErrorFrom(err))
 		return
 	}
@@ -115,7 +115,7 @@ func (s *Server) handleSessionRollUp(w http.ResponseWriter, r *http.Request) {
 	// leave the session exactly as it was.
 	newConcepts := ncexplorer.CanonicalConcepts(q.Concepts)
 	if len(newConcepts) > 0 {
-		if err := s.x.ValidateConcepts(newConcepts); err != nil {
+		if err := s.explorer().ValidateConcepts(newConcepts); err != nil {
 			s.writeAPIError(w, apiErrorFrom(err))
 			return
 		}
@@ -174,7 +174,7 @@ func (s *Server) handleSessionDrillDown(w http.ResponseWriter, r *http.Request) 
 	// whitespace variant of a concept already in the pattern cannot
 	// slip past the duplicate-refine guard.
 	if sel := ncexplorer.CanonicalConcepts([]string{req.Select}); len(sel) > 0 {
-		if err := s.x.ValidateConcepts(sel); err != nil {
+		if err := s.explorer().ValidateConcepts(sel); err != nil {
 			s.writeAPIError(w, apiErrorFrom(err))
 			return
 		}

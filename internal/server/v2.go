@@ -62,6 +62,8 @@ func statusForCode(code ncexplorer.ErrorCode) int {
 		return statusClientClosedRequest
 	case ncexplorer.CodeDeadlineExceeded:
 		return http.StatusGatewayTimeout
+	case ncexplorer.CodeShardUnavailable:
+		return http.StatusServiceUnavailable
 	default:
 		return http.StatusInternalServerError
 	}
@@ -98,6 +100,18 @@ func marshalAPIError(e *apiError) []byte {
 		body, _ = json.Marshal(errorEnvelope{Error: errorBody{Code: e.code, Message: e.message}})
 	}
 	return body
+}
+
+// StatusForCode maps a facade error code to the HTTP status the /v2
+// surface uses — exported for the cluster router, whose error
+// responses must be byte- and status-identical to a monolithic
+// server's.
+func StatusForCode(code ncexplorer.ErrorCode) int { return statusForCode(code) }
+
+// MarshalErrorEnvelope renders the shared /v2 error envelope — the
+// router counterpart of writeAPIError.
+func MarshalErrorEnvelope(code ncexplorer.ErrorCode, message string, details map[string]any) []byte {
+	return marshalAPIError(&apiError{code: code, message: message, details: details})
 }
 
 // writeAPIError writes the envelope with its status.
@@ -197,7 +211,7 @@ func (s *Server) execRollUpV2(ctx context.Context, q v2QueryRequest) ([]byte, bo
 		Sources: q.Sources, MinScore: q.MinScore, Explain: q.Explain,
 	}
 	v, hit, err := s.doCached(ctx, req.Key(), func() (any, error) {
-		res, err := s.x.RollUpQuery(ctx, req)
+		res, err := s.explorer().RollUpQuery(ctx, req)
 		if err != nil {
 			return nil, err
 		}
@@ -219,7 +233,7 @@ func (s *Server) execDrillDownV2(ctx context.Context, q v2QueryRequest) ([]byte,
 		MinScore: q.MinScore, Explain: q.Explain,
 	}
 	v, hit, err := s.doCached(ctx, req.Key(), func() (any, error) {
-		res, err := s.x.DrillDownQuery(ctx, req)
+		res, err := s.explorer().DrillDownQuery(ctx, req)
 		if err != nil {
 			return nil, err
 		}
@@ -306,7 +320,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	// engine-wide semaphore, so a big batch cannot oversubscribe the
 	// scheduler.
 	results := make([]json.RawMessage, len(req.Queries))
-	sem := make(chan struct{}, s.x.Parallelism())
+	sem := make(chan struct{}, s.explorer().Parallelism())
 	var wg sync.WaitGroup
 	for i, q := range req.Queries {
 		wg.Add(1)

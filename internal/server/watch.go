@@ -45,7 +45,7 @@ func (s *Server) handleWatchlistCreate(w http.ResponseWriter, r *http.Request) {
 		s.writeAPIError(w, aerr)
 		return
 	}
-	wl, err := s.x.RegisterWatchlist(spec)
+	wl, err := s.explorer().RegisterWatchlist(spec)
 	if err != nil {
 		s.writeAPIError(w, apiErrorFrom(err))
 		return
@@ -54,7 +54,7 @@ func (s *Server) handleWatchlistCreate(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleWatchlistList(w http.ResponseWriter, r *http.Request) {
-	lists := s.x.ListWatchlists()
+	lists := s.explorer().ListWatchlists()
 	if lists == nil {
 		lists = []ncexplorer.Watchlist{}
 	}
@@ -62,7 +62,7 @@ func (s *Server) handleWatchlistList(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleWatchlistGet(w http.ResponseWriter, r *http.Request) {
-	wl, err := s.x.GetWatchlist(r.PathValue("id"))
+	wl, err := s.explorer().GetWatchlist(r.PathValue("id"))
 	if err != nil {
 		s.writeAPIError(w, apiErrorFrom(err))
 		return
@@ -71,7 +71,7 @@ func (s *Server) handleWatchlistGet(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleWatchlistDelete(w http.ResponseWriter, r *http.Request) {
-	if err := s.x.RemoveWatchlist(r.PathValue("id")); err != nil {
+	if err := s.explorer().RemoveWatchlist(r.PathValue("id")); err != nil {
 		s.writeAPIError(w, apiErrorFrom(err))
 		return
 	}
@@ -102,7 +102,7 @@ func (s *Server) handleWatchlistEvents(w http.ResponseWriter, r *http.Request) {
 		})
 		return
 	}
-	sub, err := s.x.WatchSubscribe(r.PathValue("id"), after)
+	sub, err := s.explorer().WatchSubscribe(r.PathValue("id"), after)
 	if err != nil {
 		s.writeAPIError(w, apiErrorFrom(err))
 		return

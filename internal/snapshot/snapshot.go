@@ -124,33 +124,63 @@ type Snapshot struct {
 	// Text reports corpus-global term statistics over all segments.
 	Text *textindex.Merged
 
-	numDocs int
+	numDocs  int
+	docBound int
 }
 
 // New assembles a snapshot over segments (which must be contiguous and
 // in base order, starting at 0).
 func New(generation uint64, segments []*Segment) *Snapshot {
-	parts := make([]*textindex.Index, len(segments))
-	bases := make([]int32, len(segments))
 	n := 0
-	for i, seg := range segments {
+	for _, seg := range segments {
 		if int(seg.Base) != n {
 			panic("snapshot: segments not contiguous")
+		}
+		n += seg.Len()
+	}
+	return NewSharded(generation, segments, nil)
+}
+
+// NewSharded assembles a snapshot over one shard's segments of a
+// corpus whose remaining documents live on other shards. Segments keep
+// their GLOBAL document IDs, so the ID space seen here has gaps: bases
+// must be ascending and ranges non-overlapping, but need not start at
+// 0 or tile the space. remote carries the term statistics of the
+// documents held elsewhere (nil means none), making every IDF/TF-IDF
+// read corpus-global — bit-identical to a monolithic snapshot over the
+// union. Lookups by ID (Doc, Article, segmentOf) remain valid only for
+// documents this shard owns; dense iteration must walk Segments rather
+// than the ID range.
+func NewSharded(generation uint64, segments []*Segment, remote *textindex.RemoteStats) *Snapshot {
+	parts := make([]*textindex.Index, len(segments))
+	bases := make([]int32, len(segments))
+	n, bound := 0, 0
+	for i, seg := range segments {
+		if int(seg.Base) < bound {
+			panic("snapshot: segments overlap or out of order")
 		}
 		parts[i] = seg.Text
 		bases[i] = seg.Base
 		n += seg.Len()
+		bound = int(seg.Base) + seg.Len()
 	}
 	return &Snapshot{
 		Generation: generation,
 		Segments:   segments,
-		Text:       textindex.NewMerged(parts, bases),
+		Text:       textindex.NewMergedRemote(parts, bases, remote),
 		numDocs:    n,
+		docBound:   bound,
 	}
 }
 
-// NumDocs returns the total document count.
+// NumDocs returns the total document count held locally.
 func (s *Snapshot) NumDocs() int { return s.numDocs }
+
+// DocBound returns one past the highest global document ID held
+// locally. Arrays indexed by global ID must be sized by DocBound, not
+// NumDocs: a sharded snapshot's ID space has gaps, so the two differ.
+// For a contiguous (monolithic) snapshot they are equal.
+func (s *Snapshot) DocBound() int { return s.docBound }
 
 // segmentOf returns the segment owning a global document ID.
 func (s *Snapshot) segmentOf(doc int32) *Segment {
@@ -265,9 +295,12 @@ func (s *Snapshot) EntityMaxTF(v kg.NodeID, fn func(table []BlockTF)) {
 	}
 }
 
-// NumBlocks returns the number of scoring blocks covering the corpus.
+// NumBlocks returns the number of scoring blocks covering the local
+// document-ID range. Block indexes derive from global IDs, so the
+// count is bound-based: a sharded snapshot's blocks cover [0, DocBound)
+// even though gap blocks hold no local documents.
 func (s *Snapshot) NumBlocks() int {
-	return (s.numDocs + BlockSize - 1) / BlockSize
+	return (s.docBound + BlockSize - 1) / BlockSize
 }
 
 // Merge concatenates adjacent segments into one. Raw per-document data

@@ -263,12 +263,40 @@ type Merged struct {
 	bases    []int32
 	n        int
 	totalLen int64
+	remoteDF map[string]int
+}
+
+// RemoteStats carries the term statistics of documents a shard does
+// not hold locally: their count, summed token length, and per-term
+// document frequencies. Folding these into a Merged makes a shard's
+// IDF/TF-IDF arithmetic bit-identical to a monolithic index over the
+// full corpus — DF and N are plain sums over disjoint document sets,
+// so local + remote counts reproduce the global counts exactly.
+type RemoteStats struct {
+	// Docs is the number of remote documents.
+	Docs int
+	// TotalLen is the summed token length of the remote documents.
+	TotalLen int64
+	// DF maps each term to its document frequency among the remote
+	// documents.
+	DF map[string]int
 }
 
 // NewMerged builds a merged view over frozen parts, where parts[i]'s
 // local document 0 has global ID bases[i]. Parts must be sorted by
 // base with no overlaps (the segment layout guarantees this).
 func NewMerged(parts []*Index, bases []int32) *Merged {
+	return NewMergedRemote(parts, bases, nil)
+}
+
+// NewMergedRemote builds a merged view over frozen parts plus the term
+// statistics of remote documents (nil remote means none). Remote
+// documents contribute to NumDocs, DF, IDF, and TotalLen but have no
+// postings here: TF and the saturated half of TFIDF are resolved from
+// local parts only, which is exactly the split a sharded corpus needs —
+// per-document weights come from the shard owning the document, while
+// the IDF damping uses global counts.
+func NewMergedRemote(parts []*Index, bases []int32, remote *RemoteStats) *Merged {
 	if len(parts) != len(bases) {
 		panic("textindex: parts/bases length mismatch")
 	}
@@ -277,6 +305,11 @@ func NewMerged(parts []*Index, bases []int32) *Merged {
 		p.freeze()
 		m.n += p.n
 		m.totalLen += p.totalLen
+	}
+	if remote != nil {
+		m.n += remote.Docs
+		m.totalLen += remote.TotalLen
+		m.remoteDF = remote.DF
 	}
 	return m
 }
@@ -302,14 +335,19 @@ func (m *Merged) locate(doc int32) (*Index, int32) {
 // NumDocs returns the total number of documents across parts.
 func (m *Merged) NumDocs() int { return m.n }
 
-// DF returns the corpus-global document frequency of a term.
+// DF returns the corpus-global document frequency of a term,
+// including remote documents when the view carries remote statistics.
 func (m *Merged) DF(term string) int {
-	df := 0
+	df := m.remoteDF[term]
 	for _, p := range m.parts {
 		df += p.DF(term)
 	}
 	return df
 }
+
+// TotalLen returns the summed token length across parts (plus remote
+// documents when present).
+func (m *Merged) TotalLen() int64 { return m.totalLen }
 
 // IDF returns the BM25 inverse document frequency of a term over the
 // merged corpus — the same formula as Index.IDF with summed counts.

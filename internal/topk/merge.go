@@ -1,0 +1,38 @@
+package topk
+
+// MergeSorted is the exact cross-shard merge primitive: a k-way merge
+// of lists that are each already sorted by cmp (negative when a orders
+// before b), returning the first k items of the merged order — all of
+// them when k < 0 or k exceeds the total.
+//
+// Exactness argument: when the inputs are per-shard top-(k) pages over
+// disjoint item sets under one total order (callers break score ties
+// with a unique key such as the document ID), every global top-k item
+// is in its owning shard's page, so the merged k-prefix equals the page
+// a single index over the union would have returned. No rescoring is
+// needed — only that cmp is the same total order the shards ranked by.
+func MergeSorted[T any](lists [][]T, cmp func(a, b T) int, k int) []T {
+	total := 0
+	for _, l := range lists {
+		total += len(l)
+	}
+	if k < 0 || k > total {
+		k = total
+	}
+	out := make([]T, 0, k)
+	cursors := make([]int, len(lists))
+	for len(out) < k {
+		best := -1
+		for i, l := range lists {
+			if cursors[i] >= len(l) {
+				continue
+			}
+			if best < 0 || cmp(l[cursors[i]], lists[best][cursors[best]]) < 0 {
+				best = i
+			}
+		}
+		out = append(out, lists[best][cursors[best]])
+		cursors[best]++
+	}
+	return out
+}

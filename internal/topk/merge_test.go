@@ -1,0 +1,60 @@
+package topk
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+func cmpInt(a, b int) int { return a - b }
+
+func TestMergeSorted(t *testing.T) {
+	lists := [][]int{{1, 4, 9}, {2, 3, 10}, {}, {5}}
+	if got := MergeSorted(lists, cmpInt, 4); !reflect.DeepEqual(got, []int{1, 2, 3, 4}) {
+		t.Fatalf("prefix merge = %v", got)
+	}
+	if got := MergeSorted(lists, cmpInt, -1); !reflect.DeepEqual(got, []int{1, 2, 3, 4, 5, 9, 10}) {
+		t.Fatalf("full merge = %v", got)
+	}
+	if got := MergeSorted(lists, cmpInt, 100); len(got) != 7 {
+		t.Fatalf("over-asked merge returned %d items", len(got))
+	}
+	if got := MergeSorted(nil, cmpInt, 3); len(got) != 0 {
+		t.Fatalf("empty input merged to %v", got)
+	}
+}
+
+// TestMergeSortedRandom cross-checks the k-way merge against sort over
+// the concatenation: partition a random multiset into sorted lists and
+// every merged prefix must equal the globally sorted prefix.
+func TestMergeSortedRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		nLists := 1 + rng.Intn(5)
+		lists := make([][]int, nLists)
+		var all []int
+		for i := range lists {
+			for j := 0; j < rng.Intn(20); j++ {
+				v := rng.Intn(40)
+				lists[i] = append(lists[i], v)
+				all = append(all, v)
+			}
+			sort.Ints(lists[i])
+		}
+		sort.Ints(all)
+		for _, k := range []int{0, 1, 3, len(all), len(all) + 5, -1} {
+			want := all
+			if k >= 0 && k < len(all) {
+				want = all[:k]
+			}
+			got := MergeSorted(lists, cmpInt, k)
+			if len(got) == 0 && len(want) == 0 {
+				continue
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("trial %d k=%d: merged %v want %v", trial, k, got, want)
+			}
+		}
+	}
+}

@@ -65,6 +65,14 @@ type Config struct {
 	// AlertBuffer is the per-watchlist alert retention window — the ring
 	// capacity backing SSE catch-up and webhook redelivery (default 256).
 	AlertBuffer int
+	// ShardCount > 1 builds this Explorer as one shard of a federated
+	// corpus: it indexes only the Shard-th doc-disjoint slice of the
+	// seed corpus (keeping global document IDs) and expects peer
+	// statistics via the engine's SetRemoteStats exchange before its
+	// scores are corpus-global. Zero or one means monolithic.
+	ShardCount int
+	// Shard is this node's shard index in [0, ShardCount).
+	Shard int
 }
 
 // Article is one roll-up result. Explanations are present when the
@@ -245,7 +253,15 @@ func New(cfg Config) (*Explorer, error) {
 		Beta:        cfg.Beta,
 		MaxSegments: cfg.MaxSegments,
 	})
-	engine.IndexCorpus(c)
+	if cfg.ShardCount > 1 {
+		if cfg.Shard < 0 || cfg.Shard >= cfg.ShardCount {
+			return nil, newErrorf(CodeInvalidArgument,
+				"ncexplorer: shard index %d out of range [0, %d)", cfg.Shard, cfg.ShardCount)
+		}
+		engine.IndexCorpusSharded(c, cfg.Shard, cfg.ShardCount)
+	} else {
+		engine.IndexCorpus(c)
+	}
 	x := &Explorer{g: g, meta: meta, engine: engine, ccfg: ccfg, scale: scale}
 	x.initWatch(watch.Options{MaxWatchlists: cfg.MaxWatchlists, AlertBuffer: cfg.AlertBuffer})
 	return x, nil
@@ -367,16 +383,23 @@ func QueryKey(op string, concepts []string, k int) string {
 // errors: an unknown name yields CodeUnknownConcept with
 // nearest-concept suggestions in Details.
 func (x *Explorer) resolveConcepts(names []string) (core.Query, error) {
+	return resolveConceptsOn(x.g, names)
+}
+
+// resolveConceptsOn is resolveConcepts over an explicit graph — shared
+// with QueryWorld, so a corpus-less router validates and resolves
+// queries with the same typed errors a shard would produce.
+func resolveConceptsOn(g *kg.Graph, names []string) (core.Query, error) {
 	if len(names) == 0 {
 		return nil, newErrorf(CodeInvalidArgument, "ncexplorer: empty concept query")
 	}
 	q := make(core.Query, 0, len(names))
 	for _, name := range names {
-		id, ok := x.g.Lookup(name)
+		id, ok := g.Lookup(name)
 		if !ok {
-			return nil, x.unknownConceptError(name)
+			return nil, unknownConceptErrorOn(g, name)
 		}
-		if !x.g.IsConcept(id) {
+		if !g.IsConcept(id) {
 			return nil, newErrorf(CodeInvalidArgument,
 				"ncexplorer: %q is an entity, not a concept (try ConceptsForEntity)", name)
 		}
@@ -461,9 +484,14 @@ func (x *Explorer) TopicKeywords(concept string, n int) ([]string, error) {
 // unknownConceptError builds the typed unknown-concept error with its
 // nearest-concept suggestions.
 func (x *Explorer) unknownConceptError(concept string) *Error {
+	return unknownConceptErrorOn(x.g, concept)
+}
+
+// unknownConceptErrorOn is unknownConceptError over an explicit graph.
+func unknownConceptErrorOn(g *kg.Graph, concept string) *Error {
 	e := newErrorf(CodeUnknownConcept, "ncexplorer: unknown concept %q", concept)
 	e.Details = map[string]any{"concept": concept}
-	if sugg := x.SuggestConcepts(concept, maxSuggestions); len(sugg) > 0 {
+	if sugg := suggestConceptsOn(g, concept, maxSuggestions); len(sugg) > 0 {
 		e.Details["suggestions"] = sugg
 	}
 	return e

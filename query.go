@@ -311,6 +311,12 @@ const maxSuggestions = 5
 // edit-distance neighbours — the "did you mean" list behind
 // CodeUnknownConcept errors.
 func (x *Explorer) SuggestConcepts(name string, n int) []string {
+	return suggestConceptsOn(x.g, name, n)
+}
+
+// suggestConceptsOn is SuggestConcepts over an explicit graph (shared
+// with QueryWorld).
+func suggestConceptsOn(g *kg.Graph, name string, n int) []string {
 	if n <= 0 || strings.TrimSpace(name) == "" {
 		return nil
 	}
@@ -323,8 +329,8 @@ func (x *Explorer) SuggestConcepts(name string, n int) []string {
 		rank int // lower is better
 	}
 	var cands []scored
-	x.g.Concepts(func(c kg.NodeID) bool {
-		cname := x.g.Name(c)
+	g.Concepts(func(c kg.NodeID) bool {
+		cname := g.Name(c)
 		lower := strings.ToLower(cname)
 		switch {
 		case lower == needle:
