@@ -128,6 +128,7 @@ func main() {
 	sessionTTL := flag.Duration("session-ttl", 30*time.Minute, "idle lifetime of exploration sessions")
 	maxSessions := flag.Int("max-sessions", 1024, "maximum live exploration sessions (LRU eviction beyond)")
 	ingest := flag.Bool("ingest", false, "enable POST /v2/ingest (live article ingestion)")
+	ingestPipeline := flag.Bool("ingest-pipeline", true, "overlap ingest checkpoints with analysis (false: each batch blocks until its checkpoint is on disk)")
 	maxIngestBatch := flag.Int("max-ingest-batch", 1024, "maximum articles per /v2/ingest call")
 	maxSegments := flag.Int("max-segments", 4, "index segment count above which background merges trigger")
 	watch := flag.String("watch", "", "directory to poll for *.json article batches to ingest")
@@ -191,6 +192,9 @@ func main() {
 			// leader this is also the replication feed: replicas poll the
 			// checkpointed snapshot directory.
 			x.CheckpointTo(*dataDir)
+		}
+		if !*ingestPipeline {
+			x.SetIngestPipeline(false)
 		}
 		if *role == "leader" && !ncexplorer.HasSnapshot(*dataDir) {
 			// A cold-built leader publishes its seed snapshot immediately:

@@ -28,6 +28,10 @@ type IngestResult struct {
 	Generation uint64 `json:"generation"`
 	// TotalArticles is the corpus size after the batch.
 	TotalArticles int `json:"total_articles"`
+	// PersistSeq is the batch's checkpoint sequence: pass it to
+	// WaitDurable to block until the checkpoint covering this batch has
+	// been attempted. It is a process-local handle, not API surface.
+	PersistSeq uint64 `json:"-"`
 }
 
 // Ingest indexes a batch of articles into the live corpus and
@@ -71,8 +75,24 @@ func (x *Explorer) Ingest(ctx context.Context, articles []IngestArticle) (Ingest
 		Accepted:      res.Docs,
 		Generation:    res.Generation,
 		TotalArticles: res.TotalDocs,
+		PersistSeq:    res.PersistSeq,
 	}, nil
 }
+
+// WaitDurable blocks until the checkpoint attempt covering seq (an
+// IngestResult.PersistSeq) has completed — the durability barrier a
+// serving layer runs before acknowledging a batch. Ingest itself
+// returns at commit: the batch is queryable immediately, and its
+// checkpoint drains through the group-commit writer while later
+// batches analyze and commit. A zero seq returns immediately.
+func (x *Explorer) WaitDurable(seq uint64) { x.engine.WaitPersisted(seq) }
+
+// SetIngestPipeline toggles overlapped checkpointing. On (the
+// default), Ingest returns at commit and checkpoints drain through the
+// group-commit writer. Off, every Ingest blocks until its checkpoint
+// attempt finished — the pre-pipeline latency profile, for deployments
+// that want the simpler one-batch-at-a-time durability story.
+func (x *Explorer) SetIngestPipeline(on bool) { x.engine.SetSyncPersist(!on) }
 
 // resolveSource maps one source name to its corpus source.
 func resolveSource(name string) (corpus.Source, error) {

@@ -91,6 +91,7 @@ func BenchmarkSegmentShipping(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+	x.Quiesce() // checkpoints drain asynchronously; ship the final manifest
 	srv := httptest.NewServer(server.New(x, server.Options{ClusterDataDir: dir}).Handler())
 	defer srv.Close()
 
@@ -107,45 +108,67 @@ func BenchmarkSegmentShipping(b *testing.B) {
 	b.ReportMetric(float64(shipped)/b.Elapsed().Seconds(), "ship-B/s")
 }
 
-// BenchmarkLeaderIngest is the gate for the leader-ingest plan-reuse
-// mitigation: ingest throughput with CheckpointTo armed (every batch
-// both commits a segment and publishes a snapshot — the exact path a
-// cluster leader runs on every ingest) against plain ingest, measured
-// back-to-back in the same invocation so the ratio is comparable.
+// BenchmarkLeaderIngest is the gate for leader-ingest durability
+// overhead: ingest throughput with CheckpointTo armed (every batch
+// both commits a segment and publishes a durable snapshot — the exact
+// path a cluster leader runs on every ingest) against plain ingest.
+// Each run is a FIXED experiment — a fresh explorer ingesting the same
+// 16 batches, drained to disk inside the timed region — so both modes
+// measure identical work at identical corpus size regardless of b.N.
+// The two modes are PAIRED: every iteration times one plain and one
+// checkpointing run back to back (order alternating), so the reported
+// ratio (durable-pct) compares runs that shared the machine's state,
+// instead of two sub-benchmarks minutes apart whose difference is
+// mostly host drift.
 func BenchmarkLeaderIngest(b *testing.B) {
-	for _, mode := range []string{"plain", "checkpointing"} {
-		b.Run(mode, func(b *testing.B) {
-			ctx := context.Background()
-			x, err := ncexplorer.New(ncexplorer.Config{Scale: "tiny"})
+	ctx := context.Background()
+	const batchSize = 16
+	const numBatches = 16
+	run := func(checkpoint bool) time.Duration {
+		x, err := ncexplorer.New(ncexplorer.Config{Scale: "tiny"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if checkpoint {
+			dir := b.TempDir()
+			if err := x.Save(dir); err != nil {
+				b.Fatal(err)
+			}
+			x.CheckpointTo(dir)
+		}
+		batches := make([][]ncexplorer.IngestArticle, numBatches)
+		for j := range batches {
+			batch, err := x.SampleArticles(uint64(100+j), batchSize)
 			if err != nil {
 				b.Fatal(err)
 			}
-			if mode == "checkpointing" {
-				dir := b.TempDir()
-				if err := x.Save(dir); err != nil {
-					b.Fatal(err)
-				}
-				x.CheckpointTo(dir)
+			batches[j] = batch
+		}
+		start := time.Now()
+		for _, batch := range batches {
+			if _, err := x.Ingest(ctx, batch); err != nil {
+				b.Fatal(err)
 			}
-			const batchSize = 16
-			batches := make([][]ncexplorer.IngestArticle, 8)
-			for i := range batches {
-				batch, err := x.SampleArticles(uint64(100+i), batchSize)
-				if err != nil {
-					b.Fatal(err)
-				}
-				batches[i] = batch
-			}
-			docs := 0
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				if _, err := x.Ingest(ctx, batches[i%len(batches)]); err != nil {
-					b.Fatal(err)
-				}
-				docs += batchSize
-			}
-			b.StopTimer()
-			b.ReportMetric(float64(docs)/b.Elapsed().Seconds(), "docs/sec")
-		})
+		}
+		// Drain merges and the group-commit writer inside the timed
+		// region: the gate compares DURABLE throughput, so coalesced
+		// checkpoint writes are part of the measured work (and the
+		// TempDir outlives every pending write).
+		x.Quiesce()
+		return time.Since(start)
 	}
+	var plainT, ckptT time.Duration
+	for i := 0; i < b.N; i++ {
+		if i%2 == 0 {
+			plainT += run(false)
+			ckptT += run(true)
+		} else {
+			ckptT += run(true)
+			plainT += run(false)
+		}
+	}
+	docs := float64(numBatches * batchSize * b.N)
+	b.ReportMetric(docs/plainT.Seconds(), "plain-docs/sec")
+	b.ReportMetric(docs/ckptT.Seconds(), "ckpt-docs/sec")
+	b.ReportMetric(100*plainT.Seconds()/ckptT.Seconds(), "durable-pct")
 }

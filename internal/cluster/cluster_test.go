@@ -132,9 +132,15 @@ func (tc *testCluster) ingest(target int, seed uint64, n int) {
 	if err != nil {
 		tc.t.Fatal(err)
 	}
-	if _, err := tc.leaders[target].x.Ingest(tc.ctx, batch); err != nil {
+	res, err := tc.leaders[target].x.Ingest(tc.ctx, batch)
+	if err != nil {
 		tc.t.Fatal(err)
 	}
+	// The replicas below ship the leader's ON-DISK manifest, and the
+	// checkpoint writer is asynchronous: wait for the batch's durability
+	// barrier (as a polling replica effectively does in production)
+	// before catching them up.
+	tc.leaders[target].x.WaitDurable(res.PersistSeq)
 	if _, err := tc.monoX.Ingest(tc.ctx, batch); err != nil {
 		tc.t.Fatal(err)
 	}

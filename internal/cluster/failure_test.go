@@ -194,6 +194,7 @@ func TestReplicaRestartFetchesOnlyMissingSegments(t *testing.T) {
 	if _, err := x.Ingest(ctx, batch); err != nil {
 		t.Fatal(err)
 	}
+	x.Quiesce() // the checkpoint lands asynchronously; replicas ship durable state
 
 	// "Restart": a fresh fetcher over the surviving mirror. It must ship
 	// only the delta.

@@ -110,8 +110,12 @@ func (f *Fetcher) Sync(ctx context.Context) (*segio.Manifest, bool, error) {
 			return nil, false, err
 		}
 	}
-	// Every referenced file is in place and verified; publishing the
-	// manifest is the atomic commit point.
+	// Every referenced file is in place and verified; one directory
+	// fsync makes all their renames durable before the manifest —
+	// the atomic commit point — is published.
+	if err := segio.SyncDir(f.Dir); err != nil {
+		return nil, false, err
+	}
 	if err := segio.WriteFileAtomic(f.Dir, segio.ManifestName, raw); err != nil {
 		return nil, false, err
 	}
@@ -187,7 +191,9 @@ func (f *Fetcher) fetchFile(ctx context.Context, name string, want uint32) error
 		return fmt.Errorf("cluster: fetched %s: checksum %08x does not match expected %08x", name, sum, want)
 	}
 	f.segmentsFetched.Add(1)
-	if err := segio.WriteFileAtomic(f.Dir, name, body); err != nil {
+	// Deferred dirsync: Sync's manifest publish syncs the directory once
+	// for every file fetched in the round.
+	if err := segio.WriteFileDeferSync(f.Dir, name, body); err != nil {
 		return err
 	}
 	os.Remove(part)

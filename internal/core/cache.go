@@ -17,11 +17,12 @@ import (
 //
 //   - per generation (swapped with the snapshot, so an ingest
 //     invalidates them wholesale without a flush):
-//     cdrMemo memoises full cdr(c, d) values under the same key the
-//     snapshot build pre-seeds; the per-concept matching-document
-//     lists (Definition 1 semantics) live in the generation's concept
-//     plans (plan.go), precomputed at swap time rather than memoised
-//     on demand;
+//     cdrMemo memoises cdr(c, d) for NON-matching pairs only (delta
+//     evaluation probes arbitrary keys); matching pairs are answered
+//     straight from the generation's concept plans (plan.go), which
+//     also carry the per-concept matching-document lists (Definition
+//     1 semantics), precomputed at swap time rather than memoised on
+//     demand;
 //   - engine-wide (valid forever): connMemo holds the
 //     context-relevance factor cdrc(c, d) — the random-walk part of
 //     cdr, a pure function of graph + document — and the extent cache
@@ -46,7 +47,8 @@ const (
 // serving layer surfaces it through /statsz.
 type CacheStats struct {
 	// CDR is the (concept, document) relevance memo (current
-	// generation).
+	// generation). Matching pairs are served from the plans without
+	// touching it, so its entries are on-demand non-matching probes.
 	CDR shardmap.Stats `json:"cdr"`
 	// Match reports the concept→matching-documents plans (current
 	// generation). Plans are precomputed at swap time, so Entries is
@@ -83,21 +85,19 @@ func (st *genState) getScorer() *relevance.Scorer {
 
 func (st *genState) putScorer(s *relevance.Scorer) { st.scorers.Put(s) }
 
-// seedMemos stores every planned (concept, document) score into the
-// cdr memo (the cache's post-build baseline — the delta-evaluation
-// path reads cdr by key) and pins the walked context factors in the
+// reseedConn pins every walked context factor back into the
 // engine-wide connectivity memo — after a ResetQueryCaches this
 // restores connMemo to exactly the state a fresh build of this
 // generation would leave behind. Pairs whose ontology factor is zero
-// were never walked and stay out of the connectivity memo.
-func (st *genState) seedMemos() {
+// were never walked and stay out of the connectivity memo. (Planned
+// cdr values need no re-seeding: st.cdr reads them straight out of
+// the plans, so the swap path never copies them into a map.)
+func (st *genState) reseedConn() {
 	for c := range st.plans {
 		p := &st.plans[c]
 		for i, d := range p.docs {
-			key := cdrKey(kg.NodeID(c), d)
-			st.cdrMemo.Store(key, cdrEntry{cdr: p.scores[i], pivot: p.pivots[i]})
 			if p.ont[i] > 0 {
-				st.e.connMemo.Store(key, p.cdrc[i])
+				st.e.connMemo.Store(cdrKey(kg.NodeID(c), d), p.cdrc[i])
 			}
 		}
 	}

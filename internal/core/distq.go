@@ -140,7 +140,7 @@ func (e *Engine) DrillDownPartials(ctx context.Context, q Query) (DrillDownParti
 			}
 		}
 		row := DrillDownRow{Doc: d, NumEnts: int32(len(st.ents[d]))}
-		for _, cs := range st.concepts[d] {
+		for _, cs := range st.docConcepts(d) {
 			if queryHas(q, cs.Concept) {
 				continue
 			}

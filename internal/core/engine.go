@@ -32,7 +32,7 @@ package core
 import (
 	"context"
 	"runtime"
-	"sort"
+	"slices"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -74,6 +74,16 @@ type Options struct {
 	Exact bool
 	// ReachCache bounds the reachability index's resident tables.
 	ReachCache int
+	// PersistWindow is the group-commit batching window: before each
+	// checkpoint write the persist goroutine holds the queue open this
+	// long and adopts the newest pending job, so commits arriving
+	// within a window share one fsync cycle. The window only opens
+	// while NO goroutine is blocked on durability and closes the moment
+	// one registers (see persistLoop), so commit latency and durable-ack
+	// latency are both unaffected — batching happens exactly when
+	// nobody is waiting for the ack. 0 ⇒ 5ms; negative ⇒ disabled
+	// (only the one-slot queue's natural coalescing remains).
+	PersistWindow time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -97,6 +107,11 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxSegments <= 0 {
 		o.MaxSegments = 4
+	}
+	if o.PersistWindow == 0 {
+		o.PersistWindow = 5 * time.Millisecond
+	} else if o.PersistWindow < 0 {
+		o.PersistWindow = 0
 	}
 	return o
 }
@@ -238,8 +253,31 @@ type Engine struct {
 
 	// persist tracks durable-snapshot state: counters, the optional
 	// checkpoint directory, and the segment→file name cache (see
-	// persist.go). Mutable fields are guarded by ingestMu.
+	// persist.go). Mutable fields are guarded by ingestMu except where
+	// noted (the writer-side fields move under gc.writeMu).
 	persist persistState
+
+	// gc is the group-commit checkpoint writer: commits enqueue their
+	// state here and the encode+fsync happen off the commit path (see
+	// groupcommit.go). syncPersist restores the legacy behavior of
+	// blocking each Ingest until its checkpoint attempt completed.
+	gc          groupCommit
+	syncPersist atomic.Bool
+
+	// candPool pools the per-worker candidate-concept enumeration
+	// scratch (stamp marks sized by the graph); planPool pools the
+	// per-worker plan-builder scratch (stamp arrays sized by the
+	// document bound and block count). Both grow monotonically.
+	candPool sync.Pool
+	planPool sync.Pool
+
+	// plannedEnts lists every entity occurring as a posting key in the
+	// indexed segments (entSeen marks membership) — the planner's IDF
+	// table iterates this instead of re-walking every segment's posting
+	// map each generation. Extended for new segments only under reuse;
+	// guarded by ingestMu.
+	plannedEnts []kg.NodeID
+	entSeen     []bool
 
 	// Sharded serving (see shard.go): remote carries the other shards'
 	// term statistics when this engine holds one shard of a federated
@@ -267,8 +305,14 @@ type genState struct {
 
 	// concepts holds each document's kept candidate scores at this
 	// generation (the cdr postings driving drill-down coverage),
-	// indexed by global doc ID.
-	concepts [][]ConceptScore
+	// indexed by global doc ID. Slots fill lazily on first access
+	// (docConcepts): the scores are a pure projection of the plans, so
+	// deriving them per queried document instead of eagerly for the
+	// whole corpus keeps the ingest commit path O(batch), and every
+	// reader still sees byte-identical values. States whose plans are
+	// shared verbatim (merge rebuilds, cache resets) share the slot
+	// array too, so warm entries survive those swaps.
+	concepts []atomic.Pointer[[]ConceptScore]
 
 	// ents maps global doc ID to the document's entity list — the same
 	// slices snap.Doc returns, resolved once per generation so the
@@ -283,9 +327,19 @@ type genState struct {
 	plans   []conceptPlan
 	planned int
 
+	// entIDFN is this generation's normalised per-entity IDF table
+	// (idfN(v) = IDF(v)/idfMax), retained for the lazy ceiling builder;
+	// ceil guards the once-per-(concept, generation) materialisation of
+	// each plan's pruning blocks (ensureCeilings). Both are shared,
+	// like the plans themselves, by states that carry plans over
+	// verbatim.
+	entIDFN []float64
+	ceil    *ceilState
+
 	// Query-path memoisation, valid for this generation only: cdrMemo
-	// caches full cdr(c, d) values, pre-seeded from the plans (the
-	// delta-evaluation path reads it by key).
+	// caches cdr(c, d) values for non-matching pairs (the
+	// delta-evaluation path probes arbitrary keys); matching pairs are
+	// read straight from the plans.
 	cdrMemo *shardmap.Map[uint64, cdrEntry]
 
 	// scorers pools per-goroutine relevance scorers whose DocView is
@@ -331,6 +385,10 @@ func NewEngine(g *kg.Graph, opts Options) *Engine {
 	}
 	e.scratch.New = func() any { return newQueryScratch(g.NumNodes()) }
 	e.divPool.New = func() any { return &divScratch{stamp: make([]uint32, g.NumNodes())} }
+	e.candPool.New = func() any { return &candScratch{stamp: make([]uint32, g.NumNodes())} }
+	e.planPool.New = func() any { return &planScratch{} }
+	e.gc.cond = sync.NewCond(&e.gc.mu)
+	e.gc.waiterCh = make(chan struct{}, 1)
 	if !opts.Exact {
 		e.reachIx = reach.New(g, opts.Tau, opts.ReachCache)
 	}
@@ -407,20 +465,43 @@ func (e *Engine) buildSegment(ctx context.Context, articles []corpus.Document, b
 		return nil, nil, 0, err
 	}
 
-	// Phase B — sequential: per-document records (entities, raw term
-	// frequencies, candidate concepts) and per-source mention stats.
-	perSource := make(map[corpus.Source]corpus.SourceStats)
+	// Phase B — per-document records (entities, raw term frequencies,
+	// candidate concepts) in parallel: each document's record depends
+	// only on its own annotation. The per-source mention stats and the
+	// link-time total fold afterwards in document order, so the
+	// aggregates are deterministic regardless of worker interleaving.
 	docs := make([]snapshot.DocRecord, n)
-	var totalLink int64
-	for i := 0; i < n; i++ {
+	scratches := make([]*candScratch, e.opts.Workers)
+	e.parallelWorker(n, func(worker, i int) {
+		if ctx.Err() != nil {
+			return
+		}
+		cs := scratches[worker]
+		if cs == nil {
+			cs = e.candPool.Get().(*candScratch)
+			scratches[worker] = cs
+		}
 		ann := anns[i]
 		ents := ann.Entities()
 		docs[i] = snapshot.DocRecord{
 			Source:     articles[i].Source,
 			Entities:   ents,
 			EntityFreq: ann.EntityFreq,
-			Candidates: e.candidateConcepts(ents),
+			Candidates: e.candidateConcepts(ents, cs),
 		}
+	})
+	for _, cs := range scratches {
+		if cs != nil {
+			e.candPool.Put(cs)
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, nil, 0, err
+	}
+	perSource := make(map[corpus.Source]corpus.SourceStats)
+	var totalLink int64
+	for i := 0; i < n; i++ {
+		ann := anns[i]
 		ss := perSource[articles[i].Source]
 		ss.Source = articles[i].Source
 		ss.Articles++
@@ -432,17 +513,32 @@ func (e *Engine) buildSegment(ctx context.Context, articles []corpus.Document, b
 	return snapshot.BuildSegment(base, docs, articles), perSource, totalLink, nil
 }
 
+// candScratch is the pooled per-worker scratch for candidateConcepts:
+// stamp marks sized by the graph (reset by bumping gen, like
+// queryScratch) and a reusable accumulation buffer.
+type candScratch struct {
+	stamp []uint32
+	gen   uint32
+	buf   []kg.NodeID
+}
+
 // candidateConcepts enumerates a document's candidate subtopic
 // concepts: the direct Ψ⁻¹ concepts of its entities plus
 // AncestorLevels of `broader` parents. Pure graph data — the set is
-// the same at every generation; only the scores change.
-func (e *Engine) candidateConcepts(ents []kg.NodeID) []kg.NodeID {
-	seen := make(map[kg.NodeID]struct{})
-	var candidates []kg.NodeID
+// the same at every generation; only the scores change. The returned
+// slice is freshly allocated (it outlives the scratch inside the
+// document's record); dedup marks and accumulation reuse cs.
+func (e *Engine) candidateConcepts(ents []kg.NodeID, cs *candScratch) []kg.NodeID {
+	cs.gen++
+	if cs.gen == 0 {
+		clear(cs.stamp)
+		cs.gen = 1
+	}
+	buf := cs.buf[:0]
 	add := func(c kg.NodeID) {
-		if _, ok := seen[c]; !ok {
-			seen[c] = struct{}{}
-			candidates = append(candidates, c)
+		if cs.stamp[c] != cs.gen {
+			cs.stamp[c] = cs.gen
+			buf = append(buf, c)
 		}
 	}
 	for _, v := range ents {
@@ -453,7 +549,11 @@ func (e *Engine) candidateConcepts(ents []kg.NodeID) []kg.NodeID {
 			}
 		}
 	}
-	return snapshot.SortedCandidates(candidates)
+	cs.buf = buf
+	if len(buf) == 0 {
+		return nil
+	}
+	return snapshot.SortedCandidates(append([]kg.NodeID(nil), buf...))
 }
 
 // buildSnapshot assembles the snapshot for the engine's sharding mode:
@@ -491,41 +591,67 @@ func localDocs(snap *snapshot.Snapshot) []int32 {
 // buildPlans). Returns the state and the summed per-document scoring
 // nanoseconds.
 func (e *Engine) buildState(gen uint64, segs []*snapshot.Segment, prev *genState) (*genState, int64) {
-	st := e.newStateShell(e.buildSnapshot(gen, segs))
-	st.concepts = make([][]ConceptScore, st.snap.DocBound())
+	st := e.newStateShell(e.buildSnapshot(gen, segs), prev)
+	st.concepts = make([]atomic.Pointer[[]ConceptScore], st.snap.DocBound())
 
 	workerScorers := make([]*relevance.Scorer, e.opts.Workers)
 	for w := range workerScorers {
 		workerScorers[w] = relevance.NewScorer(e.g, st, e.reachIx, e.scorerOpts())
 	}
 	total := e.buildPlans(st, workerScorers, prev)
-	locals := localDocs(st.snap)
-	scoreNanos := make([]int64, len(locals))
-	e.parallelWorker(len(locals), func(worker, i int) {
+	if prev == nil {
+		// Seed build / snapshot open: fill the per-document score view
+		// eagerly so the first queries after boot find it warm, and so
+		// IndexStats reports the real scoring cost. Rebuilds after an
+		// ingest skip this — the slots fill lazily on first access
+		// (docConcepts), keeping the commit path O(batch).
+		locals := localDocs(st.snap)
+		selBufs := make([][]candSel, e.opts.Workers)
 		start := time.Now()
-		d := locals[i]
-		st.concepts[d] = st.deriveDocScores(d)
-		scoreNanos[i] = time.Since(start).Nanoseconds()
-	})
-	for _, ns := range scoreNanos {
-		total += ns
+		e.parallelWorker(len(locals), func(worker, i int) {
+			d := locals[i]
+			out := st.deriveDocScores(st.buildCandRefs(d), &selBufs[worker])
+			st.concepts[d].Store(&out)
+		})
+		total += time.Since(start).Nanoseconds()
 	}
-	st.seedMemos()
 	return st, total
 }
 
 // newStateShell allocates a genState with empty memos and a scorer
-// pool bound to it.
-func (e *Engine) newStateShell(snap *snapshot.Snapshot) *genState {
+// pool bound to it. prev, when non-nil, donates its per-document
+// entity table: the rows are generation-independent (a document's
+// entity list never changes once ingested), so a rebuild over the
+// same document range shares the table outright and a growing range
+// copies the prefix and resolves only the new segments.
+func (e *Engine) newStateShell(snap *snapshot.Snapshot, prev *genState) *genState {
 	st := &genState{
 		e:       e,
 		snap:    snap,
 		cdrMemo: shardmap.New[uint64, cdrEntry](cdrShards, hashCDRKey),
 	}
-	st.ents = make([][]kg.NodeID, snap.DocBound())
-	for _, seg := range snap.Segments {
-		for i := range seg.Docs {
-			st.ents[seg.Base+int32(i)] = seg.Docs[i].Entities
+	bound := snap.DocBound()
+	prevBound := 0
+	if prev != nil {
+		prevBound = len(prev.ents)
+	}
+	switch {
+	case prev != nil && prevBound == bound:
+		st.ents = prev.ents
+	default:
+		st.ents = make([][]kg.NodeID, bound)
+		if prev != nil && prevBound < bound {
+			copy(st.ents, prev.ents)
+		} else {
+			prevBound = 0
+		}
+		for _, seg := range snap.Segments {
+			if int(seg.Base)+seg.Len() <= prevBound {
+				continue
+			}
+			for i := range seg.Docs {
+				st.ents[seg.Base+int32(i)] = seg.Docs[i].Entities
+			}
 		}
 	}
 	st.scorers.New = func() any {
@@ -534,51 +660,158 @@ func (e *Engine) newStateShell(snap *snapshot.Snapshot) *genState {
 	return st
 }
 
-// deriveDocScores computes one document's kept candidate scores at
-// this generation by looking up the already-built plans: rank the
-// candidates by the ontology relevance, keep the cap, and attach the
-// precomputed context factor. Identical output to scoring on demand —
-// a candidate matches the document exactly when it appears in the
-// concept's plan, and the plan carries the same cdro/pivot/cdrc
-// values the scorer would produce.
-func (st *genState) deriveDocScores(doc int32) []ConceptScore {
+// planRef locates one matching candidate of a document: the concept
+// and the document's row index in that concept's plan. Matching is
+// doc-local and plan doc arrays are append-only along reuse chains,
+// so a document's refs are computed once and reused every generation.
+type planRef struct {
+	c   kg.NodeID
+	idx int32
+}
+
+// noPlanRefs marks "computed, no matching candidates" in the cache
+// (distinguishable from a nil never-computed row).
+var noPlanRefs = []planRef{}
+
+// buildCandRefs resolves a document's candidate list against the
+// current plans once. A candidate matches the document exactly when
+// it appears in the concept's plan.
+func (st *genState) buildCandRefs(doc int32) []planRef {
 	rec := st.snap.Doc(doc)
-	type cand struct {
-		c     kg.NodeID
-		idx   int
-		cdro  float64
-		pivot kg.NodeID
-	}
-	scored := make([]cand, 0, len(rec.Candidates))
+	var refs []planRef
 	for _, c := range rec.Candidates {
-		p := st.plan(c)
-		idx := p.planIdx(doc)
-		if idx < 0 {
-			continue
-		}
-		if cdro := p.ont[idx]; cdro > 0 {
-			scored = append(scored, cand{c, idx, cdro, p.pivots[idx]})
+		if idx := st.plan(c).planIdx(doc); idx >= 0 {
+			refs = append(refs, planRef{c: c, idx: int32(idx)})
 		}
 	}
-	sort.Slice(scored, func(i, j int) bool {
-		if scored[i].cdro != scored[j].cdro {
-			return scored[i].cdro > scored[j].cdro
+	if refs == nil {
+		return noPlanRefs
+	}
+	return refs
+}
+
+// docConcepts returns document d's kept candidate scores at this
+// generation, deriving and caching them on first access. The derived
+// slice is a pure projection of the plans, so concurrent first
+// accesses compute identical values and any winner of the slot store
+// is correct. Documents this snapshot does not hold locally (a
+// shard's ID-space gaps) return nil, as the eager path never filled
+// them.
+func (st *genState) docConcepts(d int32) []ConceptScore {
+	if int(d) >= len(st.concepts) {
+		return nil
+	}
+	slot := &st.concepts[d]
+	if p := slot.Load(); p != nil {
+		return *p
+	}
+	if !st.snap.HasDoc(d) {
+		return nil
+	}
+	var selBuf []candSel
+	out := st.deriveDocScores(st.buildCandRefs(d), &selBuf)
+	slot.Store(&out)
+	return out
+}
+
+// candSel is the per-worker selection scratch row for deriveDocScores'
+// capped path.
+type candSel struct {
+	c    kg.NodeID
+	idx  int32
+	cdro float64
+}
+
+// deriveDocScores computes one document's kept candidate scores at
+// this generation from its resolved plan refs: rank by the ontology
+// relevance, keep the cap, attach the precomputed context factor.
+// Identical output to scoring on demand — the plan carries the same
+// cdro/pivot/cdrc values the scorer would produce. The refs arrive in
+// candidate (concept-ascending) order, so when the cap doesn't bite
+// the kept set is already in its final deterministic order and no
+// sorting happens at all; when it does, a quickselect keeps the top
+// cap under the exact (cdro desc, concept asc) total order the old
+// full sort used, then restores concept order — same set, same order,
+// byte-identical downstream.
+func (st *genState) deriveDocScores(refs []planRef, selBuf *[]candSel) []ConceptScore {
+	maxKeep := st.e.opts.MaxConceptsPerDoc
+	if len(refs) <= maxKeep {
+		out := make([]ConceptScore, 0, len(refs))
+		for _, r := range refs {
+			p := &st.plans[r.c]
+			if p.ont[r.idx] > 0 {
+				out = append(out, ConceptScore{
+					Concept: r.c, CDR: p.scores[r.idx], CDRC: p.cdrc[r.idx], Pivot: p.pivots[r.idx],
+				})
+			}
 		}
-		return scored[i].c < scored[j].c
-	})
-	if len(scored) > st.e.opts.MaxConceptsPerDoc {
-		scored = scored[:st.e.opts.MaxConceptsPerDoc]
+		return out
+	}
+	scored := (*selBuf)[:0]
+	for _, r := range refs {
+		p := &st.plans[r.c]
+		if cdro := p.ont[r.idx]; cdro > 0 {
+			scored = append(scored, candSel{c: r.c, idx: r.idx, cdro: cdro})
+		}
+	}
+	*selBuf = scored
+	if len(scored) > maxKeep {
+		selectTopSel(scored, maxKeep)
+		scored = scored[:maxKeep]
+		slices.SortFunc(scored, func(a, b candSel) int {
+			return int(a.c) - int(b.c)
+		})
 	}
 	out := make([]ConceptScore, 0, len(scored))
 	for _, cd := range scored {
-		p := st.plan(cd.c)
+		p := &st.plans[cd.c]
 		out = append(out, ConceptScore{
-			Concept: cd.c, CDR: p.scores[cd.idx], CDRC: p.cdrc[cd.idx], Pivot: cd.pivot,
+			Concept: cd.c, CDR: p.scores[cd.idx], CDRC: p.cdrc[cd.idx], Pivot: p.pivots[cd.idx],
 		})
 	}
-	// Deterministic order for downstream iteration.
-	sort.Slice(out, func(i, j int) bool { return out[i].Concept < out[j].Concept })
 	return out
+}
+
+// selLess is the selection order of the capped path: highest ontology
+// relevance first, concept ID ascending on ties — a total order
+// (concept IDs are unique per document), so the kept set is exactly
+// the old full sort's prefix.
+func selLess(a, b candSel) bool {
+	if a.cdro != b.cdro {
+		return a.cdro > b.cdro
+	}
+	return a.c < b.c
+}
+
+// selectTopSel partially orders s so s[:k] holds the top k under
+// selLess (order within the prefix unspecified; callers re-sort).
+func selectTopSel(s []candSel, k int) {
+	lo, hi := 0, len(s)
+	for hi-lo > 1 {
+		pivot := s[(lo+hi)/2]
+		i, j := lo, hi-1
+		for i <= j {
+			for selLess(s[i], pivot) {
+				i++
+			}
+			for selLess(pivot, s[j]) {
+				j--
+			}
+			if i <= j {
+				s[i], s[j] = s[j], s[i]
+				i++
+				j--
+			}
+		}
+		switch {
+		case k <= j+1:
+			hi = j + 1
+		case k >= i:
+			lo = i
+		default:
+			return
+		}
+	}
 }
 
 // contextRel returns the memoised context-relevance factor cdrc(c, d),
@@ -734,13 +967,14 @@ func (e *Engine) ContextWeight(v kg.NodeID, doc int32) float64 {
 // scores at the current generation (the per-document postings). The
 // slice must not be modified.
 func (e *Engine) DocConcepts(doc corpus.DocID) []ConceptScore {
-	return e.state().concepts[doc]
+	return e.state().docConcepts(int32(doc))
 }
 
 // ResetQueryCaches restores the query-time memoisation to the current
-// generation's post-build state: a fresh cdr memo re-seeded from the
-// plans, and the connectivity memo reduced to the entries the plans
-// pin. The plans and per-document scores themselves are generation
+// generation's post-build state: a fresh (empty) cdr memo for
+// non-matching probes, and the connectivity memo reduced to the
+// entries the plans pin. The plans and per-document scores themselves
+// are generation
 // state, not query caches — they are carried over, exactly as a fresh
 // build of this generation would recreate them. Benchmarks use this
 // to replay cold-cache traffic; results are unaffected because
@@ -755,11 +989,13 @@ func (e *Engine) ResetQueryCaches() {
 		return
 	}
 	e.connMemo.Reset()
-	st := e.newStateShell(cur.snap)
+	st := e.newStateShell(cur.snap, cur)
 	st.concepts = cur.concepts
 	st.plans = cur.plans
 	st.planned = cur.planned
-	st.seedMemos()
+	st.entIDFN = cur.entIDFN
+	st.ceil = cur.ceil
+	st.reseedConn()
 	e.st.Store(st)
 	e.epoch.Add(1)
 }

@@ -7,13 +7,28 @@ import (
 	"time"
 
 	"ncexplorer/internal/corpus"
+	"ncexplorer/internal/kg"
+	"ncexplorer/internal/relevance"
 	"ncexplorer/internal/snapshot"
+	"ncexplorer/internal/xrand"
 )
 
-// Live corpus ingestion. Ingest appends a batch of documents as a new
-// immutable segment and swaps in the next snapshot generation; a
-// background merge keeps the segment count bounded. The write side is
-// single-writer (ingestMu); the read side never blocks on it.
+// Live corpus ingestion, as a three-stage pipeline:
+//
+//	analyze (lock-free) → commit (ingestMu, short) → persist (overlapped)
+//
+// Stage 1 runs the whole per-document analysis — NLP annotation,
+// entity linking, candidate enumeration, and speculative pre-warming
+// of the connectivity memo — before ingestMu is taken, so concurrent
+// Ingest calls analyze simultaneously and only serialise for the
+// short commit section. Stage 2 assigns the batch its real base ID
+// (rebasing the analyzed segment if another batch won the race),
+// replays the plans for the new segment only, and atomically swaps the
+// snapshot. Stage 3 is the group-commit checkpoint writer
+// (groupcommit.go): the commit enqueues its durability work and
+// returns a persist sequence; batch N+1 analyzes and commits while
+// batch N's checkpoint drains, and callers that must report durable
+// state wait on the sequence (WaitPersisted) off the commit path.
 //
 // Equivalence guarantee: an engine grown by any sequence of Ingest
 // calls answers every query byte-identically to an engine that
@@ -28,7 +43,12 @@ import (
 //     every document when a snapshot is built, never carried over;
 //  3. content-addressed sampling — the connectivity factor's sampler
 //     is seeded by (concept, doc) alone, so its memoised values are
-//     the ones a from-scratch build would draw.
+//     the ones a from-scratch build would draw. The speculative
+//     pre-warm honors this: values computed against a guessed base are
+//     flushed into the memo only when the guess survived the commit
+//     race — otherwise they are dropped wholesale, because their keys
+//     (and therefore their sampler streams) belong to document IDs the
+//     batch did not get.
 
 // errNotIndexed is returned by Ingest before IndexCorpus has run.
 var errNotIndexed = errors.New("core: Ingest called before IndexCorpus")
@@ -47,6 +67,11 @@ type IngestResult struct {
 	// only never-seen candidates).
 	LinkNanos  int64
 	ScoreNanos int64
+	// PersistSeq is the batch's group-commit persist sequence: pass it
+	// to WaitPersisted to block until the checkpoint covering this
+	// commit has been attempted (the durability barrier a serving layer
+	// runs before acknowledging the batch). Zero for an empty batch.
+	PersistSeq uint64
 }
 
 // ingestCounters aggregates ingestion throughput for /statsz.
@@ -94,19 +119,38 @@ func (e *Engine) SegmentSizes() []int {
 	return out
 }
 
+// nextBase returns the next free GLOBAL document ID: local documents
+// plus the documents other shards hold (zero for a monolithic engine).
+func (e *Engine) nextBase(cur *genState) int32 {
+	remoteDocs := 0
+	if rs := e.remote.Load(); rs != nil {
+		remoteDocs = rs.Docs
+	}
+	return int32(cur.snap.NumDocs() + remoteDocs)
+}
+
 // Ingest indexes a batch of articles into a new segment and publishes
 // the next snapshot generation. Queries running concurrently are
 // unaffected: each pinned the snapshot it started with, and the swap
 // is a single atomic store. Document IDs are assigned densely after
 // the existing corpus; the input slice is copied, never retained.
 //
+// The expensive analysis runs BEFORE the writer lock (see the pipeline
+// comment above), so concurrent Ingest calls overlap their annotation,
+// linking, and connectivity pre-warm and only serialise for the short
+// commit section. The returned result describes the committed,
+// in-memory state; its checkpoint drains through the group-commit
+// writer — wait on PersistSeq for durability.
+//
 // ctx cancellation aborts the batch before the swap — either the
 // whole batch becomes visible (at one new generation) or none of it.
 // Concurrent Ingest calls serialise; order between racing batches is
 // unspecified but each lands as its own generation.
 func (e *Engine) Ingest(ctx context.Context, articles []corpus.Document) (IngestResult, error) {
-	e.ingestMu.Lock()
-	defer e.ingestMu.Unlock()
+	// Stage 1 — analyze, lock-free. The base is speculative: it is
+	// re-read under the lock, and the segment rebased if another batch
+	// committed in between (the rebase touches only the base-dependent
+	// products — cheap next to re-analysis).
 	cur := e.state()
 	if cur == nil {
 		return IngestResult{}, errNotIndexed
@@ -119,18 +163,35 @@ func (e *Engine) Ingest(ctx context.Context, articles []corpus.Document) (Ingest
 	}
 	start := time.Now()
 	arts := append([]corpus.Document(nil), articles...)
-	// The new segment's base is the next free GLOBAL document ID: local
-	// documents plus the documents other shards hold (zero for a
-	// monolithic engine). The published generation is likewise global —
-	// local generations plus remote batches — so every shard numbers
-	// generations exactly like a monolithic engine over the union.
-	remoteDocs, remoteBatches := 0, uint64(0)
-	if rs := e.remote.Load(); rs != nil {
-		remoteDocs, remoteBatches = rs.Docs, rs.Batches
-	}
-	seg, _, linkNanos, err := e.buildSegment(ctx, arts, int32(cur.snap.NumDocs()+remoteDocs))
+	specBase := e.nextBase(cur)
+	seg, _, linkNanos, err := e.buildSegment(ctx, arts, specBase)
 	if err != nil {
 		return IngestResult{}, err
+	}
+	warm := e.prewarmConn(ctx, seg)
+
+	// Stage 2 — commit, under ingestMu: base assignment, plan replay
+	// for the new segment only, atomic swap, checkpoint enqueue.
+	e.ingestMu.Lock()
+	if err := ctx.Err(); err != nil {
+		e.ingestMu.Unlock()
+		return IngestResult{}, err
+	}
+	cur = e.state()
+	if base := e.nextBase(cur); base != seg.Base {
+		// Lost the base race: re-address the segment. The speculative
+		// conn values are dropped — their keys (and sampler streams)
+		// embed global IDs this batch did not get; buildState recomputes
+		// the batch's pairs under the real IDs.
+		seg = snapshot.Rebase(seg, base)
+		warm = nil
+	}
+	for _, w := range warm {
+		e.connMemo.Store(w.key, w.val)
+	}
+	remoteBatches := uint64(0)
+	if rs := e.remote.Load(); rs != nil {
+		remoteBatches = rs.Batches
 	}
 	segs := make([]*snapshot.Segment, 0, len(cur.snap.Segments)+1)
 	segs = append(segs, cur.snap.Segments...)
@@ -144,27 +205,147 @@ func (e *Engine) Ingest(ctx context.Context, articles []corpus.Document) (Ingest
 	e.ing.docs.Add(int64(len(arts)))
 	e.ing.nanos.Add(time.Since(start).Nanoseconds())
 	// Standing queries evaluate the committed delta before the
-	// checkpoint, so the checkpoint below persists the alerts this batch
-	// fired along with the batch itself — a restart never replays a
-	// batch without its alerts or vice versa.
+	// checkpoint job is captured, so the enqueued checkpoint persists
+	// the alerts this batch fired along with the batch itself — a
+	// restart never replays a batch without its alerts or vice versa.
 	if e.ingestHook != nil {
 		e.ingestHook(&DeltaView{st: st, base: seg.Base, n: len(arts)})
 	}
-	// With a checkpoint directory configured, persist the committed
-	// batch before returning: the only segment encoded and written is
-	// the new one (earlier segments are already on disk under their
-	// content-addressed names), and the manifest swap is atomic, so a
-	// crash after this point re-opens with the batch included and a
-	// crash before it loses only this batch.
-	e.checkpointLocked(st)
+	// Stage 3 — persist, overlapped: enqueue the checkpoint (the only
+	// segment the writer encodes is the new one; earlier segments are
+	// already on disk under their content-addressed names) and let the
+	// group-commit writer drain it while the next batch analyzes and
+	// commits. Crash ordering is unchanged: segments first, manifest
+	// last, jobs in commit order.
+	seq := e.enqueueCheckpointLocked(st)
 	e.maybeMerge(len(segs))
+	e.ingestMu.Unlock()
 	return IngestResult{
 		Docs:       len(arts),
 		Generation: st.snap.Generation,
 		TotalDocs:  st.snap.NumDocs(),
 		LinkNanos:  linkNanos,
 		ScoreNanos: scoreNanos,
+		PersistSeq: seq,
 	}, nil
+}
+
+// connPair is one speculative context-factor value computed during the
+// lock-free analysis stage, keyed by the GLOBAL (concept, doc) key its
+// sampler was seeded with.
+type connPair struct {
+	key uint64
+	val float64
+}
+
+// pendingDocView adapts a not-yet-committed segment to
+// relevance.DocView for conn pre-warming. Only the document-local
+// inputs of the context factor are real: EntityWeight is corpus-global
+// and unused by ContextRel, so it reports 0 and must never be
+// consulted on this path.
+type pendingDocView struct{ seg *snapshot.Segment }
+
+func (v pendingDocView) Entities(doc int32) []kg.NodeID {
+	return v.seg.Docs[doc-v.seg.Base].Entities
+}
+
+func (v pendingDocView) EntityWeight(kg.NodeID, int32) float64 { return 0 }
+
+func (v pendingDocView) ContextWeight(ent kg.NodeID, doc int32) float64 {
+	tf := v.seg.Docs[doc-v.seg.Base].EntityFreq[ent]
+	if tf <= 0 {
+		return 0
+	}
+	return float64(tf) / float64(tf+1)
+}
+
+// prewarmConn walks, outside the writer lock, exactly the (concept,
+// document) pairs the commit-time plan replay would otherwise walk for
+// this segment: matching pairs (a document entity in the concept's
+// capped extent) of concepts with positive specificity — no more (so
+// the connectivity memo's content stays byte-identical to what a
+// from-scratch build leaves behind) and no less (so the commit section
+// finds every pair memoised). Values are returned, not stored: the
+// keys embed the segment's speculative base, and the caller flushes
+// them only if that base survives the commit race. Pairs already in
+// the memo are skipped; a cancelled ctx returns the pairs warmed so
+// far (pre-warming is an optimisation, never a correctness step).
+func (e *Engine) prewarmConn(ctx context.Context, seg *snapshot.Segment) []connPair {
+	numNodes := e.g.NumNodes()
+	entSeen := make([]bool, numNodes)
+	conceptSeen := make([]bool, numNodes)
+	var concepts []kg.NodeID
+	var stack []kg.NodeID
+	mark := func(c kg.NodeID) {
+		if !conceptSeen[c] {
+			conceptSeen[c] = true
+			concepts = append(concepts, c)
+			stack = append(stack, c)
+		}
+	}
+	for di := range seg.Docs {
+		for _, v := range seg.Docs[di].Entities {
+			if entSeen[v] {
+				continue
+			}
+			entSeen[v] = true
+			for _, c0 := range e.g.ConceptsOf(v) {
+				mark(c0)
+			}
+			for len(stack) > 0 {
+				c := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				for _, b := range e.g.Broader(c) {
+					mark(b)
+				}
+			}
+		}
+	}
+
+	view := pendingDocView{seg: seg}
+	workers := e.opts.Workers
+	scorers := make([]*relevance.Scorer, workers)
+	bufs := make([][]connPair, workers)
+	stamps := make([][]uint32, workers)
+	gens := make([]uint32, workers)
+	for w := range scorers {
+		scorers[w] = relevance.NewScorer(e.g, view, e.reachIx, e.scorerOpts())
+		stamps[w] = make([]uint32, seg.Len())
+	}
+	e.parallelWorker(len(concepts), func(worker, i int) {
+		if ctx.Err() != nil {
+			return
+		}
+		c := concepts[i]
+		if e.g.Specificity(c) <= 0 {
+			return
+		}
+		s := scorers[worker]
+		gens[worker]++
+		gen := gens[worker]
+		stamp := stamps[worker]
+		ext, _ := s.Extent(c)
+		for _, v := range ext {
+			for _, d := range seg.EntDocs[v] {
+				if local := d - seg.Base; stamp[local] == gen {
+					continue
+				} else {
+					stamp[local] = gen
+				}
+				key := cdrKey(c, d)
+				if _, ok := e.connMemo.Get(key); ok {
+					continue
+				}
+				rnd := xrand.Stream(e.opts.Seed^cdrStreamSalt, key)
+				bufs[worker] = append(bufs[worker], connPair{key: key, val: s.ContextRel(c, d, rnd)})
+			}
+		}
+	})
+	var out []connPair
+	for _, buf := range bufs {
+		out = append(out, buf...)
+	}
+	return out
 }
 
 // maybeMerge kicks the background merge goroutine when the segment
@@ -221,6 +402,12 @@ func (e *Engine) mergeSegments() {
 			break
 		}
 		merged := snapshot.Merge(segs[best : best+2])
+		// Record the fold for delta checkpoints: the writer substitutes
+		// the two parents' durable files for the merged segment rather
+		// than re-encoding O(corpus) bytes on every merge.
+		if e.persist.checkpointDir != "" {
+			e.gc.addLineage(merged, segs[best], segs[best+1])
+		}
 		segs = append(segs[:best+1], segs[best+2:]...)
 		segs[best] = merged
 		e.ing.merges.Add(1)
@@ -229,20 +416,30 @@ func (e *Engine) mergeSegments() {
 	if !mergedAny {
 		return
 	}
-	st := e.newStateShell(e.buildSnapshot(cur.snap.Generation, segs))
+	st := e.newStateShell(e.buildSnapshot(cur.snap.Generation, segs), cur)
 	st.concepts = cur.concepts
 	st.cdrMemo = cur.cdrMemo
 	// Plans stay valid verbatim: merges keep document IDs, corpus-global
 	// statistics, and (global-ID-aligned) block identities unchanged.
+	// That covers the ceiling state too — merged block-max tables fold
+	// to the same per-block maxima — so warm ceilings carry over.
 	st.plans = cur.plans
 	st.planned = cur.planned
+	st.entIDFN = cur.entIDFN
+	st.ceil = cur.ceil
 	e.st.Store(st)
 	// No epoch bump: answers are unchanged, external caches stay warm.
 	// The checkpoint keeps the data directory aligned with the merged
 	// layout (and garbage-collects the folded segment files).
-	e.checkpointLocked(st)
+	e.enqueueCheckpointLocked(st)
 }
 
-// WaitMerges blocks until any in-flight background merge completes.
-// Tests and graceful shutdown use it; queries never need to.
-func (e *Engine) WaitMerges() { e.mergeWG.Wait() }
+// WaitMerges blocks until any in-flight background merge completes AND
+// every checkpoint enqueued so far has drained through the group-commit
+// writer — after it returns, the checkpoint directory reflects the
+// merged layout. Tests and graceful shutdown use it; queries never
+// need to.
+func (e *Engine) WaitMerges() {
+	e.mergeWG.Wait()
+	e.drainPersist()
+}

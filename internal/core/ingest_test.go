@@ -4,7 +4,9 @@ import (
 	"context"
 	"encoding/json"
 	"reflect"
+	"sync"
 	"testing"
+	"time"
 
 	"ncexplorer/internal/corpus"
 )
@@ -189,6 +191,150 @@ func TestResetQueryCachesAfterIngest(t *testing.T) {
 	}
 }
 
+// TestPipelinedIngestEquivalence: batches ingested CONCURRENTLY — their
+// lock-free analysis stages overlapping, commits racing for the base,
+// durability waits and roll-up queries running alongside, checkpoints
+// draining through the group-commit writer, background merges folding
+// segments — must leave an engine byte-identical to a monolithic build
+// over whatever document order the race produced, and the checkpoint
+// directory must reopen to that same state.
+func TestPipelinedIngestEquivalence(t *testing.T) {
+	g, meta, c, _ := world(t)
+	dir := t.TempDir()
+	e := NewEngine(g, Options{Seed: 11, Samples: 20, MaxSegments: 3})
+	e.IndexCorpus(c)
+	e.SetCheckpointDir(dir, map[string]string{"scale": "tiny"})
+
+	const nBatches = 8
+	batches := make([][]corpus.Document, nBatches)
+	for i := range batches {
+		batches[i] = ingestBatch(t, 9100+uint64(i), 5+i%4)
+	}
+
+	// Racing readers: queries against whichever snapshot is current.
+	// Their answers are not compared (each pins its own generation);
+	// they exist to race the swap, the lazy per-doc score fill, and the
+	// lazy ceiling materialisation under -race.
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		readers.Add(1)
+		go func(r int) {
+			defer readers.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				topic := meta.Topics[(r+i)%len(meta.Topics)]
+				e.RollUp(Query{topic.Concept, topic.GroupConcept}, 8)
+				e.DrillDown(Query{topic.Concept}, 8)
+			}
+		}(r)
+	}
+
+	var writers sync.WaitGroup
+	for i := range batches {
+		writers.Add(1)
+		go func(i int) {
+			defer writers.Done()
+			res, err := e.Ingest(context.Background(), batches[i])
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			// The durability barrier races later commits — exactly the
+			// serving layer's ack path.
+			e.WaitPersisted(res.PersistSeq)
+		}(i)
+	}
+	writers.Wait()
+	close(stop)
+	readers.Wait()
+	e.WaitMerges()
+
+	// The race decided the batch order; rebuild that exact document
+	// sequence with one monolithic IndexCorpus and compare everything.
+	all := &corpus.Corpus{Docs: make([]corpus.Document, e.NumDocs())}
+	for d := range all.Docs {
+		doc := *e.Doc(corpus.DocID(d))
+		doc.ID = corpus.DocID(d)
+		all.Docs[d] = doc
+	}
+	mono := NewEngine(g, Options{Seed: 11, Samples: 20})
+	mono.IndexCorpus(all)
+	if e.NumDocs() != mono.NumDocs() {
+		t.Fatalf("doc counts differ: %d vs %d", e.NumDocs(), mono.NumDocs())
+	}
+	for d := 0; d < mono.NumDocs(); d++ {
+		if !reflect.DeepEqual(e.DocConcepts(corpus.DocID(d)), mono.DocConcepts(corpus.DocID(d))) {
+			t.Fatalf("doc %d concept postings diverge", d)
+		}
+	}
+	got, want := queryFingerprint(t, e), queryFingerprint(t, mono)
+	if string(got) != string(want) {
+		t.Fatal("pipelined engine's query results diverge from monolithic build")
+	}
+
+	// The overlapped checkpoints coalesced into some suffix of the
+	// commit sequence; the directory must reopen to the final state.
+	recovered := NewEngine(g, Options{Seed: 11, Samples: 20, MaxSegments: 3})
+	if err := recovered.OpenSnapshot(dir, nil); err != nil {
+		t.Fatal(err)
+	}
+	if recovered.Generation() != e.Generation() || recovered.NumDocs() != e.NumDocs() {
+		t.Fatalf("recovered gen=%d docs=%d, want gen=%d docs=%d",
+			recovered.Generation(), recovered.NumDocs(), e.Generation(), e.NumDocs())
+	}
+}
+
+// TestIngestCancelMidAnalyze: cancellation landing while the lock-free
+// analysis stage is running must leave no trace — no partial segment,
+// no generation bump, no answer drift. The batch is all-or-nothing: a
+// cancel that arrives after the commit leaves the whole batch visible.
+func TestIngestCancelMidAnalyze(t *testing.T) {
+	g, _, c, _ := world(t)
+	e := NewEngine(g, Options{Seed: 11, Samples: 20})
+	e.IndexCorpus(c)
+	before := queryFingerprint(t, e)
+	gen, docs, segs := e.Generation(), e.NumDocs(), len(e.SegmentSizes())
+	batch := ingestBatch(t, 9500, 64)
+
+	cancelled := 0
+	for trial := 0; trial < 6; trial++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		delay := time.Duration(trial) * 2 * time.Millisecond
+		go func() {
+			time.Sleep(delay)
+			cancel()
+		}()
+		res, err := e.Ingest(ctx, batch)
+		cancel()
+		if err != nil {
+			cancelled++
+			if e.Generation() != gen || e.NumDocs() != docs || len(e.SegmentSizes()) != segs {
+				t.Fatalf("trial %d: cancelled ingest leaked state: gen=%d docs=%d segs=%d",
+					trial, e.Generation(), e.NumDocs(), len(e.SegmentSizes()))
+			}
+			if got := queryFingerprint(t, e); string(got) != string(before) {
+				t.Fatalf("trial %d: cancelled ingest changed answers", trial)
+			}
+			continue
+		}
+		// Cancel landed after the swap: the whole batch must be visible
+		// at one new generation. Re-baseline and keep probing.
+		if res.Docs != len(batch) || e.NumDocs() != docs+len(batch) || res.Generation != gen+1 {
+			t.Fatalf("trial %d: partial commit: res=%+v docs=%d", trial, res, e.NumDocs())
+		}
+		gen, docs, segs = e.Generation(), e.NumDocs(), len(e.SegmentSizes())
+		before = queryFingerprint(t, e)
+	}
+	if cancelled == 0 {
+		t.Log("no trial cancelled mid-analysis; invariant still held on every commit")
+	}
+}
+
 // BenchmarkIngest measures the live-ingestion pipeline (annotation,
 // linking, segment build, snapshot rescore, swap) in documents per
 // second, the throughput number the serving story is sized by.
@@ -205,6 +351,7 @@ func BenchmarkIngest(b *testing.B) {
 	}
 	e := NewEngine(g, Options{Seed: 11, Samples: 20})
 	e.IndexCorpus(c)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := e.Ingest(context.Background(), batches[i]); err != nil {

@@ -8,6 +8,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"sync"
 	"sync/atomic"
 
 	"ncexplorer/internal/corpus"
@@ -70,13 +71,21 @@ type PersistCounters struct {
 // failures here to prove that a failed save leaves the previous
 // manifest (and everything it references) intact.
 var (
-	writeSegioFile     = segio.WriteFileAtomic
+	// Artifact files defer the directory fsync: writeStore places every
+	// segment/conn/watch file first, pays ONE syncSegioDir for all their
+	// renames, and only then swaps the manifest — same crash ordering
+	// (no manifest ever references a non-durable name), one directory
+	// fsync per store instead of one per file.
+	writeSegioFile     = segio.WriteFileDeferSync
+	syncSegioDir       = segio.SyncDir
 	writeSegioManifest = segio.WriteManifest
 )
 
-// persistState is the engine's persistence bookkeeping. The mutable
-// fields (checkpoint dir, world meta, the segment→file name cache) are
-// guarded by ingestMu like every other write-side structure.
+// persistState is the engine's persistence bookkeeping. The
+// commit-side fields (checkpoint dir, world meta, watch encoder) are
+// guarded by ingestMu; the writer-side fields (segFiles, connFile,
+// connEntries, connChecked) are guarded by gc.writeMu, because the
+// group-commit writer touches them off the commit path.
 type persistState struct {
 	saves, opens, checkpoints       atomic.Int64
 	segmentsWritten, segmentsReused atomic.Int64
@@ -88,6 +97,28 @@ type persistState struct {
 	// already encoded, so a checkpoint after an ingest re-encodes only
 	// the new segment. Pruned to the live snapshot on every save.
 	segFiles map[*snapshot.Segment]segio.SegmentRef
+	// segDelta caches, for a merged segment that has never been encoded
+	// into its own file, the refs of the durable files — its merge
+	// parents', resolved through gc.lineage — that jointly cover its
+	// documents. Checkpoints substitute these refs for the merged
+	// segment instead of re-encoding O(corpus) bytes after every merge;
+	// only SaveSnapshot compacts. Pruned to the live snapshot alongside
+	// segFiles.
+	segDelta map[*snapshot.Segment][]segio.SegmentRef
+	// verified caches dir-qualified file names this process has already
+	// confirmed (or written) on disk, so per-checkpoint existence checks
+	// cost one stat per file per process instead of one per file per
+	// checkpoint — without it the writer's stat count grows with every
+	// batch since the last compaction. The engine itself never deletes a
+	// verified file while it is referenced (checkpoint GC is
+	// manifest-driven); external deletion is caught at open time by the
+	// manifest's CRCs.
+	verified map[string]bool
+	// lastWatchFile is the content-addressed standing-query file the
+	// newest manifest references. Checkpoints skip the directory-wide
+	// garbage scan (a delta checkpoint never unreferences a file), so
+	// a superseded watch file — the one exception — is removed here.
+	lastWatchFile string
 	// connFile/connEntries remember the last conn-memo file this engine
 	// wrote or loaded, so checkpoints can keep referencing it without
 	// re-reading the manifest on every ingest. connChecked marks the
@@ -119,14 +150,22 @@ func (e *Engine) PersistCounters() PersistCounters {
 // per-commit checkpointing: after every ingested batch and every
 // background merge, the engine writes the affected segment files and
 // atomically updates dir's manifest, so a crash loses at most the
-// batch in flight — a -watch deployment restarts from its last
-// committed segment instead of re-ingesting everything. world is
-// carried into every manifest written (see SaveSnapshot).
+// batches whose checkpoints had not drained — a -watch deployment
+// restarts from its last durable segment instead of re-ingesting
+// everything. The write itself runs in the group-commit writer (see
+// groupcommit.go): Ingest returns a persist sequence and callers that
+// need "durable before I respond" wait on it with WaitPersisted.
+// world is carried into every manifest written (see SaveSnapshot).
 func (e *Engine) SetCheckpointDir(dir string, world map[string]string) {
 	e.ingestMu.Lock()
 	defer e.ingestMu.Unlock()
 	e.persist.checkpointDir = dir
 	e.persist.world = world
+	if dir == "" {
+		// No writer will ever consume pending merge lineage; drop it so
+		// it cannot pin folded segments.
+		e.gc.clearLineage()
+	}
 }
 
 // SaveSnapshot durably persists the current snapshot (segments, conn
@@ -146,32 +185,30 @@ func (e *Engine) SaveSnapshot(dir string, world map[string]string) error {
 	if st == nil {
 		return errSaveBeforeIndex
 	}
-	if err := e.writeStoreLocked(dir, st, true); err != nil {
+	// Drain the group-commit queue first (safe while holding ingestMu —
+	// the writer never takes it): otherwise a stale queued checkpoint
+	// could land after the save and swap an older manifest over it.
+	e.drainPersist()
+	var watch []byte
+	hasWatch := e.persist.watchEnc != nil
+	if hasWatch {
+		watch = e.persist.watchEnc()
+	}
+	e.gc.writeMu.Lock()
+	err := e.writeStore(dir, st, true, e.persist.world, watch, hasWatch)
+	e.gc.writeMu.Unlock()
+	if err != nil {
 		return err
 	}
 	e.persist.saves.Add(1)
 	return nil
 }
 
-// checkpointLocked incrementally persists the current snapshot to the
-// configured checkpoint directory (no conn-memo rewrite — conn entries
-// are a pure cache and the manifest keeps referencing the last fully
-// saved one). Called with ingestMu held, after a successful swap.
-func (e *Engine) checkpointLocked(st *genState) {
-	dir := e.persist.checkpointDir
-	if dir == "" {
-		return
-	}
-	if err := e.writeStoreLocked(dir, st, false); err != nil {
-		e.persist.checkpointErrors.Add(1)
-		return
-	}
-	e.persist.checkpoints.Add(1)
-}
-
-// writeStoreLocked writes segments (+ conn memo when writeConn) and
-// swaps the manifest. ingestMu must be held.
-func (e *Engine) writeStoreLocked(dir string, st *genState, writeConn bool) error {
+// writeStore writes segments (+ conn memo when writeConn) and swaps
+// the manifest. world and watch are the manifest inputs captured at
+// commit time — the writer must not read them from the engine, whose
+// commit-side fields may have moved on. gc.writeMu must be held.
+func (e *Engine) writeStore(dir string, st *genState, writeConn bool, world map[string]string, watch []byte, hasWatch bool) error {
 	if err := ensureDir(dir); err != nil {
 		return err
 	}
@@ -179,11 +216,35 @@ func (e *Engine) writeStoreLocked(dir string, st *genState, writeConn bool) erro
 	if e.persist.segFiles == nil {
 		e.persist.segFiles = make(map[*snapshot.Segment]segio.SegmentRef)
 	}
+	if e.persist.segDelta == nil {
+		e.persist.segDelta = make(map[*snapshot.Segment][]segio.SegmentRef)
+	}
 	refs := make([]segio.SegmentRef, 0, len(segs))
+	wrote := false // any deferred-sync file placed; one SyncDir before the manifest
+	type pendingFile struct {
+		name string
+		data []byte
+	}
+	var pend []pendingFile
 	for _, seg := range segs {
 		ref, ok := e.persist.segFiles[seg]
 		var data []byte
 		if !ok {
+			// Delta checkpoint: a merged segment whose folded inputs are
+			// already durable is covered by referencing their files — the
+			// manifest's layout lags the in-memory segmentation, but the
+			// documents and generation it describes are identical, and no
+			// O(corpus) re-encode rides the writer. Saves (writeConn)
+			// compact to the live layout instead.
+			if !writeConn {
+				if drefs, dok := e.resolveDeltaRefs(seg, dir); dok {
+					e.persist.segDelta[seg] = drefs
+					e.gc.purgeLineage(seg)
+					e.persist.segmentsReused.Add(int64(len(drefs)))
+					refs = append(refs, drefs...)
+					continue
+				}
+			}
 			data = segio.EncodeSegment(seg)
 			ref = segio.SegmentRef{
 				Base: seg.Base,
@@ -192,8 +253,10 @@ func (e *Engine) writeStoreLocked(dir string, st *genState, writeConn bool) erro
 			}
 			ref.File = segio.SegmentFileName(ref.Base, ref.Docs, ref.CRC)
 			e.persist.segFiles[seg] = ref
+			delete(e.persist.segDelta, seg)
+			e.gc.purgeLineage(seg)
 		}
-		if fileExists(dir, ref.File) {
+		if e.knownFile(dir, ref.File) {
 			e.persist.segmentsReused.Add(1)
 		} else {
 			if data == nil {
@@ -201,16 +264,43 @@ func (e *Engine) writeStoreLocked(dir string, st *genState, writeConn bool) erro
 				// dir, or external deletion): re-encode.
 				data = segio.EncodeSegment(seg)
 			}
-			if err := writeSegioFile(dir, ref.File, data); err != nil {
-				return fmt.Errorf("core: writing segment %s: %w", ref.File, err)
-			}
-			e.persist.segmentsWritten.Add(1)
-			e.persist.bytesWritten.Add(int64(len(data)))
+			pend = append(pend, pendingFile{name: ref.File, data: data})
 		}
 		refs = append(refs, ref)
 	}
-	// Prune the name cache to live segments so merge churn cannot grow
-	// it without bound.
+	// Place the new segment files concurrently: each write fsyncs its
+	// own file, and overlapping the fsyncs lets the filesystem fold
+	// them into one journal commit instead of one per file — on a
+	// single-CPU host a serial fsync also stalls every other goroutine
+	// for its full duration, so the overlap is the difference between
+	// paying the sync cost once and paying it per segment. Write order
+	// within the group is free: nothing references a name until the
+	// manifest below, which follows the group's SyncDir.
+	if len(pend) > 0 {
+		errs := make([]error, len(pend))
+		var wg sync.WaitGroup
+		for i := range pend {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				errs[i] = writeSegioFile(dir, pend[i].name, pend[i].data)
+			}(i)
+		}
+		wg.Wait()
+		for i, err := range errs {
+			if err != nil {
+				return fmt.Errorf("core: writing segment %s: %w", pend[i].name, err)
+			}
+		}
+		for _, p := range pend {
+			e.markFile(dir, p.name)
+			e.persist.segmentsWritten.Add(1)
+			e.persist.bytesWritten.Add(int64(len(p.data)))
+		}
+		wrote = true
+	}
+	// Prune the name caches to live segments so merge churn cannot grow
+	// them without bound.
 	for seg := range e.persist.segFiles {
 		live := false
 		for _, s := range segs {
@@ -223,13 +313,25 @@ func (e *Engine) writeStoreLocked(dir string, st *genState, writeConn bool) erro
 			delete(e.persist.segFiles, seg)
 		}
 	}
+	for seg := range e.persist.segDelta {
+		live := false
+		for _, s := range segs {
+			if s == seg {
+				live = true
+				break
+			}
+		}
+		if !live {
+			delete(e.persist.segDelta, seg)
+		}
+	}
 
 	m := &segio.Manifest{
 		Generation: st.snap.Generation,
 		NumDocs:    st.snap.NumDocs(),
 		Segments:   refs,
 		Engine:     e.engineMeta(),
-		World:      e.persist.world,
+		World:      world,
 		Stats:      statsMeta(e.stats),
 	}
 	// A shard persists its cluster position and the remote term
@@ -249,10 +351,12 @@ func (e *Engine) writeStoreLocked(dir string, st *genState, writeConn bool) erro
 	if writeConn {
 		data, entries := e.encodeConnMemo()
 		name := fmt.Sprintf("conn-%08x%s", crc32.ChecksumIEEE(data), segio.ConnExt)
-		if !fileExists(dir, name) {
+		if !e.knownFile(dir, name) {
 			if err := writeSegioFile(dir, name, data); err != nil {
 				return fmt.Errorf("core: writing conn memo: %w", err)
 			}
+			wrote = true
+			e.markFile(dir, name)
 			e.persist.bytesWritten.Add(int64(len(data)))
 		}
 		m.ConnFile, m.ConnEntries = name, entries
@@ -273,7 +377,7 @@ func (e *Engine) writeStoreLocked(dir string, st *genState, writeConn bool) erro
 			}
 			e.persist.connChecked = true
 		}
-		if e.persist.connFile != "" && fileExists(dir, e.persist.connFile) {
+		if e.persist.connFile != "" && e.knownFile(dir, e.persist.connFile) {
 			m.ConnFile, m.ConnEntries = e.persist.connFile, e.persist.connEntries
 		}
 	}
@@ -283,8 +387,10 @@ func (e *Engine) writeStoreLocked(dir string, st *genState, writeConn bool) erro
 	// Unlike segments the state is mutable, but each version is written
 	// under its content hash, so an unchanged registry rewrites nothing
 	// and a crash mid-save leaves the previous manifest's file intact.
-	if e.persist.watchEnc != nil {
-		if data := e.persist.watchEnc(); len(data) > 0 {
+	// The bytes were rendered at commit time (see persistJob.watch), so
+	// the manifest pairs each batch with exactly the alerts it fired.
+	if hasWatch {
+		if data := watch; len(data) > 0 {
 			// Content-address with FNV-1a, not CRC32: the payload ends with
 			// its own CRC32 trailer, and the CRC of data-plus-trailer is the
 			// fixed CRC-32 residue — every version would share one name and
@@ -292,20 +398,83 @@ func (e *Engine) writeStoreLocked(dir string, st *genState, writeConn bool) erro
 			h := fnv.New32a()
 			h.Write(data)
 			name := fmt.Sprintf("watch-%08x%s", h.Sum32(), segio.WatchExt)
-			if !fileExists(dir, name) {
+			if !e.knownFile(dir, name) {
 				if err := writeSegioFile(dir, name, data); err != nil {
 					return fmt.Errorf("core: writing watch state: %w", err)
 				}
+				wrote = true
+				e.markFile(dir, name)
 				e.persist.bytesWritten.Add(int64(len(data)))
 			}
 			m.WatchFile = name
 		}
 	}
+	if wrote {
+		// One directory fsync covers every artifact rename above; the
+		// manifest below must not point at names that could vanish.
+		if err := syncSegioDir(dir); err != nil {
+			return fmt.Errorf("core: syncing store directory: %w", err)
+		}
+	}
 	if err := writeSegioManifest(dir, m); err != nil {
 		return fmt.Errorf("core: writing manifest: %w", err)
 	}
-	segio.CollectGarbage(dir, m)
+	if writeConn {
+		// Saves compact: the manifest may have stopped referencing delta
+		// leaf files, folded segments, or old conn/watch versions —
+		// sweep the directory against it.
+		for _, name := range segio.CollectGarbage(dir, m) {
+			e.forgetFile(dir, name)
+		}
+	} else if old := e.persist.lastWatchFile; old != "" && old != m.WatchFile {
+		// A delta checkpoint never unreferences a segment or conn file,
+		// so the directory-wide garbage scan is skipped on the hot path;
+		// the one file a checkpoint can supersede is the previous
+		// standing-query version, removed point-wise after the swap.
+		os.Remove(filepath.Join(dir, old))
+		e.forgetFile(dir, old)
+	}
+	e.persist.lastWatchFile = m.WatchFile
 	return nil
+}
+
+// resolveDeltaRefs returns on-disk refs that already cover seg's
+// documents without encoding it: the segment's own file, a previously
+// resolved delta, or — through merge lineage, recursively — the
+// durable files of the segments a background merge folded into it.
+// Parents appear in base order, so the flattened refs preserve the
+// global document order the manifest promises. ok is false when
+// nothing covers seg or any covering file is missing from dir (a
+// parent's checkpoint was coalesced away, the directory changed,
+// external deletion): the caller then encodes seg in full.
+// gc.writeMu held.
+func (e *Engine) resolveDeltaRefs(seg *snapshot.Segment, dir string) ([]segio.SegmentRef, bool) {
+	if ref, ok := e.persist.segFiles[seg]; ok {
+		if !e.knownFile(dir, ref.File) {
+			return nil, false
+		}
+		return []segio.SegmentRef{ref}, true
+	}
+	if drefs, ok := e.persist.segDelta[seg]; ok {
+		for _, ref := range drefs {
+			if !e.knownFile(dir, ref.File) {
+				return nil, false
+			}
+		}
+		return drefs, true
+	}
+	var out []segio.SegmentRef
+	for _, p := range e.gc.parentsOf(seg) {
+		drefs, ok := e.resolveDeltaRefs(p, dir)
+		if !ok {
+			return nil, false
+		}
+		out = append(out, drefs...)
+	}
+	if out == nil {
+		return nil, false
+	}
+	return out, true
 }
 
 // SetWatchEncoder registers the standing-query state encoder consulted
@@ -317,7 +486,7 @@ func (e *Engine) SetWatchEncoder(fn func() []byte) {
 }
 
 // Checkpoint persists the current snapshot (and standing-query state)
-// to the configured checkpoint directory immediately, outside the
+// to the configured checkpoint directory before returning, outside the
 // ingest path — watchlist registration and removal use it so a
 // restart between ingests does not forget them. A no-op without a
 // checkpoint directory or before IndexCorpus; failures are counted in
@@ -326,7 +495,7 @@ func (e *Engine) Checkpoint() {
 	e.ingestMu.Lock()
 	defer e.ingestMu.Unlock()
 	if st := e.state(); st != nil {
-		e.checkpointLocked(st)
+		e.checkpointSyncLocked(st)
 	}
 }
 
@@ -414,7 +583,10 @@ func (e *Engine) OpenSnapshot(dir string, m *segio.Manifest) error {
 		}
 	}
 	// Remember the loaded segments' file identities so a later save
-	// into the same directory rewrites nothing.
+	// into the same directory rewrites nothing. (writeMu: these are
+	// writer-side fields; no writer can be running before the first
+	// index, but the lock keeps the invariant uniform.)
+	e.gc.writeMu.Lock()
 	if e.persist.segFiles == nil {
 		e.persist.segFiles = make(map[*snapshot.Segment]segio.SegmentRef)
 	}
@@ -422,6 +594,7 @@ func (e *Engine) OpenSnapshot(dir string, m *segio.Manifest) error {
 		e.persist.segFiles[seg] = m.Segments[i]
 	}
 	e.persist.connFile, e.persist.connEntries, e.persist.connChecked = m.ConnFile, m.ConnEntries, true
+	e.gc.writeMu.Unlock()
 
 	e.stats = statsFromMeta(m.Stats)
 	if m.Shard != nil {
@@ -547,4 +720,35 @@ func ensureDir(dir string) error {
 func fileExists(dir, name string) bool {
 	info, err := os.Stat(filepath.Join(dir, name))
 	return err == nil && info.Mode().IsRegular()
+}
+
+// knownFile is fileExists behind the writer's verified cache: each
+// dir-qualified name is stat'd at most once per process, then trusted
+// — the writer never deletes a file a manifest still references, so a
+// positive answer stays true for the engine's own lifetime. markFile
+// records a name the writer just wrote without re-statting it.
+// gc.writeMu held.
+func (e *Engine) knownFile(dir, name string) bool {
+	key := filepath.Join(dir, name)
+	if e.persist.verified[key] {
+		return true
+	}
+	if !fileExists(dir, name) {
+		return false
+	}
+	e.markFile(dir, name)
+	return true
+}
+
+func (e *Engine) markFile(dir, name string) {
+	if e.persist.verified == nil {
+		e.persist.verified = make(map[string]bool)
+	}
+	e.persist.verified[filepath.Join(dir, name)] = true
+}
+
+// forgetFile drops a name from the verified cache (the writer removed
+// or garbage-collected it). gc.writeMu held.
+func (e *Engine) forgetFile(dir, name string) {
+	delete(e.persist.verified, filepath.Join(dir, name))
 }

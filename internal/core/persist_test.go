@@ -228,6 +228,63 @@ func TestCheckpointSurvivesCrash(t *testing.T) {
 	}
 }
 
+// TestDeltaCheckpointAfterMerge: a background merge must not put an
+// O(corpus) re-encode on the checkpoint writer. Once a merge folds two
+// durable segments, the next checkpoint covers the merged segment by
+// referencing its parents' existing files (a delta checkpoint) instead
+// of encoding a new merged file; the delta manifest still reopens
+// byte-equivalently, and the next full save compacts the directory
+// back to the live layout. Synchronous persistence makes the schedule
+// deterministic: every batch segment is durable before the merge that
+// folds it commits.
+func TestDeltaCheckpointAfterMerge(t *testing.T) {
+	g, _, c, _ := world(t)
+	dir := t.TempDir()
+	e := NewEngine(g, Options{Seed: 11, Samples: 20, MaxSegments: 2})
+	e.IndexCorpus(c)
+	e.SetSyncPersist(true)
+	e.SetCheckpointDir(dir, nil)
+	for i := 0; i < 4; i++ {
+		if _, err := e.Ingest(context.Background(), ingestBatch(t, 8400+uint64(i), 5)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.WaitMerges()
+	m, err := segio.ReadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Generation != e.Generation() {
+		t.Fatalf("manifest generation %d, engine %d", m.Generation, e.Generation())
+	}
+	live := len(e.SegmentSizes())
+	if len(m.Segments) <= live {
+		t.Fatalf("manifest references %d files for %d live segments — merges were re-encoded instead of delta-referenced", len(m.Segments), live)
+	}
+	if w := e.PersistCounters().SegmentsWritten; w > 5 {
+		t.Fatalf("%d segment files written for 4 batches + seed — merged segments hit the writer", w)
+	}
+
+	recovered := NewEngine(g, Options{Seed: 11, Samples: 20, MaxSegments: 2})
+	if err := recovered.OpenSnapshot(dir, nil); err != nil {
+		t.Fatal(err)
+	}
+	enginesEquivalent(t, e, recovered)
+
+	// A full save compacts: manifest and directory collapse to the live
+	// segmentation.
+	if err := e.SaveSnapshot(dir, nil); err != nil {
+		t.Fatal(err)
+	}
+	m, err = segio.ReadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Segments) != live {
+		t.Fatalf("after save: manifest references %d files for %d live segments", len(m.Segments), live)
+	}
+}
+
 // TestFailedSaveKeepsPreviousSnapshot: when any write fails mid-save,
 // the directory still opens to the previously saved state.
 func TestFailedSaveKeepsPreviousSnapshot(t *testing.T) {
@@ -277,6 +334,75 @@ func TestFailedSaveKeepsPreviousSnapshot(t *testing.T) {
 	if err := e.SaveSnapshot(dir, nil); err != nil {
 		t.Fatal(err)
 	}
+}
+
+// TestCheckpointWriteFailureKeepsPreviousManifest: a group-commit
+// checkpoint attempt that fails at the disk never fails the ingest that
+// enqueued it — the commit already happened — it is counted in
+// PersistCounters.CheckpointErrors, the previous manifest stays
+// openable, and because the written watermark does not advance on
+// failure, the next successful attempt repairs the directory in full.
+func TestCheckpointWriteFailureKeepsPreviousManifest(t *testing.T) {
+	g, _, c, _ := world(t)
+	dir := t.TempDir()
+	e := NewEngine(g, persistTestOptions())
+	e.IndexCorpus(c)
+	e.SetCheckpointDir(dir, map[string]string{"scale": "tiny"})
+	res, err := e.Ingest(context.Background(), ingestBatch(t, 8600, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.WaitPersisted(res.PersistSeq)
+	before, err := os.ReadFile(filepath.Join(dir, segio.ManifestName))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The writer is idle after WaitMerges (every enqueued job completed
+	// and none are pending), so swapping the injection hook does not
+	// race a write in flight; the enqueue/pickup mutex pair publishes
+	// the swap to the writer goroutine.
+	e.WaitMerges()
+	injected := errors.New("injected checkpoint failure")
+	origManifest := writeSegioManifest
+	writeSegioManifest = func(dir string, m *segio.Manifest) error { return injected }
+	res, err = e.Ingest(context.Background(), ingestBatch(t, 8601, 3))
+	if err != nil {
+		t.Fatalf("checkpoint failure must not fail the ingest: %v", err)
+	}
+	e.WaitPersisted(res.PersistSeq)
+	e.WaitMerges()
+	writeSegioManifest = origManifest
+
+	if n := e.PersistCounters().CheckpointErrors; n != 1 {
+		t.Fatalf("CheckpointErrors = %d, want 1", n)
+	}
+	after, err := os.ReadFile(filepath.Join(dir, segio.ManifestName))
+	if err != nil || string(after) != string(before) {
+		t.Fatal("failed checkpoint disturbed the previous manifest")
+	}
+	recovered := NewEngine(g, persistTestOptions())
+	if err := recovered.OpenSnapshot(dir, nil); err != nil {
+		t.Fatalf("store no longer opens after failed checkpoint: %v", err)
+	}
+	if recovered.NumDocs() != c.Len()+4 {
+		t.Fatalf("recovered %d docs, want the pre-failure state's %d",
+			recovered.NumDocs(), c.Len()+4)
+	}
+
+	// Failure cleared: the next ingest's checkpoint writes the full
+	// current state (nothing was marked written by the failed attempt).
+	res, err = e.Ingest(context.Background(), ingestBatch(t, 8602, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.WaitPersisted(res.PersistSeq)
+	e.WaitMerges()
+	repaired := NewEngine(g, persistTestOptions())
+	if err := repaired.OpenSnapshot(dir, nil); err != nil {
+		t.Fatal(err)
+	}
+	enginesEquivalent(t, e, repaired)
 }
 
 // TestPersistErrors pins the misuse and corruption error paths of the

@@ -3,7 +3,8 @@ package core
 import (
 	"context"
 	"math"
-	"sort"
+	"slices"
+	"sync"
 	"time"
 
 	"ncexplorer/internal/corpus"
@@ -126,6 +127,54 @@ func maxInstanceDegree(g *kg.Graph) int {
 	return max
 }
 
+// planScratch is the pooled per-worker scratch of the plan builder:
+// dense stamp arrays over documents / entities / blocks (reset by
+// bumping gen) plus a reusable new-document accumulation buffer. The
+// arrays grow monotonically with the corpus; pooled engine-wide so a
+// steady stream of ingests stops allocating them per generation.
+type planScratch struct {
+	docStamp []uint32
+	extStamp []uint32
+	blockAcc []float64
+	blockGen []uint32
+	gen      uint32
+	newDocs  []int32
+}
+
+// ensure grows the stamp arrays to the needed sizes. Grown tails are
+// zero, which can never equal a live gen (gen wraps are reset below),
+// so existing stamps stay correct.
+func (sc *planScratch) ensure(docBound, numNodes, numBlocks int) {
+	grow32 := func(s []uint32, n int) []uint32 {
+		if len(s) >= n {
+			return s
+		}
+		out := make([]uint32, n)
+		copy(out, s)
+		return out
+	}
+	sc.docStamp = grow32(sc.docStamp, docBound)
+	sc.extStamp = grow32(sc.extStamp, numNodes)
+	sc.blockGen = grow32(sc.blockGen, numBlocks+1)
+	if len(sc.blockAcc) < numBlocks+1 {
+		acc := make([]float64, numBlocks+1)
+		copy(acc, sc.blockAcc)
+		sc.blockAcc = acc
+	}
+}
+
+// bump advances the stamp generation, clearing the arrays on wrap so a
+// stale stamp can never alias a live one.
+func (sc *planScratch) bump() {
+	sc.gen++
+	if sc.gen == 0 {
+		clear(sc.docStamp)
+		clear(sc.extStamp)
+		clear(sc.blockGen)
+		sc.gen = 1
+	}
+}
+
 // buildPlans derives the generation's concept plans. Concepts that can
 // match at least one document are exactly those with a document entity
 // in their extent closure; enumerating the broader-closure of every
@@ -137,14 +186,20 @@ func maxInstanceDegree(g *kg.Graph) int {
 // and its segments are a pointer-prefix of st's (the shape every
 // Ingest produces — old segments are immutable, one segment is
 // appended), each concept's match skeleton (docs, matched entities,
-// saturated term frequencies, connectivity factors) is copied from the
-// previous plan and extended with the new segments' postings only; the
-// generation-dependent arrays are then replayed over the skeleton. The
-// replay performs the exact floating-point operations a from-scratch
-// build performs — sat·(IDF/idfMax) with this generation's global
-// counts, max by strict >, Spec·best — so both paths are bit-identical
-// (the equivalence tests pin this). Returns the summed per-concept
-// scoring nanoseconds.
+// saturated term frequencies, connectivity factors) is EXTENDED IN
+// PLACE: the new plan aliases the previous arrays and appends the new
+// segments' rows. That is safe under the single-writer invariant —
+// exactly one state derivation runs at a time (ingestMu), each prev is
+// used as a base at most once (state chains are linear; merges and
+// cache resets carry plan slices verbatim, preserving the chain), and
+// readers pinned to an older generation only index their own prefix,
+// which an append never moves or mutates. The generation-dependent
+// arrays (scores, ont, pivots, ceilings) are freshly allocated and
+// replayed over the skeleton with the exact floating-point operations
+// a from-scratch build performs — sat·(IDF/idfMax) with this
+// generation's global counts, max by strict >, Spec·best — so both
+// paths are bit-identical (the equivalence tests pin this). Returns
+// the summed per-concept scoring nanoseconds.
 func (e *Engine) buildPlans(st *genState, scorers []*relevance.Scorer, prev *genState) int64 {
 	numNodes := e.g.NumNodes()
 	st.plans = make([]conceptPlan, numNodes)
@@ -219,48 +274,57 @@ func (e *Engine) buildPlans(st *genState, scorers []*relevance.Scorer, prev *gen
 
 	// Phase 2: per-entity normalised IDF, idfN(v) = IDF(v)/idfMax, with
 	// the exact floating-point operations of textindex TFIDF so the
-	// ceiling's ubOnt dominates every term weight op-for-op. Filled from
-	// the posting keys of ALL segments (not just the rescanned ones):
-	// the replay needs every local entity's idfN, and posting keys are
-	// exactly the entities occurring in some local document.
-	idfMax := math.Log(1 + (float64(snap.Text.NumDocs())+0.5)/0.5)
-	entIDFN := make([]float64, numNodes)
-	if idfMax != 0 {
-		for _, seg := range snap.Segments {
-			for v := range seg.EntDocs {
-				if entIDFN[v] == 0 {
-					entIDFN[v] = snap.Text.IDF(snapshot.EntTerm(v)) / idfMax
-				}
+	// ceiling's ubOnt dominates every term weight op-for-op. The entity
+	// set is every posting key of ALL segments — the replay needs every
+	// local entity's idfN — maintained incrementally on the engine
+	// (extended from the rescanned segments only) instead of re-walking
+	// every segment's posting map each generation.
+	if !reuse {
+		e.plannedEnts, e.entSeen = nil, nil
+	}
+	if e.entSeen == nil {
+		e.entSeen = make([]bool, numNodes)
+	}
+	for _, seg := range newSegs {
+		for v := range seg.EntDocs {
+			if !e.entSeen[v] {
+				e.entSeen[v] = true
+				e.plannedEnts = append(e.plannedEnts, v)
 			}
 		}
 	}
+	idfMax := math.Log(1 + (float64(snap.Text.NumDocs())+0.5)/0.5)
+	entIDFN := make([]float64, numNodes)
+	if idfMax != 0 {
+		for _, v := range e.plannedEnts {
+			entIDFN[v] = snap.Text.IDF(snapshot.EntTerm(v)) / idfMax
+		}
+	}
+	// Retained for the lazy ceiling builder (ensureCeilings), which
+	// replays this generation's normalised IDF on first query use.
+	st.entIDFN = entIDFN
+	st.ceil = &ceilState{}
 
 	// Phase 3: per-concept gather + score + ceilings, in parallel.
 	numBlocks := snap.NumBlocks()
 	docBound := snap.DocBound()
-	type planScratch struct {
-		docStamp []uint32
-		extStamp []uint32
-		blockAcc []float64
-		blockGen []uint32
-		gen      uint32
-	}
 	scratches := make([]*planScratch, len(scorers))
 	for w := range scratches {
-		scratches[w] = &planScratch{
-			docStamp: make([]uint32, docBound),
-			extStamp: make([]uint32, numNodes),
-			blockAcc: make([]float64, numBlocks+1),
-			blockGen: make([]uint32, numBlocks+1),
-		}
+		scratches[w] = e.planPool.Get().(*planScratch)
+		scratches[w].ensure(docBound, numNodes, numBlocks)
 	}
+	defer func() {
+		for _, sc := range scratches {
+			e.planPool.Put(sc)
+		}
+	}()
 	nanos := make([]int64, len(scorers))
 	e.parallelWorker(len(concepts), func(worker, i int) {
 		start := time.Now()
 		c := concepts[i]
 		s := scorers[worker]
 		sc := scratches[worker]
-		sc.gen++
+		sc.bump()
 		ext, _ := s.Extent(c)
 		for _, v := range ext {
 			sc.extStamp[v] = sc.gen
@@ -277,7 +341,7 @@ func (e *Engine) buildPlans(st *genState, scorers []*relevance.Scorer, prev *gen
 		// the union of the capped extent's postings over the (re)scanned
 		// segments. New global IDs all exceed old ones (bases ascend), so
 		// the concatenation stays sorted.
-		var newDocs []int32
+		newDocs := sc.newDocs[:0]
 		for _, v := range ext {
 			for _, seg := range newSegs {
 				for _, d := range seg.EntDocs[v] {
@@ -288,32 +352,27 @@ func (e *Engine) buildPlans(st *genState, scorers []*relevance.Scorer, prev *gen
 				}
 			}
 		}
+		sc.newDocs = newDocs
 		n := nOld + len(newDocs)
 		if n == 0 {
 			nanos[worker] += time.Since(start).Nanoseconds()
 			return
 		}
-		sort.Slice(newDocs, func(a, b int) bool { return newDocs[a] < newDocs[b] })
-		docs := make([]int32, 0, n)
-		if nOld > 0 {
-			docs = append(docs, pp.docs...)
-		}
-		docs = append(docs, newDocs...)
+		slices.Sort(newDocs)
 
 		p := &st.plans[c]
-		p.docs = docs
-		p.scores = make([]float64, n)
-		p.ont = make([]float64, n)
-		p.cdrc = make([]float64, n)
-		p.pivots = make([]kg.NodeID, n)
-
-		// Skeleton: copy the previous rows, append rows for new documents.
+		// Skeleton: alias the previous arrays and append rows for the
+		// new documents only (see the invariant in the function comment;
+		// append copies newDocs' values, so the scratch buffer is never
+		// retained). A from-scratch concept starts fresh.
 		if nOld > 0 {
-			copy(p.cdrc, pp.cdrc[:nOld])
-			p.matchOff = append(make([]int32, 0, n+1), pp.matchOff...)
-			p.matchEnts = append(make([]kg.NodeID, 0, len(pp.matchEnts)+4*len(newDocs)), pp.matchEnts...)
-			p.matchSats = append(make([]float64, 0, len(pp.matchSats)+4*len(newDocs)), pp.matchSats...)
+			p.docs = append(pp.docs, newDocs...)
+			p.cdrc = pp.cdrc
+			p.matchOff = pp.matchOff
+			p.matchEnts = pp.matchEnts
+			p.matchSats = pp.matchSats
 		} else {
+			p.docs = append(make([]int32, 0, n), newDocs...)
 			p.matchOff = append(make([]int32, 0, n+1), 0)
 		}
 		for _, d := range newDocs {
@@ -327,15 +386,18 @@ func (e *Engine) buildPlans(st *genState, scorers []*relevance.Scorer, prev *gen
 			}
 			p.matchOff = append(p.matchOff, int32(len(p.matchEnts)))
 		}
+		p.scores = make([]float64, n)
+		p.ont = make([]float64, n)
+		p.pivots = make([]kg.NodeID, n)
 
 		// Replay: cdro(c, d) = Spec(c) · max_v sat(v, d)·idfN(v) over the
 		// matched entities, pivot by first strict maximum — the identical
 		// arithmetic and comparison order of relevance.OntologyRel. The
-		// connectivity factor is generation-independent: copied for old
-		// rows, computed (memoised engine-wide) for new ones. Whether
-		// cdro > 0 is itself generation-independent (Spec and tf do not
-		// change, and idfN is always positive), so copied cdrc values
-		// cover exactly the rows a fresh build would walk.
+		// connectivity factor is generation-independent: aliased for old
+		// rows, computed (memoised engine-wide) and appended for new
+		// ones. Whether cdro > 0 is itself generation-independent (Spec
+		// and tf do not change, and idfN is always positive), so aliased
+		// cdrc values cover exactly the rows a fresh build would walk.
 		spec := e.g.Specificity(c)
 		for j := 0; j < n; j++ {
 			best := -1.0
@@ -349,18 +411,70 @@ func (e *Engine) buildPlans(st *genState, scorers []*relevance.Scorer, prev *gen
 			cdro := spec * best
 			p.ont[j] = cdro
 			p.pivots[j] = pivot
-			if cdro > 0 {
-				if j >= nOld {
-					p.cdrc[j] = e.contextRel(s, c, docs[j])
+			if j >= nOld {
+				cc := 0.0
+				if cdro > 0 {
+					cc = e.contextRel(s, c, p.docs[j])
 				}
+				p.cdrc = append(p.cdrc, cc)
+			}
+			if cdro > 0 {
 				p.scores[j] = cdro * p.cdrc[j]
 			}
 		}
 
-		// Ceilings: fold the persisted block-max tf tables over the
-		// extent into per-block ubOnt maxima.
+		nanos[worker] += time.Since(start).Nanoseconds()
+	})
+	var total int64
+	for _, ns := range nanos {
+		total += ns
+	}
+	return total
+}
+
+// ceilState guards the lazy ceiling materialisation of one plan
+// generation: one sync.Once per concept, with the once-array itself
+// allocated on the first query that needs a ceiling — an ingest-only
+// workload never pays even the array's zeroing.
+type ceilState struct {
+	init  sync.Once
+	onces []sync.Once
+}
+
+func (cs *ceilState) slots(n int) []sync.Once {
+	cs.init.Do(func() { cs.onces = make([]sync.Once, n) })
+	return cs.onces
+}
+
+// ensureCeilings materialises one concept plan's pruning blocks and
+// ceiling visit order on first use at this generation. Ceilings are
+// only read by the single-concept pruned scan, so computing them
+// lazily — once per (concept, generation), under a sync.Once shared by
+// every reader of the plan — moves their cost off the ingest commit
+// path entirely while queries see byte-identical blocks: the fold
+// below performs the exact floating-point operations, in the exact
+// order, that the eager builder performed inside buildPlans. States
+// that share plans verbatim (merge rebuilds, cache resets) share the
+// ceiling state too, so a ceiling never recomputes across those swaps.
+func (st *genState) ensureCeilings(c kg.NodeID, p *conceptPlan) {
+	if len(p.docs) == 0 || c < 0 || int(c) >= len(st.plans) || st.ceil == nil {
+		return
+	}
+	st.ceil.slots(len(st.plans))[c].Do(func() {
+		e := st.e
+		s := st.getScorer()
+		defer st.putScorer(s)
+		sc := e.planPool.Get().(*planScratch)
+		defer e.planPool.Put(sc)
+		snap := st.snap
+		sc.ensure(0, 0, snap.NumBlocks())
+		sc.bump()
+
+		// Fold the persisted block-max tf tables over the extent into
+		// per-block ubOnt maxima.
+		ext, _ := s.Extent(c)
 		for _, v := range ext {
-			q := entIDFN[v]
+			q := st.entIDFN[v]
 			if q == 0 {
 				continue
 			}
@@ -377,12 +491,14 @@ func (e *Engine) buildPlans(st *genState, scorers []*relevance.Scorer, prev *gen
 				}
 			})
 		}
+		spec := e.g.Specificity(c)
 		cdrcCap := relevance.ConnToScore(relevance.ConnCap(len(ext), e.maxInstDeg, e.opts.Tau, e.opts.Beta))
+		var blocks []planBlock
 		lo := 0
-		for lo < len(docs) {
-			block := docs[lo] >> snapshot.BlockShift
+		for lo < len(p.docs) {
+			block := p.docs[lo] >> snapshot.BlockShift
 			hi := lo + 1
-			for hi < len(docs) && docs[hi]>>snapshot.BlockShift == block {
+			for hi < len(p.docs) && p.docs[hi]>>snapshot.BlockShift == block {
 				hi++
 			}
 			ceil := 0.0
@@ -398,27 +514,29 @@ func (e *Engine) buildPlans(st *genState, scorers []*relevance.Scorer, prev *gen
 					ceil = p.scores[j]
 				}
 			}
-			p.blocks = append(p.blocks, planBlock{lo: int32(lo), hi: int32(hi), ceil: ceil})
+			blocks = append(blocks, planBlock{lo: int32(lo), hi: int32(hi), ceil: ceil})
 			lo = hi
 		}
-		p.ceilOrder = make([]int32, len(p.blocks))
-		for j := range p.ceilOrder {
-			p.ceilOrder[j] = int32(j)
+		ceilOrder := make([]int32, len(blocks))
+		for j := range ceilOrder {
+			ceilOrder[j] = int32(j)
 		}
-		sort.Slice(p.ceilOrder, func(a, b int) bool {
-			ba, bb := p.blocks[p.ceilOrder[a]], p.blocks[p.ceilOrder[b]]
-			if ba.ceil != bb.ceil {
-				return ba.ceil > bb.ceil
+		slices.SortFunc(ceilOrder, func(a, b int32) int {
+			ba, bb := blocks[a], blocks[b]
+			switch {
+			case ba.ceil > bb.ceil:
+				return -1
+			case ba.ceil < bb.ceil:
+				return 1
+			case ba.lo < bb.lo:
+				return -1
+			default:
+				return 1
 			}
-			return ba.lo < bb.lo
 		})
-		nanos[worker] += time.Since(start).Nanoseconds()
+		p.blocks = blocks
+		p.ceilOrder = ceilOrder
 	})
-	var total int64
-	for _, ns := range nanos {
-		total += ns
-	}
-	return total
 }
 
 // docSourceView is the document→source lookup the pruned scan filters

@@ -142,6 +142,10 @@ func TestCeilingsDominateScores(t *testing.T) {
 		if len(p.docs) == 0 {
 			continue
 		}
+		st.ensureCeilings(kg.NodeID(c), p) // ceilings materialise on first query use
+		if len(p.blocks) == 0 {
+			t.Fatalf("concept %d: no blocks materialised for %d docs", c, len(p.docs))
+		}
 		if len(p.ceilOrder) != len(p.blocks) {
 			t.Fatalf("concept %d: ceilOrder len %d vs %d blocks", c, len(p.ceilOrder), len(p.blocks))
 		}

@@ -258,14 +258,20 @@ func intersectSorted(a, b []int32) []int32 {
 }
 
 // cdr returns the cached or freshly computed cdr(c, d) with its pivot
-// at this generation. The memo is pre-seeded from the plans, so for
-// matching pairs this is a lookup; the compute path remains for
+// at this generation. For matching pairs the value lives in the
+// concept's plan — the same score and pivot the old pre-seeded memo
+// held, read directly so the swap path no longer pays to copy every
+// planned pair into a map. The memoised compute path remains for
 // non-matching pairs (delta evaluation probes arbitrary keys). The
 // expensive connectivity factor comes from the engine-wide memo,
 // seeded by (concept, doc) so values are independent of query order
 // AND of which goroutine computes them — the determinism anchor of the
 // lock-free query path.
 func (st *genState) cdr(c kg.NodeID, doc int32) cdrEntry {
+	p := st.plan(c)
+	if idx := p.planIdx(doc); idx >= 0 {
+		return cdrEntry{cdr: p.scores[idx], pivot: p.pivots[idx]}
+	}
 	ent, _ := st.cdrMemo.GetOrCompute(cdrKey(c, doc), func() cdrEntry {
 		s := st.getScorer()
 		defer st.putScorer(s)
@@ -388,6 +394,7 @@ func (e *Engine) RollUpPageInto(ctx context.Context, q Query, opts RollUpOptions
 	var total int
 	var err error
 	if len(qplans) == 1 {
+		st.ensureCeilings(q[0], qplans[0])
 		total, err = scanPlanPruned(ctx, qplans[0], st, allowed, opts.MinScore, sc.coll)
 	} else {
 		cursors := sc.cursors[:0]
@@ -600,7 +607,7 @@ func (e *Engine) DrillDownPage(ctx context.Context, q Query, opts DrillDownOptio
 	mdDoc, mdNext := sc.mdDoc[:0], sc.mdNext[:0]
 	for _, d := range docs {
 		ne := int32(len(st.ents[d]))
-		for _, cs := range st.concepts[d] {
+		for _, cs := range st.docConcepts(d) {
 			c := cs.Concept
 			if queryHas(q, c) {
 				continue

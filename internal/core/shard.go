@@ -145,7 +145,7 @@ func (e *Engine) SetRemoteStats(rs ShardStats) error {
 	st, _ := e.buildState(e.localGen.Load()+rs.Batches, cur.snap.Segments, cur)
 	e.st.Store(st)
 	e.epoch.Add(1)
-	e.checkpointLocked(st)
+	e.checkpointSyncLocked(st)
 	return nil
 }
 

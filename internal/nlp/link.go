@@ -17,14 +17,16 @@ type Mention struct {
 }
 
 // Annotation is the NLP pipeline output for one document: the token
-// stream, linked entity mentions, the count of recognised-but-unlinked
-// mention spans (surface forms with no KG entry — the paper's dataset
-// table reports exactly this linked/total split), and index terms.
+// stream, linked entity mentions, and the count of
+// recognised-but-unlinked mention spans (surface forms with no KG
+// entry — the paper's dataset table reports exactly this linked/total
+// split). Word-level index terms are NOT part of an annotation: the
+// engine indexes entity terms only, and callers that want BM25 terms
+// use the standalone Terms helper.
 type Annotation struct {
 	Tokens     []Token
 	Mentions   []Mention
 	Unlinked   int
-	TermFreq   map[string]int
 	EntityFreq map[kg.NodeID]int
 }
 
@@ -165,7 +167,6 @@ func (l *Linker) Annotate(text string) *Annotation {
 
 	ann := &Annotation{
 		Tokens:     tokens,
-		TermFreq:   make(map[string]int),
 		EntityFreq: make(map[kg.NodeID]int),
 	}
 
@@ -206,15 +207,6 @@ func (l *Linker) Annotate(text string) *Annotation {
 			ann.Unlinked++
 		}
 		i = j
-	}
-
-	// Index terms.
-	for _, tok := range tokens {
-		norm := Normalize(tok.Text)
-		if IsStopword(norm) || len(norm) < 2 {
-			continue
-		}
-		ann.TermFreq[Stem(norm)]++
 	}
 	return ann
 }

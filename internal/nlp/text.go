@@ -12,6 +12,7 @@ package nlp
 import (
 	"strings"
 	"unicode"
+	"unicode/utf8"
 )
 
 // Token is a single lexical token with its byte span in the source text.
@@ -25,63 +26,48 @@ type Token struct {
 
 // Tokenize splits text into word tokens. A token is a maximal run of
 // letters and digits; an internal hyphen or apostrophe joins two
-// alphanumeric runs ("Soon-Shiong", "don't").
+// alphanumeric runs ("Soon-Shiong", "don't"). Token text is a slice of
+// the input string — no per-token copy — so tokens keep the backing
+// text alive for as long as they are retained.
 func Tokenize(text string) []Token {
-	var tokens []Token
-	runes := []rune(text)
-	// byteAt[i] = byte offset of rune i.
-	byteAt := make([]int, len(runes)+1)
-	off := 0
-	for i, r := range runes {
-		byteAt[i] = off
-		off += runeLen(r)
-	}
-	byteAt[len(runes)] = off
-
+	// English prose averages ~6 bytes per word incl. the separator;
+	// pre-sizing to that estimate absorbs nearly every append regrowth.
+	tokens := make([]Token, 0, len(text)/6+4)
 	isWord := func(r rune) bool { return unicode.IsLetter(r) || unicode.IsDigit(r) }
 	i := 0
-	for i < len(runes) {
-		if !isWord(runes[i]) {
-			i++
+	for i < len(text) {
+		r, sz := utf8.DecodeRuneInString(text[i:])
+		if !isWord(r) {
+			i += sz
 			continue
 		}
 		start := i
-		for i < len(runes) {
-			if isWord(runes[i]) {
-				i++
+		first := r
+		i += sz
+		for i < len(text) {
+			r, sz = utf8.DecodeRuneInString(text[i:])
+			if isWord(r) {
+				i += sz
 				continue
 			}
 			// Joiner if surrounded by word runes.
-			if (runes[i] == '-' || runes[i] == '\'') &&
-				i+1 < len(runes) && isWord(runes[i+1]) {
-				i += 2
-				continue
+			if (r == '-' || r == '\'') && i+sz < len(text) {
+				if r2, sz2 := utf8.DecodeRuneInString(text[i+sz:]); isWord(r2) {
+					i += sz + sz2
+					continue
+				}
 			}
 			break
 		}
-		txt := string(runes[start:i])
 		tokens = append(tokens, Token{
-			Text:  txt,
-			Start: byteAt[start],
-			End:   byteAt[i],
+			Text:  text[start:i],
+			Start: start,
+			End:   i,
 			Alpha: true,
-			Upper: unicode.IsUpper(runes[start]),
+			Upper: unicode.IsUpper(first),
 		})
 	}
 	return tokens
-}
-
-func runeLen(r rune) int {
-	switch {
-	case r < 0x80:
-		return 1
-	case r < 0x800:
-		return 2
-	case r < 0x10000:
-		return 3
-	default:
-		return 4
-	}
 }
 
 // Sentences splits text into sentences on ./!/? boundaries followed by

@@ -297,7 +297,30 @@ func WriteFileAtomic(dir, name string, data []byte) error {
 	return writeAtomic(dir, name, data)
 }
 
+// WriteFileDeferSync writes dir/name via temp + fsync + rename but
+// leaves the directory entry's durability to a later SyncDir(dir): a
+// writer placing several files before one manifest swap pays one
+// directory fsync for the whole group instead of one per file. The
+// file's CONTENT is durable on return; only the rename may still be
+// lost to a crash, which is indistinguishable from the file never
+// having been written — safe as long as no manifest references it
+// before SyncDir.
+func WriteFileDeferSync(dir, name string, data []byte) error {
+	return writeFileDeferSync(dir, name, data)
+}
+
+// SyncDir fsyncs the directory, making every prior rename into it
+// durable. Pair with WriteFileDeferSync.
+func SyncDir(dir string) error { return syncDir(dir) }
+
 func writeAtomic(dir, name string, data []byte) error {
+	if err := writeFileDeferSync(dir, name, data); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+func writeFileDeferSync(dir, name string, data []byte) error {
 	f, err := os.CreateTemp(dir, name+".tmp-*")
 	if err != nil {
 		return err
@@ -318,7 +341,7 @@ func writeAtomic(dir, name string, data []byte) error {
 		os.Remove(tmp)
 		return err
 	}
-	return syncDir(dir)
+	return nil
 }
 
 // syncDir fsyncs the directory so the rename itself is durable.

@@ -86,23 +86,47 @@ const (
 // Section tags, in the order they appear in a segment file.
 var segmentSections = [5]string{"DOCS", "ARTS", "TEXT", "POST", "BMAX"}
 
-// EncodeSegment renders a segment in the canonical on-disk format.
-func EncodeSegment(seg *snapshot.Segment) []byte {
-	var docs, arts, text, post, bmax writer
-	encodeDocs(&docs, seg)
-	encodeArticles(&arts, seg)
-	encodeText(&text, seg)
-	encodePostings(&post, seg)
-	encodeBlockMax(&bmax, seg)
+// segmentSizeHint estimates the encoded size of a segment so the
+// encoder can allocate its output buffer once. The ARTS section
+// (article bodies) dominates; the entity-shaped sections are bounded
+// by a small multiple of the per-document entity data. Under-estimates
+// only cost a buffer growth, never correctness.
+func segmentSizeHint(seg *snapshot.Segment) int {
+	n := 128
+	for i := range seg.Articles {
+		a := &seg.Articles[i]
+		n += len(a.Title) + len(a.Body) + 48 + 12*len(a.Topics) + 4*len(a.GoldEntities)
+	}
+	for i := range seg.Docs {
+		d := &seg.Docs[i]
+		// DOCS itself, plus TEXT/POST/BMAX whose payloads mirror the
+		// per-document entity and term data.
+		n += 32 + 12*(len(d.Entities)+len(d.EntityFreq)+len(d.Candidates))
+	}
+	return n
+}
 
-	var out writer
+// EncodeSegment renders a segment in the canonical on-disk format.
+// Sections are encoded directly into one pre-sized buffer — the length
+// prefix is backfilled and the CRC computed over the in-place payload
+// — so the bytes are written exactly once (this runs on the
+// group-commit writer, where every cycle competes with ingest).
+func EncodeSegment(seg *snapshot.Segment) []byte {
+	encoders := [5]func(*writer, *snapshot.Segment){
+		encodeDocs, encodeArticles, encodeText, encodePostings, encodeBlockMax,
+	}
+	out := writer{buf: make([]byte, 0, segmentSizeHint(seg))}
 	out.bytes([]byte(segmentMagic))
 	out.u16(formatVersion)
-	for i, payload := range [][]byte{docs.buf, arts.buf, text.buf, post.buf, bmax.buf} {
+	for i, enc := range encoders {
 		out.bytes([]byte(segmentSections[i]))
-		out.u64(uint64(len(payload)))
-		out.bytes(payload)
-		out.u32(crc32.ChecksumIEEE(payload))
+		lenAt := len(out.buf)
+		out.u64(0) // placeholder, backfilled once the payload length is known
+		start := len(out.buf)
+		enc(&out, seg)
+		binary.LittleEndian.PutUint64(out.buf[lenAt:], uint64(len(out.buf)-start))
+		sum := crc32.ChecksumIEEE(out.buf[start:])
+		out.u32(sum)
 	}
 	return out.buf
 }

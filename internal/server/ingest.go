@@ -49,10 +49,18 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 			len(req.Articles), s.opts.MaxIngestBatch))
 		return
 	}
-	res, err := s.explorer().Ingest(r.Context(), req.Articles)
+	x := s.explorer()
+	res, err := x.Ingest(r.Context(), req.Articles)
 	if err != nil {
 		s.writeAPIError(w, apiErrorFrom(err))
 		return
 	}
+	// Ingest returns at commit; the checkpoint drains through the
+	// group-commit writer. The response still reports durable state:
+	// wait for the batch's persist sequence before acknowledging, so a
+	// crash after a 200 never loses an acknowledged batch. Concurrent
+	// ingests keep pipelining — the next batch analyzes and commits
+	// while this handler waits.
+	x.WaitDurable(res.PersistSeq)
 	s.writeJSON(w, http.StatusOK, res)
 }

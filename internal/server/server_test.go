@@ -347,6 +347,11 @@ func TestStatsz(t *testing.T) {
 					Misses  int64 `json:"misses"`
 					Entries int64 `json:"entries"`
 				} `json:"match"`
+				Conn struct {
+					Hits    int64 `json:"hits"`
+					Misses  int64 `json:"misses"`
+					Entries int64 `json:"entries"`
+				} `json:"conn"`
 			} `json:"engine_cache"`
 		} `json:"index"`
 		Cache struct {
@@ -367,13 +372,15 @@ func TestStatsz(t *testing.T) {
 	if resp.Cache.Misses == 0 || resp.Cache.Hits == 0 || resp.Cache.Entries == 0 {
 		t.Fatalf("cache stats = %+v; want visible misses, hits, and entries", resp.Cache)
 	}
-	// The engine-side memo caches must be threaded through: the cdr
-	// memo is pre-seeded at indexing time and the match stats report
-	// the swap-time query plans (both entries > 0; the query path is
-	// plan-driven, so neither accrues hits or misses on roll-ups).
+	// The engine-side memo caches must be threaded through: the match
+	// stats report the swap-time query plans and the conn memo holds
+	// the walked context factors from indexing (both entries > 0). The
+	// cdr memo holds only on-demand non-matching probes — matching
+	// pairs are answered straight from the plans — so roll-up traffic
+	// leaves it empty.
 	ec := resp.Index.EngineCache
-	if ec.CDR.Entries == 0 {
-		t.Fatalf("engine cdr cache not seeded: %+v", ec)
+	if ec.Conn.Entries == 0 {
+		t.Fatalf("engine conn cache not seeded: %+v", ec)
 	}
 	if ec.Match.Entries == 0 {
 		t.Fatalf("engine query plans not reported: %+v", ec)

@@ -198,6 +198,16 @@ func (s *Snapshot) segmentOf(doc int32) *Segment {
 	return s.Segments[lo-1]
 }
 
+// HasDoc reports whether the snapshot holds the document locally (a
+// sharded snapshot's ID space has gaps where peers' segments live).
+func (s *Snapshot) HasDoc(doc int32) bool {
+	if doc < 0 || len(s.Segments) == 0 || doc < s.Segments[0].Base {
+		return false
+	}
+	seg := s.segmentOf(doc)
+	return doc-seg.Base < int32(len(seg.Docs))
+}
+
 // Doc returns the record of a global document ID.
 func (s *Snapshot) Doc(doc int32) *DocRecord {
 	seg := s.segmentOf(doc)
@@ -321,6 +331,32 @@ func Merge(segments []*Segment) *Segment {
 		articles = append(articles, seg.Articles...)
 	}
 	return BuildSegment(segments[0].Base, docs, articles)
+}
+
+// Rebase re-addresses a segment built at a speculative base to its
+// committed base. Only the base-dependent products change: article IDs,
+// the global entity→document postings (shifted in place), and the
+// block-max tables (recomputed — block boundaries are global-ID
+// windows, so a shift can re-bucket documents). The text index and the
+// document records are local-ID data and are untouched. The segment
+// must not have been published yet: Rebase mutates it in place and
+// returns it.
+func Rebase(seg *Segment, base int32) *Segment {
+	if base == seg.Base {
+		return seg
+	}
+	delta := base - seg.Base
+	for i := range seg.Articles {
+		seg.Articles[i].ID = corpus.DocID(base + int32(i))
+	}
+	for _, docs := range seg.EntDocs {
+		for i := range docs {
+			docs[i] += delta
+		}
+	}
+	seg.Base = base
+	seg.MaxTF = ComputeMaxTF(base, seg.Docs)
+	return seg
 }
 
 // EntTerm renders an entity ID as a text-index term; the engine uses

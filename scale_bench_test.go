@@ -1,0 +1,151 @@
+package ncexplorer
+
+// The scale tier: one benchmark that ingests a large document count
+// (default 5 000; BENCH_SCALE_DOCS=100000 for the full tier) through
+// the pipelined ingest path while roll-up queries run concurrently,
+// and reports the three numbers the serving story is sized by:
+//
+//   - docs/sec       sustained ingest throughput, durable state included
+//                    (the run ends with Quiesce inside the timed region);
+//   - q-p99-ns       p99 roll-up latency UNDER ingest load — the reader
+//                    tail the snapshot-swap design promises to protect;
+//   - peak-rss-mb    process peak RSS (VmHWM), proving the corpus streams
+//                    through generation in constant memory instead of
+//                    being materialised up front.
+//
+// scripts/bench_json.sh runs it with -benchtime 1x and gates all three.
+
+import (
+	"bufio"
+	"context"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"ncexplorer/internal/corpus"
+)
+
+// peakRSSMB reads the process high-water resident set (VmHWM) in MiB.
+// Linux-only; returns 0 where /proc is unavailable, and callers (and
+// the bench_json.sh gate) treat 0 as "not measured".
+func peakRSSMB() float64 {
+	f, err := os.Open("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "VmHWM:") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return 0
+		}
+		kb, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			return 0
+		}
+		return kb / 1024
+	}
+	return 0
+}
+
+func scaleDocs(b *testing.B) int {
+	docs := 5000
+	if s := os.Getenv("BENCH_SCALE_DOCS"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n <= 0 {
+			b.Fatalf("BENCH_SCALE_DOCS=%q: want a positive integer", s)
+		}
+		docs = n
+	}
+	return docs
+}
+
+func BenchmarkScaleIngest(b *testing.B) {
+	docs := scaleDocs(b)
+	const batchSize = 1024
+	var lat []time.Duration
+	totalDocs := 0
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		x, err := New(Config{Scale: "tiny", MaxSegments: 32})
+		if err != nil {
+			b.Fatal(err)
+		}
+		// The stream generates each batch on demand — the 100k-doc tier
+		// never holds more than one batch of raw documents at a time.
+		stream, err := corpus.NewStream(x.g, x.meta, x.ccfg, 424242)
+		if err != nil {
+			b.Fatal(err)
+		}
+		topics := x.EvaluationTopics()
+
+		// Concurrent query load: two readers roll up evaluation topics
+		// for the whole run, recording per-query latency for the p99.
+		stop := make(chan struct{})
+		var readers sync.WaitGroup
+		var latMu sync.Mutex
+		for r := 0; r < 2; r++ {
+			readers.Add(1)
+			go func(r int) {
+				defer readers.Done()
+				for q := r; ; q++ {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					topic := topics[q%len(topics)]
+					start := time.Now()
+					if _, err := x.RollUp([]string{topic[0]}, 8); err != nil {
+						b.Error(err)
+						return
+					}
+					d := time.Since(start)
+					latMu.Lock()
+					lat = append(lat, d)
+					latMu.Unlock()
+				}
+			}(r)
+		}
+
+		b.StartTimer()
+		ingested := 0
+		for ingested < docs {
+			n := batchSize
+			if rest := docs - ingested; rest < n {
+				n = rest
+			}
+			if _, err := x.engine.Ingest(context.Background(), stream.NextBatch(n)); err != nil {
+				b.Fatal(err)
+			}
+			ingested += n
+		}
+		// Durable throughput: merges and the group-commit writer drain
+		// inside the timed region.
+		x.Quiesce()
+		b.StopTimer()
+
+		close(stop)
+		readers.Wait()
+		totalDocs += docs
+	}
+	if elapsed := b.Elapsed().Seconds(); elapsed > 0 {
+		b.ReportMetric(float64(totalDocs)/elapsed, "docs/sec")
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	if len(lat) > 0 {
+		b.ReportMetric(float64(lat[int(0.99*float64(len(lat)-1))]), "q-p99-ns")
+	}
+	if rss := peakRSSMB(); rss > 0 {
+		b.ReportMetric(rss, "peak-rss-mb")
+	}
+}

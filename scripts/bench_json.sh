@@ -24,17 +24,26 @@
 #     that recorded the baselines. The measured margins are ~26x
 #     (roll-up) and ~5.8x (drill-down).
 #   - leader ingest (checkpointing armed, i.e. every batch also
-#     publishes a snapshot for replicas) at least 40% of plain ingest
-#     throughput within the same run (PR 8 — the plan-reuse claim:
-#     without reusing prior-generation query plans, re-planning every
-#     snapshot publish taxed leader ingest to well under half).
+#     publishes a snapshot for replicas) at least 70% of plain ingest
+#     throughput within the same run (PR 9 — the group-commit claim:
+#     checkpoint encode+fsync overlaps the next batch's analysis and
+#     consecutive commits coalesce to one manifest write; the PR 8
+#     plan-reuse bar was 40%).
+#   - ingest throughput at least 1.5x the PR 8 baseline recorded in
+#     BENCH_pr8.json (PR 9 — the pipelined-ingest claim; the full
+#     measured margin is >2x). Machine-class-relative like the cold
+#     gate: BENCH_SKIP_COLD_GATE=1 skips it on slower hardware.
+#   - scale tier (BenchmarkScaleIngest, default 5k docs, 100k with
+#     BENCH_SCALE_DOCS=100000): sustained ingest under concurrent
+#     query load, p99 roll-up latency under that load, and peak RSS
+#     proving constant-memory corpus streaming (PR 9).
 #   - with a baseline snapshot, warm RollUp ns/op within 25% of it
 #     (same-machine regression gate). A baseline recorded before a
 #     metric existed warns and skips that comparison instead of
 #     failing, so new tiers never break the merge-base gate on PRs.
 set -e
 
-out="${1:-BENCH_pr8.json}"
+out="${1:-BENCH_pr9.json}"
 # Time-based so the pooled warm paths amortise their per-goroutine
 # pool misses: with a tiny fixed iteration count (e.g. 20x) the first
 # call on every P allocates its scratch and the integer-rounded
@@ -59,6 +68,10 @@ go test -run '^$' -bench 'BenchmarkOpenSnapshot|BenchmarkWatchEvaluate' \
 # leader ingest with checkpointing armed.
 go test -run '^$' -bench 'BenchmarkRouterFanout|BenchmarkSegmentShipping|BenchmarkLeaderIngest' \
     -benchtime "$benchtime" ./internal/cluster >> "$tmp"
+# Scale tier: one full pipelined ingest run (default 5k documents;
+# BENCH_SCALE_DOCS=100000 for the full tier) with concurrent roll-up
+# load — always -benchtime 1x, the run IS the measurement.
+go test -run '^$' -bench 'BenchmarkScaleIngest$' -benchtime 1x . >> "$tmp"
 cat "$tmp"
 
 awk -v benchtime="$benchtime" '
@@ -66,7 +79,8 @@ awk -v benchtime="$benchtime" '
     name = $1
     sub(/-[0-9]+$/, "", name)   # strip the -GOMAXPROCS suffix
     nsop = ""; nsq = ""; dps = ""; aps = ""; bpo = ""; apo = ""
-    p50 = ""; p99 = ""; shp = ""
+    p50 = ""; p99 = ""; shp = ""; qp99 = ""; rss = ""
+    pdps = ""; cdps = ""; dpc = ""
     for (i = 2; i < NF; i++) {
       if ($(i+1) == "ns/op")     nsop = $i
       if ($(i+1) == "ns/query")  nsq  = $i
@@ -77,6 +91,11 @@ awk -v benchtime="$benchtime" '
       if ($(i+1) == "p50-ns")    p50  = $i
       if ($(i+1) == "p99-ns")    p99  = $i
       if ($(i+1) == "ship-B/s")  shp  = $i
+      if ($(i+1) == "q-p99-ns")    qp99 = $i
+      if ($(i+1) == "peak-rss-mb") rss  = $i
+      if ($(i+1) == "plain-docs/sec") pdps = $i
+      if ($(i+1) == "ckpt-docs/sec")  cdps = $i
+      if ($(i+1) == "durable-pct")    dpc  = $i
     }
     if (nsop == "") next
     if (n++) printf ",\n"
@@ -89,6 +108,11 @@ awk -v benchtime="$benchtime" '
     if (p50 != "") printf ", \"p50_ns\": %s", p50
     if (p99 != "") printf ", \"p99_ns\": %s", p99
     if (shp != "") printf ", \"ship_bytes_per_sec\": %s", shp
+    if (qp99 != "") printf ", \"query_p99_ns\": %s", qp99
+    if (rss != "") printf ", \"peak_rss_mb\": %s", rss
+    if (pdps != "") printf ", \"plain_docs_per_sec\": %s", pdps
+    if (cdps != "") printf ", \"ckpt_docs_per_sec\": %s", cdps
+    if (dpc != "") printf ", \"durable_pct\": %s", dpc
     printf "}"
   }
   END {
@@ -203,22 +227,84 @@ if [ -z "$BENCH_SKIP_COLD_GATE" ]; then
 fi
 
 # Leader-ingest gate: a cluster leader publishes a snapshot on every
-# committed batch (CheckpointTo armed), which re-plans the query
-# posting layout for the new snapshot. With plan reuse (only the new
-# segment is planned; prior-generation plans carry over) that publish
-# must not tax ingest below 40% of plain (non-checkpointing) ingest
-# throughput. Both modes run back-to-back inside the same benchmark,
-# so the ratio holds on any machine class.
-plain_ingest="$(extract_field 'BenchmarkLeaderIngest/plain' docs_per_sec "$out")"
-leader_ingest="$(extract_field 'BenchmarkLeaderIngest/checkpointing' docs_per_sec "$out")"
-if [ -z "$plain_ingest" ] || [ -z "$leader_ingest" ]; then
-  echo "could not extract ingest throughput (plain=$plain_ingest, checkpointing=$leader_ingest)" >&2
+# committed batch (CheckpointTo armed). With the group-commit writer
+# the checkpoint encode+fsync overlaps the next batch's analysis and
+# consecutive commits coalesce into one manifest write, so durable
+# leader throughput (the benchmark drains the writer inside its timed
+# region) must reach 70% of plain ingest — up from the 40% the PR 8
+# plan-reuse mitigation alone bought. The benchmark PAIRS the two
+# modes inside every iteration (alternating order) and reports the
+# ratio directly as durable-pct, so the gate compares runs that shared
+# the machine's state and holds on any machine class.
+plain_ingest="$(extract_field 'BenchmarkLeaderIngest' plain_docs_per_sec "$out")"
+leader_ingest="$(extract_field 'BenchmarkLeaderIngest' ckpt_docs_per_sec "$out")"
+durable_pct="$(extract_field 'BenchmarkLeaderIngest' durable_pct "$out")"
+if [ -z "$durable_pct" ]; then
+  echo "could not extract BenchmarkLeaderIngest durable_pct (plain=$plain_ingest, ckpt=$leader_ingest)" >&2
   exit 1
 fi
-echo "leader-ingest gate: $leader_ingest docs/sec with checkpointing vs $plain_ingest docs/sec plain"
-if ! awk -v l="$leader_ingest" -v c="$plain_ingest" 'BEGIN { exit !(l * 10 >= c * 4) }'; then
-  echo "FAIL: checkpointing leader ingest is below 40% of plain ingest ($leader_ingest vs $plain_ingest docs/sec)" >&2
+echo "leader-ingest gate: $leader_ingest docs/sec with checkpointing vs $plain_ingest docs/sec plain (${durable_pct}%)"
+if ! awk -v p="$durable_pct" 'BEGIN { exit !(p >= 70) }'; then
+  echo "FAIL: checkpointing leader ingest is below 70% of paired plain ingest (${durable_pct}%)" >&2
   exit 1
+fi
+
+# Pipelined-ingest gate: BenchmarkIngest against the PR 8 baseline
+# (BENCH_pr8.json recorded 1632 docs/sec on the reference container).
+# The pipeline's acceptance bar is 2x; the gate enforces 1.5x so normal
+# machine noise inside the same class never flakes it. Machine-class
+# relative — BENCH_SKIP_COLD_GATE=1 skips it, like the cold gate.
+if [ -z "$BENCH_SKIP_COLD_GATE" ]; then
+  ref_ingest=1632
+  ingest_dps="$(extract_field 'BenchmarkIngest' docs_per_sec "$out")"
+  if [ -z "$ingest_dps" ]; then
+    echo "could not extract BenchmarkIngest docs_per_sec" >&2
+    exit 1
+  fi
+  echo "ingest gate: $ingest_dps docs/sec (ref $ref_ingest, need 1.5x = 2448)"
+  if ! awk -v new="$ingest_dps" -v ref="$ref_ingest" 'BEGIN { exit !(new * 2 >= ref * 3) }'; then
+    echo "FAIL: pipelined ingest is not 1.5x the PR 8 baseline ($ingest_dps vs $ref_ingest docs/sec)" >&2
+    exit 1
+  fi
+fi
+
+# Scale-tier gates: the sustained run must hold throughput under
+# concurrent query load, keep the roll-up tail flat, and stream the
+# corpus through generation in constant memory. Reference-container
+# measurements: 5k docs ≈ 1250 docs/sec, p99 20µs, 76 MB peak; 100k
+# docs ≈ 1000 docs/sec, p99 111µs, 822 MB peak. The RSS cap scales
+# with the document count because the INDEX legitimately grows with
+# the corpus (~8 KB/doc); the gate catches the failure mode where raw
+# documents pile up (generation materialised up front, batches
+# retained). Throughput is machine-class relative and honours
+# BENCH_SKIP_COLD_GATE.
+scale_dps="$(extract_field 'BenchmarkScaleIngest' docs_per_sec "$out")"
+scale_p99="$(extract_field 'BenchmarkScaleIngest' query_p99_ns "$out")"
+scale_rss="$(extract_field 'BenchmarkScaleIngest' peak_rss_mb "$out")"
+if [ -z "$scale_dps" ] || [ -z "$scale_p99" ]; then
+  echo "could not extract scale-tier metrics (docs/sec=$scale_dps, p99=$scale_p99)" >&2
+  exit 1
+fi
+echo "scale gate: $scale_dps docs/sec under query load, roll-up p99 ${scale_p99} ns, peak RSS ${scale_rss:-unmeasured} MB"
+if [ -z "$BENCH_SKIP_COLD_GATE" ]; then
+  if ! awk -v d="$scale_dps" 'BEGIN { exit !(d >= 700) }'; then
+    echo "FAIL: scale-tier ingest below 700 docs/sec under query load ($scale_dps)" >&2
+    exit 1
+  fi
+fi
+if ! awk -v p="$scale_p99" 'BEGIN { exit !(p <= 5000000) }'; then
+  echo "FAIL: scale-tier roll-up p99 above 5ms under ingest load ($scale_p99 ns)" >&2
+  exit 1
+fi
+if [ -n "$scale_rss" ]; then
+  scale_docs="${BENCH_SCALE_DOCS:-5000}"
+  rss_limit=$((256 + scale_docs * 8 / 1000))
+  if ! awk -v r="$scale_rss" -v lim="$rss_limit" 'BEGIN { exit !(r <= lim) }'; then
+    echo "FAIL: scale-tier peak RSS above $rss_limit MB for $scale_docs docs ($scale_rss MB)" >&2
+    exit 1
+  fi
+else
+  echo "WARN: peak RSS unmeasured (/proc unavailable); skipping RSS gate" >&2
 fi
 
 # Perf gate: warm RollUp must stay within 25% of the baseline. The
