@@ -26,12 +26,17 @@
 //	rollup [<c1> ; <c2> …]    top articles (current pattern when no args)
 //	drill [<c1> ; <c2> …]     suggested subtopics (current pattern when no args)
 //	refine <concept|N>        add a subtopic to the pattern (N = drill row)
+//	zoom <start>..<end>       restrict queries to a publication window
+//	                          (dates or RFC3339; either side open;
+//	                          "zoom off" clears; undoable with back)
+//	trend [day|week|month]    per-period match histogram with deltas
 //	back                      undo the last pattern change
 //	history                   the session's breadcrumb trail
 //	topics                    the paper's six evaluation queries
 //	save <dir>                persist the index for a later -open
 //	watch <c1> ; <c2> ; …     register a standing query; alerts print live
-//	                          as matching articles are ingested
+//	                          as matching articles are ingested; an @N/D
+//	                          suffix alerts only on ≥N matches in D days
 //	watchlists                list registered watchlists
 //	unwatch <id>              remove a watchlist
 //	feed <n>                  ingest n sample articles (fires watch alerts)
@@ -59,6 +64,10 @@ type shell struct {
 	sessions *session.Store
 	id       string   // current session ID; "" = none
 	lastSubs []string // last drill suggestions, for "refine N"
+	// window is the zoom window applied when no session is open; with a
+	// session the window lives in the session store (breadcrumbed and
+	// undoable) and this field is ignored.
+	window *ncexplorer.TimeRange
 	// watchSubs holds the live alert subscriptions opened by `watch`,
 	// by watchlist ID, so `unwatch` can end the printer goroutine.
 	watchSubs map[string]*ncexplorer.WatchSubscription
@@ -109,13 +118,48 @@ func main() {
 	}
 }
 
-// prompt shows the current pattern so the analyst always knows where
-// they are in the hierarchy.
+// prompt shows the current pattern (and zoom window, if any) so the
+// analyst always knows where they are in the hierarchy.
 func (sh *shell) prompt() string {
+	win := formatWindow(sh.curWindow())
 	if snap, ok := sh.current(); ok {
+		if win != "" {
+			return fmt.Sprintf("[%s | %s] > ", strings.Join(snap.Concepts, " ; "), win)
+		}
 		return fmt.Sprintf("[%s] > ", strings.Join(snap.Concepts, " ; "))
 	}
+	if win != "" {
+		return fmt.Sprintf("[%s] > ", win)
+	}
 	return "> "
+}
+
+// curWindow resolves the zoom window queries should run under: the
+// session's when one is open, the shell-local one otherwise.
+func (sh *shell) curWindow() *ncexplorer.TimeRange {
+	if snap, ok := sh.current(); ok {
+		if snap.Window == nil {
+			return nil
+		}
+		return &ncexplorer.TimeRange{Start: snap.Window.Start, End: snap.Window.End}
+	}
+	return sh.window
+}
+
+// formatWindow renders a window compactly, trimming midnight-UTC
+// timestamps down to their date.
+func formatWindow(tr *ncexplorer.TimeRange) string {
+	if tr == nil {
+		return ""
+	}
+	return shortTime(tr.Start) + ".." + shortTime(tr.End)
+}
+
+func shortTime(s string) string {
+	if strings.HasSuffix(s, "T00:00:00Z") {
+		return strings.TrimSuffix(s, "T00:00:00Z")
+	}
+	return s
 }
 
 // current returns the live session snapshot, if a session is open.
@@ -158,11 +202,15 @@ func (sh *shell) execute(line string) (quit bool) {
   rollup [<c1> ; <c2>]    top articles (current pattern when no args)
   drill [<c1> ; <c2>]     subtopic suggestions (current pattern when no args)
   refine <concept|N>      add a subtopic to the pattern (N = row from last drill)
+  zoom <start>..<end>     restrict queries to a publication window
+                          (dates or RFC3339, either side open; "zoom off" clears)
+  trend [day|week|month]  per-period match histogram for the pattern
   back                    undo the last pattern change
   history                 the session's breadcrumb trail
   topics                  the paper's six evaluation queries
   save <dir>              persist the index (reload with -open <dir>)
   watch <c1> ; <c2>       register a standing query; alerts print live
+                          (@N/D suffix: alert only on ≥N matches in D days)
   watchlists              list registered watchlists
   unwatch <id>            remove a watchlist
   feed <n>                ingest n sample articles (fires watch alerts)
@@ -204,6 +252,10 @@ func (sh *shell) execute(line string) (quit bool) {
 		sh.feed(rest)
 	case "refine":
 		sh.refine(rest)
+	case "zoom":
+		sh.zoom(rest)
+	case "trend":
+		sh.trend(rest)
 	case "back":
 		sh.back()
 	case "history":
@@ -213,18 +265,20 @@ func (sh *shell) execute(line string) (quit bool) {
 		if !ok {
 			return
 		}
-		articles, err := sh.x.RollUp(concepts, 5)
+		res, err := sh.x.RollUpQuery(context.Background(), ncexplorer.RollUpRequest{
+			Concepts: concepts, K: 5, Explain: true, Time: sh.curWindow(),
+		})
 		if err != nil {
 			printError(err)
 			return
 		}
-		for i, a := range articles {
-			fmt.Printf("%d. [%.3f] (%s) %s\n", i+1, a.Score, a.Source, a.Title)
+		for i, a := range res.Articles {
+			fmt.Printf("%d. [%.3f] (%s, %s) %s\n", i+1, a.Score, a.Source, shortTime(a.PublishedAt), a.Title)
 			for _, e := range a.Explanations {
 				fmt.Printf("     %-28s cdr=%.3f via %s\n", e.Concept, e.CDR, e.Pivot)
 			}
 		}
-		if len(articles) == 0 {
+		if len(res.Articles) == 0 {
 			fmt.Println("no matching articles")
 		}
 	case "drill":
@@ -237,11 +291,14 @@ func (sh *shell) execute(line string) (quit bool) {
 		// the numbered list is cleared up front and repopulated only
 		// when this drill ran on the session pattern.
 		sh.lastSubs = nil
-		subs, err := sh.x.DrillDown(concepts, 8)
+		dres, err := sh.x.DrillDownQuery(context.Background(), ncexplorer.DrillDownRequest{
+			Concepts: concepts, K: 8, Explain: true, Time: sh.curWindow(),
+		})
 		if err != nil {
 			printError(err)
 			return
 		}
+		subs := dres.Suggestions
 		forSession := rest == "" && sh.id != ""
 		for i, s := range subs {
 			if forSession {
@@ -317,6 +374,108 @@ func (sh *shell) refine(rest string) {
 	fmt.Printf("pattern: %s\n", strings.Join(snap.Concepts, " ; "))
 }
 
+// zoom sets, clears, or shows the publication-time window. With a
+// session open the window is stored as a navigation step (so `back`
+// undoes it); otherwise it is shell-local.
+func (sh *shell) zoom(rest string) {
+	switch rest {
+	case "":
+		if win := formatWindow(sh.curWindow()); win != "" {
+			fmt.Println("window:", win)
+		} else {
+			fmt.Println("no window — 'zoom <start>..<end>' sets one (dates or RFC3339, either side open)")
+		}
+		return
+	case "off", "out", "clear":
+		if sh.id != "" {
+			if _, err := sh.sessions.Zoom(sh.id, nil); err != nil {
+				printError(err)
+				return
+			}
+		}
+		sh.window = nil
+		fmt.Println("window cleared")
+		return
+	}
+	start, end, ok := strings.Cut(rest, "..")
+	if !ok {
+		fmt.Println("usage: zoom <start>..<end>  (either side may be empty; 'zoom off' clears)")
+		return
+	}
+	tr := &ncexplorer.TimeRange{Start: expandTime(start), End: expandTime(end)}
+	if err := ncexplorer.ValidateTimeRange(tr); err != nil {
+		printError(err)
+		return
+	}
+	if sh.id != "" {
+		if _, err := sh.sessions.Zoom(sh.id, &session.Window{Start: tr.Start, End: tr.End}); err != nil {
+			printError(err)
+			return
+		}
+	} else {
+		sh.window = tr
+	}
+	fmt.Printf("window: %s ('zoom off' clears, 'back' undoes)\n", formatWindow(tr))
+}
+
+// expandTime widens a bare date to its first instant so `zoom
+// 2024-01-01..2024-03-01` works without spelling out RFC3339.
+func expandTime(s string) string {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return ""
+	}
+	if _, err := time.Parse("2006-01-02", s); err == nil {
+		return s + "T00:00:00Z"
+	}
+	return s
+}
+
+// trend prints the per-period match histogram for the current pattern:
+// the temporal roll-up with group_by, deltas, and rank movement.
+func (sh *shell) trend(rest string) {
+	gb := "week"
+	if f := strings.Fields(rest); len(f) > 0 {
+		switch strings.ToLower(f[0]) {
+		case "day", "week", "month":
+			gb = strings.ToLower(f[0])
+			rest = strings.TrimSpace(strings.TrimPrefix(rest, f[0]))
+		}
+	}
+	concepts, ok := sh.pattern(rest)
+	if !ok {
+		return
+	}
+	res, err := sh.x.RollUpQuery(context.Background(), ncexplorer.RollUpRequest{
+		Concepts: concepts, K: 1, GroupBy: gb, Time: sh.curWindow(),
+	})
+	if err != nil {
+		printError(err)
+		return
+	}
+	if len(res.Periods) == 0 {
+		fmt.Println("no matching articles")
+		return
+	}
+	arrows := map[string]string{"up": "↑", "down": "↓", "flat": "→"}
+	maxCount := 0
+	for _, p := range res.Periods {
+		if p.Count > maxCount {
+			maxCount = p.Count
+		}
+	}
+	for _, p := range res.Periods {
+		bar := strings.Repeat("█", p.Count*24/maxCount)
+		move := ""
+		if p.RankDelta != 0 {
+			move = fmt.Sprintf(" (%+d)", p.RankDelta)
+		}
+		fmt.Printf("%s  %-24s %4d  %s %+d  rank %d%s\n",
+			shortTime(p.Start), bar, p.Count, arrows[p.Direction], p.Delta, p.Rank, move)
+	}
+	fmt.Printf("(%d matching articles per %s)\n", res.Total, gb)
+}
+
 func (sh *shell) back() {
 	if sh.id == "" {
 		fmt.Println("no open session")
@@ -341,7 +500,11 @@ func (sh *shell) history() {
 		if st.Concept != "" {
 			op += " " + st.Concept
 		}
-		fmt.Printf("%2d. %-24s → %s\n", i+1, op, strings.Join(st.Concepts, " ; "))
+		where := strings.Join(st.Concepts, " ; ")
+		if st.Window != nil {
+			where += " | " + shortTime(st.Window.Start) + ".." + shortTime(st.Window.End)
+		}
+		fmt.Printf("%2d. %-24s → %s\n", i+1, op, where)
 	}
 	fmt.Printf("    (%d step(s) undoable)\n", snap.Depth)
 }
@@ -351,12 +514,23 @@ func (sh *shell) history() {
 // matching article, the alert prints in place, with the same score and
 // evidence a rollup would report.
 func (sh *shell) watch(rest string) {
+	spec := ncexplorer.WatchlistSpec{}
+	// A trailing @N/D token sets the burst threshold: alert only once
+	// ≥N matches were published within D days.
+	if at := strings.LastIndex(rest, "@"); at >= 0 {
+		var n, d int
+		if c, err := fmt.Sscanf(rest[at:], "@%d/%d", &n, &d); c == 2 && err == nil && n > 0 && d > 0 {
+			spec.WindowCount, spec.WindowDays = n, d
+			rest = strings.TrimSpace(rest[:at])
+		}
+	}
 	concepts := splitConcepts(rest)
 	if len(concepts) == 0 {
-		fmt.Println("usage: watch <concept> ; <concept> ; …")
+		fmt.Println("usage: watch <concept> ; <concept> ; … [@N/D]")
 		return
 	}
-	wl, err := sh.x.RegisterWatchlist(ncexplorer.WatchlistSpec{Concepts: concepts})
+	spec.Concepts = concepts
+	wl, err := sh.x.RegisterWatchlist(spec)
 	if err != nil {
 		printError(err)
 		return
@@ -376,8 +550,12 @@ func (sh *shell) watch(rest string) {
 			}
 		}
 	}()
-	fmt.Printf("watchlist %s registered on %s (from generation %d); 'feed <n>' ingests sample articles\n",
-		wl.ID, strings.Join(wl.Concepts, " ; "), wl.CreatedGeneration)
+	burst := ""
+	if wl.WindowCount > 0 {
+		burst = fmt.Sprintf(", alerting on ≥%d matches in %d days", wl.WindowCount, wl.WindowDays)
+	}
+	fmt.Printf("watchlist %s registered on %s (from generation %d%s); 'feed <n>' ingests sample articles\n",
+		wl.ID, strings.Join(wl.Concepts, " ; "), wl.CreatedGeneration, burst)
 }
 
 func (sh *shell) watchlists() {

@@ -3,6 +3,7 @@ package ncexplorer
 import (
 	"context"
 	"strings"
+	"time"
 
 	"ncexplorer/internal/corpus"
 )
@@ -17,6 +18,11 @@ type IngestArticle struct {
 	Source string `json:"source"`
 	Title  string `json:"title"`
 	Body   string `json:"body"`
+	// PublishedAt is the article's publication time in RFC3339
+	// (e.g. "2023-09-04T08:00:00Z"). Optional: when empty the engine
+	// stamps the ingest wall clock and counts the article in
+	// Stats.Ingest.DocsDefaultedTime.
+	PublishedAt string `json:"published_at,omitempty"`
 }
 
 // IngestResult reports one accepted batch.
@@ -65,7 +71,18 @@ func (x *Explorer) Ingest(ctx context.Context, articles []IngestArticle) (Ingest
 			return IngestResult{}, newErrorf(CodeInvalidArgument,
 				"ncexplorer: article %d: empty title and body", i)
 		}
-		docs[i] = corpus.Document{Source: src, Title: a.Title, Body: a.Body}
+		var pub int64
+		if a.PublishedAt != "" {
+			t, err := time.Parse(time.RFC3339, a.PublishedAt)
+			if err != nil {
+				e := newErrorf(CodeInvalidArgument,
+					"ncexplorer: article %d: invalid published_at %q: want RFC3339", i, a.PublishedAt)
+				e.Details = map[string]any{"index": i, "published_at": a.PublishedAt}
+				return IngestResult{}, e
+			}
+			pub = t.Unix()
+		}
+		docs[i] = corpus.Document{Source: src, Title: a.Title, Body: a.Body, PublishedAt: pub}
 	}
 	res, err := x.engine.Ingest(ctx, docs)
 	if err != nil {
@@ -122,6 +139,9 @@ func (x *Explorer) SampleArticles(seed uint64, n int) ([]IngestArticle, error) {
 	out := make([]IngestArticle, len(docs))
 	for i, d := range docs {
 		out[i] = IngestArticle{Source: d.Source.String(), Title: d.Title, Body: d.Body}
+		if d.PublishedAt != 0 {
+			out[i].PublishedAt = time.Unix(d.PublishedAt, 0).UTC().Format(time.RFC3339)
+		}
 	}
 	return out, nil
 }

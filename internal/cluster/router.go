@@ -164,12 +164,14 @@ func (rt *Router) writeErr(w http.ResponseWriter, err error) {
 
 // queryBody mirrors the /v2 query request body.
 type queryBody struct {
-	Concepts []string `json:"concepts"`
-	K        int      `json:"k"`
-	Offset   int      `json:"offset"`
-	Sources  []string `json:"sources"`
-	MinScore float64  `json:"min_score"`
-	Explain  bool     `json:"explain"`
+	Concepts []string              `json:"concepts"`
+	K        int                   `json:"k"`
+	Offset   int                   `json:"offset"`
+	Sources  []string              `json:"sources"`
+	MinScore float64               `json:"min_score"`
+	Time     *ncexplorer.TimeRange `json:"time_range"`
+	GroupBy  string                `json:"group_by"`
+	Explain  bool                  `json:"explain"`
 }
 
 // handleQuery decodes, validates, and normalizes exactly like the
@@ -199,12 +201,27 @@ func (rt *Router) handleQuery(op string) http.HandlerFunc {
 				Message: "drilldown does not accept a sources filter"})
 			return
 		}
+		if op == "drilldown" && q.GroupBy != "" {
+			rt.writeErr(w, &ncexplorer.Error{Code: ncexplorer.CodeInvalidArgument,
+				Message: "drilldown does not accept group_by"})
+			return
+		}
 		if err := ncexplorer.ValidatePage(q.K, q.Offset, q.MinScore); err != nil {
 			rt.writeErr(w, err)
 			return
 		}
 		if op == "rollup" {
 			if err := ncexplorer.ValidateSources(q.Sources); err != nil {
+				rt.writeErr(w, err)
+				return
+			}
+		}
+		if err := ncexplorer.ValidateTimeRange(q.Time); err != nil {
+			rt.writeErr(w, err)
+			return
+		}
+		if op == "rollup" {
+			if err := ncexplorer.ValidateGroupBy(q.GroupBy); err != nil {
 				rt.writeErr(w, err)
 				return
 			}
@@ -427,7 +444,8 @@ func cmpArticle(a, b ncexplorer.Article) int {
 func (rt *Router) rollUp(ctx context.Context, concepts []string, q queryBody, allowPartial bool) ([]byte, bool, error) {
 	req := ncexplorer.RollUpRequest{
 		Concepts: concepts, K: q.K + q.Offset, Offset: 0,
-		Sources: q.Sources, MinScore: q.MinScore, Explain: q.Explain,
+		Sources: q.Sources, MinScore: q.MinScore,
+		Time: q.Time, GroupBy: q.GroupBy, Explain: q.Explain,
 	}
 	for attempt := 0; ; attempt++ {
 		results := make([]ncexplorer.RollUpResult, len(rt.Shards))
@@ -453,6 +471,7 @@ func (rt *Router) rollUp(ctx context.Context, concepts []string, q queryBody, al
 		rt.generation.Store(gen)
 
 		lists := make([][]ncexplorer.Article, 0, len(results))
+		periodLists := make([][]ncexplorer.Period, 0, len(results))
 		total := 0
 		for i := range results {
 			if !ok[i] {
@@ -461,6 +480,9 @@ func (rt *Router) rollUp(ctx context.Context, concepts []string, q queryBody, al
 			total += results[i].Total
 			if len(results[i].Articles) > 0 {
 				lists = append(lists, results[i].Articles)
+			}
+			if len(results[i].Periods) > 0 {
+				periodLists = append(periodLists, results[i].Periods)
 			}
 		}
 		merged := topk.MergeSorted(lists, cmpArticle, q.K+q.Offset)
@@ -481,6 +503,10 @@ func (rt *Router) rollUp(ctx context.Context, concepts []string, q queryBody, al
 				NextOffset: ncexplorer.NextPageOffset(q.Offset, len(articles), total),
 				Generation: gen,
 				Articles:   articles,
+				// Shard buckets are per-period counts keyed by absolute
+				// period starts, so the merge is associative: sum equal
+				// periods, recompute trends over the merged histogram.
+				Periods: ncexplorer.MergePeriods(q.GroupBy, periodLists),
 			},
 			Partial: partial,
 		}
@@ -511,8 +537,9 @@ func firstSkewed(gens []uint64, ok []bool) int {
 
 // conceptsRequest mirrors the internal scatter request body.
 type conceptsRequest struct {
-	Concepts  []string    `json:"concepts"`
-	Shortlist []kg.NodeID `json:"shortlist,omitempty"`
+	Concepts  []string              `json:"concepts"`
+	Shortlist []kg.NodeID           `json:"shortlist,omitempty"`
+	Time      *ncexplorer.TimeRange `json:"time_range,omitempty"`
 }
 
 // drillDown scatters a drill-down: phase one gathers each shard's raw
@@ -522,11 +549,12 @@ type conceptsRequest struct {
 // and the router re-syncs and retries.
 func (rt *Router) drillDown(ctx context.Context, concepts []string, q queryBody, allowPartial bool) ([]byte, bool, error) {
 	opts := core.DrillDownOptions{K: q.K, Offset: q.Offset, MinScore: q.MinScore}
+	timeReq := q.Time
 	for attempt := 0; ; attempt++ {
 		parts := make([]core.DrillDownPartial, len(rt.Shards))
 		ok, partial, err := rt.scatter(allowPartial, len(rt.Shards), func(i int) error {
 			return rt.shardPost(ctx, i, "/internal/query/drilldown-partials",
-				conceptsRequest{Concepts: concepts}, &parts[i])
+				conceptsRequest{Concepts: concepts, Time: timeReq}, &parts[i])
 		})
 		if err != nil {
 			return nil, false, err
@@ -562,7 +590,7 @@ func (rt *Router) drillDown(ctx context.Context, concepts []string, q queryBody,
 				go func(j, shard int) {
 					defer wg.Done()
 					errs[j] = rt.shardPost(ctx, shard, "/internal/query/diversity",
-						conceptsRequest{Concepts: concepts, Shortlist: short}, &divs[j])
+						conceptsRequest{Concepts: concepts, Shortlist: short, Time: timeReq}, &divs[j])
 				}(j, shard)
 			}
 			wg.Wait()

@@ -122,11 +122,16 @@ type DrillDownPartial struct {
 
 // DrillDownPartials extracts this shard's accumulation input for query
 // q — phase one of a distributed drill-down. The rows replay exactly
-// the per-document walk DrillDownPage performs locally.
-func (e *Engine) DrillDownPartials(ctx context.Context, q Query) (DrillDownPartial, error) {
+// the per-document walk DrillDownPage performs locally, including the
+// same publication-time filter when tr is non-nil, so the merged page
+// stays byte-identical to a monolithic time-filtered drill-down.
+func (e *Engine) DrillDownPartials(ctx context.Context, q Query, tr *TimeRange) (DrillDownPartial, error) {
 	st := e.state()
 	out := DrillDownPartial{Generation: st.snap.Generation}
 	if len(q) == 0 {
+		return out, nil
+	}
+	if tr != nil && !tr.overlapsSnapshot(st.snap) {
 		return out, nil
 	}
 	docs, err := st.matchedDocsCtx(ctx, q)
@@ -138,6 +143,9 @@ func (e *Engine) DrillDownPartials(ctx context.Context, q Query) (DrillDownParti
 			if err := ctx.Err(); err != nil {
 				return DrillDownPartial{Generation: st.snap.Generation}, err
 			}
+		}
+		if tr != nil && !tr.contains(st.snap.Doc(d).PublishedAt) {
+			continue
 		}
 		row := DrillDownRow{Doc: d, NumEnts: int32(len(st.ents[d]))}
 		for _, cs := range st.docConcepts(d) {
@@ -167,16 +175,30 @@ type DiversityPartial struct {
 // drill-down. Membership is against the *direct* extent Ψ(c), exactly
 // as DrillDownPage counts it; the union across shards (deduplicated by
 // the merger — sets from different shards may overlap) has the same
-// cardinality a monolithic engine's union would.
-func (e *Engine) DiversityPartials(ctx context.Context, q Query, concepts []kg.NodeID) (DiversityPartial, error) {
+// cardinality a monolithic engine's union would. A non-nil tr
+// restricts membership to documents inside the window, matching the
+// coverage filter DrillDownPage applies locally.
+func (e *Engine) DiversityPartials(ctx context.Context, q Query, concepts []kg.NodeID, tr *TimeRange) (DiversityPartial, error) {
 	st := e.state()
 	out := DiversityPartial{Generation: st.snap.Generation, Sets: make([][]kg.NodeID, len(concepts))}
 	if len(q) == 0 || len(concepts) == 0 {
 		return out, nil
 	}
+	if tr != nil && !tr.overlapsSnapshot(st.snap) {
+		return out, nil
+	}
 	docs, err := st.matchedDocsCtx(ctx, q)
 	if err != nil {
 		return DiversityPartial{Generation: st.snap.Generation}, err
+	}
+	if tr != nil {
+		kept := docs[:0:0]
+		for _, d := range docs {
+			if tr.contains(st.snap.Doc(d).PublishedAt) {
+				kept = append(kept, d)
+			}
+		}
+		docs = kept
 	}
 	ds := e.divPool.Get().(*divScratch)
 	defer e.divPool.Put(ds)

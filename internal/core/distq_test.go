@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"math"
 	"reflect"
 	"testing"
 
@@ -28,11 +29,11 @@ func TestDistributedMergeMatchesMonolithic(t *testing.T) {
 	mono.IndexCorpus(c)
 
 	ctx := context.Background()
-	fetchSets := func(q Query) func([]kg.NodeID) ([][]kg.NodeID, error) {
+	fetchSets := func(q Query, tr *TimeRange) func([]kg.NodeID) ([][]kg.NodeID, error) {
 		return func(short []kg.NodeID) ([][]kg.NodeID, error) {
 			sets := make([][]kg.NodeID, len(short))
 			for _, e := range shards {
-				part, err := e.DiversityPartials(ctx, q, short)
+				part, err := e.DiversityPartials(ctx, q, short, tr)
 				if err != nil {
 					return nil, err
 				}
@@ -44,6 +45,31 @@ func TestDistributedMergeMatchesMonolithic(t *testing.T) {
 		}
 	}
 
+	// timeWindows derives the time grid from the monolithic engine's
+	// current publication span: no filter, plus a mid-span window that
+	// excludes documents on both ends.
+	timeWindows := func() []*TimeRange {
+		st := mono.state()
+		lo, hi := int64(math.MaxInt64), int64(math.MinInt64)
+		for d := int32(0); d < int32(st.snap.DocBound()); d++ {
+			if !st.snap.HasDoc(d) {
+				continue
+			}
+			t := st.snap.Doc(d).PublishedAt
+			if t < lo {
+				lo = t
+			}
+			if t > hi {
+				hi = t
+			}
+		}
+		if lo > hi {
+			return []*TimeRange{nil}
+		}
+		quarter := (hi - lo) / 4
+		return []*TimeRange{nil, {Min: lo + quarter, Max: hi - quarter}}
+	}
+
 	check := func(stage string) {
 		t.Helper()
 		var queries []Query
@@ -51,11 +77,16 @@ func TestDistributedMergeMatchesMonolithic(t *testing.T) {
 			queries = append(queries, Query{topic.Concept}, Query{topic.Concept, topic.GroupConcept})
 		}
 		sources := []corpus.Source{corpus.Sources[0], corpus.Sources[2]}
+		windows := timeWindows()
 		for _, q := range queries {
 			for _, k := range []int{1, 3, 8} {
 				for _, offset := range []int{0, 2, 7} {
 					for _, minScore := range []float64{0, 0.05} {
-						ro := RollUpOptions{K: k, Offset: offset, MinScore: minScore}
+						// Alternate the time window across the grid so
+						// the filtered scatter path is covered without
+						// doubling the test's runtime.
+						tr := windows[(k+offset)%len(windows)]
+						ro := RollUpOptions{K: k, Offset: offset, MinScore: minScore, Time: tr}
 						if k == 8 && offset == 0 {
 							ro.Sources = sources
 						}
@@ -82,7 +113,7 @@ func TestDistributedMergeMatchesMonolithic(t *testing.T) {
 								stage, q, k, offset, minScore, got, want)
 						}
 
-						do := DrillDownOptions{K: k, Offset: offset, MinScore: minScore}
+						do := DrillDownOptions{K: k, Offset: offset, MinScore: minScore, Time: tr}
 						if k == 8 && offset == 2 {
 							do.NoSpecificity = true
 						}
@@ -91,13 +122,13 @@ func TestDistributedMergeMatchesMonolithic(t *testing.T) {
 						}
 						parts := make([]DrillDownPartial, len(shards))
 						for s, e := range shards {
-							part, err := e.DrillDownPartials(ctx, q)
+							part, err := e.DrillDownPartials(ctx, q, tr)
 							if err != nil {
 								t.Fatal(err)
 							}
 							parts[s] = part
 						}
-						gotDD, err := MergeDrillDown(g, do, parts, fetchSets(q))
+						gotDD, err := MergeDrillDown(g, do, parts, fetchSets(q, tr))
 						if err != nil {
 							t.Fatal(err)
 						}

@@ -74,6 +74,12 @@ type Options struct {
 	Exact bool
 	// ReachCache bounds the reachability index's resident tables.
 	ReachCache int
+	// Now supplies the wall clock used to default a missing PublishedAt
+	// on ingested articles (the seam tests inject to pin defaulted
+	// timestamps). Never part of persisted engine metadata: the clock
+	// influences only the timestamps stamped into documents, not how
+	// anything is scored. nil ⇒ time.Now.
+	Now func() time.Time
 	// PersistWindow is the group-commit batching window: before each
 	// checkpoint write the persist goroutine holds the queue open this
 	// long and adopts the newest pending job, so commits arriving
@@ -107,6 +113,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxSegments <= 0 {
 		o.MaxSegments = 4
+	}
+	if o.Now == nil {
+		o.Now = time.Now
 	}
 	if o.PersistWindow == 0 {
 		o.PersistWindow = 5 * time.Millisecond
@@ -450,6 +459,26 @@ func (e *Engine) buildSegment(ctx context.Context, articles []corpus.Document, b
 	anns := make([]*nlp.Annotation, n)
 	linkNanos := make([]int64, n)
 
+	// Default missing publication times to the ingest wall clock — one
+	// reading per batch, so a batch's defaulted documents share a
+	// timestamp — and count them (surfaced as docs_defaulted_time). A
+	// zero PublishedAt must never reach the index: it would land the
+	// document in a 1970 bucket and poison segment time bounds.
+	var defaulted int64
+	var now int64
+	for i := range articles {
+		if articles[i].PublishedAt == 0 {
+			if now == 0 {
+				now = e.opts.Now().Unix()
+			}
+			articles[i].PublishedAt = now
+			defaulted++
+		}
+	}
+	if defaulted > 0 {
+		e.ing.defaultedTime.Add(defaulted)
+	}
+
 	// Phase A — NLP annotation + entity linking (parallel; the paper's
 	// dominant indexing cost). Workers stop claiming documents once ctx
 	// is cancelled.
@@ -484,10 +513,11 @@ func (e *Engine) buildSegment(ctx context.Context, articles []corpus.Document, b
 		ann := anns[i]
 		ents := ann.Entities()
 		docs[i] = snapshot.DocRecord{
-			Source:     articles[i].Source,
-			Entities:   ents,
-			EntityFreq: ann.EntityFreq,
-			Candidates: e.candidateConcepts(ents, cs),
+			Source:      articles[i].Source,
+			Entities:    ents,
+			EntityFreq:  ann.EntityFreq,
+			Candidates:  e.candidateConcepts(ents, cs),
+			PublishedAt: articles[i].PublishedAt,
 		}
 	})
 	for _, cs := range scratches {

@@ -80,6 +80,9 @@ type ingestCounters struct {
 	docs    atomic.Int64
 	nanos   atomic.Int64
 	merges  atomic.Int64
+	// defaultedTime counts documents whose PublishedAt was missing and
+	// was defaulted to the ingest wall clock.
+	defaultedTime atomic.Int64
 }
 
 // IngestCounters is the exported snapshot of ingestion counters.
@@ -93,15 +96,19 @@ type IngestCounters struct {
 	Nanos int64 `json:"nanos"`
 	// Merges counts background segment merges.
 	Merges int64 `json:"merges"`
+	// DocsDefaultedTime counts documents that arrived without a
+	// publication time and had it defaulted to the ingest wall clock.
+	DocsDefaultedTime int64 `json:"docs_defaulted_time"`
 }
 
 // IngestCounters returns the engine's ingestion counters.
 func (e *Engine) IngestCounters() IngestCounters {
 	return IngestCounters{
-		Batches: e.ing.batches.Load(),
-		Docs:    e.ing.docs.Load(),
-		Nanos:   e.ing.nanos.Load(),
-		Merges:  e.ing.merges.Load(),
+		Batches:           e.ing.batches.Load(),
+		Docs:              e.ing.docs.Load(),
+		Nanos:             e.ing.nanos.Load(),
+		Merges:            e.ing.merges.Load(),
+		DocsDefaultedTime: e.ing.defaultedTime.Load(),
 	}
 }
 

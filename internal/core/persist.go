@@ -247,9 +247,11 @@ func (e *Engine) writeStore(dir string, st *genState, writeConn bool, world map[
 			}
 			data = segio.EncodeSegment(seg)
 			ref = segio.SegmentRef{
-				Base: seg.Base,
-				Docs: seg.Len(),
-				CRC:  crc32.ChecksumIEEE(data),
+				Base:    seg.Base,
+				Docs:    seg.Len(),
+				CRC:     crc32.ChecksumIEEE(data),
+				MinTime: seg.MinTime,
+				MaxTime: seg.MaxTime,
 			}
 			ref.File = segio.SegmentFileName(ref.Base, ref.Docs, ref.CRC)
 			e.persist.segFiles[seg] = ref

@@ -52,10 +52,15 @@ import (
 
 // planBlock is one scoring block of a concept plan: the contiguous
 // index range [lo, hi) of plan.docs whose documents fall into one
-// global-ID window, plus the score ceiling for that window.
+// global-ID window, plus the score ceiling for that window and the
+// exact publication-time bounds of the block's matching documents
+// (inclusive) — a block disjoint from a query's time range is skipped
+// before any score work, which is sound because no document in it can
+// pass the per-document time predicate.
 type planBlock struct {
-	lo, hi int32
-	ceil   float64
+	lo, hi     int32
+	ceil       float64
+	minT, maxT int64
 }
 
 // conceptPlan holds everything a query needs about one concept,
@@ -509,12 +514,21 @@ func (st *genState) ensureCeilings(c kg.NodeID, p *conceptPlan) {
 			// and op-monotone for the ontology part; raising it to the
 			// realised maximum makes the skip rule unconditionally sound
 			// even if sampled-conn accumulation ever rounds above the cap.
+			// The same walk collects the block's exact publication-time
+			// bounds; doc times are immutable and blocks are global-ID
+			// aligned, so bounds carried across merge swaps stay exact.
+			minT, maxT := snap.Doc(p.docs[lo]).PublishedAt, snap.Doc(p.docs[lo]).PublishedAt
 			for j := lo; j < hi; j++ {
 				if p.scores[j] > ceil {
 					ceil = p.scores[j]
 				}
+				if t := snap.Doc(p.docs[j]).PublishedAt; t < minT {
+					minT = t
+				} else if t > maxT {
+					maxT = t
+				}
 			}
-			blocks = append(blocks, planBlock{lo: int32(lo), hi: int32(hi), ceil: ceil})
+			blocks = append(blocks, planBlock{lo: int32(lo), hi: int32(hi), ceil: ceil, minT: minT, maxT: maxT})
 			lo = hi
 		}
 		ceilOrder := make([]int32, len(blocks))
@@ -539,14 +553,20 @@ func (st *genState) ensureCeilings(c kg.NodeID, p *conceptPlan) {
 	})
 }
 
-// docSourceView is the document→source lookup the pruned scan filters
-// on; satisfied by genState (and by test fakes).
-type docSourceView interface {
+// docView is the document→attribute lookup the pruned scan filters on
+// (source and publication time); satisfied by genState (and by test
+// fakes).
+type docView interface {
 	docSource(doc int32) corpus.Source
+	docTime(doc int32) int64
 }
 
 func (st *genState) docSource(doc int32) corpus.Source {
 	return st.snap.Doc(doc).Source
+}
+
+func (st *genState) docTime(doc int32) int64 {
+	return st.snap.Doc(doc).PublishedAt
 }
 
 // sourceAllowed reports membership in the (tiny) allowed-source list.
@@ -573,17 +593,26 @@ func sourceAllowed(allowed []corpus.Source, s corpus.Source) bool {
 //     ceil < minScore strictly can contain no document passing the
 //     floor, so it is skipped entirely and contributes nothing to
 //     Total (equality passes the floor, hence strict again);
-//   - a source filter only changes which skipped documents COUNT:
-//     documents in threshold-skipped blocks still match the query, so
-//     Total walks their sources without scoring anything.
-func scanPlanPruned(ctx context.Context, p *conceptPlan, view docSourceView,
-	allowed []corpus.Source, minScore float64, coll *topk.Keyed[int32]) (int, error) {
+//   - a time range skips blocks disjoint from it BEFORE any score
+//     work, and those blocks contribute nothing to Total either: no
+//     document in them can pass the per-document time predicate;
+//   - a source filter (or a partially overlapping time range, or an
+//     active per-period aggregation) only changes which skipped
+//     documents COUNT: documents in threshold-skipped blocks still
+//     match the query, so Total walks their attributes without
+//     scoring anything.
+func scanPlanPruned(ctx context.Context, p *conceptPlan, view docView,
+	allowed []corpus.Source, minScore float64, tr *TimeRange, periods *periodAcc,
+	coll *topk.Keyed[int32]) (int, error) {
 	total := 0
 	for _, bi := range p.ceilOrder {
 		if err := ctx.Err(); err != nil {
 			return 0, err
 		}
 		b := p.blocks[bi]
+		if tr != nil && (b.maxT < tr.Min || b.minT > tr.Max) {
+			continue
+		}
 		if minScore > 0 && b.ceil < minScore {
 			continue
 		}
@@ -593,13 +622,30 @@ func scanPlanPruned(ctx context.Context, p *conceptPlan, view docSourceView,
 				// The floor needs per-document scores to decide Total, and
 				// ceil ≥ minScore here, so fall through to scoring below.
 			} else {
-				if allowed == nil {
+				// The whole block counts at once only when no per-document
+				// attribute matters: no source filter, no aggregation, and
+				// the block entirely inside the time range (bounds are
+				// inclusive and exact).
+				if allowed == nil && periods == nil && (tr == nil || (tr.Min <= b.minT && b.maxT <= tr.Max)) {
 					total += int(b.hi - b.lo)
 				} else {
 					for j := b.lo; j < b.hi; j++ {
-						if sourceAllowed(allowed, view.docSource(p.docs[j])) {
-							total++
+						d := p.docs[j]
+						if allowed != nil && !sourceAllowed(allowed, view.docSource(d)) {
+							continue
 						}
+						if tr != nil || periods != nil {
+							t := view.docTime(d)
+							if tr != nil && !tr.contains(t) {
+								continue
+							}
+							total++
+							if periods != nil {
+								periods.add(t)
+							}
+							continue
+						}
+						total++
 					}
 				}
 				continue
@@ -610,11 +656,21 @@ func scanPlanPruned(ctx context.Context, p *conceptPlan, view docSourceView,
 			if allowed != nil && !sourceAllowed(allowed, view.docSource(d)) {
 				continue
 			}
+			var t int64
+			if tr != nil || periods != nil {
+				t = view.docTime(d)
+				if tr != nil && !tr.contains(t) {
+					continue
+				}
+			}
 			rel := p.scores[j]
 			if minScore > 0 && rel < minScore {
 				continue
 			}
 			total++
+			if periods != nil {
+				periods.add(t)
+			}
 			coll.Push(d, int64(d), rel)
 		}
 	}
@@ -631,8 +687,9 @@ func scanPlanPruned(ctx context.Context, p *conceptPlan, view docSourceView,
 // leapfrog is the win. Tie-breaking matches an ascending exhaustive
 // scan because intersections emit documents in ascending ID order and
 // the collector keys by document ID.
-func scanMergedPlans(ctx context.Context, plans []*conceptPlan, cursors []int, view docSourceView,
-	allowed []corpus.Source, minScore float64, coll *topk.Keyed[int32]) (int, error) {
+func scanMergedPlans(ctx context.Context, plans []*conceptPlan, cursors []int, view docView,
+	allowed []corpus.Source, minScore float64, tr *TimeRange, periods *periodAcc,
+	coll *topk.Keyed[int32]) (int, error) {
 	total := 0
 	steps := 0
 	p0 := plans[0]
@@ -666,13 +723,24 @@ outer:
 		}
 		// d is in every plan at the current cursors.
 		if allowed == nil || sourceAllowed(allowed, view.docSource(d)) {
-			rel := 0.0
-			for i, p := range plans {
-				rel += p.scores[cursors[i]]
+			var t int64
+			pass := true
+			if tr != nil || periods != nil {
+				t = view.docTime(d)
+				pass = tr == nil || tr.contains(t)
 			}
-			if !(minScore > 0 && rel < minScore) {
-				total++
-				coll.Push(d, int64(d), rel)
+			if pass {
+				rel := 0.0
+				for i, p := range plans {
+					rel += p.scores[cursors[i]]
+				}
+				if !(minScore > 0 && rel < minScore) {
+					total++
+					if periods != nil {
+						periods.add(t)
+					}
+					coll.Push(d, int64(d), rel)
+				}
 			}
 		}
 		cursors[0]++

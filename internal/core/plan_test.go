@@ -181,19 +181,22 @@ func TestCeilingsDominateScores(t *testing.T) {
 	}
 }
 
-// fakeSources is a docSourceView for synthetic plans.
+// fakeSources is a docView for synthetic plans. All docs report time 0,
+// so the hand-built boundary cases below exercise the score rules
+// without a time filter in play.
 type fakeSources map[int32]corpus.Source
 
 func (f fakeSources) docSource(d int32) corpus.Source { return f[d] }
+func (f fakeSources) docTime(d int32) int64           { return 0 }
 
 // TestScanPlanPrunedBoundaries pins the strict-inequality skip rules on
 // hand-built plans where getting a boundary wrong changes the output.
 func TestScanPlanPrunedBoundaries(t *testing.T) {
 	ctx := context.Background()
-	scan := func(p *conceptPlan, view docSourceView, allowed []corpus.Source, minScore float64, k int) (int, []topk.KeyedItem[int32]) {
+	scan := func(p *conceptPlan, view docView, allowed []corpus.Source, minScore float64, k int) (int, []topk.KeyedItem[int32]) {
 		t.Helper()
 		coll := topk.NewKeyed[int32](k)
-		total, err := scanPlanPruned(ctx, p, view, allowed, minScore, coll)
+		total, err := scanPlanPruned(ctx, p, view, allowed, minScore, nil, nil, coll)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -309,6 +309,12 @@ type RollUpOptions struct {
 	Sources []corpus.Source
 	// MinScore excludes documents with rel(Q, d) < MinScore when > 0.
 	MinScore float64
+	// Time restricts results to documents whose publication time falls
+	// in the range (both ends inclusive). nil admits every time.
+	Time *TimeRange
+	// GroupBy additionally buckets every filter-passing match by its
+	// publication period into RollUpPage.Periods. GroupNone disables.
+	GroupBy GroupBy
 }
 
 // RollUpPage is one page of roll-up results plus the total number of
@@ -319,6 +325,9 @@ type RollUpPage struct {
 	Results    []DocResult
 	Total      int
 	Generation uint64
+	// Periods holds the per-period match counts when GroupBy is set
+	// (ascending period start; counts sum to Total), nil otherwise.
+	Periods []PeriodBucket
 }
 
 // RollUp implements Definition 1: the top-K documents d matching Q with
@@ -351,7 +360,14 @@ func (e *Engine) RollUpPageInto(ctx context.Context, q Query, opts RollUpOptions
 	page.Generation = st.snap.Generation
 	page.Total = 0
 	page.Results = page.Results[:0]
+	page.Periods = nil
 	if opts.K <= 0 || len(q) == 0 || opts.Offset < 0 {
+		return nil
+	}
+	// Whole-snapshot time pruning: a window disjoint from every
+	// segment's exact bounds cannot match anything — skip the plan and
+	// ceiling machinery entirely.
+	if opts.Time != nil && !opts.Time.overlapsSnapshot(st.snap) {
 		return nil
 	}
 	sc := e.getScratch()
@@ -391,23 +407,25 @@ func (e *Engine) RollUpPageInto(ctx context.Context, q Query, opts RollUpOptions
 		allowed = opts.Sources
 	}
 
+	periods := newPeriodAcc(opts.GroupBy)
 	var total int
 	var err error
 	if len(qplans) == 1 {
 		st.ensureCeilings(q[0], qplans[0])
-		total, err = scanPlanPruned(ctx, qplans[0], st, allowed, opts.MinScore, sc.coll)
+		total, err = scanPlanPruned(ctx, qplans[0], st, allowed, opts.MinScore, opts.Time, periods, sc.coll)
 	} else {
 		cursors := sc.cursors[:0]
 		for range qplans {
 			cursors = append(cursors, 0)
 		}
 		sc.cursors = cursors
-		total, err = scanMergedPlans(ctx, qplans, cursors, st, allowed, opts.MinScore, sc.coll)
+		total, err = scanMergedPlans(ctx, qplans, cursors, st, allowed, opts.MinScore, opts.Time, periods, sc.coll)
 	}
 	if err != nil {
 		return err
 	}
 	page.Total = total
+	page.Periods = periods.buckets()
 
 	sc.items = sc.coll.AppendSorted(sc.items[:0])
 	items := sc.items
@@ -472,6 +490,7 @@ func (e *Engine) rollUpPageExhaustive(ctx context.Context, q Query, opts RollUpO
 			allowed[s] = true
 		}
 	}
+	periods := newPeriodAcc(opts.GroupBy)
 	total := 0
 	limit := opts.K + opts.Offset
 	if limit < 0 || limit > len(docs) {
@@ -487,6 +506,13 @@ func (e *Engine) rollUpPageExhaustive(ctx context.Context, q Query, opts RollUpO
 		if allowed != nil && !allowed[st.snap.Doc(d).Source] {
 			continue
 		}
+		var ts int64
+		if opts.Time != nil || periods != nil {
+			ts = st.snap.Doc(d).PublishedAt
+			if opts.Time != nil && !opts.Time.contains(ts) {
+				continue
+			}
+		}
 		rel := 0.0
 		for _, c := range q {
 			rel += st.cdr(c, d).cdr
@@ -495,10 +521,14 @@ func (e *Engine) rollUpPageExhaustive(ctx context.Context, q Query, opts RollUpO
 			continue
 		}
 		total++
+		if periods != nil {
+			periods.add(ts)
+		}
 		coll.Push(d, rel)
 	}
 	items := coll.Sorted()
 	out.Total = total
+	out.Periods = periods.buckets()
 	if opts.Offset >= len(items) {
 		return out, nil
 	}
@@ -535,6 +565,10 @@ type DrillDownOptions struct {
 	// factors — the Fig. 8 ablation (C, C+S, C+S+D).
 	NoSpecificity bool
 	NoDiversity   bool
+	// Time restricts the matched-document set feeding coverage,
+	// specificity pivots, and diversity to documents published inside
+	// the range (both ends inclusive). nil admits every time.
+	Time *TimeRange
 }
 
 // DrillDownPage is one page of subtopic suggestions plus the number
@@ -584,6 +618,9 @@ func (e *Engine) DrillDownPage(ctx context.Context, q Query, opts DrillDownOptio
 	if k <= 0 || len(q) == 0 || opts.Offset < 0 {
 		return empty, nil
 	}
+	if opts.Time != nil && !opts.Time.overlapsSnapshot(st.snap) {
+		return empty, nil
+	}
 	docs, err := st.matchedDocsCtx(ctx, q)
 	if err != nil {
 		return empty, err
@@ -606,6 +643,9 @@ func (e *Engine) DrillDownPage(ctx context.Context, q Query, opts DrillDownOptio
 	touched := sc.touched[:0]
 	mdDoc, mdNext := sc.mdDoc[:0], sc.mdNext[:0]
 	for _, d := range docs {
+		if opts.Time != nil && !opts.Time.contains(st.snap.Doc(d).PublishedAt) {
+			continue
+		}
 		ne := int32(len(st.ents[d]))
 		for _, cs := range st.docConcepts(d) {
 			c := cs.Concept

@@ -1,0 +1,157 @@
+package core
+
+import (
+	"slices"
+	"time"
+
+	"ncexplorer/internal/snapshot"
+)
+
+// Temporal roll-up/drill-down support: publication time as a filter and
+// aggregation dimension.
+//
+// Filtering is pure pruning over immutable per-document timestamps
+// (snapshot.DocRecord.PublishedAt): a query's TimeRange discards whole
+// segments via their exact MinTime/MaxTime bounds, whole plan blocks
+// via the per-block bounds materialised next to the score ceilings, and
+// finally individual documents — each level only ever discards
+// documents the per-document predicate would discard, so a filtered
+// page is byte-identical to post-filtering the exhaustive scorer (the
+// property tests pin this).
+//
+// Aggregation (GroupBy) buckets every filter-passing match by the UTC
+// calendar period of its publication time. Buckets are plain
+// (period-start, count) pairs keyed by an absolute timestamp, so a
+// cluster router can merge shard buckets associatively: equal periods
+// have equal starts on every node, and counts add.
+
+// TimeRange bounds document publication times in Unix seconds, both
+// ends inclusive. Callers express an open end with math.MinInt64 /
+// math.MaxInt64; a nil *TimeRange means no time filter at all.
+type TimeRange struct {
+	Min int64
+	Max int64
+}
+
+// contains reports whether ts falls inside the range.
+func (tr *TimeRange) contains(ts int64) bool {
+	return ts >= tr.Min && ts <= tr.Max
+}
+
+// overlapsSnapshot reports whether any locally held document's
+// publication time can fall inside the range, using the exact
+// per-segment bounds — the whole-query fast path that skips plan and
+// ceiling work entirely for a disjoint window.
+func (tr *TimeRange) overlapsSnapshot(snap *snapshot.Snapshot) bool {
+	for _, seg := range snap.Segments {
+		if seg.Len() == 0 {
+			continue
+		}
+		if seg.MaxTime >= tr.Min && seg.MinTime <= tr.Max {
+			return true
+		}
+	}
+	return false
+}
+
+// GroupBy selects the calendar period of a roll-up's per-period
+// aggregation.
+type GroupBy uint8
+
+const (
+	// GroupNone disables per-period aggregation.
+	GroupNone GroupBy = iota
+	// GroupDay buckets by UTC calendar day.
+	GroupDay
+	// GroupWeek buckets by ISO week (Monday 00:00 UTC).
+	GroupWeek
+	// GroupMonth buckets by UTC calendar month.
+	GroupMonth
+)
+
+// PeriodStart truncates a publication time to the start of its period
+// (Unix seconds, UTC calendar). Exported alongside PeriodBucket so the
+// cluster router and the facade derive period identities with the
+// exact arithmetic the engine bucketed with.
+func (g GroupBy) PeriodStart(ts int64) int64 {
+	t := time.Unix(ts, 0).UTC()
+	switch g {
+	case GroupDay:
+		y, m, d := t.Date()
+		return time.Date(y, m, d, 0, 0, 0, 0, time.UTC).Unix()
+	case GroupWeek:
+		y, m, d := t.Date()
+		day := time.Date(y, m, d, 0, 0, 0, 0, time.UTC)
+		return day.AddDate(0, 0, -int((day.Weekday()+6)%7)).Unix()
+	case GroupMonth:
+		y, m, _ := t.Date()
+		return time.Date(y, m, 1, 0, 0, 0, 0, time.UTC).Unix()
+	default:
+		return ts
+	}
+}
+
+// Next returns the start of the period following the one starting at
+// start — the step the facade uses to decide whether two buckets are
+// calendar-adjacent (trend deltas only compare consecutive periods).
+func (g GroupBy) Next(start int64) int64 {
+	t := time.Unix(start, 0).UTC()
+	switch g {
+	case GroupDay:
+		return t.AddDate(0, 0, 1).Unix()
+	case GroupWeek:
+		return t.AddDate(0, 0, 7).Unix()
+	case GroupMonth:
+		return t.AddDate(0, 1, 0).Unix()
+	default:
+		return start
+	}
+}
+
+// PeriodBucket counts the filter-passing matches of one period. The
+// buckets of a page always sum to its Total.
+type PeriodBucket struct {
+	// Start is the period's first instant (Unix seconds, UTC).
+	Start int64
+	// Count is the number of matching documents published in the period.
+	Count int
+}
+
+// periodAcc accumulates per-period match counts during a scan. A nil
+// accumulator disables aggregation — the common case, and the reason
+// the warm no-group-by roll-up path stays allocation-free.
+type periodAcc struct {
+	gb     GroupBy
+	counts map[int64]int
+}
+
+func newPeriodAcc(gb GroupBy) *periodAcc {
+	if gb == GroupNone {
+		return nil
+	}
+	return &periodAcc{gb: gb, counts: make(map[int64]int)}
+}
+
+func (pa *periodAcc) add(ts int64) { pa.counts[pa.gb.PeriodStart(ts)]++ }
+
+// buckets renders the accumulated counts ordered by period start.
+func (pa *periodAcc) buckets() []PeriodBucket {
+	if pa == nil || len(pa.counts) == 0 {
+		return nil
+	}
+	out := make([]PeriodBucket, 0, len(pa.counts))
+	for s, n := range pa.counts {
+		out = append(out, PeriodBucket{Start: s, Count: n})
+	}
+	slices.SortFunc(out, func(a, b PeriodBucket) int {
+		switch {
+		case a.Start < b.Start:
+			return -1
+		case a.Start > b.Start:
+			return 1
+		default:
+			return 0
+		}
+	})
+	return out
+}

@@ -64,6 +64,13 @@ type Document struct {
 	Title  string
 	Body   string
 
+	// PublishedAt is the article's publication time as Unix seconds
+	// (UTC). Generated articles carry a deterministic scenario-clock
+	// value; externally ingested articles may leave it zero, in which
+	// case the engine defaults it to the ingest wall clock (and counts
+	// the defaulting) so no document silently lands in a 1970 bucket.
+	PublishedAt int64
+
 	// Topics maps concept → semantic relevance grade in [0, 5]: how
 	// relevant a careful reader would judge this document to be for the
 	// concept. Primary topics grade near 5; their ontology ancestors

@@ -24,7 +24,24 @@ type Config struct {
 	// rates are tuned so linking coverage lands near the paper's table
 	// (reuters ≈ 51%, seekingalpha ≈ 64%, nyt ≈ 69%).
 	OOV map[Source]float64
+	// ClockEpoch is the scenario clock's start (Unix seconds, UTC): the
+	// publication time of the first generated article. 0 selects the
+	// default epoch. ClockStep bounds the seed-deterministic gap between
+	// consecutive articles (seconds; gaps are drawn in [60, ClockStep]).
+	// 0 selects the default step. The clock draws from its own random
+	// stream, so changing it never changes article text or labels.
+	ClockEpoch int64
+	ClockStep  int
 }
+
+// Default scenario clock: articles start on a Monday morning and a
+// ~30-minute mean gap spreads the default corpora over several weeks —
+// enough days, weeks, and months for temporal roll-ups to be
+// non-degenerate at every group_by granularity.
+const (
+	defaultClockEpoch = 1693814400 // 2023-09-04T08:00:00Z
+	defaultClockStep  = 3600
+)
 
 // Tiny returns a unit-test-sized corpus configuration.
 func Tiny() Config {
@@ -127,6 +144,20 @@ type generator struct {
 	specialist map[string]templateSet // per-category specialist register
 	oov        *oovNames
 	fillBuf    []byte // reused template-expansion scratch
+
+	// The scenario clock: strictly increasing publication times drawn
+	// from a dedicated random stream (clockR), so the clock's draws
+	// never perturb the text/label draw sequence of gen.r.
+	clockR   *xrand.Rand
+	clockCur int64
+	clockMax int
+}
+
+// tick advances the scenario clock one article and returns the new
+// publication time. Gaps are in [60, clockMax] seconds.
+func (gen *generator) tick() int64 {
+	gen.clockCur += int64(60 + gen.clockR.Intn(gen.clockMax-59))
+	return gen.clockCur
 }
 
 func newGenerator(g *kg.Graph, meta *kggen.Meta, cfg Config) (*generator, error) {
@@ -138,6 +169,15 @@ func newGenerator(g *kg.Graph, meta *kggen.Meta, cfg Config) (*generator, error)
 		closures:   make(map[kg.NodeID][]kg.NodeID),
 		specialist: make(map[string]templateSet),
 		oov:        newOOVNames(xrand.New(cfg.Seed ^ 0xBADC0FFEE)),
+		clockR:     xrand.New(cfg.Seed ^ 0x71CC_0C1C),
+	}
+	gen.clockCur = cfg.ClockEpoch
+	if gen.clockCur == 0 {
+		gen.clockCur = defaultClockEpoch
+	}
+	gen.clockMax = cfg.ClockStep
+	if gen.clockMax < 60 {
+		gen.clockMax = defaultClockStep
 	}
 
 	// Story topic pool: evaluation topics appear several times so the
@@ -271,8 +311,9 @@ func (gen *generator) article(src Source) Document {
 	sl := gen.castEntities(topic, cat)
 
 	doc := Document{
-		Source: src,
-		Topics: make(map[kg.NodeID]float64),
+		Source:      src,
+		Topics:      make(map[kg.NodeID]float64),
+		PublishedAt: gen.tick(),
 	}
 
 	nRange := sentenceRange[src]
@@ -332,9 +373,10 @@ func (gen *generator) distractor(src Source) Document {
 	pick := func() kg.NodeID { return gen.tradable[gen.r.Intn(len(gen.tradable))] }
 	sl := slots{f0: pick(), f1: pick(), x0: pick(), x1: pick(), anchor: -1}
 	doc := Document{
-		Source:     src,
-		Topics:     make(map[kg.NodeID]float64),
-		Distractor: true,
+		Source:      src,
+		Topics:      make(map[kg.NodeID]float64),
+		Distractor:  true,
+		PublishedAt: gen.tick(),
 	}
 	nSent := gen.r.Range(4, 8)
 	var body strings.Builder

@@ -9,6 +9,7 @@
 package segio
 
 import (
+	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -40,11 +41,17 @@ const (
 
 // SegmentRef locates one segment file and pins its identity: global
 // base ID, document count, and the CRC32 of the whole encoded file.
+// MinTime/MaxTime mirror the segment's publication-time bounds (Unix
+// seconds, inclusive) so a router or replica can reason about a shipped
+// snapshot's time coverage without fetching segment bytes; the decoder
+// rederives the authoritative bounds from the DOCS section.
 type SegmentRef struct {
-	File string `json:"file"`
-	Base int32  `json:"base"`
-	Docs int    `json:"docs"`
-	CRC  uint32 `json:"crc"`
+	File    string `json:"file"`
+	Base    int32  `json:"base"`
+	Docs    int    `json:"docs"`
+	CRC     uint32 `json:"crc"`
+	MinTime int64  `json:"min_time"`
+	MaxTime int64  `json:"max_time"`
 }
 
 // EngineMeta records the engine parameters that determine index
@@ -236,6 +243,16 @@ func ReadSegmentFile(dir string, ref SegmentRef) (*snapshot.Segment, int, error)
 	}
 	if err != nil {
 		return nil, 0, fmt.Errorf("%w: reading segment file %s: %v", ErrCorrupt, ref.File, err)
+	}
+	// Sniff the header version before any CRC work: a cross-version file
+	// (e.g. a stale old-format segment in a partially upgraded store)
+	// rarely matches the manifest CRC, and reporting that mismatch would
+	// misdiagnose a version skew as corruption.
+	if len(data) >= 6 && string(data[:4]) == segmentMagic {
+		if v := binary.LittleEndian.Uint16(data[4:6]); v != formatVersion {
+			return nil, 0, fmt.Errorf("%w: segment file %s: format version %d (this build reads %d)",
+				ErrVersionMismatch, ref.File, v, formatVersion)
+		}
 	}
 	if sum := crc32.ChecksumIEEE(data); sum != ref.CRC {
 		return nil, 0, fmt.Errorf("%w: segment file %s: file CRC %08x does not match manifest %08x",

@@ -73,8 +73,10 @@ const (
 	// formatVersion is the binary layout version shared by segment and
 	// conn-memo files (the manifest versions independently). v2 added
 	// the BMAX section (per-entity per-block maximum term frequencies
-	// backing the pruned query planner's persisted score ceilings).
-	formatVersion = 2
+	// backing the pruned query planner's persisted score ceilings). v3
+	// added the per-document/per-article PublishedAt timestamp to the
+	// DOCS and ARTS sections (the temporal roll-up dimension).
+	formatVersion = 3
 
 	// maxSegmentDocs bounds the per-segment document count a decoder
 	// will accept; far above anything the engine produces, low enough
@@ -95,13 +97,13 @@ func segmentSizeHint(seg *snapshot.Segment) int {
 	n := 128
 	for i := range seg.Articles {
 		a := &seg.Articles[i]
-		n += len(a.Title) + len(a.Body) + 48 + 12*len(a.Topics) + 4*len(a.GoldEntities)
+		n += len(a.Title) + len(a.Body) + 56 + 12*len(a.Topics) + 4*len(a.GoldEntities)
 	}
 	for i := range seg.Docs {
 		d := &seg.Docs[i]
 		// DOCS itself, plus TEXT/POST/BMAX whose payloads mirror the
 		// per-document entity and term data.
-		n += 32 + 12*(len(d.Entities)+len(d.EntityFreq)+len(d.Candidates))
+		n += 40 + 12*(len(d.Entities)+len(d.EntityFreq)+len(d.Candidates))
 	}
 	return n
 }
@@ -202,6 +204,7 @@ func encodeDocs(w *writer, seg *snapshot.Segment) {
 	for i := range seg.Docs {
 		d := &seg.Docs[i]
 		w.u8(uint8(d.Source))
+		w.u64(uint64(d.PublishedAt))
 		w.u32(uint32(len(d.Entities)))
 		for _, v := range d.Entities {
 			w.u32(uint32(v))
@@ -228,9 +231,9 @@ func decodeDocs(data []byte, seg *snapshot.Segment) error {
 	r := &reader{buf: data}
 	base := int32(r.u32())
 	n := int(r.u32())
-	// 13 = the minimum encoded size of one document record; the bound
+	// 21 = the minimum encoded size of one document record; the bound
 	// keeps hostile counts from driving large allocations.
-	if r.err != nil || base < 0 || n < 0 || n > maxSegmentDocs || uint64(n)*13 > uint64(r.remaining()) {
+	if r.err != nil || base < 0 || n < 0 || n > maxSegmentDocs || uint64(n)*21 > uint64(r.remaining()) {
 		return corruptf(section, "bad base/count header")
 	}
 	seg.Base = base
@@ -238,6 +241,7 @@ func decodeDocs(data []byte, seg *snapshot.Segment) error {
 	for i := 0; i < n; i++ {
 		var d snapshot.DocRecord
 		d.Source = corpus.Source(r.u8())
+		d.PublishedAt = int64(r.u64())
 		d.Entities = r.nodeList(section, false)
 		nf := r.count(section, 8)
 		d.EntityFreq = make(map[kg.NodeID]int, nf)
@@ -266,6 +270,18 @@ func decodeDocs(data []byte, seg *snapshot.Segment) error {
 	if r.remaining() != 0 {
 		return corruptf(section, "trailing bytes")
 	}
+	// The segment time bounds are derived data (BuildSegment computes
+	// them from Docs), so they are recomputed here rather than trusted
+	// from the wire.
+	for i := range seg.Docs {
+		if t := seg.Docs[i].PublishedAt; i == 0 {
+			seg.MinTime, seg.MaxTime = t, t
+		} else if t < seg.MinTime {
+			seg.MinTime = t
+		} else if t > seg.MaxTime {
+			seg.MaxTime = t
+		}
+	}
 	return nil
 }
 
@@ -277,6 +293,7 @@ func encodeArticles(w *writer, seg *snapshot.Segment) {
 		a := &seg.Articles[i]
 		w.u32(uint32(a.ID))
 		w.u8(uint8(a.Source))
+		w.u64(uint64(a.PublishedAt))
 		w.str(a.Title)
 		w.str(a.Body)
 		topics := make([]kg.NodeID, 0, len(a.Topics))
@@ -305,8 +322,8 @@ func decodeArticles(data []byte, seg *snapshot.Segment) error {
 	const section = "ARTS"
 	r := &reader{buf: data}
 	n := int(r.u32())
-	// 22 = the minimum encoded size of one article.
-	if r.err != nil || n != len(seg.Docs) || uint64(n)*22 > uint64(r.remaining()) {
+	// 30 = the minimum encoded size of one article.
+	if r.err != nil || n != len(seg.Docs) || uint64(n)*30 > uint64(r.remaining()) {
 		return corruptf(section, "article count disagrees with DOCS")
 	}
 	seg.Articles = make([]corpus.Document, 0, n)
@@ -314,6 +331,7 @@ func decodeArticles(data []byte, seg *snapshot.Segment) error {
 		var a corpus.Document
 		a.ID = corpus.DocID(r.u32())
 		a.Source = corpus.Source(r.u8())
+		a.PublishedAt = int64(r.u64())
 		a.Title = r.str()
 		a.Body = r.str()
 		if r.err == nil && int32(a.ID) != seg.Base+int32(i) {

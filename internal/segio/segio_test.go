@@ -41,11 +41,13 @@ func buildTestSegment(seed uint64, base int32, n int) *snapshot.Segment {
 		for j := 0; j < int(rnd.Uint64()%4); j++ {
 			cands = append(cands, kg.NodeID(100+rnd.Uint64()%20))
 		}
+		pub := int64(1700000000 + rnd.Uint64()%10000000)
 		docs[i] = snapshot.DocRecord{
-			Source:     corpus.Sources[rnd.Uint64()%uint64(len(corpus.Sources))],
-			Entities:   ents,
-			EntityFreq: freq,
-			Candidates: snapshot.SortedCandidates(cands),
+			Source:      corpus.Sources[rnd.Uint64()%uint64(len(corpus.Sources))],
+			Entities:    ents,
+			EntityFreq:  freq,
+			Candidates:  snapshot.SortedCandidates(cands),
+			PublishedAt: pub,
 		}
 		topics := map[kg.NodeID]float64{}
 		for j := 0; j < int(rnd.Uint64()%3); j++ {
@@ -56,6 +58,7 @@ func buildTestSegment(seed uint64, base int32, n int) *snapshot.Segment {
 		}
 		articles[i] = corpus.Document{
 			Source:       docs[i].Source,
+			PublishedAt:  pub,
 			Title:        fmt.Sprintf("Title %d-%d", seed, i),
 			Body:         fmt.Sprintf("Body of article %d with some text × unicode ✓ %d", i, rnd.Uint64()),
 			Topics:       topics,
@@ -353,5 +356,75 @@ func TestCollectGarbage(t *testing.T) {
 		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
 			t.Fatalf("%s should survive GC: %v", name, err)
 		}
+	}
+}
+
+// TestCrossVersionOpenMatrix pins the version-evolution contract: a
+// well-formed header whose format version differs from this build's
+// must always surface as ErrVersionMismatch naming both versions —
+// never ErrCorrupt — through both the raw decoder and the
+// manifest-checked file reader, whether or not the manifest CRC matches
+// the cross-version bytes.
+func TestCrossVersionOpenMatrix(t *testing.T) {
+	current := EncodeSegment(buildTestSegment(21, 0, 8))
+
+	variants := map[string][]byte{}
+	for _, v := range []uint16{1, 2, formatVersion + 1, 99} {
+		data := append([]byte(nil), current...)
+		data[4] = byte(v)
+		data[5] = byte(v >> 8)
+		variants[fmt.Sprintf("patched-v%d", v)] = data
+	}
+	// A genuine previous-version file (written by the v2 encoder before
+	// PublishedAt existed), not just a patched header.
+	legacy, err := os.ReadFile(filepath.Join("testdata", "legacy-v2-segment.bin"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	variants["genuine-v2"] = legacy
+
+	dir := t.TempDir()
+	for name, data := range variants {
+		if seg, err := DecodeSegment(data); seg != nil || !errors.Is(err, ErrVersionMismatch) {
+			t.Fatalf("%s: DecodeSegment err = %v, want ErrVersionMismatch", name, err)
+		} else {
+			msg := err.Error()
+			if !strings.Contains(msg, fmt.Sprintf("reads %d", formatVersion)) {
+				t.Fatalf("%s: error does not name this build's version: %v", name, err)
+			}
+		}
+		// Through the manifest path, with the CRC matching the
+		// cross-version bytes (a whole store from another version) …
+		ref := SegmentRef{File: "x.ncseg", Base: 0, Docs: 8, CRC: crc32.ChecksumIEEE(data)}
+		if err := WriteFileAtomic(dir, ref.File, data); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := ReadSegmentFile(dir, ref); !errors.Is(err, ErrVersionMismatch) {
+			t.Fatalf("%s: ReadSegmentFile (CRC match) err = %v, want ErrVersionMismatch", name, err)
+		}
+		// … and with a stale manifest CRC (partially upgraded store): the
+		// version sniff must win over the CRC mismatch.
+		ref.CRC ^= 0xDEADBEEF
+		if _, _, err := ReadSegmentFile(dir, ref); !errors.Is(err, ErrVersionMismatch) {
+			t.Fatalf("%s: ReadSegmentFile (CRC stale) err = %v, want ErrVersionMismatch", name, err)
+		}
+	}
+
+	// The current version still decodes, and a non-version header problem
+	// stays ErrCorrupt.
+	if _, err := DecodeSegment(current); err != nil {
+		t.Fatalf("current version: %v", err)
+	}
+	bad := append([]byte(nil), current...)
+	bad[0] = 'X'
+	if _, err := DecodeSegment(bad); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("bad magic: err = %v, want ErrCorrupt", err)
+	}
+
+	// Conn-memo files share the version contract.
+	conn := EncodeConn([]uint64{1}, []float64{0.5})
+	conn[4], conn[5] = 2, 0
+	if err := DecodeConn(conn, func(uint64, float64) {}); !errors.Is(err, ErrVersionMismatch) {
+		t.Fatalf("conn v2: err = %v, want ErrVersionMismatch", err)
 	}
 }

@@ -175,6 +175,7 @@ func (s *Server) handleInternalRollUp(w http.ResponseWriter, r *http.Request) {
 	req := ncexplorer.RollUpRequest{
 		Concepts: q.Concepts, K: q.K, Offset: q.Offset,
 		Sources: q.Sources, MinScore: q.MinScore, Explain: q.Explain,
+		Time: q.Time, GroupBy: q.GroupBy,
 	}
 	v, _, err := s.doCached(r.Context(), "int|"+req.Key(), func() (any, error) {
 		res, err := x.RollUpQuery(r.Context(), req)
@@ -194,8 +195,9 @@ func (s *Server) handleInternalRollUp(w http.ResponseWriter, r *http.Request) {
 // router sends the canonicalized list, each shard resolves it against
 // the shared deterministic graph.
 type internalConceptsRequest struct {
-	Concepts  []string    `json:"concepts"`
-	Shortlist []kg.NodeID `json:"shortlist,omitempty"`
+	Concepts  []string              `json:"concepts"`
+	Shortlist []kg.NodeID           `json:"shortlist,omitempty"`
+	Time      *ncexplorer.TimeRange `json:"time_range,omitempty"`
 }
 
 func (s *Server) handleInternalDrillDownPartials(w http.ResponseWriter, r *http.Request) {
@@ -213,7 +215,12 @@ func (s *Server) handleInternalDrillDownPartials(w http.ResponseWriter, r *http.
 		s.writeAPIError(w, apiErrorFrom(err))
 		return
 	}
-	part, err := x.Engine().DrillDownPartials(r.Context(), q)
+	tr, err := ncexplorer.ResolveTimeRange(req.Time)
+	if err != nil {
+		s.writeAPIError(w, apiErrorFrom(err))
+		return
+	}
+	part, err := x.Engine().DrillDownPartials(r.Context(), q, tr)
 	if err != nil {
 		s.writeAPIError(w, apiErrorFrom(ncexplorer.WrapContextErr(err)))
 		return
@@ -236,7 +243,12 @@ func (s *Server) handleInternalDiversity(w http.ResponseWriter, r *http.Request)
 		s.writeAPIError(w, apiErrorFrom(err))
 		return
 	}
-	part, err := x.Engine().DiversityPartials(r.Context(), q, req.Shortlist)
+	tr, err := ncexplorer.ResolveTimeRange(req.Time)
+	if err != nil {
+		s.writeAPIError(w, apiErrorFrom(err))
+		return
+	}
+	part, err := x.Engine().DiversityPartials(r.Context(), q, req.Shortlist, tr)
 	if err != nil {
 		s.writeAPIError(w, apiErrorFrom(ncexplorer.WrapContextErr(err)))
 		return

@@ -285,6 +285,7 @@ func New(x *ncexplorer.Explorer, opts Options) *Server {
 	s.mux.HandleFunc("DELETE /v2/sessions/{id}", s.counted("v2sessions", s.handleSessionDelete))
 	s.mux.HandleFunc("POST /v2/sessions/{id}/rollup", s.counted("v2sessions", s.handleSessionRollUp))
 	s.mux.HandleFunc("POST /v2/sessions/{id}/drilldown", s.counted("v2sessions", s.handleSessionDrillDown))
+	s.mux.HandleFunc("POST /v2/sessions/{id}/zoom", s.counted("v2sessions", s.handleSessionZoom))
 	s.mux.HandleFunc("POST /v2/sessions/{id}/back", s.counted("v2sessions", s.handleSessionBack))
 
 	// Watchlists: standing queries with SSE alert streams (see watch.go).
@@ -319,6 +320,7 @@ func New(x *ncexplorer.Explorer, opts Options) *Server {
 		"/v2/sessions/{id}":           "GET, DELETE",
 		"/v2/sessions/{id}/rollup":    "POST",
 		"/v2/sessions/{id}/drilldown": "POST",
+		"/v2/sessions/{id}/zoom":      "POST",
 		"/v2/sessions/{id}/back":      "POST",
 		"/v2/watchlists":              "GET, POST",
 		"/v2/watchlists/{id}":         "GET, DELETE",

@@ -1,0 +1,309 @@
+package server_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"ncexplorer"
+)
+
+// temporalPage decodes the temporal fields of a /v2/query/rollup
+// response alongside the paging envelope.
+type temporalPage struct {
+	Total    int                  `json:"total"`
+	Articles []ncexplorer.Article `json:"articles"`
+	Periods  []ncexplorer.Period  `json:"periods"`
+}
+
+// temporalSpan fetches the full unfiltered listing for a query and
+// returns it with its publication span — the window shapes the
+// temporal tests slice are anchored to real corpus timestamps, not
+// guessed dates.
+func temporalSpan(t *testing.T, concepts []string) (articles []ncexplorer.Article, lo, hi time.Time) {
+	t.Helper()
+	rec := postRollUpV2(t, map[string]any{"concepts": concepts, "k": 10000})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("unfiltered rollup: status = %d; body %q", rec.Code, rec.Body.String())
+	}
+	var page temporalPage
+	decodeBody(t, rec, &page)
+	if len(page.Articles) < 4 {
+		t.Fatalf("need a few articles to slice windows from, got %d", len(page.Articles))
+	}
+	for i, a := range page.Articles {
+		ts, err := time.Parse(time.RFC3339, a.PublishedAt)
+		if err != nil {
+			t.Fatalf("article %d published_at %q: %v", a.ID, a.PublishedAt, err)
+		}
+		if i == 0 || ts.Before(lo) {
+			lo = ts
+		}
+		if i == 0 || ts.After(hi) {
+			hi = ts
+		}
+	}
+	return page.Articles, lo, hi
+}
+
+// TestV2RollUpTimeRange checks the HTTP contract of time_range: a
+// windowed roll-up returns exactly the in-window suffix of the
+// unfiltered listing, in the same rank order — the server-level
+// restatement of the core byte-identity property.
+func TestV2RollUpTimeRange(t *testing.T) {
+	concepts := topicConcepts(t, 2)
+	all, lo, hi := temporalSpan(t, concepts)
+	// Truncate to whole seconds: RFC3339 formatting drops fractional
+	// seconds, so an untruncated midpoint would give the client-side
+	// filter a different boundary than the server parses.
+	mid := lo.Add(hi.Sub(lo) / 2).Truncate(time.Second)
+	win := map[string]any{"start": mid.Format(time.RFC3339), "end": hi.Format(time.RFC3339)}
+
+	rec := postRollUpV2(t, map[string]any{"concepts": concepts, "k": 10000, "time_range": win})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("windowed rollup: status = %d; body %q", rec.Code, rec.Body.String())
+	}
+	var got temporalPage
+	decodeBody(t, rec, &got)
+
+	var wantIDs []int
+	for _, a := range all {
+		ts, _ := time.Parse(time.RFC3339, a.PublishedAt)
+		if !ts.Before(mid) && !ts.After(hi) {
+			wantIDs = append(wantIDs, a.ID)
+		}
+	}
+	if got.Total != len(wantIDs) {
+		t.Fatalf("windowed total = %d; want %d (the in-window count of the unfiltered listing)", got.Total, len(wantIDs))
+	}
+	if len(got.Articles) != len(wantIDs) {
+		t.Fatalf("windowed page has %d articles; want %d", len(got.Articles), len(wantIDs))
+	}
+	for i, a := range got.Articles {
+		if a.ID != wantIDs[i] {
+			t.Fatalf("windowed rank %d = article %d; post-filtering the unfiltered listing gives %d", i, a.ID, wantIDs[i])
+		}
+		ts, _ := time.Parse(time.RFC3339, a.PublishedAt)
+		if ts.Before(mid) || ts.After(hi) {
+			t.Fatalf("article %d published %s escapes window [%s, %s]", a.ID, a.PublishedAt, mid.Format(time.RFC3339), hi.Format(time.RFC3339))
+		}
+	}
+
+	// An open start (only "end") and an open end (only "start") must
+	// partition the listing: every article lands on exactly one side
+	// of the midpoint except those exactly on it, which both sides
+	// include (inclusive bounds).
+	before := postRollUpV2(t, map[string]any{"concepts": concepts, "k": 10000,
+		"time_range": map[string]any{"end": mid.Add(-time.Second).Format(time.RFC3339)}})
+	var bp temporalPage
+	decodeBody(t, before, &bp)
+	if bp.Total+got.Total != len(all) {
+		t.Fatalf("open-ended halves total %d + %d; want %d", bp.Total, got.Total, len(all))
+	}
+}
+
+// TestV2RollUpGroupBy checks the periods histogram over HTTP: counts
+// sum to total, starts ascend and parse as RFC3339 UTC midnights, and
+// rank 1 is the busiest period.
+func TestV2RollUpGroupBy(t *testing.T) {
+	concepts := topicConcepts(t, 3)
+	for _, gb := range []string{"day", "week", "month"} {
+		rec := postRollUpV2(t, map[string]any{"concepts": concepts, "k": 3, "group_by": gb})
+		if rec.Code != http.StatusOK {
+			t.Fatalf("group_by %q: status = %d; body %q", gb, rec.Code, rec.Body.String())
+		}
+		var page temporalPage
+		decodeBody(t, rec, &page)
+		if page.Total > 0 && len(page.Periods) == 0 {
+			t.Fatalf("group_by %q: %d matches but no periods", gb, page.Total)
+		}
+		sum, best := 0, 0
+		for i, p := range page.Periods {
+			ts, err := time.Parse(time.RFC3339, p.Start)
+			if err != nil {
+				t.Fatalf("group_by %q period start %q: %v", gb, p.Start, err)
+			}
+			if h, m, s := ts.Clock(); h != 0 || m != 0 || s != 0 {
+				t.Fatalf("group_by %q period start %q is not a UTC midnight", gb, p.Start)
+			}
+			if i > 0 && p.Start <= page.Periods[i-1].Start {
+				t.Fatalf("group_by %q periods not strictly ascending: %q after %q", gb, p.Start, page.Periods[i-1].Start)
+			}
+			sum += p.Count
+			if p.Count > page.Periods[best].Count {
+				best = i
+			}
+		}
+		if sum != page.Total {
+			t.Fatalf("group_by %q: periods sum %d != total %d", gb, sum, page.Total)
+		}
+		if len(page.Periods) > 0 && page.Periods[best].Rank != 1 {
+			t.Fatalf("group_by %q: busiest period has rank %d, want 1", gb, page.Periods[best].Rank)
+		}
+	}
+}
+
+// TestV2TemporalValidation pins the typed failure modes: malformed
+// and inverted time ranges, unknown group_by values, and group_by on
+// drill-down are all invalid_argument, never a 200 with the filter
+// silently ignored.
+func TestV2TemporalValidation(t *testing.T) {
+	concepts := topicConcepts(t, 0)
+	base := func() map[string]any {
+		return map[string]any{"concepts": concepts, "k": 3}
+	}
+	cases := []struct {
+		name string
+		mut  func(m map[string]any)
+		path string
+	}{
+		{"unparseable start", func(m map[string]any) {
+			m["time_range"] = map[string]any{"start": "not-a-time"}
+		}, "/v2/query/rollup"},
+		{"unparseable end", func(m map[string]any) {
+			m["time_range"] = map[string]any{"end": "2023-13-45T00:00:00Z"}
+		}, "/v2/query/rollup"},
+		{"inverted range", func(m map[string]any) {
+			m["time_range"] = map[string]any{"start": "2023-06-01T00:00:00Z", "end": "2023-01-01T00:00:00Z"}
+		}, "/v2/query/rollup"},
+		{"unknown group_by", func(m map[string]any) {
+			m["group_by"] = "fortnight"
+		}, "/v2/query/rollup"},
+		{"group_by on drilldown", func(m map[string]any) {
+			m["group_by"] = "week"
+		}, "/v2/query/drilldown"},
+		{"bad range on drilldown", func(m map[string]any) {
+			m["time_range"] = map[string]any{"start": "yesterday"}
+		}, "/v2/query/drilldown"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			body := base()
+			tc.mut(body)
+			rec := postJSON(t, tc.path, body)
+			wantV2Error(t, rec, http.StatusBadRequest, "invalid_argument")
+		})
+	}
+
+	// The unknown-group_by error must name the valid values so the
+	// mistake is correctable from the response alone.
+	body := base()
+	body["group_by"] = "fortnight"
+	e := wantV2Error(t, postRollUpV2(t, body), http.StatusBadRequest, "invalid_argument")
+	valid, _ := e.Error.Details["valid_group_by"].([]any)
+	var names []string
+	for _, v := range valid {
+		names = append(names, fmt.Sprint(v))
+	}
+	sort.Strings(names)
+	if fmt.Sprint(names) != "[day month week]" {
+		t.Fatalf("valid_group_by details = %v; want day/month/week", e.Error.Details)
+	}
+}
+
+// sessionState decodes the session half of a navigation envelope.
+type sessionState struct {
+	Session struct {
+		ID     string `json:"id"`
+		Window *struct {
+			Start string `json:"start"`
+			End   string `json:"end"`
+		} `json:"window"`
+	} `json:"session"`
+	Result json.RawMessage `json:"result"`
+}
+
+// TestSessionZoomFlow drives the temporal navigation loop over HTTP:
+// zoom sets a window, subsequent navigation inherits it and returns
+// bytes identical to the equivalent stateless windowed query, and
+// back undoes the zoom.
+func TestSessionZoomFlow(t *testing.T) {
+	concepts := topicConcepts(t, 4)
+	_, lo, hi := temporalSpan(t, concepts)
+	start := lo.Add(hi.Sub(lo) / 4).Format(time.RFC3339)
+	end := hi.Format(time.RFC3339)
+
+	rec := postJSON(t, "/v2/sessions", map[string]any{"concepts": concepts})
+	if rec.Code != http.StatusCreated {
+		t.Fatalf("create session: status = %d; body %q", rec.Code, rec.Body.String())
+	}
+	var created sessionState
+	decodeBody(t, rec, &created)
+	id := created.Session.ID
+	if created.Session.Window != nil {
+		t.Fatalf("fresh session already has a window: %+v", created.Session.Window)
+	}
+
+	// Zoom, then roll up with no time_range of its own: the session's
+	// window must apply, and the result bytes must match the stateless
+	// windowed call exactly (same cached typed path).
+	rec = postJSON(t, "/v2/sessions/"+id+"/zoom", map[string]any{
+		"time_range": map[string]any{"start": start, "end": end},
+	})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("zoom: status = %d; body %q", rec.Code, rec.Body.String())
+	}
+	var zoomed sessionState
+	decodeBody(t, rec, &zoomed)
+	if zoomed.Session.Window == nil || zoomed.Session.Window.Start != start || zoomed.Session.Window.End != end {
+		t.Fatalf("zoomed window = %+v; want [%s, %s]", zoomed.Session.Window, start, end)
+	}
+
+	rec = postJSON(t, "/v2/sessions/"+id+"/rollup", map[string]any{"k": 5})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("session rollup: status = %d; body %q", rec.Code, rec.Body.String())
+	}
+	var nav sessionState
+	decodeBody(t, rec, &nav)
+	stateless := postRollUpV2(t, map[string]any{"concepts": concepts, "k": 5,
+		"time_range": map[string]any{"start": start, "end": end}})
+	if stateless.Code != http.StatusOK {
+		t.Fatalf("stateless windowed rollup: status = %d; body %q", stateless.Code, stateless.Body.String())
+	}
+	if string(nav.Result) != strings.TrimSpace(stateless.Body.String()) {
+		t.Fatalf("session rollup under zoom diverges from stateless windowed rollup:\n session: %s\nstateless: %s",
+			nav.Result, stateless.Body.String())
+	}
+
+	// Back must undo the zoom, and the next roll-up must match the
+	// stateless *unfiltered* call again.
+	rec = postJSON(t, "/v2/sessions/"+id+"/back", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("back: status = %d; body %q", rec.Code, rec.Body.String())
+	}
+	var popped sessionState
+	decodeBody(t, rec, &popped)
+	if popped.Session.Window != nil {
+		t.Fatalf("window survives back: %+v", popped.Session.Window)
+	}
+	rec = postJSON(t, "/v2/sessions/"+id+"/rollup", map[string]any{"k": 5})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("post-back rollup: status = %d; body %q", rec.Code, rec.Body.String())
+	}
+	decodeBody(t, rec, &nav)
+	unfiltered := postRollUpV2(t, map[string]any{"concepts": concepts, "k": 5})
+	if string(nav.Result) != strings.TrimSpace(unfiltered.Body.String()) {
+		t.Fatalf("post-back session rollup diverges from stateless unfiltered rollup:\n session: %s\nstateless: %s",
+			nav.Result, unfiltered.Body.String())
+	}
+
+	// A bad zoom body must leave the window untouched.
+	rec = postJSON(t, "/v2/sessions/"+id+"/zoom", map[string]any{
+		"time_range": map[string]any{"start": "not-a-time"},
+	})
+	wantV2Error(t, rec, http.StatusBadRequest, "invalid_argument")
+	rec = postJSON(t, "/v2/sessions/"+id+"/zoom", map[string]any{
+		"time_range": map[string]any{"start": end, "end": start},
+	})
+	wantV2Error(t, rec, http.StatusBadRequest, "invalid_argument")
+	got := get(t, "/v2/sessions/"+id)
+	var peek sessionState
+	decodeBody(t, got, &peek)
+	if peek.Session.Window != nil {
+		t.Fatalf("rejected zooms changed the window: %+v", peek.Session.Window)
+	}
+}

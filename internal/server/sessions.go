@@ -10,11 +10,20 @@
 //	GET    /v2/sessions/{id}               snapshot (does not refresh TTL)
 //	DELETE /v2/sessions/{id}               drop a session
 //	POST   /v2/sessions/{id}/rollup        roll up the current pattern
-//	                                       (optional "concepts" replaces it first)
+//	                                       (optional "concepts" replaces it first;
+//	                                       optional "time_range" zooms first)
 //	POST   /v2/sessions/{id}/drilldown     suggest subtopics for the current
 //	                                       pattern (optional "select" then
-//	                                       refines the pattern with one)
-//	POST   /v2/sessions/{id}/back          undo the last pattern change
+//	                                       refines the pattern with one;
+//	                                       optional "time_range" zooms first)
+//	POST   /v2/sessions/{id}/zoom          set or clear the session's time
+//	                                       window without querying
+//	POST   /v2/sessions/{id}/back          undo the last navigation step
+//	                                       (pattern and time window together)
+//
+// A session's time window, once zoomed, applies to every navigation
+// query that does not carry its own time_range; zooms are breadcrumbed
+// and undoable exactly like pattern changes.
 package server
 
 import (
@@ -123,6 +132,15 @@ func (s *Server) handleSessionRollUp(w http.ResponseWriter, r *http.Request) {
 	} else {
 		q.Concepts = snap.Concepts
 	}
+	zoom := q.Time != nil
+	if zoom {
+		if err := ncexplorer.ValidateTimeRange(q.Time); err != nil {
+			s.writeAPIError(w, apiErrorFrom(err))
+			return
+		}
+	} else {
+		q.Time = sessionTime(snap.Window)
+	}
 	body, _, aerr := s.execV2(r.Context(), "rollup", q)
 	if aerr != nil {
 		s.writeAPIError(w, aerr)
@@ -134,7 +152,30 @@ func (s *Server) handleSessionRollUp(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	if zoom {
+		if snap, err = s.sessions.Zoom(id, sessionWindow(q.Time)); err != nil {
+			s.writeAPIError(w, sessionError(err))
+			return
+		}
+	}
 	s.writeJSON(w, http.StatusOK, sessionEnvelope{Session: snap, Result: body})
+}
+
+// sessionTime converts a stored zoom window to the query filter it
+// stands for, nil for an un-zoomed session.
+func sessionTime(w *session.Window) *ncexplorer.TimeRange {
+	if w == nil {
+		return nil
+	}
+	return &ncexplorer.TimeRange{Start: w.Start, End: w.End}
+}
+
+// sessionWindow is the inverse of sessionTime.
+func sessionWindow(tr *ncexplorer.TimeRange) *session.Window {
+	if tr == nil {
+		return nil
+	}
+	return &session.Window{Start: tr.Start, End: tr.End}
 }
 
 // sessionDrillDownRequest adds the refinement selector to the typed
@@ -165,10 +206,25 @@ func (s *Server) handleSessionDrillDown(w http.ResponseWriter, r *http.Request) 
 	}
 	q := req.v2QueryRequest
 	q.Concepts = snap.Concepts
+	zoom := q.Time != nil
+	if zoom {
+		if err := ncexplorer.ValidateTimeRange(q.Time); err != nil {
+			s.writeAPIError(w, apiErrorFrom(err))
+			return
+		}
+	} else {
+		q.Time = sessionTime(snap.Window)
+	}
 	body, _, aerr := s.execV2(r.Context(), "drilldown", q)
 	if aerr != nil {
 		s.writeAPIError(w, aerr)
 		return
+	}
+	if zoom {
+		if snap, err = s.sessions.Zoom(id, sessionWindow(q.Time)); err != nil {
+			s.writeAPIError(w, sessionError(err))
+			return
+		}
 	}
 	// Canonicalize the selection before validating and refining, so a
 	// whitespace variant of a concept already in the pattern cannot
@@ -184,6 +240,34 @@ func (s *Server) handleSessionDrillDown(w http.ResponseWriter, r *http.Request) 
 		}
 	}
 	s.writeJSON(w, http.StatusOK, sessionEnvelope{Session: snap, Result: body})
+}
+
+// sessionZoomRequest is the /zoom body: a time window to apply, or an
+// absent/empty one to zoom back out.
+type sessionZoomRequest struct {
+	Time *ncexplorer.TimeRange `json:"time_range"`
+}
+
+// handleSessionZoom sets or clears the session's time window without
+// running a query — the temporal navigation step of the OLAP loop,
+// breadcrumbed and undoable like a pattern change.
+func (s *Server) handleSessionZoom(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	var req sessionZoomRequest
+	if aerr := decodeV2(w, r, &req); aerr != nil {
+		s.writeAPIError(w, aerr)
+		return
+	}
+	if err := ncexplorer.ValidateTimeRange(req.Time); err != nil {
+		s.writeAPIError(w, apiErrorFrom(err))
+		return
+	}
+	snap, err := s.sessions.Zoom(id, sessionWindow(req.Time))
+	if err != nil {
+		s.writeAPIError(w, sessionError(err))
+		return
+	}
+	s.writeJSON(w, http.StatusOK, sessionEnvelope{Session: snap})
 }
 
 func (s *Server) handleSessionBack(w http.ResponseWriter, r *http.Request) {

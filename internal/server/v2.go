@@ -123,12 +123,14 @@ func (s *Server) writeAPIError(w http.ResponseWriter, e *apiError) {
 // v2QueryRequest is the body of the typed query endpoints (and of the
 // per-item entries in /v2/batch and the session navigation calls).
 type v2QueryRequest struct {
-	Concepts []string `json:"concepts"`
-	K        int      `json:"k"`
-	Offset   int      `json:"offset"`
-	Sources  []string `json:"sources"`
-	MinScore float64  `json:"min_score"`
-	Explain  bool     `json:"explain"`
+	Concepts []string              `json:"concepts"`
+	K        int                   `json:"k"`
+	Offset   int                   `json:"offset"`
+	Sources  []string              `json:"sources"`
+	MinScore float64               `json:"min_score"`
+	Time     *ncexplorer.TimeRange `json:"time_range"`
+	GroupBy  string                `json:"group_by"`
+	Explain  bool                  `json:"explain"`
 }
 
 // normalizeV2 applies the HTTP-layer page-size conventions: an absent
@@ -208,7 +210,8 @@ func (s *Server) doCached(ctx context.Context, key string, fill func() (any, err
 func (s *Server) execRollUpV2(ctx context.Context, q v2QueryRequest) ([]byte, bool, *apiError) {
 	req := ncexplorer.RollUpRequest{
 		Concepts: q.Concepts, K: q.K, Offset: q.Offset,
-		Sources: q.Sources, MinScore: q.MinScore, Explain: q.Explain,
+		Sources: q.Sources, MinScore: q.MinScore,
+		Time: q.Time, GroupBy: q.GroupBy, Explain: q.Explain,
 	}
 	v, hit, err := s.doCached(ctx, req.Key(), func() (any, error) {
 		res, err := s.explorer().RollUpQuery(ctx, req)
@@ -228,9 +231,12 @@ func (s *Server) execDrillDownV2(ctx context.Context, q v2QueryRequest) ([]byte,
 	if len(q.Sources) > 0 {
 		return nil, false, invalidArgument("drilldown does not accept a sources filter")
 	}
+	if q.GroupBy != "" {
+		return nil, false, invalidArgument("drilldown does not accept group_by")
+	}
 	req := ncexplorer.DrillDownRequest{
 		Concepts: q.Concepts, K: q.K, Offset: q.Offset,
-		MinScore: q.MinScore, Explain: q.Explain,
+		MinScore: q.MinScore, Time: q.Time, Explain: q.Explain,
 	}
 	v, hit, err := s.doCached(ctx, req.Key(), func() (any, error) {
 		res, err := s.explorer().DrillDownQuery(ctx, req)

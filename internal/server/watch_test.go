@@ -57,32 +57,36 @@ func openSSE(t *testing.T, base, id string, after uint64) *sseStream {
 		t.Fatalf("SSE content type %q", ct)
 	}
 	st := &sseStream{resp: resp, frames: make(chan sseFrame, 64), errs: make(chan error, 1)}
-	go func() {
-		defer close(st.frames)
-		rd := bufio.NewReader(resp.Body)
-		var block bytes.Buffer
-		for {
-			line, err := rd.ReadString('\n')
-			if err != nil {
-				st.errs <- err
-				return
-			}
-			if line == "\n" {
-				raw := block.String()
-				block.Reset()
-				var id uint64
-				for _, fl := range strings.Split(raw, "\n") {
-					if _, err := fmt.Sscanf(fl, "id: %d", &id); err == nil {
-						break
-					}
-				}
-				st.frames <- sseFrame{raw: raw, id: id}
-				continue
-			}
-			block.WriteString(line)
-		}
-	}()
+	go pumpSSE(st)
 	return st
+}
+
+// pumpSSE reads SSE frames off the response body until it closes,
+// delivering each complete block on the stream's channel.
+func pumpSSE(st *sseStream) {
+	defer close(st.frames)
+	rd := bufio.NewReader(st.resp.Body)
+	var block bytes.Buffer
+	for {
+		line, err := rd.ReadString('\n')
+		if err != nil {
+			st.errs <- err
+			return
+		}
+		if line == "\n" {
+			raw := block.String()
+			block.Reset()
+			var id uint64
+			for _, fl := range strings.Split(raw, "\n") {
+				if _, err := fmt.Sscanf(fl, "id: %d", &id); err == nil {
+					break
+				}
+			}
+			st.frames <- sseFrame{raw: raw, id: id}
+			continue
+		}
+		block.WriteString(line)
+	}
 }
 
 // next returns the next frame or fails after a timeout.
@@ -237,8 +241,10 @@ func TestWatchlistSSEReconnectCatchUp(t *testing.T) {
 	}
 }
 
-// TestWatchlistSSEBadCursor: a non-numeric ?after= is a client error,
-// not a stream.
+// TestWatchlistSSEBadCursor pins the ?after= cursor grammar: exactly
+// the base-10 uint64 literals are accepted; everything else — signs,
+// floats, hex, whitespace, values past 2^64-1 — is a typed
+// invalid_argument before any stream is opened.
 func TestWatchlistSSEBadCursor(t *testing.T) {
 	x, concept := watchWorld(t)
 	s := server.New(x, server.Options{})
@@ -246,17 +252,95 @@ func TestWatchlistSSEBadCursor(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	req := httptest.NewRequest(http.MethodGet, "/v2/watchlists/"+wl.ID+"/events?after=abc", nil)
-	rec := httptest.NewRecorder()
-	s.Handler().ServeHTTP(rec, req)
-	if rec.Code != http.StatusBadRequest {
-		t.Fatalf("bad cursor: status %d, want 400", rec.Code)
+	bad := []string{
+		"abc",                           // garbage
+		"-1",                            // negative
+		"+1",                            // explicit sign
+		"1.5",                           // float
+		"1e3",                           // scientific
+		"0x10",                          // hex
+		"%201",                          // leading space (URL-encoded)
+		"18446744073709551616",          // 2^64: one past uint64
+		"99999999999999999999999999999", // way past uint64
 	}
-	req = httptest.NewRequest(http.MethodGet, "/v2/watchlists/nope/events", nil)
-	rec = httptest.NewRecorder()
+	for _, raw := range bad {
+		req := httptest.NewRequest(http.MethodGet, "/v2/watchlists/"+wl.ID+"/events?after="+raw, nil)
+		rec := httptest.NewRecorder()
+		s.Handler().ServeHTTP(rec, req)
+		if rec.Code != http.StatusBadRequest {
+			t.Fatalf("after=%q: status %d, want 400: %s", raw, rec.Code, rec.Body)
+		}
+		if !bytes.Contains(rec.Body.Bytes(), []byte("invalid_argument")) {
+			t.Fatalf("after=%q: body lacks typed invalid_argument code: %s", raw, rec.Body)
+		}
+		if ct := rec.Header().Get("Content-Type"); strings.HasPrefix(ct, "text/event-stream") {
+			t.Fatalf("after=%q: rejected cursor still opened a stream", raw)
+		}
+	}
+	req := httptest.NewRequest(http.MethodGet, "/v2/watchlists/nope/events", nil)
+	rec := httptest.NewRecorder()
 	s.Handler().ServeHTTP(rec, req)
 	if rec.Code != http.StatusNotFound {
 		t.Fatalf("unknown watchlist: status %d, want 404", rec.Code)
+	}
+}
+
+// TestWatchlistSSECursorBeyondRetention: the largest valid cursor
+// (2^64-1) is not an error — it means "I have seen everything", so the
+// stream opens with an empty catch-up and delivers only alerts
+// produced after the connect. An empty ?after= is likewise accepted
+// and means "from the start".
+func TestWatchlistSSECursorBeyondRetention(t *testing.T) {
+	x, concept := watchWorld(t)
+	s := server.New(x, server.Options{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	wl, err := x.RegisterWatchlist(ncexplorer.WatchlistSpec{Concepts: []string{concept}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Build up retained history the cursor must NOT replay.
+	ingestBatch(t, x, 4242)
+	got, err := x.GetWatchlist(wl.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.LastSeq == 0 {
+		t.Fatal("seed batch produced no alerts; pick a denser concept")
+	}
+
+	// An empty cursor value is "from the start": the retained alerts
+	// replay from sequence 1.
+	fromStart, err := http.Get(fmt.Sprintf("%s/v2/watchlists/%s/events?after=", ts.URL, wl.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stStart := &sseStream{resp: fromStart, frames: make(chan sseFrame, 64), errs: make(chan error, 1)}
+	if fromStart.StatusCode != http.StatusOK {
+		t.Fatalf("empty cursor: status %d", fromStart.StatusCode)
+	}
+	go pumpSSE(stStart)
+	defer stStart.close()
+	if f := stStart.next(t); f.id != 1 {
+		t.Fatalf("empty cursor: first frame id %d, want 1", f.id)
+	}
+
+	maxed := openSSE(t, ts.URL, wl.ID, ^uint64(0))
+	defer maxed.close()
+
+	// New alerts still flow; the first frame the maxed-out cursor sees
+	// must be from the post-connect batch, not a replay.
+	ingestBatch(t, x, 4243)
+	after, err := x.GetWatchlist(wl.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.LastSeq == got.LastSeq {
+		t.Fatal("second batch produced no alerts; pick a denser concept")
+	}
+	if f := maxed.next(t); f.id <= got.LastSeq {
+		t.Fatalf("cursor past retention replayed retained alert %d (history ended at %d)", f.id, got.LastSeq)
 	}
 }
 

@@ -49,17 +49,31 @@ const (
 	OpSet Op = "set"
 	// OpRefine appended a drill-down subtopic to the pattern.
 	OpRefine Op = "refine"
-	// OpBack restored the previous pattern.
+	// OpZoom set, replaced, or cleared the session's time window.
+	OpZoom Op = "zoom"
+	// OpBack restored the previous pattern (and time window).
 	OpBack Op = "back"
 )
 
+// Window is a session's temporal zoom: an inclusive publication-time
+// range, held as the opaque RFC3339 strings the query layer validated.
+// The store never interprets the bounds — it only versions them
+// through the undo stack and the breadcrumb trail.
+type Window struct {
+	Start string `json:"start,omitempty"`
+	End   string `json:"end,omitempty"`
+}
+
 // Step is one breadcrumb: the operation, the concept it involved (for
-// refines), and the pattern in force after it ran.
+// refines), and the pattern and time window in force after it ran.
 type Step struct {
-	Op       Op        `json:"op"`
-	Concept  string    `json:"concept,omitempty"`
-	Concepts []string  `json:"concepts"`
-	At       time.Time `json:"at"`
+	Op       Op       `json:"op"`
+	Concept  string   `json:"concept,omitempty"`
+	Concepts []string `json:"concepts"`
+	// Window is the temporal zoom in force after the step (nil when
+	// the session is un-zoomed).
+	Window *Window   `json:"window,omitempty"`
+	At     time.Time `json:"at"`
 }
 
 // Snapshot is an immutable copy of a session's state, safe to retain
@@ -67,6 +81,8 @@ type Step struct {
 type Snapshot struct {
 	ID       string   `json:"id"`
 	Concepts []string `json:"concepts"`
+	// Window is the session's current temporal zoom (nil: un-zoomed).
+	Window *Window `json:"window,omitempty"`
 	// Steps is the full breadcrumb trail, oldest first.
 	Steps []Step `json:"steps"`
 	// Depth is the undo-stack depth: how many Back calls can succeed.
@@ -76,11 +92,18 @@ type Snapshot struct {
 	ExpiresAt time.Time `json:"expires_at"`
 }
 
+// frame is one undo-stack entry: the navigable state a Back restores.
+type frame struct {
+	pattern []string
+	window  *Window
+}
+
 // state is the mutable per-session record, guarded by the store lock.
 type state struct {
 	id       string
 	pattern  []string
-	undo     [][]string
+	window   *Window
+	undo     []frame
 	steps    []Step
 	created  time.Time
 	lastUsed time.Time
@@ -199,15 +222,27 @@ func (s *Store) lookupLocked(id string, now time.Time) (*state, error) {
 	return st, nil
 }
 
+// copyWindow clones a window so retained snapshots cannot alias the
+// store's mutable state.
+func copyWindow(w *Window) *Window {
+	if w == nil {
+		return nil
+	}
+	cp := *w
+	return &cp
+}
+
 func (s *Store) snapshotLocked(st *state) Snapshot {
 	steps := make([]Step, len(st.steps))
 	for i, step := range st.steps {
 		step.Concepts = append([]string(nil), step.Concepts...)
+		step.Window = copyWindow(step.Window)
 		steps[i] = step
 	}
 	return Snapshot{
 		ID:        st.id,
 		Concepts:  append([]string(nil), st.pattern...),
+		Window:    copyWindow(st.window),
 		Steps:     steps,
 		Depth:     len(st.undo),
 		CreatedAt: st.created,
@@ -298,9 +333,30 @@ func (s *Store) Set(id string, concepts []string) (Snapshot, error) {
 		if equalPatterns(st.pattern, pattern) {
 			return nil
 		}
-		st.undo = append(st.undo, st.pattern)
+		st.undo = append(st.undo, frame{pattern: st.pattern, window: st.window})
 		st.pattern = pattern
-		st.steps = append(st.steps, Step{Op: OpSet, Concepts: pattern, At: st.lastUsed})
+		st.steps = append(st.steps, Step{Op: OpSet, Concepts: pattern, Window: st.window, At: st.lastUsed})
+		return nil
+	})
+}
+
+// Zoom sets, replaces, or clears (nil) the session's time window,
+// pushing the previous navigable state onto the undo stack — the
+// temporal drill of the OLAP loop, undoable with Back like any other
+// move. Zooming to the identical window is a no-op that records no
+// step.
+func (s *Store) Zoom(id string, w *Window) (Snapshot, error) {
+	w = copyWindow(w)
+	if w != nil && w.Start == "" && w.End == "" {
+		w = nil
+	}
+	return s.mutate(id, func(st *state) error {
+		if equalWindows(st.window, w) {
+			return nil
+		}
+		st.undo = append(st.undo, frame{pattern: st.pattern, window: st.window})
+		st.window = w
+		st.steps = append(st.steps, Step{Op: OpZoom, Concepts: st.pattern, Window: w, At: st.lastUsed})
 		return nil
 	})
 }
@@ -314,25 +370,33 @@ func (s *Store) Refine(id, concept string) (Snapshot, error) {
 				return ErrDuplicateConcept
 			}
 		}
-		st.undo = append(st.undo, st.pattern)
+		st.undo = append(st.undo, frame{pattern: st.pattern, window: st.window})
 		st.pattern = append(append([]string(nil), st.pattern...), concept)
-		st.steps = append(st.steps, Step{Op: OpRefine, Concept: concept, Concepts: st.pattern, At: st.lastUsed})
+		st.steps = append(st.steps, Step{Op: OpRefine, Concept: concept, Concepts: st.pattern, Window: st.window, At: st.lastUsed})
 		return nil
 	})
 }
 
-// Back restores the previous pattern (undo), failing with ErrNoHistory
-// at the root.
+// Back restores the previous navigable state — pattern and time
+// window together — failing with ErrNoHistory at the root.
 func (s *Store) Back(id string) (Snapshot, error) {
 	return s.mutate(id, func(st *state) error {
 		if len(st.undo) == 0 {
 			return ErrNoHistory
 		}
-		st.pattern = st.undo[len(st.undo)-1]
+		f := st.undo[len(st.undo)-1]
+		st.pattern, st.window = f.pattern, f.window
 		st.undo = st.undo[:len(st.undo)-1]
-		st.steps = append(st.steps, Step{Op: OpBack, Concepts: st.pattern, At: st.lastUsed})
+		st.steps = append(st.steps, Step{Op: OpBack, Concepts: st.pattern, Window: st.window, At: st.lastUsed})
 		return nil
 	})
+}
+
+func equalWindows(a, b *Window) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	return *a == *b
 }
 
 func equalPatterns(a, b []string) bool {

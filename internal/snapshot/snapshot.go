@@ -58,6 +58,11 @@ type DocRecord struct {
 	// only on the document and the graph; which candidates are *kept*
 	// and how they score is generation-dependent and computed elsewhere.
 	Candidates []kg.NodeID
+	// PublishedAt is the document's publication time (Unix seconds,
+	// UTC). Always non-zero once indexed: the engine defaults missing
+	// timestamps at ingest, so time-range pruning never has to treat
+	// zero as "unknown".
+	PublishedAt int64
 }
 
 // Scoring blocks: the pruned query planner bounds scores per fixed
@@ -106,6 +111,14 @@ type Segment struct {
 	// any generation's idf. Derived deterministically from Docs (see
 	// ComputeMaxTF), so decoders can validate it by recomputation.
 	MaxTF map[kg.NodeID][]BlockTF
+	// MinTime and MaxTime bound the PublishedAt values of the segment's
+	// documents (inclusive; both zero for an empty segment). Derived
+	// deterministically from Docs in BuildSegment — merges rebuild
+	// through BuildSegment, so the bounds stay exact (never widened) —
+	// letting queries discard whole segments disjoint from a time-range
+	// filter before touching any posting list.
+	MinTime int64
+	MaxTime int64
 }
 
 // Len returns the segment's document count.
@@ -257,6 +270,13 @@ func BuildSegment(base int32, docs []DocRecord, articles []corpus.Document) *Seg
 		seg.Text.Add(int32(i), tf)
 		for _, v := range docs[i].Entities {
 			seg.EntDocs[v] = append(seg.EntDocs[v], global)
+		}
+		if t := docs[i].PublishedAt; i == 0 {
+			seg.MinTime, seg.MaxTime = t, t
+		} else if t < seg.MinTime {
+			seg.MinTime = t
+		} else if t > seg.MaxTime {
+			seg.MaxTime = t
 		}
 	}
 	seg.Text.Freeze()

@@ -27,10 +27,12 @@ import (
 // invariant).
 
 // watchMagic identifies a watch-state file; watchVersion is bumped on
-// any incompatible layout change.
+// any incompatible layout change. v2 added the per-definition
+// time-window threshold (WindowCount/WindowDays) and the alert
+// article's publication time.
 const (
 	watchMagic   = "NCWL"
-	watchVersion = 1
+	watchVersion = 2
 )
 
 // maxWatchString bounds every decoded string (names, URLs, bodies);
@@ -61,6 +63,8 @@ func (r *Registry) encodeState() []byte {
 		w.strs(l.def.Concepts)
 		w.strs(l.def.Sources)
 		w.f64(l.def.MinScore)
+		w.u32(uint32(l.def.WindowCount))
+		w.u32(uint32(l.def.WindowDays))
 		w.str(l.def.WebhookURL)
 		w.u64(l.def.CreatedGen)
 		w.u64(l.nextSeq)
@@ -74,6 +78,7 @@ func (r *Registry) encodeState() []byte {
 			w.str(a.Article.Title)
 			w.str(a.Article.Body)
 			w.f64(a.Article.Score)
+			w.str(a.Article.PublishedAt)
 			w.u32(uint32(len(a.Article.Explanations)))
 			for _, ex := range a.Article.Explanations {
 				w.str(ex.Concept)
@@ -147,6 +152,11 @@ func decodeState(data []byte) (nextID uint64, lists map[string]*list, err error)
 		if l.def.MinScore < 0 {
 			return 0, nil, fmt.Errorf("%w: negative min score", segio.ErrCorrupt)
 		}
+		l.def.WindowCount = int(rd.u32())
+		l.def.WindowDays = int(rd.u32())
+		if rd.err == nil && (l.def.WindowCount > 0) != (l.def.WindowDays > 0) {
+			return 0, nil, fmt.Errorf("%w: half-set watch window threshold", segio.ErrCorrupt)
+		}
 		l.def.WebhookURL = rd.str()
 		l.def.CreatedGen = rd.u64()
 		l.nextSeq = rd.u64()
@@ -170,6 +180,7 @@ func decodeState(data []byte) (nextID uint64, lists map[string]*list, err error)
 			a.Article.Title = rd.str()
 			a.Article.Body = rd.str()
 			a.Article.Score = rd.f64()
+			a.Article.PublishedAt = rd.str()
 			nExpl := rd.count()
 			for k := 0; k < nExpl && rd.err == nil; k++ {
 				var ex Explanation

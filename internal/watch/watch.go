@@ -46,6 +46,13 @@ type Definition struct {
 	// MinScore excludes matches scoring below it (at the generation the
 	// document arrived) when > 0.
 	MinScore float64
+	// WindowCount/WindowDays arm a time-window threshold: the watchlist
+	// stays silent until at least WindowCount matching articles carry
+	// publication times inside one trailing WindowDays-day window
+	// ("≥N matches in 7 days"). Both zero disables the threshold; the
+	// facade validates that they are set together.
+	WindowCount int
+	WindowDays  int
 	// WebhookURL, when set, receives each alert as a JSON POST.
 	WebhookURL string
 	// CreatedGen is the snapshot generation at registration; the
@@ -74,11 +81,14 @@ type Alert struct {
 // Article mirrors the facade's roll-up article payload (same JSON
 // shape) so alert envelopes and query results read identically.
 type Article struct {
-	ID           int           `json:"id"`
-	Source       string        `json:"source"`
-	Title        string        `json:"title"`
-	Body         string        `json:"body"`
-	Score        float64       `json:"score"`
+	ID     int     `json:"id"`
+	Source string  `json:"source"`
+	Title  string  `json:"title"`
+	Body   string  `json:"body"`
+	Score  float64 `json:"score"`
+	// PublishedAt is the article's publication time, RFC3339 UTC —
+	// identical to the facade article field of the same name.
+	PublishedAt  string        `json:"published_at"`
 	Explanations []Explanation `json:"explanations,omitempty"`
 }
 

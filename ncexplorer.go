@@ -79,11 +79,15 @@ type Config struct {
 // query asked for them (RollUp always does; RollUpQuery honours its
 // Explain toggle).
 type Article struct {
-	ID           int           `json:"id"`
-	Source       string        `json:"source"`
-	Title        string        `json:"title"`
-	Body         string        `json:"body"`
-	Score        float64       `json:"score"`
+	ID     int     `json:"id"`
+	Source string  `json:"source"`
+	Title  string  `json:"title"`
+	Body   string  `json:"body"`
+	Score  float64 `json:"score"`
+	// PublishedAt is the article's publication time, RFC3339 UTC.
+	// Always present: articles ingested without one were stamped with
+	// the ingest wall clock.
+	PublishedAt  string        `json:"published_at"`
 	Explanations []Explanation `json:"explanations,omitempty"`
 }
 
@@ -137,6 +141,9 @@ type IngestCounters struct {
 	Docs    int64 `json:"docs"`
 	Nanos   int64 `json:"nanos"`
 	Merges  int64 `json:"merges"`
+	// DocsDefaultedTime counts ingested documents that carried no
+	// publication time and were stamped with the ingest wall clock.
+	DocsDefaultedTime int64 `json:"docs_defaulted_time"`
 }
 
 // PersistCounters reports durable-snapshot activity (see Stats.Persist).
@@ -202,6 +209,13 @@ type Explorer struct {
 	// watch is the standing-query registry; initWatch wires it to the
 	// engine's ingest hook and the persistence layer.
 	watch *watch.Registry
+	// watchWindows holds, per windowed watchlist, the publication times
+	// of matches seen so far — the state behind "≥N matches in 7 days"
+	// thresholds. Touched only by the ingest hook (which runs under the
+	// ingest lock, so no extra locking) and deliberately not persisted:
+	// after a restart a window threshold re-arms from empty, which is
+	// the documented at-most-once semantics of window arming.
+	watchWindows map[string][]int64
 
 	statsOnce sync.Once
 	stats     Stats

@@ -2,8 +2,10 @@ package ncexplorer
 
 import (
 	"context"
+	"math"
 	"sort"
 	"strings"
+	"time"
 
 	"ncexplorer/internal/core"
 	"ncexplorer/internal/corpus"
@@ -28,8 +30,23 @@ type RollUpRequest struct {
 	Sources []string `json:"sources,omitempty"`
 	// MinScore excludes articles scoring below it when > 0.
 	MinScore float64 `json:"min_score,omitempty"`
+	// Time restricts results to articles published inside the range
+	// (inclusive RFC3339 bounds, either side open); nil admits every
+	// publication time.
+	Time *TimeRange `json:"time_range,omitempty"`
+	// GroupBy additionally buckets matches by publication period —
+	// "day", "week" (Monday-start, UTC) or "month" — into
+	// RollUpResult.Periods with trend annotations. Empty disables.
+	GroupBy string `json:"group_by,omitempty"`
 	// Explain includes per-concept explanations in each article.
 	Explain bool `json:"explain,omitempty"`
+}
+
+// TimeRange is the wire form of a publication-time filter: inclusive
+// RFC3339 bounds, either side optional (empty = open).
+type TimeRange struct {
+	Start string `json:"start,omitempty"`
+	End   string `json:"end,omitempty"`
 }
 
 // RollUpResult is one page of roll-up results with the pagination
@@ -46,6 +63,33 @@ type RollUpResult struct {
 	NextOffset int       `json:"next_offset"`
 	Generation uint64    `json:"generation"`
 	Articles   []Article `json:"articles"`
+	// Periods is the per-period match histogram when the request set
+	// GroupBy: ascending period starts, counts summing to Total, each
+	// bucket annotated with its trend versus the previous calendar
+	// period.
+	Periods []Period `json:"periods,omitempty"`
+}
+
+// Period is one bucket of a grouped roll-up. Trend fields compare the
+// bucket to the immediately preceding *calendar* period: a gap in the
+// listing means that period had zero matches, so Delta is measured
+// against zero across gaps.
+type Period struct {
+	// Start is the period's first instant, RFC3339 UTC.
+	Start string `json:"start"`
+	// Count is the number of matching articles published in the period.
+	Count int `json:"count"`
+	// Delta is Count minus the previous calendar period's count.
+	Delta int `json:"delta"`
+	// Direction summarises Delta: "up", "down", or "flat".
+	Direction string `json:"direction"`
+	// Rank orders the page's periods by Count descending (ties broken
+	// by earlier start), 1-based — "the busiest period is rank 1".
+	Rank int `json:"rank"`
+	// RankDelta is the previous calendar period's rank minus this
+	// one's (positive = climbed). Zero when the previous period is
+	// absent from the listing.
+	RankDelta int `json:"rank_delta"`
 }
 
 // DrillDownRequest is a typed drill-down query. The JSON tags match
@@ -59,6 +103,9 @@ type DrillDownRequest struct {
 	Offset int `json:"offset,omitempty"`
 	// MinScore excludes suggestions scoring below it when > 0.
 	MinScore float64 `json:"min_score,omitempty"`
+	// Time restricts the articles feeding coverage, specificity and
+	// diversity to those published inside the range; nil admits all.
+	Time *TimeRange `json:"time_range,omitempty"`
 	// Explain includes the score components (coverage, specificity,
 	// diversity) in each suggestion; without it only concept, score and
 	// matched_docs are populated.
@@ -86,6 +133,8 @@ type DrillDownResult struct {
 func (r RollUpRequest) Key() string {
 	var kb qcache.KeyBuilder
 	kb.Str("rollup2").Int(r.K).Int(r.Offset).Float(r.MinScore).Bool(r.Explain)
+	keyTime(&kb, r.Time)
+	kb.Str(strings.ToLower(strings.TrimSpace(r.GroupBy)))
 	kb.Strs(canonicalSources(r.Sources))
 	kb.Strs(CanonicalConcepts(r.Concepts))
 	return kb.String()
@@ -95,8 +144,35 @@ func (r RollUpRequest) Key() string {
 func (r DrillDownRequest) Key() string {
 	var kb qcache.KeyBuilder
 	kb.Str("drilldown2").Int(r.K).Int(r.Offset).Float(r.MinScore).Bool(r.Explain)
+	keyTime(&kb, r.Time)
 	kb.Strs(CanonicalConcepts(r.Concepts))
 	return kb.String()
+}
+
+// keyTime folds a time filter into a cache key. Bounds are folded as
+// parsed instants when they parse (equivalent RFC3339 spellings of one
+// instant share a cache entry) and as raw strings otherwise — a
+// malformed range still occupies a distinct key, it just never caches
+// a success.
+func keyTime(kb *qcache.KeyBuilder, tr *TimeRange) {
+	if tr == nil {
+		kb.Str("")
+		return
+	}
+	fold := func(s string) {
+		if s == "" {
+			kb.Str("")
+			return
+		}
+		if t, err := time.Parse(time.RFC3339, s); err == nil {
+			kb.Int(int(t.Unix()))
+			return
+		}
+		kb.Str(s)
+	}
+	kb.Str("t")
+	fold(tr.Start)
+	fold(tr.End)
 }
 
 // canonicalSources trims, dedupes, lowercases and sorts source names.
@@ -168,8 +244,171 @@ func validatePage(k, offset int, minScore float64) error {
 	return nil
 }
 
+// resolveTimeRange validates the wire time filter and converts it to
+// the engine's Unix-seconds range: non-RFC3339 bounds and inverted
+// ranges are rejected with CodeInvalidArgument; an absent side is
+// open. A nil or completely empty range means no filter.
+func resolveTimeRange(tr *TimeRange) (*core.TimeRange, error) {
+	if tr == nil || (tr.Start == "" && tr.End == "") {
+		return nil, nil
+	}
+	out := &core.TimeRange{Min: math.MinInt64, Max: math.MaxInt64}
+	if tr.Start != "" {
+		t, err := time.Parse(time.RFC3339, tr.Start)
+		if err != nil {
+			e := newErrorf(CodeInvalidArgument,
+				"ncexplorer: invalid time_range.start %q: want RFC3339 (e.g. 2023-09-04T08:00:00Z)", tr.Start)
+			e.Details = map[string]any{"start": tr.Start}
+			return nil, e
+		}
+		out.Min = t.Unix()
+	}
+	if tr.End != "" {
+		t, err := time.Parse(time.RFC3339, tr.End)
+		if err != nil {
+			e := newErrorf(CodeInvalidArgument,
+				"ncexplorer: invalid time_range.end %q: want RFC3339 (e.g. 2023-09-04T08:00:00Z)", tr.End)
+			e.Details = map[string]any{"end": tr.End}
+			return nil, e
+		}
+		out.Max = t.Unix()
+	}
+	if out.Min > out.Max {
+		e := newErrorf(CodeInvalidArgument,
+			"ncexplorer: invalid time_range: start %s is after end %s", tr.Start, tr.End)
+		e.Details = map[string]any{"start": tr.Start, "end": tr.End}
+		return nil, e
+	}
+	return out, nil
+}
+
+// ValidateTimeRange checks a wire time filter without running a query
+// — the session layer vets zoom windows with the same rulebook the
+// query endpoints apply (RFC3339 bounds, start ≤ end).
+func ValidateTimeRange(tr *TimeRange) error {
+	_, err := resolveTimeRange(tr)
+	return err
+}
+
+// ResolveTimeRange converts a wire time range to the engine's filter
+// form — the internal scatter endpoints resolve the router-sent window
+// with it before invoking the core partial queries.
+func ResolveTimeRange(tr *TimeRange) (*core.TimeRange, error) {
+	return resolveTimeRange(tr)
+}
+
+// ValidateGroupBy checks a wire group_by value without running a query
+// — the router mirrors the facade's validation order with it.
+func ValidateGroupBy(name string) error {
+	_, err := resolveGroupBy(name)
+	return err
+}
+
+// MergePeriods merges per-shard period histograms associatively: equal
+// period starts sum their counts (shards are document-disjoint, so the
+// sums equal a monolithic engine's buckets), and the trend annotations
+// are recomputed over the merged listing with the same arithmetic
+// buildPeriods applies locally. groupBy must be a valid non-empty
+// group_by value — the router validates before scattering.
+func MergePeriods(groupBy string, lists [][]Period) []Period {
+	gb, err := resolveGroupBy(groupBy)
+	if err != nil || gb == core.GroupNone {
+		return nil
+	}
+	counts := make(map[int64]int)
+	for _, list := range lists {
+		for _, p := range list {
+			t, err := time.Parse(time.RFC3339, p.Start)
+			if err != nil {
+				continue // shards never emit unparsable starts
+			}
+			counts[t.Unix()] += p.Count
+		}
+	}
+	if len(counts) == 0 {
+		return nil
+	}
+	buckets := make([]core.PeriodBucket, 0, len(counts))
+	for s, n := range counts {
+		buckets = append(buckets, core.PeriodBucket{Start: s, Count: n})
+	}
+	sort.Slice(buckets, func(i, j int) bool { return buckets[i].Start < buckets[j].Start })
+	return buildPeriods(gb, buckets)
+}
+
+// groupByNames lists the valid group_by values.
+var groupByNames = []string{"day", "week", "month"}
+
+// resolveGroupBy maps the wire group_by value to the engine's enum,
+// rejecting unknown values with a typed error listing the valid ones.
+func resolveGroupBy(name string) (core.GroupBy, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "":
+		return core.GroupNone, nil
+	case "day":
+		return core.GroupDay, nil
+	case "week":
+		return core.GroupWeek, nil
+	case "month":
+		return core.GroupMonth, nil
+	default:
+		e := newErrorf(CodeInvalidArgument, "ncexplorer: unknown group_by %q", name)
+		e.Details = map[string]any{"group_by": name, "valid_group_by": groupByNames}
+		return core.GroupNone, e
+	}
+}
+
+// buildPeriods renders the engine's period buckets with trend
+// annotations: delta and direction versus the previous calendar
+// period (zero-count across listing gaps), and rank movement within
+// the page. Buckets arrive ascending by start and leave in that order.
+func buildPeriods(gb core.GroupBy, buckets []core.PeriodBucket) []Period {
+	if len(buckets) == 0 {
+		return nil
+	}
+	// Rank by count descending, earlier start breaking ties.
+	order := make([]int, len(buckets))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ba, bb := buckets[order[a]], buckets[order[b]]
+		if ba.Count != bb.Count {
+			return ba.Count > bb.Count
+		}
+		return ba.Start < bb.Start
+	})
+	rank := make([]int, len(buckets))
+	for pos, idx := range order {
+		rank[idx] = pos + 1
+	}
+	out := make([]Period, len(buckets))
+	for i, b := range buckets {
+		p := Period{
+			Start: time.Unix(b.Start, 0).UTC().Format(time.RFC3339),
+			Count: b.Count,
+			Delta: b.Count, // vs an empty previous period, unless adjacent below
+			Rank:  rank[i],
+		}
+		if i > 0 && gb.Next(buckets[i-1].Start) == b.Start {
+			p.Delta = b.Count - buckets[i-1].Count
+			p.RankDelta = rank[i-1] - rank[i]
+		}
+		switch {
+		case p.Delta > 0:
+			p.Direction = "up"
+		case p.Delta < 0:
+			p.Direction = "down"
+		default:
+			p.Direction = "flat"
+		}
+		out[i] = p
+	}
+	return out
+}
+
 // nextOffset computes the pagination cursor: the offset of the page
-// after this one, or -1 when the listing is exhausted.
+// after this one, or -1 once the listing is exhausted.
 func nextOffset(offset, returned, total int) int {
 	if n := offset + returned; n < total && returned > 0 {
 		return n
@@ -191,6 +430,14 @@ func (x *Explorer) RollUpQuery(ctx context.Context, req RollUpRequest) (RollUpRe
 	if err != nil {
 		return RollUpResult{}, err
 	}
+	tr, err := resolveTimeRange(req.Time)
+	if err != nil {
+		return RollUpResult{}, err
+	}
+	gb, err := resolveGroupBy(req.GroupBy)
+	if err != nil {
+		return RollUpResult{}, err
+	}
 	concepts := CanonicalConcepts(req.Concepts)
 	q, err := x.resolveConcepts(concepts)
 	if err != nil {
@@ -198,6 +445,7 @@ func (x *Explorer) RollUpQuery(ctx context.Context, req RollUpRequest) (RollUpRe
 	}
 	page, err := x.engine.RollUpPage(ctx, q, core.RollUpOptions{
 		K: req.K, Offset: req.Offset, Sources: sources, MinScore: req.MinScore,
+		Time: tr, GroupBy: gb,
 	})
 	if err != nil {
 		return RollUpResult{}, ctxError(err)
@@ -214,6 +462,7 @@ func (x *Explorer) RollUpQuery(ctx context.Context, req RollUpRequest) (RollUpRe
 		NextOffset: nextOffset(req.Offset, len(articles), page.Total),
 		Generation: page.Generation,
 		Articles:   articles,
+		Periods:    buildPeriods(gb, page.Periods),
 	}, nil
 }
 
@@ -224,13 +473,17 @@ func (x *Explorer) DrillDownQuery(ctx context.Context, req DrillDownRequest) (Dr
 	if err := validatePage(req.K, req.Offset, req.MinScore); err != nil {
 		return DrillDownResult{}, err
 	}
+	tr, err := resolveTimeRange(req.Time)
+	if err != nil {
+		return DrillDownResult{}, err
+	}
 	concepts := CanonicalConcepts(req.Concepts)
 	q, err := x.resolveConcepts(concepts)
 	if err != nil {
 		return DrillDownResult{}, err
 	}
 	page, err := x.engine.DrillDownPage(ctx, q, core.DrillDownOptions{
-		K: req.K, Offset: req.Offset, MinScore: req.MinScore,
+		K: req.K, Offset: req.Offset, MinScore: req.MinScore, Time: tr,
 	})
 	if err != nil {
 		return DrillDownResult{}, ctxError(err)
@@ -267,11 +520,12 @@ func (x *Explorer) DrillDownQuery(ctx context.Context, req DrillDownRequest) (Dr
 func (x *Explorer) article(r core.DocResult, explain bool) Article {
 	d := x.engine.Doc(r.Doc)
 	art := Article{
-		ID:     int(r.Doc),
-		Source: d.Source.String(),
-		Title:  d.Title,
-		Body:   d.Body,
-		Score:  r.Score,
+		ID:          int(r.Doc),
+		Source:      d.Source.String(),
+		Title:       d.Title,
+		Body:        d.Body,
+		Score:       r.Score,
+		PublishedAt: time.Unix(d.PublishedAt, 0).UTC().Format(time.RFC3339),
 	}
 	if !explain {
 		return art

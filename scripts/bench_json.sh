@@ -37,13 +37,19 @@
 #     BENCH_SCALE_DOCS=100000): sustained ingest under concurrent
 #     query load, p99 roll-up latency under that load, and peak RSS
 #     proving constant-memory corpus streaming (PR 9).
+#   - temporal tier (BenchmarkTimeFilteredRollUp): cold roll-up
+#     restricted to the most recent 10% of the publication span must
+#     cost at most half the unfiltered per-query cost — the segment-
+#     and block-level time-bound pruning claim (PR 10). Within-run
+#     ratio, so it holds on any machine class. The grouped variant is
+#     recorded but not gated.
 #   - with a baseline snapshot, warm RollUp ns/op within 25% of it
 #     (same-machine regression gate). A baseline recorded before a
 #     metric existed warns and skips that comparison instead of
 #     failing, so new tiers never break the merge-base gate on PRs.
 set -e
 
-out="${1:-BENCH_pr9.json}"
+out="${1:-BENCH_pr10.json}"
 # Time-based so the pooled warm paths amortise their per-goroutine
 # pool misses: with a tiny fixed iteration count (e.g. 20x) the first
 # call on every P allocates its scratch and the integer-rounded
@@ -55,7 +61,7 @@ trap 'rm -f "$tmp" "$tmp.body"' EXIT
 
 # No pipe here: piping into tee would mask go test's exit status (POSIX
 # sh has no pipefail), letting a half-failed run emit truncated JSON.
-go test -run '^$' -bench 'Benchmark((RollUp|DrillDown)Parallel|Ingest)$' \
+go test -run '^$' -bench 'Benchmark((RollUp|DrillDown)Parallel|Ingest|TimeFilteredRollUp)$' \
     -benchtime "$benchtime" ./internal/core > "$tmp"
 # Warm-restart and standing-query benchmarks live at the facade level
 # (they exercise Save/Open and the ingest-hook evaluation end to end).
@@ -305,6 +311,24 @@ if [ -n "$scale_rss" ]; then
   fi
 else
   echo "WARN: peak RSS unmeasured (/proc unavailable); skipping RSS gate" >&2
+fi
+
+# Temporal-pruning gate: a 10% publication-time window must cut cold
+# roll-up per-query cost at least 2x — the whole point of carrying
+# exact time bounds per segment and per plan block is that a narrow
+# window skips scoring work, not just filters results after the fact.
+# Within-run ratio (both variants share the engine and the machine
+# state), so the gate holds on any machine class.
+tf_full="$(extract_field 'BenchmarkTimeFilteredRollUp/unfiltered' ns_per_query "$out")"
+tf_win="$(extract_field 'BenchmarkTimeFilteredRollUp/window10' ns_per_query "$out")"
+if [ -z "$tf_full" ] || [ -z "$tf_win" ]; then
+  echo "could not extract temporal-tier ns/query (unfiltered=$tf_full, window10=$tf_win)" >&2
+  exit 1
+fi
+echo "temporal gate: window10 $tf_win ns/query vs unfiltered $tf_full ns/query"
+if ! awk -v w="$tf_win" -v f="$tf_full" 'BEGIN { exit !(w * 2 <= f) }'; then
+  echo "FAIL: 10% time window does not halve cold roll-up cost ($tf_win vs $tf_full ns/query)" >&2
+  exit 1
 fi
 
 # Perf gate: warm RollUp must stay within 25% of the baseline. The

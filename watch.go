@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"net/url"
+	"sort"
 	"time"
 
 	"ncexplorer/internal/core"
@@ -33,6 +34,13 @@ type WatchlistSpec struct {
 	// MinScore excludes matches scoring below it (at the generation the
 	// article arrived) when > 0.
 	MinScore float64 `json:"min_score,omitempty"`
+	// WindowCount and WindowDays arm a time-window threshold: the
+	// watchlist stays silent until at least WindowCount matching
+	// articles were published inside one trailing WindowDays-day window
+	// ("alert once I see ≥3 matches in 7 days"). Set both or neither.
+	// The accumulated window re-arms from empty after a restart.
+	WindowCount int `json:"window_count,omitempty"`
+	WindowDays  int `json:"window_days,omitempty"`
 	// WebhookURL, when set, receives each alert as a JSON POST
 	// (at-least-once, bounded retries). Must be http or https.
 	WebhookURL string `json:"webhook_url,omitempty"`
@@ -45,6 +53,10 @@ type Watchlist struct {
 	Concepts []string `json:"concepts"`
 	Sources  []string `json:"sources,omitempty"`
 	MinScore float64  `json:"min_score,omitempty"`
+	// WindowCount/WindowDays echo the registered time-window threshold
+	// (both zero when the watchlist alerts on every match).
+	WindowCount int `json:"window_count,omitempty"`
+	WindowDays  int `json:"window_days,omitempty"`
 	// WebhookURL is the configured delivery endpoint, if any.
 	WebhookURL string `json:"webhook_url,omitempty"`
 	// CreatedGeneration is the snapshot generation at registration; the
@@ -88,6 +100,15 @@ func (x *Explorer) RegisterWatchlist(spec WatchlistSpec) (Watchlist, error) {
 		return Watchlist{}, newErrorf(CodeInvalidArgument,
 			"ncexplorer: invalid min_score %g: want a non-negative number", spec.MinScore)
 	}
+	if spec.WindowCount < 0 || spec.WindowDays < 0 {
+		return Watchlist{}, newErrorf(CodeInvalidArgument,
+			"ncexplorer: invalid watch window %d/%dd: want non-negative values", spec.WindowCount, spec.WindowDays)
+	}
+	if (spec.WindowCount > 0) != (spec.WindowDays > 0) {
+		return Watchlist{}, newErrorf(CodeInvalidArgument,
+			"ncexplorer: window_count and window_days must be set together (got %d and %d)",
+			spec.WindowCount, spec.WindowDays)
+	}
 	if spec.WebhookURL != "" {
 		u, err := url.Parse(spec.WebhookURL)
 		if err != nil || (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
@@ -96,11 +117,13 @@ func (x *Explorer) RegisterWatchlist(spec WatchlistSpec) (Watchlist, error) {
 		}
 	}
 	def := watch.Definition{
-		Name:       spec.Name,
-		Concepts:   concepts,
-		Sources:    canonicalSources(spec.Sources),
-		MinScore:   spec.MinScore,
-		WebhookURL: spec.WebhookURL,
+		Name:        spec.Name,
+		Concepts:    concepts,
+		Sources:     canonicalSources(spec.Sources),
+		MinScore:    spec.MinScore,
+		WindowCount: spec.WindowCount,
+		WindowDays:  spec.WindowDays,
+		WebhookURL:  spec.WebhookURL,
 	}
 	var regErr error
 	// Pin CreatedGen under the ingest lock: no batch can commit between
@@ -199,6 +222,8 @@ func (x *Explorer) watchlist(def watch.Definition, lastSeq uint64) Watchlist {
 		Concepts:          def.Concepts,
 		Sources:           def.Sources,
 		MinScore:          def.MinScore,
+		WindowCount:       def.WindowCount,
+		WindowDays:        def.WindowDays,
 		WebhookURL:        def.WebhookURL,
 		CreatedGeneration: def.CreatedGen,
 		LastSeq:           lastSeq,
@@ -225,7 +250,21 @@ func (x *Explorer) initWatch(opts watch.Options) {
 // touches only matched delta documents. That keeps per-ingest overhead
 // flat as the corpus grows — the property BenchmarkWatchEvaluate pins.
 func (x *Explorer) watchEvaluate(v *core.DeltaView) {
-	for _, def := range x.watch.Definitions() {
+	defs := x.watch.Definitions()
+	if len(x.watchWindows) > 0 {
+		// Drop window state of removed watchlists. The map is touched
+		// only here, under the ingest lock, so removal can't race.
+		live := make(map[string]bool, len(defs))
+		for _, def := range defs {
+			live[def.ID] = true
+		}
+		for id := range x.watchWindows {
+			if !live[id] {
+				delete(x.watchWindows, id)
+			}
+		}
+	}
+	for _, def := range defs {
 		// A watchlist registered at generation G sees batches after G. The
 		// hook's generation is always ≥ CreatedGen+1 for pre-batch
 		// registrations; equality means the list was registered after this
@@ -253,6 +292,7 @@ func (x *Explorer) watchEvaluate(v *core.DeltaView) {
 			}
 		}
 		var arts []watch.Article
+		var pubs []int64
 		for _, doc := range matched {
 			if srcs != nil && !srcs[v.Source(doc)] {
 				continue
@@ -263,12 +303,14 @@ func (x *Explorer) watchEvaluate(v *core.DeltaView) {
 			}
 			d := v.Article(doc)
 			art := watch.Article{
-				ID:     int(doc),
-				Source: d.Source.String(),
-				Title:  d.Title,
-				Body:   d.Body,
-				Score:  score,
+				ID:          int(doc),
+				Source:      d.Source.String(),
+				Title:       d.Title,
+				Body:        d.Body,
+				Score:       score,
+				PublishedAt: time.Unix(d.PublishedAt, 0).UTC().Format(time.RFC3339),
 			}
+			pubs = append(pubs, d.PublishedAt)
 			for _, cc := range contribs {
 				expl := watch.Explanation{Concept: x.g.Name(cc.Concept), CDR: cc.CDR}
 				if cc.Pivot >= 0 {
@@ -278,6 +320,35 @@ func (x *Explorer) watchEvaluate(v *core.DeltaView) {
 			}
 			arts = append(arts, art)
 		}
+		if def.WindowCount > 0 && !x.windowArmed(def, pubs) {
+			continue
+		}
 		x.watch.Publish(def.ID, v.Generation(), arts)
 	}
+}
+
+// windowArmed accumulates a windowed watchlist's match publication
+// times and reports whether its "≥N matches in D days" threshold is
+// met: at least WindowCount of the matches seen so far fall inside the
+// trailing WindowDays-day window ending at the latest match time. The
+// clock is publication time, not ingest wall time, so backfilled
+// corpora window correctly; times before the window are pruned, which
+// keeps the state O(WindowCount) per list in steady state. Runs under
+// the ingest lock (see watchWindows).
+func (x *Explorer) windowArmed(def watch.Definition, pubs []int64) bool {
+	if x.watchWindows == nil {
+		x.watchWindows = make(map[string][]int64)
+	}
+	times := x.watchWindows[def.ID]
+	times = append(times, pubs...)
+	if len(times) == 0 {
+		return false
+	}
+	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+	span := int64(def.WindowDays) * 86400
+	latest := times[len(times)-1]
+	cut := sort.Search(len(times), func(i int) bool { return times[i] >= latest-span })
+	times = times[cut:]
+	x.watchWindows[def.ID] = times
+	return len(times) >= def.WindowCount
 }
